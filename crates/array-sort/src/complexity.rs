@@ -1,0 +1,153 @@
+//! The paper's analytical time-complexity model (§6, Eqs. 1–3).
+//!
+//! Per-array cost with N cancelled out (every array gets its own block):
+//!
+//! ```text
+//! T(n) ∝ (n + q) + ((p·r + 1) / p) · n · log₂(n)        (Eq. 2)
+//! ```
+//!
+//! with `p = ⌊n/20⌋` buckets, `q = p − 1` splitters and sampling rate
+//! `r`. Fig. 2 plots this curve against measured times at N = 50 000 with
+//! a single fitted scale factor; [`fit_scale`] reproduces that fit by
+//! least squares and [`theoretical_series`] emits the curve.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ArraySortConfig;
+
+/// Evaluates the *unscaled* Eq. 2 for one array size.
+pub fn eq2_unscaled(array_len: usize, config: &ArraySortConfig) -> f64 {
+    let n = array_len as f64;
+    let p = config.buckets_for(array_len) as f64;
+    let q = (p - 1.0).max(0.0);
+    let r = config.sampling_rate;
+    let log_n = if n > 1.0 { n.log2() } else { 0.0 };
+    (n + q) + ((p * r + 1.0) / p) * n * log_n
+}
+
+/// A fitted theoretical curve: `predict(n) = scale · eq2(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FittedModel {
+    /// Least-squares scale factor mapping Eq. 2 units to milliseconds.
+    pub scale: f64,
+}
+
+impl FittedModel {
+    /// Predicted time for one array size, in the units of the fit.
+    pub fn predict(&self, array_len: usize, config: &ArraySortConfig) -> f64 {
+        self.scale * eq2_unscaled(array_len, config)
+    }
+}
+
+/// Least-squares fit of the single scale factor mapping Eq. 2 to the
+/// measured `(array_len, time_ms)` points — how Fig. 2's theoretical curve
+/// is anchored to the measurements.
+pub fn fit_scale(points: &[(usize, f64)], config: &ArraySortConfig) -> FittedModel {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(n, t) in points {
+        let x = eq2_unscaled(n, config);
+        num += x * t;
+        den += x * x;
+    }
+    FittedModel { scale: if den > 0.0 { num / den } else { 0.0 } }
+}
+
+/// The theoretical series for a sweep of array sizes, under a fitted model.
+pub fn theoretical_series(
+    sizes: &[usize],
+    model: &FittedModel,
+    config: &ArraySortConfig,
+) -> Vec<(usize, f64)> {
+    sizes.iter().map(|&n| (n, model.predict(n, config))).collect()
+}
+
+/// Normalized root-mean-square error between measured points and the
+/// fitted curve — the "follows the same trend" claim of Fig. 2, quantified.
+pub fn nrmse(points: &[(usize, f64)], model: &FittedModel, config: &ArraySortConfig) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let mut se = 0.0;
+    let mut mean = 0.0;
+    for &(n, t) in points {
+        let e = model.predict(n, config) - t;
+        se += e * e;
+        mean += t;
+    }
+    mean /= points.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    (se / points.len() as f64).sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ArraySortConfig {
+        ArraySortConfig::default()
+    }
+
+    #[test]
+    fn eq2_grows_superlinearly() {
+        let c = cfg();
+        let t1 = eq2_unscaled(500, &c);
+        let t2 = eq2_unscaled(1000, &c);
+        let t4 = eq2_unscaled(2000, &c);
+        // n·log n dominance: doubling n costs ~2× plus a log factor…
+        assert!(t2 / t1 > 1.85, "ratio {}", t2 / t1);
+        assert!(t4 / t2 > 1.85, "ratio {}", t4 / t2);
+        // …but stays far below quadratic (4× per doubling).
+        assert!(t4 / t1 < 4.4, "ratio {}", t4 / t1);
+    }
+
+    #[test]
+    fn eq2_handles_degenerate_sizes() {
+        let c = cfg();
+        assert!(eq2_unscaled(1, &c) >= 1.0);
+        assert!(eq2_unscaled(20, &c) > 0.0);
+    }
+
+    #[test]
+    fn perfect_data_fits_with_zero_error() {
+        let c = cfg();
+        let truth = FittedModel { scale: 0.003 };
+        let points: Vec<(usize, f64)> =
+            [100usize, 500, 1000, 2000].iter().map(|&n| (n, truth.predict(n, &c))).collect();
+        let fit = fit_scale(&points, &c);
+        assert!((fit.scale - 0.003).abs() < 1e-12);
+        assert!(nrmse(&points, &fit, &c) < 1e-9);
+    }
+
+    #[test]
+    fn noisy_data_fits_with_small_error() {
+        let c = cfg();
+        let truth = FittedModel { scale: 0.002 };
+        let points: Vec<(usize, f64)> = [200usize, 400, 800, 1600]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, truth.predict(n, &c) * (1.0 + 0.05 * (i as f64 - 1.5))))
+            .collect();
+        let fit = fit_scale(&points, &c);
+        assert!(nrmse(&points, &fit, &c) < 0.1, "±7% noise fits within 10% NRMSE");
+    }
+
+    #[test]
+    fn empty_fit_is_safe() {
+        let c = cfg();
+        let fit = fit_scale(&[], &c);
+        assert_eq!(fit.scale, 0.0);
+        assert_eq!(nrmse(&[], &fit, &c), 0.0);
+    }
+
+    #[test]
+    fn series_matches_predictions() {
+        let c = cfg();
+        let m = FittedModel { scale: 1.0 };
+        let s = theoretical_series(&[100, 200], &m, &c);
+        assert_eq!(s.len(), 2);
+        assert!((s[0].1 - eq2_unscaled(100, &c)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,163 @@
+//! Tuning parameters of GPU-ArraySort.
+//!
+//! The defaults are the paper's empirical choices: at least **20 elements
+//! per bucket** ("best performance is obtained when there are at least 20
+//! elements per bucket", §5.1) and a **10 % regular sampling rate** ("10 %
+//! regular sampling gave most evenly balanced buckets", §5.1), with **one
+//! thread per bucket** in the bucketing phase ("multiple threads on single
+//! bucket … slows down the process considerably", §5.2). Each knob exists
+//! so the ablation benches can sweep it.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`crate::pipeline::GpuArraySort`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArraySortConfig {
+    /// Target elements per bucket; `p = max(1, n / target_bucket_size)`
+    /// buckets per array (paper Definition 2 with the default 20).
+    pub target_bucket_size: usize,
+    /// Fraction of each array sampled in Phase 1 (paper default 0.10).
+    pub sampling_rate: f64,
+    /// Threads cooperating on one bucket in Phase 2. The paper uses 1 and
+    /// reports that more is slower; values > 1 exist for the ablation.
+    pub threads_per_bucket: usize,
+    /// Stage Phase-2 buckets through block shared memory when the array
+    /// fits (the paper's in-place write-back); when `false`, or when the
+    /// array exceeds shared capacity, a bounded global staging area sized
+    /// by the device's resident-block count is used instead.
+    pub shared_staging: bool,
+    /// Robustness extension (off by default = the paper's algorithm):
+    /// buckets that grow beyond `adaptive_threshold ×
+    /// target_bucket_size` — which happens when splitter selection
+    /// collapses on adversarial data — are sorted *cooperatively by the
+    /// whole block* (bitonic, O(m·log²m) spread over all threads) instead
+    /// of by one thread's O(m²) insertion sort.
+    pub adaptive_bucket_sort: bool,
+    /// Multiplier of `target_bucket_size` above which a bucket counts as
+    /// oversized for [`ArraySortConfig::adaptive_bucket_sort`].
+    pub adaptive_threshold: usize,
+}
+
+impl Default for ArraySortConfig {
+    fn default() -> Self {
+        Self {
+            target_bucket_size: 20,
+            sampling_rate: 0.10,
+            threads_per_bucket: 1,
+            shared_staging: true,
+            adaptive_bucket_sort: false,
+            adaptive_threshold: 8,
+        }
+    }
+}
+
+/// Configuration errors, reported before any device work starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `target_bucket_size` must be ≥ 1.
+    ZeroBucketSize,
+    /// `sampling_rate` must be in `(0, 1]`.
+    BadSamplingRate,
+    /// `threads_per_bucket` must be ≥ 1.
+    ZeroThreadsPerBucket,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroBucketSize => write!(f, "target_bucket_size must be at least 1"),
+            ConfigError::BadSamplingRate => write!(f, "sampling_rate must be in (0, 1]"),
+            ConfigError::ZeroThreadsPerBucket => {
+                write!(f, "threads_per_bucket must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ArraySortConfig {
+    /// Validates the knobs.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.target_bucket_size == 0 {
+            return Err(ConfigError::ZeroBucketSize);
+        }
+        if !(self.sampling_rate > 0.0 && self.sampling_rate <= 1.0) {
+            return Err(ConfigError::BadSamplingRate);
+        }
+        if self.threads_per_bucket == 0 {
+            return Err(ConfigError::ZeroThreadsPerBucket);
+        }
+        if self.adaptive_bucket_sort && self.adaptive_threshold == 0 {
+            return Err(ConfigError::ZeroBucketSize);
+        }
+        Ok(())
+    }
+
+    /// Buckets per array for arrays of `array_len` elements (paper
+    /// Definition 2: `p = ⌊n / 20⌋`, floored at 1).
+    pub fn buckets_for(&self, array_len: usize) -> usize {
+        (array_len / self.target_bucket_size).max(1)
+    }
+
+    /// Samples per array in Phase 1: `⌈r·n⌉`, at least `p` so there is a
+    /// sample available for every splitter, capped at `n`.
+    pub fn samples_for(&self, array_len: usize) -> usize {
+        let p = self.buckets_for(array_len);
+        let by_rate = (self.sampling_rate * array_len as f64).ceil() as usize;
+        by_rate.max(p).min(array_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ArraySortConfig::default();
+        assert_eq!(c.target_bucket_size, 20);
+        assert!((c.sampling_rate - 0.10).abs() < 1e-12);
+        assert_eq!(c.threads_per_bucket, 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn bucket_count_follows_definition_2() {
+        let c = ArraySortConfig::default();
+        assert_eq!(c.buckets_for(1000), 50);
+        assert_eq!(c.buckets_for(4000), 200);
+        assert_eq!(c.buckets_for(39), 1, "sub-bucket arrays collapse to one bucket");
+        assert_eq!(c.buckets_for(5), 1);
+    }
+
+    #[test]
+    fn sample_count_covers_splitters() {
+        let c = ArraySortConfig::default();
+        assert_eq!(c.samples_for(1000), 100); // 10 % of 1000
+        assert_eq!(c.samples_for(10), 1); // tiny arrays: 1 sample, 1 bucket
+        // With a coarse rate the sample count is lifted to ≥ p.
+        let coarse = ArraySortConfig { sampling_rate: 0.01, ..Default::default() };
+        assert_eq!(coarse.buckets_for(1000), 50);
+        assert_eq!(coarse.samples_for(1000), 50, "lifted from 10 to p=50");
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        let mut c = ArraySortConfig { target_bucket_size: 0, ..Default::default() };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroBucketSize));
+        c = ArraySortConfig { sampling_rate: 0.0, ..Default::default() };
+        assert_eq!(c.validate(), Err(ConfigError::BadSamplingRate));
+        c = ArraySortConfig { sampling_rate: 1.5, ..Default::default() };
+        assert_eq!(c.validate(), Err(ConfigError::BadSamplingRate));
+        c = ArraySortConfig { threads_per_bucket: 0, ..Default::default() };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroThreadsPerBucket));
+    }
+
+    #[test]
+    fn full_sampling_is_allowed() {
+        let c = ArraySortConfig { sampling_rate: 1.0, ..Default::default() };
+        assert!(c.validate().is_ok());
+        assert_eq!(c.samples_for(100), 100);
+    }
+}

@@ -1,0 +1,105 @@
+//! CPU reference implementations.
+//!
+//! Two roles: the *oracle* every GPU result is verified against, and the
+//! host-side baseline the examples report ("what would this cost without
+//! the GPU"). The parallel variant uses rayon across arrays — the same
+//! coarse-grained decomposition the paper exploits on the GPU.
+
+use rayon::prelude::*;
+
+use crate::key::SortKey;
+
+/// Sorts every `array_len` segment sequentially with the standard
+/// library's pdqsort. The correctness oracle.
+pub fn sort_arrays_seq<K: SortKey>(data: &mut [K], array_len: usize) {
+    assert!(array_len > 0, "array_len must be positive");
+    assert!(data.len().is_multiple_of(array_len), "ragged batch");
+    for seg in data.chunks_mut(array_len) {
+        seg.sort_by(|a, b| a.total_order(*b));
+    }
+}
+
+/// Sorts every segment with rayon across host cores.
+pub fn sort_arrays_par<K: SortKey>(data: &mut [K], array_len: usize) {
+    assert!(array_len > 0, "array_len must be positive");
+    assert!(data.len().is_multiple_of(array_len), "ragged batch");
+    data.par_chunks_mut(array_len).for_each(|seg| {
+        seg.sort_by(|a, b| a.total_order(*b));
+    });
+}
+
+/// True when every segment of `data` ascends under the key's total order.
+pub fn is_each_sorted<K: SortKey>(data: &[K], array_len: usize) -> bool {
+    data.chunks(array_len).all(|seg| seg.windows(2).all(|w| w[0].le(w[1])))
+}
+
+/// Verifies `sorted` is a per-array sort of `original`: same multiset per
+/// segment, each segment ascending. Returns the index of the first bad
+/// array, or `None` when everything checks out.
+pub fn verify_against<K: SortKey>(
+    original: &[K],
+    sorted: &[K],
+    array_len: usize,
+) -> Option<usize> {
+    assert_eq!(original.len(), sorted.len());
+    for (i, (a, b)) in original.chunks(array_len).zip(sorted.chunks(array_len)).enumerate() {
+        if !b.windows(2).all(|w| w[0].le(w[1])) {
+            return Some(i);
+        }
+        let mut aa: Vec<K> = a.to_vec();
+        aa.sort_by(|x, y| x.total_order(*y));
+        if aa
+            .iter()
+            .zip(b)
+            .any(|(x, y)| x.total_order(*y) != std::cmp::Ordering::Equal)
+        {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn seq_and_par_agree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let data: Vec<f32> = (0..64 * 50).map(|_| rng.gen_range(-1e6f32..1e6)).collect();
+        let mut a = data.clone();
+        let mut b = data;
+        sort_arrays_seq(&mut a, 64);
+        sort_arrays_par(&mut b, 64);
+        assert_eq!(a, b);
+        assert!(is_each_sorted(&a, 64));
+    }
+
+    #[test]
+    fn verify_catches_unsorted_segment() {
+        let original = vec![3.0f32, 1.0, 2.0, 6.0, 5.0, 4.0];
+        let mut sorted = original.clone();
+        sort_arrays_seq(&mut sorted, 3);
+        assert_eq!(verify_against(&original, &sorted, 3), None);
+        // Corrupt the second array's order.
+        let bad = vec![1.0f32, 2.0, 3.0, 6.0, 4.0, 5.0];
+        assert_eq!(verify_against(&original, &bad, 3), Some(1));
+    }
+
+    #[test]
+    fn verify_catches_multiset_corruption() {
+        let original = vec![3.0f32, 1.0, 2.0];
+        let forged = vec![1.0f32, 2.0, 4.0]; // sorted, but 4.0 ≠ 3.0
+        assert_eq!(verify_against(&original, &forged, 3), Some(0));
+    }
+
+    #[test]
+    fn boundaries_between_arrays_are_ignored() {
+        // Descending across segment boundaries is fine.
+        let data = vec![5.0f32, 6.0, 1.0, 2.0];
+        assert!(is_each_sorted(&data, 2));
+        assert!(!is_each_sorted(&data, 4));
+    }
+}

@@ -1,0 +1,182 @@
+//! Sortable element types.
+//!
+//! GPU-ArraySort is comparison-based (sample-sort partitioning + insertion
+//! sort), so all it needs from an element is a *total order* plus sentinel
+//! values for the two extra splitters the paper introduces in Phase 2 ("a
+//! splitter smaller than the smallest value … and a value larger than the
+//! largest value", §5.2). For `f32` the order is `total_cmp` (so NaNs are
+//! sortable and the sentinels are the extreme NaN bit patterns, below
+//! `-∞` / above `+∞`).
+
+/// An element type GPU-ArraySort can sort.
+pub trait SortKey: Copy + Default + Send + Sync + 'static {
+    /// Size in bytes, used for memory-transaction charging.
+    const ELEM_BYTES: u32;
+
+    /// Total-order "less than".
+    fn lt(self, other: Self) -> bool;
+
+    /// A value `≤` every representable value (first sentinel splitter).
+    fn min_sentinel() -> Self;
+
+    /// A value `≥` every representable value (last sentinel splitter).
+    fn max_sentinel() -> Self;
+
+    /// Total-order comparison (drives the host-side insertion sorts).
+    fn total_order(self, other: Self) -> std::cmp::Ordering;
+
+    /// Total-order "less than or equal".
+    #[inline]
+    fn le(self, other: Self) -> bool {
+        !other.lt(self)
+    }
+}
+
+impl SortKey for f32 {
+    const ELEM_BYTES: u32 = 4;
+
+    #[inline]
+    fn lt(self, other: Self) -> bool {
+        self.total_cmp(&other) == std::cmp::Ordering::Less
+    }
+
+    #[inline]
+    fn min_sentinel() -> Self {
+        // The smallest value under total_cmp: negative NaN with full payload.
+        f32::from_bits(0xFFFF_FFFF)
+    }
+
+    #[inline]
+    fn max_sentinel() -> Self {
+        // The largest value under total_cmp: positive NaN with full payload.
+        f32::from_bits(0x7FFF_FFFF)
+    }
+
+    #[inline]
+    fn total_order(self, other: Self) -> std::cmp::Ordering {
+        self.total_cmp(&other)
+    }
+}
+
+impl SortKey for u32 {
+    const ELEM_BYTES: u32 = 4;
+
+    #[inline]
+    fn lt(self, other: Self) -> bool {
+        self < other
+    }
+
+    #[inline]
+    fn min_sentinel() -> Self {
+        u32::MIN
+    }
+
+    #[inline]
+    fn max_sentinel() -> Self {
+        u32::MAX
+    }
+
+    #[inline]
+    fn total_order(self, other: Self) -> std::cmp::Ordering {
+        self.cmp(&other)
+    }
+}
+
+impl SortKey for i32 {
+    const ELEM_BYTES: u32 = 4;
+
+    #[inline]
+    fn lt(self, other: Self) -> bool {
+        self < other
+    }
+
+    #[inline]
+    fn min_sentinel() -> Self {
+        i32::MIN
+    }
+
+    #[inline]
+    fn max_sentinel() -> Self {
+        i32::MAX
+    }
+
+    #[inline]
+    fn total_order(self, other: Self) -> std::cmp::Ordering {
+        self.cmp(&other)
+    }
+}
+
+impl SortKey for u64 {
+    const ELEM_BYTES: u32 = 8;
+
+    #[inline]
+    fn lt(self, other: Self) -> bool {
+        self < other
+    }
+
+    #[inline]
+    fn min_sentinel() -> Self {
+        u64::MIN
+    }
+
+    #[inline]
+    fn max_sentinel() -> Self {
+        u64::MAX
+    }
+
+    #[inline]
+    fn total_order(self, other: Self) -> std::cmp::Ordering {
+        self.cmp(&other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sentinels_bracket<K: SortKey>(values: &[K]) {
+        for &v in values {
+            assert!(K::min_sentinel().le(v), "min sentinel must be ≤ every value");
+            assert!(v.le(K::max_sentinel()), "max sentinel must be ≥ every value");
+        }
+    }
+
+    #[test]
+    fn f32_sentinels_bracket_everything_including_nan() {
+        sentinels_bracket::<f32>(&[
+            f32::NEG_INFINITY,
+            f32::MIN,
+            -0.0,
+            0.0,
+            f32::MAX,
+            f32::INFINITY,
+            f32::NAN,
+            -f32::NAN,
+        ]);
+    }
+
+    #[test]
+    fn int_sentinels_bracket_extremes() {
+        sentinels_bracket::<u32>(&[0, 1, u32::MAX]);
+        sentinels_bracket::<i32>(&[i32::MIN, -1, 0, i32::MAX]);
+        sentinels_bracket::<u64>(&[0, u64::MAX]);
+    }
+
+    #[test]
+    fn f32_lt_is_total_order() {
+        // NaN participates: -NaN < -inf < -1 < 0 < 1 < inf < NaN.
+        assert!((-f32::NAN).lt(f32::NEG_INFINITY));
+        assert!(f32::NEG_INFINITY.lt(-1.0));
+        assert!((-0.0f32).lt(0.0));
+        assert!(f32::INFINITY.lt(f32::NAN));
+        assert!(!f32::NAN.lt(f32::NAN));
+    }
+
+    #[test]
+    fn le_is_consistent_with_lt() {
+        assert!(1.0f32.le(1.0));
+        assert!(1.0f32.le(2.0));
+        assert!(!2.0f32.le(1.0));
+        assert!(f32::NAN.le(f32::NAN), "le on equal NaN bit patterns");
+    }
+}

@@ -1,0 +1,66 @@
+//! # array-sort — GPU-ArraySort (Awan & Saeed, ICPP 2016) in Rust
+//!
+//! A parallel, **in-place** algorithm for sorting a large number of small
+//! arrays on a GPU, reproduced on the [`gpu_sim`] simulated device. The
+//! algorithm runs in three kernel launches, one block per array:
+//!
+//! 1. **[`splitters`]** — a single worker thread per block stages its
+//!    array in shared memory, draws a 10 % regular sample, insertion-sorts
+//!    it and emits `p − 1` splitters plus two sentinels (paper §5.1);
+//! 2. **[`bucketing`]** — one thread per bucket scans the array with its
+//!    splitter pair (branch-divergence-free), records bucket sizes in the
+//!    global `Z` table, stages buckets in shared memory and writes them
+//!    back **over the original array** (paper §5.2);
+//! 3. **[`sorting`]** — one thread per bucket insertion-sorts its bucket
+//!    in place; concatenation is the sorted array, no merge needed
+//!    (paper §5.3).
+//!
+//! The crate also ships the paper's analytical complexity model
+//! ([`complexity`], §6), CPU references ([`cpu_ref`]), and the §9
+//! future-work extension: an [`out_of_core`] sorter that chunks datasets
+//! larger than device memory and hides transfer latency by double
+//! buffering.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gpu_sim::{DeviceSpec, Gpu};
+//! use array_sort::GpuArraySort;
+//!
+//! let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+//! let mut data: Vec<f32> = (0..4000).rev().map(|x| x as f32).collect(); // 4 arrays × 1000
+//! let stats = GpuArraySort::new().sort(&mut gpu, &mut data, 1000).unwrap();
+//! assert!(array_sort::cpu_ref::is_each_sorted(&data, 1000));
+//! println!(
+//!     "phase1 {:.3} ms, phase2 {:.3} ms, phase3 {:.3} ms, peak {} B",
+//!     stats.phase1_ms, stats.phase2_ms, stats.phase3_ms, stats.peak_bytes
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bucketing;
+pub mod complexity;
+pub mod config;
+pub mod cpu_ref;
+pub mod geometry;
+pub mod insertion;
+pub mod key;
+pub mod merge_variant;
+pub mod out_of_core;
+pub mod pairs;
+pub mod pipeline;
+pub mod ragged;
+pub mod sorting;
+pub mod splitters;
+
+pub use bucketing::{BalanceStats, StagingStrategy};
+pub use config::{ArraySortConfig, ConfigError};
+pub use geometry::{BatchGeometry, GasMemoryPlan};
+pub use key::SortKey;
+pub use merge_variant::{merge_sort_arrays, MergeVariantStats};
+pub use out_of_core::{sort_out_of_core, sort_out_of_core_streamed, OocStats, StreamedOocStats};
+pub use pairs::{sort_pairs, PairSortStats, PairValue};
+pub use ragged::{sort_ragged, RaggedGeometry, RaggedStats};
+pub use pipeline::{DeviceRunStats, GasStats, GpuArraySort};
+pub use splitters::Phase1Strategy;

@@ -1,0 +1,302 @@
+//! Phase 3 — per-bucket insertion sort (paper §5.3, Algorithm 3).
+//!
+//! One block per (bucketed) array, one thread per bucket. Each thread
+//! derives its bucket's start/end pointers from the thread id and the `Z`
+//! bucket-size table, then insertion-sorts the bucket **in place**. Because
+//! an array's buckets are contiguous, disjoint and inter-ordered (Phase 2),
+//! the concatenation after this phase is the fully sorted array — no merge
+//! step, the paper's headline saving over m-way approaches.
+//!
+//! Each simulated thread really sorts its own bucket (through the global
+//! view) and charges the exact comparison/move counts, staged through
+//! shared memory as §3.3 prescribes (load bucket → sort in shared → store
+//! back). Bucket loads/stores are per-thread contiguous but scattered
+//! across the warp, hence charged as scattered transactions.
+
+use gpu_sim::{AccessPattern, DeviceBuffer, Gpu, KernelStats, LaunchConfig, SimResult};
+
+use crate::config::ArraySortConfig;
+use crate::geometry::BatchGeometry;
+use crate::insertion::insertion_sort;
+use crate::key::SortKey;
+
+/// Cost charge (per thread) of a block-cooperative bitonic sort of `m`
+/// elements over `t_count` threads: O(m·log²m) compare-exchange steps,
+/// each a couple of shared accesses, divided across the block.
+fn bitonic_charge(t: &mut gpu_sim::ThreadCtx<'_>, m: u64, t_count: u64) {
+    if m < 2 {
+        return;
+    }
+    let log = 64 - (m - 1).leading_zeros() as u64;
+    let steps = (m * log * (log + 1) / 2).div_ceil(t_count);
+    t.charge_shared(2 * steps);
+    t.charge_alu(steps);
+}
+
+/// Runs the bucket-sort kernel over `data`, consuming the `Z` table
+/// produced by Phase 2. After it returns every array in `data` is sorted.
+pub fn sort_buckets<K: SortKey>(
+    gpu: &mut Gpu,
+    data: &DeviceBuffer<K>,
+    bucket_sizes: &DeviceBuffer<u32>,
+    geom: &BatchGeometry,
+    config: &ArraySortConfig,
+) -> SimResult<KernelStats> {
+    assert_eq!(data.len(), geom.total_elems(), "data buffer does not match geometry");
+    assert_eq!(bucket_sizes.len(), geom.bucket_table_len(), "Z table mismatch");
+
+    let n = geom.array_len;
+    let p = geom.buckets_per_array;
+    let threads = geom.block_threads(config, gpu.spec());
+    let dv = data.view();
+    let zv = bucket_sizes.view();
+    let geom = *geom;
+    let elem_bytes = K::ELEM_BYTES;
+
+    // Shared memory: every resident bucket staged at once is at most the
+    // array itself (buckets tile the array), capped by the device budget.
+    let shared_want = (n * elem_bytes as usize).min(gpu.spec().shared_mem_per_block as usize);
+    let cfg = LaunchConfig::grid(geom.num_arrays as u32, threads).with_shared(shared_want as u32);
+
+    let adaptive = config.adaptive_bucket_sort;
+    let adaptive_cap = config.adaptive_threshold.max(1) * config.target_bucket_size.max(1);
+    gpu.launch("gas_phase3_bucket_sort", cfg, move |block| {
+        let i = block.block_idx() as usize;
+        let base = i * n;
+        let zrow = geom.bucket_offset(i);
+        let t_count = threads as usize;
+        let buckets_per_thread = p.div_ceil(t_count);
+
+        // Bucket offsets from the Z table (prefix sum), computed once per
+        // block; the device derives these the same way ("pointers to each
+        // bucket are calculated based on the thread ids and the size of
+        // each bucket", §5.3), charged below per thread.
+        let mut offsets = vec![0usize; p + 1];
+        for j in 0..p {
+            offsets[j + 1] = offsets[j] + zv.get(zrow + j) as usize;
+        }
+
+        block.threads(|t| {
+            for s in 0..buckets_per_thread {
+                let j = t.tid as usize + s * t_count;
+                if j >= p {
+                    break;
+                }
+                let start = offsets[j];
+                let len = offsets[j + 1] - offsets[j];
+                if adaptive && len > adaptive_cap {
+                    continue; // deferred to the cooperative phase below
+                }
+                // Pointer derivation: one Z read per earlier bucket is
+                // avoided by the shared prefix — charge the scan's share.
+                t.charge_global(1, 4, AccessPattern::Coalesced);
+                t.charge_alu(4);
+                if len < 2 {
+                    continue;
+                }
+                // Load bucket into shared memory: per-thread contiguous,
+                // warp-scattered.
+                t.charge_global(len as u64, elem_bytes, AccessPattern::Scattered);
+                t.charge_shared(len as u64);
+                // Real in-place insertion sort of this thread's bucket.
+                // SAFETY: buckets are disjoint [start, start+len) ranges of
+                // array i, and each is owned by exactly one (block, thread).
+                let bucket = unsafe { dv.slice_mut(base + start, len) };
+                let work = insertion_sort(bucket);
+                t.charge_shared(2 * work.comparisons + work.moves);
+                t.charge_alu(work.comparisons);
+                // Store back.
+                t.charge_shared(len as u64);
+                t.charge_global(len as u64, elem_bytes, AccessPattern::Scattered);
+            }
+        });
+
+        if adaptive {
+            // Robustness extension: oversized buckets (splitter collapse)
+            // are sorted by the whole block cooperatively — one bitonic
+            // pass per oversized bucket instead of a single thread's
+            // quadratic insertion sort.
+            let oversized: Vec<(usize, usize)> = (0..p)
+                .map(|j| (offsets[j], offsets[j + 1] - offsets[j]))
+                .filter(|&(_, len)| len > adaptive_cap)
+                .collect();
+            for &(start, len) in &oversized {
+                // Real work once per bucket.
+                // SAFETY: disjoint bucket range of a block-exclusive array.
+                let bucket = unsafe { dv.slice_mut(base + start, len) };
+                bucket.sort_unstable_by(|a, b| a.total_order(*b));
+                block.threads(|t| {
+                    let per = (len as u64).div_ceil(t_count as u64);
+                    t.charge_global(per, elem_bytes, AccessPattern::Coalesced);
+                    t.charge_shared(per);
+                    bitonic_charge(t, len as u64, t_count as u64);
+                    t.charge_shared(per);
+                    t.charge_global(per, elem_bytes, AccessPattern::Coalesced);
+                });
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucketing::bucket_arrays;
+    use crate::splitters::select_splitters;
+    use gpu_sim::DeviceSpec;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn run_all_phases(num: usize, n: usize, cfg: &ArraySortConfig, data: &mut Vec<f32>) {
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let geom = BatchGeometry::new(num, n, cfg);
+        let dbuf = gpu.htod_copy(data).unwrap();
+        let sbuf = gpu.alloc::<f32>(geom.splitter_table_len()).unwrap();
+        let zbuf = gpu.alloc::<u32>(geom.bucket_table_len()).unwrap();
+        select_splitters(&mut gpu, &dbuf, &sbuf, &geom).unwrap();
+        bucket_arrays(&mut gpu, &dbuf, &sbuf, &zbuf, &geom, cfg).unwrap();
+        sort_buckets(&mut gpu, &dbuf, &zbuf, &geom, cfg).unwrap();
+        let mut dbuf = dbuf;
+        *data = dbuf.to_host_vec();
+    }
+
+    #[test]
+    fn three_phases_sort_every_array() {
+        let cfg = ArraySortConfig::default();
+        let num = 40;
+        let n = 500;
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut data: Vec<f32> = (0..num * n).map(|_| rng.gen_range(0.0f32..1e9)).collect();
+        let mut expect = data.clone();
+        run_all_phases(num, n, &cfg, &mut data);
+        for seg in expect.chunks_mut(n) {
+            seg.sort_by(f32::total_cmp);
+        }
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn presorted_buckets_cost_less_than_reversed() {
+        let cfg = ArraySortConfig::default();
+        let n = 1000;
+        let sorted: Vec<f32> = (0..n).map(|x| x as f32).collect();
+        let reversed: Vec<f32> = (0..n).rev().map(|x| x as f32).collect();
+
+        let cost = |input: &[f32]| {
+            let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+            let geom = BatchGeometry::new(1, n, &cfg);
+            let dbuf = gpu.htod_copy(input).unwrap();
+            let sbuf = gpu.alloc::<f32>(geom.splitter_table_len()).unwrap();
+            let zbuf = gpu.alloc::<u32>(geom.bucket_table_len()).unwrap();
+            select_splitters(&mut gpu, &dbuf, &sbuf, &geom).unwrap();
+            bucket_arrays(&mut gpu, &dbuf, &sbuf, &zbuf, &geom, &cfg).unwrap();
+            sort_buckets(&mut gpu, &dbuf, &zbuf, &geom, &cfg).unwrap().cycles
+        };
+        assert!(cost(&sorted) < cost(&reversed));
+    }
+
+    #[test]
+    fn single_bucket_array_is_a_plain_insertion_sort() {
+        let cfg = ArraySortConfig::default();
+        let mut data = vec![5.0f32, 3.0, 4.0, 1.0, 2.0, 9.0, 0.0, 8.0, 7.0, 6.0];
+        run_all_phases(1, 10, &cfg, &mut data);
+        assert_eq!(data, (0..10).map(|x| x as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_buckets_are_skipped() {
+        // Constant data degenerates: every element lands in one bucket.
+        let cfg = ArraySortConfig::default();
+        let mut data = vec![7.0f32; 200];
+        run_all_phases(2, 100, &cfg, &mut data);
+        assert!(data.iter().all(|&x| x == 7.0));
+    }
+
+    /// Adversarial input for regular sampling: the sampled positions
+    /// (stride n/s = 10 with the defaults) all hold the minimum value, so
+    /// every splitter collapses to it and the whole array lands in one
+    /// bucket.
+    fn splitter_collapse_input(n: usize) -> Vec<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        (0..n)
+            .map(|i| if i % 10 == 0 { 0.0 } else { rng.gen_range(1.0f32..1e9) })
+            .collect()
+    }
+
+    #[test]
+    fn adversarial_collapse_still_sorts_without_adaptivity() {
+        let cfg = ArraySortConfig::default();
+        let mut data = splitter_collapse_input(1000);
+        let mut expect = data.clone();
+        run_all_phases(1, 1000, &cfg, &mut data);
+        expect.sort_by(f32::total_cmp);
+        assert_eq!(data, expect, "correctness never depends on balance");
+    }
+
+    #[test]
+    fn adaptive_phase3_rescues_collapsed_buckets() {
+        let n = 1000;
+        let cost_of = |cfg: &ArraySortConfig| {
+            let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+            let geom = BatchGeometry::new(1, n, cfg);
+            let data = splitter_collapse_input(n);
+            let dbuf = gpu.htod_copy(&data).unwrap();
+            let sbuf = gpu.alloc::<f32>(geom.splitter_table_len()).unwrap();
+            let zbuf = gpu.alloc::<u32>(geom.bucket_table_len()).unwrap();
+            select_splitters(&mut gpu, &dbuf, &sbuf, &geom).unwrap();
+            bucket_arrays(&mut gpu, &dbuf, &sbuf, &zbuf, &geom, cfg).unwrap();
+            let stats = sort_buckets(&mut gpu, &dbuf, &zbuf, &geom, cfg).unwrap();
+            let mut dbuf = dbuf;
+            let out = dbuf.to_host_vec();
+            assert!(out.windows(2).all(|w| w[0] <= w[1]), "sorted either way");
+            stats.cycles
+        };
+        let paper = cost_of(&ArraySortConfig::default());
+        let adaptive = cost_of(&ArraySortConfig {
+            adaptive_bucket_sort: true,
+            ..Default::default()
+        });
+        assert!(
+            adaptive * 10 < paper,
+            "cooperative sort must fix the quadratic blow-up: {adaptive} vs {paper}"
+        );
+    }
+
+    #[test]
+    fn adaptive_mode_is_neutral_on_balanced_data() {
+        let n = 1000;
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let data: Vec<f32> = (0..n * 20).map(|_| rng.gen_range(0.0f32..1e9)).collect();
+        let run = |cfg: &ArraySortConfig| {
+            let mut d = data.clone();
+            run_all_phases(20, n, cfg, &mut d);
+            d
+        };
+        let paper = run(&ArraySortConfig::default());
+        let adaptive =
+            run(&ArraySortConfig { adaptive_bucket_sort: true, ..Default::default() });
+        assert_eq!(paper, adaptive, "identical results when no bucket is oversized");
+    }
+
+    #[test]
+    fn u32_keys_sort_too() {
+        let cfg = ArraySortConfig::default();
+        let num = 8;
+        let n = 128;
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let data: Vec<u32> = (0..num * n).map(|_| rng.gen()).collect();
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let geom = BatchGeometry::new(num, n, &cfg);
+        let dbuf = gpu.htod_copy(&data).unwrap();
+        let sbuf = gpu.alloc::<u32>(geom.splitter_table_len()).unwrap();
+        let zbuf = gpu.alloc::<u32>(geom.bucket_table_len()).unwrap();
+        select_splitters(&mut gpu, &dbuf, &sbuf, &geom).unwrap();
+        bucket_arrays(&mut gpu, &dbuf, &sbuf, &zbuf, &geom, &cfg).unwrap();
+        sort_buckets(&mut gpu, &dbuf, &zbuf, &geom, &cfg).unwrap();
+        let mut dbuf = dbuf;
+        let out = dbuf.to_host_vec();
+        for (i, seg) in out.chunks(n).enumerate() {
+            assert!(seg.windows(2).all(|w| w[0] <= w[1]), "array {i} sorted");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Phase 1 — splitter selection (paper §5.1, Algorithm 1).
+//!
+//! One block per array, **one worker thread per block** ("Per block,
+//! single thread is used for performing all these operations; we tried
+//! using more complex strategies but … overheads were too large", §5.1):
+//!
+//! 1. move the array into block shared memory (when it fits — the paper's
+//!    assumption for spectra up to 4000 peaks; larger arrays fall back to
+//!    sampling straight from global memory);
+//! 2. draw `⌈r·n⌉` samples by regular sampling (default r = 10 %);
+//! 3. insertion-sort the sample in shared memory;
+//! 4. emit the `p − 1` interior splitters at regular intervals of the
+//!    sorted sample, bracketed by the two sentinels of §5.2, into the
+//!    global splitter table `S` (Definition 3).
+//!
+//! The kernel performs the real sampling and sorting on the actual data
+//! (via [`simulated_insertion_sort`], which reports the exact work a
+//! device-side insertion sort would do) and charges cycles accordingly.
+
+use gpu_sim::{AccessPattern, DeviceBuffer, Gpu, KernelStats, LaunchConfig, SimResult};
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::BatchGeometry;
+use crate::insertion::simulated_insertion_sort;
+use crate::key::SortKey;
+
+/// How Phase 1 reads its array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase1Strategy {
+    /// Array copied to shared memory first, sampled from there (the
+    /// paper's path; requires `n·elem + sample·elem` ≤ 48 KB).
+    SharedCopy,
+    /// Array sampled directly from global memory (fallback for arrays
+    /// larger than shared memory); only the sample lives in shared.
+    GlobalSample,
+}
+
+/// Picks the strategy for `geom` on the current device.
+pub fn phase1_strategy<K: SortKey>(geom: &BatchGeometry, gpu: &Gpu) -> Phase1Strategy {
+    let sample_bytes = geom.samples_per_array as u64 * K::ELEM_BYTES as u64;
+    let array_bytes = geom.array_len as u64 * K::ELEM_BYTES as u64;
+    if array_bytes + sample_bytes <= gpu.spec().shared_mem_per_block as u64 {
+        Phase1Strategy::SharedCopy
+    } else {
+        Phase1Strategy::GlobalSample
+    }
+}
+
+/// Runs the splitter-selection kernel: fills `splitters` (layout per
+/// [`BatchGeometry::splitter_offset`]) from `data`.
+pub fn select_splitters<K: SortKey>(
+    gpu: &mut Gpu,
+    data: &DeviceBuffer<K>,
+    splitters: &DeviceBuffer<K>,
+    geom: &BatchGeometry,
+) -> SimResult<(KernelStats, Phase1Strategy)> {
+    assert_eq!(data.len(), geom.total_elems(), "data buffer does not match geometry");
+    assert_eq!(
+        splitters.len(),
+        geom.splitter_table_len(),
+        "splitter buffer does not match geometry"
+    );
+    let strategy = phase1_strategy::<K>(geom, gpu);
+    let n = geom.array_len;
+    let s = geom.samples_per_array;
+    let p = geom.buckets_per_array;
+    let stride = (n / s).max(1);
+    let dv = data.view();
+    let sv = splitters.view();
+
+    let shared_bytes = match strategy {
+        Phase1Strategy::SharedCopy => ((n + s) * K::ELEM_BYTES as usize) as u32,
+        Phase1Strategy::GlobalSample => (s * K::ELEM_BYTES as usize) as u32,
+    };
+    let cfg = LaunchConfig::grid(geom.num_arrays as u32, 1).with_shared(shared_bytes);
+    let geom = *geom;
+
+    let stats = gpu.launch("gas_phase1_splitters", cfg, move |block| {
+        let i = block.block_idx() as usize;
+        let base = i * n;
+        block.one_thread(|t| {
+            // 1) Stage the array (or just the sample) into shared memory.
+            //    The lone worker lane walks the array sequentially — L2
+            //    line reuse keeps this cheaper than scattered access but
+            //    slower than a cooperative warp copy; the price the paper
+            //    pays for the simple one-thread design.
+            match strategy {
+                Phase1Strategy::SharedCopy => {
+                    t.charge_global(n as u64, K::ELEM_BYTES, AccessPattern::SingleLaneSequential);
+                    t.charge_shared(n as u64);
+                    // 2) Regular sampling out of shared memory.
+                    t.charge_shared(s as u64);
+                }
+                Phase1Strategy::GlobalSample => {
+                    // 2) Regular sampling straight from global memory:
+                    // strided by ~10 elements, so effectively scattered.
+                    t.charge_global(s as u64, K::ELEM_BYTES, AccessPattern::Scattered);
+                }
+            }
+            t.charge_shared(s as u64); // store samples into the sample array
+            t.charge_alu(2 * s as u64); // stride/index arithmetic
+
+            // Real work: gather the regular sample…
+            let mut sample: Vec<K> = (0..s).map(|k| dv.get(base + k * stride)).collect();
+            // …3) and insertion-sort it, charging the exact device work
+            // (2 shared accesses + 1 compare per probe, 1 shared per move).
+            let work = simulated_insertion_sort(&mut sample);
+            t.charge_shared(2 * work.comparisons + work.moves);
+            t.charge_alu(work.comparisons);
+
+            // 4) Pick interior splitters at regular intervals and write the
+            // bracketed boundary row to global memory.
+            let row = geom.splitter_offset(i);
+            sv.set(row, K::min_sentinel());
+            for j in 1..p {
+                let pick = j * s / p;
+                sv.set(row + j, sample[pick]);
+            }
+            sv.set(row + p, K::max_sentinel());
+            t.charge_shared((p - 1) as u64);
+            t.charge_alu(2 * (p - 1) as u64);
+            t.charge_global((p + 1) as u64, K::ELEM_BYTES, AccessPattern::Scattered);
+        });
+    })?;
+    Ok((stats, strategy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArraySortConfig;
+    use gpu_sim::DeviceSpec;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(num: usize, n: usize) -> (Gpu, BatchGeometry, Vec<f32>) {
+        let gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let geom = BatchGeometry::new(num, n, &ArraySortConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let data: Vec<f32> = (0..num * n).map(|_| rng.gen_range(0.0f32..1e9)).collect();
+        (gpu, geom, data)
+    }
+
+    fn run(gpu: &mut Gpu, geom: &BatchGeometry, data: &[f32]) -> (Vec<f32>, Phase1Strategy) {
+        let dbuf = gpu.htod_copy(data).unwrap();
+        let mut sbuf = gpu.alloc::<f32>(geom.splitter_table_len()).unwrap();
+        let (_, strat) = select_splitters(gpu, &dbuf, &sbuf, geom).unwrap();
+        (sbuf.to_host_vec(), strat)
+    }
+
+    #[test]
+    fn boundaries_are_sorted_and_bracketed() {
+        let (mut gpu, geom, data) = setup(20, 1000);
+        let (table, strat) = run(&mut gpu, &geom, &data);
+        assert_eq!(strat, Phase1Strategy::SharedCopy);
+        for i in 0..geom.num_arrays {
+            let row = &table[geom.splitter_offset(i)..geom.splitter_offset(i) + geom.boundaries_per_array];
+            assert_eq!(row[0].to_bits(), f32::min_sentinel().to_bits());
+            assert_eq!(row.last().unwrap().to_bits(), f32::max_sentinel().to_bits());
+            assert!(
+                row.windows(2).all(|w| w[0].le(w[1])),
+                "array {i} boundaries must ascend"
+            );
+        }
+    }
+
+    #[test]
+    fn interior_splitters_come_from_the_array() {
+        let (mut gpu, geom, data) = setup(5, 200);
+        let (table, _) = run(&mut gpu, &geom, &data);
+        for i in 0..geom.num_arrays {
+            let arr = &data[i * 200..(i + 1) * 200];
+            let row = &table[geom.splitter_offset(i)..geom.splitter_offset(i) + geom.boundaries_per_array];
+            for &sp in &row[1..row.len() - 1] {
+                assert!(
+                    arr.iter().any(|&x| x.to_bits() == sp.to_bits()),
+                    "splitter {sp} of array {i} must be a sampled element"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_arrays_fall_back_to_global_sampling() {
+        let (mut gpu, geom, data) = setup(2, 20_000); // 80 KB > 48 KB shared
+        let (table, strat) = run(&mut gpu, &geom, &data);
+        assert_eq!(strat, Phase1Strategy::GlobalSample);
+        assert!(table.len() == geom.splitter_table_len());
+    }
+
+    #[test]
+    fn single_bucket_arrays_get_only_sentinels() {
+        let (mut gpu, geom, data) = setup(3, 10); // p = 1
+        assert_eq!(geom.buckets_per_array, 1);
+        let (table, _) = run(&mut gpu, &geom, &data);
+        for i in 0..3 {
+            let row = &table[geom.splitter_offset(i)..geom.splitter_offset(i) + 2];
+            assert_eq!(row[0].to_bits(), f32::min_sentinel().to_bits());
+            assert_eq!(row[1].to_bits(), f32::max_sentinel().to_bits());
+        }
+    }
+
+    #[test]
+    fn splitter_time_grows_with_array_size() {
+        let (mut g1, geom1, d1) = setup(50, 500);
+        let b1 = g1.htod_copy(&d1).unwrap();
+        let s1 = g1.alloc::<f32>(geom1.splitter_table_len()).unwrap();
+        let (k1, _) = select_splitters(&mut g1, &b1, &s1, &geom1).unwrap();
+
+        let (mut g2, geom2, d2) = setup(50, 2000);
+        let b2 = g2.htod_copy(&d2).unwrap();
+        let s2 = g2.alloc::<f32>(geom2.splitter_table_len()).unwrap();
+        let (k2, _) = select_splitters(&mut g2, &b2, &s2, &geom2).unwrap();
+
+        assert!(k2.cycles > k1.cycles);
+    }
+
+    #[test]
+    fn sorted_sample_is_cheaper_than_random() {
+        // Adaptive insertion sort: presorted arrays sample presorted.
+        let n = 2000;
+        let sorted: Vec<f32> = (0..n).map(|x| x as f32).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let random: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0f32..1e9)).collect();
+        let cfg = ArraySortConfig::default();
+        let geom = BatchGeometry::new(1, n, &cfg);
+
+        let mut g = Gpu::new(DeviceSpec::tesla_k40c());
+        let b = g.htod_copy(&sorted).unwrap();
+        let s = g.alloc::<f32>(geom.splitter_table_len()).unwrap();
+        let (ks, _) = select_splitters(&mut g, &b, &s, &geom).unwrap();
+
+        let mut g = Gpu::new(DeviceSpec::tesla_k40c());
+        let b = g.htod_copy(&random).unwrap();
+        let s = g.alloc::<f32>(geom.splitter_table_len()).unwrap();
+        let (kr, _) = select_splitters(&mut g, &b, &s, &geom).unwrap();
+
+        assert!(ks.cycles < kr.cycles, "sorted {} !< random {}", ks.cycles, kr.cycles);
+    }
+}

@@ -1,0 +1,115 @@
+//! Criterion benchmarks for the extension surfaces: key–value pairs,
+//! ragged segments, the modern segmented-sort baseline, and the streamed
+//! out-of-core scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use array_sort::GpuArraySort;
+use datagen::{ArrayBatch, Distribution, RaggedBatch};
+use gpu_sim::{DeviceSpec, Gpu};
+
+fn pairs_vs_keys(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pairs_vs_keys");
+    g.sample_size(10);
+    let (num, n) = (300usize, 1000usize);
+    let batch = ArrayBatch::paper_uniform(31, num, n);
+    g.bench_function("keys_only", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+            let mut data = batch.clone();
+            black_box(GpuArraySort::new().sort(&mut gpu, data.as_flat_mut(), n).unwrap().kernel_ms())
+        });
+    });
+    g.bench_function("with_u32_payload", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+            let mut keys = batch.clone().into_flat();
+            let mut vals = vec![0u32; num * n];
+            black_box(
+                array_sort::sort_pairs(&GpuArraySort::new(), &mut gpu, &mut keys, &mut vals, n)
+                    .unwrap()
+                    .kernel_ms(),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn ragged_vs_padded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ragged_vs_padded");
+    g.sample_size(10);
+    let ragged = RaggedBatch::generate(33, 300, 100, 1000, Distribution::PaperUniform);
+    g.bench_function("ragged_csr", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+            let mut data = ragged.clone();
+            let offsets = data.offsets().to_vec();
+            black_box(
+                array_sort::sort_ragged(
+                    &GpuArraySort::new(),
+                    &mut gpu,
+                    data.as_flat_mut(),
+                    &offsets,
+                )
+                .unwrap()
+                .total_ms(),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn segmented_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modern_segmented_sort");
+    g.sample_size(10);
+    let (num, n) = (300usize, 1000usize);
+    let batch = ArrayBatch::paper_uniform(35, num, n);
+    g.bench_function("block_radix", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+            let mut data = batch.clone();
+            black_box(thrust_sim::segmented_sort(&mut gpu, data.as_flat_mut(), n).unwrap().kernel_ms)
+        });
+    });
+    g.finish();
+}
+
+fn streamed_out_of_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("out_of_core");
+    g.sample_size(10);
+    let n = 500usize;
+    let num = 10_000usize; // ~20 MB on the 64 MB test device → a few chunks
+    let batch = ArrayBatch::paper_uniform(37, num, n);
+    g.bench_function("serial_schedule", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceSpec::test_device());
+            let mut data = batch.clone();
+            black_box(
+                array_sort::sort_out_of_core(&GpuArraySort::new(), &mut gpu, data.as_flat_mut(), n)
+                    .unwrap()
+                    .serial_ms,
+            )
+        });
+    });
+    g.bench_function("two_streams", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceSpec::test_device());
+            let mut data = batch.clone();
+            black_box(
+                array_sort::sort_out_of_core_streamed(
+                    &GpuArraySort::new(),
+                    &mut gpu,
+                    data.as_flat_mut(),
+                    n,
+                )
+                .unwrap()
+                .streamed_ms,
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, pairs_vs_keys, ragged_vs_padded, segmented_baseline, streamed_out_of_core);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Criterion benchmarks, one group per paper table/figure.
+//!
+//! These measure *host* execution time of the simulated experiments at
+//! small N — they are regression benches for the reproduction harness
+//! itself (the paper's series, in simulated milliseconds, come from the
+//! `repro-*` binaries, which are deterministic and don't need statistical
+//! benchmarking). Together the groups cover: Fig. 2 (n sweep), Figs. 4–7
+//! (GAS vs. STA per array size), Table 1 (capacity planning), and the
+//! three design ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use array_sort::{ArraySortConfig, GpuArraySort};
+use datagen::ArrayBatch;
+use gpu_sim::{DeviceSpec, Gpu};
+
+/// Fig. 2 — GPU-ArraySort across array sizes at fixed N.
+fn fig2_array_size_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_array_size_sweep");
+    g.sample_size(10);
+    for n in [500usize, 1000, 2000] {
+        let batch = ArrayBatch::paper_uniform(42, 200, n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+                let mut data = batch.clone();
+                let stats =
+                    GpuArraySort::new().sort(&mut gpu, data.as_flat_mut(), n).unwrap();
+                black_box(stats.kernel_ms())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figs. 4–7 — GPU-ArraySort vs. STA, one pair of benches per array size.
+fn fig4to7_gas_vs_sta(c: &mut Criterion) {
+    for (fig, n) in [(4u32, 1000usize), (5, 2000), (6, 3000), (7, 4000)] {
+        let mut g = c.benchmark_group(format!("fig{fig}_n{n}"));
+        g.sample_size(10);
+        let num = 400_000 / n; // constant total elements across figures
+        let batch = ArrayBatch::paper_uniform(7, num, n);
+        g.bench_function("gpu_array_sort", |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+                let mut data = batch.clone();
+                let stats =
+                    GpuArraySort::new().sort(&mut gpu, data.as_flat_mut(), n).unwrap();
+                black_box(stats.total_ms())
+            });
+        });
+        g.bench_function("sta_thrust", |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+                let mut data = batch.clone();
+                let stats =
+                    thrust_sim::sta::sort_arrays(&mut gpu, data.as_flat_mut(), n).unwrap();
+                black_box(stats.total_ms())
+            });
+        });
+        g.finish();
+    }
+}
+
+/// Table 1 — capacity planning for both techniques.
+fn table1_capacity(c: &mut Criterion) {
+    let spec = DeviceSpec::tesla_k40c();
+    let sorter = GpuArraySort::new();
+    c.bench_function("table1_capacity_planning", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for n in [1000usize, 2000, 3000, 4000] {
+                acc += sorter.max_arrays(black_box(&spec), n);
+                acc += thrust_sim::sta::max_arrays(black_box(&spec), n as u64);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+/// Ablation A — bucket-size sensitivity of the full pipeline.
+fn ablation_bucket_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bucket_size");
+    g.sample_size(10);
+    let n = 1000usize;
+    let batch = ArrayBatch::paper_uniform(11, 300, n);
+    for bs in [5usize, 20, 80] {
+        g.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
+            let sorter = GpuArraySort::with_config(ArraySortConfig {
+                target_bucket_size: bs,
+                ..Default::default()
+            })
+            .unwrap();
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+                let mut data = batch.clone();
+                black_box(sorter.sort(&mut gpu, data.as_flat_mut(), n).unwrap().kernel_ms())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Ablation B — sampling-rate sensitivity.
+fn ablation_sampling_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sampling_rate");
+    g.sample_size(10);
+    let n = 1000usize;
+    let batch = ArrayBatch::paper_uniform(13, 300, n);
+    for pct in [2u32, 10, 30] {
+        g.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, &pct| {
+            let sorter = GpuArraySort::with_config(ArraySortConfig {
+                sampling_rate: pct as f64 / 100.0,
+                ..Default::default()
+            })
+            .unwrap();
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+                let mut data = batch.clone();
+                black_box(sorter.sort(&mut gpu, data.as_flat_mut(), n).unwrap().kernel_ms())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Ablation C — threads-per-bucket sensitivity.
+fn ablation_threads_per_bucket(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_threads_per_bucket");
+    g.sample_size(10);
+    let n = 1000usize;
+    let batch = ArrayBatch::paper_uniform(17, 300, n);
+    for k in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let sorter = GpuArraySort::with_config(ArraySortConfig {
+                threads_per_bucket: k,
+                ..Default::default()
+            })
+            .unwrap();
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+                let mut data = batch.clone();
+                black_box(sorter.sort(&mut gpu, data.as_flat_mut(), n).unwrap().kernel_ms())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig2_array_size_sweep,
+    fig4to7_gas_vs_sta,
+    table1_capacity,
+    ablation_bucket_size,
+    ablation_sampling_rate,
+    ablation_threads_per_bucket
+);
+criterion_main!(benches);

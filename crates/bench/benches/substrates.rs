@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the substrate crates: scan and radix-sort
+//! throughput of `thrust-sim` and raw launch/transfer overhead of
+//! `gpu-sim`. Regression guards for the simulator's host-side speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gpu_sim::{AccessPattern, DeviceSpec, Gpu, LaunchConfig};
+
+fn scan_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_throughput");
+    g.sample_size(10);
+    for len in [10_000usize, 1_000_000] {
+        let input: Vec<u32> = (0..len as u32).map(|i| i % 7).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+                let mut buf = gpu.htod_copy(&input).unwrap();
+                black_box(thrust_sim::exclusive_scan(&mut gpu, &mut buf).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn radix_sort_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("radix_sort_throughput");
+    g.sample_size(10);
+    for len in [10_000usize, 500_000] {
+        let keys: Vec<u32> = (0..len as u64).map(|i| (i * 2654435761 % 4294967291) as u32).collect();
+        let vals: Vec<u32> = (0..len as u32).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+                let mut k = gpu.htod_copy(&keys).unwrap();
+                let mut v = gpu.htod_copy(&vals).unwrap();
+                thrust_sim::stable_sort_by_key(&mut gpu, &mut k, &mut v).unwrap();
+                black_box(gpu.elapsed_ms())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn launch_overhead(c: &mut Criterion) {
+    c.bench_function("empty_kernel_launch", |b| {
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        b.iter(|| {
+            gpu.launch("noop", LaunchConfig::grid(128, 64), |block| {
+                block.threads(|t| t.charge_alu(1));
+            })
+            .unwrap()
+            .cycles
+        });
+    });
+    c.bench_function("memory_charge_kernel", |b| {
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let buf = gpu.alloc::<f32>(1 << 16).unwrap();
+        let view = buf.view();
+        b.iter(|| {
+            gpu.launch("touch", LaunchConfig::grid(256, 256), |block| {
+                block.threads(|t| {
+                    t.charge_global(4, 4, AccessPattern::Coalesced);
+                    black_box(view.get(t.global_idx() % view.len()));
+                });
+            })
+            .unwrap()
+            .cycles
+        });
+    });
+}
+
+criterion_group!(benches, scan_throughput, radix_sort_throughput, launch_overhead);
+criterion_main!(benches);

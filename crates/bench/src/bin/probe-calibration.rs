@@ -1,0 +1,28 @@
+//! Calibration probe: prints GPU-ArraySort vs. STA simulated times at a
+//! few (N, n) points with the per-phase breakdown — the tool used to tune
+//! the cost model against the paper's anchors (see DESIGN.md §6 and
+//! EXPERIMENTS.md "Reading guide"). Kept in-tree so future cost-model
+//! changes can be re-anchored in seconds.
+//!
+//! ```text
+//! cargo run --release -p bench --bin probe-calibration
+//! ```
+
+use gpu_sim::{DeviceSpec, Gpu};
+use array_sort::GpuArraySort;
+use datagen::ArrayBatch;
+
+fn main() {
+    for &(num, n) in &[(250usize, 1000usize), (1000, 1000), (2500, 1000), (10000, 1000), (2500, 4000)] {
+        let b = ArrayBatch::paper_uniform(1, num, n);
+        let mut d = b.clone();
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let gas = GpuArraySort::new().sort(&mut gpu, d.as_flat_mut(), n).unwrap();
+        let mut d2 = b.clone();
+        let mut gpu2 = Gpu::new(DeviceSpec::tesla_k40c());
+        let sta = thrust_sim::sta::sort_arrays(&mut gpu2, d2.as_flat_mut(), n).unwrap();
+        println!("N={num} n={n}: GAS total {:.2}ms (k {:.2} p1 {:.2} p2 {:.2} p3 {:.2}) | STA total {:.2}ms (k {:.2}) | ratio {:.2}",
+          gas.total_ms(), gas.kernel_ms(), gas.phase1_ms, gas.phase2_ms, gas.phase3_ms,
+          sta.total_ms(), sta.kernel_ms(), sta.total_ms()/gas.total_ms());
+    }
+}

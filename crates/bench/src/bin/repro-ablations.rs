@@ -1,0 +1,200 @@
+//! Regenerates the paper's design-choice ablations:
+//!
+//! * **A — bucket size** ("at least 20 elements per bucket", §5.1)
+//! * **B — sampling rate** ("10 % regular sampling gave most evenly
+//!   balanced buckets", §5.1)
+//! * **C — threads per bucket** ("multiple threads on single bucket …
+//!   slows down the process considerably", §5.2)
+//! * **D — sample sort vs. m-way merge** (§4.1's "no merge stage" claim,
+//!   quantified against an implemented merge variant)
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro-ablations \
+//!     [--bucket-sweep] [--sampling-sweep] [--threads-per-bucket] [--merge-variant] \
+//!     [--scale f | --full]
+//! ```
+//!
+//! With no selector flags, all four run.
+
+use bench::experiments::{run_bucket_ablation, run_merge_ablation, run_sampling_ablation, run_threads_ablation};
+use bench::report::{default_out_dir, fmt_ms, markdown_table, write_csv, write_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = bench::parse_scale(&args, 0.05);
+    let any_selector = args.iter().any(|a| {
+        matches!(
+            a.as_str(),
+            "--bucket-sweep" | "--sampling-sweep" | "--threads-per-bucket" | "--merge-variant"
+        )
+    });
+    let want = |flag: &str| !any_selector || args.iter().any(|a| a == flag);
+    let out = default_out_dir();
+
+    if want("--bucket-sweep") {
+        println!("# Ablation A — target bucket size (paper: ≥20 is best)\n");
+        let rows = run_bucket_ablation(scale);
+        let md: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.bucket_size.to_string(),
+                    fmt_ms(r.phase2_ms),
+                    fmt_ms(r.phase3_ms),
+                    fmt_ms(r.kernel_ms),
+                    format!("{:.3}×", r.mem_overhead),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(&["bucket size", "phase 2", "phase 3", "total kernel", "memory"], &md)
+        );
+        let csv: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.bucket_size.to_string(),
+                    format!("{:.4}", r.phase2_ms),
+                    format!("{:.4}", r.phase3_ms),
+                    format!("{:.4}", r.kernel_ms),
+                    format!("{:.4}", r.mem_overhead),
+                ]
+            })
+            .collect();
+        write_json(&out, "ablation_bucket_size", &rows).unwrap();
+        write_csv(
+            &out,
+            "ablation_bucket_size",
+            &["bucket_size", "phase2_ms", "phase3_ms", "kernel_ms", "mem_overhead"],
+            &csv,
+        )
+        .unwrap();
+    }
+
+    if want("--sampling-sweep") {
+        println!("\n# Ablation B — sampling rate (paper: 10 % balances best)\n");
+        let rows = run_sampling_ablation(scale);
+        let md: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0}%", r.rate * 100.0),
+                    format!("{:.2}", r.imbalance),
+                    format!("{:.3}", r.cv),
+                    fmt_ms(r.phase1_ms),
+                    fmt_ms(r.phase3_ms),
+                    fmt_ms(r.kernel_ms),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &["rate", "imbalance (max/mean)", "cv", "phase 1", "phase 3", "total kernel"],
+                &md
+            )
+        );
+        let csv: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}", r.rate),
+                    format!("{:.4}", r.imbalance),
+                    format!("{:.4}", r.cv),
+                    format!("{:.4}", r.phase1_ms),
+                    format!("{:.4}", r.phase3_ms),
+                    format!("{:.4}", r.kernel_ms),
+                ]
+            })
+            .collect();
+        write_json(&out, "ablation_sampling_rate", &rows).unwrap();
+        write_csv(
+            &out,
+            "ablation_sampling_rate",
+            &["rate", "imbalance", "cv", "phase1_ms", "phase3_ms", "kernel_ms"],
+            &csv,
+        )
+        .unwrap();
+    }
+
+    if want("--threads-per-bucket") {
+        println!("\n# Ablation C — threads per bucket (paper: 1 is fastest)\n");
+        let rows = run_threads_ablation(scale);
+        let md: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.threads_per_bucket.to_string(),
+                    fmt_ms(r.phase2_ms),
+                    fmt_ms(r.kernel_ms),
+                ]
+            })
+            .collect();
+        println!("{}", markdown_table(&["threads/bucket", "phase 2", "total kernel"], &md));
+        let csv: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.threads_per_bucket.to_string(),
+                    format!("{:.4}", r.phase2_ms),
+                    format!("{:.4}", r.kernel_ms),
+                ]
+            })
+            .collect();
+        write_json(&out, "ablation_threads_per_bucket", &rows).unwrap();
+        write_csv(
+            &out,
+            "ablation_threads_per_bucket",
+            &["threads_per_bucket", "phase2_ms", "kernel_ms"],
+            &csv,
+        )
+        .unwrap();
+    }
+
+    if want("--merge-variant") {
+        println!("\n# Ablation D — sample sort vs. m-way merge (paper §4.1)\n");
+        let rows = run_merge_ablation(scale);
+        let md: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.array_len.to_string(),
+                    fmt_ms(r.gas_kernel_ms),
+                    fmt_ms(r.merge_kernel_ms),
+                    fmt_ms(r.merge_stage_ms),
+                    fmt_ms(r.gas_p1p2_ms),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &["n", "GAS kernels", "merge-variant kernels", "merge stage alone", "GAS P1+P2 (its price)"],
+                &md
+            )
+        );
+        let csv: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.array_len.to_string(),
+                    format!("{:.4}", r.gas_kernel_ms),
+                    format!("{:.4}", r.merge_kernel_ms),
+                    format!("{:.4}", r.merge_stage_ms),
+                    format!("{:.4}", r.gas_p1p2_ms),
+                ]
+            })
+            .collect();
+        write_json(&out, "ablation_merge_variant", &rows).unwrap();
+        write_csv(
+            &out,
+            "ablation_merge_variant",
+            &["array_len", "gas_kernel_ms", "merge_kernel_ms", "merge_stage_ms", "gas_p1p2_ms"],
+            &csv,
+        )
+        .unwrap();
+    }
+
+    println!("\nwrote ablation artifacts into results/");
+}

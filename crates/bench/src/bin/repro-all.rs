@@ -1,0 +1,33 @@
+//! Runs every reproduction in sequence (Fig. 2, Figs. 4–7, Table 1, the
+//! three ablations, out-of-core), writing all artifacts into `results/`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro-all [--scale 0.05 | --full]
+//! ```
+
+use std::process::Command;
+
+fn run(bin: &str, extra: &[String]) {
+    let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+        .args(extra)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    assert!(status.success(), "{bin} failed");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for bin in [
+        "repro-fig2",
+        "repro-fig4to7",
+        "repro-table1",
+        "repro-ablations",
+        "repro-outofcore",
+        "repro-beyond",
+    ]
+    {
+        println!("\n=============== {bin} ===============");
+        run(bin, &args);
+    }
+    println!("\nAll reproductions complete; see results/ and EXPERIMENTS.md.");
+}

@@ -1,0 +1,127 @@
+//! Beyond the paper: three experiments the 2016 evaluation could not run.
+//!
+//! 1. **Modern baseline** — GPU-ArraySort vs. STA vs. a CUB-class
+//!    shared-memory segmented sort (the technique that superseded both).
+//! 2. **Baseline sensitivity** — how the paper's headline ratio depends on
+//!    the STA calibration, from the paper's measured throughput down to a
+//!    structural-cost-only Thrust.
+//! 3. **Skew robustness** — regular sampling under non-uniform data:
+//!    bucket imbalance and its cost.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro-beyond [--scale 0.05 | --full]
+//! ```
+
+use bench::experiments::{run_adversarial, run_baseline_sensitivity, run_beyond, run_skew};
+use bench::report::{default_out_dir, fmt_count, fmt_ms, markdown_table, write_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = bench::parse_scale(&args, 0.05);
+    let out = default_out_dir();
+
+    println!("# Beyond 1: modern segmented-sort baseline (N = 100 000 × {scale})\n");
+    let rows = run_beyond(scale);
+    let md: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.array_len.to_string(),
+                fmt_ms(r.gas_ms),
+                fmt_ms(r.sta_ms),
+                fmt_ms(r.segsort_ms),
+                format!("{:.1}×", r.gas_ms / r.segsort_ms),
+                format!(
+                    "{} / {} / {}",
+                    fmt_count(r.capacity[0]),
+                    fmt_count(r.capacity[1]),
+                    fmt_count(r.capacity[2])
+                ),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["n", "GPU-ArraySort", "STA", "segmented sort", "segsort vs GAS", "capacity GAS/STA/seg"],
+            &md
+        )
+    );
+    write_json(&out, "beyond_modern_baseline", &rows).unwrap();
+
+    println!("\n# Beyond 2: sensitivity to the STA calibration (n = 1000)\n");
+    let rows = run_baseline_sensitivity(scale);
+    let md: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}", r.thrust_elem_cycles),
+                format!("{:.0} M/s", r.sta_melems_per_s),
+                format!("{:.2}×", r.ratio),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["thrust_elem_cycles", "implied STA throughput", "STA/GAS ratio"], &md)
+    );
+    println!(
+        "(5200 reproduces the paper's measured STA; 0 = structural costs only.\n\
+         The paper's several-× win depends on its slow baseline — at Thrust's\n\
+         published Kepler throughput the two roughly tie.)"
+    );
+    write_json(&out, "beyond_baseline_sensitivity", &rows).unwrap();
+
+    println!("\n# Beyond 3: skew robustness of regular sampling (n = 1000)\n");
+    let rows = run_skew(scale);
+    let md: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.distribution.clone(),
+                format!("{:.2}", r.imbalance),
+                fmt_ms(r.gas_kernel_ms),
+                fmt_ms(r.segsort_kernel_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["distribution", "bucket imbalance", "GAS kernels", "segsort kernels"],
+            &md
+        )
+    );
+    write_json(&out, "beyond_skew_robustness", &rows).unwrap();
+
+    println!("\n# Beyond 4: splitter-collapse attack and the adaptive Phase 3\n");
+    let rows = run_adversarial(scale);
+    let md: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.array_len.to_string(),
+                format!("{:.1}", r.imbalance),
+                fmt_ms(r.benign_phase3_ms),
+                fmt_ms(r.paper_phase3_ms),
+                fmt_ms(r.adaptive_phase3_ms),
+                format!("{:.0}×", r.paper_phase3_ms / r.adaptive_phase3_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["n", "imbalance", "phase 3 (benign)", "phase 3 (paper, attacked)", "phase 3 (adaptive)", "rescue"],
+            &md
+        )
+    );
+    println!(
+        "(sampled positions carry the minimum value → all splitters collapse; the\n\
+         paper's one-thread insertion sort goes quadratic on the lone bucket, the\n\
+         adaptive block-cooperative sort — an extension — restores m·log²m.)"
+    );
+    write_json(&out, "beyond_adversarial", &rows).unwrap();
+
+    println!("\nwrote beyond_* artifacts into results/");
+}

@@ -1,0 +1,39 @@
+//! Portability sweep: the same workload on every simulated device preset
+//! (the paper's "highly scalable" claim, extended across hardware
+//! generations the authors did not have).
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro-devices [--scale 0.05 | --full]
+//! ```
+
+use bench::experiments::run_device_sweep;
+use bench::report::{default_out_dir, fmt_count, fmt_ms, markdown_table, write_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = bench::parse_scale(&args, 0.05);
+    println!("# Device sweep — N = 20 000 × {scale}, n = 1000\n");
+    let rows = run_device_sweep(scale);
+    let md: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.clone(),
+                r.sms.to_string(),
+                fmt_ms(r.gas_kernel_ms),
+                fmt_ms(r.sta_kernel_ms),
+                fmt_count(r.gas_capacity),
+                format!("{:.3}", r.sm_imbalance),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["device", "SMs", "GAS kernels", "STA kernels", "capacity (n=1000)", "SM balance"],
+            &md
+        )
+    );
+    write_json(&default_out_dir(), "device_sweep", &rows).expect("write json");
+    println!("wrote results/device_sweep.json");
+}

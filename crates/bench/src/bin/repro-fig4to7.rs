@@ -1,0 +1,80 @@
+//! Regenerates **Figs. 4–7** of the paper: running time vs. number of
+//! arrays N, GPU-ArraySort against the STA (Thrust tagged-sort) baseline,
+//! for array sizes n ∈ {1000, 2000, 3000, 4000}.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro-fig4to7 [--n 1000] [--scale 0.05 | --full]
+//! ```
+//!
+//! Without `--n`, all four figures run.
+
+use bench::experiments::{run_runtime_figure, FIG4TO7_SIZES};
+use bench::report::{default_out_dir, fmt_ms, markdown_table, write_csv, write_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = bench::parse_scale(&args, 0.05);
+    let only_n: Option<usize> = args
+        .iter()
+        .position(|a| a == "--n")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+
+    let sizes: Vec<usize> = match only_n {
+        Some(n) => vec![n],
+        None => FIG4TO7_SIZES.to_vec(),
+    };
+
+    let out = default_out_dir();
+    for (fig, n) in sizes.iter().enumerate() {
+        let fig_no = match *n {
+            1000 => 4,
+            2000 => 5,
+            3000 => 6,
+            4000 => 7,
+            _ => 4 + fig,
+        };
+        println!("\n# Fig. {fig_no} — run time vs. N for array size {n} (N × {scale})\n");
+        let report = run_runtime_figure(*n, scale);
+
+        let header = ["N", "GPU-ArraySort", "STA (Thrust)", "STA/GAS"];
+        let rows: Vec<Vec<String>> = report
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.num_arrays.to_string(),
+                    fmt_ms(r.gas_ms),
+                    fmt_ms(r.sta_ms),
+                    format!("{:.1}×", r.speedup),
+                ]
+            })
+            .collect();
+        println!("{}", markdown_table(&header, &rows));
+
+        let name = format!("fig{fig_no}_n{n}");
+        let csv_rows: Vec<Vec<String>> = report
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.num_arrays.to_string(),
+                    format!("{:.4}", r.gas_ms),
+                    format!("{:.4}", r.gas_kernel_ms),
+                    format!("{:.4}", r.sta_ms),
+                    format!("{:.4}", r.sta_kernel_ms),
+                    format!("{:.3}", r.speedup),
+                ]
+            })
+            .collect();
+        write_json(&out, &name, &report).expect("write json");
+        write_csv(
+            &out,
+            &name,
+            &["num_arrays", "gas_ms", "gas_kernel_ms", "sta_ms", "sta_kernel_ms", "speedup"],
+            &csv_rows,
+        )
+        .expect("write csv");
+        println!("wrote results/{name}.json and .csv");
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Table 1** of the paper: the largest number of arrays
+//! each technique can sort on the Tesla K40c, per array size — derived
+//! from the two memory plans against the device ledger, then empirically
+//! probed (allocations at the boundary succeed; 5 % above they OOM).
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro-table1
+//! ```
+
+use bench::experiments::{probe_table1_row, run_table1};
+use bench::report::{default_out_dir, fmt_count, markdown_table, write_csv, write_json};
+
+fn main() {
+    println!("# Table 1 — data-handling capacity on the Tesla K40c\n");
+    let rows = run_table1();
+
+    let header =
+        ["Array Size", "GPU-ArraySort", "(paper)", "STA", "(paper)", "capacity ratio"];
+    let md: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.array_len.to_string(),
+                fmt_count(r.gas_max_arrays),
+                fmt_count(r.paper_gas),
+                fmt_count(r.sta_max_arrays),
+                fmt_count(r.paper_sta),
+                format!("{:.2}×", r.ratio),
+            ]
+        })
+        .collect();
+    println!("{}", markdown_table(&header, &md));
+
+    print!("boundary probes: ");
+    for r in &rows {
+        let (fits, fails) = probe_table1_row(r.array_len);
+        assert!(fits && fails, "capacity boundary must be exact for n={}", r.array_len);
+        print!("n={} ✓  ", r.array_len);
+    }
+    println!("\n(reported capacity allocates; +5% OOMs)");
+
+    let out = default_out_dir();
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.array_len.to_string(),
+                r.gas_max_arrays.to_string(),
+                r.sta_max_arrays.to_string(),
+                format!("{:.3}", r.ratio),
+                r.paper_gas.to_string(),
+                r.paper_sta.to_string(),
+            ]
+        })
+        .collect();
+    write_json(&out, "table1", &rows).expect("write json");
+    write_csv(
+        &out,
+        "table1",
+        &["array_len", "gas_max_arrays", "sta_max_arrays", "ratio", "paper_gas", "paper_sta"],
+        &csv,
+    )
+    .expect("write csv");
+    println!("wrote results/table1.json and .csv");
+}

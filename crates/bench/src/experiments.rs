@@ -1,0 +1,915 @@
+//! The experiment drivers: one function per paper table/figure, each
+//! returning serializable rows (and verifying every sorted output against
+//! the CPU oracle).
+//!
+//! All experiments run on a simulated Tesla K40c — the paper's device —
+//! and report **simulated milliseconds**. `scale` shrinks the array
+//! *count* N (not the array size n) so the default run finishes quickly on
+//! a laptop; `--full` in the repro binaries sets `scale = 1.0` for the
+//! paper's exact axes.
+
+use array_sort::{
+    complexity, cpu_ref, sort_out_of_core, ArraySortConfig, GpuArraySort,
+};
+use datagen::{ArrayBatch, DatasetDescriptor};
+use gpu_sim::{DeviceSpec, Gpu};
+use serde::{Deserialize, Serialize};
+
+/// N values of the paper's Figs. 4–7 x-axis (0.25–2.0 ·10⁵).
+pub const FIG4TO7_N: [usize; 8] =
+    [25_000, 50_000, 75_000, 100_000, 125_000, 150_000, 175_000, 200_000];
+
+/// Array sizes of the four runtime figures.
+pub const FIG4TO7_SIZES: [usize; 4] = [1000, 2000, 3000, 4000];
+
+/// Fig. 7 (n = 4000) stops at 1.5·10⁵ in the paper (STA runs out of
+/// memory beyond it — see Table 1).
+pub const FIG7_MAX_N: usize = 150_000;
+
+fn k40c() -> Gpu {
+    Gpu::new(DeviceSpec::tesla_k40c())
+}
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale).round() as usize).max(100)
+}
+
+// ---------------------------------------------------------------- Fig. 2
+
+/// One point of Fig. 2: measured simulated time vs. the paper's Eq. 2
+/// theoretical curve, at fixed N.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Row {
+    /// Array size n.
+    pub n: usize,
+    /// Measured (simulated) kernel time in ms.
+    pub measured_ms: f64,
+    /// Fitted theoretical prediction in ms.
+    pub theoretical_ms: f64,
+}
+
+/// Fig. 2 report: the sweep plus the fit quality.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Report {
+    /// Arrays per point (paper: 50 000, times `scale`).
+    pub num_arrays: usize,
+    /// The measured/theoretical series.
+    pub rows: Vec<Fig2Row>,
+    /// Least-squares scale factor of the fit.
+    pub fitted_scale: f64,
+    /// Normalized RMS error of the fit (the "same trend" claim).
+    pub nrmse: f64,
+    /// Dataset recipes per point.
+    pub datasets: Vec<DatasetDescriptor>,
+}
+
+/// Runs the Fig. 2 sweep: n from 100 to 2000, N = 50 000·scale.
+pub fn run_fig2(scale: f64) -> Fig2Report {
+    let num_arrays = scaled(50_000, scale);
+    let sorter = GpuArraySort::new();
+    let config = sorter.config().clone();
+    let mut points = Vec::new();
+    let mut datasets = Vec::new();
+
+    for step in 1..=10 {
+        let n = step * 200;
+        let desc = DatasetDescriptor::paper(0xF162 + step as u64, num_arrays, n);
+        let mut batch = desc.generate();
+        let mut gpu = k40c();
+        let stats = sorter
+            .sort(&mut gpu, batch.as_flat_mut(), n)
+            .expect("fig2 batch fits the K40c");
+        assert!(batch.is_each_array_sorted(), "fig2 output must be sorted (n={n})");
+        points.push((n, stats.kernel_ms()));
+        datasets.push(desc);
+    }
+
+    let fit = complexity::fit_scale(&points, &config);
+    let nrmse = complexity::nrmse(&points, &fit, &config);
+    let rows = points
+        .iter()
+        .map(|&(n, measured_ms)| Fig2Row {
+            n,
+            measured_ms,
+            theoretical_ms: fit.predict(n, &config),
+        })
+        .collect();
+    Fig2Report { num_arrays, rows, fitted_scale: fit.scale, nrmse, datasets }
+}
+
+// ------------------------------------------------------------ Figs. 4–7
+
+/// One point of a runtime figure: GPU-ArraySort vs. STA at (n, N).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeRow {
+    /// Number of arrays N.
+    pub num_arrays: usize,
+    /// GPU-ArraySort total simulated time (transfers included), ms.
+    pub gas_ms: f64,
+    /// GPU-ArraySort kernel-only time, ms.
+    pub gas_kernel_ms: f64,
+    /// STA total simulated time, ms.
+    pub sta_ms: f64,
+    /// STA kernel-only time, ms.
+    pub sta_kernel_ms: f64,
+    /// STA / GAS total-time ratio (the figure's visual gap).
+    pub speedup: f64,
+}
+
+/// A full runtime figure (one of Figs. 4–7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeReport {
+    /// Array size n of this figure.
+    pub array_len: usize,
+    /// The N sweep.
+    pub rows: Vec<RuntimeRow>,
+    /// Dataset recipes per point.
+    pub datasets: Vec<DatasetDescriptor>,
+}
+
+/// Runs one of Figs. 4–7: time vs. N for a fixed n, both algorithms on
+/// identical data.
+pub fn run_runtime_figure(array_len: usize, scale: f64) -> RuntimeReport {
+    let sorter = GpuArraySort::new();
+    let mut rows = Vec::new();
+    let mut datasets = Vec::new();
+    let n_cap = if array_len >= 4000 { FIG7_MAX_N } else { usize::MAX };
+
+    for &n_arrays in FIG4TO7_N.iter().filter(|&&x| x <= n_cap) {
+        let num = scaled(n_arrays, scale);
+        let desc = DatasetDescriptor::paper(0xF1600 + array_len as u64, num, array_len);
+        let batch = desc.generate();
+
+        // GPU-ArraySort.
+        let mut gas_data = batch.clone();
+        let mut gpu = k40c();
+        let gas = sorter
+            .sort(&mut gpu, gas_data.as_flat_mut(), array_len)
+            .expect("GAS fits at paper scales");
+        assert!(gas_data.is_each_array_sorted(), "GAS output sorted");
+
+        // STA baseline on the same input.
+        let mut sta_data = batch;
+        let mut gpu = k40c();
+        let sta = thrust_sim::sta::sort_arrays(&mut gpu, sta_data.as_flat_mut(), array_len)
+            .expect("STA fits at paper scales");
+        assert!(sta_data.is_each_array_sorted(), "STA output sorted");
+        assert_eq!(gas_data, sta_data, "both algorithms agree elementwise");
+
+        rows.push(RuntimeRow {
+            num_arrays: num,
+            gas_ms: gas.total_ms(),
+            gas_kernel_ms: gas.kernel_ms(),
+            sta_ms: sta.total_ms(),
+            sta_kernel_ms: sta.kernel_ms(),
+            speedup: sta.total_ms() / gas.total_ms(),
+        });
+        datasets.push(desc);
+    }
+    RuntimeReport { array_len, rows, datasets }
+}
+
+// -------------------------------------------------------------- Table 1
+
+/// One row of Table 1: data-handling capacity of each technique.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Array size n.
+    pub array_len: usize,
+    /// Max arrays GPU-ArraySort sorts on the K40c.
+    pub gas_max_arrays: u64,
+    /// Max arrays STA sorts on the K40c.
+    pub sta_max_arrays: u64,
+    /// Capacity ratio (paper: ≈3×).
+    pub ratio: f64,
+    /// Paper's reported GPU-ArraySort capacity, for the comparison column.
+    pub paper_gas: u64,
+    /// Paper's reported STA capacity.
+    pub paper_sta: u64,
+}
+
+/// Computes Table 1 from the two memory plans, then *validates* the
+/// boundary empirically on the simulator for one row (allocation at the
+/// reported capacity succeeds; 5 % above it fails).
+pub fn run_table1() -> Vec<Table1Row> {
+    let spec = DeviceSpec::tesla_k40c();
+    let sorter = GpuArraySort::new();
+    let paper: [(usize, u64, u64); 4] = [
+        (1000, 2_000_000, 700_000),
+        (2000, 1_050_000, 350_000),
+        (3000, 700_000, 200_000),
+        (4000, 500_000, 150_000),
+    ];
+    paper
+        .iter()
+        .map(|&(n, paper_gas, paper_sta)| {
+            let gas = sorter.max_arrays(&spec, n);
+            let sta = thrust_sim::sta::max_arrays(&spec, n as u64);
+            Table1Row {
+                array_len: n,
+                gas_max_arrays: gas,
+                sta_max_arrays: sta,
+                ratio: gas as f64 / sta as f64,
+                paper_gas,
+                paper_sta,
+            }
+        })
+        .collect()
+}
+
+/// Empirically probes one Table 1 row: allocating the GAS working set at
+/// the reported capacity succeeds, and at 105 % it fails with OOM. (Pure
+/// ledger arithmetic — no element data is generated.)
+pub fn probe_table1_row(array_len: usize) -> (bool, bool) {
+    let sorter = GpuArraySort::new();
+    let gpu = k40c();
+    let max = sorter.max_arrays(gpu.spec(), array_len) as usize;
+
+    let fits = {
+        let geom = sorter.geometry(max, array_len);
+        let a = gpu.alloc::<f32>(geom.total_elems());
+        let b = gpu.alloc::<f32>(geom.splitter_table_len());
+        let c = gpu.alloc::<u32>(geom.bucket_table_len());
+        a.is_ok() && b.is_ok() && c.is_ok()
+    };
+    let over = max + max / 20;
+    let fails = {
+        let geom = sorter.geometry(over, array_len);
+        let a = gpu.alloc::<f32>(geom.total_elems());
+        match a {
+            Err(_) => true,
+            Ok(_buf) => {
+                gpu.alloc::<f32>(geom.splitter_table_len()).is_err()
+                    || gpu.alloc::<u32>(geom.bucket_table_len()).is_err()
+            }
+        }
+    };
+    (fits, fails)
+}
+
+// ------------------------------------------------------------- Ablations
+
+/// Ablation A: bucket-size sweep (the paper's "at least 20 elements per
+/// bucket" claim, §5.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BucketAblationRow {
+    /// Target elements per bucket.
+    pub bucket_size: usize,
+    /// Phase 2 time, ms.
+    pub phase2_ms: f64,
+    /// Phase 3 time, ms.
+    pub phase3_ms: f64,
+    /// Total kernel time, ms.
+    pub kernel_ms: f64,
+    /// Memory overhead factor of the plan.
+    pub mem_overhead: f64,
+}
+
+/// Sweeps the target bucket size at fixed (N, n).
+pub fn run_bucket_ablation(scale: f64) -> Vec<BucketAblationRow> {
+    let num = scaled(50_000, scale);
+    let n = 1000;
+    let desc = DatasetDescriptor::paper(0xAB1, num, n);
+    [5usize, 10, 20, 40, 80, 160]
+        .iter()
+        .map(|&bs| {
+            let cfg = ArraySortConfig { target_bucket_size: bs, ..Default::default() };
+            let sorter = GpuArraySort::with_config(cfg).expect("valid config");
+            let mut batch = desc.generate();
+            let mut gpu = k40c();
+            let stats =
+                sorter.sort(&mut gpu, batch.as_flat_mut(), n).expect("ablation batch fits");
+            assert!(batch.is_each_array_sorted());
+            let plan = sorter.memory_plan(num, n, &gpu);
+            BucketAblationRow {
+                bucket_size: bs,
+                phase2_ms: stats.phase2_ms,
+                phase3_ms: stats.phase3_ms,
+                kernel_ms: stats.kernel_ms(),
+                mem_overhead: plan.overhead_factor(),
+            }
+        })
+        .collect()
+}
+
+/// Ablation B: sampling-rate sweep (the paper's "10 % … most evenly
+/// balanced buckets" claim, §5.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SamplingAblationRow {
+    /// Sampling rate r.
+    pub rate: f64,
+    /// Bucket imbalance (max/mean) after Phase 2.
+    pub imbalance: f64,
+    /// Coefficient of variation of bucket sizes.
+    pub cv: f64,
+    /// Phase 1 time (grows with r), ms.
+    pub phase1_ms: f64,
+    /// Phase 3 time (shrinks as balance improves), ms.
+    pub phase3_ms: f64,
+    /// Total kernel time, ms.
+    pub kernel_ms: f64,
+}
+
+/// Sweeps the Phase-1 sampling rate at fixed (N, n).
+pub fn run_sampling_ablation(scale: f64) -> Vec<SamplingAblationRow> {
+    let num = scaled(20_000, scale);
+    let n = 1000;
+    let desc = DatasetDescriptor::paper(0xAB2, num, n);
+    [0.02f64, 0.05, 0.10, 0.20, 0.30]
+        .iter()
+        .map(|&rate| {
+            let cfg = ArraySortConfig { sampling_rate: rate, ..Default::default() };
+            let sorter = GpuArraySort::with_config(cfg).expect("valid config");
+            let mut batch = desc.generate();
+            let mut gpu = k40c();
+            let stats = sorter.sort(&mut gpu, batch.as_flat_mut(), n).expect("fits");
+            assert!(batch.is_each_array_sorted());
+            SamplingAblationRow {
+                rate,
+                imbalance: stats.balance.imbalance,
+                cv: stats.balance.cv,
+                phase1_ms: stats.phase1_ms,
+                phase3_ms: stats.phase3_ms,
+                kernel_ms: stats.kernel_ms(),
+            }
+        })
+        .collect()
+}
+
+/// Ablation C: threads per bucket (the paper's "multiple threads on a
+/// single bucket … slows down the process", §5.2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadsAblationRow {
+    /// Threads cooperating per bucket.
+    pub threads_per_bucket: usize,
+    /// Phase 2 time, ms.
+    pub phase2_ms: f64,
+    /// Total kernel time, ms.
+    pub kernel_ms: f64,
+}
+
+/// Sweeps threads-per-bucket at fixed (N, n).
+pub fn run_threads_ablation(scale: f64) -> Vec<ThreadsAblationRow> {
+    let num = scaled(20_000, scale);
+    let n = 1000;
+    let desc = DatasetDescriptor::paper(0xAB3, num, n);
+    [1usize, 2, 4]
+        .iter()
+        .map(|&k| {
+            let cfg = ArraySortConfig { threads_per_bucket: k, ..Default::default() };
+            let sorter = GpuArraySort::with_config(cfg).expect("valid config");
+            let mut batch = desc.generate();
+            let mut gpu = k40c();
+            let stats = sorter.sort(&mut gpu, batch.as_flat_mut(), n).expect("fits");
+            assert!(batch.is_each_array_sorted());
+            ThreadsAblationRow {
+                threads_per_bucket: k,
+                phase2_ms: stats.phase2_ms,
+                kernel_ms: stats.kernel_ms(),
+            }
+        })
+        .collect()
+}
+
+/// Ablation D (paper §4.1): sample-sort (no merge stage) vs. the
+/// m-way-merge alternative — "advantage of sample sort over m-way merge
+/// sort is that there is no need of putting in extra effort for a merge
+/// stage".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MergeAblationRow {
+    /// Array size n.
+    pub array_len: usize,
+    /// GPU-ArraySort kernel time (P1+P2+P3), ms.
+    pub gas_kernel_ms: f64,
+    /// Merge-variant kernel time (chunk sort + merge), ms.
+    pub merge_kernel_ms: f64,
+    /// The merge stage alone, ms ("the extra effort").
+    pub merge_stage_ms: f64,
+    /// GPU-ArraySort's phase 1+2 (the price of avoiding the merge), ms.
+    pub gas_p1p2_ms: f64,
+}
+
+/// Runs the sample-sort-vs-merge comparison across array sizes.
+pub fn run_merge_ablation(scale: f64) -> Vec<MergeAblationRow> {
+    let num = scaled(20_000, scale);
+    FIG4TO7_SIZES
+        .iter()
+        .map(|&n| {
+            let desc = DatasetDescriptor::paper(0x3E6 + n as u64, num, n);
+            let mut a = desc.generate();
+            let mut gpu = k40c();
+            let gas = GpuArraySort::new().sort(&mut gpu, a.as_flat_mut(), n).expect("fits");
+            assert!(a.is_each_array_sorted());
+            let mut b = desc.generate();
+            let mut gpu = k40c();
+            let mv = array_sort::merge_sort_arrays(
+                &mut gpu,
+                b.as_flat_mut(),
+                n,
+                &ArraySortConfig::default(),
+            )
+            .expect("fits");
+            assert_eq!(a, b, "both strategies agree at n={n}");
+            MergeAblationRow {
+                array_len: n,
+                gas_kernel_ms: gas.kernel_ms(),
+                merge_kernel_ms: mv.kernel_ms(),
+                merge_stage_ms: mv.merge_ms,
+                gas_p1p2_ms: gas.phase1_ms + gas.phase2_ms,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ Out of core
+
+/// Out-of-core demo (paper §9): a dataset bigger than the device, sorted
+/// in overlapped chunks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutOfCoreReport {
+    /// Device the run used (a small one, to overflow quickly).
+    pub device: String,
+    /// Total dataset bytes.
+    pub dataset_bytes: u64,
+    /// Device capacity bytes.
+    pub device_bytes: u64,
+    /// Chunks used.
+    pub chunks: usize,
+    /// Naive serial schedule, ms.
+    pub serial_ms: f64,
+    /// Double-buffered schedule (analytic), ms.
+    pub pipelined_ms: f64,
+    /// Double-buffered schedule measured on two real simulated streams, ms.
+    pub streamed_ms: f64,
+    /// Fraction saved by overlap (analytic schedule vs serial).
+    pub saving: f64,
+}
+
+/// Runs the out-of-core extension on a dataset ~2–4× device memory.
+pub fn run_outofcore(scale: f64) -> OutOfCoreReport {
+    let spec = DeviceSpec::test_device();
+    let mut gpu = Gpu::new(spec.clone());
+    let n = 1000;
+    let num = scaled(40_000, scale.max(0.5)); // ≥ 80 MB on a 64 MB device
+    let mut batch = ArrayBatch::paper_uniform(0x00C, num, n);
+    let sorter = GpuArraySort::new();
+    let stats = sort_out_of_core(&sorter, &mut gpu, batch.as_flat_mut(), n)
+        .expect("out-of-core always fits chunk-wise");
+    assert!(batch.is_each_array_sorted());
+    assert!(cpu_ref::is_each_sorted(batch.as_flat(), n));
+
+    // The same workload on two real simulated streams.
+    let mut batch2 = ArrayBatch::paper_uniform(0x00C, num, n);
+    let mut gpu2 = Gpu::new(spec.clone());
+    let streamed = array_sort::sort_out_of_core_streamed(
+        &sorter,
+        &mut gpu2,
+        batch2.as_flat_mut(),
+        n,
+    )
+    .expect("streamed out-of-core fits chunk-wise");
+    assert_eq!(batch, batch2, "schedules must agree on results");
+
+    OutOfCoreReport {
+        device: spec.name.clone(),
+        dataset_bytes: (num * n * 4) as u64,
+        device_bytes: spec.global_mem_bytes,
+        chunks: stats.chunks.len(),
+        serial_ms: stats.serial_ms,
+        pipelined_ms: stats.pipelined_ms,
+        streamed_ms: streamed.streamed_ms,
+        saving: stats.overlap_saving(),
+    }
+}
+
+
+// --------------------------------------------------- Beyond the paper
+
+/// One point of the beyond-the-paper comparison: GPU-ArraySort vs. STA
+/// vs. a modern (CUB-class) segmented sort.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BeyondRow {
+    /// Array size n.
+    pub array_len: usize,
+    /// Number of arrays.
+    pub num_arrays: usize,
+    /// GPU-ArraySort total, ms.
+    pub gas_ms: f64,
+    /// STA total, ms.
+    pub sta_ms: f64,
+    /// Modern segmented sort total, ms.
+    pub segsort_ms: f64,
+    /// Device capacity (max arrays) for each technique, in order
+    /// (GAS, STA, segmented).
+    pub capacity: [u64; 3],
+}
+
+/// Runs the beyond-the-paper comparison at each paper array size.
+pub fn run_beyond(scale: f64) -> Vec<BeyondRow> {
+    let sorter = GpuArraySort::new();
+    let spec = DeviceSpec::tesla_k40c();
+    FIG4TO7_SIZES
+        .iter()
+        .map(|&n| {
+            let num = scaled(100_000, scale);
+            let desc = DatasetDescriptor::paper(0xBEE + n as u64, num, n);
+            let batch = desc.generate();
+
+            let mut a = batch.clone();
+            let mut gpu = k40c();
+            let gas = sorter.sort(&mut gpu, a.as_flat_mut(), n).expect("GAS fits");
+
+            let mut b = batch.clone();
+            let mut gpu = k40c();
+            let sta = thrust_sim::sta::sort_arrays(&mut gpu, b.as_flat_mut(), n).expect("STA fits");
+
+            let mut c = batch;
+            let mut gpu = k40c();
+            let seg = thrust_sim::segmented_sort(&mut gpu, c.as_flat_mut(), n).expect("fits");
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+
+            BeyondRow {
+                array_len: n,
+                num_arrays: num,
+                gas_ms: gas.total_ms(),
+                sta_ms: sta.total_ms(),
+                segsort_ms: seg.total_ms(),
+                capacity: [
+                    sorter.max_arrays(&spec, n),
+                    thrust_sim::sta::max_arrays(&spec, n as u64),
+                    thrust_sim::segmented::max_arrays(&spec, n as u64),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Sensitivity of the headline comparison to the baseline calibration:
+/// sweeps `thrust_elem_cycles` from the paper-measured anchor down to a
+/// "Thrust at its published peak" figure and reports the STA/GAS ratio.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineSensitivityRow {
+    /// The calibration constant used.
+    pub thrust_elem_cycles: f64,
+    /// Implied STA throughput in M elements/s at this setting.
+    pub sta_melems_per_s: f64,
+    /// STA / GAS total-time ratio.
+    pub ratio: f64,
+}
+
+/// Runs the baseline-sensitivity sweep at (n = 1000, N = 100 000·scale).
+pub fn run_baseline_sensitivity(scale: f64) -> Vec<BaselineSensitivityRow> {
+    let n = 1000usize;
+    let num = scaled(100_000, scale);
+    let desc = DatasetDescriptor::paper(0x5E15, num, n);
+    [5_200.0f64, 2_600.0, 1_300.0, 650.0, 325.0, 0.0]
+        .iter()
+        .map(|&cal| {
+            let cost =
+                gpu_sim::CostModel { thrust_elem_cycles: cal, ..Default::default() };
+            let mut batch = desc.generate();
+            let mut gpu = Gpu::with_cost_model(DeviceSpec::tesla_k40c(), cost.clone());
+            let sta = thrust_sim::sta::sort_arrays(&mut gpu, batch.as_flat_mut(), n)
+                .expect("STA fits");
+            let mut batch2 = desc.generate();
+            let mut gpu2 = Gpu::with_cost_model(DeviceSpec::tesla_k40c(), cost);
+            let gas = GpuArraySort::new().sort(&mut gpu2, batch2.as_flat_mut(), n).expect("fits");
+            let elems = (num * n) as f64;
+            BaselineSensitivityRow {
+                thrust_elem_cycles: cal,
+                sta_melems_per_s: elems / (sta.total_ms() / 1000.0) / 1e6,
+                ratio: sta.total_ms() / gas.total_ms(),
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------ Skew robustness
+
+/// One row of the skew-robustness experiment: how value distribution
+/// affects GPU-ArraySort's bucket balance and time, vs. the
+/// distribution-oblivious segmented sort.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkewRow {
+    /// Distribution label.
+    pub distribution: String,
+    /// Bucket imbalance (max/mean) after Phase 2.
+    pub imbalance: f64,
+    /// GPU-ArraySort kernel time, ms.
+    pub gas_kernel_ms: f64,
+    /// Modern segmented-sort kernel time, ms (distribution-independent up
+    /// to data-adaptive effects).
+    pub segsort_kernel_ms: f64,
+}
+
+/// Runs the skew sweep at (n = 1000, N = 20 000·scale).
+pub fn run_skew(scale: f64) -> Vec<SkewRow> {
+    use datagen::{Arrangement, Distribution};
+    let n = 1000usize;
+    let num = scaled(20_000, scale);
+    let cases: [(&str, Distribution); 5] = [
+        ("uniform (paper)", Distribution::PaperUniform),
+        ("normal", Distribution::Normal { mean: 0.0, std_dev: 1e6 }),
+        ("exponential", Distribution::Exponential { lambda: 1e-6 }),
+        ("pareto a=1.2", Distribution::Pareto { scale: 1.0, alpha: 1.2 }),
+        ("few distinct (8)", Distribution::FewDistinct { k: 8 }),
+    ];
+    cases
+        .iter()
+        .map(|(label, dist)| {
+            let batch =
+                ArrayBatch::generate(0x5EED, num, n, *dist, Arrangement::Shuffled);
+            let mut a = batch.clone();
+            let mut gpu = k40c();
+            let gas = GpuArraySort::new().sort(&mut gpu, a.as_flat_mut(), n).expect("fits");
+            assert!(a.is_each_array_sorted(), "GAS sorted under {label}");
+            let mut b = batch;
+            let mut gpu = k40c();
+            let seg = thrust_sim::segmented_sort(&mut gpu, b.as_flat_mut(), n).expect("fits");
+            assert_eq!(a, b, "agreement under {label}");
+            SkewRow {
+                distribution: label.to_string(),
+                imbalance: gas.balance.imbalance,
+                gas_kernel_ms: gas.kernel_ms(),
+                segsort_kernel_ms: seg.kernel_ms,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------- Device sweep
+
+/// One device's row of the portability sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSweepRow {
+    /// Device name.
+    pub device: String,
+    /// SMs on the device.
+    pub sms: u32,
+    /// GPU-ArraySort kernel time for the reference workload, ms.
+    pub gas_kernel_ms: f64,
+    /// STA kernel time, ms.
+    pub sta_kernel_ms: f64,
+    /// GPU-ArraySort Table-1 capacity at n = 1000.
+    pub gas_capacity: u64,
+    /// Worst SM imbalance across the three GAS launches.
+    pub sm_imbalance: f64,
+}
+
+/// Runs the same workload across every device preset — the scalability
+/// story the paper claims ("highly scalable"): kernel time should track
+/// 1/SM-throughput, capacity should track memory.
+pub fn run_device_sweep(scale: f64) -> Vec<DeviceSweepRow> {
+    let n = 1000usize;
+    let num = scaled(20_000, scale);
+    let desc = DatasetDescriptor::paper(0xDE5, num, n);
+    let sorter = GpuArraySort::new();
+    [
+        DeviceSpec::tesla_k40c(),
+        DeviceSpec::tesla_k20(),
+        DeviceSpec::tesla_k80_die(),
+        DeviceSpec::gtx_980(),
+    ]
+    .into_iter()
+    .map(|spec| {
+        let mut batch = desc.generate();
+        let mut gpu = Gpu::new(spec.clone());
+        let gas = sorter.sort(&mut gpu, batch.as_flat_mut(), n).expect("fits");
+        assert!(batch.is_each_array_sorted());
+        let imb = gpu
+            .timeline()
+            .kernels
+            .iter()
+            .map(|k| k.sm_imbalance)
+            .fold(1.0f64, f64::max);
+        let mut batch = desc.generate();
+        let mut gpu = Gpu::new(spec.clone());
+        let sta =
+            thrust_sim::sta::sort_arrays(&mut gpu, batch.as_flat_mut(), n).expect("fits");
+        DeviceSweepRow {
+            device: spec.name.clone(),
+            sms: spec.sm_count,
+            gas_kernel_ms: gas.kernel_ms(),
+            sta_kernel_ms: sta.kernel_ms(),
+            gas_capacity: sorter.max_arrays(&spec, n),
+            sm_imbalance: imb,
+        }
+    })
+    .collect()
+}
+
+// -------------------------------------------------- Adversarial inputs
+
+/// One row of the adversarial-input experiment: the splitter-collapse
+/// attack on regular sampling, with and without the adaptive Phase 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdversarialRow {
+    /// Array size n.
+    pub array_len: usize,
+    /// Phase-3 time with the paper's algorithm, ms.
+    pub paper_phase3_ms: f64,
+    /// Phase-3 time with the adaptive cooperative sort, ms.
+    pub adaptive_phase3_ms: f64,
+    /// Bucket imbalance measured on the collapsed input.
+    pub imbalance: f64,
+    /// Phase-3 time of the paper's algorithm on benign uniform data of
+    /// the same shape (the baseline for the blow-up factor).
+    pub benign_phase3_ms: f64,
+}
+
+/// Runs the splitter-collapse attack across array sizes: sampled
+/// positions all carry the minimum value, so every element lands in one
+/// bucket and the paper's single-thread insertion sort goes quadratic.
+pub fn run_adversarial(scale: f64) -> Vec<AdversarialRow> {
+    let num = scaled(10_000, scale);
+    [500usize, 1000, 2000]
+        .iter()
+        .map(|&n| {
+            let stride = (n / ArraySortConfig::default().samples_for(n)).max(1);
+            let mut batch = ArrayBatch::paper_uniform(0xADD, num, n);
+            for arr in batch.as_flat_mut().chunks_mut(n) {
+                for (i, v) in arr.iter_mut().enumerate() {
+                    if i % stride == 0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            let run = |cfg: ArraySortConfig, data: &ArrayBatch| {
+                let sorter = GpuArraySort::with_config(cfg).expect("valid");
+                let mut d = data.clone();
+                let mut gpu = k40c();
+                let stats = sorter.sort(&mut gpu, d.as_flat_mut(), n).expect("fits");
+                assert!(d.is_each_array_sorted());
+                stats
+            };
+            let paper = run(ArraySortConfig::default(), &batch);
+            let adaptive = run(
+                ArraySortConfig { adaptive_bucket_sort: true, ..Default::default() },
+                &batch,
+            );
+            let benign_batch = ArrayBatch::paper_uniform(0xBEB + n as u64, num, n);
+            let benign = run(ArraySortConfig::default(), &benign_batch);
+            AdversarialRow {
+                array_len: n,
+                paper_phase3_ms: paper.phase3_ms,
+                adaptive_phase3_ms: adaptive.phase3_ms,
+                imbalance: paper.balance.imbalance,
+                benign_phase3_ms: benign.phase3_ms,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_small_scale_has_monotone_measured_series() {
+        let r = run_fig2(0.002); // 100 arrays per point
+        assert_eq!(r.rows.len(), 10);
+        assert!(r.rows.windows(2).all(|w| w[0].measured_ms < w[1].measured_ms));
+        assert!(r.nrmse < 0.35, "Eq. 2 should track the measurement, NRMSE {}", r.nrmse);
+    }
+
+    #[test]
+    fn runtime_figure_small_scale_gas_beats_sta() {
+        let r = run_runtime_figure(1000, 0.01);
+        assert_eq!(r.rows.len(), 8);
+        for row in &r.rows {
+            assert!(row.speedup > 1.0, "GAS must beat STA at N={}", row.num_arrays);
+        }
+        // Both series grow with N.
+        assert!(r.rows.windows(2).all(|w| w[0].gas_ms < w[1].gas_ms));
+        assert!(r.rows.windows(2).all(|w| w[0].sta_ms < w[1].sta_ms));
+    }
+
+    #[test]
+    fn fig7_stops_at_150k() {
+        // Just the axis logic — no runs.
+        let capped: Vec<usize> =
+            FIG4TO7_N.iter().copied().filter(|&x| x <= FIG7_MAX_N).collect();
+        assert_eq!(capped.last(), Some(&150_000));
+    }
+
+    #[test]
+    fn table1_reproduces_capacity_shape() {
+        let rows = run_table1();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.ratio > 2.5, "GAS holds ≫ STA: n={} ratio {}", row.array_len, row.ratio);
+            // Within 2× of the paper's absolute numbers on both columns.
+            let gas_rel = row.gas_max_arrays as f64 / row.paper_gas as f64;
+            let sta_rel = row.sta_max_arrays as f64 / row.paper_sta as f64;
+            assert!((0.5..2.0).contains(&gas_rel), "n={}: {gas_rel}", row.array_len);
+            assert!((0.5..2.0).contains(&sta_rel), "n={}: {sta_rel}", row.array_len);
+        }
+        // Capacity decreases with n.
+        assert!(rows.windows(2).all(|w| w[0].gas_max_arrays > w[1].gas_max_arrays));
+    }
+
+    #[test]
+    fn table1_probe_confirms_boundary() {
+        let (fits, fails) = probe_table1_row(1000);
+        assert!(fits, "reported capacity must allocate");
+        assert!(fails, "5% above capacity must OOM");
+    }
+
+    #[test]
+    fn threads_ablation_shows_k1_fastest() {
+        let rows = run_threads_ablation(0.01);
+        assert_eq!(rows[0].threads_per_bucket, 1);
+        assert!(rows[1].phase2_ms > rows[0].phase2_ms);
+        assert!(rows[2].phase2_ms > rows[1].phase2_ms);
+    }
+
+    #[test]
+    fn beyond_shows_modern_baseline_winning() {
+        let rows = run_beyond(0.005);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.gas_ms < r.sta_ms, "paper's result holds at n={}", r.array_len);
+            assert!(r.segsort_ms < r.gas_ms, "modern segsort beats GAS at n={}", r.array_len);
+            assert!(r.capacity[2] > r.capacity[0], "and holds more data");
+        }
+    }
+
+    #[test]
+    fn baseline_sensitivity_is_monotone() {
+        let rows = run_baseline_sensitivity(0.005);
+        assert!(rows.windows(2).all(|w| w[0].ratio > w[1].ratio));
+        assert!(rows[0].ratio > 3.0, "paper-calibrated ratio");
+        assert!(rows.last().unwrap().ratio < 1.5, "structural-only Thrust would win or tie");
+    }
+
+    #[test]
+    fn skew_degrades_balance_but_not_correctness() {
+        let rows = run_skew(0.01);
+        let uniform = &rows[0];
+        // Smooth skew (normal/exponential/pareto) is largely absorbed by
+        // per-array regular sampling (quantiles adapt); heavy duplication
+        // is the case that genuinely defeats it.
+        let dup = rows.iter().find(|r| r.distribution.starts_with("few distinct")).unwrap();
+        assert!(
+            dup.imbalance > uniform.imbalance,
+            "duplicate-heavy data must degrade balance: {} vs {}",
+            dup.imbalance,
+            uniform.imbalance
+        );
+        for r in &rows {
+            assert!(r.imbalance < 60.0, "{}: imbalance stays bounded", r.distribution);
+        }
+    }
+
+    #[test]
+    fn device_sweep_scales_with_hardware() {
+        let rows = run_device_sweep(0.01);
+        let k40 = rows.iter().find(|r| r.device.contains("K40")).unwrap();
+        let k20 = rows.iter().find(|r| r.device.contains("K20")).unwrap();
+        assert!(k20.gas_kernel_ms > k40.gas_kernel_ms, "fewer SMs, lower clock → slower");
+        assert!(k20.gas_capacity < k40.gas_capacity, "less memory → smaller Table 1");
+        for r in &rows {
+            assert!(r.sm_imbalance < 1.4, "{}: block-per-array stays balanced", r.device);
+        }
+    }
+
+    #[test]
+    fn adversarial_attack_blows_up_paper_phase3_only() {
+        let rows = run_adversarial(0.01);
+        for r in &rows {
+            assert!(
+                r.paper_phase3_ms > 5.0 * r.benign_phase3_ms,
+                "collapse must hurt the paper's phase 3 at n={}: {} vs benign {}",
+                r.array_len,
+                r.paper_phase3_ms,
+                r.benign_phase3_ms
+            );
+            assert!(
+                r.adaptive_phase3_ms < r.paper_phase3_ms / 5.0,
+                "adaptive phase 3 must rescue it at n={}",
+                r.array_len
+            );
+            assert!(r.imbalance > 10.0, "the attack collapses buckets");
+        }
+    }
+
+    #[test]
+    fn merge_ablation_shows_a_real_tradeoff() {
+        let rows = run_merge_ablation(0.01);
+        for r in &rows {
+            assert!(r.merge_stage_ms > 0.0, "the merge stage costs something");
+            assert!(r.gas_p1p2_ms > 0.0);
+        }
+        // The merge stage grows with n (log p passes over n elements).
+        assert!(rows.last().unwrap().merge_stage_ms > rows[0].merge_stage_ms);
+    }
+
+    #[test]
+    fn outofcore_report_is_consistent() {
+        let r = run_outofcore(0.5);
+        assert!(r.dataset_bytes > r.device_bytes - 4 * 1024 * 1024);
+        assert!(r.chunks > 1);
+        assert!(r.pipelined_ms <= r.serial_ms);
+    }
+}

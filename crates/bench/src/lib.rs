@@ -1,0 +1,63 @@
+//! # bench — the reproduction harness
+//!
+//! One driver per table/figure of the paper (see [`experiments`]), plus
+//! result recording ([`report`]). The `repro-*` binaries wrap these and
+//! write artifacts into `results/`:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `repro-fig2` | Fig. 2 — measured vs. theoretical time vs. n |
+//! | `repro-fig4to7` | Figs. 4–7 — time vs. N, GPU-ArraySort vs. STA |
+//! | `repro-table1` | Table 1 — data-handling capacity |
+//! | `repro-ablations` | §5.1/§5.2 design-choice ablations |
+//! | `repro-outofcore` | §9 out-of-core extension |
+//! | `repro-all` | everything above in sequence |
+//!
+//! All binaries accept `--scale <f>` (default 0.05: N shrunk 20×; array
+//! sizes n are never scaled) and `--full` (paper-scale axes; slow on a
+//! laptop but exact).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+/// Parses the common `--scale`/`--full` CLI convention used by every
+/// repro binary; returns the scale factor.
+pub fn parse_scale(args: &[String], default_scale: f64) -> f64 {
+    let mut scale = default_scale;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => scale = 1.0,
+            "--scale" => {
+                if let Some(v) = it.next() {
+                    scale = v.parse().unwrap_or_else(|_| {
+                        eprintln!("bad --scale value {v:?}, using {default_scale}");
+                        default_scale
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(parse_scale(&s(&[]), 0.05), 0.05);
+        assert_eq!(parse_scale(&s(&["--full"]), 0.05), 1.0);
+        assert_eq!(parse_scale(&s(&["--scale", "0.2"]), 0.05), 0.2);
+        assert_eq!(parse_scale(&s(&["--scale", "junk"]), 0.05), 0.05);
+        assert_eq!(parse_scale(&s(&["--scale", "0.2", "--full"]), 0.05), 1.0);
+    }
+}

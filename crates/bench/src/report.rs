@@ -1,0 +1,113 @@
+//! Result recording: every experiment emits a JSON artifact (with the
+//! dataset descriptors needed to regenerate it) plus a markdown table on
+//! stdout, into `results/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Where experiment artifacts land (workspace `results/`, overridable for
+/// tests).
+pub fn default_out_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.join("results")
+}
+
+/// Serializes `value` as pretty JSON into `<out_dir>/<name>.json`.
+pub fn write_json<T: Serialize>(out_dir: &Path, name: &str, value: &T) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{name}.json"));
+    let mut f = fs::File::create(&path)?;
+    let body = serde_json::to_string_pretty(value).expect("serializable experiment result");
+    f.write_all(body.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
+/// Writes a CSV file from a header and stringified rows.
+pub fn write_csv(
+    out_dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(path)
+}
+
+/// Renders a markdown table (printed under each experiment's banner).
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("| {} |\n", header.join(" | ")));
+    s.push_str(&format!("|{}\n", "---|".repeat(header.len())));
+    for row in rows {
+        s.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    s
+}
+
+/// Pretty milliseconds.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 1000.0 {
+        format!("{:.2} s", ms / 1000.0)
+    } else {
+        format!("{ms:.1} ms")
+    }
+}
+
+/// Pretty large counts (1,234,567).
+pub fn fmt_count(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("|---|---|"));
+        assert!(t.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn counts_group_thousands() {
+        assert_eq!(fmt_count(1), "1");
+        assert_eq!(fmt_count(1234), "1,234");
+        assert_eq!(fmt_count(2_000_000), "2,000,000");
+    }
+
+    #[test]
+    fn ms_formatting_switches_units() {
+        assert_eq!(fmt_ms(12.34), "12.3 ms");
+        assert_eq!(fmt_ms(4321.0), "4.32 s");
+    }
+
+    #[test]
+    fn json_and_csv_round_trip() {
+        let dir = std::env::temp_dir().join("gas_report_test");
+        let p = write_json(&dir, "t", &vec![1, 2, 3]).unwrap();
+        assert!(fs::read_to_string(p).unwrap().contains('2'));
+        let p = write_csv(&dir, "t", &["x"], &[vec!["9".into()]]).unwrap();
+        assert_eq!(fs::read_to_string(p).unwrap(), "x\n9\n");
+    }
+}

@@ -1,0 +1,143 @@
+//! Hand-rolled argument parsing (keeping the dependency set to the
+//! approved list — no clap).
+
+use std::collections::HashMap;
+
+/// A parsed command line: the subcommand plus `--key value` options and
+/// bare `--flag`s.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Argument errors, printed with usage by `main`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    NoCommand,
+    /// A required option is absent.
+    Required(String),
+    /// An option failed to parse.
+    Invalid {
+        /// Option name.
+        key: String,
+        /// Offending value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::NoCommand => write!(f, "no subcommand given"),
+            ArgError::Required(k) => write!(f, "--{k} is required"),
+            ArgError::Invalid { key, value } => write!(f, "--{key}: cannot parse {value:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv[1..]`: a subcommand followed by `--key value` pairs
+    /// and boolean `--flags` (a `--key` followed by another `--…` or
+    /// nothing is a flag).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgError> {
+        let mut it = argv.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::NoCommand)?;
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        options.insert(key.to_string(), it.next().unwrap());
+                    }
+                    _ => flags.push(key.to_string()),
+                }
+            } else {
+                return Err(ArgError::Invalid { key: "<positional>".into(), value: a });
+            }
+        }
+        Ok(Self { command, options, flags })
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key).ok_or_else(|| ArgError::Required(key.to_string()))
+    }
+
+    /// A parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::Invalid {
+                key: key.to_string(),
+                value: v.to_string(),
+            }),
+        }
+    }
+
+    /// A required parsed option.
+    pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let v = self.require(key)?;
+        v.parse().map_err(|_| ArgError::Invalid { key: key.to_string(), value: v.to_string() })
+    }
+
+    /// True when `--flag` was present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = Args::parse(argv(&["sort", "--input", "x.bin", "--array-len", "100", "--verify"]))
+            .unwrap();
+        assert_eq!(a.command, "sort");
+        assert_eq!(a.get("input"), Some("x.bin"));
+        assert_eq!(a.require_parsed::<usize>("array-len").unwrap(), 100);
+        assert!(a.flag("verify"));
+        assert!(!a.flag("other"));
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert_eq!(Args::parse(argv(&[])).unwrap_err(), ArgError::NoCommand);
+    }
+
+    #[test]
+    fn trailing_key_becomes_a_flag() {
+        let a = Args::parse(argv(&["devices", "--json"])).unwrap();
+        assert!(a.flag("json"));
+    }
+
+    #[test]
+    fn required_and_invalid_errors() {
+        let a = Args::parse(argv(&["sort", "--n", "abc"])).unwrap();
+        assert!(matches!(a.require("input"), Err(ArgError::Required(_))));
+        assert!(matches!(a.require_parsed::<usize>("n"), Err(ArgError::Invalid { .. })));
+        assert_eq!(a.get_or("missing", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn stray_positional_is_rejected() {
+        assert!(Args::parse(argv(&["sort", "oops"])).is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! The subcommand implementations. Everything returns a plain `Result`
+//! so `main` owns process exit codes and the functions stay testable.
+
+use std::error::Error;
+use std::path::PathBuf;
+
+use array_sort::{cpu_ref, ArraySortConfig, GpuArraySort};
+use datagen::{ArrayBatch, Arrangement, Distribution};
+use gpu_sim::{DeviceSpec, Gpu};
+
+use crate::args::Args;
+use crate::io::{read_batch, write_batch, Format};
+
+type AnyError = Box<dyn Error>;
+
+/// Resolves `--device` to a preset.
+pub fn device_for(name: Option<&str>) -> Result<DeviceSpec, AnyError> {
+    Ok(match name.unwrap_or("k40c") {
+        "k40c" => DeviceSpec::tesla_k40c(),
+        "k20" => DeviceSpec::tesla_k20(),
+        "k80" => DeviceSpec::tesla_k80_die(),
+        "gtx980" => DeviceSpec::gtx_980(),
+        "test" => DeviceSpec::test_device(),
+        other => return Err(format!("unknown device {other:?} (k40c|k20|k80|gtx980|test)").into()),
+    })
+}
+
+/// Resolves `--dist` to a distribution.
+pub fn dist_for(name: Option<&str>) -> Result<Distribution, AnyError> {
+    Ok(match name.unwrap_or("uniform") {
+        "uniform" | "paper" => Distribution::PaperUniform,
+        "normal" => Distribution::Normal { mean: 0.0, std_dev: 1e6 },
+        "exponential" => Distribution::Exponential { lambda: 1e-6 },
+        "pareto" => Distribution::Pareto { scale: 1.0, alpha: 1.2 },
+        "constant" => Distribution::Constant(42.0),
+        "few-distinct" => Distribution::FewDistinct { k: 8 },
+        other => {
+            return Err(format!(
+                "unknown distribution {other:?} (uniform|normal|exponential|pareto|constant|few-distinct)"
+            )
+            .into())
+        }
+    })
+}
+
+/// `gas generate`: writes a seeded batch file.
+pub fn cmd_generate(args: &Args) -> Result<String, AnyError> {
+    let num: usize = args.require_parsed("num-arrays")?;
+    let n: usize = args.require_parsed("array-len")?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let out = PathBuf::from(args.require("output")?);
+    let format = Format::from_arg(args.get("format"), &out)?;
+    let dist = dist_for(args.get("dist"))?;
+    let batch = ArrayBatch::generate(seed, num, n, dist, Arrangement::Shuffled);
+    write_batch(&out, batch.as_flat(), n, format)?;
+    Ok(format!(
+        "wrote {num} arrays × {n} ({} MB) to {}",
+        batch.data_bytes() / 1_048_576,
+        out.display()
+    ))
+}
+
+/// `gas sort`: sorts a batch file with the chosen algorithm on the
+/// chosen simulated device, printing a timing/memory report.
+pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
+    let input = PathBuf::from(args.require("input")?);
+    let format = Format::from_arg(args.get("format"), &input)?;
+    let (mut data, csv_lens) = read_batch(&input, format)?;
+    if data.is_empty() {
+        return Err("input batch is empty".into());
+    }
+    let array_len: usize = match (args.get("array-len"), &csv_lens) {
+        (Some(v), _) => v.parse().map_err(|_| format!("bad --array-len {v:?}"))?,
+        (None, Some(lens)) if lens.windows(2).all(|w| w[0] == w[1]) => lens[0],
+        (None, _) => return Err("--array-len is required for this input".into()),
+    };
+    let algorithm = args.get("algorithm").unwrap_or("gas");
+    let spec = device_for(args.get("device"))?;
+    let mut gpu = Gpu::new(spec);
+    let original = data.clone();
+
+    let (label, total_ms, kernel_ms, peak) = match algorithm {
+        "gas" => {
+            let cfg = ArraySortConfig {
+                adaptive_bucket_sort: args.flag("adaptive"),
+                ..Default::default()
+            };
+            let s = GpuArraySort::with_config(cfg)?.sort(&mut gpu, &mut data, array_len)?;
+            ("GPU-ArraySort", s.total_ms(), s.kernel_ms(), s.peak_bytes)
+        }
+        "sta" => {
+            let s = thrust_sim::sta::sort_arrays(&mut gpu, &mut data, array_len)?;
+            ("STA (Thrust tagged)", s.total_ms(), s.kernel_ms(), s.peak_bytes)
+        }
+        "segsort" => {
+            let s = thrust_sim::segmented_sort(&mut gpu, &mut data, array_len)?;
+            ("modern segmented sort", s.total_ms(), s.kernel_ms, s.peak_bytes)
+        }
+        "merge" => {
+            let s = array_sort::merge_sort_arrays(
+                &mut gpu,
+                &mut data,
+                array_len,
+                &ArraySortConfig::default(),
+            )?;
+            ("m-way merge variant", s.total_ms(), s.kernel_ms(), s.peak_bytes)
+        }
+        other => return Err(format!("unknown algorithm {other:?} (gas|sta|segsort|merge)").into()),
+    };
+
+    if args.flag("verify") {
+        if let Some(bad) = cpu_ref::verify_against(&original, &data, array_len) {
+            return Err(format!("verification FAILED at array {bad}").into());
+        }
+    }
+    if let Some(out) = args.get("output") {
+        let out = PathBuf::from(out);
+        let ofmt = Format::from_arg(args.get("format"), &out)?;
+        write_batch(&out, &data, array_len, ofmt)?;
+    }
+
+    let report = serde_json::json!({
+        "algorithm": label,
+        "device": gpu.spec().name,
+        "num_arrays": data.len() / array_len,
+        "array_len": array_len,
+        "simulated_total_ms": total_ms,
+        "simulated_kernel_ms": kernel_ms,
+        "peak_device_bytes": peak,
+        "verified": args.flag("verify"),
+    });
+    if args.flag("json") {
+        Ok(serde_json::to_string_pretty(&report)?)
+    } else {
+        Ok(format!(
+            "{label} on {}: {} arrays × {array_len} sorted in {total_ms:.3} simulated ms \
+             (kernels {kernel_ms:.3} ms), peak device memory {:.1} MB{}",
+            gpu.spec().name,
+            data.len() / array_len,
+            peak as f64 / 1_048_576.0,
+            if args.flag("verify") { " — verified ✓" } else { "" }
+        ))
+    }
+}
+
+/// `gas devices`: lists the presets.
+pub fn cmd_devices(args: &Args) -> Result<String, AnyError> {
+    let specs = [
+        ("k40c", DeviceSpec::tesla_k40c()),
+        ("k20", DeviceSpec::tesla_k20()),
+        ("k80", DeviceSpec::tesla_k80_die()),
+        ("gtx980", DeviceSpec::gtx_980()),
+        ("test", DeviceSpec::test_device()),
+    ];
+    if args.flag("json") {
+        return Ok(serde_json::to_string_pretty(
+            &specs.iter().map(|(k, s)| (k, s.clone())).collect::<Vec<_>>(),
+        )?);
+    }
+    let mut out = format!(
+        "{:<8} {:<20} {:>4} {:>6} {:>10} {:>8}\n",
+        "id", "name", "SMs", "cores", "mem (MB)", "MHz"
+    );
+    for (id, s) in specs {
+        out.push_str(&format!(
+            "{:<8} {:<20} {:>4} {:>6} {:>10} {:>8}\n",
+            id,
+            s.name,
+            s.sm_count,
+            s.sm_count * s.cores_per_sm,
+            s.global_mem_bytes / 1_048_576,
+            s.clock_mhz
+        ));
+    }
+    Ok(out)
+}
+
+/// `gas capacity`: the Table-1 row for a device and array size.
+pub fn cmd_capacity(args: &Args) -> Result<String, AnyError> {
+    let n: usize = args.require_parsed("array-len")?;
+    let spec = device_for(args.get("device"))?;
+    let sorter = GpuArraySort::new();
+    let gas = sorter.max_arrays(&spec, n);
+    let sta = thrust_sim::sta::max_arrays(&spec, n as u64);
+    let seg = thrust_sim::segmented::max_arrays(&spec, n as u64);
+    Ok(format!(
+        "{} can hold arrays of {n} f32:\n  GPU-ArraySort   {gas}\n  STA (Thrust)    {sta}\n  segmented sort  {seg}",
+        spec.name
+    ))
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "gas — GPU-ArraySort reproduction CLI (simulated device)
+
+USAGE:
+  gas generate --num-arrays N --array-len n --output FILE
+               [--seed S] [--dist uniform|normal|exponential|pareto|constant|few-distinct]
+               [--format f32le|csv]
+  gas sort     --input FILE [--array-len n] [--algorithm gas|sta|segsort|merge]
+               [--device k40c|k20|k80|gtx980|test] [--adaptive] [--verify]
+               [--output FILE] [--json]
+  gas capacity --array-len n [--device ...]
+  gas devices  [--json]
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn run(cmdline: &[&str]) -> Result<String, AnyError> {
+        let args = Args::parse(cmdline.iter().map(|s| s.to_string())).unwrap();
+        match args.command.as_str() {
+            "generate" => cmd_generate(&args),
+            "sort" => cmd_sort(&args),
+            "devices" => cmd_devices(&args),
+            "capacity" => cmd_capacity(&args),
+            other => Err(format!("unknown command {other}").into()),
+        }
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir().join(format!("gas_cli_{name}")).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_sort_then_verify() {
+        let f = tmp("roundtrip.bin");
+        run(&["generate", "--num-arrays", "50", "--array-len", "100", "--output", &f]).unwrap();
+        let msg = run(&["sort", "--input", &f, "--array-len", "100", "--verify"]).unwrap();
+        assert!(msg.contains("verified ✓"), "{msg}");
+    }
+
+    #[test]
+    fn all_algorithms_run_and_verify() {
+        let f = tmp("algos.bin");
+        run(&["generate", "--num-arrays", "20", "--array-len", "64", "--output", &f]).unwrap();
+        for algo in ["gas", "sta", "segsort", "merge"] {
+            let msg = run(&[
+                "sort", "--input", &f, "--array-len", "64", "--algorithm", algo, "--verify",
+            ])
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(msg.contains("verified"), "{algo}: {msg}");
+        }
+    }
+
+    #[test]
+    fn csv_input_infers_array_len() {
+        let f = tmp("infer.csv");
+        run(&[
+            "generate", "--num-arrays", "4", "--array-len", "8", "--output", &f, "--format", "csv",
+        ])
+        .unwrap();
+        let msg = run(&["sort", "--input", &f, "--verify"]).unwrap();
+        assert!(msg.contains("4 arrays × 8"), "{msg}");
+    }
+
+    #[test]
+    fn json_report_is_valid() {
+        let f = tmp("json.bin");
+        run(&["generate", "--num-arrays", "5", "--array-len", "32", "--output", &f]).unwrap();
+        let msg = run(&["sort", "--input", &f, "--array-len", "32", "--json"]).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        assert_eq!(v["num_arrays"], 5);
+        assert!(v["simulated_total_ms"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sorted_output_file_is_written() {
+        let f = tmp("out_in.bin");
+        let o = tmp("out_sorted.bin");
+        run(&["generate", "--num-arrays", "3", "--array-len", "16", "--output", &f]).unwrap();
+        run(&["sort", "--input", &f, "--array-len", "16", "--output", &o]).unwrap();
+        let (sorted, _) = crate::io::read_batch(std::path::Path::new(&o), Format::F32le).unwrap();
+        assert!(cpu_ref::is_each_sorted(&sorted, 16));
+    }
+
+    #[test]
+    fn devices_and_capacity_commands() {
+        let d = run(&["devices"]).unwrap();
+        assert!(d.contains("Tesla K40c") && d.contains("GTX 980"));
+        let c = run(&["capacity", "--array-len", "1000"]).unwrap();
+        assert!(c.contains("GPU-ArraySort"), "{c}");
+        let c = run(&["capacity", "--array-len", "1000", "--device", "gtx980"]).unwrap();
+        assert!(c.contains("GTX 980"), "{c}");
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run(&["sort", "--input", "/nonexistent.bin"]).is_err());
+        let f = tmp("err.bin");
+        run(&["generate", "--num-arrays", "2", "--array-len", "4", "--output", &f]).unwrap();
+        assert!(run(&["sort", "--input", &f, "--array-len", "4", "--algorithm", "quantum"])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown algorithm"));
+        assert!(run(&["sort", "--input", &f, "--array-len", "4", "--device", "h100"])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown device"));
+    }
+
+    #[test]
+    fn distributions_parse() {
+        for d in ["uniform", "normal", "exponential", "pareto", "constant", "few-distinct"] {
+            assert!(dist_for(Some(d)).is_ok(), "{d}");
+        }
+        assert!(dist_for(Some("banana")).is_err());
+    }
+}

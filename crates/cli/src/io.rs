@@ -1,0 +1,150 @@
+//! Batch file I/O: raw little-endian `f32` binaries and CSV (one array
+//! per line).
+
+use std::fs;
+use std::io::{self, BufRead, BufWriter, Read, Write};
+use std::path::Path;
+
+/// On-disk format of a batch file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Raw little-endian `f32`, densely packed (needs `--array-len`).
+    F32le,
+    /// Text: one array per line, comma-separated values.
+    Csv,
+}
+
+impl Format {
+    /// Parses a `--format` value; `None` means infer from the extension.
+    pub fn from_arg(arg: Option<&str>, path: &Path) -> io::Result<Format> {
+        match arg {
+            Some("f32le") | Some("bin") => Ok(Format::F32le),
+            Some("csv") => Ok(Format::Csv),
+            Some(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown format {other:?} (expected f32le or csv)"),
+            )),
+            None => match path.extension().and_then(|e| e.to_str()) {
+                Some("csv") => Ok(Format::Csv),
+                _ => Ok(Format::F32le),
+            },
+        }
+    }
+}
+
+/// Reads a flat batch; CSV returns per-line lengths too (ragged-capable).
+pub fn read_batch(path: &Path, format: Format) -> io::Result<(Vec<f32>, Option<Vec<usize>>)> {
+    match format {
+        Format::F32le => {
+            let mut bytes = Vec::new();
+            fs::File::open(path)?.read_to_end(&mut bytes)?;
+            if !bytes.len().is_multiple_of(4) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{} bytes is not a whole number of f32s", bytes.len()),
+                ));
+            }
+            let data = bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            Ok((data, None))
+        }
+        Format::Csv => {
+            let f = io::BufReader::new(fs::File::open(path)?);
+            let mut data = Vec::new();
+            let mut lens = Vec::new();
+            for (lineno, line) in f.lines().enumerate() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let mut count = 0usize;
+                for tok in line.split(',') {
+                    let v: f32 = tok.trim().parse().map_err(|_| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("line {}: bad float {tok:?}", lineno + 1),
+                        )
+                    })?;
+                    data.push(v);
+                    count += 1;
+                }
+                lens.push(count);
+            }
+            Ok((data, Some(lens)))
+        }
+    }
+}
+
+/// Writes a flat batch; `array_len` shapes the CSV lines.
+pub fn write_batch(path: &Path, data: &[f32], array_len: usize, format: Format) -> io::Result<()> {
+    match format {
+        Format::F32le => {
+            let mut w = BufWriter::new(fs::File::create(path)?);
+            for v in data {
+                w.write_all(&v.to_le_bytes())?;
+            }
+            w.flush()
+        }
+        Format::Csv => {
+            let mut w = BufWriter::new(fs::File::create(path)?);
+            for arr in data.chunks(array_len.max(1)) {
+                let line: Vec<String> = arr.iter().map(|v| format!("{v}")).collect();
+                writeln!(w, "{}", line.join(","))?;
+            }
+            w.flush()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gas_cli_io_{name}"))
+    }
+
+    #[test]
+    fn f32le_round_trip() {
+        let p = tmp("a.bin");
+        let data = vec![1.5f32, -2.25, 0.0, 3.0e9];
+        write_batch(&p, &data, 2, Format::F32le).unwrap();
+        let (back, lens) = read_batch(&p, Format::F32le).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(lens, None);
+    }
+
+    #[test]
+    fn csv_round_trip_with_shapes() {
+        let p = tmp("b.csv");
+        let data = vec![3.0f32, 1.0, 2.0, 9.0, 8.0, 7.0];
+        write_batch(&p, &data, 3, Format::Csv).unwrap();
+        let (back, lens) = read_batch(&p, Format::Csv).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(lens, Some(vec![3, 3]));
+    }
+
+    #[test]
+    fn format_inference() {
+        assert_eq!(Format::from_arg(None, Path::new("x.csv")).unwrap(), Format::Csv);
+        assert_eq!(Format::from_arg(None, Path::new("x.bin")).unwrap(), Format::F32le);
+        assert_eq!(Format::from_arg(Some("csv"), Path::new("x.bin")).unwrap(), Format::Csv);
+        assert!(Format::from_arg(Some("exotic"), Path::new("x")).is_err());
+    }
+
+    #[test]
+    fn truncated_binary_is_rejected() {
+        let p = tmp("c.bin");
+        fs::write(&p, [0u8; 7]).unwrap();
+        assert!(read_batch(&p, Format::F32le).is_err());
+    }
+
+    #[test]
+    fn bad_csv_is_rejected() {
+        let p = tmp("d.csv");
+        fs::write(&p, "1.0,2.0\n3.0,banana\n").unwrap();
+        assert!(read_batch(&p, Format::Csv).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! `gas` — the GPU-ArraySort reproduction CLI.
+//!
+//! Generate seeded batch datasets, sort them with any of the four
+//! implemented algorithms on a simulated device, verify against the CPU
+//! oracle, and inspect device capacities. See `gas` with no arguments
+//! for usage.
+
+mod args;
+mod commands;
+mod io;
+
+use args::Args;
+use commands::{cmd_capacity, cmd_devices, cmd_generate, cmd_sort, usage};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "sort" => cmd_sort(&args),
+        "devices" => cmd_devices(&args),
+        "capacity" => cmd_capacity(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            return;
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage()).into()),
+    };
+    match result {
+        Ok(msg) => println!("{msg}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The batch container: N fixed-size arrays stored flat, the layout every
+//! kernel in the reproduction operates on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dist::{rng_for, Arrangement, Distribution};
+
+/// `num_arrays` arrays of `array_len` elements each, flattened
+/// row-major — array `i` occupies `data[i*array_len .. (i+1)*array_len]`.
+///
+/// This is the paper's set *I = {A₁ … A_N}* with |Aᵢ| = n.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayBatch {
+    data: Vec<f32>,
+    array_len: usize,
+}
+
+impl ArrayBatch {
+    /// Wraps pre-existing flat data. `data.len()` must be a multiple of
+    /// `array_len`.
+    pub fn from_flat(data: Vec<f32>, array_len: usize) -> Self {
+        assert!(array_len > 0, "array_len must be positive");
+        assert!(
+            data.len().is_multiple_of(array_len),
+            "flat length {} is not a multiple of array_len {}",
+            data.len(),
+            array_len
+        );
+        Self { data, array_len }
+    }
+
+    /// Generates a batch: `num_arrays × array_len` values drawn from
+    /// `dist`, then each array shaped by `arrangement`. Fully determined by
+    /// `seed`.
+    pub fn generate(
+        seed: u64,
+        num_arrays: usize,
+        array_len: usize,
+        dist: Distribution,
+        arrangement: Arrangement,
+    ) -> Self {
+        assert!(array_len > 0, "array_len must be positive");
+        let mut rng = rng_for(seed, 0);
+        let mut data = vec![0.0f32; num_arrays * array_len];
+        dist.fill(&mut rng, &mut data);
+        for arr in data.chunks_mut(array_len) {
+            arrangement.apply(&mut rng, arr);
+        }
+        Self { data, array_len }
+    }
+
+    /// The paper's workload: uniform floats in `[0, 2³¹−1)` (§7.2).
+    pub fn paper_uniform(seed: u64, num_arrays: usize, array_len: usize) -> Self {
+        Self::generate(seed, num_arrays, array_len, Distribution::PaperUniform, Arrangement::Shuffled)
+    }
+
+    /// Number of arrays (the paper's N).
+    pub fn num_arrays(&self) -> usize {
+        self.data.len() / self.array_len
+    }
+
+    /// Elements per array (the paper's n).
+    pub fn array_len(&self) -> usize {
+        self.array_len
+    }
+
+    /// Total elements (N × n).
+    pub fn total_elems(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The flat backing storage.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat storage (kernels and host pipelines sort in place).
+    pub fn as_flat_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the batch, returning the flat storage.
+    pub fn into_flat(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Array `i` as a slice.
+    pub fn array(&self, i: usize) -> &[f32] {
+        &self.data[i * self.array_len..(i + 1) * self.array_len]
+    }
+
+    /// Array `i` as a mutable slice.
+    pub fn array_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.array_len..(i + 1) * self.array_len]
+    }
+
+    /// Iterates over the arrays.
+    pub fn arrays(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks(self.array_len)
+    }
+
+    /// True when *every* array is ascending — the postcondition of the
+    /// paper's Definition 1.
+    pub fn is_each_array_sorted(&self) -> bool {
+        self.arrays().all(|a| a.windows(2).all(|w| w[0] <= w[1]))
+    }
+
+    /// Index of the first unsorted array, if any (diagnostics for tests).
+    pub fn first_unsorted_array(&self) -> Option<usize> {
+        self.arrays().position(|a| a.windows(2).any(|w| w[0] > w[1]))
+    }
+
+    /// A multiset fingerprint per array (sorted copy) used to assert a sort
+    /// permuted rather than corrupted the data.
+    pub fn sorted_reference(&self) -> Vec<Vec<f32>> {
+        self.arrays()
+            .map(|a| {
+                let mut v = a.to_vec();
+                v.sort_by(f32::total_cmp);
+                v
+            })
+            .collect()
+    }
+
+    /// Memory footprint of the raw data in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_has_requested_shape() {
+        let b = ArrayBatch::paper_uniform(1, 10, 50);
+        assert_eq!(b.num_arrays(), 10);
+        assert_eq!(b.array_len(), 50);
+        assert_eq!(b.total_elems(), 500);
+        assert_eq!(b.data_bytes(), 2000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ArrayBatch::paper_uniform(99, 5, 20);
+        let b = ArrayBatch::paper_uniform(99, 5, 20);
+        assert_eq!(a, b);
+        let c = ArrayBatch::paper_uniform(100, 5, 20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn array_accessors_agree_with_flat_layout() {
+        let b = ArrayBatch::from_flat((0..12).map(|x| x as f32).collect(), 4);
+        assert_eq!(b.array(1), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(b.arrays().count(), 3);
+    }
+
+    #[test]
+    fn sortedness_check_is_per_array() {
+        // Each array sorted, but boundaries descend: still "sorted".
+        let b = ArrayBatch::from_flat(vec![5.0, 6.0, 1.0, 2.0], 2);
+        assert!(b.is_each_array_sorted());
+        assert_eq!(b.first_unsorted_array(), None);
+        let b = ArrayBatch::from_flat(vec![1.0, 2.0, 9.0, 3.0], 2);
+        assert!(!b.is_each_array_sorted());
+        assert_eq!(b.first_unsorted_array(), Some(1));
+    }
+
+    #[test]
+    fn sorted_reference_is_per_array_multiset() {
+        let b = ArrayBatch::from_flat(vec![3.0, 1.0, 2.0, 9.0, 8.0, 7.0], 3);
+        let r = b.sorted_reference();
+        assert_eq!(r, vec![vec![1.0, 2.0, 3.0], vec![7.0, 8.0, 9.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn from_flat_rejects_ragged_length() {
+        ArrayBatch::from_flat(vec![1.0; 7], 3);
+    }
+
+    #[test]
+    fn sorted_arrangement_presorts_every_array() {
+        let b = ArrayBatch::generate(
+            4,
+            20,
+            30,
+            Distribution::PaperUniform,
+            Arrangement::Sorted,
+        );
+        assert!(b.is_each_array_sorted());
+    }
+}

@@ -1,0 +1,76 @@
+//! Serializable dataset descriptors.
+//!
+//! The bench harness records, next to every measured row, the exact recipe
+//! of the dataset it ran on; re-running the descriptor regenerates the
+//! dataset bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::batch::ArrayBatch;
+use crate::dist::{Arrangement, Distribution};
+
+/// A complete, reproducible recipe for one [`ArrayBatch`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetDescriptor {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of arrays (paper's N).
+    pub num_arrays: usize,
+    /// Elements per array (paper's n).
+    pub array_len: usize,
+    /// Value distribution.
+    pub dist: Distribution,
+    /// Per-array arrangement.
+    pub arrangement: Arrangement,
+}
+
+impl DatasetDescriptor {
+    /// The paper's experimental recipe (§7.2): uniform floats in
+    /// `[0, 2³¹−1)`, shuffled.
+    pub fn paper(seed: u64, num_arrays: usize, array_len: usize) -> Self {
+        Self {
+            seed,
+            num_arrays,
+            array_len,
+            dist: Distribution::PaperUniform,
+            arrangement: Arrangement::Shuffled,
+        }
+    }
+
+    /// Materializes the dataset.
+    pub fn generate(&self) -> ArrayBatch {
+        ArrayBatch::generate(self.seed, self.num_arrays, self.array_len, self.dist, self.arrangement)
+    }
+
+    /// Raw data size in bytes (before any algorithm overhead).
+    pub fn data_bytes(&self) -> u64 {
+        (self.num_arrays * self.array_len * std::mem::size_of::<f32>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_regenerates_identical_data() {
+        let d = DatasetDescriptor::paper(5, 8, 16);
+        assert_eq!(d.generate(), d.generate());
+        assert_eq!(d.data_bytes(), 8 * 16 * 4);
+    }
+
+    #[test]
+    fn descriptor_round_trips_through_serde() {
+        let d = DatasetDescriptor {
+            seed: 9,
+            num_arrays: 3,
+            array_len: 7,
+            dist: Distribution::Normal { mean: 1.0, std_dev: 2.0 },
+            arrangement: Arrangement::NearlySorted { swaps: 2 },
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DatasetDescriptor = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(back.generate(), d.generate());
+    }
+}

@@ -1,0 +1,237 @@
+//! Value distributions for synthetic workloads.
+//!
+//! The paper's experiments draw every element uniformly from
+//! `[0, 2³¹ − 1)`; that is [`Distribution::PaperUniform`]. The other
+//! distributions exercise the splitter-selection machinery under skew —
+//! regular sampling assumes approximate uniformity, so skewed inputs are
+//! where bucket balance (and with it the load balance the paper touts)
+//! degrades. Samplers are hand-rolled (Box–Muller, inverse-CDF) to stay
+//! within the approved dependency set.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A reproducible value distribution over `f32`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Uniform over `[0, 2³¹ − 1)` — the paper's exact setup (§7.2).
+    PaperUniform,
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f32,
+        /// Exclusive upper bound.
+        hi: f32,
+    },
+    /// Gaussian via Box–Muller.
+    Normal {
+        /// Mean of the distribution.
+        mean: f32,
+        /// Standard deviation.
+        std_dev: f32,
+    },
+    /// Exponential with rate `lambda` (heavy head, long tail).
+    Exponential {
+        /// Rate parameter; larger = more concentrated near zero.
+        lambda: f32,
+    },
+    /// Pareto-style power law: `x = scale / U^(1/alpha)`; very heavy tail,
+    /// the adversarial case for regular sampling.
+    Pareto {
+        /// Scale (minimum value).
+        scale: f32,
+        /// Tail exponent; smaller = heavier tail.
+        alpha: f32,
+    },
+    /// All elements equal — degenerate buckets, duplicate-handling check.
+    Constant(f32),
+    /// Only `k` distinct values, uniformly chosen (many ties).
+    FewDistinct {
+        /// Number of distinct values.
+        k: u32,
+    },
+}
+
+impl Distribution {
+    /// Draws one value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f32 {
+        match *self {
+            Distribution::PaperUniform => rng.gen_range(0.0..2_147_483_647.0f64) as f32,
+            Distribution::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            Distribution::Normal { mean, std_dev } => {
+                // Box–Muller transform.
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                mean + std_dev * z as f32
+            }
+            Distribution::Exponential { lambda } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                (-u.ln() as f32) / lambda
+            }
+            Distribution::Pareto { scale, alpha } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                scale * (u.powf(-1.0 / alpha as f64)) as f32
+            }
+            Distribution::Constant(v) => v,
+            Distribution::FewDistinct { k } => rng.gen_range(0..k.max(1)) as f32,
+        }
+    }
+
+    /// Fills `out` with samples.
+    pub fn fill<R: Rng>(&self, rng: &mut R, out: &mut [f32]) {
+        for v in out {
+            *v = self.sample(rng);
+        }
+    }
+}
+
+/// Structural arrangement applied *after* sampling each array — the
+/// presortedness cases every sorting paper gets asked about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Arrangement {
+    /// Leave values in sampled (random) order.
+    Shuffled,
+    /// Each array already ascending (best case for insertion sort).
+    Sorted,
+    /// Each array descending (worst case for insertion sort).
+    Reversed,
+    /// Sorted, then `swaps` random transpositions per array.
+    NearlySorted {
+        /// Random transpositions applied per array.
+        swaps: u32,
+    },
+}
+
+impl Arrangement {
+    /// Applies the arrangement to one array in place.
+    pub fn apply<R: Rng>(&self, rng: &mut R, arr: &mut [f32]) {
+        match *self {
+            Arrangement::Shuffled => {}
+            Arrangement::Sorted => arr.sort_by(f32::total_cmp),
+            Arrangement::Reversed => {
+                arr.sort_by(f32::total_cmp);
+                arr.reverse();
+            }
+            Arrangement::NearlySorted { swaps } => {
+                arr.sort_by(f32::total_cmp);
+                if arr.len() >= 2 {
+                    for _ in 0..swaps {
+                        let i = rng.gen_range(0..arr.len());
+                        let j = rng.gen_range(0..arr.len());
+                        arr.swap(i, j);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic RNG for a `(seed, stream)` pair; every generator in this
+/// crate routes through this so datasets are reproducible across runs and
+/// machines.
+pub fn rng_for(seed: u64, stream: u64) -> ChaCha8Rng {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.set_stream(stream);
+    rng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_uniform_stays_in_range() {
+        let mut rng = rng_for(7, 0);
+        for _ in 0..10_000 {
+            let v = Distribution::PaperUniform.sample(&mut rng);
+            assert!((0.0..2.147_483_6e9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a: Vec<f32> =
+            (0..100).map(|_| Distribution::PaperUniform.sample(&mut rng_for(1, 0))).collect();
+        let b: Vec<f32> =
+            (0..100).map(|_| Distribution::PaperUniform.sample(&mut rng_for(1, 0))).collect();
+        assert_eq!(a, b);
+        let mut r1 = rng_for(1, 0);
+        let mut r2 = rng_for(2, 0);
+        assert_ne!(
+            Distribution::PaperUniform.sample(&mut r1),
+            Distribution::PaperUniform.sample(&mut r2)
+        );
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut r0 = rng_for(1, 0);
+        let mut r1 = rng_for(1, 1);
+        let a: Vec<f32> = (0..10).map(|_| Distribution::PaperUniform.sample(&mut r0)).collect();
+        let b: Vec<f32> = (0..10).map(|_| Distribution::PaperUniform.sample(&mut r1)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn normal_matches_moments_roughly() {
+        let mut rng = rng_for(42, 0);
+        let d = Distribution::Normal { mean: 10.0, std_dev: 2.0 };
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_is_nonnegative_and_skewed() {
+        let mut rng = rng_for(3, 0);
+        let d = Distribution::Exponential { lambda: 1.0 };
+        let samples: Vec<f32> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x >= 0.0));
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "exp(1) mean ≈ 1, got {mean}");
+    }
+
+    #[test]
+    fn pareto_has_heavy_tail() {
+        let mut rng = rng_for(3, 0);
+        let d = Distribution::Pareto { scale: 1.0, alpha: 1.1 };
+        let samples: Vec<f32> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x >= 1.0));
+        let max = samples.iter().copied().fold(0.0f32, f32::max);
+        assert!(max > 100.0, "heavy tail should produce large outliers, max {max}");
+    }
+
+    #[test]
+    fn few_distinct_produces_ties() {
+        let mut rng = rng_for(3, 0);
+        let d = Distribution::FewDistinct { k: 4 };
+        let samples: Vec<f32> = (0..1000).map(|_| d.sample(&mut rng)).collect();
+        let mut distinct: Vec<u32> = samples.iter().map(|&x| x as u32).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 4);
+    }
+
+    #[test]
+    fn arrangements_shape_arrays() {
+        let mut rng = rng_for(5, 0);
+        let mut arr: Vec<f32> = (0..100).map(|_| Distribution::PaperUniform.sample(&mut rng)).collect();
+        let mut sorted = arr.clone();
+        Arrangement::Sorted.apply(&mut rng, &mut sorted);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut rev = arr.clone();
+        Arrangement::Reversed.apply(&mut rng, &mut rev);
+        assert!(rev.windows(2).all(|w| w[0] >= w[1]));
+        let mut nearly = arr.clone();
+        Arrangement::NearlySorted { swaps: 3 }.apply(&mut rng, &mut nearly);
+        let inversions = nearly.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions <= 12, "few swaps leave few inversions, got {inversions}");
+        Arrangement::Shuffled.apply(&mut rng, &mut arr); // no-op, must not panic
+    }
+}

@@ -1,0 +1,200 @@
+//! Synthetic mass-spectrometry spectra.
+//!
+//! The paper's motivating workload (§1, §4) is proteomics: a dataset is a
+//! large number of spectra, each a list of up to ~4000 peaks, where a peak
+//! is an (m/z, intensity) pair; downstream algorithms need each spectrum
+//! sorted by intensity or by m/z. The authors' experiments use uniform
+//! random floats, but we also generate spectra that *look* like MS data —
+//! peptide-like m/z clusters, log-normal intensities, a noise floor — so
+//! the examples exercise the API on the domain the paper targets.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::batch::ArrayBatch;
+use crate::dist::rng_for;
+
+/// One mass spectrum: parallel peak lists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spectrum {
+    /// Mass-to-charge ratio of each peak (Daltons/charge).
+    pub mz: Vec<f32>,
+    /// Detected intensity of each peak (arbitrary units).
+    pub intensity: Vec<f32>,
+}
+
+impl Spectrum {
+    /// Number of peaks.
+    pub fn num_peaks(&self) -> usize {
+        self.mz.len()
+    }
+}
+
+/// Parameters of the synthetic spectrum generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MassSpecConfig {
+    /// Peaks per spectrum (the paper caps at ~4000 including noise).
+    pub peaks_per_spectrum: usize,
+    /// Fraction of peaks that are background noise rather than fragment
+    /// signal (noise gets low intensity and uniform m/z).
+    pub noise_fraction: f32,
+    /// m/z range of the instrument.
+    pub mz_range: (f32, f32),
+    /// Number of "fragment series" per spectrum; signal peaks cluster near
+    /// these ladders the way b/y ions do.
+    pub fragment_series: usize,
+}
+
+impl Default for MassSpecConfig {
+    fn default() -> Self {
+        Self {
+            peaks_per_spectrum: 2000,
+            noise_fraction: 0.6,
+            mz_range: (100.0, 2000.0),
+            fragment_series: 12,
+        }
+    }
+}
+
+/// Generates `count` spectra deterministically from `seed`.
+pub fn generate_spectra(seed: u64, count: usize, cfg: &MassSpecConfig) -> Vec<Spectrum> {
+    let mut rng = rng_for(seed, 0xBEEF);
+    (0..count).map(|_| generate_one(&mut rng, cfg)).collect()
+}
+
+fn generate_one<R: Rng>(rng: &mut R, cfg: &MassSpecConfig) -> Spectrum {
+    let n = cfg.peaks_per_spectrum;
+    let (lo, hi) = cfg.mz_range;
+    let mut mz = Vec::with_capacity(n);
+    let mut intensity = Vec::with_capacity(n);
+
+    // Fragment ladders: evenly spaced anchor masses with jitter, mimicking
+    // residue-mass steps of peptide fragment series.
+    let anchors: Vec<f32> = (0..cfg.fragment_series.max(1))
+        .map(|_| rng.gen_range(lo..hi))
+        .collect();
+
+    let noise_count = (n as f32 * cfg.noise_fraction).round() as usize;
+    let signal_count = n - noise_count;
+
+    for i in 0..signal_count {
+        let anchor = anchors[i % anchors.len()];
+        // Isotope-envelope-like cluster: ±3 Da around the anchor.
+        let m = (anchor + rng.gen_range(-3.0..3.0)).clamp(lo, hi);
+        // Log-normal-ish intensity: strong peaks are rare.
+        let u: f32 = rng.gen_range(0.0f32..1.0);
+        let inten = 1000.0 * (-4.0 * u).exp() * rng.gen_range(0.5..1.5) + 50.0;
+        mz.push(m);
+        intensity.push(inten);
+    }
+    for _ in 0..noise_count {
+        mz.push(rng.gen_range(lo..hi));
+        intensity.push(rng.gen_range(1.0..60.0));
+    }
+    Spectrum { mz, intensity }
+}
+
+/// Which peak attribute to sort spectra by — the two orders the paper's
+/// §1 says proteomics pipelines need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpectrumKey {
+    /// Sort peaks by mass-to-charge ratio.
+    Mz,
+    /// Sort peaks by intensity.
+    Intensity,
+}
+
+/// Packs spectra into the flat fixed-size [`ArrayBatch`] the sorter
+/// consumes, taking the chosen key of each peak. Spectra shorter than
+/// `array_len` are padded with `f32::INFINITY` (sorts to the end, easy to
+/// strip); longer ones are truncated to their `array_len` highest-intensity
+/// peaks first, mirroring the peak-picking preprocessors cite by the paper.
+pub fn spectra_to_batch(spectra: &[Spectrum], key: SpectrumKey, array_len: usize) -> ArrayBatch {
+    let mut flat = Vec::with_capacity(spectra.len() * array_len);
+    for s in spectra {
+        let values: Vec<f32> = match key {
+            SpectrumKey::Mz => s.mz.clone(),
+            SpectrumKey::Intensity => s.intensity.clone(),
+        };
+        let mut keep = if values.len() > array_len {
+            // Keep the top-intensity peaks, like MS-REDUCE-style reduction.
+            let mut idx: Vec<usize> = (0..values.len()).collect();
+            idx.sort_by(|&a, &b| s.intensity[b].total_cmp(&s.intensity[a]));
+            idx.truncate(array_len);
+            idx.into_iter().map(|i| values[i]).collect()
+        } else {
+            values
+        };
+        keep.resize(array_len, f32::INFINITY);
+        flat.extend_from_slice(&keep);
+    }
+    ArrayBatch::from_flat(flat, array_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectra_are_deterministic() {
+        let cfg = MassSpecConfig::default();
+        let a = generate_spectra(11, 3, &cfg);
+        let b = generate_spectra(11, 3, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spectra_have_configured_shape() {
+        let cfg = MassSpecConfig { peaks_per_spectrum: 500, ..Default::default() };
+        let s = generate_spectra(1, 4, &cfg);
+        assert_eq!(s.len(), 4);
+        assert!(s.iter().all(|sp| sp.num_peaks() == 500));
+        assert!(s.iter().all(|sp| sp.mz.len() == sp.intensity.len()));
+    }
+
+    #[test]
+    fn mz_stays_in_instrument_range() {
+        let cfg = MassSpecConfig::default();
+        let s = generate_spectra(2, 2, &cfg);
+        let (lo, hi) = cfg.mz_range;
+        for sp in &s {
+            assert!(sp.mz.iter().all(|&m| (lo..=hi).contains(&m)));
+        }
+    }
+
+    #[test]
+    fn intensity_distribution_is_skewed() {
+        let cfg = MassSpecConfig::default();
+        let s = &generate_spectra(3, 1, &cfg)[0];
+        let mut v = s.intensity.clone();
+        v.sort_by(f32::total_cmp);
+        let median = v[v.len() / 2];
+        let max = v[v.len() - 1];
+        assert!(max > 4.0 * median, "MS intensities are long-tailed: max {max}, median {median}");
+    }
+
+    #[test]
+    fn batch_packing_pads_short_spectra() {
+        let sp = vec![Spectrum { mz: vec![5.0, 1.0], intensity: vec![10.0, 20.0] }];
+        let batch = spectra_to_batch(&sp, SpectrumKey::Mz, 4);
+        assert_eq!(batch.array(0), &[5.0, 1.0, f32::INFINITY, f32::INFINITY]);
+    }
+
+    #[test]
+    fn batch_packing_truncates_by_top_intensity() {
+        let sp = vec![Spectrum {
+            mz: vec![1.0, 2.0, 3.0, 4.0],
+            intensity: vec![5.0, 100.0, 1.0, 50.0],
+        }];
+        let batch = spectra_to_batch(&sp, SpectrumKey::Mz, 2);
+        // Highest-intensity peaks are mz=2 (100) and mz=4 (50).
+        assert_eq!(batch.array(0), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn intensity_key_selects_intensity() {
+        let sp = vec![Spectrum { mz: vec![1.0], intensity: vec![42.0] }];
+        let batch = spectra_to_batch(&sp, SpectrumKey::Intensity, 1);
+        assert_eq!(batch.array(0), &[42.0]);
+    }
+}

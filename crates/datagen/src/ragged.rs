@@ -1,0 +1,153 @@
+//! Ragged (variable-length) batches in CSR layout, for the ragged-sort
+//! extension: real spectra are not fixed-size, and padding to the maximum
+//! (as [`crate::mass_spec::spectra_to_batch`] does) wastes memory the
+//! CSR form does not.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dist::{rng_for, Distribution};
+use crate::mass_spec::{Spectrum, SpectrumKey};
+
+/// Variable-length arrays stored flat with CSR offsets:
+/// `data[offsets[i]..offsets[i+1]]` is array `i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RaggedBatch {
+    data: Vec<f32>,
+    offsets: Vec<usize>,
+}
+
+impl RaggedBatch {
+    /// Wraps existing CSR data. Offsets must start at 0, be non-decreasing
+    /// and end at `data.len()`.
+    pub fn from_csr(data: Vec<f32>, offsets: Vec<usize>) -> Self {
+        assert!(offsets.first() == Some(&0), "offsets must start at 0");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be non-decreasing");
+        assert_eq!(*offsets.last().unwrap(), data.len(), "offsets must cover the data");
+        Self { data, offsets }
+    }
+
+    /// Generates `num_arrays` arrays with lengths uniform in
+    /// `[min_len, max_len]` and values from `dist`. Deterministic in
+    /// `seed`.
+    pub fn generate(
+        seed: u64,
+        num_arrays: usize,
+        min_len: usize,
+        max_len: usize,
+        dist: Distribution,
+    ) -> Self {
+        assert!(min_len <= max_len, "min_len must not exceed max_len");
+        let mut rng = rng_for(seed, 0xCA7);
+        let mut offsets = Vec::with_capacity(num_arrays + 1);
+        offsets.push(0usize);
+        for _ in 0..num_arrays {
+            let len = rng.gen_range(min_len..=max_len);
+            offsets.push(offsets.last().unwrap() + len);
+        }
+        let mut data = vec![0.0f32; *offsets.last().unwrap()];
+        dist.fill(&mut rng, &mut data);
+        Self { data, offsets }
+    }
+
+    /// Number of arrays.
+    pub fn num_arrays(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total elements.
+    pub fn total_elems(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The CSR offsets.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat data.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn as_flat_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Array `i`.
+    pub fn array(&self, i: usize) -> &[f32] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// True when every segment ascends.
+    pub fn is_each_array_sorted(&self) -> bool {
+        (0..self.num_arrays()).all(|i| self.array(i).windows(2).all(|w| w[0] <= w[1]))
+    }
+
+    /// Mean array length.
+    pub fn mean_len(&self) -> f64 {
+        if self.num_arrays() == 0 {
+            0.0
+        } else {
+            self.total_elems() as f64 / self.num_arrays() as f64
+        }
+    }
+}
+
+/// Packs spectra into a ragged batch (no padding, no truncation) taking
+/// the chosen key of every peak — the memory-exact counterpart of
+/// [`crate::mass_spec::spectra_to_batch`].
+pub fn spectra_to_ragged(spectra: &[Spectrum], key: SpectrumKey) -> RaggedBatch {
+    let mut data = Vec::new();
+    let mut offsets = vec![0usize];
+    for s in spectra {
+        match key {
+            SpectrumKey::Mz => data.extend_from_slice(&s.mz),
+            SpectrumKey::Intensity => data.extend_from_slice(&s.intensity),
+        }
+        offsets.push(data.len());
+    }
+    RaggedBatch { data, offsets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mass_spec::{generate_spectra, MassSpecConfig};
+
+    #[test]
+    fn generation_is_deterministic_and_ragged() {
+        let a = RaggedBatch::generate(3, 50, 10, 200, Distribution::PaperUniform);
+        let b = RaggedBatch::generate(3, 50, 10, 200, Distribution::PaperUniform);
+        assert_eq!(a, b);
+        assert_eq!(a.num_arrays(), 50);
+        let lens: Vec<usize> = (0..50).map(|i| a.array(i).len()).collect();
+        assert!(lens.iter().any(|&l| l != lens[0]), "lengths should vary");
+        assert!(lens.iter().all(|&l| (10..=200).contains(&l)));
+    }
+
+    #[test]
+    fn csr_validation() {
+        let b = RaggedBatch::from_csr(vec![1.0, 2.0, 3.0], vec![0, 1, 3]);
+        assert_eq!(b.array(0), &[1.0]);
+        assert_eq!(b.array(1), &[2.0, 3.0]);
+        assert!((b.mean_len() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the data")]
+    fn csr_rejects_short_offsets() {
+        RaggedBatch::from_csr(vec![1.0, 2.0], vec![0, 1]);
+    }
+
+    #[test]
+    fn spectra_pack_without_padding() {
+        let cfg = MassSpecConfig { peaks_per_spectrum: 100, ..Default::default() };
+        let spectra = generate_spectra(8, 5, &cfg);
+        let ragged = spectra_to_ragged(&spectra, SpectrumKey::Intensity);
+        assert_eq!(ragged.num_arrays(), 5);
+        assert_eq!(ragged.total_elems(), 500, "exactly the peaks, no padding");
+        assert_eq!(ragged.array(2), spectra[2].intensity.as_slice());
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared-memory bank-conflict analysis.
+//!
+//! Kepler shared memory is striped across 32 four-byte banks; a warp
+//! access completes in as many passes as the most-contended bank (lanes
+//! reading the *same word* broadcast for free). The hot path charges a
+//! flat conflict-free cost ([`crate::cost::CostModel::shared_access`]);
+//! this analyzer is the ground truth for validating kernels' layouts in
+//! tests — e.g. the Phase-2 staging writes are conflict-prone when bucket
+//! cursors collide modulo 32, which is one reason the paper sizes buckets
+//! at ≥ 20 elements.
+
+use std::collections::HashMap;
+
+/// Number of banks on Kepler-class parts.
+pub const NUM_BANKS: u32 = 32;
+/// Bank word width, bytes.
+pub const BANK_WIDTH: u32 = 4;
+
+/// Degree of conflict of one warp-wide shared-memory access: the number
+/// of serialized passes (1 = conflict-free, 32 = fully serialized).
+/// Lanes touching the *same word* count once (broadcast).
+pub fn conflict_degree(byte_addrs: &[u64]) -> u32 {
+    let mut per_bank: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &a in byte_addrs {
+        let word = a / BANK_WIDTH as u64;
+        let bank = word % NUM_BANKS as u64;
+        let words = per_bank.entry(bank).or_default();
+        if !words.contains(&word) {
+            words.push(word);
+        }
+    }
+    per_bank.values().map(|w| w.len() as u32).max().unwrap_or(1).max(1)
+}
+
+/// Conflict degree of a strided warp access (`lane i` touches byte
+/// `base + i · stride_bytes`) — the common pattern to check.
+pub fn strided_conflict_degree(base: u64, stride_bytes: u64, warp_size: u32) -> u32 {
+    let addrs: Vec<u64> = (0..warp_size as u64).map(|i| base + i * stride_bytes).collect();
+    conflict_degree(&addrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_is_conflict_free() {
+        assert_eq!(strided_conflict_degree(0, 4, 32), 1);
+    }
+
+    #[test]
+    fn stride_two_words_gives_two_way_conflicts() {
+        assert_eq!(strided_conflict_degree(0, 8, 32), 2);
+    }
+
+    #[test]
+    fn stride_32_words_fully_serializes() {
+        assert_eq!(strided_conflict_degree(0, 128, 32), 32);
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        let addrs = vec![64u64; 32];
+        assert_eq!(conflict_degree(&addrs), 1, "same word broadcasts");
+    }
+
+    #[test]
+    fn same_bank_different_words_conflict() {
+        // Lanes 0 and 1 hit bank 0 at different words.
+        let addrs = vec![0u64, 128];
+        assert_eq!(conflict_degree(&addrs), 2);
+    }
+
+    #[test]
+    fn odd_strides_avoid_conflicts() {
+        // Classic padding trick: stride of 33 words is conflict-free.
+        assert_eq!(strided_conflict_degree(0, 33 * 4, 32), 1);
+    }
+
+    #[test]
+    fn empty_access_is_degree_one() {
+        assert_eq!(conflict_degree(&[]), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! The cycle cost model.
+//!
+//! Kernels written against the simulator perform *real* data movement in
+//! host memory and, alongside it, charge cycles to their
+//! [`ThreadCtx`](crate::block::ThreadCtx)
+//! (see [`crate::block`]). The charges use the constants here, so the whole
+//! performance model is swept by constructing a different [`CostModel`].
+//!
+//! The model is a throughput model in the SIMT style:
+//!
+//! * every charge is per *thread*; the block executor folds threads into
+//!   warps (lockstep: a warp costs as much as its slowest thread) and warps
+//!   into SM issue slots;
+//! * global memory cost is expressed per warp-level *transaction* (one
+//!   128-byte segment fetch) and amortized back to the threads according to
+//!   the declared [`AccessPattern`];
+//! * latency hiding is implicit: costs are issue/throughput costs, and the
+//!   `global_latency` term is only charged for serial, single-warp phases
+//!   where nothing can hide it (e.g. the paper's one-thread-per-block
+//!   splitter-selection kernel).
+
+use serde::{Deserialize, Serialize};
+
+/// How a warp touches global memory in one access. The pattern determines
+/// how many 128-byte transactions the warp issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Consecutive threads read consecutive elements: the warp's accesses
+    /// land in `warp_size * elem_size / seg_bytes` segments (≥ 1).
+    Coalesced,
+    /// Consecutive threads are separated by `stride` elements; the warp
+    /// spreads over proportionally more segments.
+    Strided(u32),
+    /// Every thread hits an unrelated address: one transaction per thread.
+    Scattered,
+    /// All threads of the warp read the same address (broadcast): a single
+    /// transaction serves the warp regardless of element size.
+    Broadcast,
+    /// A single active lane walking consecutive addresses (the paper's
+    /// one-thread-per-block Phase 1): each 128-byte line is fetched once
+    /// and then served from L2 for the following elements, but the lone
+    /// lane cannot pipeline fetches the way a full warp can — charged as a
+    /// 4× serialization penalty over the segment count.
+    SingleLaneSequential,
+}
+
+/// Cycle costs for the primitive operations kernels charge.
+///
+/// Defaults approximate a Kepler-class part and were calibrated so that the
+/// end-to-end shapes of the paper's figures reproduce (see EXPERIMENTS.md);
+/// absolute milliseconds are not the target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// One arithmetic / compare / move instruction.
+    pub alu: f64,
+    /// One shared-memory access (bank-conflict-free).
+    pub shared_access: f64,
+    /// Issue cost of one 128-byte global-memory transaction, per warp.
+    pub global_txn: f64,
+    /// Exposed global-memory latency charged to serial code that cannot
+    /// hide it (used via [`crate::block::ThreadCtx::charge_global_serial`]).
+    pub global_latency: f64,
+    /// One global atomic RMW (contended atomics cost more in reality; the
+    /// simulator charges a flat worst-ish case).
+    pub atomic_global: f64,
+    /// One shared-memory atomic RMW.
+    pub atomic_shared: f64,
+    /// Cost of a `__syncthreads()` barrier, per warp.
+    pub sync: f64,
+    /// Extra cycles charged per divergent-branch event (both sides of the
+    /// branch execute for the warp).
+    pub divergence: f64,
+    /// Size of a global-memory transaction segment in bytes.
+    pub seg_bytes: u32,
+    /// Empirical per-element, per-pass cycle cost of the 2016-era Thrust
+    /// stable radix sort on Kepler, charged by `thrust-sim`'s kernels on
+    /// top of the structural transaction model. Calibrated so the STA
+    /// baseline's end-to-end throughput matches what the paper *measured*
+    /// (§7.2 implies ≈25 M elements/s on the K40c — far below Thrust's
+    /// architectural peak, consistent with the paper's weak baseline
+    /// usage). Sweeping this is the "stronger baseline" ablation.
+    pub thrust_elem_cycles: f64,
+    /// Per-element, per-pass cycle cost of a *modern* shared-memory block
+    /// radix sort (CUB `DeviceSegmentedSort` / bb_segsort class),
+    /// calibrated to ≈1 G elements/s end-to-end on a Kepler part for ~10³
+    /// element segments — the beyond-the-paper baseline in `thrust-sim`'s
+    /// `segmented` module.
+    pub modern_segsort_elem_cycles: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            alu: 1.0,
+            shared_access: 2.0,
+            global_txn: 32.0,
+            global_latency: 350.0,
+            atomic_global: 48.0,
+            atomic_shared: 8.0,
+            sync: 8.0,
+            divergence: 4.0,
+            seg_bytes: 128,
+            thrust_elem_cycles: 5_200.0,
+            modern_segsort_elem_cycles: 500.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Number of 128-byte transactions a full warp of `warp_size` threads
+    /// issues for one access of `elem_bytes`-sized elements under `pattern`.
+    pub fn warp_transactions(&self, pattern: AccessPattern, elem_bytes: u32, warp_size: u32) -> u32 {
+        let seg = self.seg_bytes.max(1);
+        match pattern {
+            AccessPattern::Coalesced => {
+                // Contiguous span of warp_size * elem_bytes bytes.
+                div_ceil_u32(warp_size.saturating_mul(elem_bytes).max(1), seg)
+            }
+            AccessPattern::Strided(stride) => {
+                let stride = stride.max(1);
+                let span = warp_size.saturating_mul(elem_bytes).saturating_mul(stride).max(1);
+                div_ceil_u32(span, seg).min(warp_size)
+            }
+            AccessPattern::Scattered => warp_size,
+            AccessPattern::Broadcast => 1,
+            AccessPattern::SingleLaneSequential => {
+                div_ceil_u32(warp_size.saturating_mul(elem_bytes).max(1), seg)
+                    .saturating_mul(4)
+                    .min(warp_size)
+            }
+        }
+    }
+
+    /// Per-thread amortized cost (cycles) of one global access under
+    /// `pattern`: the warp's transaction bill divided across its threads.
+    pub fn global_cost_per_elem(&self, pattern: AccessPattern, elem_bytes: u32, warp_size: u32) -> f64 {
+        let txns = self.warp_transactions(pattern, elem_bytes, warp_size);
+        self.global_txn * txns as f64 / warp_size as f64
+    }
+}
+
+fn div_ceil_u32(a: u32, b: u32) -> u32 {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: u32 = 32;
+
+    #[test]
+    fn coalesced_f32_warp_is_one_transaction() {
+        let m = CostModel::default();
+        // 32 threads * 4 bytes = 128 bytes = exactly one segment.
+        assert_eq!(m.warp_transactions(AccessPattern::Coalesced, 4, W), 1);
+    }
+
+    #[test]
+    fn coalesced_f64_warp_is_two_transactions() {
+        let m = CostModel::default();
+        assert_eq!(m.warp_transactions(AccessPattern::Coalesced, 8, W), 2);
+    }
+
+    #[test]
+    fn scattered_is_one_transaction_per_thread() {
+        let m = CostModel::default();
+        assert_eq!(m.warp_transactions(AccessPattern::Scattered, 4, W), 32);
+    }
+
+    #[test]
+    fn strided_interpolates_and_saturates() {
+        let m = CostModel::default();
+        let s2 = m.warp_transactions(AccessPattern::Strided(2), 4, W);
+        let s8 = m.warp_transactions(AccessPattern::Strided(8), 4, W);
+        let s64 = m.warp_transactions(AccessPattern::Strided(64), 4, W);
+        assert_eq!(s2, 2);
+        assert_eq!(s8, 8);
+        assert_eq!(s64, 32, "stride past segment size saturates at warp_size");
+        assert!(s2 < s8 && s8 <= s64);
+    }
+
+    #[test]
+    fn broadcast_is_single_transaction() {
+        let m = CostModel::default();
+        assert_eq!(m.warp_transactions(AccessPattern::Broadcast, 4, W), 1);
+        assert_eq!(m.warp_transactions(AccessPattern::Broadcast, 8, W), 1);
+    }
+
+    #[test]
+    fn per_elem_cost_orders_patterns() {
+        let m = CostModel::default();
+        let c = m.global_cost_per_elem(AccessPattern::Coalesced, 4, W);
+        let s = m.global_cost_per_elem(AccessPattern::Strided(4), 4, W);
+        let x = m.global_cost_per_elem(AccessPattern::Scattered, 4, W);
+        assert!(c < s && s < x, "coalesced {c} < strided {s} < scattered {x}");
+        assert!((x - m.global_txn).abs() < 1e-12, "scattered pays a full txn per element");
+    }
+
+    #[test]
+    fn single_lane_sequential_sits_between_coalesced_and_scattered() {
+        let m = CostModel::default();
+        let c = m.global_cost_per_elem(AccessPattern::Coalesced, 4, W);
+        let l = m.global_cost_per_elem(AccessPattern::SingleLaneSequential, 4, W);
+        let x = m.global_cost_per_elem(AccessPattern::Scattered, 4, W);
+        assert!(c < l && l < x, "{c} < {l} < {x}");
+        assert_eq!(m.warp_transactions(AccessPattern::SingleLaneSequential, 4, W), 4);
+        // Wide elements saturate at warp_size like everything else.
+        assert!(m.warp_transactions(AccessPattern::SingleLaneSequential, 256, W) <= W);
+    }
+
+    #[test]
+    fn stride_one_equals_coalesced() {
+        let m = CostModel::default();
+        assert_eq!(
+            m.warp_transactions(AccessPattern::Strided(1), 4, W),
+            m.warp_transactions(AccessPattern::Coalesced, 4, W)
+        );
+    }
+}

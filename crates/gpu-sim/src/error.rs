@@ -1,0 +1,90 @@
+//! Error types for the simulator.
+
+use std::fmt;
+
+/// Errors surfaced by the simulator. Capacity errors are first-class because
+/// the paper's Table 1 (data-handling capacity) is produced by driving each
+/// algorithm into `OutOfMemory`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A device allocation did not fit in the remaining global memory.
+    OutOfMemory {
+        /// Bytes the allocation asked for.
+        requested: u64,
+        /// Bytes still available on the device.
+        available: u64,
+    },
+    /// A kernel declared more shared memory per block than the device has.
+    SharedMemOverflow {
+        /// Bytes the kernel wants per block.
+        requested: u32,
+        /// Shared-memory capacity of one block.
+        available: u32,
+    },
+    /// The launch configuration violates a device limit.
+    InvalidLaunch {
+        /// Human-readable reason (e.g. block dim over the device max).
+        reason: String,
+    },
+    /// A host↔device copy's length did not match the destination extent.
+    TransferSizeMismatch {
+        /// Elements in the source.
+        src_len: usize,
+        /// Elements in the destination.
+        dst_len: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { requested, available } => write!(
+                f,
+                "device out of memory: requested {requested} B, {available} B available"
+            ),
+            SimError::SharedMemOverflow { requested, available } => write!(
+                f,
+                "shared memory overflow: kernel wants {requested} B/block, device has {available} B"
+            ),
+            SimError::InvalidLaunch { reason } => write!(f, "invalid launch: {reason}"),
+            SimError::TransferSizeMismatch { src_len, dst_len } => write!(
+                f,
+                "transfer size mismatch: src has {src_len} elements, dst has {dst_len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias used across the simulator.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SimError::OutOfMemory { requested: 100, available: 10 };
+        assert!(e.to_string().contains("requested 100"));
+        let e = SimError::SharedMemOverflow { requested: 50_000, available: 49_152 };
+        assert!(e.to_string().contains("49152"));
+        let e = SimError::InvalidLaunch { reason: "block_dim 2048 > 1024".into() };
+        assert!(e.to_string().contains("2048"));
+        let e = SimError::TransferSizeMismatch { src_len: 3, dst_len: 4 };
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SimError::OutOfMemory { requested: 1, available: 0 },
+            SimError::OutOfMemory { requested: 1, available: 0 }
+        );
+        assert_ne!(
+            SimError::OutOfMemory { requested: 1, available: 0 },
+            SimError::OutOfMemory { requested: 2, available: 0 }
+        );
+    }
+}

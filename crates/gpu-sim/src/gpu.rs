@@ -1,0 +1,542 @@
+//! The device handle: allocation, transfers, kernel launches and the
+//! simulated clock.
+
+use std::sync::Arc;
+
+use rayon::prelude::*;
+
+use crate::block::BlockCtx;
+use crate::cost::CostModel;
+use crate::error::{SimError, SimResult};
+use crate::memory::{DeviceBuffer, MemoryLedger};
+use crate::spec::DeviceSpec;
+use crate::stats::{Counters, KernelStats, Timeline, TransferDir, TransferStats};
+use crate::stream::{AsyncEvent, AsyncState, Engine, EventId, StreamId};
+
+/// Launch geometry for a kernel, mirroring `<<<grid, block, shared>>>`.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchConfig {
+    /// Number of blocks.
+    pub grid_dim: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Dynamic shared memory the kernel will allocate per block, in bytes.
+    /// Validated against the device before any block runs.
+    pub shared_mem_bytes: u32,
+}
+
+impl LaunchConfig {
+    /// Grid of `grid_dim` blocks × `block_dim` threads, no shared memory
+    /// declared (kernels that use [`BlockCtx::shared_array`] should declare
+    /// their worst-case bytes via [`LaunchConfig::with_shared`]).
+    pub fn grid(grid_dim: u32, block_dim: u32) -> Self {
+        Self { grid_dim, block_dim, shared_mem_bytes: 0 }
+    }
+
+    /// Adds a per-block shared-memory declaration.
+    pub fn with_shared(mut self, bytes: u32) -> Self {
+        self.shared_mem_bytes = bytes;
+        self
+    }
+}
+
+/// A simulated GPU: owns the memory ledger, the cost model and the clock.
+///
+/// ```
+/// use gpu_sim::{Gpu, DeviceSpec, LaunchConfig};
+///
+/// let mut gpu = Gpu::new(DeviceSpec::test_device());
+/// let buf = gpu.htod_copy(&[3u32, 1, 2]).unwrap();
+/// let view = buf.view();
+/// gpu.launch("double", LaunchConfig::grid(1, 3), |block| {
+///     block.threads(|t| {
+///         let i = t.global_idx();
+///         t.charge_global(2, 4, gpu_sim::AccessPattern::Coalesced);
+///         view.set(i, view.get(i) * 2);
+///     });
+/// })
+/// .unwrap();
+/// let mut buf = buf;
+/// assert_eq!(gpu.dtoh_copy(&mut buf), vec![6, 2, 4]);
+/// assert!(gpu.elapsed_ms() > 0.0);
+/// ```
+pub struct Gpu {
+    spec: DeviceSpec,
+    cost: CostModel,
+    ledger: Arc<MemoryLedger>,
+    elapsed_ms: f64,
+    timeline: Timeline,
+    async_state: AsyncState,
+    current_stream: Option<StreamId>,
+}
+
+impl Gpu {
+    /// Creates a device with the default cost model.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self::with_cost_model(spec, CostModel::default())
+    }
+
+    /// Creates a device with an explicit cost model (for sweeps/ablations).
+    pub fn with_cost_model(spec: DeviceSpec, cost: CostModel) -> Self {
+        let ledger = Arc::new(MemoryLedger::new(spec.usable_mem_bytes()));
+        Self {
+            spec,
+            cost,
+            ledger,
+            elapsed_ms: 0.0,
+            timeline: Timeline::default(),
+            async_state: AsyncState::default(),
+            current_stream: None,
+        }
+    }
+
+    /// The device description.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The active cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The allocation ledger (used bytes, peak, capacity).
+    pub fn ledger(&self) -> &MemoryLedger {
+        &self.ledger
+    }
+
+    /// Simulated time elapsed since construction or [`Gpu::reset_clock`].
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_ms
+    }
+
+    /// Everything launched/copied so far.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Zeroes the clock and clears the timeline; the memory ledger (and its
+    /// peak) is left untouched because allocations may outlive the reset.
+    /// Pending asynchronous work is synchronized first.
+    pub fn reset_clock(&mut self) {
+        self.synchronize();
+        self.elapsed_ms = 0.0;
+        self.timeline = Timeline::default();
+        self.async_state.clear_events();
+    }
+
+    /// Creates a stream (like `cudaStreamCreate`). Work issued while the
+    /// stream is active ([`Gpu::set_stream`]) is scheduled asynchronously:
+    /// kernels occupy the compute engine, copies occupy their direction's
+    /// DMA engine, and operations on *different* streams overlap across
+    /// engines. Call [`Gpu::synchronize`] to advance the clock to
+    /// completion.
+    pub fn create_stream(&mut self) -> StreamId {
+        self.async_state.create_stream(self.elapsed_ms)
+    }
+
+    /// Makes subsequent operations issue on `stream` (pass `None` to
+    /// return to the default, synchronous stream — which synchronizes
+    /// outstanding async work first, like CUDA's legacy default stream).
+    pub fn set_stream(&mut self, stream: Option<StreamId>) {
+        if stream.is_none() {
+            self.synchronize();
+        }
+        self.current_stream = stream;
+    }
+
+    /// Blocks (advances the simulated clock) until all engines and streams
+    /// are idle, like `cudaDeviceSynchronize`. Returns the new elapsed
+    /// time.
+    pub fn synchronize(&mut self) -> f64 {
+        if self.async_state.has_streams() {
+            self.elapsed_ms = self.async_state.quiesce_time(self.elapsed_ms);
+        }
+        self.elapsed_ms
+    }
+
+    /// Scheduled asynchronous operations (for overlap inspection).
+    pub fn async_events(&self) -> &[AsyncEvent] {
+        self.async_state.events()
+    }
+
+    /// Records an event capturing all work queued so far on `stream`
+    /// (like `cudaEventRecord`).
+    pub fn record_event(&mut self, stream: StreamId) -> EventId {
+        self.async_state.record_event(stream, self.elapsed_ms)
+    }
+
+    /// Makes `stream` wait for `event` before running any later work
+    /// (like `cudaStreamWaitEvent`) — the cross-stream dependency
+    /// primitive producer/consumer pipelines need.
+    pub fn stream_wait_event(&mut self, stream: StreamId, event: EventId) {
+        self.async_state.stream_wait_event(stream, event);
+    }
+
+    /// Completion time of a recorded event, simulated ms.
+    pub fn event_time(&self, event: EventId) -> f64 {
+        self.async_state.event_time(event)
+    }
+
+    /// Allocates an uninitialized-by-convention (actually zeroed) device
+    /// buffer of `len` elements.
+    pub fn alloc<T: Copy + Default>(&self, len: usize) -> SimResult<DeviceBuffer<T>> {
+        DeviceBuffer::zeroed(self.ledger.clone(), len)
+    }
+
+    /// Allocates a device buffer and copies `host` into it, charging PCIe
+    /// transfer time (`cudaMemcpy` H→D).
+    pub fn htod_copy<T: Copy + Default>(&mut self, host: &[T]) -> SimResult<DeviceBuffer<T>> {
+        let buf = DeviceBuffer::from_host(self.ledger.clone(), host)?;
+        self.charge_transfer(TransferDir::HtoD, buf.size_bytes());
+        Ok(buf)
+    }
+
+    /// Overwrites an existing device buffer from `host` (sizes must match),
+    /// charging transfer time.
+    pub fn htod_into<T: Copy>(&mut self, host: &[T], dst: &mut DeviceBuffer<T>) -> SimResult<()> {
+        if host.len() != dst.len() {
+            return Err(SimError::TransferSizeMismatch { src_len: host.len(), dst_len: dst.len() });
+        }
+        dst.as_mut_slice().copy_from_slice(host);
+        self.charge_transfer(TransferDir::HtoD, std::mem::size_of_val(host) as u64);
+        Ok(())
+    }
+
+    /// Copies a device buffer back to the host, charging transfer time
+    /// (`cudaMemcpy` D→H).
+    pub fn dtoh_copy<T: Clone>(&mut self, buf: &mut DeviceBuffer<T>) -> Vec<T> {
+        self.charge_transfer(TransferDir::DtoH, buf.size_bytes());
+        buf.to_host_vec()
+    }
+
+    /// Copies a device buffer into an existing host slice, charging transfer
+    /// time.
+    pub fn dtoh_into<T: Copy>(&mut self, buf: &mut DeviceBuffer<T>, host: &mut [T]) -> SimResult<()> {
+        if host.len() != buf.len() {
+            return Err(SimError::TransferSizeMismatch { src_len: buf.len(), dst_len: host.len() });
+        }
+        host.copy_from_slice(buf.as_slice());
+        self.charge_transfer(TransferDir::DtoH, std::mem::size_of_val(host) as u64);
+        Ok(())
+    }
+
+    fn charge_transfer(&mut self, direction: TransferDir, bytes: u64) {
+        let time_ms = self.spec.transfer_ms(bytes);
+        if let Some(stream) = self.current_stream {
+            let (engine, name) = match direction {
+                TransferDir::HtoD => (Engine::HtoD, "htod"),
+                TransferDir::DtoH => (Engine::DtoH, "dtoh"),
+            };
+            self.async_state.schedule(name, stream, engine, self.elapsed_ms, time_ms);
+        } else {
+            self.elapsed_ms += time_ms;
+        }
+        self.timeline.transfers.push(TransferStats { direction, bytes, time_ms });
+    }
+
+    /// Launches `kernel` over `cfg.grid_dim` blocks.
+    ///
+    /// Blocks execute in parallel on host cores (rayon), but the timing
+    /// model is deterministic: block `b` is queued on SM `b % sm_count`, a
+    /// block's cycles come from its phase/warp folds (see
+    /// [`crate::block::BlockCtx`]), and the kernel's cycle count is the
+    /// busiest SM's total. Returns the launch's [`KernelStats`] (also
+    /// appended to the timeline).
+    pub fn launch<F>(&mut self, name: &str, cfg: LaunchConfig, kernel: F) -> SimResult<KernelStats>
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        self.validate(&cfg)?;
+        let sm_count = self.spec.sm_count as usize;
+        let warp_slots = self.spec.warp_slots();
+        let warp_size = self.spec.warp_size;
+        let shared_cap = if cfg.shared_mem_bytes > 0 {
+            cfg.shared_mem_bytes
+        } else {
+            self.spec.shared_mem_per_block
+        };
+        let cost = &self.cost;
+
+        let agg = (0..cfg.grid_dim)
+            .into_par_iter()
+            .fold(
+                || LaunchAgg::new(sm_count),
+                |mut agg, block_idx| {
+                    let mut ctx = BlockCtx::new(
+                        block_idx,
+                        cfg.grid_dim,
+                        cfg.block_dim,
+                        warp_size,
+                        warp_slots,
+                        shared_cap,
+                        cost,
+                    );
+                    kernel(&mut ctx);
+                    let (cycles, counters) = ctx.finish();
+                    agg.sm_cycles[block_idx as usize % sm_count] += cycles;
+                    agg.max_block = agg.max_block.max(cycles);
+                    agg.counters.merge(&counters);
+                    agg
+                },
+            )
+            .reduce(|| LaunchAgg::new(sm_count), LaunchAgg::merge);
+
+        let cycles = *agg.sm_cycles.iter().max().unwrap_or(&0);
+        let busy: u64 = agg.sm_cycles.iter().sum();
+        let mean = busy as f64 / sm_count as f64;
+        let sm_imbalance = if mean > 0.0 { cycles as f64 / mean } else { 1.0 };
+        let time_ms = self.spec.cycles_to_ms(cycles) + self.spec.kernel_launch_us / 1_000.0;
+
+        let occ = crate::occupancy::occupancy(
+            &self.spec,
+            &crate::occupancy::KernelResources::new(cfg.block_dim, cfg.shared_mem_bytes),
+        );
+        let stats = KernelStats {
+            name: name.to_string(),
+            grid_dim: cfg.grid_dim,
+            block_dim: cfg.block_dim,
+            cycles,
+            time_ms,
+            counters: agg.counters,
+            sm_imbalance,
+            max_block_cycles: agg.max_block,
+            occupancy: occ.fraction,
+        };
+        if let Some(stream) = self.current_stream {
+            self.async_state.schedule(name, stream, Engine::Compute, self.elapsed_ms, time_ms);
+        } else {
+            self.elapsed_ms += time_ms;
+        }
+        self.timeline.kernels.push(stats.clone());
+        Ok(stats)
+    }
+
+    fn validate(&self, cfg: &LaunchConfig) -> SimResult<()> {
+        if cfg.grid_dim == 0 {
+            return Err(SimError::InvalidLaunch { reason: "grid_dim must be > 0".into() });
+        }
+        if cfg.block_dim == 0 {
+            return Err(SimError::InvalidLaunch { reason: "block_dim must be > 0".into() });
+        }
+        if cfg.block_dim > self.spec.max_threads_per_block {
+            return Err(SimError::InvalidLaunch {
+                reason: format!(
+                    "block_dim {} exceeds device max {}",
+                    cfg.block_dim, self.spec.max_threads_per_block
+                ),
+            });
+        }
+        if cfg.shared_mem_bytes > self.spec.shared_mem_per_block {
+            return Err(SimError::SharedMemOverflow {
+                requested: cfg.shared_mem_bytes,
+                available: self.spec.shared_mem_per_block,
+            });
+        }
+        Ok(())
+    }
+}
+
+struct LaunchAgg {
+    sm_cycles: Vec<u64>,
+    counters: Counters,
+    max_block: u64,
+}
+
+impl LaunchAgg {
+    fn new(sm_count: usize) -> Self {
+        Self { sm_cycles: vec![0; sm_count], counters: Counters::default(), max_block: 0 }
+    }
+
+    fn merge(mut self, other: Self) -> Self {
+        for (a, b) in self.sm_cycles.iter_mut().zip(&other.sm_cycles) {
+            *a += b;
+        }
+        self.counters.merge(&other.counters);
+        self.max_block = self.max_block.max(other.max_block);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AccessPattern;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceSpec::test_device())
+    }
+
+    #[test]
+    fn launch_runs_every_thread_once() {
+        let mut g = gpu();
+        let buf = g.alloc::<u32>(8 * 16).unwrap();
+        let view = buf.view();
+        g.launch("fill", LaunchConfig::grid(8, 16), |block| {
+            block.threads(|t| {
+                view.set(t.global_idx(), t.global_idx() as u32 + 1);
+            });
+        })
+        .unwrap();
+        let mut buf = buf;
+        let host = buf.to_host_vec();
+        assert!(host.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
+    fn launch_time_is_deterministic() {
+        let run = || {
+            let mut g = gpu();
+            let buf = g.alloc::<u32>(1024).unwrap();
+            let view = buf.view();
+            g.launch("work", LaunchConfig::grid(32, 32), |block| {
+                block.threads(|t| {
+                    t.charge_global(3, 4, AccessPattern::Coalesced);
+                    t.charge_alu((t.tid as u64 % 7) * 10);
+                    view.set(t.global_idx(), t.tid);
+                });
+            })
+            .unwrap()
+            .cycles
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "parallel execution must not change the cycle count");
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn more_blocks_cost_more_time() {
+        let mut g = gpu();
+        let small = g
+            .launch("w", LaunchConfig::grid(4, 32), |b| b.threads(|t| t.charge_alu(100)))
+            .unwrap();
+        let large = g
+            .launch("w", LaunchConfig::grid(64, 32), |b| b.threads(|t| t.charge_alu(100)))
+            .unwrap();
+        assert!(large.cycles > small.cycles);
+    }
+
+    #[test]
+    fn launch_validation_errors() {
+        let mut g = gpu();
+        let err = g.launch("bad", LaunchConfig::grid(0, 32), |_| {}).unwrap_err();
+        assert!(matches!(err, SimError::InvalidLaunch { .. }));
+        let err = g.launch("bad", LaunchConfig::grid(1, 0), |_| {}).unwrap_err();
+        assert!(matches!(err, SimError::InvalidLaunch { .. }));
+        let err = g.launch("bad", LaunchConfig::grid(1, 512), |_| {}).unwrap_err();
+        assert!(matches!(err, SimError::InvalidLaunch { .. }), "256 is the test device's max");
+        let err = g
+            .launch("bad", LaunchConfig::grid(1, 32).with_shared(64 * 1024), |_| {})
+            .unwrap_err();
+        assert!(matches!(err, SimError::SharedMemOverflow { .. }));
+    }
+
+    #[test]
+    fn transfers_charge_time_and_appear_in_timeline() {
+        let mut g = gpu();
+        let data = vec![1.0f32; 1024];
+        let mut buf = g.htod_copy(&data).unwrap();
+        let back = g.dtoh_copy(&mut buf);
+        assert_eq!(back.len(), 1024);
+        assert_eq!(g.timeline().transfers.len(), 2);
+        assert_eq!(g.timeline().htod_bytes(), 4096);
+        assert!(g.elapsed_ms() >= 2.0 * 0.01, "two latency floors");
+    }
+
+    #[test]
+    fn htod_into_rejects_size_mismatch() {
+        let mut g = gpu();
+        let mut buf = g.alloc::<u32>(4).unwrap();
+        let err = g.htod_into(&[1u32, 2, 3], &mut buf).unwrap_err();
+        assert_eq!(err, SimError::TransferSizeMismatch { src_len: 3, dst_len: 4 });
+    }
+
+    #[test]
+    fn dtoh_into_round_trips() {
+        let mut g = gpu();
+        let mut buf = g.htod_copy(&[9u32, 8, 7]).unwrap();
+        let mut host = [0u32; 3];
+        g.dtoh_into(&mut buf, &mut host).unwrap();
+        assert_eq!(host, [9, 8, 7]);
+    }
+
+    #[test]
+    fn oom_is_reported_with_sizes() {
+        let g = gpu(); // 64 MiB - 4 MiB reserve = 60 MiB usable
+        let err = g.alloc::<u8>(61 * 1024 * 1024).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn ledger_peak_visible_through_gpu() {
+        let g = gpu();
+        {
+            let _a = g.alloc::<u8>(1024).unwrap();
+            let _b = g.alloc::<u8>(2048).unwrap();
+            assert_eq!(g.ledger().used(), 3072);
+        }
+        assert_eq!(g.ledger().used(), 0);
+        assert_eq!(g.ledger().peak(), 3072);
+    }
+
+    #[test]
+    fn reset_clock_clears_timeline_not_ledger() {
+        let mut g = gpu();
+        let _buf = g.htod_copy(&[1u32, 2]).unwrap();
+        assert!(g.elapsed_ms() > 0.0);
+        g.reset_clock();
+        assert_eq!(g.elapsed_ms(), 0.0);
+        assert!(g.timeline().transfers.is_empty());
+        assert_eq!(g.ledger().used(), 8);
+    }
+
+    #[test]
+    fn sm_imbalance_reported() {
+        let mut g = gpu();
+        // 1 block on a 2-SM device: the other SM idles => imbalance = 2.
+        let s = g
+            .launch("lone", LaunchConfig::grid(1, 32), |b| b.threads(|t| t.charge_alu(100)))
+            .unwrap();
+        assert!((s.sm_imbalance - 2.0).abs() < 1e-9);
+        // Even block count => balanced.
+        let s = g
+            .launch("even", LaunchConfig::grid(4, 32), |b| b.threads(|t| t.charge_alu(100)))
+            .unwrap();
+        assert!((s.sm_imbalance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launch_reports_occupancy() {
+        let mut g = gpu();
+        let s = g
+            .launch("occ", LaunchConfig::grid(4, 256), |b| b.threads(|t| t.charge_alu(1)))
+            .unwrap();
+        // Test device: 16 max warps/SM, 256 threads = 8 warps, 8 blocks max
+        // → warp-limited at 2 blocks = 16 warps = full occupancy.
+        assert!((s.occupancy - 1.0).abs() < 1e-12, "got {}", s.occupancy);
+        let s = g
+            .launch("occ_shared", LaunchConfig::grid(4, 32).with_shared(16 * 1024), |b| {
+                b.threads(|t| t.charge_alu(1))
+            })
+            .unwrap();
+        // 16 KB shared per block on a 16 KB/SM device → 1 block = 1 warp.
+        assert!((s.occupancy - 1.0 / 16.0).abs() < 1e-12, "got {}", s.occupancy);
+    }
+
+    #[test]
+    fn atomics_work_across_blocks() {
+        let mut g = gpu();
+        let buf = g.alloc::<u32>(1).unwrap();
+        let view = buf.view();
+        g.launch("count", LaunchConfig::grid(16, 32), |block| {
+            block.threads(|t| {
+                t.charge_atomic_global(1);
+                view.atomic_u32_slot(0).fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        })
+        .unwrap();
+        let mut buf = buf;
+        assert_eq!(buf.to_host_vec()[0], 16 * 32);
+    }
+}

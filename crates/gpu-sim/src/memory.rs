@@ -1,0 +1,388 @@
+//! Device global memory: the allocation ledger, typed device buffers, and
+//! the unsafe-but-disciplined cross-block view used by kernels.
+//!
+//! Every [`DeviceBuffer`] allocation is charged against the device's usable
+//! capacity and released on drop, so the ledger reproduces the
+//! out-of-memory wall the paper's Table 1 measures. Buffers carry real
+//! host-side storage — kernels move real data — while the *accounting* is
+//! what models the GPU.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{SimError, SimResult};
+
+/// Shared allocation ledger for one device. Thread-safe; buffers hold an
+/// `Arc` to it so they can release their bytes when dropped.
+#[derive(Debug)]
+pub struct MemoryLedger {
+    capacity: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+    allocs: AtomicU64,
+}
+
+impl MemoryLedger {
+    /// Creates a ledger with `capacity` usable bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: AtomicU64::new(0), peak: AtomicU64::new(0), allocs: AtomicU64::new(0) }
+    }
+
+    /// Attempts to reserve `bytes`; fails with [`SimError::OutOfMemory`]
+    /// when the device is full.
+    pub fn reserve(&self, bytes: u64) -> SimResult<()> {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let new = cur + bytes;
+            if new > self.capacity {
+                return Err(SimError::OutOfMemory { requested: bytes, available: self.capacity - cur });
+            }
+            match self.used.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => {
+                    self.peak.fetch_max(new, Ordering::Relaxed);
+                    self.allocs.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Returns `bytes` to the pool.
+    pub fn release(&self, bytes: u64) {
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark over the ledger's lifetime.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Number of successful allocations made so far.
+    pub fn alloc_count(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+}
+
+/// A typed allocation in simulated device memory.
+///
+/// The storage lives in host RAM (kernels do real work on it); the ledger
+/// accounting is what models the device's capacity. Dropping the buffer
+/// frees its bytes back to the ledger, like `cudaFree`.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: UnsafeCell<Vec<T>>,
+    bytes: u64,
+    ledger: Arc<MemoryLedger>,
+}
+
+// SAFETY: access to the interior Vec is mediated by &self/&mut self methods
+// and by GlobalView, whose safety contract (each element written by at most
+// one thread per launch, no read of an element concurrently written) is the
+// same discipline CUDA global memory requires.
+unsafe impl<T: Send> Send for DeviceBuffer<T> {}
+unsafe impl<T: Send + Sync> Sync for DeviceBuffer<T> {}
+
+impl<T: Copy + Default> DeviceBuffer<T> {
+    /// Allocates `len` default-initialized elements (like `cudaMalloc` +
+    /// `cudaMemset`). Fails when the ledger is out of capacity.
+    pub fn zeroed(ledger: Arc<MemoryLedger>, len: usize) -> SimResult<Self> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        ledger.reserve(bytes)?;
+        Ok(Self { data: UnsafeCell::new(vec![T::default(); len]), bytes, ledger })
+    }
+
+    /// Allocates and fills from a host slice (accounting only — the transfer
+    /// *time* is charged by [`crate::gpu::Gpu::htod_copy`]).
+    pub fn from_host(ledger: Arc<MemoryLedger>, host: &[T]) -> SimResult<Self> {
+        let bytes = std::mem::size_of_val(host) as u64;
+        ledger.reserve(bytes)?;
+        Ok(Self { data: UnsafeCell::new(host.to_vec()), bytes, ledger })
+    }
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        unsafe { (*self.data.get()).len() }
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the allocation in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Host-side read access (conceptually after a sync).
+    pub fn as_slice(&mut self) -> &[T] {
+        self.data.get_mut()
+    }
+
+    /// Host-side mutable access (outside any launch).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        self.data.get_mut()
+    }
+
+    /// A cross-block view for use inside kernels. See [`GlobalView`] for
+    /// the aliasing discipline.
+    pub fn view(&self) -> GlobalView<'_, T> {
+        let v = self.data.get();
+        // SAFETY: pointer and length derive from a live allocation owned by
+        // self; GlobalView's contract governs concurrent use.
+        unsafe { GlobalView::from_raw((*v).as_mut_ptr(), (*v).len()) }
+    }
+}
+
+impl<T: Clone> DeviceBuffer<T> {
+    /// Copies contents back to a host `Vec` (accounting only — transfer time
+    /// is charged by [`crate::gpu::Gpu::dtoh_copy`]).
+    pub fn to_host_vec(&mut self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.ledger.release(self.bytes);
+    }
+}
+
+/// An unsynchronized, cross-block view of device memory, mirroring what a
+/// CUDA kernel sees: every block may read and write anywhere.
+///
+/// # Safety discipline
+///
+/// The simulator upholds CUDA's rules rather than Rust's: within one kernel
+/// launch, **each element must be written by at most one thread, and no
+/// thread may read an element another thread writes** (unless through
+/// [`GlobalView::atomic_u32_slot`]-style atomics). All shipped kernels obey
+/// this by construction (blocks own disjoint array segments, or scatters are
+/// permutations); the `trace` tests validate it on small inputs.
+pub struct GlobalView<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _life: PhantomData<&'a T>,
+}
+
+unsafe impl<T: Send + Sync> Send for GlobalView<'_, T> {}
+unsafe impl<T: Send + Sync> Sync for GlobalView<'_, T> {}
+
+impl<T> Clone for GlobalView<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for GlobalView<'_, T> {}
+
+impl<'a, T> GlobalView<'a, T> {
+    /// Builds a view from a raw region.
+    ///
+    /// # Safety
+    /// `ptr` must be valid for reads/writes of `len` elements for `'a`, and
+    /// all concurrent use must follow the type-level discipline above.
+    pub unsafe fn from_raw(ptr: *mut T, len: usize) -> Self {
+        Self { ptr, len, _life: PhantomData }
+    }
+
+    /// Wraps an exclusive slice (safe: exclusivity is proven by `&mut`).
+    pub fn from_mut_slice(slice: &'a mut [T]) -> Self {
+        Self { ptr: slice.as_mut_ptr(), len: slice.len(), _life: PhantomData }
+    }
+
+    /// Number of elements visible through the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads element `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> T
+    where
+        T: Copy,
+    {
+        assert!(idx < self.len, "GlobalView read OOB: {idx} >= {}", self.len);
+        // SAFETY: bounds checked; discipline forbids concurrent writers.
+        unsafe { *self.ptr.add(idx) }
+    }
+
+    /// Writes element `idx`.
+    #[inline]
+    pub fn set(&self, idx: usize, val: T) {
+        assert!(idx < self.len, "GlobalView write OOB: {idx} >= {}", self.len);
+        // SAFETY: bounds checked; discipline guarantees a unique writer.
+        unsafe { *self.ptr.add(idx) = val }
+    }
+
+    /// A sub-view of `range` (both bounds in elements).
+    pub fn subview(&self, start: usize, len: usize) -> GlobalView<'a, T> {
+        assert!(start + len <= self.len, "subview OOB: {start}+{len} > {}", self.len);
+        // SAFETY: stays within the parent region.
+        unsafe { GlobalView::from_raw(self.ptr.add(start), len) }
+    }
+
+    /// Exclusive slice of a region this caller owns for the launch.
+    ///
+    /// # Safety
+    /// No other thread may access `[start, start+len)` during the returned
+    /// borrow.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &'a mut [T] {
+        assert!(start + len <= self.len, "slice_mut OOB: {start}+{len} > {}", self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+
+    /// Read-only slice of a quiescent region (no concurrent writers).
+    ///
+    /// # Safety
+    /// No thread may write `[start, start+len)` during the returned borrow.
+    pub unsafe fn slice(&self, start: usize, len: usize) -> &'a [T] {
+        assert!(start + len <= self.len, "slice OOB: {start}+{len} > {}", self.len);
+        std::slice::from_raw_parts(self.ptr.add(start), len)
+    }
+}
+
+impl<'a> GlobalView<'a, u32> {
+    /// Reinterprets element `idx` as an atomic counter, for histogram-style
+    /// kernels (`atomicAdd` on global u32 in CUDA).
+    pub fn atomic_u32_slot(&self, idx: usize) -> &'a AtomicU64Compat {
+        assert!(idx < self.len, "atomic slot OOB: {idx} >= {}", self.len);
+        // SAFETY: AtomicU32 has the same layout as u32; concurrent RMW is
+        // exactly the point.
+        unsafe { &*(self.ptr.add(idx) as *const AtomicU64Compat) }
+    }
+}
+
+/// `AtomicU32` wrapper so the name stays honest at the call site.
+pub type AtomicU64Compat = std::sync::atomic::AtomicU32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger(cap: u64) -> Arc<MemoryLedger> {
+        Arc::new(MemoryLedger::new(cap))
+    }
+
+    #[test]
+    fn ledger_tracks_used_and_peak() {
+        let l = ledger(1000);
+        l.reserve(400).unwrap();
+        l.reserve(500).unwrap();
+        assert_eq!(l.used(), 900);
+        assert_eq!(l.peak(), 900);
+        l.release(500);
+        assert_eq!(l.used(), 400);
+        assert_eq!(l.peak(), 900, "peak is sticky");
+        assert_eq!(l.alloc_count(), 2);
+    }
+
+    #[test]
+    fn ledger_rejects_over_capacity() {
+        let l = ledger(1000);
+        l.reserve(800).unwrap();
+        let err = l.reserve(300).unwrap_err();
+        assert_eq!(err, SimError::OutOfMemory { requested: 300, available: 200 });
+    }
+
+    #[test]
+    fn buffer_charges_and_releases_ledger() {
+        let l = ledger(1024);
+        {
+            let b = DeviceBuffer::<u32>::zeroed(l.clone(), 100).unwrap();
+            assert_eq!(b.size_bytes(), 400);
+            assert_eq!(l.used(), 400);
+        }
+        assert_eq!(l.used(), 0, "drop releases");
+        assert_eq!(l.peak(), 400);
+    }
+
+    #[test]
+    fn buffer_from_host_round_trips() {
+        let l = ledger(1 << 20);
+        let mut b = DeviceBuffer::from_host(l, &[1u32, 2, 3]).unwrap();
+        assert_eq!(b.to_host_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn oversized_buffer_fails_typed() {
+        let l = ledger(100);
+        let err = DeviceBuffer::<u64>::zeroed(l, 100).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { requested: 800, .. }));
+    }
+
+    #[test]
+    fn view_get_set_subview() {
+        let l = ledger(1 << 20);
+        let mut b = DeviceBuffer::<u32>::zeroed(l, 10).unwrap();
+        let v = b.view();
+        v.set(3, 42);
+        assert_eq!(v.get(3), 42);
+        let sub = v.subview(2, 4);
+        assert_eq!(sub.get(1), 42);
+        sub.set(0, 7);
+        assert_eq!(b.as_slice()[2], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "read OOB")]
+    fn view_bounds_checked() {
+        let l = ledger(1 << 20);
+        let b = DeviceBuffer::<u32>::zeroed(l, 4).unwrap();
+        let v = b.view();
+        let _ = v.get(4);
+    }
+
+    #[test]
+    fn atomic_slot_counts() {
+        let l = ledger(1 << 20);
+        let mut b = DeviceBuffer::<u32>::zeroed(l, 2).unwrap();
+        let v = b.view();
+        v.atomic_u32_slot(1).fetch_add(5, Ordering::Relaxed);
+        v.atomic_u32_slot(1).fetch_add(2, Ordering::Relaxed);
+        assert_eq!(b.as_slice(), &[0, 7]);
+    }
+
+    #[test]
+    fn ledger_reserve_is_thread_safe() {
+        let l = ledger(10_000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let l = &l;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        if l.reserve(10).is_ok() {
+                            l.release(10);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(l.used(), 0);
+    }
+}

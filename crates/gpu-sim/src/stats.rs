@@ -1,0 +1,184 @@
+//! Instrumentation: per-launch kernel statistics, transfer records and the
+//! device timeline they roll up into.
+
+use serde::{Deserialize, Serialize};
+
+/// Operation counters accumulated by threads and merged up through blocks
+/// into a launch. All counts are exact (the simulator observes every charge).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// ALU/compare/move instructions.
+    pub alu: u64,
+    /// Shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Global-memory element accesses (loads + stores).
+    pub global_elems: u64,
+    /// Global transactions in millionths (per-thread amortization makes the
+    /// per-charge contribution fractional; stored as micro-transactions so
+    /// the counter stays an exact integer). Use [`Counters::global_txns`].
+    pub global_txn_micro: u64,
+    /// Global atomic RMW operations.
+    pub atomics_global: u64,
+    /// Shared-memory atomic RMW operations.
+    pub atomics_shared: u64,
+    /// Barrier (`__syncthreads`) events, one per phase per block.
+    pub syncs: u64,
+    /// Divergent-branch events explicitly recorded by kernels.
+    pub divergence_events: u64,
+    /// Cycles charged through the calibrated baseline-sort overhead
+    /// ([`crate::cost::CostModel::thrust_elem_cycles`]).
+    pub baseline_cycles: u64,
+}
+
+impl Counters {
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        self.alu += other.alu;
+        self.shared_accesses += other.shared_accesses;
+        self.global_elems += other.global_elems;
+        self.global_txn_micro += other.global_txn_micro;
+        self.atomics_global += other.atomics_global;
+        self.atomics_shared += other.atomics_shared;
+        self.syncs += other.syncs;
+        self.divergence_events += other.divergence_events;
+        self.baseline_cycles += other.baseline_cycles;
+    }
+
+    /// Whole global-memory transactions (rounded from the micro count).
+    pub fn global_txns(&self) -> u64 {
+        (self.global_txn_micro + 500_000) / 1_000_000
+    }
+}
+
+/// The result of one kernel launch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Kernel name given at launch (shows up in reports).
+    pub name: String,
+    /// Blocks in the grid.
+    pub grid_dim: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Simulated device cycles (makespan over SMs).
+    pub cycles: u64,
+    /// Simulated wall time, including launch overhead.
+    pub time_ms: f64,
+    /// Aggregated operation counters across all blocks.
+    pub counters: Counters,
+    /// Load imbalance: busiest SM cycles / mean SM cycles (1.0 = perfect).
+    pub sm_imbalance: f64,
+    /// Cycles of the single most expensive block (tail latency).
+    pub max_block_cycles: u64,
+    /// Theoretical occupancy of this launch (resident warps / max warps),
+    /// from the declared block shape and shared-memory bytes.
+    pub occupancy: f64,
+}
+
+/// One host↔device copy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferStats {
+    /// "htod" or "dtoh".
+    pub direction: TransferDir,
+    /// Payload size.
+    pub bytes: u64,
+    /// Simulated time for the copy.
+    pub time_ms: f64,
+}
+
+/// Direction of a PCIe copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferDir {
+    /// Host to device.
+    HtoD,
+    /// Device to host.
+    DtoH,
+}
+
+/// Roll-up of everything a [`crate::gpu::Gpu`] has executed: the queryable
+/// "profiler" view experiments read after a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Every kernel launch, in order.
+    pub kernels: Vec<KernelStats>,
+    /// Every transfer, in order.
+    pub transfers: Vec<TransferStats>,
+}
+
+impl Timeline {
+    /// Total simulated kernel time.
+    pub fn kernel_ms(&self) -> f64 {
+        self.kernels.iter().map(|k| k.time_ms).sum()
+    }
+
+    /// Total simulated transfer time.
+    pub fn transfer_ms(&self) -> f64 {
+        self.transfers.iter().map(|t| t.time_ms).sum()
+    }
+
+    /// Total bytes moved host→device.
+    pub fn htod_bytes(&self) -> u64 {
+        self.transfers.iter().filter(|t| t.direction == TransferDir::HtoD).map(|t| t.bytes).sum()
+    }
+
+    /// Total bytes moved device→host.
+    pub fn dtoh_bytes(&self) -> u64 {
+        self.transfers.iter().filter(|t| t.direction == TransferDir::DtoH).map(|t| t.bytes).sum()
+    }
+
+    /// Kernel stats filtered by name prefix (e.g. all "radix" passes).
+    pub fn kernels_named<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a KernelStats> {
+        self.kernels.iter().filter(move |k| k.name.starts_with(prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_adds_everything() {
+        let mut a = Counters { alu: 1, shared_accesses: 2, global_elems: 3, global_txn_micro: 4, atomics_global: 5, atomics_shared: 6, syncs: 7, divergence_events: 8, baseline_cycles: 9 };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.alu, 2);
+        assert_eq!(a.divergence_events, 16);
+        assert_eq!(a.baseline_cycles, 18);
+    }
+
+    #[test]
+    fn micro_txns_round_to_nearest() {
+        let c = Counters { global_txn_micro: 1_499_999, ..Default::default() };
+        assert_eq!(c.global_txns(), 1);
+        let c = Counters { global_txn_micro: 1_500_000, ..Default::default() };
+        assert_eq!(c.global_txns(), 2);
+    }
+
+    #[test]
+    fn timeline_rollups() {
+        let mut tl = Timeline::default();
+        tl.transfers.push(TransferStats { direction: TransferDir::HtoD, bytes: 100, time_ms: 1.0 });
+        tl.transfers.push(TransferStats { direction: TransferDir::DtoH, bytes: 40, time_ms: 0.5 });
+        assert_eq!(tl.htod_bytes(), 100);
+        assert_eq!(tl.dtoh_bytes(), 40);
+        assert!((tl.transfer_ms() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernels_named_filters_by_prefix() {
+        let mut tl = Timeline::default();
+        for name in ["radix_hist", "radix_scatter", "bucket_sort"] {
+            tl.kernels.push(KernelStats {
+                name: name.into(),
+                grid_dim: 1,
+                block_dim: 1,
+                cycles: 0,
+                time_ms: 0.0,
+                counters: Counters::default(),
+                sm_imbalance: 1.0,
+                max_block_cycles: 0,
+                occupancy: 1.0,
+            });
+        }
+        assert_eq!(tl.kernels_named("radix").count(), 2);
+    }
+}

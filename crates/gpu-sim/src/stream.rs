@@ -1,0 +1,226 @@
+//! CUDA-style streams and the asynchronous engine model.
+//!
+//! A Kepler-class device has three independent engines: compute, an
+//! H2D DMA engine and a D2H DMA engine (duplex PCIe). Work issued on
+//! different *streams* may overlap across engines; work on one stream is
+//! ordered. [`AsyncState`] is the discrete-event scheduler that models
+//! this: each operation starts at `max(engine_free, stream_ready)` and
+//! occupies its engine for its duration.
+//!
+//! Execution semantics: the simulator performs an operation's *data
+//! effects eagerly* (in host issue order), while its *timing* is scheduled
+//! asynchronously. That is exactly safe for the dependency patterns CUDA
+//! streams allow (host issue order is a valid serialization of any legal
+//! stream schedule), and it is asserted by comparing streamed results with
+//! serial ones in the out-of-core tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a stream created by [`crate::gpu::Gpu::create_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamId(pub(crate) usize);
+
+/// Which engine an async operation occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Engine {
+    /// Kernel execution.
+    Compute,
+    /// Host→device DMA.
+    HtoD,
+    /// Device→host DMA.
+    DtoH,
+}
+
+/// One scheduled asynchronous operation (for inspection/tests).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsyncEvent {
+    /// Operation label (kernel name or "htod"/"dtoh").
+    pub name: String,
+    /// Stream it was issued on.
+    pub stream: usize,
+    /// Engine it occupied.
+    pub engine: Engine,
+    /// Scheduled start, in simulated ms since device creation.
+    pub start_ms: f64,
+    /// Scheduled end.
+    pub end_ms: f64,
+}
+
+/// Identifies a recorded event ([`crate::gpu::Gpu::record_event`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EventId(pub(crate) usize);
+
+/// The engine/stream scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct AsyncState {
+    compute_free: f64,
+    h2d_free: f64,
+    d2h_free: f64,
+    stream_ready: Vec<f64>,
+    events: Vec<AsyncEvent>,
+    event_times: Vec<f64>,
+}
+
+impl AsyncState {
+    /// Creates a stream whose work may start no earlier than `now`.
+    pub fn create_stream(&mut self, now: f64) -> StreamId {
+        self.stream_ready.push(now);
+        StreamId(self.stream_ready.len() - 1)
+    }
+
+    /// Schedules `dur_ms` of work on `engine` for `stream`; returns the
+    /// operation's end time.
+    pub fn schedule(
+        &mut self,
+        name: &str,
+        stream: StreamId,
+        engine: Engine,
+        now: f64,
+        dur_ms: f64,
+    ) -> f64 {
+        let engine_free = match engine {
+            Engine::Compute => &mut self.compute_free,
+            Engine::HtoD => &mut self.h2d_free,
+            Engine::DtoH => &mut self.d2h_free,
+        };
+        let ready = self.stream_ready[stream.0].max(now);
+        let start = ready.max(*engine_free);
+        let end = start + dur_ms;
+        *engine_free = end;
+        self.stream_ready[stream.0] = end;
+        self.events.push(AsyncEvent {
+            name: name.to_string(),
+            stream: stream.0,
+            engine,
+            start_ms: start,
+            end_ms: end,
+        });
+        end
+    }
+
+    /// Records an event on `stream` (like `cudaEventRecord`): the event
+    /// completes when all work currently queued on the stream completes.
+    pub fn record_event(&mut self, stream: StreamId, now: f64) -> EventId {
+        let t = self.stream_ready[stream.0].max(now);
+        self.event_times.push(t);
+        EventId(self.event_times.len() - 1)
+    }
+
+    /// Makes `stream` wait for `event` (like `cudaStreamWaitEvent`):
+    /// subsequent work on the stream starts no earlier than the event's
+    /// completion time.
+    pub fn stream_wait_event(&mut self, stream: StreamId, event: EventId) {
+        let t = self.event_times[event.0];
+        if t > self.stream_ready[stream.0] {
+            self.stream_ready[stream.0] = t;
+        }
+    }
+
+    /// Completion time of a recorded event (simulated ms).
+    pub fn event_time(&self, event: EventId) -> f64 {
+        self.event_times[event.0]
+    }
+
+    /// Time at which every engine and stream is idle.
+    pub fn quiesce_time(&self, now: f64) -> f64 {
+        self.stream_ready
+            .iter()
+            .copied()
+            .fold(now.max(self.compute_free).max(self.h2d_free).max(self.d2h_free), f64::max)
+    }
+
+    /// Scheduled operations so far.
+    pub fn events(&self) -> &[AsyncEvent] {
+        &self.events
+    }
+
+    /// True when any stream exists.
+    pub fn has_streams(&self) -> bool {
+        !self.stream_ready.is_empty()
+    }
+
+    /// Drops recorded events (streams stay valid).
+    pub fn clear_events(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_stream_serializes() {
+        let mut s = AsyncState::default();
+        let st = s.create_stream(0.0);
+        let e1 = s.schedule("a", st, Engine::HtoD, 0.0, 2.0);
+        let e2 = s.schedule("b", st, Engine::Compute, 0.0, 3.0);
+        assert_eq!(e1, 2.0);
+        assert_eq!(e2, 5.0, "same stream: compute waits for the upload");
+    }
+
+    #[test]
+    fn two_streams_overlap_across_engines() {
+        let mut s = AsyncState::default();
+        let a = s.create_stream(0.0);
+        let b = s.create_stream(0.0);
+        s.schedule("upA", a, Engine::HtoD, 0.0, 2.0);
+        s.schedule("kA", a, Engine::Compute, 0.0, 4.0); // 2..6
+        s.schedule("upB", b, Engine::HtoD, 0.0, 2.0); // 2..4 (H2D engine busy till 2)
+        let end_kb = s.schedule("kB", b, Engine::Compute, 0.0, 4.0); // compute busy till 6 → 6..10
+        assert_eq!(end_kb, 10.0);
+        // Upload of B overlapped with kernel of A.
+        let up_b = &s.events()[2];
+        assert_eq!((up_b.start_ms, up_b.end_ms), (2.0, 4.0));
+        assert_eq!(s.quiesce_time(0.0), 10.0);
+    }
+
+    #[test]
+    fn duplex_dma_engines_do_not_block_each_other() {
+        let mut s = AsyncState::default();
+        let a = s.create_stream(0.0);
+        let b = s.create_stream(0.0);
+        s.schedule("up", a, Engine::HtoD, 0.0, 5.0);
+        let down_end = s.schedule("down", b, Engine::DtoH, 0.0, 5.0);
+        assert_eq!(down_end, 5.0, "H2D and D2H run concurrently");
+    }
+
+    #[test]
+    fn streams_created_later_start_no_earlier_than_now() {
+        let mut s = AsyncState::default();
+        let st = s.create_stream(7.5);
+        let end = s.schedule("k", st, Engine::Compute, 7.5, 1.0);
+        assert_eq!(end, 8.5);
+    }
+
+    #[test]
+    fn events_chain_cross_stream_dependencies() {
+        let mut s = AsyncState::default();
+        let a = s.create_stream(0.0);
+        let b = s.create_stream(0.0);
+        s.schedule("kA", a, Engine::Compute, 0.0, 5.0); // 0..5
+        let ev = s.record_event(a, 0.0);
+        assert_eq!(s.event_time(ev), 5.0);
+        s.stream_wait_event(b, ev);
+        let end = s.schedule("upB", b, Engine::HtoD, 0.0, 1.0);
+        assert_eq!(end, 6.0, "B's upload waits for A's kernel despite a free DMA engine");
+    }
+
+    #[test]
+    fn waiting_on_a_past_event_is_free() {
+        let mut s = AsyncState::default();
+        let a = s.create_stream(0.0);
+        let b = s.create_stream(0.0);
+        let ev = s.record_event(a, 0.0); // nothing queued: completes at 0
+        s.schedule("kB", b, Engine::Compute, 0.0, 3.0);
+        s.stream_wait_event(b, ev);
+        let end = s.schedule("kB2", b, Engine::Compute, 0.0, 1.0);
+        assert_eq!(end, 4.0, "no delay from an already-complete event");
+    }
+
+    #[test]
+    fn quiesce_includes_now_floor() {
+        let s = AsyncState::default();
+        assert_eq!(s.quiesce_time(3.0), 3.0);
+    }
+}

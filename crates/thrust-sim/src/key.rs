@@ -1,0 +1,120 @@
+//! Radix-sortable key types.
+//!
+//! LSD radix sort needs keys as unsigned bit patterns whose numeric order
+//! matches the key's order. For `u32` that is the identity; for `i32` flip
+//! the sign bit; for `f32` apply the classic order-preserving transform
+//! (flip all bits of negatives, flip only the sign bit of non-negatives) —
+//! the same trick Thrust uses for floating-point radix sorts. NaNs map
+//! above +∞ (`total_cmp` order).
+
+/// A 32-bit key type with an order-preserving mapping to `u32`.
+pub trait RadixKey: Copy + Default + Send + Sync + 'static {
+    /// Maps to a `u32` such that `a < b ⇔ a.to_radix_bits() < b.to_radix_bits()`.
+    fn to_radix_bits(self) -> u32;
+    /// Inverse of [`RadixKey::to_radix_bits`].
+    fn from_radix_bits(bits: u32) -> Self;
+}
+
+impl RadixKey for u32 {
+    #[inline]
+    fn to_radix_bits(self) -> u32 {
+        self
+    }
+    #[inline]
+    fn from_radix_bits(bits: u32) -> Self {
+        bits
+    }
+}
+
+impl RadixKey for i32 {
+    #[inline]
+    fn to_radix_bits(self) -> u32 {
+        (self as u32) ^ 0x8000_0000
+    }
+    #[inline]
+    fn from_radix_bits(bits: u32) -> Self {
+        (bits ^ 0x8000_0000) as i32
+    }
+}
+
+impl RadixKey for f32 {
+    #[inline]
+    fn to_radix_bits(self) -> u32 {
+        let b = self.to_bits();
+        if b & 0x8000_0000 != 0 {
+            !b
+        } else {
+            b | 0x8000_0000
+        }
+    }
+    #[inline]
+    fn from_radix_bits(bits: u32) -> Self {
+        let b = if bits & 0x8000_0000 != 0 { bits & 0x7FFF_FFFF } else { !bits };
+        f32::from_bits(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<K: RadixKey + PartialEq + std::fmt::Debug>(k: K) {
+        assert_eq!(K::from_radix_bits(k.to_radix_bits()), k);
+    }
+
+    #[test]
+    fn u32_is_identity() {
+        for v in [0u32, 1, 42, u32::MAX] {
+            assert_eq!(v.to_radix_bits(), v);
+            round_trip(v);
+        }
+    }
+
+    #[test]
+    fn i32_order_preserved() {
+        let vals = [i32::MIN, -100, -1, 0, 1, 100, i32::MAX];
+        for w in vals.windows(2) {
+            assert!(w[0].to_radix_bits() < w[1].to_radix_bits(), "{} vs {}", w[0], w[1]);
+            round_trip(w[0]);
+        }
+    }
+
+    #[test]
+    fn f32_order_preserved_including_negatives() {
+        let vals = [
+            f32::NEG_INFINITY,
+            -1e30,
+            -3.5,
+            -0.0,
+            0.0,
+            1e-30,
+            3.5,
+            1e30,
+            f32::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                w[0].to_radix_bits() <= w[1].to_radix_bits(),
+                "{} !<= {}",
+                w[0],
+                w[1]
+            );
+            round_trip(w[0]);
+        }
+        // -0.0 and 0.0 map to adjacent but ordered bit patterns.
+        assert!((-0.0f32).to_radix_bits() < 0.0f32.to_radix_bits());
+    }
+
+    #[test]
+    fn f32_nan_sorts_above_infinity() {
+        assert!(f32::NAN.to_radix_bits() > f32::INFINITY.to_radix_bits());
+    }
+
+    #[test]
+    fn f32_bit_round_trip_is_lossless() {
+        for v in [0.0f32, -0.0, 1.5, -1.5, f32::MIN_POSITIVE, f32::MAX, f32::NAN] {
+            let back = f32::from_radix_bits(v.to_radix_bits());
+            assert_eq!(back.to_bits(), v.to_bits(), "bit-exact round trip for {v}");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # thrust-sim — Thrust-like primitives on the simulated GPU
+//!
+//! The GPU-ArraySort paper compares against a baseline built from NVIDIA's
+//! Thrust library (`stable_sort_by_key`, radix sort underneath). This crate
+//! is that substrate, implemented from scratch on [`gpu_sim`]:
+//!
+//! * [`scan`] — device-wide exclusive prefix sum (GPU Gems 3 style block
+//!   scan + recursion), the backbone of the radix sort;
+//! * [`radix`] — stable LSD radix sort (`stable_sort_by_key`,
+//!   [`sort_keys`]) with Thrust's O(N) double-buffer footprint, charged to
+//!   the device ledger;
+//! * [`reduce`] — device-wide reductions;
+//! * [`sta`] — the paper's §7.1 baseline: tag, flatten, sort twice, which
+//!   the evaluation (Figs. 4–7, Table 1) measures GPU-ArraySort against.
+//!
+//! ```
+//! use gpu_sim::{DeviceSpec, Gpu};
+//!
+//! let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+//! // Two arrays of three floats, flattened.
+//! let mut data = vec![3.0f32, 1.0, 2.0, 9.0, 7.0, 8.0];
+//! thrust_sim::sta::sort_arrays(&mut gpu, &mut data, 3).unwrap();
+//! assert_eq!(data, vec![1.0, 2.0, 3.0, 7.0, 8.0, 9.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod key;
+pub mod radix;
+pub mod reduce;
+pub mod scan;
+pub mod segmented;
+pub mod sta;
+
+pub use key::RadixKey;
+pub use radix::{sort_keys, stable_sort_by_key, DeviceValue};
+pub use reduce::{reduce_u32, MaxOp, MinOp, SumOp};
+pub use scan::exclusive_scan;
+pub use segmented::{segmented_sort, SegSortStats};
+pub use sta::{max_arrays as sta_max_arrays, sort_arrays as sta_sort_arrays, StaMemoryPlan, StaStats};

@@ -1,0 +1,93 @@
+//! Head-to-head on identical data and device: GPU-ArraySort, the paper's
+//! STA baseline, the m-way merge variant the paper dismissed, and the
+//! modern (CUB-class) segmented sort that superseded all of them —
+//! time and peak memory, the two axes of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release --example compare_sta [num_arrays] [array_len]
+//! ```
+
+use array_sort::{ArraySortConfig, GpuArraySort};
+use datagen::ArrayBatch;
+use gpu_sim::{DeviceSpec, Gpu};
+
+struct Row {
+    label: &'static str,
+    total_ms: f64,
+    kernel_ms: f64,
+    peak_bytes: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let num_arrays: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(10_000);
+    let array_len: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1_000);
+
+    let batch = ArrayBatch::paper_uniform(99, num_arrays, array_len);
+    let data_mb = batch.data_bytes() as f64 / 1048576.0;
+    println!(
+        "workload: {num_arrays} arrays × {array_len} floats ({data_mb:.1} MB), uniform [0, 2³¹)\n"
+    );
+
+    let mut rows = Vec::new();
+    let mut reference: Option<ArrayBatch> = None;
+    let mut check = |label, out: ArrayBatch, total_ms, kernel_ms, peak| {
+        assert!(out.is_each_array_sorted(), "{label} failed to sort");
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(r, &out, "{label} disagrees"),
+        }
+        rows.push(Row { label, total_ms, kernel_ms, peak_bytes: peak });
+    };
+
+    // GPU-ArraySort (the paper).
+    let mut d = batch.clone();
+    let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+    let s = GpuArraySort::new().sort(&mut gpu, d.as_flat_mut(), array_len).unwrap();
+    check("GPU-ArraySort (paper)", d, s.total_ms(), s.kernel_ms(), s.peak_bytes);
+
+    // STA (the paper's baseline).
+    let mut d = batch.clone();
+    let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+    let s = thrust_sim::sta::sort_arrays(&mut gpu, d.as_flat_mut(), array_len).unwrap();
+    check("STA (Thrust tagged)", d, s.total_ms(), s.kernel_ms(), s.peak_bytes);
+
+    // m-way merge variant (the design the paper dismissed in §4.1).
+    let mut d = batch.clone();
+    let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+    let s = array_sort::merge_sort_arrays(
+        &mut gpu,
+        d.as_flat_mut(),
+        array_len,
+        &ArraySortConfig::default(),
+    )
+    .unwrap();
+    check("m-way merge variant", d, s.total_ms(), s.kernel_ms(), s.peak_bytes);
+
+    // Modern segmented sort (post-2016 state of the art).
+    let mut d = batch;
+    let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+    let s = thrust_sim::segmented_sort(&mut gpu, d.as_flat_mut(), array_len).unwrap();
+    check("modern segmented sort", d, s.total_ms(), s.kernel_ms, s.peak_bytes);
+
+    let best_total = rows.iter().map(|r| r.total_ms).fold(f64::INFINITY, f64::min);
+    println!(
+        "{:<24} {:>12} {:>12} {:>11} {:>9}",
+        "algorithm", "total (ms)", "kernel (ms)", "peak (MB)", "vs best"
+    );
+    for r in &rows {
+        println!(
+            "{:<24} {:>12.2} {:>12.2} {:>11.1} {:>8.1}×",
+            r.label,
+            r.total_ms,
+            r.kernel_ms,
+            r.peak_bytes as f64 / 1048576.0,
+            r.total_ms / best_total
+        );
+    }
+    println!(
+        "\nAll four produce bitwise-identical output. The paper's comparison is the\n\
+         top two rows; the bottom two are this reproduction's extensions (see\n\
+         EXPERIMENTS.md, ablation D and beyond-paper B1)."
+    );
+}

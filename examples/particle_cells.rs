@@ -1,0 +1,75 @@
+//! Another domain from the paper's introduction: particle-in-cell codes
+//! ("fine-sorting one-dimensional particle-in-cell algorithm … on a
+//! graphics processing unit", the paper's reference [8]). Particles are
+//! binned into spatial cells; each step the per-cell particle lists must
+//! be re-sorted by position so neighbor interactions stream linearly.
+//!
+//! This example runs a few simulation steps: particles drift (their
+//! positions perturb slightly), and the per-cell sort is re-established
+//! each step. Because the lists stay *nearly sorted* between steps, the
+//! adaptive insertion sort of Phase 3 gets cheaper after the first step —
+//! an effect the simulated cycle counts expose.
+//!
+//! ```text
+//! cargo run --release --example particle_cells
+//! ```
+
+use array_sort::GpuArraySort;
+use datagen::rng_for;
+use gpu_sim::{DeviceSpec, Gpu};
+use rand::Rng;
+
+fn main() {
+    let cells = 5_000usize;
+    let particles_per_cell = 512usize;
+    let mut rng = rng_for(0x9A87, 0);
+
+    // Initial state: uniformly random positions within each cell.
+    let mut positions: Vec<f32> = (0..cells * particles_per_cell)
+        .map(|i| {
+            let cell = (i / particles_per_cell) as f32;
+            cell + rng.gen_range(0.0f32..1.0)
+        })
+        .collect();
+
+    println!(
+        "{cells} cells × {particles_per_cell} particles = {} particles, {} MB\n",
+        cells * particles_per_cell,
+        positions.len() * 4 / 1048576
+    );
+    println!("{:<6} {:>14} {:>14} {:>14}", "step", "phase 3 (ms)", "kernels (ms)", "disorder");
+
+    let sorter = GpuArraySort::new();
+    for step in 0..5 {
+        // Measure disorder before sorting (adjacent inversions).
+        let inversions: usize = positions
+            .chunks(particles_per_cell)
+            .map(|c| c.windows(2).filter(|w| w[0] > w[1]).count())
+            .sum();
+
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let stats = sorter
+            .sort(&mut gpu, &mut positions, particles_per_cell)
+            .expect("cells fit on the device");
+        println!(
+            "{:<6} {:>14.3} {:>14.3} {:>14}",
+            step,
+            stats.phase3_ms,
+            stats.kernel_ms(),
+            inversions
+        );
+
+        // Drift: small random velocity kick; most particles keep their
+        // relative order, so the next step's input is nearly sorted.
+        for p in positions.iter_mut() {
+            *p += rng.gen_range(-0.0005f32..0.0005);
+        }
+    }
+
+    println!(
+        "\nStep 0 sorts random lists; steps 1+ sort nearly-sorted lists, and\n\
+         because Phase 3 charges the insertion sort's exact comparison counts,\n\
+         its cost tracks the disorder — the adaptivity that makes\n\
+         GPU-ArraySort attractive for iterative PIC-style workloads."
+    );
+}

@@ -1,0 +1,25 @@
+//! # gpu-array-sort-repro — umbrella crate
+//!
+//! Re-exports the whole reproduction suite for GPU-ArraySort (Awan &
+//! Saeed, ICPP 2016) so examples and integration tests can reach every
+//! layer through one dependency:
+//!
+//! * [`gpu_sim`] — the simulated SIMT device (the hardware substitute);
+//! * [`thrust_sim`] — scan / stable radix sort / the STA baseline;
+//! * [`array_sort`] — the paper's contribution (three-phase in-place
+//!   batch sort, complexity model, out-of-core extension);
+//! * [`datagen`] — reproducible workloads, including synthetic
+//!   mass-spectrometry spectra.
+//!
+//! See the workspace README for the map and `examples/` for runnable
+//! entry points.
+
+pub use array_sort;
+pub use datagen;
+pub use gpu_sim;
+pub use thrust_sim;
+
+/// The device every paper experiment runs on.
+pub fn paper_device() -> gpu_sim::Gpu {
+    gpu_sim::Gpu::new(gpu_sim::DeviceSpec::tesla_k40c())
+}

@@ -1,0 +1,106 @@
+//! Capacity (Table 1) integration: both algorithms against the device
+//! memory wall, exercised on the small test device so allocations stay
+//! laptop-sized, plus the analytic K40c rows the paper reports.
+
+use array_sort::GpuArraySort;
+use datagen::ArrayBatch;
+use gpu_sim::{DeviceSpec, Gpu, SimError};
+
+#[test]
+fn k40c_capacity_ratio_matches_paper_regime() {
+    let spec = DeviceSpec::tesla_k40c();
+    let sorter = GpuArraySort::new();
+    for n in [1000usize, 2000, 3000, 4000] {
+        let gas = sorter.max_arrays(&spec, n);
+        let sta = thrust_sim::sta::max_arrays(&spec, n as u64);
+        let ratio = gas as f64 / sta as f64;
+        assert!(
+            (2.5..4.5).contains(&ratio),
+            "paper's ≈3× capacity advantage, n={n}: {gas} vs {sta} ({ratio:.2}×)"
+        );
+    }
+    // The paper's marquee number: ~2 million arrays of 1000 floats.
+    let gas_1000 = sorter.max_arrays(&spec, 1000);
+    assert!(gas_1000 >= 2_000_000, "K40c holds ≥2M arrays of 1000 (paper Table 1), got {gas_1000}");
+}
+
+#[test]
+fn gas_sorts_at_90_percent_of_its_capacity_on_small_device() {
+    let spec = DeviceSpec::test_device();
+    let sorter = GpuArraySort::new();
+    let n = 500;
+    let max = sorter.max_arrays(&spec, n) as usize;
+    let num = max * 9 / 10;
+    let mut batch = ArrayBatch::paper_uniform(5, num, n);
+    let mut gpu = Gpu::new(spec);
+    sorter.sort(&mut gpu, batch.as_flat_mut(), n).expect("90% of capacity must fit");
+    assert!(batch.is_each_array_sorted());
+}
+
+#[test]
+fn gas_oom_just_above_capacity_on_small_device() {
+    let spec = DeviceSpec::test_device();
+    let sorter = GpuArraySort::new();
+    let n = 500;
+    let max = sorter.max_arrays(&spec, n) as usize;
+    let num = max + max / 10;
+    let mut batch = ArrayBatch::paper_uniform(6, num, n);
+    let mut gpu = Gpu::new(spec);
+    let err = sorter.sort(&mut gpu, batch.as_flat_mut(), n).unwrap_err();
+    assert!(matches!(err, SimError::OutOfMemory { .. }));
+}
+
+#[test]
+fn sta_capacity_is_well_below_gas_on_small_device() {
+    let spec = DeviceSpec::test_device();
+    let sorter = GpuArraySort::new();
+    let n = 500;
+    let gas_max = sorter.max_arrays(&spec, n) as usize;
+    let sta_max = thrust_sim::sta::max_arrays(&spec, n as u64) as usize;
+    assert!(gas_max as f64 / sta_max as f64 > 2.5);
+
+    // STA succeeds at its own capacity…
+    let mut batch = ArrayBatch::paper_uniform(7, sta_max * 9 / 10, n);
+    let mut gpu = Gpu::new(spec.clone());
+    thrust_sim::sta::sort_arrays(&mut gpu, batch.as_flat_mut(), n).expect("STA at 90%");
+    assert!(batch.is_each_array_sorted());
+
+    // …and fails at GAS's operating point (the paper's Table 1 story).
+    let mut batch = ArrayBatch::paper_uniform(8, gas_max * 9 / 10, n);
+    let mut gpu = Gpu::new(spec);
+    let err = thrust_sim::sta::sort_arrays(&mut gpu, batch.as_flat_mut(), n).unwrap_err();
+    assert!(matches!(err, SimError::OutOfMemory { .. }));
+}
+
+#[test]
+fn failed_runs_release_all_memory() {
+    // OOM mid-pipeline must not leak ledger bytes (RAII on DeviceBuffer).
+    let spec = DeviceSpec::test_device();
+    let mut gpu = Gpu::new(spec);
+    let sorter = GpuArraySort::new();
+    let n = 500;
+    let max = sorter.max_arrays(gpu.spec(), n) as usize;
+    let mut batch = ArrayBatch::paper_uniform(9, max + max / 10, n);
+    let _ = sorter.sort(&mut gpu, batch.as_flat_mut(), n).unwrap_err();
+    assert_eq!(gpu.ledger().used(), 0, "no leaked device allocations after OOM");
+}
+
+#[test]
+fn out_of_core_rescues_over_capacity_workloads() {
+    // The same workload that OOMs in-core sorts fine out-of-core.
+    let spec = DeviceSpec::test_device();
+    let sorter = GpuArraySort::new();
+    let n = 500;
+    let max = sorter.max_arrays(&spec, n) as usize;
+    let num = max + max / 2;
+    let mut batch = ArrayBatch::paper_uniform(10, num, n);
+
+    let mut gpu = Gpu::new(spec.clone());
+    assert!(sorter.sort(&mut gpu, batch.as_flat_mut(), n).is_err());
+
+    let mut gpu = Gpu::new(spec);
+    let stats = array_sort::sort_out_of_core(&sorter, &mut gpu, batch.as_flat_mut(), n)
+        .expect("out-of-core handles it");
+    assert!(stats.chunks.len() >= 2);
+    assert!(batch.is_each_array_sorted());
+}

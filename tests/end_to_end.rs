@@ -1,0 +1,151 @@
+//! Cross-crate integration: GPU-ArraySort, the STA baseline and the CPU
+//! oracle must agree element-for-element on the same inputs, across
+//! distributions, shapes and devices.
+
+use array_sort::{cpu_ref, ArraySortConfig, GpuArraySort};
+use datagen::{ArrayBatch, Arrangement, Distribution};
+use gpu_sim::{DeviceSpec, Gpu};
+
+fn sorted_by_all_three(batch: &ArrayBatch) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let n = batch.array_len();
+
+    let mut gas = batch.clone().into_flat();
+    let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+    GpuArraySort::new().sort(&mut gpu, &mut gas, n).expect("GAS run");
+
+    let mut sta = batch.clone().into_flat();
+    let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+    thrust_sim::sta::sort_arrays(&mut gpu, &mut sta, n).expect("STA run");
+
+    let mut cpu = batch.clone().into_flat();
+    cpu_ref::sort_arrays_seq(&mut cpu, n);
+
+    (gas, sta, cpu)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn all_three_agree_on_uniform_data() {
+    let batch = ArrayBatch::paper_uniform(1, 200, 333);
+    let (gas, sta, cpu) = sorted_by_all_three(&batch);
+    assert_eq!(bits(&gas), bits(&cpu), "GAS vs CPU");
+    assert_eq!(bits(&sta), bits(&cpu), "STA vs CPU");
+}
+
+#[test]
+fn all_three_agree_across_distributions() {
+    for (i, dist) in [
+        Distribution::Normal { mean: 0.0, std_dev: 1000.0 },
+        Distribution::Exponential { lambda: 0.01 },
+        Distribution::Pareto { scale: 1.0, alpha: 1.2 },
+        Distribution::Constant(42.0),
+        Distribution::FewDistinct { k: 3 },
+    ]
+    .iter()
+    .enumerate()
+    {
+        let batch = ArrayBatch::generate(100 + i as u64, 50, 128, *dist, Arrangement::Shuffled);
+        let (gas, sta, cpu) = sorted_by_all_three(&batch);
+        assert_eq!(bits(&gas), bits(&cpu), "GAS vs CPU for {dist:?}");
+        assert_eq!(bits(&sta), bits(&cpu), "STA vs CPU for {dist:?}");
+    }
+}
+
+#[test]
+fn all_three_agree_on_presorted_shapes() {
+    for arrangement in [
+        Arrangement::Sorted,
+        Arrangement::Reversed,
+        Arrangement::NearlySorted { swaps: 5 },
+    ] {
+        let batch =
+            ArrayBatch::generate(9, 40, 200, Distribution::PaperUniform, arrangement);
+        let (gas, sta, cpu) = sorted_by_all_three(&batch);
+        assert_eq!(bits(&gas), bits(&cpu), "GAS vs CPU for {arrangement:?}");
+        assert_eq!(bits(&sta), bits(&cpu), "STA vs CPU for {arrangement:?}");
+    }
+}
+
+#[test]
+fn awkward_shapes_sort() {
+    // Array sizes around bucket boundaries, tile boundaries, tiny arrays.
+    for &(num, n) in
+        &[(1usize, 1usize), (1, 19), (3, 20), (7, 21), (513, 39), (11, 4096), (2, 4097)]
+    {
+        let batch = ArrayBatch::paper_uniform(n as u64, num, n);
+        let (gas, sta, cpu) = sorted_by_all_three(&batch);
+        assert_eq!(bits(&gas), bits(&cpu), "GAS {num}×{n}");
+        assert_eq!(bits(&sta), bits(&cpu), "STA {num}×{n}");
+    }
+}
+
+#[test]
+fn simulated_timing_is_deterministic_across_runs() {
+    let run = || {
+        let batch = ArrayBatch::paper_uniform(5, 300, 500);
+        let mut data = batch.into_flat();
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let stats = GpuArraySort::new().sort(&mut gpu, &mut data, 500).unwrap();
+        (stats.total_ms(), gpu.timeline().kernels.iter().map(|k| k.cycles).collect::<Vec<_>>())
+    };
+    let (t1, c1) = run();
+    let (t2, c2) = run();
+    assert_eq!(c1, c2, "cycle counts must not depend on host scheduling");
+    assert_eq!(t1, t2);
+}
+
+#[test]
+fn gas_wins_time_and_memory_on_paper_workload() {
+    let n = 1000;
+    let batch = ArrayBatch::paper_uniform(2, 2_000, n);
+
+    let mut gas_data = batch.clone().into_flat();
+    let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+    let gas = GpuArraySort::new().sort(&mut gpu, &mut gas_data, n).unwrap();
+
+    let mut sta_data = batch.into_flat();
+    let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+    let sta = thrust_sim::sta::sort_arrays(&mut gpu, &mut sta_data, n).unwrap();
+
+    assert!(
+        sta.total_ms() / gas.total_ms() > 2.0,
+        "paper's headline: GAS several× faster (got {:.2}×)",
+        sta.total_ms() / gas.total_ms()
+    );
+    assert!(
+        sta.peak_bytes as f64 / gas.peak_bytes as f64 > 2.5,
+        "paper's memory claim: STA ≈3× the footprint (got {:.2}×)",
+        sta.peak_bytes as f64 / gas.peak_bytes as f64
+    );
+}
+
+#[test]
+fn non_default_configs_still_sort() {
+    let n = 300;
+    for cfg in [
+        ArraySortConfig { target_bucket_size: 7, ..Default::default() },
+        ArraySortConfig { sampling_rate: 0.5, ..Default::default() },
+        ArraySortConfig { threads_per_bucket: 2, ..Default::default() },
+        ArraySortConfig { shared_staging: false, ..Default::default() },
+    ] {
+        let batch = ArrayBatch::paper_uniform(21, 60, n);
+        let mut data = batch.into_flat();
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        GpuArraySort::with_config(cfg.clone())
+            .unwrap()
+            .sort(&mut gpu, &mut data, n)
+            .unwrap_or_else(|e| panic!("config {cfg:?} failed: {e}"));
+        assert!(cpu_ref::is_each_sorted(&data, n), "config {cfg:?} output unsorted");
+    }
+}
+
+#[test]
+fn umbrella_crate_reexports_work() {
+    let mut gpu = gpu_array_sort_repro::paper_device();
+    let mut data = vec![3.0f32, 1.0, 2.0, 6.0, 5.0, 4.0];
+    gpu_array_sort_repro::array_sort::GpuArraySort::new().sort(&mut gpu, &mut data, 3).unwrap();
+    assert_eq!(data, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+}

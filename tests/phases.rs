@@ -1,0 +1,159 @@
+//! Phase-by-phase validation of the algorithm's intermediate state — the
+//! executable counterpart of the paper's Fig. 1/Fig. 3 walk-throughs.
+
+use array_sort::bucketing::{bucket_arrays, bucket_index};
+use array_sort::geometry::BatchGeometry;
+use array_sort::key::SortKey;
+use array_sort::sorting::sort_buckets;
+use array_sort::splitters::select_splitters;
+use array_sort::ArraySortConfig;
+use datagen::ArrayBatch;
+use gpu_sim::{DeviceSpec, Gpu};
+
+struct PhaseRun {
+    gpu: Gpu,
+    geom: BatchGeometry,
+    data: gpu_sim::DeviceBuffer<f32>,
+    splitters: gpu_sim::DeviceBuffer<f32>,
+    z: gpu_sim::DeviceBuffer<u32>,
+    original: ArrayBatch,
+    cfg: ArraySortConfig,
+}
+
+fn setup(num: usize, n: usize) -> PhaseRun {
+    let cfg = ArraySortConfig::default();
+    let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+    let geom = BatchGeometry::new(num, n, &cfg);
+    let original = ArrayBatch::paper_uniform(0xF1, num, n);
+    let data = gpu.htod_copy(original.as_flat()).unwrap();
+    let splitters = gpu.alloc::<f32>(geom.splitter_table_len()).unwrap();
+    let z = gpu.alloc::<u32>(geom.bucket_table_len()).unwrap();
+    PhaseRun { gpu, geom, data, splitters, z, original, cfg }
+}
+
+#[test]
+fn phase1_leaves_data_untouched_and_emits_valid_boundaries() {
+    let mut r = setup(25, 1000);
+    select_splitters(&mut r.gpu, &r.data, &r.splitters, &r.geom).unwrap();
+
+    // Data must be untouched: Phase 1 only reads.
+    assert_eq!(r.data.as_slice(), r.original.as_flat());
+
+    // Boundaries: p+1 per array, ascending, sentinel-bracketed.
+    let table = r.splitters.to_host_vec();
+    for i in 0..r.geom.num_arrays {
+        let row = &table[r.geom.splitter_offset(i)..][..r.geom.boundaries_per_array];
+        assert_eq!(row[0].to_bits(), f32::min_sentinel().to_bits());
+        assert_eq!(row[r.geom.buckets_per_array].to_bits(), f32::max_sentinel().to_bits());
+        assert!(row.windows(2).all(|w| w[0].le(w[1])));
+    }
+}
+
+#[test]
+fn phase2_partitions_without_sorting_buckets() {
+    let mut r = setup(10, 500);
+    select_splitters(&mut r.gpu, &r.data, &r.splitters, &r.geom).unwrap();
+    bucket_arrays(&mut r.gpu, &r.data, &r.splitters, &r.z, &r.geom, &r.cfg).unwrap();
+
+    let table = r.splitters.to_host_vec();
+    let z = r.z.to_host_vec();
+    let bucketed = r.data.to_host_vec();
+    let n = r.geom.array_len;
+    let p = r.geom.buckets_per_array;
+
+    let mut some_bucket_unsorted = false;
+    for i in 0..r.geom.num_arrays {
+        let bounds = &table[r.geom.splitter_offset(i)..][..p + 1];
+        let zrow = &z[r.geom.bucket_offset(i)..][..p];
+        let arr = &bucketed[i * n..(i + 1) * n];
+
+        // Every element sits inside its claimed bucket's boundary pair.
+        let mut off = 0usize;
+        for (j, &c) in zrow.iter().enumerate() {
+            for &x in &arr[off..off + c as usize] {
+                assert_eq!(
+                    bucket_index(bounds, x),
+                    j,
+                    "element {x} filed in bucket {j} of array {i}"
+                );
+            }
+            if arr[off..off + c as usize].windows(2).any(|w| w[1].lt(w[0])) {
+                some_bucket_unsorted = true;
+            }
+            off += c as usize;
+        }
+        assert_eq!(off, n, "bucket sizes tile the array exactly");
+    }
+    // Phase 2 must NOT have sorted inside buckets — that's Phase 3's job
+    // (with 500-element arrays some bucket will contain an inversion).
+    assert!(some_bucket_unsorted, "phase 2 only partitions; buckets stay unsorted");
+}
+
+#[test]
+fn phase3_sorts_buckets_in_place_without_moving_across_buckets() {
+    let mut r = setup(10, 500);
+    select_splitters(&mut r.gpu, &r.data, &r.splitters, &r.geom).unwrap();
+    bucket_arrays(&mut r.gpu, &r.data, &r.splitters, &r.z, &r.geom, &r.cfg).unwrap();
+    let before = r.data.to_host_vec();
+    let z = r.z.to_host_vec();
+    sort_buckets(&mut r.gpu, &r.data, &r.z, &r.geom, &r.cfg).unwrap();
+    let after = r.data.to_host_vec();
+
+    let n = r.geom.array_len;
+    let p = r.geom.buckets_per_array;
+    for i in 0..r.geom.num_arrays {
+        // Whole array now ascending (per-array total sort achieved).
+        let arr = &after[i * n..(i + 1) * n];
+        assert!(arr.windows(2).all(|w| w[0].le(w[1])), "array {i} fully sorted");
+
+        // Each bucket is a permutation of its pre-phase-3 content:
+        // phase 3 never moves elements across bucket boundaries.
+        let zrow = &z[r.geom.bucket_offset(i)..][..p];
+        let mut off = 0usize;
+        for &c in zrow {
+            let mut a: Vec<u32> =
+                before[i * n + off..i * n + off + c as usize].iter().map(|x| x.to_bits()).collect();
+            let mut b: Vec<u32> =
+                after[i * n + off..i * n + off + c as usize].iter().map(|x| x.to_bits()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "bucket at offset {off} of array {i} is closed under phase 3");
+            off += c as usize;
+        }
+    }
+}
+
+#[test]
+fn three_phases_use_exactly_three_kernel_launches() {
+    let mut r = setup(5, 200);
+    select_splitters(&mut r.gpu, &r.data, &r.splitters, &r.geom).unwrap();
+    bucket_arrays(&mut r.gpu, &r.data, &r.splitters, &r.z, &r.geom, &r.cfg).unwrap();
+    sort_buckets(&mut r.gpu, &r.data, &r.z, &r.geom, &r.cfg).unwrap();
+    let names: Vec<&str> =
+        r.gpu.timeline().kernels.iter().map(|k| k.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["gas_phase1_splitters", "gas_phase2_bucketing", "gas_phase3_bucket_sort"],
+        "the paper's 'three different phases, each … a separate kernel launch'"
+    );
+    // One block per array in every launch.
+    for k in &r.gpu.timeline().kernels {
+        assert_eq!(k.grid_dim as usize, r.geom.num_arrays);
+    }
+}
+
+#[test]
+fn in_place_claim_no_data_sized_temporaries() {
+    // Peak memory during the three phases = data + S + Z only.
+    let mut r = setup(50, 1000);
+    let base = r.data.size_bytes() + r.splitters.size_bytes() + r.z.size_bytes();
+    assert_eq!(r.gpu.ledger().used(), base);
+    select_splitters(&mut r.gpu, &r.data, &r.splitters, &r.geom).unwrap();
+    bucket_arrays(&mut r.gpu, &r.data, &r.splitters, &r.z, &r.geom, &r.cfg).unwrap();
+    sort_buckets(&mut r.gpu, &r.data, &r.z, &r.geom, &r.cfg).unwrap();
+    assert_eq!(
+        r.gpu.ledger().peak(),
+        base,
+        "no phase may allocate data-sized device temporaries (shared staging path)"
+    );
+}
