@@ -75,9 +75,21 @@ pub fn bucket_arrays<K: SortKey>(
     geom: &BatchGeometry,
     config: &ArraySortConfig,
 ) -> SimResult<BucketingOutcome> {
-    assert_eq!(data.len(), geom.total_elems(), "data buffer does not match geometry");
-    assert_eq!(splitters.len(), geom.splitter_table_len(), "splitter table mismatch");
-    assert_eq!(bucket_sizes.len(), geom.bucket_table_len(), "Z table mismatch");
+    assert_eq!(
+        data.len(),
+        geom.total_elems(),
+        "data buffer does not match geometry"
+    );
+    assert_eq!(
+        splitters.len(),
+        geom.splitter_table_len(),
+        "splitter table mismatch"
+    );
+    assert_eq!(
+        bucket_sizes.len(),
+        geom.bucket_table_len(),
+        "Z table mismatch"
+    );
 
     let staging = if config.shared_staging && geom.fits_in_shared(K::ELEM_BYTES, gpu.spec()) {
         StagingStrategy::Shared
@@ -91,8 +103,7 @@ pub fn bucket_arrays<K: SortKey>(
     let _global_stage: Option<DeviceBuffer<K>> = match staging {
         StagingStrategy::Shared => None,
         StagingStrategy::Global => {
-            let resident =
-                (gpu.spec().sm_count * gpu.spec().max_blocks_per_sm) as usize;
+            let resident = (gpu.spec().sm_count * gpu.spec().max_blocks_per_sm) as usize;
             Some(gpu.alloc(resident.min(geom.num_arrays) * geom.array_len)?)
         }
     };
@@ -230,7 +241,10 @@ pub fn bucket_arrays<K: SortKey>(
         });
     })?;
 
-    Ok(BucketingOutcome { kernel: stats, staging })
+    Ok(BucketingOutcome {
+        kernel: stats,
+        staging,
+    })
 }
 
 /// Bucket-size statistics read back from the `Z` table — the load-balance
@@ -313,8 +327,16 @@ mod tests {
         assert_eq!(bucket_index(&bounds, 10.0), 1, "left-closed intervals");
         assert_eq!(bucket_index(&bounds, 19.9), 1);
         assert_eq!(bucket_index(&bounds, 20.0), 2);
-        assert_eq!(bucket_index(&bounds, 1e9), 2, "last bucket is upper-inclusive");
-        assert_eq!(bucket_index(&bounds, f32::NAN), 2, "NaN lands in the last bucket");
+        assert_eq!(
+            bucket_index(&bounds, 1e9),
+            2,
+            "last bucket is upper-inclusive"
+        );
+        assert_eq!(
+            bucket_index(&bounds, f32::NAN),
+            2,
+            "NaN lands in the last bucket"
+        );
     }
 
     #[test]
@@ -336,13 +358,20 @@ mod tests {
         assert_eq!(outcome.staging, StagingStrategy::Shared);
         for i in 0..num {
             // Multiset preserved per array.
-            let mut a: Vec<u32> = data[i * n..(i + 1) * n].iter().map(|x| x.to_bits()).collect();
-            let mut b: Vec<u32> = out[i * n..(i + 1) * n].iter().map(|x| x.to_bits()).collect();
+            let mut a: Vec<u32> = data[i * n..(i + 1) * n]
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let mut b: Vec<u32> = out[i * n..(i + 1) * n]
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "array {i} multiset");
             // Z sums to n.
-            let zsum: u32 = z[geom.bucket_offset(i)..geom.bucket_offset(i) + geom.buckets_per_array]
+            let zsum: u32 = z
+                [geom.bucket_offset(i)..geom.bucket_offset(i) + geom.buckets_per_array]
                 .iter()
                 .sum();
             assert_eq!(zsum, n as u32, "array {i} bucket sizes sum to n");
@@ -363,12 +392,20 @@ mod tests {
             let mut prev_max: Option<f32> = None;
             for &c in zrow {
                 let bucket = &arr[off..off + c as usize];
-                if let (Some(pm), Some(bmin)) =
-                    (prev_max, bucket.iter().copied().reduce(|a, b| if a.lt(b) { a } else { b }))
-                {
+                if let (Some(pm), Some(bmin)) = (
+                    prev_max,
+                    bucket
+                        .iter()
+                        .copied()
+                        .reduce(|a, b| if a.lt(b) { a } else { b }),
+                ) {
                     assert!(pm.le(bmin), "bucket floors must not precede prior ceilings");
                 }
-                if let Some(bmax) = bucket.iter().copied().reduce(|a, b| if a.lt(b) { b } else { a }) {
+                if let Some(bmax) = bucket
+                    .iter()
+                    .copied()
+                    .reduce(|a, b| if a.lt(b) { b } else { a })
+                {
                     prev_max = Some(bmax);
                 }
                 off += c as usize;
@@ -381,7 +418,10 @@ mod tests {
     fn stable_within_bucket() {
         // Elements of the same bucket must keep array order (each thread
         // scans the array front to back).
-        let cfg = ArraySortConfig { target_bucket_size: 4, ..Default::default() };
+        let cfg = ArraySortConfig {
+            target_bucket_size: 4,
+            ..Default::default()
+        };
         let num = 1;
         let n = 16;
         // Two distinct values per bucket region, interleaved.
@@ -421,7 +461,10 @@ mod tests {
         let num = 50;
         let data = random_data(num, n, 19);
         let c1 = ArraySortConfig::default();
-        let c4 = ArraySortConfig { threads_per_bucket: 4, ..Default::default() };
+        let c4 = ArraySortConfig {
+            threads_per_bucket: 4,
+            ..Default::default()
+        };
         let (_, _, o1, _) = full_phase2(num, n, &c1, data.clone());
         let (_, _, o4, _) = full_phase2(num, n, &c4, data);
         assert!(
@@ -447,8 +490,16 @@ mod tests {
         bucket_arrays(&mut gpu, &dbuf, &sbuf, &zbuf, &geom, &cfg).unwrap();
         let bal = bucket_balance(&mut zbuf, &geom);
         assert!((bal.mean - 20.0).abs() < 1e-9, "mean bucket = n/p = 20");
-        assert!(bal.imbalance < 6.0, "uniform data with 10% sampling stays balanced, got {}", bal.imbalance);
-        assert!(bal.cv < 1.0, "coefficient of variation stays moderate, got {}", bal.cv);
+        assert!(
+            bal.imbalance < 6.0,
+            "uniform data with 10% sampling stays balanced, got {}",
+            bal.imbalance
+        );
+        assert!(
+            bal.cv < 1.0,
+            "coefficient of variation stays moderate, got {}",
+            bal.cv
+        );
         assert!(bal.min <= 20 && bal.max >= 20);
     }
 }

@@ -50,7 +50,9 @@ pub fn fit_scale(points: &[(usize, f64)], config: &ArraySortConfig) -> FittedMod
         num += x * t;
         den += x * x;
     }
-    FittedModel { scale: if den > 0.0 { num / den } else { 0.0 } }
+    FittedModel {
+        scale: if den > 0.0 { num / den } else { 0.0 },
+    }
 }
 
 /// The theoretical series for a sweep of array sizes, under a fitted model.
@@ -59,7 +61,10 @@ pub fn theoretical_series(
     model: &FittedModel,
     config: &ArraySortConfig,
 ) -> Vec<(usize, f64)> {
-    sizes.iter().map(|&n| (n, model.predict(n, config))).collect()
+    sizes
+        .iter()
+        .map(|&n| (n, model.predict(n, config)))
+        .collect()
 }
 
 /// Normalized root-mean-square error between measured points and the
@@ -114,8 +119,10 @@ mod tests {
     fn perfect_data_fits_with_zero_error() {
         let c = cfg();
         let truth = FittedModel { scale: 0.003 };
-        let points: Vec<(usize, f64)> =
-            [100usize, 500, 1000, 2000].iter().map(|&n| (n, truth.predict(n, &c))).collect();
+        let points: Vec<(usize, f64)> = [100usize, 500, 1000, 2000]
+            .iter()
+            .map(|&n| (n, truth.predict(n, &c)))
+            .collect();
         let fit = fit_scale(&points, &c);
         assert!((fit.scale - 0.003).abs() < 1e-12);
         assert!(nrmse(&points, &fit, &c) < 1e-9);
@@ -131,7 +138,10 @@ mod tests {
             .map(|(i, &n)| (n, truth.predict(n, &c) * (1.0 + 0.05 * (i as f64 - 1.5))))
             .collect();
         let fit = fit_scale(&points, &c);
-        assert!(nrmse(&points, &fit, &c) < 0.1, "±7% noise fits within 10% NRMSE");
+        assert!(
+            nrmse(&points, &fit, &c) < 0.1,
+            "±7% noise fits within 10% NRMSE"
+        );
     }
 
     #[test]

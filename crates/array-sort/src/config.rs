@@ -127,7 +127,11 @@ mod tests {
         let c = ArraySortConfig::default();
         assert_eq!(c.buckets_for(1000), 50);
         assert_eq!(c.buckets_for(4000), 200);
-        assert_eq!(c.buckets_for(39), 1, "sub-bucket arrays collapse to one bucket");
+        assert_eq!(
+            c.buckets_for(39),
+            1,
+            "sub-bucket arrays collapse to one bucket"
+        );
         assert_eq!(c.buckets_for(5), 1);
     }
 
@@ -136,27 +140,45 @@ mod tests {
         let c = ArraySortConfig::default();
         assert_eq!(c.samples_for(1000), 100); // 10 % of 1000
         assert_eq!(c.samples_for(10), 1); // tiny arrays: 1 sample, 1 bucket
-        // With a coarse rate the sample count is lifted to ≥ p.
-        let coarse = ArraySortConfig { sampling_rate: 0.01, ..Default::default() };
+                                          // With a coarse rate the sample count is lifted to ≥ p.
+        let coarse = ArraySortConfig {
+            sampling_rate: 0.01,
+            ..Default::default()
+        };
         assert_eq!(coarse.buckets_for(1000), 50);
         assert_eq!(coarse.samples_for(1000), 50, "lifted from 10 to p=50");
     }
 
     #[test]
     fn validation_rejects_bad_knobs() {
-        let mut c = ArraySortConfig { target_bucket_size: 0, ..Default::default() };
+        let mut c = ArraySortConfig {
+            target_bucket_size: 0,
+            ..Default::default()
+        };
         assert_eq!(c.validate(), Err(ConfigError::ZeroBucketSize));
-        c = ArraySortConfig { sampling_rate: 0.0, ..Default::default() };
+        c = ArraySortConfig {
+            sampling_rate: 0.0,
+            ..Default::default()
+        };
         assert_eq!(c.validate(), Err(ConfigError::BadSamplingRate));
-        c = ArraySortConfig { sampling_rate: 1.5, ..Default::default() };
+        c = ArraySortConfig {
+            sampling_rate: 1.5,
+            ..Default::default()
+        };
         assert_eq!(c.validate(), Err(ConfigError::BadSamplingRate));
-        c = ArraySortConfig { threads_per_bucket: 0, ..Default::default() };
+        c = ArraySortConfig {
+            threads_per_bucket: 0,
+            ..Default::default()
+        };
         assert_eq!(c.validate(), Err(ConfigError::ZeroThreadsPerBucket));
     }
 
     #[test]
     fn full_sampling_is_allowed() {
-        let c = ArraySortConfig { sampling_rate: 1.0, ..Default::default() };
+        let c = ArraySortConfig {
+            sampling_rate: 1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_ok());
         assert_eq!(c.samples_for(100), 100);
     }

@@ -30,19 +30,20 @@ pub fn sort_arrays_par<K: SortKey>(data: &mut [K], array_len: usize) {
 
 /// True when every segment of `data` ascends under the key's total order.
 pub fn is_each_sorted<K: SortKey>(data: &[K], array_len: usize) -> bool {
-    data.chunks(array_len).all(|seg| seg.windows(2).all(|w| w[0].le(w[1])))
+    data.chunks(array_len)
+        .all(|seg| seg.windows(2).all(|w| w[0].le(w[1])))
 }
 
 /// Verifies `sorted` is a per-array sort of `original`: same multiset per
 /// segment, each segment ascending. Returns the index of the first bad
 /// array, or `None` when everything checks out.
-pub fn verify_against<K: SortKey>(
-    original: &[K],
-    sorted: &[K],
-    array_len: usize,
-) -> Option<usize> {
+pub fn verify_against<K: SortKey>(original: &[K], sorted: &[K], array_len: usize) -> Option<usize> {
     assert_eq!(original.len(), sorted.len());
-    for (i, (a, b)) in original.chunks(array_len).zip(sorted.chunks(array_len)).enumerate() {
+    for (i, (a, b)) in original
+        .chunks(array_len)
+        .zip(sorted.chunks(array_len))
+        .enumerate()
+    {
         if !b.windows(2).all(|w| w[0].le(w[1])) {
             return Some(i);
         }

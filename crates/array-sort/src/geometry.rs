@@ -119,7 +119,12 @@ impl GasMemoryPlan {
             let resident = (spec.sm_count * spec.max_blocks_per_sm) as u64;
             resident.min(geom.num_arrays as u64) * geom.array_len as u64 * elem_bytes as u64
         };
-        Self { data_bytes, splitter_bytes, bucket_table_bytes, staging_bytes }
+        Self {
+            data_bytes,
+            splitter_bytes,
+            bucket_table_bytes,
+            staging_bytes,
+        }
     }
 
     /// Peak bytes the run allocates.
@@ -196,7 +201,11 @@ mod tests {
         let g = BatchGeometry::new(1, 1000, &cfg());
         assert_eq!(g.block_threads(&cfg(), &spec), 50);
         let big = BatchGeometry::new(1, 40_000, &cfg());
-        assert_eq!(big.block_threads(&cfg(), &spec), 1024, "2000 buckets capped at 1024");
+        assert_eq!(
+            big.block_threads(&cfg(), &spec),
+            1024,
+            "2000 buckets capped at 1024"
+        );
     }
 
     #[test]

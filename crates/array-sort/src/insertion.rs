@@ -77,9 +77,7 @@ pub fn simulated_insertion_sort<K: SortKey>(a: &mut [K]) -> InsertionWork {
     // moved at all. Compute per-element inversion counts in O(n log n)
     // with a merge sort over (key, original index).
     let mut idx: Vec<u32> = (0..n as u32).collect();
-    idx.sort_by(|&x, &y| {
-        a[x as usize].total_order(a[y as usize]).then(x.cmp(&y))
-    });
+    idx.sort_by(|&x, &y| a[x as usize].total_order(a[y as usize]).then(x.cmp(&y)));
     // rank[i] = final position of element i. steps_i (= elements > a[i]
     // among a[0..i]) is computed via a Fenwick tree over final ranks.
     let mut rank = vec![0u32; n];
@@ -126,7 +124,10 @@ pub fn simulated_insertion_sort<K: SortKey>(a: &mut [K]) -> InsertionWork {
 /// [`crate::pairs`] (sorting spectra by intensity while carrying m/z).
 /// Returns the exact work (each key move implies a value move; the cost
 /// model charges value traffic separately by element size).
-pub fn insertion_sort_pairs<K: SortKey, V: Copy>(keys: &mut [K], values: &mut [V]) -> InsertionWork {
+pub fn insertion_sort_pairs<K: SortKey, V: Copy>(
+    keys: &mut [K],
+    values: &mut [V],
+) -> InsertionWork {
     assert_eq!(keys.len(), values.len(), "key/value length mismatch");
     let mut work = InsertionWork::default();
     for i in 1..keys.len() {
@@ -244,10 +245,17 @@ mod tests {
         let mut v = vals_in;
         let wp = insertion_sort_pairs(&mut k, &mut v);
         assert_eq!(k, vec![1, 3, 3, 5, 7, 9]);
-        assert_eq!(v, vec![10, 30, 31, 50, 70, 90], "stable for equal keys, values follow");
+        assert_eq!(
+            v,
+            vec![10, 30, 31, 50, 70, 90],
+            "stable for equal keys, values follow"
+        );
         let mut k2 = keys_in;
         let wk = insertion_sort(&mut k2);
-        assert_eq!(wp, wk, "pair sort does the same comparisons/moves as key-only");
+        assert_eq!(
+            wp, wk,
+            "pair sort does the same comparisons/moves as key-only"
+        );
     }
 
     #[test]

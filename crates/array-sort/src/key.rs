@@ -136,8 +136,14 @@ mod tests {
 
     fn sentinels_bracket<K: SortKey>(values: &[K]) {
         for &v in values {
-            assert!(K::min_sentinel().le(v), "min sentinel must be ≤ every value");
-            assert!(v.le(K::max_sentinel()), "max sentinel must be ≥ every value");
+            assert!(
+                K::min_sentinel().le(v),
+                "min sentinel must be ≤ every value"
+            );
+            assert!(
+                v.le(K::max_sentinel()),
+                "max sentinel must be ≥ every value"
+            );
         }
     }
 

@@ -61,6 +61,6 @@ pub use key::SortKey;
 pub use merge_variant::{merge_sort_arrays, MergeVariantStats};
 pub use out_of_core::{sort_out_of_core, sort_out_of_core_streamed, OocStats, StreamedOocStats};
 pub use pairs::{sort_pairs, PairSortStats, PairValue};
-pub use ragged::{sort_ragged, RaggedGeometry, RaggedStats};
 pub use pipeline::{DeviceRunStats, GasStats, GpuArraySort};
+pub use ragged::{sort_ragged, RaggedGeometry, RaggedStats};
 pub use splitters::Phase1Strategy;

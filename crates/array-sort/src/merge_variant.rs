@@ -261,8 +261,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(61);
         let mut data: Vec<f32> = (0..num * n).map(|_| rng.gen_range(0.0f32..1e9)).collect();
         let mut expect = data.clone();
-        let stats =
-            merge_sort_arrays(&mut g, &mut data, n, &ArraySortConfig::default()).unwrap();
+        let stats = merge_sort_arrays(&mut g, &mut data, n, &ArraySortConfig::default()).unwrap();
         for seg in expect.chunks_mut(n) {
             seg.sort_by(f32::total_cmp);
         }
@@ -291,8 +290,7 @@ mod tests {
     fn single_chunk_arrays_skip_the_merge() {
         let mut g = gpu();
         let mut data = vec![3.0f32, 1.0, 2.0];
-        let stats =
-            merge_sort_arrays(&mut g, &mut data, 3, &ArraySortConfig::default()).unwrap();
+        let stats = merge_sort_arrays(&mut g, &mut data, 3, &ArraySortConfig::default()).unwrap();
         assert_eq!(data, vec![1.0, 2.0, 3.0]);
         assert_eq!(stats.merge_passes, 0, "p = 1: nothing to merge");
         assert_eq!(stats.merge_ms, 0.0);
@@ -304,8 +302,9 @@ mod tests {
         // merge variant must pay a nonzero, growing merge bill.
         let mut g = gpu();
         let n = 2000usize;
-        let mut d1: Vec<f32> =
-            (0..(n * 20) as u64).map(|x| (x * 2654435761 % 1000) as f32).collect();
+        let mut d1: Vec<f32> = (0..(n * 20) as u64)
+            .map(|x| (x * 2654435761 % 1000) as f32)
+            .collect();
         let s1 = merge_sort_arrays(&mut g, &mut d1, n, &ArraySortConfig::default()).unwrap();
         assert!(
             s1.merge_ms > 0.3 * s1.chunk_sort_ms,

@@ -78,9 +78,11 @@ pub fn sort_out_of_core<K: SortKey>(
     let chunk_arrays = max_chunk_arrays(sorter, gpu, array_len)?;
 
     let mut chunks = Vec::new();
-    for chunk in data.chunks_mut(chunk_arrays * array_len) {
+    for (i, chunk) in data.chunks_mut(chunk_arrays * array_len).enumerate() {
         let t0 = gpu.elapsed_ms();
+        let span = gpu.begin_span(&format!("ooc/chunk-{i}"));
         let stats = sorter.sort(gpu, chunk, array_len)?;
+        gpu.end_span(span);
         debug_assert!(gpu.elapsed_ms() >= t0);
         chunks.push(ChunkStats {
             num_arrays: chunk.len() / array_len,
@@ -90,9 +92,17 @@ pub fn sort_out_of_core<K: SortKey>(
         });
     }
 
-    let serial_ms = chunks.iter().map(|c| c.upload_ms + c.kernel_ms + c.download_ms).sum();
+    let serial_ms = chunks
+        .iter()
+        .map(|c| c.upload_ms + c.kernel_ms + c.download_ms)
+        .sum();
     let pipelined_ms = pipelined_schedule(&chunks);
-    Ok(OocStats { chunks, chunk_arrays, serial_ms, pipelined_ms })
+    Ok(OocStats {
+        chunks,
+        chunk_arrays,
+        serial_ms,
+        pipelined_ms,
+    })
 }
 
 /// Result of a [`sort_out_of_core_streamed`] run: measured on the
@@ -128,7 +138,10 @@ pub fn sort_out_of_core_streamed<K: SortKey>(
 ) -> SimResult<StreamedOocStats> {
     if array_len == 0 || !data.len().is_multiple_of(array_len) || data.is_empty() {
         return Err(SimError::InvalidLaunch {
-            reason: format!("bad batch shape: len {} with array_len {array_len}", data.len()),
+            reason: format!(
+                "bad batch shape: len {} with array_len {array_len}",
+                data.len()
+            ),
         });
     }
     let chunk_arrays = max_chunk_arrays(sorter, gpu, array_len)?;
@@ -143,6 +156,7 @@ pub fn sort_out_of_core_streamed<K: SortKey>(
     for (i, chunk) in data.chunks_mut(chunk_elems).enumerate() {
         let slot = i % 2;
         gpu.set_stream(Some(streams[slot]));
+        let span = gpu.begin_span(&format!("ooc/chunk-{i}"));
         let need_realloc = match &slots[slot] {
             Some(buf) => buf.len() != chunk.len(),
             None => true,
@@ -158,12 +172,18 @@ pub fn sort_out_of_core_streamed<K: SortKey>(
         sorter.sort_device(gpu, buf, &geom)?;
         let buf = slots[slot].as_mut().expect("slot filled");
         gpu.dtoh_into(buf, chunk)?;
+        gpu.end_span(span);
     }
     let peak_bytes = gpu.ledger().peak();
     gpu.set_stream(None);
     let streamed_ms = gpu.synchronize() - t0;
 
-    Ok(StreamedOocStats { chunks: num_chunks, chunk_arrays, streamed_ms, peak_bytes })
+    Ok(StreamedOocStats {
+        chunks: num_chunks,
+        chunk_arrays,
+        streamed_ms,
+        peak_bytes,
+    })
 }
 
 /// Largest number of arrays per chunk such that two chunks' memory plans
@@ -201,7 +221,11 @@ fn pipelined_schedule(chunks: &[ChunkStats]) -> f64 {
     let mut total = chunks[0].upload_ms;
     for i in 0..chunks.len() {
         let next_upload = chunks.get(i + 1).map_or(0.0, |c| c.upload_ms);
-        let prev_download = if i == 0 { 0.0 } else { chunks[i - 1].download_ms };
+        let prev_download = if i == 0 {
+            0.0
+        } else {
+            chunks[i - 1].download_ms
+        };
         total += chunks[i].kernel_ms.max(next_upload).max(prev_download);
     }
     total += chunks.last().unwrap().download_ms;
@@ -228,7 +252,11 @@ mod tests {
         let mut data: Vec<f32> = (0..n * num).map(|_| rng.gen_range(0.0f32..1e9)).collect();
         let sorter = GpuArraySort::new();
         let stats = sort_out_of_core(&sorter, &mut g, &mut data, n).unwrap();
-        assert!(stats.chunks.len() >= 5, "must have chunked: {} chunks", stats.chunks.len());
+        assert!(
+            stats.chunks.len() >= 5,
+            "must have chunked: {} chunks",
+            stats.chunks.len()
+        );
         assert!(crate::cpu_ref::is_each_sorted(&data, n));
         // Every chunk fit the device: peak stayed under capacity.
         assert!(g.ledger().peak() <= g.ledger().capacity());
@@ -275,10 +303,12 @@ mod tests {
         let mut streamed_data = data;
         let mut g = small_gpu();
         let streamed =
-            sort_out_of_core_streamed(&GpuArraySort::new(), &mut g, &mut streamed_data, n)
-                .unwrap();
+            sort_out_of_core_streamed(&GpuArraySort::new(), &mut g, &mut streamed_data, n).unwrap();
 
-        assert_eq!(serial_data, streamed_data, "scheduling must not change results");
+        assert_eq!(
+            serial_data, streamed_data,
+            "scheduling must not change results"
+        );
         assert_eq!(streamed.chunks, serial.chunks.len());
         assert!(
             streamed.streamed_ms < serial.serial_ms,
@@ -304,7 +334,9 @@ mod tests {
         // earlier-issued transfer op ends.
         let events = g.async_events();
         let overlapped = events.iter().enumerate().any(|(i, e)| {
-            events[..i].iter().any(|prev| prev.end_ms > e.start_ms && prev.stream != e.stream)
+            events[..i]
+                .iter()
+                .any(|prev| prev.end_ms > e.start_ms && prev.stream != e.stream)
         });
         assert!(overlapped, "schedule must contain cross-stream overlap");
     }
@@ -316,8 +348,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(12);
         let mut data: Vec<f32> = (0..n * num).map(|_| rng.gen_range(0.0f32..1e9)).collect();
         let mut g = small_gpu();
-        let stats =
-            sort_out_of_core_streamed(&GpuArraySort::new(), &mut g, &mut data, n).unwrap();
+        let stats = sort_out_of_core_streamed(&GpuArraySort::new(), &mut g, &mut data, n).unwrap();
         // Peak must show two chunk slots but stay on the device.
         let one_chunk = (stats.chunk_arrays * n * 4) as u64;
         assert!(stats.peak_bytes >= 2 * one_chunk, "two slots resident");
@@ -341,6 +372,9 @@ mod tests {
         let plan = GasMemoryPlan::new(&sorter.geometry(m, 1000), 4, g.spec());
         assert!(2 * plan.total_bytes() <= g.spec().usable_mem_bytes());
         let plan_next = GasMemoryPlan::new(&sorter.geometry(m + 1, 1000), 4, g.spec());
-        assert!(2 * plan_next.total_bytes() > g.spec().usable_mem_bytes(), "m is maximal");
+        assert!(
+            2 * plan_next.total_bytes() > g.spec().usable_mem_bytes(),
+            "m is maximal"
+        );
     }
 }

@@ -85,7 +85,10 @@ pub fn sort_pairs<K: SortKey, V: PairValue>(
     array_len: usize,
 ) -> SimResult<PairSortStats> {
     if keys.len() != values.len() {
-        return Err(SimError::TransferSizeMismatch { src_len: keys.len(), dst_len: values.len() });
+        return Err(SimError::TransferSizeMismatch {
+            src_len: keys.len(),
+            dst_len: values.len(),
+        });
     }
     if array_len == 0 || keys.is_empty() || !keys.len().is_multiple_of(array_len) {
         return Err(SimError::InvalidLaunch {
@@ -152,9 +155,7 @@ fn bucket_pairs<K: SortKey, V: PairValue>(
         StagingStrategy::Shared => None,
         StagingStrategy::Global => {
             let resident = (gpu.spec().sm_count * gpu.spec().max_blocks_per_sm) as usize;
-            Some(gpu.alloc(
-                resident.min(geom.num_arrays) * geom.array_len * pair_bytes as usize,
-            )?)
+            Some(gpu.alloc(resident.min(geom.num_arrays) * geom.array_len * pair_bytes as usize)?)
         }
     };
 
@@ -294,8 +295,7 @@ fn sort_buckets_pairs<K: SortKey, V: PairValue>(
     let kb = K::ELEM_BYTES;
     let vb = V::VAL_BYTES;
 
-    let shared_want =
-        (n * (kb + vb) as usize).min(gpu.spec().shared_mem_per_block as usize) as u32;
+    let shared_want = (n * (kb + vb) as usize).min(gpu.spec().shared_mem_per_block as usize) as u32;
     let cfg = LaunchConfig::grid(geom.num_arrays as u32, threads).with_shared(shared_want);
 
     gpu.launch("gas_phase3_bucket_sort_pairs", cfg, move |block| {
@@ -368,13 +368,13 @@ mod tests {
         let mut g = gpu();
         let (num, n) = (60, 300);
         let mut rng = ChaCha8Rng::seed_from_u64(44);
-        let mut keys: Vec<f32> =
-            (0..num * n).map(|_| rng.gen_range(0.0f32..1000.0).floor()).collect();
+        let mut keys: Vec<f32> = (0..num * n)
+            .map(|_| rng.gen_range(0.0f32..1000.0).floor())
+            .collect();
         let mut vals: Vec<u32> = (0..(num * n) as u32).collect();
         let mut ck = keys.clone();
         let mut cv = vals.clone();
-        let stats =
-            sort_pairs(&GpuArraySort::new(), &mut g, &mut keys, &mut vals, n).unwrap();
+        let stats = sort_pairs(&GpuArraySort::new(), &mut g, &mut keys, &mut vals, n).unwrap();
         cpu_pair_sort(&mut ck, &mut cv, n);
         assert_eq!(keys, ck);
         // Keys with duplicates: our pipeline is stable (phase 2 preserves
@@ -394,7 +394,14 @@ mod tests {
         let mut intensity: Vec<f32> = (0..num * n).map(|_| rng.gen_range(0.0f32..1e5)).collect();
         let mz: Vec<f32> = intensity.iter().map(|x| x * 2.0 + 1.0).collect();
         let mut mz_sorted = mz.clone();
-        sort_pairs(&GpuArraySort::new(), &mut g, &mut intensity, &mut mz_sorted, n).unwrap();
+        sort_pairs(
+            &GpuArraySort::new(),
+            &mut g,
+            &mut intensity,
+            &mut mz_sorted,
+            n,
+        )
+        .unwrap();
         // The payload must still equal 2·key + 1 pointwise after the sort.
         for (k, v) in intensity.iter().zip(&mz_sorted) {
             assert_eq!(*v, *k * 2.0 + 1.0, "pair binding broken");
@@ -413,7 +420,10 @@ mod tests {
         let stats = sort_pairs(&GpuArraySort::new(), &mut g, &mut keys, &mut vals, n).unwrap();
         let data_bytes = (num * n * 8) as u64; // keys + values
         let overhead = stats.peak_bytes as f64 / data_bytes as f64;
-        assert!((1.0..1.2).contains(&overhead), "pairs stay in place: {overhead}×");
+        assert!(
+            (1.0..1.2).contains(&overhead),
+            "pairs stay in place: {overhead}×"
+        );
     }
 
     #[test]
@@ -438,7 +448,10 @@ mod tests {
         let stats = sort_pairs(&GpuArraySort::new(), &mut g, &mut keys, &mut vals, n).unwrap();
         assert_eq!(stats.staging, StagingStrategy::Global);
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
-        assert!(vals.windows(2).all(|w| w[0].0 >= w[1].0), "payload followed the reversal");
+        assert!(
+            vals.windows(2).all(|w| w[0].0 >= w[1].0),
+            "payload followed the reversal"
+        );
     }
 
     #[test]
@@ -453,8 +466,7 @@ mod tests {
         let mut g = gpu();
         let mut k2 = keys;
         let mut v2 = vec![0u32; num * n];
-        let pair_stats =
-            sort_pairs(&GpuArraySort::new(), &mut g, &mut k2, &mut v2, n).unwrap();
+        let pair_stats = sort_pairs(&GpuArraySort::new(), &mut g, &mut k2, &mut v2, n).unwrap();
         assert!(
             pair_stats.kernel_ms() > key_stats.kernel_ms(),
             "value traffic must cost: {} vs {}",

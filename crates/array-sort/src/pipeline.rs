@@ -123,12 +123,7 @@ impl GpuArraySort {
     }
 
     /// Memory plan for a batch shape on a device.
-    pub fn memory_plan(
-        &self,
-        num_arrays: usize,
-        array_len: usize,
-        gpu: &Gpu,
-    ) -> GasMemoryPlan {
+    pub fn memory_plan(&self, num_arrays: usize, array_len: usize, gpu: &Gpu) -> GasMemoryPlan {
         GasMemoryPlan::new(&self.geometry(num_arrays, array_len), 4, gpu.spec())
     }
 
@@ -147,7 +142,9 @@ impl GpuArraySort {
         array_len: usize,
     ) -> SimResult<GasStats> {
         if array_len == 0 {
-            return Err(SimError::InvalidLaunch { reason: "array_len must be positive".into() });
+            return Err(SimError::InvalidLaunch {
+                reason: "array_len must be positive".into(),
+            });
         }
         if !data.len().is_multiple_of(array_len) {
             return Err(SimError::InvalidLaunch {
@@ -158,17 +155,23 @@ impl GpuArraySort {
             });
         }
         if data.is_empty() {
-            return Err(SimError::InvalidLaunch { reason: "empty batch".into() });
+            return Err(SimError::InvalidLaunch {
+                reason: "empty batch".into(),
+            });
         }
         let geom = self.geometry(data.len() / array_len, array_len);
         let t0 = gpu.elapsed_ms();
+        let up = gpu.begin_span("gas/upload");
         let mut dbuf = gpu.htod_copy(data)?;
+        gpu.end_span(up);
         let upload_ms = gpu.elapsed_ms() - t0;
 
         let (dev, peak_bytes) = self.run_phases(gpu, &dbuf, &geom)?;
 
         let t3 = gpu.elapsed_ms();
+        let down = gpu.begin_span("gas/download");
         gpu.dtoh_into(&mut dbuf, data)?;
+        gpu.end_span(down);
         let download_ms = gpu.elapsed_ms() - t3;
 
         Ok(GasStats {
@@ -210,11 +213,17 @@ impl GpuArraySort {
         let mut zbuf: DeviceBuffer<u32> = gpu.alloc(geom.bucket_table_len())?;
 
         let t0 = gpu.elapsed_ms();
+        let s1 = gpu.begin_span("gas/phase1-splitters");
         let (_, phase1_strategy) = select_splitters(gpu, data, &sbuf, geom)?;
+        gpu.end_span(s1);
         let t1 = gpu.elapsed_ms();
+        let s2 = gpu.begin_span("gas/phase2-bucket-scatter");
         let outcome = bucket_arrays(gpu, data, &sbuf, &zbuf, geom, &self.config)?;
+        gpu.end_span(s2);
         let t2 = gpu.elapsed_ms();
+        let s3 = gpu.begin_span("gas/phase3-bucket-sort");
         sort_buckets(gpu, data, &zbuf, geom, &self.config)?;
+        gpu.end_span(s3);
         let t3 = gpu.elapsed_ms();
 
         let balance = bucket_balance(&mut zbuf, geom);
@@ -246,7 +255,9 @@ mod tests {
 
     fn random(num: usize, n: usize, seed: u64) -> Vec<f32> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..num * n).map(|_| rng.gen_range(0.0f32..2.147e9)).collect()
+        (0..num * n)
+            .map(|_| rng.gen_range(0.0f32..2.147e9))
+            .collect()
     }
 
     #[test]
@@ -339,11 +350,17 @@ mod tests {
 
     #[test]
     fn custom_config_flows_through() {
-        let cfg = ArraySortConfig { target_bucket_size: 40, ..Default::default() };
+        let cfg = ArraySortConfig {
+            target_bucket_size: 40,
+            ..Default::default()
+        };
         let sorter = GpuArraySort::with_config(cfg).unwrap();
         let geom = sorter.geometry(10, 1000);
         assert_eq!(geom.buckets_per_array, 25);
-        let bad = ArraySortConfig { sampling_rate: 0.0, ..Default::default() };
+        let bad = ArraySortConfig {
+            sampling_rate: 0.0,
+            ..Default::default()
+        };
         assert!(GpuArraySort::with_config(bad).is_err());
     }
 
@@ -356,6 +373,42 @@ mod tests {
         let mut d2 = random(200, n, 4);
         let s2 = GpuArraySort::new().sort(&mut g, &mut d2, n).unwrap();
         assert!(s2.kernel_ms() > s1.kernel_ms());
+    }
+
+    #[test]
+    fn sort_emits_contiguous_spans_summing_to_elapsed() {
+        let mut g = gpu();
+        let (num, n) = (50, 500);
+        let mut data = random(num, n, 7);
+        GpuArraySort::new().sort(&mut g, &mut data, n).unwrap();
+        let spans = &g.timeline().spans;
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "gas/upload",
+                "gas/phase1-splitters",
+                "gas/phase2-bucket-scatter",
+                "gas/phase3-bucket-sort",
+                "gas/download"
+            ]
+        );
+        for w in spans.windows(2) {
+            assert!(
+                (w[1].start_ms - w[0].end_ms).abs() < 1e-9,
+                "spans must be contiguous: {} ends {} but {} starts {}",
+                w[0].name,
+                w[0].end_ms,
+                w[1].name,
+                w[1].start_ms
+            );
+        }
+        let total: f64 = spans.iter().map(|s| s.duration_ms()).sum();
+        assert!(
+            (total - g.elapsed_ms()).abs() < 1e-6,
+            "span durations {total} must sum to elapsed {}",
+            g.elapsed_ms()
+        );
     }
 
     #[test]

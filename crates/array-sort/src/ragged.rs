@@ -57,13 +57,23 @@ impl RaggedGeometry {
         z_rows.push(0);
         for i in 0..num {
             let n = offsets[i + 1] - offsets[i];
-            let (p, s) = if n == 0 { (0, 0) } else { (config.buckets_for(n), config.samples_for(n)) };
+            let (p, s) = if n == 0 {
+                (0, 0)
+            } else {
+                (config.buckets_for(n), config.samples_for(n))
+            };
             buckets.push(p);
             samples.push(s);
             splitter_rows.push(splitter_rows[i] + if p == 0 { 0 } else { p + 1 });
             z_rows.push(z_rows[i] + p);
         }
-        Ok(Self { offsets: offsets.to_vec(), buckets, samples, splitter_rows, z_rows })
+        Ok(Self {
+            offsets: offsets.to_vec(),
+            buckets,
+            samples,
+            splitter_rows,
+            z_rows,
+        })
     }
 
     /// Number of arrays.
@@ -83,7 +93,10 @@ impl RaggedGeometry {
 
     /// Longest array (drives shared-memory strategy and block width).
     pub fn max_len(&self) -> usize {
-        (0..self.num_arrays()).map(|i| self.array_len(i)).max().unwrap_or(0)
+        (0..self.num_arrays())
+            .map(|i| self.array_len(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Splitter-table length (Σ pᵢ+1).
@@ -417,15 +430,19 @@ mod tests {
             let len = rng.gen_range(0..=max_len);
             offsets.push(offsets.last().unwrap() + len);
         }
-        let data: Vec<f32> =
-            (0..*offsets.last().unwrap()).map(|_| rng.gen_range(0.0f32..1e9)).collect();
+        let data: Vec<f32> = (0..*offsets.last().unwrap())
+            .map(|_| rng.gen_range(0.0f32..1e9))
+            .collect();
         (data, offsets)
     }
 
     fn check_sorted(data: &[f32], offsets: &[usize]) {
         for w in offsets.windows(2) {
             let seg = &data[w[0]..w[1]];
-            assert!(seg.windows(2).all(|x| x[0] <= x[1]), "segment {w:?} unsorted");
+            assert!(
+                seg.windows(2).all(|x| x[0] <= x[1]),
+                "segment {w:?} unsorted"
+            );
         }
     }
 
@@ -472,13 +489,25 @@ mod tests {
         let mut g = gpu();
         let mut data = vec![1.0f32; 4];
         let e = sort_ragged(&GpuArraySort::new(), &mut g, &mut data, &[1, 4]).unwrap_err();
-        assert!(matches!(e, SimError::InvalidLaunch { .. }), "must start at 0: {e}");
+        assert!(
+            matches!(e, SimError::InvalidLaunch { .. }),
+            "must start at 0: {e}"
+        );
         let e = sort_ragged(&GpuArraySort::new(), &mut g, &mut data, &[0, 3, 2, 4]).unwrap_err();
-        assert!(matches!(e, SimError::InvalidLaunch { .. }), "must be monotone: {e}");
+        assert!(
+            matches!(e, SimError::InvalidLaunch { .. }),
+            "must be monotone: {e}"
+        );
         let e = sort_ragged(&GpuArraySort::new(), &mut g, &mut data, &[0, 2]).unwrap_err();
-        assert!(matches!(e, SimError::InvalidLaunch { .. }), "must cover data: {e}");
+        assert!(
+            matches!(e, SimError::InvalidLaunch { .. }),
+            "must cover data: {e}"
+        );
         let e = sort_ragged(&GpuArraySort::new(), &mut g, &mut data, &[0]).unwrap_err();
-        assert!(matches!(e, SimError::InvalidLaunch { .. }), "needs ≥1 array: {e}");
+        assert!(
+            matches!(e, SimError::InvalidLaunch { .. }),
+            "needs ≥1 array: {e}"
+        );
     }
 
     #[test]
@@ -490,8 +519,9 @@ mod tests {
             offsets.push(offsets.last().unwrap() + if i == 0 { 8000 } else { 50 });
         }
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let mut data: Vec<f32> =
-            (0..*offsets.last().unwrap()).map(|_| rng.gen_range(0.0f32..1e9)).collect();
+        let mut data: Vec<f32> = (0..*offsets.last().unwrap())
+            .map(|_| rng.gen_range(0.0f32..1e9))
+            .collect();
         let mut g = gpu();
         let ragged = sort_ragged(&GpuArraySort::new(), &mut g, &mut data, &offsets).unwrap();
         check_sorted(&data, &offsets);
@@ -501,8 +531,9 @@ mod tests {
             for _ in 0..64 {
                 o.push(o.last().unwrap() + 170);
             }
-            let d: Vec<f32> =
-                (0..*o.last().unwrap()).map(|_| rng.gen_range(0.0f32..1e9)).collect();
+            let d: Vec<f32> = (0..*o.last().unwrap())
+                .map(|_| rng.gen_range(0.0f32..1e9))
+                .collect();
             (d, o)
         };
         let mut g = gpu();

@@ -42,8 +42,16 @@ pub fn sort_buckets<K: SortKey>(
     geom: &BatchGeometry,
     config: &ArraySortConfig,
 ) -> SimResult<KernelStats> {
-    assert_eq!(data.len(), geom.total_elems(), "data buffer does not match geometry");
-    assert_eq!(bucket_sizes.len(), geom.bucket_table_len(), "Z table mismatch");
+    assert_eq!(
+        data.len(),
+        geom.total_elems(),
+        "data buffer does not match geometry"
+    );
+    assert_eq!(
+        bucket_sizes.len(),
+        geom.bucket_table_len(),
+        "Z table mismatch"
+    );
 
     let n = geom.array_len;
     let p = geom.buckets_per_array;
@@ -190,7 +198,9 @@ mod tests {
             let zbuf = gpu.alloc::<u32>(geom.bucket_table_len()).unwrap();
             select_splitters(&mut gpu, &dbuf, &sbuf, &geom).unwrap();
             bucket_arrays(&mut gpu, &dbuf, &sbuf, &zbuf, &geom, &cfg).unwrap();
-            sort_buckets(&mut gpu, &dbuf, &zbuf, &geom, &cfg).unwrap().cycles
+            sort_buckets(&mut gpu, &dbuf, &zbuf, &geom, &cfg)
+                .unwrap()
+                .cycles
         };
         assert!(cost(&sorted) < cost(&reversed));
     }
@@ -219,7 +229,13 @@ mod tests {
     fn splitter_collapse_input(n: usize) -> Vec<f32> {
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         (0..n)
-            .map(|i| if i % 10 == 0 { 0.0 } else { rng.gen_range(1.0f32..1e9) })
+            .map(|i| {
+                if i % 10 == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(1.0f32..1e9)
+                }
+            })
             .collect()
     }
 
@@ -273,9 +289,14 @@ mod tests {
             d
         };
         let paper = run(&ArraySortConfig::default());
-        let adaptive =
-            run(&ArraySortConfig { adaptive_bucket_sort: true, ..Default::default() });
-        assert_eq!(paper, adaptive, "identical results when no bucket is oversized");
+        let adaptive = run(&ArraySortConfig {
+            adaptive_bucket_sort: true,
+            ..Default::default()
+        });
+        assert_eq!(
+            paper, adaptive,
+            "identical results when no bucket is oversized"
+        );
     }
 
     #[test]

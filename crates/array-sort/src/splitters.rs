@@ -54,7 +54,11 @@ pub fn select_splitters<K: SortKey>(
     splitters: &DeviceBuffer<K>,
     geom: &BatchGeometry,
 ) -> SimResult<(KernelStats, Phase1Strategy)> {
-    assert_eq!(data.len(), geom.total_elems(), "data buffer does not match geometry");
+    assert_eq!(
+        data.len(),
+        geom.total_elems(),
+        "data buffer does not match geometry"
+    );
     assert_eq!(
         splitters.len(),
         geom.splitter_table_len(),
@@ -154,7 +158,8 @@ mod tests {
         let (table, strat) = run(&mut gpu, &geom, &data);
         assert_eq!(strat, Phase1Strategy::SharedCopy);
         for i in 0..geom.num_arrays {
-            let row = &table[geom.splitter_offset(i)..geom.splitter_offset(i) + geom.boundaries_per_array];
+            let row = &table
+                [geom.splitter_offset(i)..geom.splitter_offset(i) + geom.boundaries_per_array];
             assert_eq!(row[0].to_bits(), f32::min_sentinel().to_bits());
             assert_eq!(row.last().unwrap().to_bits(), f32::max_sentinel().to_bits());
             assert!(
@@ -170,7 +175,8 @@ mod tests {
         let (table, _) = run(&mut gpu, &geom, &data);
         for i in 0..geom.num_arrays {
             let arr = &data[i * 200..(i + 1) * 200];
-            let row = &table[geom.splitter_offset(i)..geom.splitter_offset(i) + geom.boundaries_per_array];
+            let row = &table
+                [geom.splitter_offset(i)..geom.splitter_offset(i) + geom.boundaries_per_array];
             for &sp in &row[1..row.len() - 1] {
                 assert!(
                     arr.iter().any(|&x| x.to_bits() == sp.to_bits()),
@@ -235,6 +241,11 @@ mod tests {
         let s = g.alloc::<f32>(geom.splitter_table_len()).unwrap();
         let (kr, _) = select_splitters(&mut g, &b, &s, &geom).unwrap();
 
-        assert!(ks.cycles < kr.cycles, "sorted {} !< random {}", ks.cycles, kr.cycles);
+        assert!(
+            ks.cycles < kr.cycles,
+            "sorted {} !< random {}",
+            ks.cycles,
+            kr.cycles
+        );
     }
 }

@@ -18,7 +18,12 @@ fn pairs_vs_keys(c: &mut Criterion) {
         b.iter(|| {
             let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
             let mut data = batch.clone();
-            black_box(GpuArraySort::new().sort(&mut gpu, data.as_flat_mut(), n).unwrap().kernel_ms())
+            black_box(
+                GpuArraySort::new()
+                    .sort(&mut gpu, data.as_flat_mut(), n)
+                    .unwrap()
+                    .kernel_ms(),
+            )
         });
     });
     g.bench_function("with_u32_payload", |b| {
@@ -69,7 +74,11 @@ fn segmented_baseline(c: &mut Criterion) {
         b.iter(|| {
             let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
             let mut data = batch.clone();
-            black_box(thrust_sim::segmented_sort(&mut gpu, data.as_flat_mut(), n).unwrap().kernel_ms)
+            black_box(
+                thrust_sim::segmented_sort(&mut gpu, data.as_flat_mut(), n)
+                    .unwrap()
+                    .kernel_ms,
+            )
         });
     });
     g.finish();
@@ -111,5 +120,11 @@ fn streamed_out_of_core(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, pairs_vs_keys, ragged_vs_padded, segmented_baseline, streamed_out_of_core);
+criterion_group!(
+    benches,
+    pairs_vs_keys,
+    ragged_vs_padded,
+    segmented_baseline,
+    streamed_out_of_core
+);
 criterion_main!(benches);

@@ -25,8 +25,9 @@ fn fig2_array_size_sweep(c: &mut Criterion) {
             b.iter(|| {
                 let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
                 let mut data = batch.clone();
-                let stats =
-                    GpuArraySort::new().sort(&mut gpu, data.as_flat_mut(), n).unwrap();
+                let stats = GpuArraySort::new()
+                    .sort(&mut gpu, data.as_flat_mut(), n)
+                    .unwrap();
                 black_box(stats.kernel_ms())
             });
         });
@@ -45,8 +46,9 @@ fn fig4to7_gas_vs_sta(c: &mut Criterion) {
             b.iter(|| {
                 let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
                 let mut data = batch.clone();
-                let stats =
-                    GpuArraySort::new().sort(&mut gpu, data.as_flat_mut(), n).unwrap();
+                let stats = GpuArraySort::new()
+                    .sort(&mut gpu, data.as_flat_mut(), n)
+                    .unwrap();
                 black_box(stats.total_ms())
             });
         });
@@ -54,8 +56,7 @@ fn fig4to7_gas_vs_sta(c: &mut Criterion) {
             b.iter(|| {
                 let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
                 let mut data = batch.clone();
-                let stats =
-                    thrust_sim::sta::sort_arrays(&mut gpu, data.as_flat_mut(), n).unwrap();
+                let stats = thrust_sim::sta::sort_arrays(&mut gpu, data.as_flat_mut(), n).unwrap();
                 black_box(stats.total_ms())
             });
         });
@@ -95,7 +96,12 @@ fn ablation_bucket_size(c: &mut Criterion) {
             b.iter(|| {
                 let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
                 let mut data = batch.clone();
-                black_box(sorter.sort(&mut gpu, data.as_flat_mut(), n).unwrap().kernel_ms())
+                black_box(
+                    sorter
+                        .sort(&mut gpu, data.as_flat_mut(), n)
+                        .unwrap()
+                        .kernel_ms(),
+                )
             });
         });
     }
@@ -118,7 +124,12 @@ fn ablation_sampling_rate(c: &mut Criterion) {
             b.iter(|| {
                 let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
                 let mut data = batch.clone();
-                black_box(sorter.sort(&mut gpu, data.as_flat_mut(), n).unwrap().kernel_ms())
+                black_box(
+                    sorter
+                        .sort(&mut gpu, data.as_flat_mut(), n)
+                        .unwrap()
+                        .kernel_ms(),
+                )
             });
         });
     }
@@ -141,7 +152,12 @@ fn ablation_threads_per_bucket(c: &mut Criterion) {
             b.iter(|| {
                 let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
                 let mut data = batch.clone();
-                black_box(sorter.sort(&mut gpu, data.as_flat_mut(), n).unwrap().kernel_ms())
+                black_box(
+                    sorter
+                        .sort(&mut gpu, data.as_flat_mut(), n)
+                        .unwrap()
+                        .kernel_ms(),
+                )
             });
         });
     }

@@ -27,7 +27,9 @@ fn radix_sort_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("radix_sort_throughput");
     g.sample_size(10);
     for len in [10_000usize, 500_000] {
-        let keys: Vec<u32> = (0..len as u64).map(|i| (i * 2654435761 % 4294967291) as u32).collect();
+        let keys: Vec<u32> = (0..len as u64)
+            .map(|i| (i * 2654435761 % 4294967291) as u32)
+            .collect();
         let vals: Vec<u32> = (0..len as u32).collect();
         g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
             b.iter(|| {
@@ -70,5 +72,10 @@ fn launch_overhead(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, scan_throughput, radix_sort_throughput, launch_overhead);
+criterion_group!(
+    benches,
+    scan_throughput,
+    radix_sort_throughput,
+    launch_overhead
+);
 criterion_main!(benches);

@@ -8,16 +8,24 @@
 //! cargo run --release -p bench --bin probe-calibration
 //! ```
 
-use gpu_sim::{DeviceSpec, Gpu};
 use array_sort::GpuArraySort;
 use datagen::ArrayBatch;
+use gpu_sim::{DeviceSpec, Gpu};
 
 fn main() {
-    for &(num, n) in &[(250usize, 1000usize), (1000, 1000), (2500, 1000), (10000, 1000), (2500, 4000)] {
+    for &(num, n) in &[
+        (250usize, 1000usize),
+        (1000, 1000),
+        (2500, 1000),
+        (10000, 1000),
+        (2500, 4000),
+    ] {
         let b = ArrayBatch::paper_uniform(1, num, n);
         let mut d = b.clone();
         let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
-        let gas = GpuArraySort::new().sort(&mut gpu, d.as_flat_mut(), n).unwrap();
+        let gas = GpuArraySort::new()
+            .sort(&mut gpu, d.as_flat_mut(), n)
+            .unwrap();
         let mut d2 = b.clone();
         let mut gpu2 = Gpu::new(DeviceSpec::tesla_k40c());
         let sta = thrust_sim::sta::sort_arrays(&mut gpu2, d2.as_flat_mut(), n).unwrap();

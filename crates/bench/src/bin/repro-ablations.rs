@@ -16,7 +16,9 @@
 //!
 //! With no selector flags, all four run.
 
-use bench::experiments::{run_bucket_ablation, run_merge_ablation, run_sampling_ablation, run_threads_ablation};
+use bench::experiments::{
+    run_bucket_ablation, run_merge_ablation, run_sampling_ablation, run_threads_ablation,
+};
 use bench::report::{default_out_dir, fmt_ms, markdown_table, write_csv, write_json};
 
 fn main() {
@@ -48,7 +50,16 @@ fn main() {
             .collect();
         println!(
             "{}",
-            markdown_table(&["bucket size", "phase 2", "phase 3", "total kernel", "memory"], &md)
+            markdown_table(
+                &[
+                    "bucket size",
+                    "phase 2",
+                    "phase 3",
+                    "total kernel",
+                    "memory"
+                ],
+                &md
+            )
         );
         let csv: Vec<Vec<String>> = rows
             .iter()
@@ -66,7 +77,13 @@ fn main() {
         write_csv(
             &out,
             "ablation_bucket_size",
-            &["bucket_size", "phase2_ms", "phase3_ms", "kernel_ms", "mem_overhead"],
+            &[
+                "bucket_size",
+                "phase2_ms",
+                "phase3_ms",
+                "kernel_ms",
+                "mem_overhead",
+            ],
             &csv,
         )
         .unwrap();
@@ -91,7 +108,14 @@ fn main() {
         println!(
             "{}",
             markdown_table(
-                &["rate", "imbalance (max/mean)", "cv", "phase 1", "phase 3", "total kernel"],
+                &[
+                    "rate",
+                    "imbalance (max/mean)",
+                    "cv",
+                    "phase 1",
+                    "phase 3",
+                    "total kernel"
+                ],
                 &md
             )
         );
@@ -112,7 +136,14 @@ fn main() {
         write_csv(
             &out,
             "ablation_sampling_rate",
-            &["rate", "imbalance", "cv", "phase1_ms", "phase3_ms", "kernel_ms"],
+            &[
+                "rate",
+                "imbalance",
+                "cv",
+                "phase1_ms",
+                "phase3_ms",
+                "kernel_ms",
+            ],
             &csv,
         )
         .unwrap();
@@ -131,7 +162,10 @@ fn main() {
                 ]
             })
             .collect();
-        println!("{}", markdown_table(&["threads/bucket", "phase 2", "total kernel"], &md));
+        println!(
+            "{}",
+            markdown_table(&["threads/bucket", "phase 2", "total kernel"], &md)
+        );
         let csv: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
@@ -170,7 +204,13 @@ fn main() {
         println!(
             "{}",
             markdown_table(
-                &["n", "GAS kernels", "merge-variant kernels", "merge stage alone", "GAS P1+P2 (its price)"],
+                &[
+                    "n",
+                    "GAS kernels",
+                    "merge-variant kernels",
+                    "merge stage alone",
+                    "GAS P1+P2 (its price)"
+                ],
                 &md
             )
         );
@@ -190,7 +230,13 @@ fn main() {
         write_csv(
             &out,
             "ablation_merge_variant",
-            &["array_len", "gas_kernel_ms", "merge_kernel_ms", "merge_stage_ms", "gas_p1p2_ms"],
+            &[
+                "array_len",
+                "gas_kernel_ms",
+                "merge_kernel_ms",
+                "merge_stage_ms",
+                "gas_p1p2_ms",
+            ],
             &csv,
         )
         .unwrap();

@@ -24,8 +24,7 @@ fn main() {
         "repro-ablations",
         "repro-outofcore",
         "repro-beyond",
-    ]
-    {
+    ] {
         println!("\n=============== {bin} ===============");
         run(bin, &args);
     }

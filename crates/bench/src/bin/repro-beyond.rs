@@ -43,7 +43,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["n", "GPU-ArraySort", "STA", "segmented sort", "segsort vs GAS", "capacity GAS/STA/seg"],
+            &[
+                "n",
+                "GPU-ArraySort",
+                "STA",
+                "segmented sort",
+                "segsort vs GAS",
+                "capacity GAS/STA/seg"
+            ],
             &md
         )
     );
@@ -63,7 +70,14 @@ fn main() {
         .collect();
     println!(
         "{}",
-        markdown_table(&["thrust_elem_cycles", "implied STA throughput", "STA/GAS ratio"], &md)
+        markdown_table(
+            &[
+                "thrust_elem_cycles",
+                "implied STA throughput",
+                "STA/GAS ratio"
+            ],
+            &md
+        )
     );
     println!(
         "(5200 reproduces the paper's measured STA; 0 = structural costs only.\n\
@@ -88,7 +102,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["distribution", "bucket imbalance", "GAS kernels", "segsort kernels"],
+            &[
+                "distribution",
+                "bucket imbalance",
+                "GAS kernels",
+                "segsort kernels"
+            ],
             &md
         )
     );
@@ -112,7 +131,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["n", "imbalance", "phase 3 (benign)", "phase 3 (paper, attacked)", "phase 3 (adaptive)", "rescue"],
+            &[
+                "n",
+                "imbalance",
+                "phase 3 (benign)",
+                "phase 3 (paper, attacked)",
+                "phase 3 (adaptive)",
+                "rescue"
+            ],
             &md
         )
     );

@@ -30,7 +30,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["device", "SMs", "GAS kernels", "STA kernels", "capacity (n=1000)", "SM balance"],
+            &[
+                "device",
+                "SMs",
+                "GAS kernels",
+                "STA kernels",
+                "capacity (n=1000)",
+                "SM balance"
+            ],
             &md
         )
     );

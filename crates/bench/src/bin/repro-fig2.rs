@@ -5,7 +5,7 @@
 //! cargo run --release -p bench --bin repro-fig2 [--scale 0.05 | --full]
 //! ```
 
-use bench::experiments::run_fig2;
+use bench::experiments::run_fig2_traced;
 use bench::report::{default_out_dir, fmt_ms, markdown_table, write_csv, write_json};
 
 fn main() {
@@ -13,13 +13,20 @@ fn main() {
     let scale = bench::parse_scale(&args, 0.05);
     println!("# Fig. 2 — time complexity vs. array size (N = 50 000 × {scale})\n");
 
-    let report = run_fig2(scale);
+    let out = default_out_dir();
+    let report = run_fig2_traced(scale, Some(&out));
 
     let header = ["n", "measured", "theoretical (Eq. 2 fit)"];
     let rows: Vec<Vec<String>> = report
         .rows
         .iter()
-        .map(|r| vec![r.n.to_string(), fmt_ms(r.measured_ms), fmt_ms(r.theoretical_ms)])
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                fmt_ms(r.measured_ms),
+                fmt_ms(r.theoretical_ms),
+            ]
+        })
         .collect();
     println!("{}", markdown_table(&header, &rows));
     println!(
@@ -28,16 +35,28 @@ fn main() {
         report.nrmse * 100.0
     );
 
-    let out = default_out_dir();
     let csv_rows: Vec<Vec<String>> = report
         .rows
         .iter()
         .map(|r| {
-            vec![r.n.to_string(), format!("{:.4}", r.measured_ms), format!("{:.4}", r.theoretical_ms)]
+            vec![
+                r.n.to_string(),
+                format!("{:.4}", r.measured_ms),
+                format!("{:.4}", r.theoretical_ms),
+            ]
         })
         .collect();
     let j = write_json(&out, "fig2", &report).expect("write fig2.json");
-    let c = write_csv(&out, "fig2", &["n", "measured_ms", "theoretical_ms"], &csv_rows)
-        .expect("write fig2.csv");
+    let c = write_csv(
+        &out,
+        "fig2",
+        &["n", "measured_ms", "theoretical_ms"],
+        &csv_rows,
+    )
+    .expect("write fig2.csv");
     println!("\nwrote {} and {}", j.display(), c.display());
+    println!(
+        "wrote one Chrome trace per point ({}/fig2_n*.trace.json — open at https://ui.perfetto.dev)",
+        out.display()
+    );
 }

@@ -8,7 +8,7 @@
 //!
 //! Without `--n`, all four figures run.
 
-use bench::experiments::{run_runtime_figure, FIG4TO7_SIZES};
+use bench::experiments::{run_runtime_figure_traced, FIG4TO7_SIZES};
 use bench::report::{default_out_dir, fmt_ms, markdown_table, write_csv, write_json};
 
 fn main() {
@@ -35,7 +35,7 @@ fn main() {
             _ => 4 + fig,
         };
         println!("\n# Fig. {fig_no} — run time vs. N for array size {n} (N × {scale})\n");
-        let report = run_runtime_figure(*n, scale);
+        let report = run_runtime_figure_traced(*n, scale, Some(&out));
 
         let header = ["N", "GPU-ArraySort", "STA (Thrust)", "STA/GAS"];
         let rows: Vec<Vec<String>> = report
@@ -71,10 +71,17 @@ fn main() {
         write_csv(
             &out,
             &name,
-            &["num_arrays", "gas_ms", "gas_kernel_ms", "sta_ms", "sta_kernel_ms", "speedup"],
+            &[
+                "num_arrays",
+                "gas_ms",
+                "gas_kernel_ms",
+                "sta_ms",
+                "sta_kernel_ms",
+                "speedup",
+            ],
             &csv_rows,
         )
         .expect("write csv");
-        println!("wrote results/{name}.json and .csv");
+        println!("wrote results/{name}.json, .csv, and per-point traces ({name}_N*_{{gas,sta}}.trace.json)");
     }
 }

@@ -7,22 +7,30 @@
 //! cargo run --release -p bench --bin repro-outofcore [--scale f]
 //! ```
 
-use bench::experiments::run_outofcore;
+use bench::experiments::run_outofcore_traced;
 use bench::report::{default_out_dir, fmt_ms, write_json};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = bench::parse_scale(&args, 1.0);
     println!("# Out-of-core array sort (paper §9)\n");
-    let r = run_outofcore(scale);
-    println!("device          : {} ({} MB)", r.device, r.device_bytes / (1024 * 1024));
+    let out = default_out_dir();
+    let r = run_outofcore_traced(scale, Some(&out));
+    println!(
+        "device          : {} ({} MB)",
+        r.device,
+        r.device_bytes / (1024 * 1024)
+    );
     println!("dataset         : {} MB", r.dataset_bytes / (1024 * 1024));
     println!("chunks          : {}", r.chunks);
     println!("serial schedule : {}", fmt_ms(r.serial_ms));
     println!("pipelined (analytic)      : {}", fmt_ms(r.pipelined_ms));
     println!("pipelined (2 real streams): {}", fmt_ms(r.streamed_ms));
     println!("overlap saving  : {:.1}%", r.saving * 100.0);
-    let out = default_out_dir();
     write_json(&out, "outofcore", &r).expect("write json");
     println!("\nwrote results/outofcore.json");
+    println!(
+        "wrote results/outofcore_{{serial,streamed}}.trace.json — the streamed trace \
+         shows compute/copy overlap on per-stream tracks at https://ui.perfetto.dev"
+    );
 }

@@ -14,8 +14,14 @@ fn main() {
     println!("# Table 1 — data-handling capacity on the Tesla K40c\n");
     let rows = run_table1();
 
-    let header =
-        ["Array Size", "GPU-ArraySort", "(paper)", "STA", "(paper)", "capacity ratio"];
+    let header = [
+        "Array Size",
+        "GPU-ArraySort",
+        "(paper)",
+        "STA",
+        "(paper)",
+        "capacity ratio",
+    ];
     let md: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -34,7 +40,11 @@ fn main() {
     print!("boundary probes: ");
     for r in &rows {
         let (fits, fails) = probe_table1_row(r.array_len);
-        assert!(fits && fails, "capacity boundary must be exact for n={}", r.array_len);
+        assert!(
+            fits && fails,
+            "capacity boundary must be exact for n={}",
+            r.array_len
+        );
         print!("n={} ✓  ", r.array_len);
     }
     println!("\n(reported capacity allocates; +5% OOMs)");
@@ -57,7 +67,14 @@ fn main() {
     write_csv(
         &out,
         "table1",
-        &["array_len", "gas_max_arrays", "sta_max_arrays", "ratio", "paper_gas", "paper_sta"],
+        &[
+            "array_len",
+            "gas_max_arrays",
+            "sta_max_arrays",
+            "ratio",
+            "paper_gas",
+            "paper_sta",
+        ],
         &csv,
     )
     .expect("write csv");

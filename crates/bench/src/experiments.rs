@@ -8,16 +8,28 @@
 //! a laptop; `--full` in the repro binaries sets `scale = 1.0` for the
 //! paper's exact axes.
 
-use array_sort::{
-    complexity, cpu_ref, sort_out_of_core, ArraySortConfig, GpuArraySort,
-};
+use std::path::Path;
+
+use array_sort::{complexity, cpu_ref, sort_out_of_core, ArraySortConfig, GpuArraySort};
 use datagen::{ArrayBatch, DatasetDescriptor};
 use gpu_sim::{DeviceSpec, Gpu};
 use serde::{Deserialize, Serialize};
 
+/// Persists a run's device timeline as a Chrome trace under `trace_dir`
+/// (best effort: experiments never fail because a trace could not be
+/// written, but the error is surfaced on stderr).
+fn persist_trace(trace_dir: Option<&Path>, name: &str, gpu: &Gpu) {
+    if let Some(dir) = trace_dir {
+        if let Err(e) = crate::report::write_trace(dir, name, gpu.timeline(), gpu.spec()) {
+            eprintln!("warning: could not write trace {name}: {e}");
+        }
+    }
+}
+
 /// N values of the paper's Figs. 4–7 x-axis (0.25–2.0 ·10⁵).
-pub const FIG4TO7_N: [usize; 8] =
-    [25_000, 50_000, 75_000, 100_000, 125_000, 150_000, 175_000, 200_000];
+pub const FIG4TO7_N: [usize; 8] = [
+    25_000, 50_000, 75_000, 100_000, 125_000, 150_000, 175_000, 200_000,
+];
 
 /// Array sizes of the four runtime figures.
 pub const FIG4TO7_SIZES: [usize; 4] = [1000, 2000, 3000, 4000];
@@ -65,6 +77,12 @@ pub struct Fig2Report {
 
 /// Runs the Fig. 2 sweep: n from 100 to 2000, N = 50 000·scale.
 pub fn run_fig2(scale: f64) -> Fig2Report {
+    run_fig2_traced(scale, None)
+}
+
+/// [`run_fig2`], additionally persisting one Chrome trace per sweep point
+/// (`fig2_n{n}.trace.json`) when `trace_dir` is given.
+pub fn run_fig2_traced(scale: f64, trace_dir: Option<&Path>) -> Fig2Report {
     let num_arrays = scaled(50_000, scale);
     let sorter = GpuArraySort::new();
     let config = sorter.config().clone();
@@ -79,7 +97,11 @@ pub fn run_fig2(scale: f64) -> Fig2Report {
         let stats = sorter
             .sort(&mut gpu, batch.as_flat_mut(), n)
             .expect("fig2 batch fits the K40c");
-        assert!(batch.is_each_array_sorted(), "fig2 output must be sorted (n={n})");
+        assert!(
+            batch.is_each_array_sorted(),
+            "fig2 output must be sorted (n={n})"
+        );
+        persist_trace(trace_dir, &format!("fig2_n{n}"), &gpu);
         points.push((n, stats.kernel_ms()));
         datasets.push(desc);
     }
@@ -94,7 +116,13 @@ pub fn run_fig2(scale: f64) -> Fig2Report {
             theoretical_ms: fit.predict(n, &config),
         })
         .collect();
-    Fig2Report { num_arrays, rows, fitted_scale: fit.scale, nrmse, datasets }
+    Fig2Report {
+        num_arrays,
+        rows,
+        fitted_scale: fit.scale,
+        nrmse,
+        datasets,
+    }
 }
 
 // ------------------------------------------------------------ Figs. 4–7
@@ -130,10 +158,26 @@ pub struct RuntimeReport {
 /// Runs one of Figs. 4–7: time vs. N for a fixed n, both algorithms on
 /// identical data.
 pub fn run_runtime_figure(array_len: usize, scale: f64) -> RuntimeReport {
+    run_runtime_figure_traced(array_len, scale, None)
+}
+
+/// [`run_runtime_figure`], additionally persisting one Chrome trace per
+/// (algorithm, N) point when `trace_dir` is given. Figure number follows
+/// the paper: n = 1000 → Fig. 4 … n = 4000 → Fig. 7.
+pub fn run_runtime_figure_traced(
+    array_len: usize,
+    scale: f64,
+    trace_dir: Option<&Path>,
+) -> RuntimeReport {
+    let fig_no = 3 + array_len.div_ceil(1000);
     let sorter = GpuArraySort::new();
     let mut rows = Vec::new();
     let mut datasets = Vec::new();
-    let n_cap = if array_len >= 4000 { FIG7_MAX_N } else { usize::MAX };
+    let n_cap = if array_len >= 4000 {
+        FIG7_MAX_N
+    } else {
+        usize::MAX
+    };
 
     for &n_arrays in FIG4TO7_N.iter().filter(|&&x| x <= n_cap) {
         let num = scaled(n_arrays, scale);
@@ -147,6 +191,11 @@ pub fn run_runtime_figure(array_len: usize, scale: f64) -> RuntimeReport {
             .sort(&mut gpu, gas_data.as_flat_mut(), array_len)
             .expect("GAS fits at paper scales");
         assert!(gas_data.is_each_array_sorted(), "GAS output sorted");
+        persist_trace(
+            trace_dir,
+            &format!("fig{fig_no}_n{array_len}_N{num}_gas"),
+            &gpu,
+        );
 
         // STA baseline on the same input.
         let mut sta_data = batch;
@@ -155,6 +204,11 @@ pub fn run_runtime_figure(array_len: usize, scale: f64) -> RuntimeReport {
             .expect("STA fits at paper scales");
         assert!(sta_data.is_each_array_sorted(), "STA output sorted");
         assert_eq!(gas_data, sta_data, "both algorithms agree elementwise");
+        persist_trace(
+            trace_dir,
+            &format!("fig{fig_no}_n{array_len}_N{num}_sta"),
+            &gpu,
+        );
 
         rows.push(RuntimeRow {
             num_arrays: num,
@@ -166,7 +220,11 @@ pub fn run_runtime_figure(array_len: usize, scale: f64) -> RuntimeReport {
         });
         datasets.push(desc);
     }
-    RuntimeReport { array_len, rows, datasets }
+    RuntimeReport {
+        array_len,
+        rows,
+        datasets,
+    }
 }
 
 // -------------------------------------------------------------- Table 1
@@ -273,12 +331,16 @@ pub fn run_bucket_ablation(scale: f64) -> Vec<BucketAblationRow> {
     [5usize, 10, 20, 40, 80, 160]
         .iter()
         .map(|&bs| {
-            let cfg = ArraySortConfig { target_bucket_size: bs, ..Default::default() };
+            let cfg = ArraySortConfig {
+                target_bucket_size: bs,
+                ..Default::default()
+            };
             let sorter = GpuArraySort::with_config(cfg).expect("valid config");
             let mut batch = desc.generate();
             let mut gpu = k40c();
-            let stats =
-                sorter.sort(&mut gpu, batch.as_flat_mut(), n).expect("ablation batch fits");
+            let stats = sorter
+                .sort(&mut gpu, batch.as_flat_mut(), n)
+                .expect("ablation batch fits");
             assert!(batch.is_each_array_sorted());
             let plan = sorter.memory_plan(num, n, &gpu);
             BucketAblationRow {
@@ -318,7 +380,10 @@ pub fn run_sampling_ablation(scale: f64) -> Vec<SamplingAblationRow> {
     [0.02f64, 0.05, 0.10, 0.20, 0.30]
         .iter()
         .map(|&rate| {
-            let cfg = ArraySortConfig { sampling_rate: rate, ..Default::default() };
+            let cfg = ArraySortConfig {
+                sampling_rate: rate,
+                ..Default::default()
+            };
             let sorter = GpuArraySort::with_config(cfg).expect("valid config");
             let mut batch = desc.generate();
             let mut gpu = k40c();
@@ -356,7 +421,10 @@ pub fn run_threads_ablation(scale: f64) -> Vec<ThreadsAblationRow> {
     [1usize, 2, 4]
         .iter()
         .map(|&k| {
-            let cfg = ArraySortConfig { threads_per_bucket: k, ..Default::default() };
+            let cfg = ArraySortConfig {
+                threads_per_bucket: k,
+                ..Default::default()
+            };
             let sorter = GpuArraySort::with_config(cfg).expect("valid config");
             let mut batch = desc.generate();
             let mut gpu = k40c();
@@ -398,7 +466,9 @@ pub fn run_merge_ablation(scale: f64) -> Vec<MergeAblationRow> {
             let desc = DatasetDescriptor::paper(0x3E6 + n as u64, num, n);
             let mut a = desc.generate();
             let mut gpu = k40c();
-            let gas = GpuArraySort::new().sort(&mut gpu, a.as_flat_mut(), n).expect("fits");
+            let gas = GpuArraySort::new()
+                .sort(&mut gpu, a.as_flat_mut(), n)
+                .expect("fits");
             assert!(a.is_each_array_sorted());
             let mut b = desc.generate();
             let mut gpu = k40c();
@@ -447,6 +517,13 @@ pub struct OutOfCoreReport {
 
 /// Runs the out-of-core extension on a dataset ~2–4× device memory.
 pub fn run_outofcore(scale: f64) -> OutOfCoreReport {
+    run_outofcore_traced(scale, None)
+}
+
+/// [`run_outofcore`], additionally persisting the serial and streamed
+/// schedules' Chrome traces when `trace_dir` is given — the streamed
+/// trace shows the H↔D/compute overlap on per-stream tracks.
+pub fn run_outofcore_traced(scale: f64, trace_dir: Option<&Path>) -> OutOfCoreReport {
     let spec = DeviceSpec::test_device();
     let mut gpu = Gpu::new(spec.clone());
     let n = 1000;
@@ -461,14 +538,12 @@ pub fn run_outofcore(scale: f64) -> OutOfCoreReport {
     // The same workload on two real simulated streams.
     let mut batch2 = ArrayBatch::paper_uniform(0x00C, num, n);
     let mut gpu2 = Gpu::new(spec.clone());
-    let streamed = array_sort::sort_out_of_core_streamed(
-        &sorter,
-        &mut gpu2,
-        batch2.as_flat_mut(),
-        n,
-    )
-    .expect("streamed out-of-core fits chunk-wise");
+    let streamed =
+        array_sort::sort_out_of_core_streamed(&sorter, &mut gpu2, batch2.as_flat_mut(), n)
+            .expect("streamed out-of-core fits chunk-wise");
     assert_eq!(batch, batch2, "schedules must agree on results");
+    persist_trace(trace_dir, "outofcore_serial", &gpu);
+    persist_trace(trace_dir, "outofcore_streamed", &gpu2);
 
     OutOfCoreReport {
         device: spec.name.clone(),
@@ -481,7 +556,6 @@ pub fn run_outofcore(scale: f64) -> OutOfCoreReport {
         saving: stats.overlap_saving(),
     }
 }
-
 
 // --------------------------------------------------- Beyond the paper
 
@@ -566,15 +640,19 @@ pub fn run_baseline_sensitivity(scale: f64) -> Vec<BaselineSensitivityRow> {
     [5_200.0f64, 2_600.0, 1_300.0, 650.0, 325.0, 0.0]
         .iter()
         .map(|&cal| {
-            let cost =
-                gpu_sim::CostModel { thrust_elem_cycles: cal, ..Default::default() };
+            let cost = gpu_sim::CostModel {
+                thrust_elem_cycles: cal,
+                ..Default::default()
+            };
             let mut batch = desc.generate();
             let mut gpu = Gpu::with_cost_model(DeviceSpec::tesla_k40c(), cost.clone());
-            let sta = thrust_sim::sta::sort_arrays(&mut gpu, batch.as_flat_mut(), n)
-                .expect("STA fits");
+            let sta =
+                thrust_sim::sta::sort_arrays(&mut gpu, batch.as_flat_mut(), n).expect("STA fits");
             let mut batch2 = desc.generate();
             let mut gpu2 = Gpu::with_cost_model(DeviceSpec::tesla_k40c(), cost);
-            let gas = GpuArraySort::new().sort(&mut gpu2, batch2.as_flat_mut(), n).expect("fits");
+            let gas = GpuArraySort::new()
+                .sort(&mut gpu2, batch2.as_flat_mut(), n)
+                .expect("fits");
             let elems = (num * n) as f64;
             BaselineSensitivityRow {
                 thrust_elem_cycles: cal,
@@ -610,19 +688,32 @@ pub fn run_skew(scale: f64) -> Vec<SkewRow> {
     let num = scaled(20_000, scale);
     let cases: [(&str, Distribution); 5] = [
         ("uniform (paper)", Distribution::PaperUniform),
-        ("normal", Distribution::Normal { mean: 0.0, std_dev: 1e6 }),
+        (
+            "normal",
+            Distribution::Normal {
+                mean: 0.0,
+                std_dev: 1e6,
+            },
+        ),
         ("exponential", Distribution::Exponential { lambda: 1e-6 }),
-        ("pareto a=1.2", Distribution::Pareto { scale: 1.0, alpha: 1.2 }),
+        (
+            "pareto a=1.2",
+            Distribution::Pareto {
+                scale: 1.0,
+                alpha: 1.2,
+            },
+        ),
         ("few distinct (8)", Distribution::FewDistinct { k: 8 }),
     ];
     cases
         .iter()
         .map(|(label, dist)| {
-            let batch =
-                ArrayBatch::generate(0x5EED, num, n, *dist, Arrangement::Shuffled);
+            let batch = ArrayBatch::generate(0x5EED, num, n, *dist, Arrangement::Shuffled);
             let mut a = batch.clone();
             let mut gpu = k40c();
-            let gas = GpuArraySort::new().sort(&mut gpu, a.as_flat_mut(), n).expect("fits");
+            let gas = GpuArraySort::new()
+                .sort(&mut gpu, a.as_flat_mut(), n)
+                .expect("fits");
             assert!(a.is_each_array_sorted(), "GAS sorted under {label}");
             let mut b = batch;
             let mut gpu = k40c();
@@ -685,8 +776,7 @@ pub fn run_device_sweep(scale: f64) -> Vec<DeviceSweepRow> {
             .fold(1.0f64, f64::max);
         let mut batch = desc.generate();
         let mut gpu = Gpu::new(spec.clone());
-        let sta =
-            thrust_sim::sta::sort_arrays(&mut gpu, batch.as_flat_mut(), n).expect("fits");
+        let sta = thrust_sim::sta::sort_arrays(&mut gpu, batch.as_flat_mut(), n).expect("fits");
         DeviceSweepRow {
             device: spec.name.clone(),
             sms: spec.sm_count,
@@ -745,7 +835,10 @@ pub fn run_adversarial(scale: f64) -> Vec<AdversarialRow> {
             };
             let paper = run(ArraySortConfig::default(), &batch);
             let adaptive = run(
-                ArraySortConfig { adaptive_bucket_sort: true, ..Default::default() },
+                ArraySortConfig {
+                    adaptive_bucket_sort: true,
+                    ..Default::default()
+                },
                 &batch,
             );
             let benign_batch = ArrayBatch::paper_uniform(0xBEB + n as u64, num, n);
@@ -769,8 +862,15 @@ mod tests {
     fn fig2_small_scale_has_monotone_measured_series() {
         let r = run_fig2(0.002); // 100 arrays per point
         assert_eq!(r.rows.len(), 10);
-        assert!(r.rows.windows(2).all(|w| w[0].measured_ms < w[1].measured_ms));
-        assert!(r.nrmse < 0.35, "Eq. 2 should track the measurement, NRMSE {}", r.nrmse);
+        assert!(r
+            .rows
+            .windows(2)
+            .all(|w| w[0].measured_ms < w[1].measured_ms));
+        assert!(
+            r.nrmse < 0.35,
+            "Eq. 2 should track the measurement, NRMSE {}",
+            r.nrmse
+        );
     }
 
     #[test]
@@ -778,7 +878,11 @@ mod tests {
         let r = run_runtime_figure(1000, 0.01);
         assert_eq!(r.rows.len(), 8);
         for row in &r.rows {
-            assert!(row.speedup > 1.0, "GAS must beat STA at N={}", row.num_arrays);
+            assert!(
+                row.speedup > 1.0,
+                "GAS must beat STA at N={}",
+                row.num_arrays
+            );
         }
         // Both series grow with N.
         assert!(r.rows.windows(2).all(|w| w[0].gas_ms < w[1].gas_ms));
@@ -788,8 +892,11 @@ mod tests {
     #[test]
     fn fig7_stops_at_150k() {
         // Just the axis logic — no runs.
-        let capped: Vec<usize> =
-            FIG4TO7_N.iter().copied().filter(|&x| x <= FIG7_MAX_N).collect();
+        let capped: Vec<usize> = FIG4TO7_N
+            .iter()
+            .copied()
+            .filter(|&x| x <= FIG7_MAX_N)
+            .collect();
         assert_eq!(capped.last(), Some(&150_000));
     }
 
@@ -798,15 +905,30 @@ mod tests {
         let rows = run_table1();
         assert_eq!(rows.len(), 4);
         for row in &rows {
-            assert!(row.ratio > 2.5, "GAS holds ≫ STA: n={} ratio {}", row.array_len, row.ratio);
+            assert!(
+                row.ratio > 2.5,
+                "GAS holds ≫ STA: n={} ratio {}",
+                row.array_len,
+                row.ratio
+            );
             // Within 2× of the paper's absolute numbers on both columns.
             let gas_rel = row.gas_max_arrays as f64 / row.paper_gas as f64;
             let sta_rel = row.sta_max_arrays as f64 / row.paper_sta as f64;
-            assert!((0.5..2.0).contains(&gas_rel), "n={}: {gas_rel}", row.array_len);
-            assert!((0.5..2.0).contains(&sta_rel), "n={}: {sta_rel}", row.array_len);
+            assert!(
+                (0.5..2.0).contains(&gas_rel),
+                "n={}: {gas_rel}",
+                row.array_len
+            );
+            assert!(
+                (0.5..2.0).contains(&sta_rel),
+                "n={}: {sta_rel}",
+                row.array_len
+            );
         }
         // Capacity decreases with n.
-        assert!(rows.windows(2).all(|w| w[0].gas_max_arrays > w[1].gas_max_arrays));
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].gas_max_arrays > w[1].gas_max_arrays));
     }
 
     #[test]
@@ -829,8 +951,16 @@ mod tests {
         let rows = run_beyond(0.005);
         assert_eq!(rows.len(), 4);
         for r in &rows {
-            assert!(r.gas_ms < r.sta_ms, "paper's result holds at n={}", r.array_len);
-            assert!(r.segsort_ms < r.gas_ms, "modern segsort beats GAS at n={}", r.array_len);
+            assert!(
+                r.gas_ms < r.sta_ms,
+                "paper's result holds at n={}",
+                r.array_len
+            );
+            assert!(
+                r.segsort_ms < r.gas_ms,
+                "modern segsort beats GAS at n={}",
+                r.array_len
+            );
             assert!(r.capacity[2] > r.capacity[0], "and holds more data");
         }
     }
@@ -840,7 +970,10 @@ mod tests {
         let rows = run_baseline_sensitivity(0.005);
         assert!(rows.windows(2).all(|w| w[0].ratio > w[1].ratio));
         assert!(rows[0].ratio > 3.0, "paper-calibrated ratio");
-        assert!(rows.last().unwrap().ratio < 1.5, "structural-only Thrust would win or tie");
+        assert!(
+            rows.last().unwrap().ratio < 1.5,
+            "structural-only Thrust would win or tie"
+        );
     }
 
     #[test]
@@ -850,7 +983,10 @@ mod tests {
         // Smooth skew (normal/exponential/pareto) is largely absorbed by
         // per-array regular sampling (quantiles adapt); heavy duplication
         // is the case that genuinely defeats it.
-        let dup = rows.iter().find(|r| r.distribution.starts_with("few distinct")).unwrap();
+        let dup = rows
+            .iter()
+            .find(|r| r.distribution.starts_with("few distinct"))
+            .unwrap();
         assert!(
             dup.imbalance > uniform.imbalance,
             "duplicate-heavy data must degrade balance: {} vs {}",
@@ -858,7 +994,11 @@ mod tests {
             uniform.imbalance
         );
         for r in &rows {
-            assert!(r.imbalance < 60.0, "{}: imbalance stays bounded", r.distribution);
+            assert!(
+                r.imbalance < 60.0,
+                "{}: imbalance stays bounded",
+                r.distribution
+            );
         }
     }
 
@@ -867,10 +1007,20 @@ mod tests {
         let rows = run_device_sweep(0.01);
         let k40 = rows.iter().find(|r| r.device.contains("K40")).unwrap();
         let k20 = rows.iter().find(|r| r.device.contains("K20")).unwrap();
-        assert!(k20.gas_kernel_ms > k40.gas_kernel_ms, "fewer SMs, lower clock → slower");
-        assert!(k20.gas_capacity < k40.gas_capacity, "less memory → smaller Table 1");
+        assert!(
+            k20.gas_kernel_ms > k40.gas_kernel_ms,
+            "fewer SMs, lower clock → slower"
+        );
+        assert!(
+            k20.gas_capacity < k40.gas_capacity,
+            "less memory → smaller Table 1"
+        );
         for r in &rows {
-            assert!(r.sm_imbalance < 1.4, "{}: block-per-array stays balanced", r.device);
+            assert!(
+                r.sm_imbalance < 1.4,
+                "{}: block-per-array stays balanced",
+                r.device
+            );
         }
     }
 
@@ -903,6 +1053,21 @@ mod tests {
         }
         // The merge stage grows with n (log p passes over n elements).
         assert!(rows.last().unwrap().merge_stage_ms > rows[0].merge_stage_ms);
+    }
+
+    #[test]
+    fn traced_fig2_persists_one_trace_per_point() {
+        let dir = std::env::temp_dir().join("gas_fig2_trace_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = run_fig2_traced(0.002, Some(&dir));
+        for row in &r.rows {
+            let p = dir.join(format!("fig2_n{}.trace.json", row.n));
+            assert!(p.exists(), "missing trace for n={}", row.n);
+            let doc: serde_json::Value =
+                serde_json::from_str(&std::fs::read_to_string(&p).unwrap()).unwrap();
+            assert!(!doc["traceEvents"].as_array().unwrap().is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

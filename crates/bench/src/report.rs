@@ -55,13 +55,66 @@ pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
     s
 }
 
-/// Pretty milliseconds.
+/// Pretty milliseconds: seconds above 1 s, microseconds below 1 ms.
 pub fn fmt_ms(ms: f64) -> String {
     if ms >= 1000.0 {
         format!("{:.2} s", ms / 1000.0)
+    } else if ms > 0.0 && ms < 1.0 {
+        format!("{:.0} µs", ms * 1000.0)
     } else {
         format!("{ms:.1} ms")
     }
+}
+
+/// Serializes `timeline` as Chrome trace-event JSON into
+/// `<out_dir>/<name>.trace.json` (loadable at <https://ui.perfetto.dev>).
+pub fn write_trace(
+    out_dir: &Path,
+    name: &str,
+    timeline: &gpu_sim::Timeline,
+    spec: &gpu_sim::DeviceSpec,
+) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("{name}.trace.json"));
+    let doc = gpu_sim::chrome_trace_json(timeline, spec);
+    let mut f = fs::File::create(&path)?;
+    f.write_all(
+        serde_json::to_string_pretty(&doc)
+            .expect("trace serializes")
+            .as_bytes(),
+    )?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
+/// Renders phase summaries as a markdown table.
+pub fn phase_markdown_table(phases: &[gpu_sim::PhaseSummary]) -> String {
+    let rows: Vec<Vec<String>> = phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                fmt_ms(p.span_ms),
+                p.kernels.to_string(),
+                fmt_ms(p.kernel_ms),
+                p.transfers.to_string(),
+                fmt_ms(p.transfer_ms),
+                format!("{:.2}", p.bytes_moved as f64 / 1_048_576.0),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &[
+            "phase",
+            "time",
+            "kernels",
+            "kernel time",
+            "transfers",
+            "transfer time",
+            "MB moved",
+        ],
+        &rows,
+    )
 }
 
 /// Pretty large counts (1,234,567).
@@ -100,6 +153,34 @@ mod tests {
     fn ms_formatting_switches_units() {
         assert_eq!(fmt_ms(12.34), "12.3 ms");
         assert_eq!(fmt_ms(4321.0), "4.32 s");
+    }
+
+    #[test]
+    fn sub_millisecond_values_print_as_microseconds() {
+        assert_eq!(fmt_ms(0.42), "420 µs");
+        assert_eq!(fmt_ms(0.001), "1 µs");
+        assert_eq!(fmt_ms(0.0), "0.0 ms");
+        assert_eq!(fmt_ms(1.0), "1.0 ms");
+        assert_eq!(fmt_ms(999.9), "999.9 ms");
+    }
+
+    #[test]
+    fn trace_file_and_phase_table() {
+        use gpu_sim::{DeviceSpec, Gpu, LaunchConfig};
+        let mut g = Gpu::new(DeviceSpec::test_device());
+        g.with_span("work", |g| {
+            g.launch("k", LaunchConfig::grid(1, 32), |b| {
+                b.threads(|t| t.charge_alu(10))
+            })
+            .unwrap();
+        });
+        let dir = std::env::temp_dir().join("gas_trace_test");
+        let p = write_trace(&dir, "unit", g.timeline(), g.spec()).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&fs::read_to_string(p).unwrap()).unwrap();
+        assert!(doc["traceEvents"].as_array().unwrap().len() >= 2);
+        let phases = gpu_sim::phase_summaries(g.timeline(), g.spec());
+        let table = phase_markdown_table(&phases);
+        assert!(table.contains("| work |"), "{table}");
     }
 
     #[test]

@@ -59,10 +59,17 @@ impl Args {
                     _ => flags.push(key.to_string()),
                 }
             } else {
-                return Err(ArgError::Invalid { key: "<positional>".into(), value: a });
+                return Err(ArgError::Invalid {
+                    key: "<positional>".into(),
+                    value: a,
+                });
             }
         }
-        Ok(Self { command, options, flags })
+        Ok(Self {
+            command,
+            options,
+            flags,
+        })
     }
 
     /// A string option.
@@ -72,7 +79,8 @@ impl Args {
 
     /// A required string option.
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
-        self.get(key).ok_or_else(|| ArgError::Required(key.to_string()))
+        self.get(key)
+            .ok_or_else(|| ArgError::Required(key.to_string()))
     }
 
     /// A parsed option with a default.
@@ -89,7 +97,10 @@ impl Args {
     /// A required parsed option.
     pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
         let v = self.require(key)?;
-        v.parse().map_err(|_| ArgError::Invalid { key: key.to_string(), value: v.to_string() })
+        v.parse().map_err(|_| ArgError::Invalid {
+            key: key.to_string(),
+            value: v.to_string(),
+        })
     }
 
     /// True when `--flag` was present.
@@ -108,8 +119,15 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_flags() {
-        let a = Args::parse(argv(&["sort", "--input", "x.bin", "--array-len", "100", "--verify"]))
-            .unwrap();
+        let a = Args::parse(argv(&[
+            "sort",
+            "--input",
+            "x.bin",
+            "--array-len",
+            "100",
+            "--verify",
+        ]))
+        .unwrap();
         assert_eq!(a.command, "sort");
         assert_eq!(a.get("input"), Some("x.bin"));
         assert_eq!(a.require_parsed::<usize>("array-len").unwrap(), 100);
@@ -132,7 +150,10 @@ mod tests {
     fn required_and_invalid_errors() {
         let a = Args::parse(argv(&["sort", "--n", "abc"])).unwrap();
         assert!(matches!(a.require("input"), Err(ArgError::Required(_))));
-        assert!(matches!(a.require_parsed::<usize>("n"), Err(ArgError::Invalid { .. })));
+        assert!(matches!(
+            a.require_parsed::<usize>("n"),
+            Err(ArgError::Invalid { .. })
+        ));
         assert_eq!(a.get_or("missing", 7usize).unwrap(), 7);
     }
 

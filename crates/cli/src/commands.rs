@@ -5,7 +5,7 @@ use std::error::Error;
 use std::path::PathBuf;
 
 use array_sort::{cpu_ref, ArraySortConfig, GpuArraySort};
-use datagen::{ArrayBatch, Arrangement, Distribution};
+use datagen::{Arrangement, ArrayBatch, Distribution};
 use gpu_sim::{DeviceSpec, Gpu};
 
 use crate::args::Args;
@@ -79,22 +79,43 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
     let mut gpu = Gpu::new(spec);
     let original = data.clone();
 
-    let (label, total_ms, kernel_ms, peak) = match algorithm {
+    let (label, total_ms, kernel_ms, peak, stats_json) = match algorithm {
         "gas" => {
             let cfg = ArraySortConfig {
                 adaptive_bucket_sort: args.flag("adaptive"),
                 ..Default::default()
             };
             let s = GpuArraySort::with_config(cfg)?.sort(&mut gpu, &mut data, array_len)?;
-            ("GPU-ArraySort", s.total_ms(), s.kernel_ms(), s.peak_bytes)
+            let j = serde_json::to_value(&s)?;
+            (
+                "GPU-ArraySort",
+                s.total_ms(),
+                s.kernel_ms(),
+                s.peak_bytes,
+                j,
+            )
         }
         "sta" => {
             let s = thrust_sim::sta::sort_arrays(&mut gpu, &mut data, array_len)?;
-            ("STA (Thrust tagged)", s.total_ms(), s.kernel_ms(), s.peak_bytes)
+            let j = serde_json::to_value(&s)?;
+            (
+                "STA (Thrust tagged)",
+                s.total_ms(),
+                s.kernel_ms(),
+                s.peak_bytes,
+                j,
+            )
         }
         "segsort" => {
             let s = thrust_sim::segmented_sort(&mut gpu, &mut data, array_len)?;
-            ("modern segmented sort", s.total_ms(), s.kernel_ms, s.peak_bytes)
+            let j = serde_json::to_value(&s)?;
+            (
+                "modern segmented sort",
+                s.total_ms(),
+                s.kernel_ms,
+                s.peak_bytes,
+                j,
+            )
         }
         "merge" => {
             let s = array_sort::merge_sort_arrays(
@@ -103,7 +124,14 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
                 array_len,
                 &ArraySortConfig::default(),
             )?;
-            ("m-way merge variant", s.total_ms(), s.kernel_ms(), s.peak_bytes)
+            let j = serde_json::to_value(&s)?;
+            (
+                "m-way merge variant",
+                s.total_ms(),
+                s.kernel_ms(),
+                s.peak_bytes,
+                j,
+            )
         }
         other => return Err(format!("unknown algorithm {other:?} (gas|sta|segsort|merge)").into()),
     };
@@ -119,7 +147,11 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
         write_batch(&out, &data, array_len, ofmt)?;
     }
 
-    let report = serde_json::json!({
+    if let Some(path) = args.get("trace") {
+        write_trace_file(&gpu, std::path::Path::new(path))?;
+    }
+
+    let mut report = serde_json::json!({
         "algorithm": label,
         "device": gpu.spec().name,
         "num_arrays": data.len() / array_len,
@@ -130,15 +162,111 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
         "verified": args.flag("verify"),
     });
     if args.flag("json") {
+        if args.flag("stats") {
+            report["stats"] = stats_json;
+        }
         Ok(serde_json::to_string_pretty(&report)?)
     } else {
-        Ok(format!(
+        let mut out = format!(
             "{label} on {}: {} arrays × {array_len} sorted in {total_ms:.3} simulated ms \
              (kernels {kernel_ms:.3} ms), peak device memory {:.1} MB{}",
             gpu.spec().name,
             data.len() / array_len,
             peak as f64 / 1_048_576.0,
-            if args.flag("verify") { " — verified ✓" } else { "" }
+            if args.flag("verify") {
+                " — verified ✓"
+            } else {
+                ""
+            }
+        );
+        if args.flag("stats") {
+            out.push('\n');
+            out.push_str(&serde_json::to_string_pretty(&stats_json)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Serializes the device timeline as Chrome trace-event JSON to `path`.
+fn write_trace_file(gpu: &Gpu, path: &std::path::Path) -> Result<(), AnyError> {
+    let doc = gpu_sim::chrome_trace_json(gpu.timeline(), gpu.spec());
+    std::fs::write(path, serde_json::to_string_pretty(&doc)?)
+        .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+    Ok(())
+}
+
+/// Renders the per-phase breakdown as an aligned text table.
+fn phase_table(phases: &[gpu_sim::PhaseSummary], elapsed_ms: f64) -> String {
+    let mut out = format!(
+        "{:<28} {:>10} {:>8} {:>11} {:>10} {:>12} {:>10}\n",
+        "phase", "time ms", "kernels", "kernel ms", "transfers", "transfer ms", "MB moved"
+    );
+    for p in phases {
+        out.push_str(&format!(
+            "{:<28} {:>10.3} {:>8} {:>11.3} {:>10} {:>12.3} {:>10.2}\n",
+            p.name,
+            p.span_ms,
+            p.kernels,
+            p.kernel_ms,
+            p.transfers,
+            p.transfer_ms,
+            p.bytes_moved as f64 / 1_048_576.0
+        ));
+    }
+    let span_total: f64 = phases.iter().map(|p| p.span_ms).sum();
+    out.push_str(&format!(
+        "{:<28} {:>10.3}   (run elapsed {:.3} ms)\n",
+        "total", span_total, elapsed_ms
+    ));
+    out
+}
+
+/// `gas profile`: generates a batch, sorts it with phase spans enabled,
+/// writes a Chrome trace (Perfetto-loadable) and prints the per-phase
+/// breakdown.
+pub fn cmd_profile(args: &Args) -> Result<String, AnyError> {
+    let num: usize = args.require_parsed("num-arrays")?;
+    let n: usize = args.require_parsed("array-len")?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let dist = dist_for(args.get("dist"))?;
+    let spec = device_for(args.get("device"))?;
+    let algorithm = args.get("algorithm").unwrap_or("gas");
+    let trace_path = PathBuf::from(args.get("trace").unwrap_or("profile.trace.json"));
+
+    let mut gpu = Gpu::new(spec);
+    let batch = ArrayBatch::generate(seed, num, n, dist, Arrangement::Shuffled);
+    let mut data = batch.as_flat().to_vec();
+    let label = match algorithm {
+        "gas" => {
+            GpuArraySort::new().sort(&mut gpu, &mut data, n)?;
+            "GPU-ArraySort"
+        }
+        "sta" => {
+            thrust_sim::sta::sort_arrays(&mut gpu, &mut data, n)?;
+            "STA (Thrust tagged)"
+        }
+        other => return Err(format!("unknown algorithm {other:?} (gas|sta)").into()),
+    };
+
+    let phases = gpu_sim::phase_summaries(gpu.timeline(), gpu.spec());
+    write_trace_file(&gpu, &trace_path)?;
+
+    if args.flag("json") {
+        Ok(serde_json::to_string_pretty(&serde_json::json!({
+            "algorithm": label,
+            "device": gpu.spec().name,
+            "num_arrays": num,
+            "array_len": n,
+            "elapsed_ms": gpu.elapsed_ms(),
+            "trace": trace_path.display().to_string(),
+            "phases": phases,
+        }))?)
+    } else {
+        Ok(format!(
+            "{label} on {}: {num} arrays × {n}\n\n{}\ntrace written to {} — open it at https://ui.perfetto.dev",
+            gpu.spec().name,
+            phase_table(&phases, gpu.elapsed_ms()),
+            trace_path.display()
         ))
     }
 }
@@ -154,7 +282,10 @@ pub fn cmd_devices(args: &Args) -> Result<String, AnyError> {
     ];
     if args.flag("json") {
         return Ok(serde_json::to_string_pretty(
-            &specs.iter().map(|(k, s)| (k, s.clone())).collect::<Vec<_>>(),
+            &specs
+                .iter()
+                .map(|(k, s)| (k, s.clone()))
+                .collect::<Vec<_>>(),
         )?);
     }
     let mut out = format!(
@@ -199,7 +330,11 @@ USAGE:
                [--format f32le|csv]
   gas sort     --input FILE [--array-len n] [--algorithm gas|sta|segsort|merge]
                [--device k40c|k20|k80|gtx980|test] [--adaptive] [--verify]
-               [--output FILE] [--json]
+               [--output FILE] [--trace FILE] [--stats] [--json]
+  gas profile  --num-arrays N --array-len n [--seed S] [--dist ...]
+               [--algorithm gas|sta] [--device ...] [--trace FILE] [--json]
+               (writes a Chrome trace — load at https://ui.perfetto.dev —
+                and prints the per-phase breakdown)
   gas capacity --array-len n [--device ...]
   gas devices  [--json]
 "
@@ -215,6 +350,7 @@ mod tests {
         match args.command.as_str() {
             "generate" => cmd_generate(&args),
             "sort" => cmd_sort(&args),
+            "profile" => cmd_profile(&args),
             "devices" => cmd_devices(&args),
             "capacity" => cmd_capacity(&args),
             other => Err(format!("unknown command {other}").into()),
@@ -222,13 +358,25 @@ mod tests {
     }
 
     fn tmp(name: &str) -> String {
-        std::env::temp_dir().join(format!("gas_cli_{name}")).to_string_lossy().into_owned()
+        std::env::temp_dir()
+            .join(format!("gas_cli_{name}"))
+            .to_string_lossy()
+            .into_owned()
     }
 
     #[test]
     fn generate_then_sort_then_verify() {
         let f = tmp("roundtrip.bin");
-        run(&["generate", "--num-arrays", "50", "--array-len", "100", "--output", &f]).unwrap();
+        run(&[
+            "generate",
+            "--num-arrays",
+            "50",
+            "--array-len",
+            "100",
+            "--output",
+            &f,
+        ])
+        .unwrap();
         let msg = run(&["sort", "--input", &f, "--array-len", "100", "--verify"]).unwrap();
         assert!(msg.contains("verified ✓"), "{msg}");
     }
@@ -236,10 +384,26 @@ mod tests {
     #[test]
     fn all_algorithms_run_and_verify() {
         let f = tmp("algos.bin");
-        run(&["generate", "--num-arrays", "20", "--array-len", "64", "--output", &f]).unwrap();
+        run(&[
+            "generate",
+            "--num-arrays",
+            "20",
+            "--array-len",
+            "64",
+            "--output",
+            &f,
+        ])
+        .unwrap();
         for algo in ["gas", "sta", "segsort", "merge"] {
             let msg = run(&[
-                "sort", "--input", &f, "--array-len", "64", "--algorithm", algo, "--verify",
+                "sort",
+                "--input",
+                &f,
+                "--array-len",
+                "64",
+                "--algorithm",
+                algo,
+                "--verify",
             ])
             .unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert!(msg.contains("verified"), "{algo}: {msg}");
@@ -250,7 +414,15 @@ mod tests {
     fn csv_input_infers_array_len() {
         let f = tmp("infer.csv");
         run(&[
-            "generate", "--num-arrays", "4", "--array-len", "8", "--output", &f, "--format", "csv",
+            "generate",
+            "--num-arrays",
+            "4",
+            "--array-len",
+            "8",
+            "--output",
+            &f,
+            "--format",
+            "csv",
         ])
         .unwrap();
         let msg = run(&["sort", "--input", &f, "--verify"]).unwrap();
@@ -260,7 +432,16 @@ mod tests {
     #[test]
     fn json_report_is_valid() {
         let f = tmp("json.bin");
-        run(&["generate", "--num-arrays", "5", "--array-len", "32", "--output", &f]).unwrap();
+        run(&[
+            "generate",
+            "--num-arrays",
+            "5",
+            "--array-len",
+            "32",
+            "--output",
+            &f,
+        ])
+        .unwrap();
         let msg = run(&["sort", "--input", &f, "--array-len", "32", "--json"]).unwrap();
         let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
         assert_eq!(v["num_arrays"], 5);
@@ -271,7 +452,16 @@ mod tests {
     fn sorted_output_file_is_written() {
         let f = tmp("out_in.bin");
         let o = tmp("out_sorted.bin");
-        run(&["generate", "--num-arrays", "3", "--array-len", "16", "--output", &f]).unwrap();
+        run(&[
+            "generate",
+            "--num-arrays",
+            "3",
+            "--array-len",
+            "16",
+            "--output",
+            &f,
+        ])
+        .unwrap();
         run(&["sort", "--input", &f, "--array-len", "16", "--output", &o]).unwrap();
         let (sorted, _) = crate::io::read_batch(std::path::Path::new(&o), Format::F32le).unwrap();
         assert!(cpu_ref::is_each_sorted(&sorted, 16));
@@ -291,20 +481,183 @@ mod tests {
     fn helpful_errors() {
         assert!(run(&["sort", "--input", "/nonexistent.bin"]).is_err());
         let f = tmp("err.bin");
-        run(&["generate", "--num-arrays", "2", "--array-len", "4", "--output", &f]).unwrap();
-        assert!(run(&["sort", "--input", &f, "--array-len", "4", "--algorithm", "quantum"])
-            .unwrap_err()
-            .to_string()
-            .contains("unknown algorithm"));
-        assert!(run(&["sort", "--input", &f, "--array-len", "4", "--device", "h100"])
-            .unwrap_err()
-            .to_string()
-            .contains("unknown device"));
+        run(&[
+            "generate",
+            "--num-arrays",
+            "2",
+            "--array-len",
+            "4",
+            "--output",
+            &f,
+        ])
+        .unwrap();
+        assert!(run(&[
+            "sort",
+            "--input",
+            &f,
+            "--array-len",
+            "4",
+            "--algorithm",
+            "quantum"
+        ])
+        .unwrap_err()
+        .to_string()
+        .contains("unknown algorithm"));
+        assert!(run(&[
+            "sort",
+            "--input",
+            &f,
+            "--array-len",
+            "4",
+            "--device",
+            "h100"
+        ])
+        .unwrap_err()
+        .to_string()
+        .contains("unknown device"));
+    }
+
+    #[test]
+    fn stats_flag_prints_instrumentation_json() {
+        let f = tmp("stats.bin");
+        run(&[
+            "generate",
+            "--num-arrays",
+            "10",
+            "--array-len",
+            "64",
+            "--output",
+            &f,
+        ])
+        .unwrap();
+        let msg = run(&["sort", "--input", &f, "--array-len", "64", "--stats"]).unwrap();
+        assert!(
+            msg.contains("phase1_ms"),
+            "plain report should append GasStats JSON: {msg}"
+        );
+        let msg = run(&[
+            "sort",
+            "--input",
+            &f,
+            "--array-len",
+            "64",
+            "--stats",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        assert!(v["stats"]["phase1_ms"].as_f64().unwrap() > 0.0);
+        assert!(v["stats"]["balance"].is_object());
+    }
+
+    #[test]
+    fn sort_trace_flag_writes_chrome_trace() {
+        let f = tmp("trace_in.bin");
+        let t = tmp("sort.trace.json");
+        run(&[
+            "generate",
+            "--num-arrays",
+            "8",
+            "--array-len",
+            "64",
+            "--output",
+            &f,
+        ])
+        .unwrap();
+        run(&["sort", "--input", &f, "--array-len", "64", "--trace", &t]).unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&t).unwrap()).unwrap();
+        assert!(doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|e| e["ph"] == "X"));
+    }
+
+    #[test]
+    fn profile_writes_trace_and_prints_phase_table() {
+        let t = tmp("profile.trace.json");
+        let msg = run(&[
+            "profile",
+            "--num-arrays",
+            "50",
+            "--array-len",
+            "200",
+            "--trace",
+            &t,
+        ])
+        .unwrap();
+        for phase in [
+            "gas/upload",
+            "gas/phase1-splitters",
+            "gas/phase2-bucket-scatter",
+            "gas/phase3-bucket-sort",
+            "gas/download",
+        ] {
+            assert!(msg.contains(phase), "table must list {phase}: {msg}");
+        }
+        assert!(msg.contains(&t), "must say where the trace went");
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&t).unwrap()).unwrap();
+        assert!(doc["traceEvents"].as_array().unwrap().len() > 5);
+    }
+
+    #[test]
+    fn profile_json_phases_sum_to_elapsed() {
+        let t = tmp("profile_json.trace.json");
+        let msg = run(&[
+            "profile",
+            "--num-arrays",
+            "20",
+            "--array-len",
+            "100",
+            "--json",
+            "--trace",
+            &t,
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        let elapsed = v["elapsed_ms"].as_f64().unwrap();
+        let sum: f64 = v["phases"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|p| p["span_ms"].as_f64().unwrap())
+            .sum();
+        assert!(
+            (sum - elapsed).abs() < 1e-6,
+            "phases {sum} vs elapsed {elapsed}"
+        );
+    }
+
+    #[test]
+    fn profile_supports_sta_baseline() {
+        let t = tmp("profile_sta.trace.json");
+        let msg = run(&[
+            "profile",
+            "--num-arrays",
+            "20",
+            "--array-len",
+            "64",
+            "--algorithm",
+            "sta",
+            "--trace",
+            &t,
+        ])
+        .unwrap();
+        assert!(msg.contains("sta/sort-by-value"), "{msg}");
     }
 
     #[test]
     fn distributions_parse() {
-        for d in ["uniform", "normal", "exponential", "pareto", "constant", "few-distinct"] {
+        for d in [
+            "uniform",
+            "normal",
+            "exponential",
+            "pareto",
+            "constant",
+            "few-distinct",
+        ] {
             assert!(dist_for(Some(d)).is_ok(), "{d}");
         }
         assert!(dist_for(Some("banana")).is_err());

@@ -128,9 +128,18 @@ mod tests {
 
     #[test]
     fn format_inference() {
-        assert_eq!(Format::from_arg(None, Path::new("x.csv")).unwrap(), Format::Csv);
-        assert_eq!(Format::from_arg(None, Path::new("x.bin")).unwrap(), Format::F32le);
-        assert_eq!(Format::from_arg(Some("csv"), Path::new("x.bin")).unwrap(), Format::Csv);
+        assert_eq!(
+            Format::from_arg(None, Path::new("x.csv")).unwrap(),
+            Format::Csv
+        );
+        assert_eq!(
+            Format::from_arg(None, Path::new("x.bin")).unwrap(),
+            Format::F32le
+        );
+        assert_eq!(
+            Format::from_arg(Some("csv"), Path::new("x.bin")).unwrap(),
+            Format::Csv
+        );
         assert!(Format::from_arg(Some("exotic"), Path::new("x")).is_err());
     }
 

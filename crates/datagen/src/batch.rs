@@ -51,7 +51,13 @@ impl ArrayBatch {
 
     /// The paper's workload: uniform floats in `[0, 2³¹−1)` (§7.2).
     pub fn paper_uniform(seed: u64, num_arrays: usize, array_len: usize) -> Self {
-        Self::generate(seed, num_arrays, array_len, Distribution::PaperUniform, Arrangement::Shuffled)
+        Self::generate(
+            seed,
+            num_arrays,
+            array_len,
+            Distribution::PaperUniform,
+            Arrangement::Shuffled,
+        )
     }
 
     /// Number of arrays (the paper's N).
@@ -107,7 +113,8 @@ impl ArrayBatch {
 
     /// Index of the first unsorted array, if any (diagnostics for tests).
     pub fn first_unsorted_array(&self) -> Option<usize> {
-        self.arrays().position(|a| a.windows(2).any(|w| w[0] > w[1]))
+        self.arrays()
+            .position(|a| a.windows(2).any(|w| w[0] > w[1]))
     }
 
     /// A multiset fingerprint per array (sorted copy) used to assert a sort
@@ -183,13 +190,7 @@ mod tests {
 
     #[test]
     fn sorted_arrangement_presorts_every_array() {
-        let b = ArrayBatch::generate(
-            4,
-            20,
-            30,
-            Distribution::PaperUniform,
-            Arrangement::Sorted,
-        );
+        let b = ArrayBatch::generate(4, 20, 30, Distribution::PaperUniform, Arrangement::Sorted);
         assert!(b.is_each_array_sorted());
     }
 }

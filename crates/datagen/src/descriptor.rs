@@ -39,7 +39,13 @@ impl DatasetDescriptor {
 
     /// Materializes the dataset.
     pub fn generate(&self) -> ArrayBatch {
-        ArrayBatch::generate(self.seed, self.num_arrays, self.array_len, self.dist, self.arrangement)
+        ArrayBatch::generate(
+            self.seed,
+            self.num_arrays,
+            self.array_len,
+            self.dist,
+            self.arrangement,
+        )
     }
 
     /// Raw data size in bytes (before any algorithm overhead).
@@ -65,7 +71,10 @@ mod tests {
             seed: 9,
             num_arrays: 3,
             array_len: 7,
-            dist: Distribution::Normal { mean: 1.0, std_dev: 2.0 },
+            dist: Distribution::Normal {
+                mean: 1.0,
+                std_dev: 2.0,
+            },
             arrangement: Arrangement::NearlySorted { swaps: 2 },
         };
         let json = serde_json::to_string(&d).unwrap();

@@ -153,10 +153,12 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
-        let a: Vec<f32> =
-            (0..100).map(|_| Distribution::PaperUniform.sample(&mut rng_for(1, 0))).collect();
-        let b: Vec<f32> =
-            (0..100).map(|_| Distribution::PaperUniform.sample(&mut rng_for(1, 0))).collect();
+        let a: Vec<f32> = (0..100)
+            .map(|_| Distribution::PaperUniform.sample(&mut rng_for(1, 0)))
+            .collect();
+        let b: Vec<f32> = (0..100)
+            .map(|_| Distribution::PaperUniform.sample(&mut rng_for(1, 0)))
+            .collect();
         assert_eq!(a, b);
         let mut r1 = rng_for(1, 0);
         let mut r2 = rng_for(2, 0);
@@ -170,15 +172,22 @@ mod tests {
     fn streams_differ() {
         let mut r0 = rng_for(1, 0);
         let mut r1 = rng_for(1, 1);
-        let a: Vec<f32> = (0..10).map(|_| Distribution::PaperUniform.sample(&mut r0)).collect();
-        let b: Vec<f32> = (0..10).map(|_| Distribution::PaperUniform.sample(&mut r1)).collect();
+        let a: Vec<f32> = (0..10)
+            .map(|_| Distribution::PaperUniform.sample(&mut r0))
+            .collect();
+        let b: Vec<f32> = (0..10)
+            .map(|_| Distribution::PaperUniform.sample(&mut r1))
+            .collect();
         assert_ne!(a, b);
     }
 
     #[test]
     fn normal_matches_moments_roughly() {
         let mut rng = rng_for(42, 0);
-        let d = Distribution::Normal { mean: 10.0, std_dev: 2.0 };
+        let d = Distribution::Normal {
+            mean: 10.0,
+            std_dev: 2.0,
+        };
         let n = 50_000;
         let samples: Vec<f32> = (0..n).map(|_| d.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f32>() / n as f32;
@@ -200,11 +209,17 @@ mod tests {
     #[test]
     fn pareto_has_heavy_tail() {
         let mut rng = rng_for(3, 0);
-        let d = Distribution::Pareto { scale: 1.0, alpha: 1.1 };
+        let d = Distribution::Pareto {
+            scale: 1.0,
+            alpha: 1.1,
+        };
         let samples: Vec<f32> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
         assert!(samples.iter().all(|&x| x >= 1.0));
         let max = samples.iter().copied().fold(0.0f32, f32::max);
-        assert!(max > 100.0, "heavy tail should produce large outliers, max {max}");
+        assert!(
+            max > 100.0,
+            "heavy tail should produce large outliers, max {max}"
+        );
     }
 
     #[test]
@@ -221,7 +236,9 @@ mod tests {
     #[test]
     fn arrangements_shape_arrays() {
         let mut rng = rng_for(5, 0);
-        let mut arr: Vec<f32> = (0..100).map(|_| Distribution::PaperUniform.sample(&mut rng)).collect();
+        let mut arr: Vec<f32> = (0..100)
+            .map(|_| Distribution::PaperUniform.sample(&mut rng))
+            .collect();
         let mut sorted = arr.clone();
         Arrangement::Sorted.apply(&mut rng, &mut sorted);
         assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
@@ -231,7 +248,10 @@ mod tests {
         let mut nearly = arr.clone();
         Arrangement::NearlySorted { swaps: 3 }.apply(&mut rng, &mut nearly);
         let inversions = nearly.windows(2).filter(|w| w[0] > w[1]).count();
-        assert!(inversions <= 12, "few swaps leave few inversions, got {inversions}");
+        assert!(
+            inversions <= 12,
+            "few swaps leave few inversions, got {inversions}"
+        );
         Arrangement::Shuffled.apply(&mut rng, &mut arr); // no-op, must not panic
     }
 }

@@ -145,7 +145,10 @@ mod tests {
 
     #[test]
     fn spectra_have_configured_shape() {
-        let cfg = MassSpecConfig { peaks_per_spectrum: 500, ..Default::default() };
+        let cfg = MassSpecConfig {
+            peaks_per_spectrum: 500,
+            ..Default::default()
+        };
         let s = generate_spectra(1, 4, &cfg);
         assert_eq!(s.len(), 4);
         assert!(s.iter().all(|sp| sp.num_peaks() == 500));
@@ -170,12 +173,18 @@ mod tests {
         v.sort_by(f32::total_cmp);
         let median = v[v.len() / 2];
         let max = v[v.len() - 1];
-        assert!(max > 4.0 * median, "MS intensities are long-tailed: max {max}, median {median}");
+        assert!(
+            max > 4.0 * median,
+            "MS intensities are long-tailed: max {max}, median {median}"
+        );
     }
 
     #[test]
     fn batch_packing_pads_short_spectra() {
-        let sp = vec![Spectrum { mz: vec![5.0, 1.0], intensity: vec![10.0, 20.0] }];
+        let sp = vec![Spectrum {
+            mz: vec![5.0, 1.0],
+            intensity: vec![10.0, 20.0],
+        }];
         let batch = spectra_to_batch(&sp, SpectrumKey::Mz, 4);
         assert_eq!(batch.array(0), &[5.0, 1.0, f32::INFINITY, f32::INFINITY]);
     }
@@ -193,7 +202,10 @@ mod tests {
 
     #[test]
     fn intensity_key_selects_intensity() {
-        let sp = vec![Spectrum { mz: vec![1.0], intensity: vec![42.0] }];
+        let sp = vec![Spectrum {
+            mz: vec![1.0],
+            intensity: vec![42.0],
+        }];
         let batch = spectra_to_batch(&sp, SpectrumKey::Intensity, 1);
         assert_eq!(batch.array(0), &[42.0]);
     }

@@ -22,8 +22,15 @@ impl RaggedBatch {
     /// and end at `data.len()`.
     pub fn from_csr(data: Vec<f32>, offsets: Vec<usize>) -> Self {
         assert!(offsets.first() == Some(&0), "offsets must start at 0");
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be non-decreasing");
-        assert_eq!(*offsets.last().unwrap(), data.len(), "offsets must cover the data");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        assert_eq!(
+            *offsets.last().unwrap(),
+            data.len(),
+            "offsets must cover the data"
+        );
         Self { data, offsets }
     }
 
@@ -143,7 +150,10 @@ mod tests {
 
     #[test]
     fn spectra_pack_without_padding() {
-        let cfg = MassSpecConfig { peaks_per_spectrum: 100, ..Default::default() };
+        let cfg = MassSpecConfig {
+            peaks_per_spectrum: 100,
+            ..Default::default()
+        };
         let spectra = generate_spectra(8, 5, &cfg);
         let ragged = spectra_to_ragged(&spectra, SpectrumKey::Intensity);
         assert_eq!(ragged.num_arrays(), 5);

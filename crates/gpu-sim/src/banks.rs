@@ -29,13 +29,20 @@ pub fn conflict_degree(byte_addrs: &[u64]) -> u32 {
             words.push(word);
         }
     }
-    per_bank.values().map(|w| w.len() as u32).max().unwrap_or(1).max(1)
+    per_bank
+        .values()
+        .map(|w| w.len() as u32)
+        .max()
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// Conflict degree of a strided warp access (`lane i` touches byte
 /// `base + i · stride_bytes`) — the common pattern to check.
 pub fn strided_conflict_degree(base: u64, stride_bytes: u64, warp_size: u32) -> u32 {
-    let addrs: Vec<u64> = (0..warp_size as u64).map(|i| base + i * stride_bytes).collect();
+    let addrs: Vec<u64> = (0..warp_size as u64)
+        .map(|i| base + i * stride_bytes)
+        .collect();
     conflict_degree(&addrs)
 }
 

@@ -94,7 +94,9 @@ impl<'k> BlockCtx<'k> {
             self.shared_capacity
         );
         self.shared_used += bytes;
-        SharedArray { data: vec![T::default(); len] }
+        SharedArray {
+            data: vec![T::default(); len],
+        }
     }
 
     /// Shared-memory bytes allocated so far in this block.
@@ -214,21 +216,39 @@ impl ThreadCtx<'_> {
         self.counters.alu += n;
     }
 
-    /// Charges `n` shared-memory accesses.
+    /// Charges `n` shared-memory accesses (assumed conflict-free: one bank
+    /// pass each).
     #[inline]
     pub fn charge_shared(&mut self, n: u64) {
         self.cycles += self.cost.shared_access * n as f64;
         self.counters.shared_accesses += n;
+        self.counters.shared_bank_passes += n;
+    }
+
+    /// Charges `n` shared-memory accesses that each suffer a `degree`-way
+    /// bank conflict: the hardware serializes them into `degree` bank
+    /// passes apiece, so both the cycle bill and the bank-pass counter
+    /// scale by `degree` (clamped to at least 1).
+    #[inline]
+    pub fn charge_shared_conflicted(&mut self, n: u64, degree: u32) {
+        let d = degree.max(1) as u64;
+        self.cycles += self.cost.shared_access * (n * d) as f64;
+        self.counters.shared_accesses += n;
+        self.counters.shared_bank_passes += n * d;
     }
 
     /// Charges `elems` global-memory accesses of `elem_bytes`-sized values
     /// under `pattern`. Cost is the warp-amortized transaction bill.
     #[inline]
     pub fn charge_global(&mut self, elems: u64, elem_bytes: u32, pattern: AccessPattern) {
-        let per = self.cost.global_cost_per_elem(pattern, elem_bytes, self.warp_size);
+        let per = self
+            .cost
+            .global_cost_per_elem(pattern, elem_bytes, self.warp_size);
         self.cycles += per * elems as f64;
         self.counters.global_elems += elems;
-        let txns_per_warp = self.cost.warp_transactions(pattern, elem_bytes, self.warp_size);
+        let txns_per_warp = self
+            .cost
+            .warp_transactions(pattern, elem_bytes, self.warp_size);
         self.counters.global_txn_micro +=
             (txns_per_warp as u64 * elems * 1_000_000) / self.warp_size as u64;
     }

@@ -13,7 +13,10 @@ use std::collections::BTreeSet;
 /// Exact transaction count for one warp-wide access: the number of distinct
 /// `seg_bytes`-aligned segments covered by `byte_addrs`.
 pub fn warp_transactions(byte_addrs: &[u64], seg_bytes: u64) -> u32 {
-    assert!(seg_bytes.is_power_of_two(), "segment size must be a power of two");
+    assert!(
+        seg_bytes.is_power_of_two(),
+        "segment size must be a power of two"
+    );
     let segs: BTreeSet<u64> = byte_addrs.iter().map(|a| a / seg_bytes).collect();
     segs.len() as u32
 }
@@ -22,7 +25,9 @@ pub fn warp_transactions(byte_addrs: &[u64], seg_bytes: u64) -> u32 {
 /// `stride_bytes` between consecutive lanes — the pattern the
 /// [`crate::cost::AccessPattern::Strided`] declaration approximates.
 pub fn strided_transactions(base: u64, stride_bytes: u64, warp_size: u32, seg_bytes: u64) -> u32 {
-    let addrs: Vec<u64> = (0..warp_size as u64).map(|lane| base + lane * stride_bytes).collect();
+    let addrs: Vec<u64> = (0..warp_size as u64)
+        .map(|lane| base + lane * stride_bytes)
+        .collect();
     warp_transactions(&addrs, seg_bytes)
 }
 
@@ -46,7 +51,10 @@ impl AccessTrace {
 
     /// Total transactions across every recorded warp access.
     pub fn total_transactions(&self, seg_bytes: u64) -> u64 {
-        self.warps.iter().map(|w| warp_transactions(w, seg_bytes) as u64).sum()
+        self.warps
+            .iter()
+            .map(|w| warp_transactions(w, seg_bytes) as u64)
+            .sum()
     }
 
     /// Number of warp accesses recorded.
@@ -96,7 +104,11 @@ mod tests {
     #[test]
     fn duplicate_addresses_coalesce_to_one() {
         let addrs = vec![512u64; 32];
-        assert_eq!(warp_transactions(&addrs, 128), 1, "broadcast reads are one transaction");
+        assert_eq!(
+            warp_transactions(&addrs, 128),
+            1,
+            "broadcast reads are one transaction"
+        );
     }
 
     #[test]

@@ -109,7 +109,12 @@ impl Default for CostModel {
 impl CostModel {
     /// Number of 128-byte transactions a full warp of `warp_size` threads
     /// issues for one access of `elem_bytes`-sized elements under `pattern`.
-    pub fn warp_transactions(&self, pattern: AccessPattern, elem_bytes: u32, warp_size: u32) -> u32 {
+    pub fn warp_transactions(
+        &self,
+        pattern: AccessPattern,
+        elem_bytes: u32,
+        warp_size: u32,
+    ) -> u32 {
         let seg = self.seg_bytes.max(1);
         match pattern {
             AccessPattern::Coalesced => {
@@ -118,7 +123,10 @@ impl CostModel {
             }
             AccessPattern::Strided(stride) => {
                 let stride = stride.max(1);
-                let span = warp_size.saturating_mul(elem_bytes).saturating_mul(stride).max(1);
+                let span = warp_size
+                    .saturating_mul(elem_bytes)
+                    .saturating_mul(stride)
+                    .max(1);
                 div_ceil_u32(span, seg).min(warp_size)
             }
             AccessPattern::Scattered => warp_size,
@@ -133,7 +141,12 @@ impl CostModel {
 
     /// Per-thread amortized cost (cycles) of one global access under
     /// `pattern`: the warp's transaction bill divided across its threads.
-    pub fn global_cost_per_elem(&self, pattern: AccessPattern, elem_bytes: u32, warp_size: u32) -> f64 {
+    pub fn global_cost_per_elem(
+        &self,
+        pattern: AccessPattern,
+        elem_bytes: u32,
+        warp_size: u32,
+    ) -> f64 {
         let txns = self.warp_transactions(pattern, elem_bytes, warp_size);
         self.global_txn * txns as f64 / warp_size as f64
     }
@@ -193,8 +206,14 @@ mod tests {
         let c = m.global_cost_per_elem(AccessPattern::Coalesced, 4, W);
         let s = m.global_cost_per_elem(AccessPattern::Strided(4), 4, W);
         let x = m.global_cost_per_elem(AccessPattern::Scattered, 4, W);
-        assert!(c < s && s < x, "coalesced {c} < strided {s} < scattered {x}");
-        assert!((x - m.global_txn).abs() < 1e-12, "scattered pays a full txn per element");
+        assert!(
+            c < s && s < x,
+            "coalesced {c} < strided {s} < scattered {x}"
+        );
+        assert!(
+            (x - m.global_txn).abs() < 1e-12,
+            "scattered pays a full txn per element"
+        );
     }
 
     #[test]
@@ -204,7 +223,10 @@ mod tests {
         let l = m.global_cost_per_elem(AccessPattern::SingleLaneSequential, 4, W);
         let x = m.global_cost_per_elem(AccessPattern::Scattered, 4, W);
         assert!(c < l && l < x, "{c} < {l} < {x}");
-        assert_eq!(m.warp_transactions(AccessPattern::SingleLaneSequential, 4, W), 4);
+        assert_eq!(
+            m.warp_transactions(AccessPattern::SingleLaneSequential, 4, W),
+            4
+        );
         // Wide elements saturate at warp_size like everything else.
         assert!(m.warp_transactions(AccessPattern::SingleLaneSequential, 256, W) <= W);
     }

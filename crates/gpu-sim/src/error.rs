@@ -38,11 +38,17 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OutOfMemory { requested, available } => write!(
+            SimError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
                 f,
                 "device out of memory: requested {requested} B, {available} B available"
             ),
-            SimError::SharedMemOverflow { requested, available } => write!(
+            SimError::SharedMemOverflow {
+                requested,
+                available,
+            } => write!(
                 f,
                 "shared memory overflow: kernel wants {requested} B/block, device has {available} B"
             ),
@@ -66,25 +72,48 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = SimError::OutOfMemory { requested: 100, available: 10 };
+        let e = SimError::OutOfMemory {
+            requested: 100,
+            available: 10,
+        };
         assert!(e.to_string().contains("requested 100"));
-        let e = SimError::SharedMemOverflow { requested: 50_000, available: 49_152 };
+        let e = SimError::SharedMemOverflow {
+            requested: 50_000,
+            available: 49_152,
+        };
         assert!(e.to_string().contains("49152"));
-        let e = SimError::InvalidLaunch { reason: "block_dim 2048 > 1024".into() };
+        let e = SimError::InvalidLaunch {
+            reason: "block_dim 2048 > 1024".into(),
+        };
         assert!(e.to_string().contains("2048"));
-        let e = SimError::TransferSizeMismatch { src_len: 3, dst_len: 4 };
+        let e = SimError::TransferSizeMismatch {
+            src_len: 3,
+            dst_len: 4,
+        };
         assert!(e.to_string().contains("3"));
     }
 
     #[test]
     fn errors_are_comparable() {
         assert_eq!(
-            SimError::OutOfMemory { requested: 1, available: 0 },
-            SimError::OutOfMemory { requested: 1, available: 0 }
+            SimError::OutOfMemory {
+                requested: 1,
+                available: 0
+            },
+            SimError::OutOfMemory {
+                requested: 1,
+                available: 0
+            }
         );
         assert_ne!(
-            SimError::OutOfMemory { requested: 1, available: 0 },
-            SimError::OutOfMemory { requested: 2, available: 0 }
+            SimError::OutOfMemory {
+                requested: 1,
+                available: 0
+            },
+            SimError::OutOfMemory {
+                requested: 2,
+                available: 0
+            }
         );
     }
 }

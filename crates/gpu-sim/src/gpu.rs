@@ -10,7 +10,10 @@ use crate::cost::CostModel;
 use crate::error::{SimError, SimResult};
 use crate::memory::{DeviceBuffer, MemoryLedger};
 use crate::spec::DeviceSpec;
-use crate::stats::{Counters, KernelStats, Timeline, TransferDir, TransferStats};
+use crate::stats::{
+    Counters, KernelEfficiency, KernelStats, SpanId, SpanRecord, Timeline, TransferDir,
+    TransferStats,
+};
 use crate::stream::{AsyncEvent, AsyncState, Engine, EventId, StreamId};
 
 /// Launch geometry for a kernel, mirroring `<<<grid, block, shared>>>`.
@@ -30,7 +33,11 @@ impl LaunchConfig {
     /// declared (kernels that use [`BlockCtx::shared_array`] should declare
     /// their worst-case bytes via [`LaunchConfig::with_shared`]).
     pub fn grid(grid_dim: u32, block_dim: u32) -> Self {
-        Self { grid_dim, block_dim, shared_mem_bytes: 0 }
+        Self {
+            grid_dim,
+            block_dim,
+            shared_mem_bytes: 0,
+        }
     }
 
     /// Adds a per-block shared-memory declaration.
@@ -68,6 +75,7 @@ pub struct Gpu {
     timeline: Timeline,
     async_state: AsyncState,
     current_stream: Option<StreamId>,
+    span_depth: u32,
 }
 
 impl Gpu {
@@ -87,6 +95,7 @@ impl Gpu {
             timeline: Timeline::default(),
             async_state: AsyncState::default(),
             current_stream: None,
+            span_depth: 0,
         }
     }
 
@@ -123,6 +132,55 @@ impl Gpu {
         self.elapsed_ms = 0.0;
         self.timeline = Timeline::default();
         self.async_state.clear_events();
+        self.span_depth = 0;
+    }
+
+    /// Current simulated timestamp for trace purposes: the host clock on
+    /// the default stream, or the quiesce time of all outstanding async
+    /// work while a stream is active (the async clock only advances at
+    /// [`Gpu::synchronize`], so this is the best available estimate of
+    /// "now" mid-pipeline).
+    pub fn now_ms(&self) -> f64 {
+        if self.current_stream.is_some() {
+            self.async_state.quiesce_time(self.elapsed_ms)
+        } else {
+            self.elapsed_ms
+        }
+    }
+
+    /// Opens a named phase span at the current simulated time. Spans nest
+    /// (a span opened while another is open records a greater `depth`) and
+    /// group the kernels/transfers issued inside them for the trace
+    /// exporters ([`crate::trace`]). Close with [`Gpu::end_span`].
+    pub fn begin_span(&mut self, name: &str) -> SpanId {
+        let idx = self.timeline.spans.len();
+        let now = self.now_ms();
+        self.timeline.spans.push(SpanRecord {
+            name: name.to_string(),
+            start_ms: now,
+            end_ms: now,
+            depth: self.span_depth,
+        });
+        self.span_depth += 1;
+        SpanId(idx)
+    }
+
+    /// Closes a span opened by [`Gpu::begin_span`], stamping its end time.
+    pub fn end_span(&mut self, span: SpanId) {
+        let now = self.now_ms();
+        self.span_depth = self.span_depth.saturating_sub(1);
+        if let Some(rec) = self.timeline.spans.get_mut(span.0) {
+            rec.end_ms = now;
+        }
+    }
+
+    /// Runs `f` inside a span named `name` — the closure-scoped companion
+    /// of [`Gpu::begin_span`]/[`Gpu::end_span`].
+    pub fn with_span<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let span = self.begin_span(name);
+        let out = f(self);
+        self.end_span(span);
+        out
     }
 
     /// Creates a stream (like `cudaStreamCreate`). Work issued while the
@@ -196,7 +254,10 @@ impl Gpu {
     /// charging transfer time.
     pub fn htod_into<T: Copy>(&mut self, host: &[T], dst: &mut DeviceBuffer<T>) -> SimResult<()> {
         if host.len() != dst.len() {
-            return Err(SimError::TransferSizeMismatch { src_len: host.len(), dst_len: dst.len() });
+            return Err(SimError::TransferSizeMismatch {
+                src_len: host.len(),
+                dst_len: dst.len(),
+            });
         }
         dst.as_mut_slice().copy_from_slice(host);
         self.charge_transfer(TransferDir::HtoD, std::mem::size_of_val(host) as u64);
@@ -212,9 +273,16 @@ impl Gpu {
 
     /// Copies a device buffer into an existing host slice, charging transfer
     /// time.
-    pub fn dtoh_into<T: Copy>(&mut self, buf: &mut DeviceBuffer<T>, host: &mut [T]) -> SimResult<()> {
+    pub fn dtoh_into<T: Copy>(
+        &mut self,
+        buf: &mut DeviceBuffer<T>,
+        host: &mut [T],
+    ) -> SimResult<()> {
         if host.len() != buf.len() {
-            return Err(SimError::TransferSizeMismatch { src_len: buf.len(), dst_len: host.len() });
+            return Err(SimError::TransferSizeMismatch {
+                src_len: buf.len(),
+                dst_len: host.len(),
+            });
         }
         host.copy_from_slice(buf.as_slice());
         self.charge_transfer(TransferDir::DtoH, std::mem::size_of_val(host) as u64);
@@ -223,16 +291,27 @@ impl Gpu {
 
     fn charge_transfer(&mut self, direction: TransferDir, bytes: u64) {
         let time_ms = self.spec.transfer_ms(bytes);
-        if let Some(stream) = self.current_stream {
+        let (start_ms, stream) = if let Some(stream) = self.current_stream {
             let (engine, name) = match direction {
                 TransferDir::HtoD => (Engine::HtoD, "htod"),
                 TransferDir::DtoH => (Engine::DtoH, "dtoh"),
             };
-            self.async_state.schedule(name, stream, engine, self.elapsed_ms, time_ms);
+            let (start, _end) =
+                self.async_state
+                    .schedule(name, stream, engine, self.elapsed_ms, time_ms);
+            (start, Some(stream.0))
         } else {
+            let start = self.elapsed_ms;
             self.elapsed_ms += time_ms;
-        }
-        self.timeline.transfers.push(TransferStats { direction, bytes, time_ms });
+            (start, None)
+        };
+        self.timeline.transfers.push(TransferStats {
+            direction,
+            bytes,
+            time_ms,
+            start_ms,
+            stream,
+        });
     }
 
     /// Launches `kernel` over `cfg.grid_dim` blocks.
@@ -285,39 +364,57 @@ impl Gpu {
         let cycles = *agg.sm_cycles.iter().max().unwrap_or(&0);
         let busy: u64 = agg.sm_cycles.iter().sum();
         let mean = busy as f64 / sm_count as f64;
-        let sm_imbalance = if mean > 0.0 { cycles as f64 / mean } else { 1.0 };
+        let sm_imbalance = if mean > 0.0 {
+            cycles as f64 / mean
+        } else {
+            1.0
+        };
         let time_ms = self.spec.cycles_to_ms(cycles) + self.spec.kernel_launch_us / 1_000.0;
 
         let occ = crate::occupancy::occupancy(
             &self.spec,
             &crate::occupancy::KernelResources::new(cfg.block_dim, cfg.shared_mem_bytes),
         );
+        let (start_ms, stream) = if let Some(stream) = self.current_stream {
+            let (start, _end) =
+                self.async_state
+                    .schedule(name, stream, Engine::Compute, self.elapsed_ms, time_ms);
+            (start, Some(stream.0))
+        } else {
+            let start = self.elapsed_ms;
+            self.elapsed_ms += time_ms;
+            (start, None)
+        };
+        let efficiency =
+            KernelEfficiency::compute(&agg.counters, cycles, time_ms, &self.spec, &self.cost);
         let stats = KernelStats {
             name: name.to_string(),
             grid_dim: cfg.grid_dim,
             block_dim: cfg.block_dim,
             cycles,
             time_ms,
+            start_ms,
+            stream,
             counters: agg.counters,
             sm_imbalance,
             max_block_cycles: agg.max_block,
             occupancy: occ.fraction,
+            efficiency,
         };
-        if let Some(stream) = self.current_stream {
-            self.async_state.schedule(name, stream, Engine::Compute, self.elapsed_ms, time_ms);
-        } else {
-            self.elapsed_ms += time_ms;
-        }
         self.timeline.kernels.push(stats.clone());
         Ok(stats)
     }
 
     fn validate(&self, cfg: &LaunchConfig) -> SimResult<()> {
         if cfg.grid_dim == 0 {
-            return Err(SimError::InvalidLaunch { reason: "grid_dim must be > 0".into() });
+            return Err(SimError::InvalidLaunch {
+                reason: "grid_dim must be > 0".into(),
+            });
         }
         if cfg.block_dim == 0 {
-            return Err(SimError::InvalidLaunch { reason: "block_dim must be > 0".into() });
+            return Err(SimError::InvalidLaunch {
+                reason: "block_dim must be > 0".into(),
+            });
         }
         if cfg.block_dim > self.spec.max_threads_per_block {
             return Err(SimError::InvalidLaunch {
@@ -345,7 +442,11 @@ struct LaunchAgg {
 
 impl LaunchAgg {
     fn new(sm_count: usize) -> Self {
-        Self { sm_cycles: vec![0; sm_count], counters: Counters::default(), max_block: 0 }
+        Self {
+            sm_cycles: vec![0; sm_count],
+            counters: Counters::default(),
+            max_block: 0,
+        }
     }
 
     fn merge(mut self, other: Self) -> Self {
@@ -409,10 +510,14 @@ mod tests {
     fn more_blocks_cost_more_time() {
         let mut g = gpu();
         let small = g
-            .launch("w", LaunchConfig::grid(4, 32), |b| b.threads(|t| t.charge_alu(100)))
+            .launch("w", LaunchConfig::grid(4, 32), |b| {
+                b.threads(|t| t.charge_alu(100))
+            })
             .unwrap();
         let large = g
-            .launch("w", LaunchConfig::grid(64, 32), |b| b.threads(|t| t.charge_alu(100)))
+            .launch("w", LaunchConfig::grid(64, 32), |b| {
+                b.threads(|t| t.charge_alu(100))
+            })
             .unwrap();
         assert!(large.cycles > small.cycles);
     }
@@ -420,14 +525,27 @@ mod tests {
     #[test]
     fn launch_validation_errors() {
         let mut g = gpu();
-        let err = g.launch("bad", LaunchConfig::grid(0, 32), |_| {}).unwrap_err();
-        assert!(matches!(err, SimError::InvalidLaunch { .. }));
-        let err = g.launch("bad", LaunchConfig::grid(1, 0), |_| {}).unwrap_err();
-        assert!(matches!(err, SimError::InvalidLaunch { .. }));
-        let err = g.launch("bad", LaunchConfig::grid(1, 512), |_| {}).unwrap_err();
-        assert!(matches!(err, SimError::InvalidLaunch { .. }), "256 is the test device's max");
         let err = g
-            .launch("bad", LaunchConfig::grid(1, 32).with_shared(64 * 1024), |_| {})
+            .launch("bad", LaunchConfig::grid(0, 32), |_| {})
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidLaunch { .. }));
+        let err = g
+            .launch("bad", LaunchConfig::grid(1, 0), |_| {})
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidLaunch { .. }));
+        let err = g
+            .launch("bad", LaunchConfig::grid(1, 512), |_| {})
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::InvalidLaunch { .. }),
+            "256 is the test device's max"
+        );
+        let err = g
+            .launch(
+                "bad",
+                LaunchConfig::grid(1, 32).with_shared(64 * 1024),
+                |_| {},
+            )
             .unwrap_err();
         assert!(matches!(err, SimError::SharedMemOverflow { .. }));
     }
@@ -449,7 +567,13 @@ mod tests {
         let mut g = gpu();
         let mut buf = g.alloc::<u32>(4).unwrap();
         let err = g.htod_into(&[1u32, 2, 3], &mut buf).unwrap_err();
-        assert_eq!(err, SimError::TransferSizeMismatch { src_len: 3, dst_len: 4 });
+        assert_eq!(
+            err,
+            SimError::TransferSizeMismatch {
+                src_len: 3,
+                dst_len: 4
+            }
+        );
     }
 
     #[test]
@@ -496,12 +620,16 @@ mod tests {
         let mut g = gpu();
         // 1 block on a 2-SM device: the other SM idles => imbalance = 2.
         let s = g
-            .launch("lone", LaunchConfig::grid(1, 32), |b| b.threads(|t| t.charge_alu(100)))
+            .launch("lone", LaunchConfig::grid(1, 32), |b| {
+                b.threads(|t| t.charge_alu(100))
+            })
             .unwrap();
         assert!((s.sm_imbalance - 2.0).abs() < 1e-9);
         // Even block count => balanced.
         let s = g
-            .launch("even", LaunchConfig::grid(4, 32), |b| b.threads(|t| t.charge_alu(100)))
+            .launch("even", LaunchConfig::grid(4, 32), |b| {
+                b.threads(|t| t.charge_alu(100))
+            })
             .unwrap();
         assert!((s.sm_imbalance - 1.0).abs() < 1e-9);
     }
@@ -510,18 +638,135 @@ mod tests {
     fn launch_reports_occupancy() {
         let mut g = gpu();
         let s = g
-            .launch("occ", LaunchConfig::grid(4, 256), |b| b.threads(|t| t.charge_alu(1)))
+            .launch("occ", LaunchConfig::grid(4, 256), |b| {
+                b.threads(|t| t.charge_alu(1))
+            })
             .unwrap();
         // Test device: 16 max warps/SM, 256 threads = 8 warps, 8 blocks max
         // → warp-limited at 2 blocks = 16 warps = full occupancy.
         assert!((s.occupancy - 1.0).abs() < 1e-12, "got {}", s.occupancy);
         let s = g
-            .launch("occ_shared", LaunchConfig::grid(4, 32).with_shared(16 * 1024), |b| {
-                b.threads(|t| t.charge_alu(1))
-            })
+            .launch(
+                "occ_shared",
+                LaunchConfig::grid(4, 32).with_shared(16 * 1024),
+                |b| b.threads(|t| t.charge_alu(1)),
+            )
             .unwrap();
         // 16 KB shared per block on a 16 KB/SM device → 1 block = 1 warp.
-        assert!((s.occupancy - 1.0 / 16.0).abs() < 1e-12, "got {}", s.occupancy);
+        assert!(
+            (s.occupancy - 1.0 / 16.0).abs() < 1e-12,
+            "got {}",
+            s.occupancy
+        );
+    }
+
+    #[test]
+    fn events_carry_start_timestamps() {
+        let mut g = gpu();
+        let data = vec![1.0f32; 1024];
+        let mut buf = g.htod_copy(&data).unwrap();
+        g.launch("k", LaunchConfig::grid(2, 32), |b| {
+            b.threads(|t| t.charge_alu(100))
+        })
+        .unwrap();
+        let _ = g.dtoh_copy(&mut buf);
+        let tl = g.timeline();
+        let up = &tl.transfers[0];
+        let k = &tl.kernels[0];
+        let down = &tl.transfers[1];
+        assert_eq!(up.start_ms, 0.0);
+        assert!(
+            (k.start_ms - up.end_ms()).abs() < 1e-12,
+            "kernel starts when upload ends"
+        );
+        assert!((down.start_ms - k.end_ms()).abs() < 1e-12);
+        assert!((down.end_ms() - g.elapsed_ms()).abs() < 1e-12);
+        assert!(up.stream.is_none() && k.stream.is_none());
+    }
+
+    #[test]
+    fn streamed_events_record_stream_and_scheduled_start() {
+        let mut g = gpu();
+        let a = g.create_stream();
+        let b = g.create_stream();
+        g.set_stream(Some(a));
+        let _b1 = g.htod_copy(&vec![0u32; 1 << 16]).unwrap();
+        g.set_stream(Some(b));
+        let _b2 = g.htod_copy(&vec![0u32; 1 << 16]).unwrap();
+        g.synchronize();
+        let t = &g.timeline().transfers;
+        assert_eq!(t[0].stream, Some(a.0));
+        assert_eq!(t[1].stream, Some(b.0));
+        assert!(
+            (t[1].start_ms - t[0].end_ms()).abs() < 1e-12,
+            "same DMA engine serializes the two uploads"
+        );
+    }
+
+    #[test]
+    fn launch_computes_efficiency() {
+        let mut g = gpu();
+        let s = g
+            .launch("k", LaunchConfig::grid(4, 32), |b| {
+                b.threads(|t| {
+                    t.charge_alu(50);
+                    t.charge_global(8, 4, AccessPattern::Coalesced);
+                    t.charge_shared(4);
+                })
+            })
+            .unwrap();
+        assert!(s.efficiency.gb_per_s > 0.0);
+        assert!(s.efficiency.mem_utilization > 0.0 && s.efficiency.mem_utilization < 1.0);
+        assert!(
+            (s.efficiency.coalescing_ratio - 1.0).abs() < 1e-9,
+            "coalesced access"
+        );
+        assert!((s.efficiency.bank_conflict_degree - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_nest_and_cover_elapsed_time() {
+        let mut g = gpu();
+        let outer = g.begin_span("run");
+        let s1 = g.begin_span("upload");
+        let _buf = g.htod_copy(&[1u32, 2, 3]).unwrap();
+        g.end_span(s1);
+        g.with_span("compute", |g| {
+            g.launch("k", LaunchConfig::grid(1, 32), |b| {
+                b.threads(|t| t.charge_alu(10))
+            })
+            .unwrap();
+        });
+        g.end_span(outer);
+        let spans = &g.timeline().spans;
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[2].depth, 1);
+        assert!((spans[0].duration_ms() - g.elapsed_ms()).abs() < 1e-12);
+        let inner: f64 = spans[1].duration_ms() + spans[2].duration_ms();
+        assert!(
+            (inner - g.elapsed_ms()).abs() < 1e-12,
+            "children tile the parent exactly"
+        );
+        assert_eq!(g.timeline().top_spans().count(), 1);
+    }
+
+    #[test]
+    fn reset_clock_clears_spans_and_depth() {
+        let mut g = gpu();
+        let s = g.begin_span("x");
+        g.end_span(s);
+        let _open = g.begin_span("dangling");
+        g.reset_clock();
+        assert!(g.timeline().spans.is_empty());
+        let t = g.begin_span("fresh");
+        assert_eq!(
+            g.timeline().spans[t.0].depth,
+            0,
+            "depth resets with the clock"
+        );
+        g.end_span(t);
     }
 
     #[test]
@@ -532,7 +777,8 @@ mod tests {
         g.launch("count", LaunchConfig::grid(16, 32), |block| {
             block.threads(|t| {
                 t.charge_atomic_global(1);
-                view.atomic_u32_slot(0).fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                view.atomic_u32_slot(0)
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             });
         })
         .unwrap();

@@ -68,6 +68,7 @@ pub mod occupancy;
 pub mod spec;
 pub mod stats;
 pub mod stream;
+pub mod trace;
 
 pub use block::{BlockCtx, SharedArray, ThreadCtx};
 pub use cost::{AccessPattern, CostModel};
@@ -76,5 +77,9 @@ pub use gpu::{Gpu, LaunchConfig};
 pub use memory::{DeviceBuffer, GlobalView, MemoryLedger};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy};
 pub use spec::{DeviceSpec, MIB};
-pub use stats::{Counters, KernelStats, Timeline, TransferDir, TransferStats};
+pub use stats::{
+    Counters, KernelEfficiency, KernelStats, SpanId, SpanRecord, Timeline, TransferDir,
+    TransferStats,
+};
 pub use stream::{AsyncEvent, Engine, EventId, StreamId};
+pub use trace::{chrome_trace_json, phase_summaries, PhaseSummary};

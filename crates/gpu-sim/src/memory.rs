@@ -27,7 +27,12 @@ pub struct MemoryLedger {
 impl MemoryLedger {
     /// Creates a ledger with `capacity` usable bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: AtomicU64::new(0), peak: AtomicU64::new(0), allocs: AtomicU64::new(0) }
+        Self {
+            capacity,
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+        }
     }
 
     /// Attempts to reserve `bytes`; fails with [`SimError::OutOfMemory`]
@@ -37,9 +42,15 @@ impl MemoryLedger {
         loop {
             let new = cur + bytes;
             if new > self.capacity {
-                return Err(SimError::OutOfMemory { requested: bytes, available: self.capacity - cur });
+                return Err(SimError::OutOfMemory {
+                    requested: bytes,
+                    available: self.capacity - cur,
+                });
             }
-            match self.used.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            match self
+                .used
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => {
                     self.peak.fetch_max(new, Ordering::Relaxed);
                     self.allocs.fetch_add(1, Ordering::Relaxed);
@@ -106,7 +117,11 @@ impl<T: Copy + Default> DeviceBuffer<T> {
     pub fn zeroed(ledger: Arc<MemoryLedger>, len: usize) -> SimResult<Self> {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         ledger.reserve(bytes)?;
-        Ok(Self { data: UnsafeCell::new(vec![T::default(); len]), bytes, ledger })
+        Ok(Self {
+            data: UnsafeCell::new(vec![T::default(); len]),
+            bytes,
+            ledger,
+        })
     }
 
     /// Allocates and fills from a host slice (accounting only — the transfer
@@ -114,7 +129,11 @@ impl<T: Copy + Default> DeviceBuffer<T> {
     pub fn from_host(ledger: Arc<MemoryLedger>, host: &[T]) -> SimResult<Self> {
         let bytes = std::mem::size_of_val(host) as u64;
         ledger.reserve(bytes)?;
-        Ok(Self { data: UnsafeCell::new(host.to_vec()), bytes, ledger })
+        Ok(Self {
+            data: UnsafeCell::new(host.to_vec()),
+            bytes,
+            ledger,
+        })
     }
 }
 
@@ -202,12 +221,20 @@ impl<'a, T> GlobalView<'a, T> {
     /// `ptr` must be valid for reads/writes of `len` elements for `'a`, and
     /// all concurrent use must follow the type-level discipline above.
     pub unsafe fn from_raw(ptr: *mut T, len: usize) -> Self {
-        Self { ptr, len, _life: PhantomData }
+        Self {
+            ptr,
+            len,
+            _life: PhantomData,
+        }
     }
 
     /// Wraps an exclusive slice (safe: exclusivity is proven by `&mut`).
     pub fn from_mut_slice(slice: &'a mut [T]) -> Self {
-        Self { ptr: slice.as_mut_ptr(), len: slice.len(), _life: PhantomData }
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _life: PhantomData,
+        }
     }
 
     /// Number of elements visible through the view.
@@ -234,14 +261,22 @@ impl<'a, T> GlobalView<'a, T> {
     /// Writes element `idx`.
     #[inline]
     pub fn set(&self, idx: usize, val: T) {
-        assert!(idx < self.len, "GlobalView write OOB: {idx} >= {}", self.len);
+        assert!(
+            idx < self.len,
+            "GlobalView write OOB: {idx} >= {}",
+            self.len
+        );
         // SAFETY: bounds checked; discipline guarantees a unique writer.
         unsafe { *self.ptr.add(idx) = val }
     }
 
     /// A sub-view of `range` (both bounds in elements).
     pub fn subview(&self, start: usize, len: usize) -> GlobalView<'a, T> {
-        assert!(start + len <= self.len, "subview OOB: {start}+{len} > {}", self.len);
+        assert!(
+            start + len <= self.len,
+            "subview OOB: {start}+{len} > {}",
+            self.len
+        );
         // SAFETY: stays within the parent region.
         unsafe { GlobalView::from_raw(self.ptr.add(start), len) }
     }
@@ -253,7 +288,11 @@ impl<'a, T> GlobalView<'a, T> {
     /// borrow.
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &'a mut [T] {
-        assert!(start + len <= self.len, "slice_mut OOB: {start}+{len} > {}", self.len);
+        assert!(
+            start + len <= self.len,
+            "slice_mut OOB: {start}+{len} > {}",
+            self.len
+        );
         std::slice::from_raw_parts_mut(self.ptr.add(start), len)
     }
 
@@ -262,7 +301,11 @@ impl<'a, T> GlobalView<'a, T> {
     /// # Safety
     /// No thread may write `[start, start+len)` during the returned borrow.
     pub unsafe fn slice(&self, start: usize, len: usize) -> &'a [T] {
-        assert!(start + len <= self.len, "slice OOB: {start}+{len} > {}", self.len);
+        assert!(
+            start + len <= self.len,
+            "slice OOB: {start}+{len} > {}",
+            self.len
+        );
         std::slice::from_raw_parts(self.ptr.add(start), len)
     }
 }
@@ -307,7 +350,13 @@ mod tests {
         let l = ledger(1000);
         l.reserve(800).unwrap();
         let err = l.reserve(300).unwrap_err();
-        assert_eq!(err, SimError::OutOfMemory { requested: 300, available: 200 });
+        assert_eq!(
+            err,
+            SimError::OutOfMemory {
+                requested: 300,
+                available: 200
+            }
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct KernelResources {
 impl KernelResources {
     /// Resources with the default register estimate.
     pub fn new(threads_per_block: u32, shared_bytes_per_block: u32) -> Self {
-        Self { threads_per_block, shared_bytes_per_block, registers_per_thread: 32 }
+        Self {
+            threads_per_block,
+            shared_bytes_per_block,
+            registers_per_thread: 32,
+        }
     }
 }
 
@@ -62,10 +66,15 @@ pub fn occupancy(spec: &DeviceSpec, res: &KernelResources) -> Occupancy {
 
     let by_blocks = spec.max_blocks_per_sm;
     let by_warps = spec.max_warps_per_sm / warps_per_block;
-    let by_shared =
-        spec.shared_mem_per_sm.checked_div(res.shared_bytes_per_block).unwrap_or(u32::MAX);
+    let by_shared = spec
+        .shared_mem_per_sm
+        .checked_div(res.shared_bytes_per_block)
+        .unwrap_or(u32::MAX);
     let regs_per_block = res.registers_per_thread * res.threads_per_block;
-    let by_regs = spec.registers_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
+    let by_regs = spec
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
 
     let resident_blocks = by_blocks.min(by_warps).min(by_shared).min(by_regs);
     let limiter = if resident_blocks == by_warps {
@@ -120,7 +129,10 @@ mod tests {
         let o = occupancy(&k40c(), &KernelResources::new(1, 17_600));
         assert_eq!(o.limiter, Limiter::SharedMemory);
         assert_eq!(o.resident_blocks, 2);
-        assert!(o.fraction < 0.05, "single-thread blocks barely occupy the SM");
+        assert!(
+            o.fraction < 0.05,
+            "single-thread blocks barely occupy the SM"
+        );
     }
 
     #[test]
@@ -152,7 +164,10 @@ mod tests {
         for threads in [1u32, 32, 96, 256, 512, 1024] {
             for shared in [0u32, 1024, 16 * 1024, 48 * 1024] {
                 let o = occupancy(&k40c(), &KernelResources::new(threads, shared));
-                assert!(o.fraction <= 1.0 + 1e-12, "threads={threads} shared={shared}");
+                assert!(
+                    o.fraction <= 1.0 + 1e-12,
+                    "threads={threads} shared={shared}"
+                );
             }
         }
     }

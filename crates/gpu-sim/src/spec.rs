@@ -43,6 +43,10 @@ pub struct DeviceSpec {
     pub registers_per_sm: u32,
     /// Shared memory per SM (on Kepler, equal to the per-block limit).
     pub shared_mem_per_sm: u32,
+    /// Peak global-memory bandwidth in GB/s (datasheet figure); the
+    /// denominator of per-kernel memory-utilization metrics.
+    #[serde(default)]
+    pub mem_gb_per_s: f64,
     /// Host↔device bandwidth in GB/s (PCIe generation dependent).
     pub pcie_gb_per_s: f64,
     /// Fixed per-transfer latency in microseconds.
@@ -70,6 +74,7 @@ impl DeviceSpec {
             max_warps_per_sm: 64,
             registers_per_sm: 65_536,
             shared_mem_per_sm: 48 * 1024,
+            mem_gb_per_s: 288.0,
             pcie_gb_per_s: 12.0,
             pcie_latency_us: 10.0,
             kernel_launch_us: 5.0,
@@ -93,6 +98,7 @@ impl DeviceSpec {
             max_warps_per_sm: 64,
             registers_per_sm: 65_536,
             shared_mem_per_sm: 48 * 1024,
+            mem_gb_per_s: 208.0,
             pcie_gb_per_s: 12.0,
             pcie_latency_us: 10.0,
             kernel_launch_us: 5.0,
@@ -116,6 +122,7 @@ impl DeviceSpec {
             max_warps_per_sm: 64,
             registers_per_sm: 131_072,
             shared_mem_per_sm: 112 * 1024,
+            mem_gb_per_s: 240.0,
             pcie_gb_per_s: 12.0,
             pcie_latency_us: 10.0,
             kernel_launch_us: 5.0,
@@ -140,6 +147,7 @@ impl DeviceSpec {
             max_warps_per_sm: 64,
             registers_per_sm: 65_536,
             shared_mem_per_sm: 96 * 1024,
+            mem_gb_per_s: 224.0,
             pcie_gb_per_s: 12.0,
             pcie_latency_us: 10.0,
             kernel_launch_us: 5.0,
@@ -163,6 +171,7 @@ impl DeviceSpec {
             max_warps_per_sm: 16,
             registers_per_sm: 16_384,
             shared_mem_per_sm: 16 * 1024,
+            mem_gb_per_s: 100.0,
             pcie_gb_per_s: 12.0,
             pcie_latency_us: 10.0,
             kernel_launch_us: 5.0,
@@ -225,9 +234,15 @@ mod tests {
     fn transfer_time_has_latency_floor() {
         let d = DeviceSpec::tesla_k40c();
         let t0 = d.transfer_ms(0);
-        assert!((t0 - 0.01).abs() < 1e-9, "zero-byte transfer still pays latency");
+        assert!(
+            (t0 - 0.01).abs() < 1e-9,
+            "zero-byte transfer still pays latency"
+        );
         let t1 = d.transfer_ms(12_000_000_000);
-        assert!(t1 > 999.0 && t1 < 1001.0, "12 GB at 12 GB/s ≈ 1 s, got {t1}");
+        assert!(
+            t1 > 999.0 && t1 < 1001.0,
+            "12 GB at 12 GB/s ≈ 1 s, got {t1}"
+        );
     }
 
     #[test]
@@ -242,7 +257,12 @@ mod tests {
             assert!(d.sm_count > 0 && d.warp_size == 32, "{}", d.name);
             assert!(d.usable_mem_bytes() > 0, "{}", d.name);
             assert!(d.shared_mem_per_sm >= d.shared_mem_per_block, "{}", d.name);
-            assert!(d.max_warps_per_sm * d.warp_size >= d.max_threads_per_block, "{}", d.name);
+            assert!(d.mem_gb_per_s > d.pcie_gb_per_s, "{}", d.name);
+            assert!(
+                d.max_warps_per_sm * d.warp_size >= d.max_threads_per_block,
+                "{}",
+                d.name
+            );
         }
     }
 

@@ -69,7 +69,7 @@ impl AsyncState {
     }
 
     /// Schedules `dur_ms` of work on `engine` for `stream`; returns the
-    /// operation's end time.
+    /// operation's `(start, end)` times.
     pub fn schedule(
         &mut self,
         name: &str,
@@ -77,7 +77,7 @@ impl AsyncState {
         engine: Engine,
         now: f64,
         dur_ms: f64,
-    ) -> f64 {
+    ) -> (f64, f64) {
         let engine_free = match engine {
             Engine::Compute => &mut self.compute_free,
             Engine::HtoD => &mut self.h2d_free,
@@ -95,7 +95,7 @@ impl AsyncState {
             start_ms: start,
             end_ms: end,
         });
-        end
+        (start, end)
     }
 
     /// Records an event on `stream` (like `cudaEventRecord`): the event
@@ -123,10 +123,12 @@ impl AsyncState {
 
     /// Time at which every engine and stream is idle.
     pub fn quiesce_time(&self, now: f64) -> f64 {
-        self.stream_ready
-            .iter()
-            .copied()
-            .fold(now.max(self.compute_free).max(self.h2d_free).max(self.d2h_free), f64::max)
+        self.stream_ready.iter().copied().fold(
+            now.max(self.compute_free)
+                .max(self.h2d_free)
+                .max(self.d2h_free),
+            f64::max,
+        )
     }
 
     /// Scheduled operations so far.
@@ -155,8 +157,8 @@ mod tests {
         let st = s.create_stream(0.0);
         let e1 = s.schedule("a", st, Engine::HtoD, 0.0, 2.0);
         let e2 = s.schedule("b", st, Engine::Compute, 0.0, 3.0);
-        assert_eq!(e1, 2.0);
-        assert_eq!(e2, 5.0, "same stream: compute waits for the upload");
+        assert_eq!(e1, (0.0, 2.0));
+        assert_eq!(e2, (2.0, 5.0), "same stream: compute waits for the upload");
     }
 
     #[test]
@@ -167,8 +169,8 @@ mod tests {
         s.schedule("upA", a, Engine::HtoD, 0.0, 2.0);
         s.schedule("kA", a, Engine::Compute, 0.0, 4.0); // 2..6
         s.schedule("upB", b, Engine::HtoD, 0.0, 2.0); // 2..4 (H2D engine busy till 2)
-        let end_kb = s.schedule("kB", b, Engine::Compute, 0.0, 4.0); // compute busy till 6 → 6..10
-        assert_eq!(end_kb, 10.0);
+        let (start_kb, end_kb) = s.schedule("kB", b, Engine::Compute, 0.0, 4.0); // compute busy till 6 → 6..10
+        assert_eq!((start_kb, end_kb), (6.0, 10.0));
         // Upload of B overlapped with kernel of A.
         let up_b = &s.events()[2];
         assert_eq!((up_b.start_ms, up_b.end_ms), (2.0, 4.0));
@@ -181,15 +183,15 @@ mod tests {
         let a = s.create_stream(0.0);
         let b = s.create_stream(0.0);
         s.schedule("up", a, Engine::HtoD, 0.0, 5.0);
-        let down_end = s.schedule("down", b, Engine::DtoH, 0.0, 5.0);
-        assert_eq!(down_end, 5.0, "H2D and D2H run concurrently");
+        let down = s.schedule("down", b, Engine::DtoH, 0.0, 5.0);
+        assert_eq!(down, (0.0, 5.0), "H2D and D2H run concurrently");
     }
 
     #[test]
     fn streams_created_later_start_no_earlier_than_now() {
         let mut s = AsyncState::default();
         let st = s.create_stream(7.5);
-        let end = s.schedule("k", st, Engine::Compute, 7.5, 1.0);
+        let end = s.schedule("k", st, Engine::Compute, 7.5, 1.0).1;
         assert_eq!(end, 8.5);
     }
 
@@ -202,8 +204,11 @@ mod tests {
         let ev = s.record_event(a, 0.0);
         assert_eq!(s.event_time(ev), 5.0);
         s.stream_wait_event(b, ev);
-        let end = s.schedule("upB", b, Engine::HtoD, 0.0, 1.0);
-        assert_eq!(end, 6.0, "B's upload waits for A's kernel despite a free DMA engine");
+        let end = s.schedule("upB", b, Engine::HtoD, 0.0, 1.0).1;
+        assert_eq!(
+            end, 6.0,
+            "B's upload waits for A's kernel despite a free DMA engine"
+        );
     }
 
     #[test]
@@ -214,7 +219,7 @@ mod tests {
         let ev = s.record_event(a, 0.0); // nothing queued: completes at 0
         s.schedule("kB", b, Engine::Compute, 0.0, 3.0);
         s.stream_wait_event(b, ev);
-        let end = s.schedule("kB2", b, Engine::Compute, 0.0, 1.0);
+        let end = s.schedule("kB2", b, Engine::Compute, 0.0, 1.0).1;
         assert_eq!(end, 4.0, "no delay from an already-complete event");
     }
 

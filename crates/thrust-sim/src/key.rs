@@ -49,7 +49,11 @@ impl RadixKey for f32 {
     }
     #[inline]
     fn from_radix_bits(bits: u32) -> Self {
-        let b = if bits & 0x8000_0000 != 0 { bits & 0x7FFF_FFFF } else { !bits };
+        let b = if bits & 0x8000_0000 != 0 {
+            bits & 0x7FFF_FFFF
+        } else {
+            !bits
+        };
         f32::from_bits(b)
     }
 }
@@ -74,7 +78,12 @@ mod tests {
     fn i32_order_preserved() {
         let vals = [i32::MIN, -100, -1, 0, 1, 100, i32::MAX];
         for w in vals.windows(2) {
-            assert!(w[0].to_radix_bits() < w[1].to_radix_bits(), "{} vs {}", w[0], w[1]);
+            assert!(
+                w[0].to_radix_bits() < w[1].to_radix_bits(),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
             round_trip(w[0]);
         }
     }
@@ -112,7 +121,15 @@ mod tests {
 
     #[test]
     fn f32_bit_round_trip_is_lossless() {
-        for v in [0.0f32, -0.0, 1.5, -1.5, f32::MIN_POSITIVE, f32::MAX, f32::NAN] {
+        for v in [
+            0.0f32,
+            -0.0,
+            1.5,
+            -1.5,
+            f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::NAN,
+        ] {
             let back = f32::from_radix_bits(v.to_radix_bits());
             assert_eq!(back.to_bits(), v.to_bits(), "bit-exact round trip for {v}");
         }

@@ -37,4 +37,6 @@ pub use radix::{sort_keys, stable_sort_by_key, DeviceValue};
 pub use reduce::{reduce_u32, MaxOp, MinOp, SumOp};
 pub use scan::exclusive_scan;
 pub use segmented::{segmented_sort, SegSortStats};
-pub use sta::{max_arrays as sta_max_arrays, sort_arrays as sta_sort_arrays, StaMemoryPlan, StaStats};
+pub use sta::{
+    max_arrays as sta_max_arrays, sort_arrays as sta_sort_arrays, StaMemoryPlan, StaStats,
+};

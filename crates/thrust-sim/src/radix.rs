@@ -73,13 +73,22 @@ pub fn stable_sort_by_key<K: RadixKey, V: DeviceValue>(
     for pass in 0..RADIX_PASSES {
         let shift = pass * RADIX_BITS;
         let forward = pass % 2 == 0;
-        let (src_k, dst_k) = if forward { (&*keys, &alt_keys) } else { (&alt_keys, &*keys) };
-        let (src_v, dst_v) =
-            if forward { (&*values, &alt_values) } else { (&alt_values, &*values) };
+        let (src_k, dst_k) = if forward {
+            (&*keys, &alt_keys)
+        } else {
+            (&alt_keys, &*keys)
+        };
+        let (src_v, dst_v) = if forward {
+            (&*values, &alt_values)
+        } else {
+            (&alt_values, &*values)
+        };
 
         histogram_kernel(gpu, src_k, &hist, len, num_tiles, shift)?;
         exclusive_scan(gpu, &mut hist)?;
-        scatter_kernel(gpu, src_k, src_v, dst_k, dst_v, &hist, len, num_tiles, shift)?;
+        scatter_kernel(
+            gpu, src_k, src_v, dst_k, dst_v, &hist, len, num_tiles, shift,
+        )?;
     }
     Ok(())
 }
@@ -109,8 +118,7 @@ fn histogram_kernel<K: RadixKey>(
         let b = block.block_idx() as usize;
         let tile_start = b * RADIX_TILE;
         let tile_len = RADIX_TILE.min(len - tile_start);
-        let elems_per_thread =
-            (tile_len as u64).div_ceil(RADIX_THREADS as u64).min(16);
+        let elems_per_thread = (tile_len as u64).div_ceil(RADIX_THREADS as u64).min(16);
         block.threads(|t| {
             // Read the tile coalesced; one shared-atomic bump per element.
             t.charge_global(elems_per_thread, 4, AccessPattern::Coalesced);
@@ -168,8 +176,7 @@ fn scatter_kernel<K: RadixKey, V: DeviceValue>(
         let b = block.block_idx() as usize;
         let tile_start = b * RADIX_TILE;
         let tile_len = RADIX_TILE.min(len - tile_start);
-        let elems_per_thread =
-            (tile_len as u64).div_ceil(RADIX_THREADS as u64).min(16);
+        let elems_per_thread = (tile_len as u64).div_ceil(RADIX_THREADS as u64).min(16);
         block.threads(|t| {
             // Re-read tile (key + value) coalesced, compute a stable local
             // rank via shared-memory digit scan (~8 ALU + 4 shared per
@@ -239,7 +246,10 @@ mod tests {
 
     #[test]
     fn small_reverse() {
-        assert_eq!(sort_u32((0..100).rev().collect()), (0..100).collect::<Vec<_>>());
+        assert_eq!(
+            sort_u32((0..100).rev().collect()),
+            (0..100).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -364,8 +374,8 @@ mod tests {
     #[test]
     fn oom_when_alt_buffers_do_not_fit() {
         let mut g = Gpu::new(DeviceSpec::test_device()); // 60 MiB usable
-        // 10M u32 keys + 10M u32 values = 80 MB primary... too big already;
-        // use 5M+5M = 40 MB primary, alts need another 40 MB > 20 MB left.
+                                                         // 10M u32 keys + 10M u32 values = 80 MB primary... too big already;
+                                                         // use 5M+5M = 40 MB primary, alts need another 40 MB > 20 MB left.
         let n = 5_000_000;
         let mut keys = g.htod_copy(&vec![0u32; n]).unwrap();
         let mut vals = g.htod_copy(&vec![0u32; n]).unwrap();

@@ -186,7 +186,9 @@ mod tests {
     #[test]
     fn min_max() {
         let mut g = gpu();
-        let data: Vec<u32> = (0..5000).map(|i| (i * 2654435761u64 % 1_000_003) as u32).collect();
+        let data: Vec<u32> = (0..5000)
+            .map(|i| (i * 2654435761u64 % 1_000_003) as u32)
+            .collect();
         let buf = g.htod_copy(&data).unwrap();
         let lo = reduce_u32(&mut g, &buf, MinOp).unwrap();
         let hi = reduce_u32(&mut g, &buf, MaxOp).unwrap();
@@ -198,6 +200,9 @@ mod tests {
     fn sum_survives_u32_overflow() {
         let mut g = gpu();
         let buf = g.htod_copy(&[u32::MAX; 10]).unwrap();
-        assert_eq!(reduce_u32(&mut g, &buf, SumOp).unwrap(), 10 * u32::MAX as u64);
+        assert_eq!(
+            reduce_u32(&mut g, &buf, SumOp).unwrap(),
+            10 * u32::MAX as u64
+        );
     }
 }

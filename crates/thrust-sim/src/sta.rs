@@ -49,7 +49,12 @@ impl StaMemoryPlan {
         // hist itself plus the first-level scan sums buffer.
         let hist = 256 * tiles * 4;
         let hist_bytes = hist + (256 * tiles).div_ceil(crate::scan::SCAN_TILE as u64) * 4;
-        Self { values_bytes, tags_bytes, alt_bytes, hist_bytes }
+        Self {
+            values_bytes,
+            tags_bytes,
+            alt_bytes,
+            hist_bytes,
+        }
     }
 
     /// Total peak bytes.
@@ -103,7 +108,11 @@ pub struct StaStats {
 impl StaStats {
     /// Total simulated time.
     pub fn total_ms(&self) -> f64 {
-        self.upload_ms + self.tagging_ms + self.sort_by_value_ms + self.sort_by_tag_ms + self.download_ms
+        self.upload_ms
+            + self.tagging_ms
+            + self.sort_by_value_ms
+            + self.sort_by_tag_ms
+            + self.download_ms
     }
 
     /// Device-side time only (no PCIe).
@@ -126,23 +135,33 @@ pub fn sort_arrays(gpu: &mut Gpu, data: &mut [f32], array_len: usize) -> SimResu
     let t0 = gpu.elapsed_ms();
 
     // Step I–II: upload the flattened values and build the tag array.
+    let span = gpu.begin_span("sta/upload");
     let mut values = gpu.htod_copy(data)?;
+    gpu.end_span(span);
     let t_upload = gpu.elapsed_ms();
 
+    let span = gpu.begin_span("sta/tagging");
     let mut tags: DeviceBuffer<u32> = gpu.alloc(data.len())?;
     tagging_kernel(gpu, &tags, data.len(), array_len)?;
+    gpu.end_span(span);
     let t_tag = gpu.elapsed_ms();
 
     // Step III/IV: stable sort values (tags ride along)…
+    let span = gpu.begin_span("sta/sort-by-value");
     stable_sort_by_key(gpu, &mut values, &mut tags)?;
+    gpu.end_span(span);
     let t_sort1 = gpu.elapsed_ms();
 
     // Step V: …then stable sort by tag (values ride along); stability
     // restores array order with each segment internally sorted.
+    let span = gpu.begin_span("sta/sort-by-tag");
     stable_sort_by_key(gpu, &mut tags, &mut values)?;
+    gpu.end_span(span);
     let t_sort2 = gpu.elapsed_ms();
 
+    let span = gpu.begin_span("sta/download");
     gpu.dtoh_into(&mut values, data)?;
+    gpu.end_span(span);
     let t_down = gpu.elapsed_ms();
 
     Ok(StaStats {
@@ -165,23 +184,27 @@ fn tagging_kernel(
     let view = tags.view();
     let tile = TAG_THREADS as usize * 16;
     let blocks = len.div_ceil(tile) as u32;
-    gpu.launch("sta_tagging", LaunchConfig::grid(blocks, TAG_THREADS), |block| {
-        let start = block.block_idx() as usize * tile;
-        let tlen = tile.min(len - start);
-        let per_thread = (tlen as u64).div_ceil(TAG_THREADS as u64);
-        block.threads(|t| {
-            // One integer divide + coalesced store per element.
-            t.charge_alu(20 * per_thread);
-            t.charge_global(per_thread, 4, AccessPattern::Coalesced);
-            if t.tid == 0 {
-                // SAFETY: block-exclusive range of the tag buffer.
-                let out = unsafe { view.slice_mut(start, tlen) };
-                for (off, v) in out.iter_mut().enumerate() {
-                    *v = ((start + off) / array_len) as u32;
+    gpu.launch(
+        "sta_tagging",
+        LaunchConfig::grid(blocks, TAG_THREADS),
+        |block| {
+            let start = block.block_idx() as usize * tile;
+            let tlen = tile.min(len - start);
+            let per_thread = (tlen as u64).div_ceil(TAG_THREADS as u64);
+            block.threads(|t| {
+                // One integer divide + coalesced store per element.
+                t.charge_alu(20 * per_thread);
+                t.charge_global(per_thread, 4, AccessPattern::Coalesced);
+                if t.tid == 0 {
+                    // SAFETY: block-exclusive range of the tag buffer.
+                    let out = unsafe { view.slice_mut(start, tlen) };
+                    for (off, v) in out.iter_mut().enumerate() {
+                        *v = ((start + off) / array_len) as u32;
+                    }
                 }
-            }
-        });
-    })?;
+            });
+        },
+    )?;
     Ok(())
 }
 
@@ -241,7 +264,10 @@ mod tests {
     fn memory_plan_shows_4x_overhead() {
         let plan = StaMemoryPlan::new(1000, 1000);
         let f = plan.overhead_factor();
-        assert!((3.9..4.3).contains(&f), "overhead factor {f} should be ≈4× data");
+        assert!(
+            (3.9..4.3).contains(&f),
+            "overhead factor {f} should be ≈4× data"
+        );
     }
 
     #[test]
@@ -283,6 +309,27 @@ mod tests {
         let mut data = vec![0.0f32; n * num];
         let err = sort_arrays(&mut g, &mut data, n).unwrap_err();
         assert!(matches!(err, gpu_sim::SimError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn run_emits_phase_spans_covering_elapsed() {
+        let mut g = gpu();
+        let mut data = vec![3.0f32; 64 * 100];
+        sort_arrays(&mut g, &mut data, 64).unwrap();
+        let spans = &g.timeline().spans;
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "sta/upload",
+                "sta/tagging",
+                "sta/sort-by-value",
+                "sta/sort-by-tag",
+                "sta/download"
+            ]
+        );
+        let total: f64 = spans.iter().map(|s| s.duration_ms()).sum();
+        assert!((total - g.elapsed_ms()).abs() < 1e-6);
     }
 
     #[test]

@@ -37,20 +37,39 @@ fn main() {
             None => reference = Some(out),
             Some(r) => assert_eq!(r, &out, "{label} disagrees"),
         }
-        rows.push(Row { label, total_ms, kernel_ms, peak_bytes: peak });
+        rows.push(Row {
+            label,
+            total_ms,
+            kernel_ms,
+            peak_bytes: peak,
+        });
     };
 
     // GPU-ArraySort (the paper).
     let mut d = batch.clone();
     let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
-    let s = GpuArraySort::new().sort(&mut gpu, d.as_flat_mut(), array_len).unwrap();
-    check("GPU-ArraySort (paper)", d, s.total_ms(), s.kernel_ms(), s.peak_bytes);
+    let s = GpuArraySort::new()
+        .sort(&mut gpu, d.as_flat_mut(), array_len)
+        .unwrap();
+    check(
+        "GPU-ArraySort (paper)",
+        d,
+        s.total_ms(),
+        s.kernel_ms(),
+        s.peak_bytes,
+    );
 
     // STA (the paper's baseline).
     let mut d = batch.clone();
     let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
     let s = thrust_sim::sta::sort_arrays(&mut gpu, d.as_flat_mut(), array_len).unwrap();
-    check("STA (Thrust tagged)", d, s.total_ms(), s.kernel_ms(), s.peak_bytes);
+    check(
+        "STA (Thrust tagged)",
+        d,
+        s.total_ms(),
+        s.kernel_ms(),
+        s.peak_bytes,
+    );
 
     // m-way merge variant (the design the paper dismissed in §4.1).
     let mut d = batch.clone();
@@ -62,15 +81,30 @@ fn main() {
         &ArraySortConfig::default(),
     )
     .unwrap();
-    check("m-way merge variant", d, s.total_ms(), s.kernel_ms(), s.peak_bytes);
+    check(
+        "m-way merge variant",
+        d,
+        s.total_ms(),
+        s.kernel_ms(),
+        s.peak_bytes,
+    );
 
     // Modern segmented sort (post-2016 state of the art).
     let mut d = batch;
     let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
     let s = thrust_sim::segmented_sort(&mut gpu, d.as_flat_mut(), array_len).unwrap();
-    check("modern segmented sort", d, s.total_ms(), s.kernel_ms, s.peak_bytes);
+    check(
+        "modern segmented sort",
+        d,
+        s.total_ms(),
+        s.kernel_ms,
+        s.peak_bytes,
+    );
 
-    let best_total = rows.iter().map(|r| r.total_ms).fold(f64::INFINITY, f64::min);
+    let best_total = rows
+        .iter()
+        .map(|r| r.total_ms)
+        .fold(f64::INFINITY, f64::min);
     println!(
         "{:<24} {:>12} {:>12} {:>11} {:>9}",
         "algorithm", "total (ms)", "kernel (ms)", "peak (MB)", "vs best"

@@ -24,7 +24,11 @@ fn main() {
         "device", "SMs", "mem (MB)", "kernel (ms)", "capacity (N)", "SM balance"
     );
 
-    for spec in [DeviceSpec::tesla_k40c(), DeviceSpec::tesla_k20(), DeviceSpec::test_device()] {
+    for spec in [
+        DeviceSpec::tesla_k40c(),
+        DeviceSpec::tesla_k20(),
+        DeviceSpec::test_device(),
+    ] {
         let mut gpu = Gpu::new(spec.clone());
         let mut data = batch.clone();
         let stats = sorter

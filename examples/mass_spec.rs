@@ -14,7 +14,10 @@ use std::time::Instant;
 fn main() {
     // A (small) mass-spectrometry run: the paper's datasets have up to
     // ~4000 peaks per spectrum including noise (§4).
-    let cfg = MassSpecConfig { peaks_per_spectrum: 2000, ..Default::default() };
+    let cfg = MassSpecConfig {
+        peaks_per_spectrum: 2000,
+        ..Default::default()
+    };
     let num_spectra = 5_000;
     let spectra = generate_spectra(0x50EC, num_spectra, &cfg);
     println!(
@@ -24,7 +27,10 @@ fn main() {
         cfg.noise_fraction * 100.0
     );
 
-    for (key, label) in [(SpectrumKey::Intensity, "intensity"), (SpectrumKey::Mz, "m/z")] {
+    for (key, label) in [
+        (SpectrumKey::Intensity, "intensity"),
+        (SpectrumKey::Mz, "m/z"),
+    ] {
         // Pack the chosen peak attribute into the flat batch layout.
         let mut batch = spectra_to_batch(&spectra, key, cfg.peaks_per_spectrum);
 

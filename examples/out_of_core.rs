@@ -31,16 +31,29 @@ fn main() {
         .expect("chunked sort always fits");
 
     assert!(cpu_ref::is_each_sorted(batch.as_flat(), array_len));
-    println!("chunks            : {} × {} arrays", stats.chunks.len(), stats.chunk_arrays);
+    println!(
+        "chunks            : {} × {} arrays",
+        stats.chunks.len(),
+        stats.chunk_arrays
+    );
     for (i, c) in stats.chunks.iter().enumerate() {
         println!(
             "  chunk {i}: upload {:7.2} ms | kernels {:7.2} ms | download {:7.2} ms",
             c.upload_ms, c.kernel_ms, c.download_ms
         );
     }
-    println!("\nserial schedule   : {:8.2} ms (one stream, no overlap)", stats.serial_ms);
-    println!("pipelined schedule: {:8.2} ms (double-buffered)", stats.pipelined_ms);
-    println!("overlap saves     : {:8.1}%", stats.overlap_saving() * 100.0);
+    println!(
+        "\nserial schedule   : {:8.2} ms (one stream, no overlap)",
+        stats.serial_ms
+    );
+    println!(
+        "pipelined schedule: {:8.2} ms (double-buffered)",
+        stats.pipelined_ms
+    );
+    println!(
+        "overlap saves     : {:8.1}%",
+        stats.overlap_saving() * 100.0
+    );
     println!(
         "\npeak device memory: {:.1} MB of {:.1} MB usable — never exceeded",
         gpu.ledger().peak() as f64 / 1048576.0,

@@ -37,7 +37,10 @@ fn main() {
         cells * particles_per_cell,
         positions.len() * 4 / 1048576
     );
-    println!("{:<6} {:>14} {:>14} {:>14}", "step", "phase 3 (ms)", "kernels (ms)", "disorder");
+    println!(
+        "{:<6} {:>14} {:>14} {:>14}",
+        "step", "phase 3 (ms)", "kernels (ms)", "disorder"
+    );
 
     let sorter = GpuArraySort::new();
     for step in 0..5 {

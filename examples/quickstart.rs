@@ -23,17 +23,36 @@ fn main() {
 
     // The device the paper evaluated on.
     let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
-    println!("device: {} ({} SMs, {} MB)\n", gpu.spec().name, gpu.spec().sm_count, gpu.spec().global_mem_bytes / (1024 * 1024));
+    println!(
+        "device: {} ({} SMs, {} MB)\n",
+        gpu.spec().name,
+        gpu.spec().sm_count,
+        gpu.spec().global_mem_bytes / (1024 * 1024)
+    );
 
     let sorter = GpuArraySort::new(); // paper defaults: 20/bucket, 10% sampling
-    let stats = sorter.sort(&mut gpu, batch.as_flat_mut(), array_len).expect("fits on the K40c");
+    let stats = sorter
+        .sort(&mut gpu, batch.as_flat_mut(), array_len)
+        .expect("fits on the K40c");
 
-    assert!(batch.is_each_array_sorted(), "every array must come back sorted");
+    assert!(
+        batch.is_each_array_sorted(),
+        "every array must come back sorted"
+    );
 
     println!("upload    : {:8.3} ms", stats.upload_ms);
-    println!("phase 1   : {:8.3} ms  (splitter selection, {:?})", stats.phase1_ms, stats.phase1_strategy);
-    println!("phase 2   : {:8.3} ms  (bucketing, {:?} staging)", stats.phase2_ms, stats.staging);
-    println!("phase 3   : {:8.3} ms  (per-bucket insertion sort)", stats.phase3_ms);
+    println!(
+        "phase 1   : {:8.3} ms  (splitter selection, {:?})",
+        stats.phase1_ms, stats.phase1_strategy
+    );
+    println!(
+        "phase 2   : {:8.3} ms  (bucketing, {:?} staging)",
+        stats.phase2_ms, stats.staging
+    );
+    println!(
+        "phase 3   : {:8.3} ms  (per-bucket insertion sort)",
+        stats.phase3_ms
+    );
     println!("download  : {:8.3} ms", stats.download_ms);
     println!("total     : {:8.3} ms (simulated)", stats.total_ms());
     println!();

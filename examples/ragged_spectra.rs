@@ -13,7 +13,10 @@ use gpu_sim::{DeviceSpec, Gpu};
 
 fn main() {
     // Spectra with a realistic spread of peak counts.
-    let cfg = MassSpecConfig { peaks_per_spectrum: 1500, ..Default::default() };
+    let cfg = MassSpecConfig {
+        peaks_per_spectrum: 1500,
+        ..Default::default()
+    };
     let mut spectra = generate_spectra(0xA77, 4_000, &cfg);
     // Make them ragged: truncate each spectrum to a pseudo-random length.
     for (i, s) in spectra.iter_mut().enumerate() {
@@ -35,8 +38,13 @@ fn main() {
     let ragged_bytes = ragged.total_elems() * 4;
     let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
     let offsets = ragged.offsets().to_vec();
-    let rstats = sort_ragged(&GpuArraySort::new(), &mut gpu, ragged.as_flat_mut(), &offsets)
-        .expect("ragged batch fits");
+    let rstats = sort_ragged(
+        &GpuArraySort::new(),
+        &mut gpu,
+        ragged.as_flat_mut(),
+        &offsets,
+    )
+    .expect("ragged batch fits");
     assert!(ragged.is_each_array_sorted());
 
     let max_len = spectra.iter().map(|s| s.num_peaks()).max().unwrap();
@@ -75,8 +83,8 @@ fn main() {
         }
     }
     let mut gpu3 = Gpu::new(DeviceSpec::tesla_k40c());
-    let pr = sort_pairs(&GpuArraySort::new(), &mut gpu3, &mut intensity, &mut mz, n)
-        .expect("pairs fit");
+    let pr =
+        sort_pairs(&GpuArraySort::new(), &mut gpu3, &mut intensity, &mut mz, n).expect("pairs fit");
     println!("\n== sort (intensity, m/z) pairs by intensity ==");
     println!(
         "{} spectra × {n} peaks: {:.2} ms simulated ({:?} staging), peak mem {:.1} MB",
@@ -88,7 +96,5 @@ fn main() {
     // The strongest peak of each spectrum is now at the segment's end.
     let strongest_mz = mz[n - 1];
     let strongest_int = intensity[n - 1];
-    println!(
-        "spectrum 0 strongest peak: intensity {strongest_int:.1} at m/z {strongest_mz:.2}"
-    );
+    println!("spectrum 0 strongest peak: intensity {strongest_int:.1} at m/z {strongest_mz:.2}");
 }

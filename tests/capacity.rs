@@ -21,7 +21,10 @@ fn k40c_capacity_ratio_matches_paper_regime() {
     }
     // The paper's marquee number: ~2 million arrays of 1000 floats.
     let gas_1000 = sorter.max_arrays(&spec, 1000);
-    assert!(gas_1000 >= 2_000_000, "K40c holds ≥2M arrays of 1000 (paper Table 1), got {gas_1000}");
+    assert!(
+        gas_1000 >= 2_000_000,
+        "K40c holds ≥2M arrays of 1000 (paper Table 1), got {gas_1000}"
+    );
 }
 
 #[test]
@@ -33,7 +36,9 @@ fn gas_sorts_at_90_percent_of_its_capacity_on_small_device() {
     let num = max * 9 / 10;
     let mut batch = ArrayBatch::paper_uniform(5, num, n);
     let mut gpu = Gpu::new(spec);
-    sorter.sort(&mut gpu, batch.as_flat_mut(), n).expect("90% of capacity must fit");
+    sorter
+        .sort(&mut gpu, batch.as_flat_mut(), n)
+        .expect("90% of capacity must fit");
     assert!(batch.is_each_array_sorted());
 }
 
@@ -82,7 +87,11 @@ fn failed_runs_release_all_memory() {
     let max = sorter.max_arrays(gpu.spec(), n) as usize;
     let mut batch = ArrayBatch::paper_uniform(9, max + max / 10, n);
     let _ = sorter.sort(&mut gpu, batch.as_flat_mut(), n).unwrap_err();
-    assert_eq!(gpu.ledger().used(), 0, "no leaked device allocations after OOM");
+    assert_eq!(
+        gpu.ledger().used(),
+        0,
+        "no leaked device allocations after OOM"
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! distributions, shapes and devices.
 
 use array_sort::{cpu_ref, ArraySortConfig, GpuArraySort};
-use datagen::{ArrayBatch, Arrangement, Distribution};
+use datagen::{Arrangement, ArrayBatch, Distribution};
 use gpu_sim::{DeviceSpec, Gpu};
 
 fn sorted_by_all_three(batch: &ArrayBatch) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
@@ -11,7 +11,9 @@ fn sorted_by_all_three(batch: &ArrayBatch) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
 
     let mut gas = batch.clone().into_flat();
     let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
-    GpuArraySort::new().sort(&mut gpu, &mut gas, n).expect("GAS run");
+    GpuArraySort::new()
+        .sort(&mut gpu, &mut gas, n)
+        .expect("GAS run");
 
     let mut sta = batch.clone().into_flat();
     let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
@@ -38,9 +40,15 @@ fn all_three_agree_on_uniform_data() {
 #[test]
 fn all_three_agree_across_distributions() {
     for (i, dist) in [
-        Distribution::Normal { mean: 0.0, std_dev: 1000.0 },
+        Distribution::Normal {
+            mean: 0.0,
+            std_dev: 1000.0,
+        },
         Distribution::Exponential { lambda: 0.01 },
-        Distribution::Pareto { scale: 1.0, alpha: 1.2 },
+        Distribution::Pareto {
+            scale: 1.0,
+            alpha: 1.2,
+        },
         Distribution::Constant(42.0),
         Distribution::FewDistinct { k: 3 },
     ]
@@ -61,8 +69,7 @@ fn all_three_agree_on_presorted_shapes() {
         Arrangement::Reversed,
         Arrangement::NearlySorted { swaps: 5 },
     ] {
-        let batch =
-            ArrayBatch::generate(9, 40, 200, Distribution::PaperUniform, arrangement);
+        let batch = ArrayBatch::generate(9, 40, 200, Distribution::PaperUniform, arrangement);
         let (gas, sta, cpu) = sorted_by_all_three(&batch);
         assert_eq!(bits(&gas), bits(&cpu), "GAS vs CPU for {arrangement:?}");
         assert_eq!(bits(&sta), bits(&cpu), "STA vs CPU for {arrangement:?}");
@@ -72,9 +79,15 @@ fn all_three_agree_on_presorted_shapes() {
 #[test]
 fn awkward_shapes_sort() {
     // Array sizes around bucket boundaries, tile boundaries, tiny arrays.
-    for &(num, n) in
-        &[(1usize, 1usize), (1, 19), (3, 20), (7, 21), (513, 39), (11, 4096), (2, 4097)]
-    {
+    for &(num, n) in &[
+        (1usize, 1usize),
+        (1, 19),
+        (3, 20),
+        (7, 21),
+        (513, 39),
+        (11, 4096),
+        (2, 4097),
+    ] {
         let batch = ArrayBatch::paper_uniform(n as u64, num, n);
         let (gas, sta, cpu) = sorted_by_all_three(&batch);
         assert_eq!(bits(&gas), bits(&cpu), "GAS {num}×{n}");
@@ -89,7 +102,14 @@ fn simulated_timing_is_deterministic_across_runs() {
         let mut data = batch.into_flat();
         let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
         let stats = GpuArraySort::new().sort(&mut gpu, &mut data, 500).unwrap();
-        (stats.total_ms(), gpu.timeline().kernels.iter().map(|k| k.cycles).collect::<Vec<_>>())
+        (
+            stats.total_ms(),
+            gpu.timeline()
+                .kernels
+                .iter()
+                .map(|k| k.cycles)
+                .collect::<Vec<_>>(),
+        )
     };
     let (t1, c1) = run();
     let (t2, c2) = run();
@@ -104,7 +124,9 @@ fn gas_wins_time_and_memory_on_paper_workload() {
 
     let mut gas_data = batch.clone().into_flat();
     let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
-    let gas = GpuArraySort::new().sort(&mut gpu, &mut gas_data, n).unwrap();
+    let gas = GpuArraySort::new()
+        .sort(&mut gpu, &mut gas_data, n)
+        .unwrap();
 
     let mut sta_data = batch.into_flat();
     let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
@@ -126,10 +148,22 @@ fn gas_wins_time_and_memory_on_paper_workload() {
 fn non_default_configs_still_sort() {
     let n = 300;
     for cfg in [
-        ArraySortConfig { target_bucket_size: 7, ..Default::default() },
-        ArraySortConfig { sampling_rate: 0.5, ..Default::default() },
-        ArraySortConfig { threads_per_bucket: 2, ..Default::default() },
-        ArraySortConfig { shared_staging: false, ..Default::default() },
+        ArraySortConfig {
+            target_bucket_size: 7,
+            ..Default::default()
+        },
+        ArraySortConfig {
+            sampling_rate: 0.5,
+            ..Default::default()
+        },
+        ArraySortConfig {
+            threads_per_bucket: 2,
+            ..Default::default()
+        },
+        ArraySortConfig {
+            shared_staging: false,
+            ..Default::default()
+        },
     ] {
         let batch = ArrayBatch::paper_uniform(21, 60, n);
         let mut data = batch.into_flat();
@@ -138,7 +172,10 @@ fn non_default_configs_still_sort() {
             .unwrap()
             .sort(&mut gpu, &mut data, n)
             .unwrap_or_else(|e| panic!("config {cfg:?} failed: {e}"));
-        assert!(cpu_ref::is_each_sorted(&data, n), "config {cfg:?} output unsorted");
+        assert!(
+            cpu_ref::is_each_sorted(&data, n),
+            "config {cfg:?} output unsorted"
+        );
     }
 }
 
@@ -146,6 +183,8 @@ fn non_default_configs_still_sort() {
 fn umbrella_crate_reexports_work() {
     let mut gpu = gpu_array_sort_repro::paper_device();
     let mut data = vec![3.0f32, 1.0, 2.0, 6.0, 5.0, 4.0];
-    gpu_array_sort_repro::array_sort::GpuArraySort::new().sort(&mut gpu, &mut data, 3).unwrap();
+    gpu_array_sort_repro::array_sort::GpuArraySort::new()
+        .sort(&mut gpu, &mut data, 3)
+        .unwrap();
     assert_eq!(data, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
 }

@@ -74,14 +74,23 @@ fn segmented_baseline_agrees_with_gas_everywhere() {
 #[test]
 fn real_spectra_pipeline_end_to_end() {
     // Generate spectra → ragged CSR → sort by m/z → verify against CPU.
-    let cfg = MassSpecConfig { peaks_per_spectrum: 600, ..Default::default() };
+    let cfg = MassSpecConfig {
+        peaks_per_spectrum: 600,
+        ..Default::default()
+    };
     let spectra = generate_spectra(0xE2E, 50, &cfg);
     let mut ragged = spectra_to_ragged(&spectra, SpectrumKey::Mz);
     let offsets = ragged.offsets().to_vec();
     let mut expect = ragged.as_flat().to_vec();
 
     let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
-    sort_ragged(&GpuArraySort::new(), &mut gpu, ragged.as_flat_mut(), &offsets).unwrap();
+    sort_ragged(
+        &GpuArraySort::new(),
+        &mut gpu,
+        ragged.as_flat_mut(),
+        &offsets,
+    )
+    .unwrap();
 
     for w in offsets.windows(2) {
         expect[w[0]..w[1]].sort_by(f32::total_cmp);

@@ -38,8 +38,7 @@ fn phase3_bucket_loads_are_scattered_and_declaration_is_conservative() {
     // Thread t loads the first element of its own ~20-element bucket:
     // addresses are t * bucket_size * 4 apart.
     for bucket_size in [20u64, 40, 80] {
-        let addrs: Vec<u64> =
-            (0..WARP as u64).map(|t| t * bucket_size * 4).collect();
+        let addrs: Vec<u64> = (0..WARP as u64).map(|t| t * bucket_size * 4).collect();
         let exact = warp_transactions(&addrs, SEG);
         let decl = declared(AccessPattern::Scattered, 4);
         assert!(
@@ -67,7 +66,10 @@ fn phase1_single_lane_sequential_matches_its_model() {
     let decl_per_batch = declared(AccessPattern::SingleLaneSequential, 4) as u64;
     let declared_total = decl_per_batch * (n / WARP as u64);
     assert!(declared_total >= exact, "{declared_total} >= {exact}");
-    assert!(declared_total <= 8 * exact, "…but within one order of magnitude");
+    assert!(
+        declared_total <= 8 * exact,
+        "…but within one order of magnitude"
+    );
 }
 
 #[test]
@@ -104,8 +106,16 @@ fn phase_occupancies_tell_the_papers_resource_story() {
     let p2 = occupancy(&spec, &KernelResources::new(50, 4_500));
     // Phase 3: 50 threads, bucket staging (~4 KB).
     let p3 = occupancy(&spec, &KernelResources::new(50, 4_000));
-    assert!(p1.fraction < 0.05, "phase 1 occupancy is tiny: {}", p1.fraction);
-    assert!(p2.fraction > 0.2, "phase 2 keeps the SM busy: {}", p2.fraction);
+    assert!(
+        p1.fraction < 0.05,
+        "phase 1 occupancy is tiny: {}",
+        p1.fraction
+    );
+    assert!(
+        p2.fraction > 0.2,
+        "phase 2 keeps the SM busy: {}",
+        p2.fraction
+    );
     assert!(p3.fraction >= p2.fraction * 0.9);
     // This is exactly why phase 1 dominates the measured kernel time even
     // though its per-element work is modest.

@@ -28,7 +28,15 @@ fn setup(num: usize, n: usize) -> PhaseRun {
     let data = gpu.htod_copy(original.as_flat()).unwrap();
     let splitters = gpu.alloc::<f32>(geom.splitter_table_len()).unwrap();
     let z = gpu.alloc::<u32>(geom.bucket_table_len()).unwrap();
-    PhaseRun { gpu, geom, data, splitters, z, original, cfg }
+    PhaseRun {
+        gpu,
+        geom,
+        data,
+        splitters,
+        z,
+        original,
+        cfg,
+    }
 }
 
 #[test]
@@ -44,7 +52,10 @@ fn phase1_leaves_data_untouched_and_emits_valid_boundaries() {
     for i in 0..r.geom.num_arrays {
         let row = &table[r.geom.splitter_offset(i)..][..r.geom.boundaries_per_array];
         assert_eq!(row[0].to_bits(), f32::min_sentinel().to_bits());
-        assert_eq!(row[r.geom.buckets_per_array].to_bits(), f32::max_sentinel().to_bits());
+        assert_eq!(
+            row[r.geom.buckets_per_array].to_bits(),
+            f32::max_sentinel().to_bits()
+        );
         assert!(row.windows(2).all(|w| w[0].le(w[1])));
     }
 }
@@ -86,7 +97,10 @@ fn phase2_partitions_without_sorting_buckets() {
     }
     // Phase 2 must NOT have sorted inside buckets — that's Phase 3's job
     // (with 500-element arrays some bucket will contain an inversion).
-    assert!(some_bucket_unsorted, "phase 2 only partitions; buckets stay unsorted");
+    assert!(
+        some_bucket_unsorted,
+        "phase 2 only partitions; buckets stay unsorted"
+    );
 }
 
 #[test]
@@ -104,20 +118,30 @@ fn phase3_sorts_buckets_in_place_without_moving_across_buckets() {
     for i in 0..r.geom.num_arrays {
         // Whole array now ascending (per-array total sort achieved).
         let arr = &after[i * n..(i + 1) * n];
-        assert!(arr.windows(2).all(|w| w[0].le(w[1])), "array {i} fully sorted");
+        assert!(
+            arr.windows(2).all(|w| w[0].le(w[1])),
+            "array {i} fully sorted"
+        );
 
         // Each bucket is a permutation of its pre-phase-3 content:
         // phase 3 never moves elements across bucket boundaries.
         let zrow = &z[r.geom.bucket_offset(i)..][..p];
         let mut off = 0usize;
         for &c in zrow {
-            let mut a: Vec<u32> =
-                before[i * n + off..i * n + off + c as usize].iter().map(|x| x.to_bits()).collect();
-            let mut b: Vec<u32> =
-                after[i * n + off..i * n + off + c as usize].iter().map(|x| x.to_bits()).collect();
+            let mut a: Vec<u32> = before[i * n + off..i * n + off + c as usize]
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let mut b: Vec<u32> = after[i * n + off..i * n + off + c as usize]
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
-            assert_eq!(a, b, "bucket at offset {off} of array {i} is closed under phase 3");
+            assert_eq!(
+                a, b,
+                "bucket at offset {off} of array {i} is closed under phase 3"
+            );
             off += c as usize;
         }
     }
@@ -129,11 +153,20 @@ fn three_phases_use_exactly_three_kernel_launches() {
     select_splitters(&mut r.gpu, &r.data, &r.splitters, &r.geom).unwrap();
     bucket_arrays(&mut r.gpu, &r.data, &r.splitters, &r.z, &r.geom, &r.cfg).unwrap();
     sort_buckets(&mut r.gpu, &r.data, &r.z, &r.geom, &r.cfg).unwrap();
-    let names: Vec<&str> =
-        r.gpu.timeline().kernels.iter().map(|k| k.name.as_str()).collect();
+    let names: Vec<&str> = r
+        .gpu
+        .timeline()
+        .kernels
+        .iter()
+        .map(|k| k.name.as_str())
+        .collect();
     assert_eq!(
         names,
-        vec!["gas_phase1_splitters", "gas_phase2_bucketing", "gas_phase3_bucket_sort"],
+        vec![
+            "gas_phase1_splitters",
+            "gas_phase2_bucketing",
+            "gas_phase3_bucket_sort"
+        ],
         "the paper's 'three different phases, each … a separate kernel launch'"
     );
     // One block per array in every launch.
