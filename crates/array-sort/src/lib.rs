@@ -19,7 +19,9 @@
 //! ([`complexity`], §6), CPU references ([`cpu_ref`]), and the §9
 //! future-work extension: an [`out_of_core`] sorter that chunks datasets
 //! larger than device memory and hides transfer latency by double
-//! buffering.
+//! buffering. The [`recovery`] module hardens both entry points against
+//! injected device faults ([`gpu_sim::faults`]) with bounded retry,
+//! chunk checkpointing and graceful degradation to [`cpu_ref`].
 //!
 //! ## Quick start
 //!
@@ -51,6 +53,7 @@ pub mod out_of_core;
 pub mod pairs;
 pub mod pipeline;
 pub mod ragged;
+pub mod recovery;
 pub mod sorting;
 pub mod splitters;
 
@@ -63,4 +66,5 @@ pub use out_of_core::{sort_out_of_core, sort_out_of_core_streamed, OocStats, Str
 pub use pairs::{sort_pairs, PairSortStats, PairValue};
 pub use pipeline::{DeviceRunStats, GasStats, GpuArraySort};
 pub use ragged::{sort_ragged, RaggedGeometry, RaggedStats};
+pub use recovery::{sort_out_of_core_recovering, ChunkRecovery, RecoveryReport, RetryPolicy};
 pub use splitters::Phase1Strategy;

@@ -214,7 +214,7 @@ pub fn max_chunk_arrays(sorter: &GpuArraySort, gpu: &Gpu, array_len: usize) -> S
 /// The classic double-buffered schedule: chunk i's kernel runs while
 /// chunk i+1 uploads and chunk i−1 downloads (duplex PCIe assumed, as on
 /// the paper's Tesla-class hardware).
-fn pipelined_schedule(chunks: &[ChunkStats]) -> f64 {
+pub(crate) fn pipelined_schedule(chunks: &[ChunkStats]) -> f64 {
     if chunks.is_empty() {
         return 0.0;
     }

@@ -1,0 +1,489 @@
+//! Fault recovery: bounded retry, chunk checkpointing and CPU fallback.
+//!
+//! The out-of-core pipeline streams chunk after chunk through the device,
+//! which is exactly where a production deployment loses work to transient
+//! faults (see [`gpu_sim::faults`]). This module threads recovery through
+//! the sort so that a faulted run still returns a *correct* sorted batch:
+//!
+//! 1. **Checkpoint** — before each chunk's first attempt its host data is
+//!    snapshotted, so a failed attempt (which may have partially scattered
+//!    the chunk, or corrupted it on download) is rolled back and reissued
+//!    without redoing chunks that already completed.
+//! 2. **Bounded retry** — a chunk that fails with a *transient* error
+//!    ([`gpu_sim::SimError::is_transient`]) is reissued up to
+//!    [`RetryPolicy::max_attempts`] times. Fatal errors (real OOM,
+//!    geometry violations) propagate immediately: retrying cannot help.
+//! 3. **Graceful degradation** — when a chunk exhausts its retries and
+//!    [`RetryPolicy::cpu_fallback`] is on, the chunk is restored from its
+//!    checkpoint and sorted by [`crate::cpu_ref`] on the host. Slower,
+//!    but the batch comes back sorted instead of dropped.
+//!
+//! Every recovery action is visible in the trace: retries run inside
+//! `recovery/<label>/retry-N` spans and fallbacks leave a
+//! `recovery/<label>/cpu-fallback` span, so a Chrome-trace export of a
+//! chaos run shows exactly where time was lost. The returned
+//! [`RecoveryReport`] aggregates the same story per chunk: attempts,
+//! failed device attempts, fallbacks and wasted simulated milliseconds.
+//!
+//! With no fault plan installed these entry points charge exactly the
+//! same simulated time as their non-recovering counterparts and produce
+//! identical results and traces.
+
+use gpu_sim::{Gpu, SimError, SimResult};
+use serde::{Deserialize, Serialize};
+
+use crate::cpu_ref;
+use crate::key::SortKey;
+use crate::out_of_core::{max_chunk_arrays, pipelined_schedule, ChunkStats, OocStats};
+use crate::pipeline::{GasStats, GpuArraySort};
+
+/// How hard to fight for a chunk before giving up on the device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Device attempts per chunk (including the first). Clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// After the last failed attempt, sort the chunk on the host with
+    /// [`crate::cpu_ref`] instead of propagating the error.
+    pub cpu_fallback: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            cpu_fallback: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` device attempts and CPU fallback on.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Turns the CPU fallback off: exhausted retries propagate the last
+    /// transient error instead of degrading to the host sorter.
+    pub fn without_cpu_fallback(mut self) -> Self {
+        self.cpu_fallback = false;
+        self
+    }
+}
+
+/// What recovery did for one chunk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkRecovery {
+    /// Chunk index within the batch (0 for a whole-batch sort).
+    pub chunk: usize,
+    /// Device attempts made (1 = clean first try).
+    pub attempts: u32,
+    /// Attempts that failed with a transient device fault.
+    pub device_faults: u32,
+    /// True when the chunk was ultimately sorted on the host.
+    pub cpu_fallback: bool,
+    /// Simulated milliseconds charged by the failed attempts.
+    pub wasted_ms: f64,
+    /// The transient errors observed, in order.
+    pub errors: Vec<String>,
+}
+
+/// Aggregated recovery story for a whole run, one entry per chunk.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Per-chunk recovery records.
+    pub chunks: Vec<ChunkRecovery>,
+}
+
+impl RecoveryReport {
+    /// Failed device attempts across all chunks — equals the number of
+    /// error-producing faults the injector fired during the run (each
+    /// attempt fails fast on its first fault).
+    pub fn device_faults(&self) -> u32 {
+        self.chunks.iter().map(|c| c.device_faults).sum()
+    }
+
+    /// Reissued device attempts (attempts beyond each chunk's first).
+    pub fn retries(&self) -> u32 {
+        self.chunks.iter().map(|c| c.attempts - 1).sum()
+    }
+
+    /// Chunks that degraded to the host sorter.
+    pub fn cpu_fallbacks(&self) -> u32 {
+        self.chunks.iter().filter(|c| c.cpu_fallback).count() as u32
+    }
+
+    /// Simulated milliseconds charged by failed attempts.
+    pub fn wasted_ms(&self) -> f64 {
+        self.chunks.iter().map(|c| c.wasted_ms).sum()
+    }
+
+    /// True when every chunk succeeded on its first device attempt.
+    pub fn is_clean(&self) -> bool {
+        self.chunks
+            .iter()
+            .all(|c| c.attempts == 1 && !c.cpu_fallback && c.device_faults == 0)
+    }
+}
+
+/// Sorts `slice` with checkpoint/retry/fallback. The first attempt runs
+/// inside a span named `label` (so clean traces look exactly like the
+/// non-recovering path); retries and the fallback get `recovery/…` spans.
+fn recover_slice<K: SortKey>(
+    sorter: &GpuArraySort,
+    gpu: &mut Gpu,
+    slice: &mut [K],
+    array_len: usize,
+    policy: &RetryPolicy,
+    chunk_idx: usize,
+    label: &str,
+) -> SimResult<(Option<GasStats>, ChunkRecovery)> {
+    let max_attempts = policy.max_attempts.max(1);
+    let checkpoint = slice.to_vec();
+    let base_spans = gpu.open_span_count();
+    let mut rec = ChunkRecovery {
+        chunk: chunk_idx,
+        attempts: 0,
+        device_faults: 0,
+        cpu_fallback: false,
+        wasted_ms: 0.0,
+        errors: Vec::new(),
+    };
+    let mut last_err = None;
+    while rec.attempts < max_attempts {
+        rec.attempts += 1;
+        let span_name = if rec.attempts == 1 {
+            label.to_string()
+        } else {
+            format!("recovery/{label}/retry-{}", rec.attempts - 1)
+        };
+        let span = gpu.begin_span(&span_name);
+        let t0 = gpu.elapsed_ms();
+        match sorter.sort(gpu, slice, array_len) {
+            Ok(stats) => {
+                gpu.end_span(span);
+                return Ok((Some(stats), rec));
+            }
+            Err(e) => {
+                // The error return unwound past the sort's own end_span
+                // calls (and ours): repair the trace before deciding.
+                gpu.close_spans_beyond(base_spans);
+                if !e.is_transient() {
+                    return Err(e);
+                }
+                rec.device_faults += 1;
+                rec.wasted_ms += gpu.elapsed_ms() - t0;
+                rec.errors.push(e.to_string());
+                last_err = Some(e);
+                // Roll back whatever the failed attempt did to the chunk.
+                slice.copy_from_slice(&checkpoint);
+            }
+        }
+    }
+    if !policy.cpu_fallback {
+        return Err(last_err.expect("retry loop made at least one attempt"));
+    }
+    // Degradation ladder's last rung: the host sorter cannot fault.
+    let span = gpu.begin_span(&format!("recovery/{label}/cpu-fallback"));
+    cpu_ref::sort_arrays_seq(slice, array_len);
+    gpu.end_span(span);
+    rec.cpu_fallback = true;
+    Ok((None, rec))
+}
+
+impl GpuArraySort {
+    /// [`GpuArraySort::sort`] with checkpoint/retry/fallback for batches
+    /// that fit on the device in one piece. Returns the usual
+    /// [`GasStats`] when a device attempt succeeded (`None` when the
+    /// batch degraded to the host sorter) plus the [`RecoveryReport`].
+    ///
+    /// Fatal errors — including a batch that genuinely does not fit on
+    /// the device — propagate; use
+    /// [`sort_out_of_core_recovering`] for datasets beyond device memory.
+    pub fn sort_with_recovery<K: SortKey>(
+        &self,
+        gpu: &mut Gpu,
+        data: &mut [K],
+        array_len: usize,
+        policy: &RetryPolicy,
+    ) -> SimResult<(Option<GasStats>, RecoveryReport)> {
+        let (stats, rec) = recover_slice(self, gpu, data, array_len, policy, 0, "gas/batch")?;
+        Ok((stats, RecoveryReport { chunks: vec![rec] }))
+    }
+}
+
+/// [`crate::out_of_core::sort_out_of_core`] with per-chunk recovery: a
+/// faulted chunk is rolled back to its checkpoint and reissued (completed
+/// chunks are never redone), and a chunk that exhausts
+/// [`RetryPolicy::max_attempts`] degrades to [`crate::cpu_ref`]. `data`
+/// comes back fully sorted whenever the run's errors were all transient.
+///
+/// A chunk sorted on the host contributes zeroed timings to the returned
+/// [`OocStats`] (it never touched the device); the time its failed device
+/// attempts burned is in [`RecoveryReport::wasted_ms`].
+pub fn sort_out_of_core_recovering<K: SortKey>(
+    sorter: &GpuArraySort,
+    gpu: &mut Gpu,
+    data: &mut [K],
+    array_len: usize,
+    policy: &RetryPolicy,
+) -> SimResult<(OocStats, RecoveryReport)> {
+    if array_len == 0 || !data.len().is_multiple_of(array_len) || data.is_empty() {
+        return Err(SimError::InvalidLaunch {
+            reason: format!(
+                "bad batch shape: len {} with array_len {array_len}",
+                data.len()
+            ),
+        });
+    }
+    let chunk_arrays = max_chunk_arrays(sorter, gpu, array_len)?;
+
+    let mut chunks = Vec::new();
+    let mut recoveries = Vec::new();
+    for (i, chunk) in data.chunks_mut(chunk_arrays * array_len).enumerate() {
+        let label = format!("ooc/chunk-{i}");
+        let (stats, rec) = recover_slice(sorter, gpu, chunk, array_len, policy, i, &label)?;
+        let num_arrays = chunk.len() / array_len;
+        chunks.push(match &stats {
+            Some(s) => ChunkStats {
+                num_arrays,
+                upload_ms: s.upload_ms,
+                kernel_ms: s.kernel_ms(),
+                download_ms: s.download_ms,
+            },
+            None => ChunkStats {
+                num_arrays,
+                upload_ms: 0.0,
+                kernel_ms: 0.0,
+                download_ms: 0.0,
+            },
+        });
+        recoveries.push(rec);
+    }
+
+    let serial_ms = chunks
+        .iter()
+        .map(|c| c.upload_ms + c.kernel_ms + c.download_ms)
+        .sum();
+    let pipelined_ms = pipelined_schedule(&chunks);
+    Ok((
+        OocStats {
+            chunks,
+            chunk_arrays,
+            serial_ms,
+            pipelined_ms,
+        },
+        RecoveryReport { chunks: recoveries },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::out_of_core::sort_out_of_core;
+    use gpu_sim::{DeviceSpec, FaultKind, FaultOp, FaultPlan};
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceSpec::test_device())
+    }
+
+    fn reversed_batch(num: usize, n: usize) -> Vec<f32> {
+        (0..num * n).rev().map(|x| x as f32).collect()
+    }
+
+    #[test]
+    fn clean_run_matches_plain_sort_exactly() {
+        let n = 200;
+        let num = 40;
+        let data = reversed_batch(num, n);
+
+        let mut plain_data = data.clone();
+        let mut plain_gpu = gpu();
+        let plain =
+            sort_out_of_core(&GpuArraySort::new(), &mut plain_gpu, &mut plain_data, n).unwrap();
+
+        let mut rec_data = data;
+        let mut rec_gpu = gpu();
+        let (stats, report) = sort_out_of_core_recovering(
+            &GpuArraySort::new(),
+            &mut rec_gpu,
+            &mut rec_data,
+            n,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+
+        assert_eq!(plain_data, rec_data);
+        assert_eq!(
+            plain_gpu.elapsed_ms(),
+            rec_gpu.elapsed_ms(),
+            "bit-equal clock"
+        );
+        assert_eq!(plain.serial_ms, stats.serial_ms);
+        assert_eq!(plain.pipelined_ms, stats.pipelined_ms);
+        assert!(report.is_clean());
+        assert_eq!(report.retries(), 0);
+        assert_eq!(report.wasted_ms(), 0.0);
+        // Traces agree too: same span names at the same times.
+        let names = |g: &Gpu| {
+            g.timeline()
+                .spans
+                .iter()
+                .map(|s| (s.name.clone(), s.start_ms, s.end_ms))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(names(&plain_gpu), names(&rec_gpu));
+    }
+
+    #[test]
+    fn transient_launch_failure_is_retried_and_rolled_back() {
+        let n = 100;
+        let num = 30;
+        let mut data = reversed_batch(num, n);
+        let original = data.clone();
+        let mut g = gpu();
+        // Fail the very first kernel launch; everything after succeeds.
+        g.set_fault_plan(Some(FaultPlan::seeded(0).with_scripted(
+            FaultOp::Launch,
+            0,
+            FaultKind::LaunchFailure,
+        )));
+        let (stats, report) = GpuArraySort::new()
+            .sort_with_recovery(&mut g, &mut data, n, &RetryPolicy::default())
+            .unwrap();
+        assert!(stats.is_some(), "second device attempt succeeds");
+        assert!(cpu_ref::is_each_sorted(&data, n));
+        assert_eq!(cpu_ref::verify_against(&original, &data, n), None);
+        assert_eq!(report.retries(), 1);
+        assert_eq!(report.device_faults(), 1);
+        assert!(!report.is_clean());
+        assert!(report.wasted_ms() > 0.0, "the failed attempt burned time");
+        // The retry is visible as a span.
+        assert!(g
+            .timeline()
+            .spans
+            .iter()
+            .any(|s| s.name == "recovery/gas/batch/retry-1"));
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_cpu() {
+        let n = 100;
+        let num = 20;
+        let mut data = reversed_batch(num, n);
+        let original = data.clone();
+        let mut g = gpu();
+        g.set_fault_plan(Some(FaultPlan::seeded(1).with_launch_failure(1.0)));
+        let policy = RetryPolicy::default().with_max_attempts(3);
+        let (stats, report) = GpuArraySort::new()
+            .sort_with_recovery(&mut g, &mut data, n, &policy)
+            .unwrap();
+        assert!(stats.is_none(), "no device attempt can succeed");
+        assert!(cpu_ref::is_each_sorted(&data, n));
+        assert_eq!(cpu_ref::verify_against(&original, &data, n), None);
+        assert_eq!(report.cpu_fallbacks(), 1);
+        assert_eq!(report.device_faults(), 3);
+        assert!(g
+            .timeline()
+            .spans
+            .iter()
+            .any(|s| s.name == "recovery/gas/batch/cpu-fallback"));
+    }
+
+    #[test]
+    fn fallback_can_be_disabled() {
+        let n = 50;
+        let num = 10;
+        let mut data = reversed_batch(num, n);
+        let mut g = gpu();
+        g.set_fault_plan(Some(FaultPlan::seeded(2).with_launch_failure(1.0)));
+        let policy = RetryPolicy::default().without_cpu_fallback();
+        let err = GpuArraySort::new()
+            .sort_with_recovery(&mut g, &mut data, n, &policy)
+            .unwrap_err();
+        assert!(err.is_transient(), "the last transient error propagates");
+    }
+
+    #[test]
+    fn fatal_errors_propagate_immediately() {
+        let n = 100;
+        let num = 20;
+        let mut data = reversed_batch(num, n);
+        let mut g = gpu();
+        // array_len that doesn't divide the data: a deterministic,
+        // non-retryable mistake.
+        let err = GpuArraySort::new()
+            .sort_with_recovery(&mut g, &mut data, n + 1, &RetryPolicy::default())
+            .unwrap_err();
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn completed_chunks_are_not_redone() {
+        let n = 500;
+        // Big enough to need several chunks on the 60 MiB test device.
+        let num = 40_000;
+        let mut data = reversed_batch(num, n);
+        let mut g = gpu();
+        // Each clean chunk issues exactly 3 launches; failing launch 4
+        // hits chunk 1's second phase, after chunk 0 completed.
+        g.set_fault_plan(Some(FaultPlan::seeded(3).with_scripted(
+            FaultOp::Launch,
+            4,
+            FaultKind::LaunchFailure,
+        )));
+        let (stats, report) = sort_out_of_core_recovering(
+            &GpuArraySort::new(),
+            &mut g,
+            &mut data,
+            n,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(stats.chunks.len() > 2, "must have chunked");
+        assert!(cpu_ref::is_each_sorted(&data, n));
+        assert_eq!(report.device_faults(), 1);
+        assert_eq!(report.retries(), 1);
+        let clean_chunks = report
+            .chunks
+            .iter()
+            .filter(|c| c.attempts == 1 && c.device_faults == 0)
+            .count();
+        assert_eq!(clean_chunks, report.chunks.len() - 1);
+    }
+
+    #[test]
+    fn report_counts_match_injector_log() {
+        let n = 250;
+        let num = 24_000;
+        let mut data = reversed_batch(num, n);
+        let mut g = gpu();
+        g.set_fault_plan(Some(
+            FaultPlan::seeded(7)
+                .with_launch_failure(0.05)
+                .with_transfer_abort(0.05)
+                .with_transfer_corruption(0.05)
+                .with_alloc_oom(0.03)
+                .with_stream_stall(0.05, 0.5),
+        ));
+        let (_, report) = sort_out_of_core_recovering(
+            &GpuArraySort::new(),
+            &mut g,
+            &mut data,
+            n,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(cpu_ref::is_each_sorted(&data, n));
+        let error_faults = g
+            .injected_faults()
+            .iter()
+            .filter(|f| f.kind.is_error())
+            .count();
+        assert_eq!(
+            report.device_faults() as usize,
+            error_faults,
+            "every error-producing fault is one failed attempt"
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Checked-in performance baselines and the drift gate used by the
+//! `bench-smoke` binary (and CI).
+//!
+//! The simulator is deterministic, so a changed cycle bill is a *code*
+//! change, not noise. The gate still allows a small tolerance (CI
+//! default 2 %) so intentional micro-adjustments reviewed in the same
+//! PR don't force a baseline churn for every digit of drift; anything
+//! beyond that fails the job and the offender shows up in the diff.
+//!
+//! The checked-in file may be the bootstrap sentinel `{"bootstrap":
+//! true}`: the first `bench-smoke` run then records the real numbers
+//! in place of the sentinel instead of comparing.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::Fig2Report;
+
+/// One remembered Fig. 2 sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineRow {
+    /// Array size n.
+    pub n: usize,
+    /// Measured (simulated) kernel time in ms.
+    pub measured_ms: f64,
+}
+
+/// A recorded Fig. 2 run: the knobs that shaped it plus the series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(default)]
+pub struct Fig2Baseline {
+    /// True for the checked-in sentinel that has no numbers yet; the
+    /// first run replaces it with a real baseline instead of comparing.
+    pub bootstrap: bool,
+    /// `--scale` the sweep ran at.
+    pub scale: f64,
+    /// Arrays per point at that scale.
+    pub num_arrays: usize,
+    /// Measured series, one row per n.
+    pub rows: Vec<BaselineRow>,
+    /// Least-squares scale factor of the Eq. 2 fit.
+    pub fitted_scale: f64,
+    /// Fit quality.
+    pub nrmse: f64,
+}
+
+impl Fig2Baseline {
+    /// Captures a report as a comparable baseline.
+    pub fn from_report(scale: f64, report: &Fig2Report) -> Self {
+        Fig2Baseline {
+            bootstrap: false,
+            scale,
+            num_arrays: report.num_arrays,
+            rows: report
+                .rows
+                .iter()
+                .map(|r| BaselineRow {
+                    n: r.n,
+                    measured_ms: r.measured_ms,
+                })
+                .collect(),
+            fitted_scale: report.fitted_scale,
+            nrmse: report.nrmse,
+        }
+    }
+
+    /// Reads a baseline (or the bootstrap sentinel) from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        serde_json::from_str(&body)
+            .map_err(|e| format!("cannot parse baseline {}: {e}", path.display()))
+    }
+
+    /// Writes this baseline as pretty JSON to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        let body = serde_json::to_string_pretty(self).expect("baseline serializes");
+        std::fs::write(path, body + "\n")
+            .map_err(|e| format!("cannot write baseline {}: {e}", path.display()))
+    }
+
+    /// Compares `current` against this baseline, allowing `tolerance`
+    /// relative drift per point (e.g. `0.02` = 2 %). Returns one
+    /// message per violation; an empty vector is a pass.
+    pub fn compare(&self, current: &Fig2Baseline, tolerance: f64) -> Vec<String> {
+        let mut drifts = Vec::new();
+        if self.bootstrap {
+            drifts.push("baseline is the bootstrap sentinel — no numbers to compare".into());
+            return drifts;
+        }
+        if self.scale != current.scale || self.num_arrays != current.num_arrays {
+            drifts.push(format!(
+                "shape mismatch: baseline scale {} / {} arrays vs. current scale {} / {} arrays \
+                 (rerun with --update to re-record)",
+                self.scale, self.num_arrays, current.scale, current.num_arrays
+            ));
+            return drifts;
+        }
+        if self.rows.len() != current.rows.len() {
+            drifts.push(format!(
+                "sweep changed: baseline has {} points, current has {}",
+                self.rows.len(),
+                current.rows.len()
+            ));
+            return drifts;
+        }
+        for (b, c) in self.rows.iter().zip(&current.rows) {
+            if b.n != c.n {
+                drifts.push(format!(
+                    "point mismatch: baseline n={} vs. current n={}",
+                    b.n, c.n
+                ));
+                continue;
+            }
+            let drift = relative_drift(b.measured_ms, c.measured_ms);
+            if drift > tolerance {
+                drifts.push(format!(
+                    "n={}: measured {:.4} ms vs. baseline {:.4} ms ({:+.2}% > ±{:.0}%)",
+                    b.n,
+                    c.measured_ms,
+                    b.measured_ms,
+                    (c.measured_ms - b.measured_ms) / b.measured_ms * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        let fit_drift = relative_drift(self.fitted_scale, current.fitted_scale);
+        if fit_drift > tolerance {
+            drifts.push(format!(
+                "fitted scale {:.4e} vs. baseline {:.4e} (drift {:.2}% > ±{:.0}%)",
+                current.fitted_scale,
+                self.fitted_scale,
+                fit_drift * 100.0,
+                tolerance * 100.0
+            ));
+        }
+        drifts
+    }
+}
+
+/// |a − b| relative to the baseline magnitude (0 when both are 0).
+fn relative_drift(baseline: f64, current: f64) -> f64 {
+    if baseline == 0.0 {
+        if current == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (current - baseline).abs() / baseline.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Fig2Baseline {
+        Fig2Baseline {
+            bootstrap: false,
+            scale: 0.02,
+            num_arrays: 1000,
+            rows: vec![
+                BaselineRow {
+                    n: 200,
+                    measured_ms: 10.0,
+                },
+                BaselineRow {
+                    n: 400,
+                    measured_ms: 21.0,
+                },
+            ],
+            fitted_scale: 1.5e-6,
+            nrmse: 0.1,
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let b = sample();
+        assert!(b.compare(&sample(), 0.02).is_empty());
+    }
+
+    #[test]
+    fn within_tolerance_passes_beyond_fails() {
+        let b = sample();
+        let mut c = sample();
+        c.rows[0].measured_ms = 10.1; // +1%
+        assert!(b.compare(&c, 0.02).is_empty());
+        c.rows[0].measured_ms = 10.5; // +5%
+        let drifts = b.compare(&c, 0.02);
+        assert_eq!(drifts.len(), 1, "{drifts:?}");
+        assert!(drifts[0].contains("n=200"), "{drifts:?}");
+    }
+
+    #[test]
+    fn shape_changes_are_reported_not_compared() {
+        let b = sample();
+        let mut c = sample();
+        c.num_arrays = 999;
+        assert!(b.compare(&c, 0.02)[0].contains("shape mismatch"));
+        let mut c = sample();
+        c.rows.pop();
+        assert!(b.compare(&c, 0.02)[0].contains("sweep changed"));
+    }
+
+    #[test]
+    fn bootstrap_sentinel_parses_and_never_passes_compare() {
+        let sentinel: Fig2Baseline = serde_json::from_str(r#"{"bootstrap": true}"#).unwrap();
+        assert!(sentinel.bootstrap);
+        assert!(sentinel.rows.is_empty());
+        assert!(!sentinel.compare(&sample(), 0.02).is_empty());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let b = sample();
+        let path = std::env::temp_dir().join("gas_baseline_test/fig2.json");
+        b.save(&path).unwrap();
+        assert_eq!(Fig2Baseline::load(&path).unwrap(), b);
+    }
+
+    #[test]
+    fn fitted_scale_drift_is_caught() {
+        let b = sample();
+        let mut c = sample();
+        c.fitted_scale *= 1.10;
+        let drifts = b.compare(&c, 0.02);
+        assert_eq!(drifts.len(), 1, "{drifts:?}");
+        assert!(drifts[0].contains("fitted scale"), "{drifts:?}");
+    }
+}

@@ -1,0 +1,113 @@
+//! CI regression gate: runs a quick Fig. 2 sweep and compares the
+//! simulated cycle bills against the checked-in baseline
+//! (`results/baseline-fig2.json`). The simulator is deterministic, so
+//! any drift beyond the tolerance is a real cost-model change and the
+//! process exits 1.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench-smoke
+//!     [--scale 0.02] [--tolerance 0.02] [--baseline PATH]
+//!     [--trace-dir DIR] [--update]
+//! ```
+//!
+//! `--update` (or a checked-in `{"bootstrap": true}` sentinel) records
+//! the current numbers instead of comparing; commit the rewritten
+//! baseline together with the change that moved it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::baseline::Fig2Baseline;
+use bench::experiments::run_fig2_traced;
+use bench::report::default_out_dir;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = bench::parse_scale(&args, 0.02);
+    let mut baseline_path = default_out_dir().join("baseline-fig2.json");
+    let mut tolerance = 0.02;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut update = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => {
+                if let Some(v) = it.next() {
+                    baseline_path = PathBuf::from(v);
+                }
+            }
+            "--tolerance" => {
+                if let Some(v) = it.next() {
+                    tolerance = v.parse().unwrap_or_else(|_| {
+                        eprintln!("bad --tolerance {v:?}, using 0.02");
+                        0.02
+                    });
+                }
+            }
+            "--trace-dir" => trace_dir = it.next().map(PathBuf::from),
+            "--update" => update = true,
+            _ => {}
+        }
+    }
+
+    println!(
+        "# bench-smoke — Fig. 2 regression gate (scale {scale}, tolerance ±{:.0}%)\n",
+        tolerance * 100.0
+    );
+    let report = run_fig2_traced(scale, trace_dir.as_deref());
+    let current = Fig2Baseline::from_report(scale, &report);
+    for r in &report.rows {
+        println!(
+            "n={:<5} measured {:>9.4} ms   theoretical {:>9.4} ms",
+            r.n, r.measured_ms, r.theoretical_ms
+        );
+    }
+    println!(
+        "fit scale {:.4e}, NRMSE {:.2}%\n",
+        report.fitted_scale,
+        report.nrmse * 100.0
+    );
+
+    let recorded = Fig2Baseline::load(&baseline_path);
+    let needs_bootstrap = matches!(&recorded, Ok(b) if b.bootstrap) || recorded.is_err();
+    if update || needs_bootstrap {
+        if let Err(e) = current.save(&baseline_path) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        match (&recorded, update) {
+            (_, true) => println!("baseline updated: {}", baseline_path.display()),
+            (Ok(_), _) => println!(
+                "bootstrap sentinel replaced with real numbers: {} (commit this file)",
+                baseline_path.display()
+            ),
+            (Err(e), _) => println!(
+                "no usable baseline ({e}); recorded a fresh one: {} (commit this file)",
+                baseline_path.display()
+            ),
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let recorded = recorded.expect("checked above");
+    let drifts = recorded.compare(&current, tolerance);
+    if drifts.is_empty() {
+        println!(
+            "PASS — all {} points within ±{:.0}% of {}",
+            current.rows.len(),
+            tolerance * 100.0,
+            baseline_path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "FAIL — simulated cost model drifted from {}:",
+            baseline_path.display()
+        );
+        for d in &drifts {
+            eprintln!("  {d}");
+        }
+        eprintln!("if this change is intentional, rerun with --update and commit the new baseline");
+        ExitCode::FAILURE
+    }
+}

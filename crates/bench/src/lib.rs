@@ -12,6 +12,7 @@
 //! | `repro-ablations` | §5.1/§5.2 design-choice ablations |
 //! | `repro-outofcore` | §9 out-of-core extension |
 //! | `repro-all` | everything above in sequence |
+//! | `bench-smoke` | CI regression gate: quick Fig. 2 vs. `results/baseline-fig2.json` |
 //!
 //! All binaries accept `--scale <f>` (default 0.05: N shrunk 20×; array
 //! sizes n are never scaled) and `--full` (paper-scale axes; slow on a
@@ -19,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod report;
 

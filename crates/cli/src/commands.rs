@@ -4,14 +4,29 @@
 use std::error::Error;
 use std::path::PathBuf;
 
-use array_sort::{cpu_ref, ArraySortConfig, GpuArraySort};
+use array_sort::{
+    cpu_ref, sort_out_of_core_recovering, ArraySortConfig, GpuArraySort, RecoveryReport,
+    RetryPolicy,
+};
 use datagen::{Arrangement, ArrayBatch, Distribution};
-use gpu_sim::{DeviceSpec, Gpu};
+use gpu_sim::{DeviceSpec, FaultPlan, Gpu};
 
 use crate::args::Args;
 use crate::io::{read_batch, write_batch, Format};
 
 type AnyError = Box<dyn Error>;
+
+/// Rejects zero batch shapes before they can trip asserts deeper in the
+/// stack (`datagen` and the sorters treat them as programmer errors).
+fn require_positive_shape(num_arrays: usize, array_len: usize) -> Result<(), AnyError> {
+    if num_arrays == 0 {
+        return Err("--num-arrays must be positive".into());
+    }
+    if array_len == 0 {
+        return Err("--array-len must be positive".into());
+    }
+    Ok(())
+}
 
 /// Resolves `--device` to a preset.
 pub fn device_for(name: Option<&str>) -> Result<DeviceSpec, AnyError> {
@@ -47,6 +62,7 @@ pub fn dist_for(name: Option<&str>) -> Result<Distribution, AnyError> {
 pub fn cmd_generate(args: &Args) -> Result<String, AnyError> {
     let num: usize = args.require_parsed("num-arrays")?;
     let n: usize = args.require_parsed("array-len")?;
+    require_positive_shape(num, n)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let out = PathBuf::from(args.require("output")?);
     let format = Format::from_arg(args.get("format"), &out)?;
@@ -74,10 +90,30 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
         (None, Some(lens)) if lens.windows(2).all(|w| w[0] == w[1]) => lens[0],
         (None, _) => return Err("--array-len is required for this input".into()),
     };
+    if array_len == 0 {
+        return Err("--array-len must be positive".into());
+    }
+    if !data.len().is_multiple_of(array_len) {
+        return Err(format!(
+            "input holds {} values, which is not a multiple of --array-len {array_len}",
+            data.len()
+        )
+        .into());
+    }
     let algorithm = args.get("algorithm").unwrap_or("gas");
+    let faults = match args.get("faults") {
+        Some(spec) => {
+            if algorithm != "gas" {
+                return Err("--faults is only supported with --algorithm gas".into());
+            }
+            Some(FaultPlan::parse(spec)?)
+        }
+        None => None,
+    };
     let spec = device_for(args.get("device"))?;
     let mut gpu = Gpu::new(spec);
     let original = data.clone();
+    let mut recovery: Option<RecoveryReport> = None;
 
     let (label, total_ms, kernel_ms, peak, stats_json) = match algorithm {
         "gas" => {
@@ -85,15 +121,36 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
                 adaptive_bucket_sort: args.flag("adaptive"),
                 ..Default::default()
             };
-            let s = GpuArraySort::with_config(cfg)?.sort(&mut gpu, &mut data, array_len)?;
-            let j = serde_json::to_value(&s)?;
-            (
-                "GPU-ArraySort",
-                s.total_ms(),
-                s.kernel_ms(),
-                s.peak_bytes,
-                j,
-            )
+            let sorter = GpuArraySort::with_config(cfg)?;
+            if let Some(plan) = faults {
+                let policy = RetryPolicy::default().with_max_attempts(args.get_or("retries", 3)?);
+                gpu.set_fault_plan(Some(plan));
+                let (s, report) =
+                    sorter.sort_with_recovery(&mut gpu, &mut data, array_len, &policy)?;
+                let (kernel_ms, peak) = match &s {
+                    Some(s) => (s.kernel_ms(), s.peak_bytes),
+                    None => (0.0, gpu.ledger().peak()),
+                };
+                let j = serde_json::to_value(&s)?;
+                recovery = Some(report);
+                (
+                    "GPU-ArraySort (recovering)",
+                    gpu.elapsed_ms(),
+                    kernel_ms,
+                    peak,
+                    j,
+                )
+            } else {
+                let s = sorter.sort(&mut gpu, &mut data, array_len)?;
+                let j = serde_json::to_value(&s)?;
+                (
+                    "GPU-ArraySort",
+                    s.total_ms(),
+                    s.kernel_ms(),
+                    s.peak_bytes,
+                    j,
+                )
+            }
         }
         "sta" => {
             let s = thrust_sim::sta::sort_arrays(&mut gpu, &mut data, array_len)?;
@@ -161,6 +218,10 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
         "peak_device_bytes": peak,
         "verified": args.flag("verify"),
     });
+    if let Some(rec) = &recovery {
+        report["recovery"] = serde_json::to_value(rec)?;
+        report["injected_faults"] = serde_json::to_value(gpu.injected_faults())?;
+    }
     if args.flag("json") {
         if args.flag("stats") {
             report["stats"] = stats_json;
@@ -179,6 +240,17 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
                 ""
             }
         );
+        if let Some(rec) = &recovery {
+            out.push_str(&format!(
+                "\nrecovery: {} device faults, {} retries, {} cpu fallbacks, \
+                 {:.3} simulated ms wasted ({} faults injected in total)",
+                rec.device_faults(),
+                rec.retries(),
+                rec.cpu_fallbacks(),
+                rec.wasted_ms(),
+                gpu.injected_faults().len()
+            ));
+        }
         if args.flag("stats") {
             out.push('\n');
             out.push_str(&serde_json::to_string_pretty(&stats_json)?);
@@ -227,6 +299,7 @@ fn phase_table(phases: &[gpu_sim::PhaseSummary], elapsed_ms: f64) -> String {
 pub fn cmd_profile(args: &Args) -> Result<String, AnyError> {
     let num: usize = args.require_parsed("num-arrays")?;
     let n: usize = args.require_parsed("array-len")?;
+    require_positive_shape(num, n)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let dist = dist_for(args.get("dist"))?;
     let spec = device_for(args.get("device"))?;
@@ -309,6 +382,7 @@ pub fn cmd_devices(args: &Args) -> Result<String, AnyError> {
 /// `gas capacity`: the Table-1 row for a device and array size.
 pub fn cmd_capacity(args: &Args) -> Result<String, AnyError> {
     let n: usize = args.require_parsed("array-len")?;
+    require_positive_shape(1, n)?;
     let spec = device_for(args.get("device"))?;
     let sorter = GpuArraySort::new();
     let gas = sorter.max_arrays(&spec, n);
@@ -318,6 +392,141 @@ pub fn cmd_capacity(args: &Args) -> Result<String, AnyError> {
         "{} can hold arrays of {n} f32:\n  GPU-ArraySort   {gas}\n  STA (Thrust)    {sta}\n  segmented sort  {seg}",
         spec.name
     ))
+}
+
+/// Default fault mix for `gas chaos`: every fault class enabled at a
+/// rate that injects a handful of faults per out-of-core run.
+const DEFAULT_CHAOS_FAULTS: &str =
+    "launch=0.05,abort=0.04,corrupt=0.04,oom=0.03,stall=0.05,stall-ms=0.5";
+
+/// `gas chaos`: a seeded fault-injection campaign. For each seed it
+/// generates a batch, runs the recovering out-of-core sorter under an
+/// injected [`FaultPlan`], and checks two invariants: the output must
+/// match the CPU oracle, and the [`RecoveryReport`] must account for
+/// every error-producing fault the device logged. Any violation makes
+/// the command fail (nonzero exit), so CI can fan it out across seeds.
+pub fn cmd_chaos(args: &Args) -> Result<String, AnyError> {
+    let num: usize = args.get_or("num-arrays", 6_000)?;
+    let n: usize = args.get_or("array-len", 1_000)?;
+    require_positive_shape(num, n)?;
+    let seeds: Vec<u64> = match args.get("seed") {
+        Some(v) => vec![v.parse().map_err(|_| format!("bad --seed {v:?}"))?],
+        None => (1..=args.get_or("seeds", 8u64)?).collect(),
+    };
+    if seeds.is_empty() {
+        return Err("--seeds must be positive".into());
+    }
+    let spec = device_for(Some(args.get("device").unwrap_or("test")))?;
+    let base_plan = FaultPlan::parse(args.get("faults").unwrap_or(DEFAULT_CHAOS_FAULTS))?;
+    let policy = RetryPolicy::default().with_max_attempts(args.get_or("retries", 3)?);
+    let dist = dist_for(args.get("dist"))?;
+    let trace_dir = args.get("trace-dir").map(PathBuf::from);
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create trace dir {}: {e}", dir.display()))?;
+    }
+
+    let sorter = GpuArraySort::new();
+    let mut rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for &seed in &seeds {
+        // Each campaign seed gets its own data *and* its own fault
+        // stream, offset from whatever base seed the spec carries.
+        let mut plan = base_plan.clone();
+        plan.seed = plan.seed.wrapping_add(seed);
+        let batch = ArrayBatch::generate(seed, num, n, dist, Arrangement::Shuffled);
+        let mut data = batch.as_flat().to_vec();
+        let original = data.clone();
+        let mut gpu = Gpu::new(spec.clone());
+        gpu.set_fault_plan(Some(plan));
+
+        match sort_out_of_core_recovering(&sorter, &mut gpu, &mut data, n, &policy) {
+            Err(e) => failures.push(format!("seed {seed}: run failed: {e}")),
+            Ok((ooc, report)) => {
+                let injected = gpu.injected_faults();
+                let error_faults = injected.iter().filter(|f| f.kind.is_error()).count();
+                let sorted_ok = cpu_ref::verify_against(&original, &data, n).is_none();
+                let accounted = report.device_faults() as usize == error_faults;
+                if !sorted_ok {
+                    failures.push(format!("seed {seed}: output does not match the CPU oracle"));
+                }
+                if !accounted {
+                    failures.push(format!(
+                        "seed {seed}: report accounts for {} device faults but {} were injected",
+                        report.device_faults(),
+                        error_faults
+                    ));
+                }
+                if let Some(dir) = &trace_dir {
+                    write_trace_file(&gpu, &dir.join(format!("chaos-seed-{seed}.trace.json")))?;
+                }
+                rows.push(serde_json::json!({
+                    "seed": seed,
+                    "chunks": ooc.chunks.len(),
+                    "faults_injected": injected.len(),
+                    "error_faults": error_faults,
+                    "retries": report.retries(),
+                    "cpu_fallbacks": report.cpu_fallbacks(),
+                    "wasted_ms": report.wasted_ms(),
+                    "elapsed_ms": gpu.elapsed_ms(),
+                    "sorted_ok": sorted_ok,
+                    "accounted": accounted,
+                }));
+            }
+        }
+    }
+
+    let body = if args.flag("json") {
+        serde_json::to_string_pretty(&serde_json::json!({
+            "device": spec.name,
+            "num_arrays": num,
+            "array_len": n,
+            "runs": rows,
+            "failures": failures,
+        }))?
+    } else {
+        let mut out = format!(
+            "chaos campaign on {}: {} seeds × {num} arrays × {n}\n{:<6} {:>7} {:>7} {:>8} {:>10} {:>11} {:>12}  {}\n",
+            spec.name,
+            seeds.len(),
+            "seed",
+            "chunks",
+            "faults",
+            "retries",
+            "fallbacks",
+            "wasted ms",
+            "elapsed ms",
+            "ok"
+        );
+        for r in &rows {
+            out.push_str(&format!(
+                "{:<6} {:>7} {:>7} {:>8} {:>10} {:>11.3} {:>12.3}  {}\n",
+                r["seed"].as_u64().unwrap_or(0),
+                r["chunks"].as_u64().unwrap_or(0),
+                r["error_faults"].as_u64().unwrap_or(0),
+                r["retries"].as_u64().unwrap_or(0),
+                r["cpu_fallbacks"].as_u64().unwrap_or(0),
+                r["wasted_ms"].as_f64().unwrap_or(0.0),
+                r["elapsed_ms"].as_f64().unwrap_or(0.0),
+                if r["sorted_ok"] == true && r["accounted"] == true {
+                    "✓"
+                } else {
+                    "✗"
+                }
+            ));
+        }
+        out
+    };
+
+    if failures.is_empty() {
+        Ok(body)
+    } else {
+        Err(format!(
+            "{body}\nchaos campaign FAILED:\n  {}",
+            failures.join("\n  ")
+        )
+        .into())
+    }
 }
 
 /// Usage text.
@@ -330,13 +539,32 @@ USAGE:
                [--format f32le|csv]
   gas sort     --input FILE [--array-len n] [--algorithm gas|sta|segsort|merge]
                [--device k40c|k20|k80|gtx980|test] [--adaptive] [--verify]
+               [--faults SPEC] [--retries K]
                [--output FILE] [--trace FILE] [--stats] [--json]
+               (--faults, gas only, enables deterministic fault injection and
+                the recovering pipeline; the report gains a recovery section)
+  gas chaos    [--seeds K | --seed S] [--num-arrays N] [--array-len n]
+               [--faults SPEC] [--retries K] [--device ...] [--dist ...]
+               [--trace-dir DIR] [--json]
+               (seeded fault-injection campaign: every run must match the
+                CPU oracle and account for each injected fault, else exit 1)
   gas profile  --num-arrays N --array-len n [--seed S] [--dist ...]
                [--algorithm gas|sta] [--device ...] [--trace FILE] [--json]
                (writes a Chrome trace — load at https://ui.perfetto.dev —
                 and prints the per-phase breakdown)
   gas capacity --array-len n [--device ...]
   gas devices  [--json]
+
+FAULT SPECS (comma-separated key=value):
+  seed=S                    RNG seed for the fault stream (chaos adds its
+                            campaign seed on top)
+  launch=P abort=P corrupt=P oom=P stall=P
+                            per-operation probabilities in [0,1]
+  stall-ms=MS               extra latency per injected stall (default 1.0)
+  max=K                     cap total injected faults
+  launch-at=I abort-at=I corrupt-at=I oom-at=I stall-at=I
+                            script a fault at the I-th operation of that class
+  example: --faults seed=7,launch=0.1,corrupt=0.05,stall=0.2,stall-ms=0.5
 "
 }
 
@@ -350,6 +578,7 @@ mod tests {
         match args.command.as_str() {
             "generate" => cmd_generate(&args),
             "sort" => cmd_sort(&args),
+            "chaos" => cmd_chaos(&args),
             "profile" => cmd_profile(&args),
             "devices" => cmd_devices(&args),
             "capacity" => cmd_capacity(&args),
@@ -646,6 +875,177 @@ mod tests {
         ])
         .unwrap();
         assert!(msg.contains("sta/sort-by-value"), "{msg}");
+    }
+
+    #[test]
+    fn zero_shapes_are_rejected_not_panicked() {
+        let f = tmp("zero.bin");
+        let f = f.as_str();
+        for bad in [
+            vec![
+                "generate",
+                "--num-arrays",
+                "0",
+                "--array-len",
+                "8",
+                "--output",
+                f,
+            ],
+            vec![
+                "generate",
+                "--num-arrays",
+                "8",
+                "--array-len",
+                "0",
+                "--output",
+                f,
+            ],
+            vec!["profile", "--num-arrays", "0", "--array-len", "8"],
+            vec!["profile", "--num-arrays", "8", "--array-len", "0"],
+            vec!["capacity", "--array-len", "0"],
+        ] {
+            let err = run(&bad).unwrap_err().to_string();
+            assert!(err.contains("must be positive"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn sort_rejects_zero_and_non_multiple_array_len() {
+        let f = tmp("shape.bin");
+        run(&[
+            "generate",
+            "--num-arrays",
+            "3",
+            "--array-len",
+            "10",
+            "--output",
+            &f,
+        ])
+        .unwrap();
+        let err = run(&["sort", "--input", &f, "--array-len", "0"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("must be positive"), "{err}");
+        let err = run(&["sort", "--input", &f, "--array-len", "7"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("not a multiple"), "{err}");
+    }
+
+    #[test]
+    fn sort_with_faults_recovers_and_reports() {
+        let f = tmp("faults.bin");
+        run(&[
+            "generate",
+            "--num-arrays",
+            "40",
+            "--array-len",
+            "100",
+            "--output",
+            &f,
+        ])
+        .unwrap();
+        let msg = run(&[
+            "sort",
+            "--input",
+            &f,
+            "--array-len",
+            "100",
+            "--faults",
+            "seed=3,launch-at=0",
+            "--verify",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        assert_eq!(v["algorithm"], "GPU-ArraySort (recovering)");
+        assert_eq!(v["verified"], true);
+        assert_eq!(v["recovery"]["chunks"][0]["device_faults"], 1);
+        assert_eq!(v["injected_faults"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn faults_flag_requires_gas_and_a_valid_spec() {
+        let f = tmp("faults_guard.bin");
+        run(&[
+            "generate",
+            "--num-arrays",
+            "4",
+            "--array-len",
+            "16",
+            "--output",
+            &f,
+        ])
+        .unwrap();
+        let err = run(&[
+            "sort",
+            "--input",
+            &f,
+            "--array-len",
+            "16",
+            "--algorithm",
+            "sta",
+            "--faults",
+            "launch=0.5",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("only supported with --algorithm gas"), "{err}");
+        let err = run(&[
+            "sort",
+            "--input",
+            &f,
+            "--array-len",
+            "16",
+            "--faults",
+            "launch=nope",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("invalid fault spec"), "{err}");
+    }
+
+    #[test]
+    fn chaos_campaign_passes_on_fixed_seeds() {
+        let msg = run(&[
+            "chaos",
+            "--seeds",
+            "2",
+            "--num-arrays",
+            "400",
+            "--array-len",
+            "200",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        assert_eq!(v["runs"].as_array().unwrap().len(), 2);
+        for r in v["runs"].as_array().unwrap() {
+            assert_eq!(r["sorted_ok"], true, "{r}");
+            assert_eq!(r["accounted"], true, "{r}");
+        }
+        assert!(v["failures"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn chaos_writes_per_seed_traces() {
+        let dir = tmp("chaos_traces");
+        run(&[
+            "chaos",
+            "--seed",
+            "5",
+            "--num-arrays",
+            "200",
+            "--array-len",
+            "100",
+            "--trace-dir",
+            &dir,
+        ])
+        .unwrap();
+        let trace = std::path::Path::new(&dir).join("chaos-seed-5.trace.json");
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(doc["traceEvents"].as_array().unwrap().len() > 1);
     }
 
     #[test]

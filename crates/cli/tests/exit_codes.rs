@@ -1,0 +1,208 @@
+//! Process-level tests for the `gas` binary: bad input must produce a
+//! diagnostic on stderr and a *nonzero exit code*, never a panic. The
+//! contract (owned by `main.rs`): exit 2 for argument-parse errors,
+//! exit 1 for command errors, exit 0 on success.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn gas(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gas"))
+        .args(args)
+        .output()
+        .expect("spawn gas binary")
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("gas_exit_{name}"))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Writes a small valid batch file and returns its path.
+fn fixture(name: &str, num: &str, len: &str) -> String {
+    let f = tmp(name);
+    let out = gas(&[
+        "generate",
+        "--num-arrays",
+        num,
+        "--array-len",
+        len,
+        "--output",
+        &f,
+    ]);
+    assert!(out.status.success(), "fixture generate failed: {out:?}");
+    f
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn success_paths_exit_zero() {
+    let f = fixture("ok.bin", "4", "16");
+    let out = gas(&["sort", "--input", &f, "--array-len", "16", "--verify"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let out = gas(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn parse_errors_exit_two() {
+    // No subcommand at all is an argument-parse error.
+    let out = gas(&[]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("error:"), "{}", stderr(&out));
+    // So is a stray positional argument.
+    let out = gas(&["sort", "oops"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
+fn missing_required_option_exits_one() {
+    // `--input` with no value degrades to a flag; `sort` then reports
+    // the missing required option as a command error.
+    let out = gas(&["sort", "--input"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("--input is required"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn missing_input_file_exits_one_with_diagnostic() {
+    let out = gas(&["sort", "--input", "/nonexistent/batch.bin"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("error:"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_command_exits_one() {
+    let out = gas(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown command"), "{}", stderr(&out));
+}
+
+#[test]
+fn zero_shapes_exit_one_not_panic() {
+    let f = tmp("zero_out.bin");
+    for bad in [
+        vec![
+            "generate",
+            "--num-arrays",
+            "0",
+            "--array-len",
+            "8",
+            "--output",
+            f.as_str(),
+        ],
+        vec![
+            "generate",
+            "--num-arrays",
+            "8",
+            "--array-len",
+            "0",
+            "--output",
+            f.as_str(),
+        ],
+        vec!["profile", "--num-arrays", "0", "--array-len", "8"],
+        vec!["capacity", "--array-len", "0"],
+    ] {
+        let out = gas(&bad);
+        assert_eq!(out.status.code(), Some(1), "{bad:?}: {}", stderr(&out));
+        let err = stderr(&out);
+        assert!(err.contains("must be positive"), "{bad:?}: {err}");
+        assert!(!err.contains("panicked"), "{bad:?} panicked: {err}");
+    }
+}
+
+#[test]
+fn mismatched_array_len_exits_one() {
+    let f = fixture("mismatch.bin", "3", "10");
+    let out = gas(&["sort", "--input", &f, "--array-len", "7"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("not a multiple"), "{}", stderr(&out));
+}
+
+#[test]
+fn bad_fault_spec_exits_one() {
+    let f = fixture("badspec.bin", "4", "16");
+    let out = gas(&[
+        "sort",
+        "--input",
+        &f,
+        "--array-len",
+        "16",
+        "--faults",
+        "launch=2.0",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("invalid fault spec"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn chaos_with_faults_still_exits_zero_when_recovery_holds() {
+    let out = gas(&[
+        "chaos",
+        "--seed",
+        "3",
+        "--num-arrays",
+        "200",
+        "--array-len",
+        "100",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+}
+
+#[test]
+fn sort_with_scripted_fault_recovers_and_exits_zero() {
+    let f = fixture("recover.bin", "20", "64");
+    let out = gas(&[
+        "sort",
+        "--input",
+        &f,
+        "--array-len",
+        "64",
+        "--faults",
+        "seed=1,launch-at=0",
+        "--verify",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let msg = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(msg.contains("recovery:"), "{msg}");
+    assert!(msg.contains("verified"), "{msg}");
+}
+
+#[test]
+fn trace_write_failure_is_an_error_not_a_panic() {
+    let f = fixture("trace_err.bin", "4", "16");
+    let out = gas(&[
+        "sort",
+        "--input",
+        &f,
+        "--array-len",
+        "16",
+        "--trace",
+        "/nonexistent-dir/out.trace.json",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("cannot write trace"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn exit_path_fixture_paths_are_under_tmp() {
+    // Guard against the helpers accidentally writing into the repo.
+    assert!(PathBuf::from(tmp("x")).starts_with(std::env::temp_dir()));
+}

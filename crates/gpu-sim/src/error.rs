@@ -33,6 +33,31 @@ pub enum SimError {
         /// Elements in the destination.
         dst_len: usize,
     },
+    /// A fault injected by an active [`crate::faults::FaultPlan`] (chaos
+    /// testing). The only *transient* error in the taxonomy: the
+    /// operation hit simulated bad luck, not a deterministic limit, so
+    /// reissuing it can succeed.
+    InjectedFault {
+        /// What kind of fault fired.
+        kind: crate::faults::FaultKind,
+        /// The operation it hit (a kernel name, `"htod"`, `"dtoh"`,
+        /// `"alloc"` or `"htod_copy"`).
+        op: String,
+    },
+}
+
+impl SimError {
+    /// Transient/fatal taxonomy: `true` when retrying the failed
+    /// operation can succeed.
+    ///
+    /// Only [`SimError::InjectedFault`] is transient. Everything else —
+    /// real capacity exhaustion, launch-geometry violations, size
+    /// mismatches — is a deterministic property of the request and will
+    /// fail identically on every retry, so recovery layers must treat it
+    /// as fatal and propagate it.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::InjectedFault { .. })
+    }
 }
 
 impl fmt::Display for SimError {
@@ -57,6 +82,9 @@ impl fmt::Display for SimError {
                 f,
                 "transfer size mismatch: src has {src_len} elements, dst has {dst_len}"
             ),
+            SimError::InjectedFault { kind, op } => {
+                write!(f, "injected {kind} fault during `{op}` (transient)")
+            }
         }
     }
 }
@@ -91,6 +119,34 @@ mod tests {
             dst_len: 4,
         };
         assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn transient_taxonomy_only_covers_injected_faults() {
+        let injected = SimError::InjectedFault {
+            kind: crate::faults::FaultKind::TransferAbort,
+            op: "htod".into(),
+        };
+        assert!(injected.is_transient());
+        assert!(injected.to_string().contains("transfer-abort"));
+        assert!(injected.to_string().contains("transient"));
+        for fatal in [
+            SimError::OutOfMemory {
+                requested: 1,
+                available: 0,
+            },
+            SimError::SharedMemOverflow {
+                requested: 1,
+                available: 0,
+            },
+            SimError::InvalidLaunch { reason: "x".into() },
+            SimError::TransferSizeMismatch {
+                src_len: 1,
+                dst_len: 2,
+            },
+        ] {
+            assert!(!fatal.is_transient(), "{fatal} must be fatal");
+        }
     }
 
     #[test]

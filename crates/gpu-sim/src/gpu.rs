@@ -3,11 +3,13 @@
 
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use rayon::prelude::*;
 
 use crate::block::BlockCtx;
 use crate::cost::CostModel;
 use crate::error::{SimError, SimResult};
+use crate::faults::{corrupt_slice, FaultInjector, FaultKind, FaultPlan, InjectedFault};
 use crate::memory::{DeviceBuffer, MemoryLedger};
 use crate::spec::DeviceSpec;
 use crate::stats::{
@@ -75,8 +77,13 @@ pub struct Gpu {
     timeline: Timeline,
     async_state: AsyncState,
     current_stream: Option<StreamId>,
-    span_depth: u32,
+    open_spans: Vec<usize>,
+    faults: Option<Mutex<FaultInjector>>,
 }
+
+/// Fraction of a transfer's full time an aborted transfer still costs
+/// (the DMA died mid-flight).
+const ABORTED_TRANSFER_FRACTION: f64 = 0.5;
 
 impl Gpu {
     /// Creates a device with the default cost model.
@@ -95,8 +102,32 @@ impl Gpu {
             timeline: Timeline::default(),
             async_state: AsyncState::default(),
             current_stream: None,
-            span_depth: 0,
+            open_spans: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Installs (or, with `None`, removes) a fault-injection plan. The
+    /// injector's RNG is seeded from the plan, so installing the same plan
+    /// on the same workload replays the same faults. With no plan
+    /// installed every operation behaves exactly as before this subsystem
+    /// existed — identical results, cycle bills and traces.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan.map(|p| Mutex::new(FaultInjector::new(p)));
+    }
+
+    /// True when a fault plan is installed.
+    pub fn fault_injection_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The faults injected so far (empty when no plan is installed).
+    /// Survives [`Gpu::reset_clock`], like the memory ledger.
+    pub fn injected_faults(&self) -> Vec<InjectedFault> {
+        self.faults
+            .as_ref()
+            .map(|m| m.lock().log().to_vec())
+            .unwrap_or_default()
     }
 
     /// The device description.
@@ -132,7 +163,7 @@ impl Gpu {
         self.elapsed_ms = 0.0;
         self.timeline = Timeline::default();
         self.async_state.clear_events();
-        self.span_depth = 0;
+        self.open_spans.clear();
     }
 
     /// Current simulated timestamp for trace purposes: the host clock on
@@ -159,18 +190,41 @@ impl Gpu {
             name: name.to_string(),
             start_ms: now,
             end_ms: now,
-            depth: self.span_depth,
+            depth: self.open_spans.len() as u32,
         });
-        self.span_depth += 1;
+        self.open_spans.push(idx);
         SpanId(idx)
     }
 
     /// Closes a span opened by [`Gpu::begin_span`], stamping its end time.
     pub fn end_span(&mut self, span: SpanId) {
         let now = self.now_ms();
-        self.span_depth = self.span_depth.saturating_sub(1);
+        if let Some(pos) = self.open_spans.iter().rposition(|&idx| idx == span.0) {
+            self.open_spans.remove(pos);
+        }
         if let Some(rec) = self.timeline.spans.get_mut(span.0) {
             rec.end_ms = now;
+        }
+    }
+
+    /// Number of spans currently open (begun but not ended).
+    pub fn open_span_count(&self) -> usize {
+        self.open_spans.len()
+    }
+
+    /// Closes every span opened beyond the first `keep`, stamping their
+    /// ends at the current simulated time. An `?`-style early return
+    /// unwinds past pending [`Gpu::end_span`] calls and leaves their spans
+    /// dangling; recovery layers snapshot [`Gpu::open_span_count`] before
+    /// an attempt and call this after a failure so the trace stays
+    /// well-formed.
+    pub fn close_spans_beyond(&mut self, keep: usize) {
+        let now = self.now_ms();
+        while self.open_spans.len() > keep {
+            let idx = self.open_spans.pop().expect("len checked above");
+            if let Some(rec) = self.timeline.spans.get_mut(idx) {
+                rec.end_ms = now;
+            }
         }
     }
 
@@ -239,14 +293,45 @@ impl Gpu {
     /// Allocates an uninitialized-by-convention (actually zeroed) device
     /// buffer of `len` elements.
     pub fn alloc<T: Copy + Default>(&self, len: usize) -> SimResult<DeviceBuffer<T>> {
+        if self.next_alloc_fault("alloc").is_some() {
+            return Err(SimError::InjectedFault {
+                kind: FaultKind::DeviceOom,
+                op: "alloc".into(),
+            });
+        }
         DeviceBuffer::zeroed(self.ledger.clone(), len)
     }
 
     /// Allocates a device buffer and copies `host` into it, charging PCIe
     /// transfer time (`cudaMemcpy` H→D).
     pub fn htod_copy<T: Copy + Default>(&mut self, host: &[T]) -> SimResult<DeviceBuffer<T>> {
-        let buf = DeviceBuffer::from_host(self.ledger.clone(), host)?;
-        self.charge_transfer(TransferDir::HtoD, buf.size_bytes());
+        if self.next_alloc_fault("htod_copy").is_some() {
+            return Err(SimError::InjectedFault {
+                kind: FaultKind::DeviceOom,
+                op: "htod_copy".into(),
+            });
+        }
+        let fault = self.next_transfer_fault("htod");
+        if matches!(fault, Some(FaultKind::TransferAbort)) {
+            let bytes = std::mem::size_of_val(host) as u64;
+            let lost_ms = self.spec.transfer_ms(bytes) * ABORTED_TRANSFER_FRACTION;
+            self.charge_lost_time("htod[abort]", Engine::HtoD, lost_ms);
+            return Err(SimError::InjectedFault {
+                kind: FaultKind::TransferAbort,
+                op: "htod".into(),
+            });
+        }
+        let mut buf = DeviceBuffer::from_host(self.ledger.clone(), host)?;
+        let stall_ms = self.stall_for(fault);
+        self.charge_transfer(TransferDir::HtoD, buf.size_bytes(), stall_ms);
+        if matches!(fault, Some(FaultKind::TransferCorruption)) {
+            let idx = self.pick_corrupt_index(buf.len());
+            corrupt_slice(buf.as_mut_slice(), idx);
+            return Err(SimError::InjectedFault {
+                kind: FaultKind::TransferCorruption,
+                op: "htod".into(),
+            });
+        }
         Ok(buf)
     }
 
@@ -259,15 +344,36 @@ impl Gpu {
                 dst_len: dst.len(),
             });
         }
+        let bytes = std::mem::size_of_val(host) as u64;
+        let fault = self.next_transfer_fault("htod");
+        if matches!(fault, Some(FaultKind::TransferAbort)) {
+            let lost_ms = self.spec.transfer_ms(bytes) * ABORTED_TRANSFER_FRACTION;
+            self.charge_lost_time("htod[abort]", Engine::HtoD, lost_ms);
+            return Err(SimError::InjectedFault {
+                kind: FaultKind::TransferAbort,
+                op: "htod".into(),
+            });
+        }
         dst.as_mut_slice().copy_from_slice(host);
-        self.charge_transfer(TransferDir::HtoD, std::mem::size_of_val(host) as u64);
+        let stall_ms = self.stall_for(fault);
+        self.charge_transfer(TransferDir::HtoD, bytes, stall_ms);
+        if matches!(fault, Some(FaultKind::TransferCorruption)) {
+            let idx = self.pick_corrupt_index(dst.len());
+            corrupt_slice(dst.as_mut_slice(), idx);
+            return Err(SimError::InjectedFault {
+                kind: FaultKind::TransferCorruption,
+                op: "htod".into(),
+            });
+        }
         Ok(())
     }
 
     /// Copies a device buffer back to the host, charging transfer time
-    /// (`cudaMemcpy` D→H).
+    /// (`cudaMemcpy` D→H). Not a fault-injection point (the infallible
+    /// signature predates [`crate::faults`]); fault-tolerant code paths
+    /// use [`Gpu::dtoh_into`].
     pub fn dtoh_copy<T: Clone>(&mut self, buf: &mut DeviceBuffer<T>) -> Vec<T> {
-        self.charge_transfer(TransferDir::DtoH, buf.size_bytes());
+        self.charge_transfer(TransferDir::DtoH, buf.size_bytes(), 0.0);
         buf.to_host_vec()
     }
 
@@ -284,13 +390,79 @@ impl Gpu {
                 dst_len: host.len(),
             });
         }
+        let bytes = std::mem::size_of_val(host) as u64;
+        let fault = self.next_transfer_fault("dtoh");
+        if matches!(fault, Some(FaultKind::TransferAbort)) {
+            let lost_ms = self.spec.transfer_ms(bytes) * ABORTED_TRANSFER_FRACTION;
+            self.charge_lost_time("dtoh[abort]", Engine::DtoH, lost_ms);
+            return Err(SimError::InjectedFault {
+                kind: FaultKind::TransferAbort,
+                op: "dtoh".into(),
+            });
+        }
         host.copy_from_slice(buf.as_slice());
-        self.charge_transfer(TransferDir::DtoH, std::mem::size_of_val(host) as u64);
+        let stall_ms = self.stall_for(fault);
+        self.charge_transfer(TransferDir::DtoH, bytes, stall_ms);
+        if matches!(fault, Some(FaultKind::TransferCorruption)) {
+            let idx = self.pick_corrupt_index(host.len());
+            corrupt_slice(host, idx);
+            return Err(SimError::InjectedFault {
+                kind: FaultKind::TransferCorruption,
+                op: "dtoh".into(),
+            });
+        }
         Ok(())
     }
 
-    fn charge_transfer(&mut self, direction: TransferDir, bytes: u64) {
-        let time_ms = self.spec.transfer_ms(bytes);
+    fn next_launch_fault(&mut self, name: &str) -> Option<FaultKind> {
+        let now = self.now_ms();
+        self.faults
+            .as_ref()
+            .and_then(|m| m.lock().on_launch(name, now))
+    }
+
+    fn next_transfer_fault(&mut self, op: &str) -> Option<FaultKind> {
+        let now = self.now_ms();
+        self.faults
+            .as_ref()
+            .and_then(|m| m.lock().on_transfer(op, now))
+    }
+
+    fn next_alloc_fault(&self, op: &str) -> Option<FaultKind> {
+        let now = self.now_ms();
+        self.faults
+            .as_ref()
+            .and_then(|m| m.lock().on_alloc(op, now))
+    }
+
+    fn pick_corrupt_index(&self, len: usize) -> usize {
+        self.faults
+            .as_ref()
+            .map_or(0, |m| m.lock().corrupt_index(len))
+    }
+
+    /// Extra latency for a stalled operation; zero for any other outcome.
+    fn stall_for(&self, fault: Option<FaultKind>) -> f64 {
+        if matches!(fault, Some(FaultKind::StreamStall)) {
+            self.faults.as_ref().map_or(0.0, |m| m.lock().stall_ms())
+        } else {
+            0.0
+        }
+    }
+
+    /// Advances the clock (or occupies an engine, under streams) for time
+    /// an injected fault wasted without producing a timeline entry.
+    fn charge_lost_time(&mut self, name: &str, engine: Engine, dur_ms: f64) {
+        if let Some(stream) = self.current_stream {
+            self.async_state
+                .schedule(name, stream, engine, self.elapsed_ms, dur_ms);
+        } else {
+            self.elapsed_ms += dur_ms;
+        }
+    }
+
+    fn charge_transfer(&mut self, direction: TransferDir, bytes: u64, stall_ms: f64) {
+        let time_ms = self.spec.transfer_ms(bytes) + stall_ms;
         let (start_ms, stream) = if let Some(stream) = self.current_stream {
             let (engine, name) = match direction {
                 TransferDir::HtoD => (Engine::HtoD, "htod"),
@@ -327,6 +499,18 @@ impl Gpu {
         F: Fn(&mut BlockCtx) + Sync,
     {
         self.validate(&cfg)?;
+        let fault = self.next_launch_fault(name);
+        if matches!(fault, Some(FaultKind::LaunchFailure)) {
+            // Rejected before any block runs: no data effects, but the
+            // driver round-trip (launch overhead) is still paid.
+            let overhead_ms = self.spec.kernel_launch_us / 1_000.0;
+            self.charge_lost_time("launch[failed]", Engine::Compute, overhead_ms);
+            return Err(SimError::InjectedFault {
+                kind: FaultKind::LaunchFailure,
+                op: name.to_string(),
+            });
+        }
+        let stall_ms = self.stall_for(fault);
         let sm_count = self.spec.sm_count as usize;
         let warp_slots = self.spec.warp_slots();
         let warp_size = self.spec.warp_size;
@@ -369,7 +553,8 @@ impl Gpu {
         } else {
             1.0
         };
-        let time_ms = self.spec.cycles_to_ms(cycles) + self.spec.kernel_launch_us / 1_000.0;
+        let time_ms =
+            self.spec.cycles_to_ms(cycles) + self.spec.kernel_launch_us / 1_000.0 + stall_ms;
 
         let occ = crate::occupancy::occupancy(
             &self.spec,
@@ -767,6 +952,193 @@ mod tests {
             "depth resets with the clock"
         );
         g.end_span(t);
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        use crate::faults::FaultPlan;
+        let run = |plan: Option<FaultPlan>| {
+            let mut g = gpu();
+            g.set_fault_plan(plan);
+            let data: Vec<u32> = (0..4096).rev().collect();
+            let mut buf = g.htod_copy(&data).unwrap();
+            let view = buf.view();
+            g.launch("inc", LaunchConfig::grid(8, 32), |b| {
+                b.threads(|t| {
+                    t.charge_alu(5);
+                    let i = t.global_idx();
+                    if i < 4096 {
+                        view.set(i, view.get(i) + 1);
+                    }
+                });
+            })
+            .unwrap();
+            let out = g.dtoh_copy(&mut buf);
+            (out, g.elapsed_ms(), g.timeline().kernels[0].cycles)
+        };
+        let plain = run(None);
+        let chaos_off = run(Some(FaultPlan::seeded(99)));
+        assert_eq!(plain, chaos_off, "an empty plan must be a perfect no-op");
+    }
+
+    #[test]
+    fn injected_launch_failure_skips_kernel_but_charges_overhead() {
+        use crate::faults::{FaultKind, FaultOp, FaultPlan};
+        let mut g = gpu();
+        g.set_fault_plan(Some(FaultPlan::seeded(0).with_scripted(
+            FaultOp::Launch,
+            0,
+            FaultKind::LaunchFailure,
+        )));
+        let buf = g.alloc::<u32>(64).unwrap();
+        let view = buf.view();
+        let err = g
+            .launch("doomed", LaunchConfig::grid(2, 32), |b| {
+                b.threads(|t| view.set(t.global_idx(), 1));
+            })
+            .unwrap_err();
+        assert!(err.is_transient());
+        assert!(matches!(
+            err,
+            SimError::InjectedFault {
+                kind: FaultKind::LaunchFailure,
+                ..
+            }
+        ));
+        let overhead = g.spec().kernel_launch_us / 1_000.0;
+        assert!((g.elapsed_ms() - overhead).abs() < 1e-12);
+        assert!(
+            g.timeline().kernels.is_empty(),
+            "no stats for a failed launch"
+        );
+        let mut buf = buf;
+        assert!(
+            buf.to_host_vec().iter().all(|&v| v == 0),
+            "kernel body must not have run"
+        );
+        // The retry (launch index 1) succeeds.
+        let view = buf.view();
+        g.launch("retry", LaunchConfig::grid(2, 32), |b| {
+            b.threads(|t| view.set(t.global_idx(), 1));
+        })
+        .unwrap();
+        assert_eq!(g.injected_faults().len(), 1);
+    }
+
+    #[test]
+    fn injected_transfer_corruption_damages_payload_and_errors() {
+        use crate::faults::{FaultKind, FaultOp, FaultPlan};
+        let mut g = gpu();
+        g.set_fault_plan(Some(FaultPlan::seeded(5).with_scripted(
+            FaultOp::Transfer,
+            0,
+            FaultKind::TransferCorruption,
+        )));
+        let mut buf = {
+            // Bypass injection for the upload: install the plan afterwards.
+            let mut clean = gpu();
+            clean.htod_copy(&[1u32, 2, 3, 4]).unwrap()
+        };
+        let mut host = [0u32; 4];
+        let err = g.dtoh_into(&mut buf, &mut host).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InjectedFault {
+                kind: FaultKind::TransferCorruption,
+                ..
+            }
+        ));
+        assert_ne!(host, [1, 2, 3, 4], "payload must be visibly damaged");
+        assert_ne!(host, [0, 0, 0, 0], "the copy itself did complete");
+        assert_eq!(
+            g.timeline().transfers.len(),
+            1,
+            "a corrupted transfer still bills full time"
+        );
+    }
+
+    #[test]
+    fn injected_abort_moves_no_data_and_bills_half_time() {
+        use crate::faults::{FaultKind, FaultOp, FaultPlan};
+        let mut g = gpu();
+        g.set_fault_plan(Some(FaultPlan::seeded(5).with_scripted(
+            FaultOp::Transfer,
+            0,
+            FaultKind::TransferAbort,
+        )));
+        let data = vec![7u32; 1 << 16];
+        let err = g.htod_copy(&data).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InjectedFault {
+                kind: FaultKind::TransferAbort,
+                ..
+            }
+        ));
+        let full = g.spec().transfer_ms((1u64 << 16) * 4);
+        assert!((g.elapsed_ms() - full * 0.5).abs() < 1e-12);
+        assert!(g.timeline().transfers.is_empty());
+        assert_eq!(g.ledger().used(), 0, "no allocation survives an abort");
+    }
+
+    #[test]
+    fn injected_oom_is_transient_and_leaves_ledger_untouched() {
+        use crate::faults::{FaultKind, FaultOp, FaultPlan};
+        let mut g = gpu();
+        g.set_fault_plan(Some(FaultPlan::seeded(1).with_scripted(
+            FaultOp::Alloc,
+            0,
+            FaultKind::DeviceOom,
+        )));
+        let err = g.alloc::<u32>(16).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(g.ledger().used(), 0);
+        assert_eq!(g.ledger().alloc_count(), 0);
+        // A *real* OOM stays fatal even with a plan installed.
+        let err = g.alloc::<u8>(61 * 1024 * 1024).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn stream_stall_adds_latency_without_erroring() {
+        use crate::faults::{FaultKind, FaultOp, FaultPlan};
+        let body = |g: &mut Gpu| {
+            g.launch("k", LaunchConfig::grid(2, 32), |b| {
+                b.threads(|t| t.charge_alu(100))
+            })
+            .unwrap()
+        };
+        let mut clean = gpu();
+        let baseline = body(&mut clean).time_ms;
+        let mut g = gpu();
+        g.set_fault_plan(Some(
+            FaultPlan::seeded(0)
+                .with_stream_stall(0.0, 2.5)
+                .with_scripted(FaultOp::Launch, 0, FaultKind::StreamStall),
+        ));
+        let stalled = body(&mut g).time_ms;
+        assert!((stalled - baseline - 2.5).abs() < 1e-12);
+        assert_eq!(g.injected_faults().len(), 1);
+        assert!(!g.injected_faults()[0].kind.is_error());
+    }
+
+    #[test]
+    fn close_spans_beyond_repairs_error_unwinds() {
+        let mut g = gpu();
+        let outer = g.begin_span("outer");
+        let base = g.open_span_count();
+        assert_eq!(base, 1);
+        let _attempt = g.begin_span("attempt");
+        let _inner = g.begin_span("attempt/upload");
+        // Simulate an error return that skipped both end_span calls.
+        g.close_spans_beyond(base);
+        assert_eq!(g.open_span_count(), 1);
+        let fresh = g.begin_span("retry");
+        assert_eq!(g.timeline().spans[fresh.0].depth, 1, "depth is repaired");
+        g.end_span(fresh);
+        g.end_span(outer);
+        assert_eq!(g.open_span_count(), 0);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod block;
 pub mod coalescing;
 pub mod cost;
 pub mod error;
+pub mod faults;
 pub mod gpu;
 pub mod guide;
 pub mod memory;
@@ -73,6 +74,10 @@ pub mod trace;
 pub use block::{BlockCtx, SharedArray, ThreadCtx};
 pub use cost::{AccessPattern, CostModel};
 pub use error::{SimError, SimResult};
+pub use faults::{
+    corrupt_slice, FaultInjector, FaultKind, FaultOp, FaultPlan, FaultSpecError, InjectedFault,
+    ScriptedFault,
+};
 pub use gpu::{Gpu, LaunchConfig};
 pub use memory::{DeviceBuffer, GlobalView, MemoryLedger};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy};
