@@ -66,5 +66,8 @@ pub use out_of_core::{sort_out_of_core, sort_out_of_core_streamed, OocStats, Str
 pub use pairs::{sort_pairs, PairSortStats, PairValue};
 pub use pipeline::{DeviceRunStats, GasStats, GpuArraySort};
 pub use ragged::{sort_ragged, RaggedGeometry, RaggedStats};
-pub use recovery::{sort_out_of_core_recovering, ChunkRecovery, RecoveryReport, RetryPolicy};
+pub use recovery::{
+    checkpointed_attempt, recover_batch_with, sort_out_of_core_recovering,
+    sort_ragged_with_recovery, ChunkRecovery, FailedAttempt, RecoveryReport, RetryPolicy,
+};
 pub use splitters::Phase1Strategy;

@@ -36,6 +36,7 @@ use crate::cpu_ref;
 use crate::key::SortKey;
 use crate::out_of_core::{max_chunk_arrays, pipelined_schedule, ChunkStats, OocStats};
 use crate::pipeline::{GasStats, GpuArraySort};
+use crate::ragged::{sort_ragged, RaggedStats};
 
 /// How hard to fight for a chunk before giving up on the device.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -126,21 +127,73 @@ impl RecoveryReport {
     }
 }
 
-/// Sorts `slice` with checkpoint/retry/fallback. The first attempt runs
-/// inside a span named `label` (so clean traces look exactly like the
-/// non-recovering path); retries and the fallback get `recovery/…` spans.
-fn recover_slice<K: SortKey>(
-    sorter: &GpuArraySort,
+/// A failed, rolled-back device attempt: the error plus the simulated
+/// time the attempt burned before failing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedAttempt {
+    /// The error the attempt died with.
+    pub error: SimError,
+    /// Simulated milliseconds the attempt charged before failing.
+    pub wasted_ms: f64,
+}
+
+/// Runs one checkpointed device attempt inside a `span_name` trace span.
+///
+/// On any error the span stack is repaired (the error return unwound past
+/// the sort's own `end_span` calls) and `slice` is restored from
+/// `checkpoint`, so the host copy is guaranteed back in its pre-attempt
+/// state. This is the *re-dispatch primitive*: because a failed attempt
+/// leaves no residue, the same chunk can be reissued on this device — or
+/// handed to a **different** device, which is how the scheduler crate
+/// routes work away from a sick GPU.
+pub fn checkpointed_attempt<K: SortKey, S>(
     gpu: &mut Gpu,
     slice: &mut [K],
-    array_len: usize,
+    checkpoint: &[K],
+    span_name: &str,
+    attempt: impl FnOnce(&mut Gpu, &mut [K]) -> SimResult<S>,
+) -> Result<S, FailedAttempt> {
+    assert_eq!(
+        slice.len(),
+        checkpoint.len(),
+        "checkpoint must snapshot the attempted slice"
+    );
+    let base_spans = gpu.open_span_count();
+    let span = gpu.begin_span(span_name);
+    let t0 = gpu.elapsed_ms();
+    match attempt(gpu, slice) {
+        Ok(stats) => {
+            gpu.end_span(span);
+            Ok(stats)
+        }
+        Err(error) => {
+            gpu.close_spans_beyond(base_spans);
+            // Roll back whatever the failed attempt did to the chunk.
+            slice.copy_from_slice(checkpoint);
+            Err(FailedAttempt {
+                error,
+                wasted_ms: gpu.elapsed_ms() - t0,
+            })
+        }
+    }
+}
+
+/// Sorts `slice` with checkpoint/retry/fallback around an arbitrary
+/// device attempt. The first attempt runs inside a span named `label` (so
+/// clean traces look exactly like the non-recovering path); retries and
+/// the fallback get `recovery/…` spans. Fatal errors propagate
+/// immediately — retrying cannot help — with `slice` already rolled back.
+fn recover_core<K: SortKey, S>(
+    gpu: &mut Gpu,
+    slice: &mut [K],
     policy: &RetryPolicy,
     chunk_idx: usize,
     label: &str,
-) -> SimResult<(Option<GasStats>, ChunkRecovery)> {
+    mut attempt: impl FnMut(&mut Gpu, &mut [K]) -> SimResult<S>,
+    fallback: impl FnOnce(&mut [K]),
+) -> SimResult<(Option<S>, ChunkRecovery)> {
     let max_attempts = policy.max_attempts.max(1);
     let checkpoint = slice.to_vec();
-    let base_spans = gpu.open_span_count();
     let mut rec = ChunkRecovery {
         chunk: chunk_idx,
         attempts: 0,
@@ -157,26 +210,16 @@ fn recover_slice<K: SortKey>(
         } else {
             format!("recovery/{label}/retry-{}", rec.attempts - 1)
         };
-        let span = gpu.begin_span(&span_name);
-        let t0 = gpu.elapsed_ms();
-        match sorter.sort(gpu, slice, array_len) {
-            Ok(stats) => {
-                gpu.end_span(span);
-                return Ok((Some(stats), rec));
-            }
-            Err(e) => {
-                // The error return unwound past the sort's own end_span
-                // calls (and ours): repair the trace before deciding.
-                gpu.close_spans_beyond(base_spans);
-                if !e.is_transient() {
-                    return Err(e);
+        match checkpointed_attempt(gpu, slice, &checkpoint, &span_name, &mut attempt) {
+            Ok(stats) => return Ok((Some(stats), rec)),
+            Err(failed) => {
+                if !failed.error.is_transient() {
+                    return Err(failed.error);
                 }
                 rec.device_faults += 1;
-                rec.wasted_ms += gpu.elapsed_ms() - t0;
-                rec.errors.push(e.to_string());
-                last_err = Some(e);
-                // Roll back whatever the failed attempt did to the chunk.
-                slice.copy_from_slice(&checkpoint);
+                rec.wasted_ms += failed.wasted_ms;
+                rec.errors.push(failed.error.to_string());
+                last_err = Some(failed.error);
             }
         }
     }
@@ -185,10 +228,92 @@ fn recover_slice<K: SortKey>(
     }
     // Degradation ladder's last rung: the host sorter cannot fault.
     let span = gpu.begin_span(&format!("recovery/{label}/cpu-fallback"));
-    cpu_ref::sort_arrays_seq(slice, array_len);
+    fallback(slice);
     gpu.end_span(span);
     rec.cpu_fallback = true;
     Ok((None, rec))
+}
+
+/// [`recover_core`] specialised to the GAS pipeline with the
+/// [`crate::cpu_ref`] host sorter as the fallback.
+fn recover_slice<K: SortKey>(
+    sorter: &GpuArraySort,
+    gpu: &mut Gpu,
+    slice: &mut [K],
+    array_len: usize,
+    policy: &RetryPolicy,
+    chunk_idx: usize,
+    label: &str,
+) -> SimResult<(Option<GasStats>, ChunkRecovery)> {
+    recover_core(
+        gpu,
+        slice,
+        policy,
+        chunk_idx,
+        label,
+        |g, d| sorter.sort(g, d, array_len),
+        |d| cpu_ref::sort_arrays_seq(d, array_len),
+    )
+}
+
+/// Checkpoint/retry/fallback around an arbitrary device sort of a
+/// *uniform* batch (`num × array_len`). The closure is the device
+/// attempt — [`GpuArraySort::sort`], `thrust_sim`'s STA, or anything
+/// else with the same shape contract — and the fallback is the
+/// [`crate::cpu_ref`] host sorter, which satisfies the same oracle. This
+/// is how the CLI routes `--faults` through non-GAS algorithms.
+pub fn recover_batch_with<K: SortKey, S>(
+    gpu: &mut Gpu,
+    data: &mut [K],
+    array_len: usize,
+    policy: &RetryPolicy,
+    label: &str,
+    attempt: impl FnMut(&mut Gpu, &mut [K]) -> SimResult<S>,
+) -> SimResult<(Option<S>, RecoveryReport)> {
+    if array_len == 0 || !data.len().is_multiple_of(array_len) || data.is_empty() {
+        return Err(SimError::InvalidLaunch {
+            reason: format!(
+                "bad batch shape: len {} with array_len {array_len}",
+                data.len()
+            ),
+        });
+    }
+    let (stats, rec) = recover_core(gpu, data, policy, 0, label, attempt, |d| {
+        cpu_ref::sort_arrays_seq(d, array_len)
+    })?;
+    Ok((stats, RecoveryReport { chunks: vec![rec] }))
+}
+
+/// [`crate::ragged::sort_ragged`] with checkpoint/retry/fallback: a
+/// faulted ragged batch is rolled back to its checkpoint and reissued,
+/// and when the device attempts are exhausted each segment is sorted on
+/// the host instead. Returns the usual [`RaggedStats`] when a device
+/// attempt succeeded (`None` after host fallback) plus the report.
+pub fn sort_ragged_with_recovery<K: SortKey>(
+    sorter: &GpuArraySort,
+    gpu: &mut Gpu,
+    data: &mut [K],
+    offsets: &[usize],
+    policy: &RetryPolicy,
+) -> SimResult<(Option<RaggedStats>, RecoveryReport)> {
+    let (stats, rec) = recover_core(
+        gpu,
+        data,
+        policy,
+        0,
+        "ragged/batch",
+        |g, d| sort_ragged(sorter, g, d, offsets),
+        |d| host_sort_ragged(d, offsets),
+    )?;
+    Ok((stats, RecoveryReport { chunks: vec![rec] }))
+}
+
+/// Host oracle for a ragged batch: each `[offsets[i], offsets[i+1])`
+/// segment sorted under the key's total order.
+fn host_sort_ragged<K: SortKey>(data: &mut [K], offsets: &[usize]) {
+    for w in offsets.windows(2) {
+        data[w[0]..w[1]].sort_by(|a, b| a.total_order(*b));
+    }
 }
 
 impl GpuArraySort {
@@ -485,5 +610,177 @@ mod tests {
             error_faults,
             "every error-producing fault is one failed attempt"
         );
+    }
+
+    #[test]
+    fn checkpointed_attempt_rolls_back_and_repairs_spans() {
+        let n = 80;
+        let num = 12;
+        let mut data = reversed_batch(num, n);
+        let checkpoint = data.clone();
+        let mut g = gpu();
+        g.set_fault_plan(Some(FaultPlan::seeded(5).with_scripted(
+            FaultOp::Launch,
+            0,
+            FaultKind::LaunchFailure,
+        )));
+        let sorter = GpuArraySort::new();
+        let failed = checkpointed_attempt(&mut g, &mut data, &checkpoint, "attempt-0", |g, d| {
+            sorter.sort(g, d, n)
+        })
+        .unwrap_err();
+        assert!(failed.error.is_transient());
+        assert!(failed.wasted_ms > 0.0, "the upload was billed");
+        assert_eq!(data, checkpoint, "host copy restored");
+        assert_eq!(g.open_span_count(), 0, "span stack repaired");
+        // The same data can now be reissued — e.g. on another device.
+        let mut g2 = gpu();
+        checkpointed_attempt(&mut g2, &mut data, &checkpoint, "attempt-1", |g, d| {
+            sorter.sort(g, d, n)
+        })
+        .unwrap();
+        assert!(cpu_ref::is_each_sorted(&data, n));
+    }
+
+    #[test]
+    fn recover_batch_with_wraps_arbitrary_attempts() {
+        let n = 60;
+        let num = 16;
+        let mut data = reversed_batch(num, n);
+        let original = data.clone();
+        let mut g = gpu();
+        g.set_fault_plan(Some(FaultPlan::seeded(9).with_scripted(
+            FaultOp::Launch,
+            0,
+            FaultKind::LaunchFailure,
+        )));
+        let sorter = GpuArraySort::new();
+        let (stats, report) = recover_batch_with(
+            &mut g,
+            &mut data,
+            n,
+            &RetryPolicy::default(),
+            "custom/batch",
+            |g, d| sorter.sort(g, d, n),
+        )
+        .unwrap();
+        assert!(stats.is_some());
+        assert_eq!(cpu_ref::verify_against(&original, &data, n), None);
+        assert_eq!(report.device_faults(), 1);
+        assert!(g
+            .timeline()
+            .spans
+            .iter()
+            .any(|s| s.name == "recovery/custom/batch/retry-1"));
+        // Shape validation is a fatal error, not a retry loop.
+        let err = recover_batch_with::<f32, ()>(
+            &mut g,
+            &mut [],
+            n,
+            &RetryPolicy::default(),
+            "x",
+            |_, _| Ok(()),
+        )
+        .unwrap_err();
+        assert!(!err.is_transient());
+    }
+
+    fn ragged_fixture() -> (Vec<f32>, Vec<usize>) {
+        let offsets = vec![0, 40, 41, 141, 205];
+        let total = *offsets.last().unwrap();
+        let data: Vec<f32> = (0..total).rev().map(|x| x as f32).collect();
+        (data, offsets)
+    }
+
+    fn ragged_sorted(data: &[f32], offsets: &[usize]) -> bool {
+        offsets
+            .windows(2)
+            .all(|w| data[w[0]..w[1]].windows(2).all(|p| p[0].le(p[1])))
+    }
+
+    #[test]
+    fn ragged_recovery_retries_transient_faults() {
+        let (mut data, offsets) = ragged_fixture();
+        let mut g = gpu();
+        g.set_fault_plan(Some(FaultPlan::seeded(4).with_scripted(
+            FaultOp::Launch,
+            0,
+            FaultKind::LaunchFailure,
+        )));
+        let (stats, report) = sort_ragged_with_recovery(
+            &GpuArraySort::new(),
+            &mut g,
+            &mut data,
+            &offsets,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(stats.is_some(), "second device attempt succeeds");
+        assert!(ragged_sorted(&data, &offsets));
+        assert_eq!(report.retries(), 1);
+        assert!(g
+            .timeline()
+            .spans
+            .iter()
+            .any(|s| s.name == "recovery/ragged/batch/retry-1"));
+    }
+
+    #[test]
+    fn ragged_recovery_degrades_to_host_per_segment() {
+        let (mut data, offsets) = ragged_fixture();
+        let original = data.clone();
+        let mut g = gpu();
+        g.set_fault_plan(Some(FaultPlan::seeded(2).with_launch_failure(1.0)));
+        let (stats, report) = sort_ragged_with_recovery(
+            &GpuArraySort::new(),
+            &mut g,
+            &mut data,
+            &offsets,
+            &RetryPolicy::default().with_max_attempts(2),
+        )
+        .unwrap();
+        assert!(stats.is_none());
+        assert!(ragged_sorted(&data, &offsets));
+        // Same multiset per segment as the input.
+        for w in offsets.windows(2) {
+            let mut seg: Vec<f32> = original[w[0]..w[1]].to_vec();
+            seg.sort_by(|a, b| a.total_cmp(b));
+            assert_eq!(&data[w[0]..w[1]], seg.as_slice());
+        }
+        assert_eq!(report.cpu_fallbacks(), 1);
+        assert_eq!(report.device_faults(), 2);
+        assert!(g
+            .timeline()
+            .spans
+            .iter()
+            .any(|s| s.name == "recovery/ragged/batch/cpu-fallback"));
+    }
+
+    #[test]
+    fn ragged_recovery_clean_run_matches_plain() {
+        let (data0, offsets) = ragged_fixture();
+        let mut plain_data = data0.clone();
+        let mut plain_gpu = gpu();
+        let plain = crate::ragged::sort_ragged(
+            &GpuArraySort::new(),
+            &mut plain_gpu,
+            &mut plain_data,
+            &offsets,
+        )
+        .unwrap();
+        let mut rec_data = data0;
+        let mut rec_gpu = gpu();
+        let (stats, report) = sort_ragged_with_recovery(
+            &GpuArraySort::new(),
+            &mut rec_gpu,
+            &mut rec_data,
+            &offsets,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(plain_data, rec_data);
+        assert_eq!(plain_gpu.elapsed_ms(), rec_gpu.elapsed_ms());
+        assert_eq!(plain.total_ms(), stats.unwrap().total_ms());
+        assert!(report.is_clean());
     }
 }

@@ -143,6 +143,74 @@ impl Fig2Baseline {
     }
 }
 
+/// What one gate invocation did with the baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateOutcome {
+    /// The current numbers were recorded (sentinel bootstrap, missing
+    /// file, or an explicit update); nothing was compared.
+    Recorded {
+        /// Why the gate recorded instead of comparing.
+        reason: String,
+        /// True when the checked-in file was the `{"bootstrap": true}`
+        /// sentinel — the caller should announce the bootstrap loudly.
+        was_bootstrap: bool,
+    },
+    /// Compared against the recorded baseline and passed.
+    Passed {
+        /// Points compared.
+        points: usize,
+    },
+    /// Compared and drifted beyond tolerance.
+    Drifted {
+        /// One message per drifted point / mismatch.
+        drifts: Vec<String>,
+    },
+}
+
+/// The sentinel → record → compare lifecycle of the bench-smoke gate,
+/// in one place so it can be unit-tested without running a sweep:
+///
+/// 1. a missing/unreadable baseline, the checked-in bootstrap sentinel,
+///    or `update == true` ⇒ `current` is written to `path` and the gate
+///    reports [`GateOutcome::Recorded`] (the first run records real
+///    numbers instead of failing);
+/// 2. otherwise `current` is compared with `tolerance` and the gate
+///    reports [`GateOutcome::Passed`] or [`GateOutcome::Drifted`].
+pub fn record_or_compare(
+    path: &Path,
+    current: &Fig2Baseline,
+    tolerance: f64,
+    update: bool,
+) -> Result<GateOutcome, String> {
+    let recorded = Fig2Baseline::load(path);
+    let (record, reason, was_bootstrap) = match (&recorded, update) {
+        (_, true) => (true, "update requested".to_string(), false),
+        (Ok(b), _) if b.bootstrap => (
+            true,
+            "checked-in baseline is the bootstrap sentinel".to_string(),
+            true,
+        ),
+        (Err(e), _) => (true, format!("no usable baseline ({e})"), false),
+        (Ok(_), false) => (false, String::new(), false),
+    };
+    if record {
+        current.save(path)?;
+        return Ok(GateOutcome::Recorded {
+            reason,
+            was_bootstrap,
+        });
+    }
+    let recorded = recorded.expect("checked above");
+    let drifts = recorded.compare(current, tolerance);
+    if drifts.is_empty() {
+        Ok(GateOutcome::Passed {
+            points: current.rows.len(),
+        })
+    } else {
+        Ok(GateOutcome::Drifted { drifts })
+    }
+}
+
 /// |a − b| relative to the baseline magnitude (0 when both are 0).
 fn relative_drift(baseline: f64, current: f64) -> f64 {
     if baseline == 0.0 {
@@ -223,6 +291,67 @@ mod tests {
         let path = std::env::temp_dir().join("gas_baseline_test/fig2.json");
         b.save(&path).unwrap();
         assert_eq!(Fig2Baseline::load(&path).unwrap(), b);
+    }
+
+    #[test]
+    fn gate_lifecycle_sentinel_then_real_then_compare() {
+        let dir = std::env::temp_dir().join("gas_baseline_lifecycle");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("fig2.json");
+        let current = sample();
+
+        // 1. Missing file: first run records real numbers, no failure.
+        match record_or_compare(&path, &current, 0.02, false).unwrap() {
+            GateOutcome::Recorded {
+                was_bootstrap,
+                reason,
+            } => {
+                assert!(!was_bootstrap);
+                assert!(reason.contains("no usable baseline"), "{reason}");
+            }
+            other => panic!("expected Recorded, got {other:?}"),
+        }
+        assert_eq!(Fig2Baseline::load(&path).unwrap(), current);
+
+        // 2. Bootstrap sentinel: replaced with real numbers in place.
+        std::fs::write(&path, r#"{"bootstrap": true}"#).unwrap();
+        match record_or_compare(&path, &current, 0.02, false).unwrap() {
+            GateOutcome::Recorded {
+                was_bootstrap,
+                reason,
+            } => {
+                assert!(was_bootstrap);
+                assert!(reason.contains("bootstrap sentinel"), "{reason}");
+            }
+            other => panic!("expected Recorded, got {other:?}"),
+        }
+        let saved = Fig2Baseline::load(&path).unwrap();
+        assert!(!saved.bootstrap, "sentinel must be gone after recording");
+        assert_eq!(saved, current);
+
+        // 3. Real baseline on disk: identical run passes…
+        match record_or_compare(&path, &current, 0.02, false).unwrap() {
+            GateOutcome::Passed { points } => assert_eq!(points, 2),
+            other => panic!("expected Passed, got {other:?}"),
+        }
+        // …and a drifted run fails with the drifted point named.
+        let mut drifted = sample();
+        drifted.rows[1].measured_ms *= 1.10;
+        match record_or_compare(&path, &drifted, 0.02, false).unwrap() {
+            GateOutcome::Drifted { drifts } => {
+                assert!(drifts.iter().any(|d| d.contains("n=400")), "{drifts:?}")
+            }
+            other => panic!("expected Drifted, got {other:?}"),
+        }
+
+        // 4. --update re-records even over a real baseline.
+        match record_or_compare(&path, &drifted, 0.02, true).unwrap() {
+            GateOutcome::Recorded { reason, .. } => {
+                assert!(reason.contains("update requested"), "{reason}")
+            }
+            other => panic!("expected Recorded, got {other:?}"),
+        }
+        assert_eq!(Fig2Baseline::load(&path).unwrap(), drifted);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::baseline::Fig2Baseline;
+use bench::baseline::{record_or_compare, Fig2Baseline, GateOutcome};
 use bench::experiments::run_fig2_traced;
 use bench::report::default_out_dir;
 
@@ -68,46 +68,48 @@ fn main() -> ExitCode {
         report.nrmse * 100.0
     );
 
-    let recorded = Fig2Baseline::load(&baseline_path);
-    let needs_bootstrap = matches!(&recorded, Ok(b) if b.bootstrap) || recorded.is_err();
-    if update || needs_bootstrap {
-        if let Err(e) = current.save(&baseline_path) {
+    match record_or_compare(&baseline_path, &current, tolerance, update) {
+        Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
-        match (&recorded, update) {
-            (_, true) => println!("baseline updated: {}", baseline_path.display()),
-            (Ok(_), _) => println!(
-                "bootstrap sentinel replaced with real numbers: {} (commit this file)",
+        Ok(GateOutcome::Recorded {
+            reason,
+            was_bootstrap,
+        }) => {
+            if was_bootstrap {
+                println!(
+                    "NOTICE: recording bootstrap baseline — the checked-in file was the \
+                     {{\"bootstrap\": true}} sentinel, so this first run records real \
+                     numbers instead of comparing."
+                );
+            }
+            println!(
+                "baseline recorded ({reason}): {} (commit this file)",
                 baseline_path.display()
-            ),
-            (Err(e), _) => println!(
-                "no usable baseline ({e}); recorded a fresh one: {} (commit this file)",
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(GateOutcome::Passed { points }) => {
+            println!(
+                "PASS — all {points} points within ±{:.0}% of {}",
+                tolerance * 100.0,
                 baseline_path.display()
-            ),
+            );
+            ExitCode::SUCCESS
         }
-        return ExitCode::SUCCESS;
-    }
-
-    let recorded = recorded.expect("checked above");
-    let drifts = recorded.compare(&current, tolerance);
-    if drifts.is_empty() {
-        println!(
-            "PASS — all {} points within ±{:.0}% of {}",
-            current.rows.len(),
-            tolerance * 100.0,
-            baseline_path.display()
-        );
-        ExitCode::SUCCESS
-    } else {
-        eprintln!(
-            "FAIL — simulated cost model drifted from {}:",
-            baseline_path.display()
-        );
-        for d in &drifts {
-            eprintln!("  {d}");
+        Ok(GateOutcome::Drifted { drifts }) => {
+            eprintln!(
+                "FAIL — simulated cost model drifted from {}:",
+                baseline_path.display()
+            );
+            for d in &drifts {
+                eprintln!("  {d}");
+            }
+            eprintln!(
+                "if this change is intentional, rerun with --update and commit the new baseline"
+            );
+            ExitCode::FAILURE
         }
-        eprintln!("if this change is intentional, rerun with --update and commit the new baseline");
-        ExitCode::FAILURE
     }
 }

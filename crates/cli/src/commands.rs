@@ -5,8 +5,8 @@ use std::error::Error;
 use std::path::PathBuf;
 
 use array_sort::{
-    cpu_ref, sort_out_of_core_recovering, ArraySortConfig, GpuArraySort, RecoveryReport,
-    RetryPolicy,
+    cpu_ref, recover_batch_with, sort_out_of_core_recovering, ArraySortConfig, GpuArraySort,
+    RecoveryReport, RetryPolicy,
 };
 use datagen::{Arrangement, ArrayBatch, Distribution};
 use gpu_sim::{DeviceSpec, FaultPlan, Gpu};
@@ -103,8 +103,8 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
     let algorithm = args.get("algorithm").unwrap_or("gas");
     let faults = match args.get("faults") {
         Some(spec) => {
-            if algorithm != "gas" {
-                return Err("--faults is only supported with --algorithm gas".into());
+            if algorithm != "gas" && algorithm != "sta" {
+                return Err("--faults is only supported with --algorithm gas or sta".into());
             }
             Some(FaultPlan::parse(spec)?)
         }
@@ -153,15 +153,35 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
             }
         }
         "sta" => {
-            let s = thrust_sim::sta::sort_arrays(&mut gpu, &mut data, array_len)?;
-            let j = serde_json::to_value(&s)?;
-            (
-                "STA (Thrust tagged)",
-                s.total_ms(),
-                s.kernel_ms(),
-                s.peak_bytes,
-                j,
-            )
+            if let Some(plan) = faults {
+                let policy = RetryPolicy::default().with_max_attempts(args.get_or("retries", 3)?);
+                gpu.set_fault_plan(Some(plan));
+                let (s, report) = recover_batch_with(
+                    &mut gpu,
+                    &mut data,
+                    array_len,
+                    &policy,
+                    "sta/batch",
+                    |g, d| thrust_sim::sta::sort_arrays(g, d, array_len),
+                )?;
+                let (kernel_ms, peak) = match &s {
+                    Some(s) => (s.kernel_ms(), s.peak_bytes),
+                    None => (0.0, gpu.ledger().peak()),
+                };
+                let j = serde_json::to_value(&s)?;
+                recovery = Some(report);
+                ("STA (recovering)", gpu.elapsed_ms(), kernel_ms, peak, j)
+            } else {
+                let s = thrust_sim::sta::sort_arrays(&mut gpu, &mut data, array_len)?;
+                let j = serde_json::to_value(&s)?;
+                (
+                    "STA (Thrust tagged)",
+                    s.total_ms(),
+                    s.kernel_ms(),
+                    s.peak_bytes,
+                    j,
+                )
+            }
         }
         "segsort" => {
             let s = thrust_sim::segmented_sort(&mut gpu, &mut data, array_len)?;
@@ -529,6 +549,254 @@ pub fn cmd_chaos(args: &Args) -> Result<String, AnyError> {
     }
 }
 
+/// Serializes a whole device pool's timelines as one Chrome trace-event
+/// JSON document (one Chrome process lane per device).
+fn write_pool_trace(
+    service: &scheduler::SortService,
+    path: &std::path::Path,
+) -> Result<(), AnyError> {
+    let pairs: Vec<_> = service
+        .pool()
+        .devices
+        .iter()
+        .map(|d| (d.gpu.timeline(), d.spec()))
+        .collect();
+    let doc = gpu_sim::chrome_trace_json_pool(&pairs);
+    std::fs::write(path, serde_json::to_string_pretty(&doc)?)
+        .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+    Ok(())
+}
+
+/// Renders a service run as a text summary plus a per-device table.
+fn serve_summary(report: &scheduler::ServiceReport) -> String {
+    let mut out = format!(
+        "served {} requests: {} on-device, {} host fallbacks, {} shed, {} rejected — \
+         {} deadline hits, {} misses, makespan {:.3} simulated ms\n",
+        report.requests,
+        report.completed,
+        report.cpu_fallbacks,
+        report.shed,
+        report.rejected,
+        report.deadline_hits,
+        report.deadline_misses,
+        report.makespan_ms
+    );
+    out.push_str(&format!(
+        "{:<4} {:<20} {:>9} {:>7} {:>6} {:>7} {:>6} {:>11}\n",
+        "dev", "name", "completed", "failed", "fatal", "faults", "trips", "device ms"
+    ));
+    for d in &report.devices {
+        out.push_str(&format!(
+            "{:<4} {:<20} {:>9} {:>7} {:>6} {:>7} {:>6} {:>11.3}{}\n",
+            d.index,
+            d.name,
+            d.completed,
+            d.failed_attempts,
+            d.fatal_failures,
+            d.error_faults,
+            d.breaker_trips,
+            d.device_ms,
+            if d.blacklisted { "  [blacklisted]" } else { "" }
+        ));
+    }
+    out
+}
+
+/// `gas serve`: drains one workload (from `--workload FILE` or generated
+/// from `--seed`/`--requests`) through a pool of `--devices` simulated
+/// GPUs with admission control, circuit breakers, cross-device retry and
+/// graceful degradation. The run fails (nonzero exit) when any report
+/// invariant is violated.
+pub fn cmd_serve(args: &Args) -> Result<String, AnyError> {
+    let devices: usize = args.get_or("devices", 2)?;
+    let mix = args.get("device").unwrap_or("test");
+    let specs = scheduler::parse_mix(mix, devices)?;
+    let faults = match args.get("faults") {
+        Some(spec) => Some(FaultPlan::parse(spec)?),
+        None => None,
+    };
+    let seed: u64 = args.get_or("seed", 0)?;
+    let workload = match args.get("workload") {
+        Some(path) => {
+            let body = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read workload {path}: {e}"))?;
+            let w = scheduler::Workload::from_json(&body)?;
+            w.validate()?;
+            w
+        }
+        None => scheduler::Workload::generate(&scheduler::WorkloadConfig {
+            seed,
+            requests: args.get_or("requests", 100)?,
+            ..Default::default()
+        }),
+    };
+    let cfg = scheduler::SchedulerConfig {
+        seed,
+        max_queue_depth: args.get_or("max-queue", 16)?,
+        max_attempts: args.get_or("retries", 3)?,
+        ..Default::default()
+    };
+    let mut service = scheduler::SortService::new(specs, cfg, faults.as_ref())?;
+    let report = service.run(&workload)?;
+    if let Some(path) = args.get("trace") {
+        write_pool_trace(&service, std::path::Path::new(path))?;
+    }
+    let violations = report.invariant_violations();
+    let body = if args.flag("json") {
+        report.to_json()
+    } else {
+        serve_summary(&report)
+    };
+    if violations.is_empty() {
+        Ok(body)
+    } else {
+        Err(format!(
+            "{body}\nserve invariants VIOLATED:\n  {}",
+            violations.join("\n  ")
+        )
+        .into())
+    }
+}
+
+/// Default fault mix for `gas soak`: every fault class at a rate that
+/// exercises retries, breakers and fallbacks without drowning the pool.
+const DEFAULT_SOAK_FAULTS: &str =
+    "launch=0.02,abort=0.02,corrupt=0.02,oom=0.01,stall=0.03,stall-ms=0.2";
+
+/// `gas soak`: a seeded scheduler campaign. Each seed generates a
+/// workload, drains it through a fresh device pool **twice**, and
+/// checks three things: the two reports are byte-identical (the run is
+/// deterministic), every report invariant reconciles (oracle equality,
+/// fault accounting, no silent drops), and every request has a fate.
+/// Any violation makes the command fail, so CI can fan it out.
+pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
+    let seeds: Vec<u64> = match args.get("seed") {
+        Some(v) => vec![v.parse().map_err(|_| format!("bad --seed {v:?}"))?],
+        None => (1..=args.get_or("seeds", 4u64)?).collect(),
+    };
+    if seeds.is_empty() {
+        return Err("--seeds must be positive".into());
+    }
+    let devices: usize = args.get_or("devices", 4)?;
+    let mix = args.get("device").unwrap_or("test");
+    let requests: usize = args.get_or("requests", 250)?;
+    let retries: u32 = args.get_or("retries", 3)?;
+    let plan = FaultPlan::parse(args.get("faults").unwrap_or(DEFAULT_SOAK_FAULTS))?;
+    let trace_dir = args.get("trace-dir").map(PathBuf::from);
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create trace dir {}: {e}", dir.display()))?;
+    }
+
+    let mut rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for &seed in &seeds {
+        // Per campaign seed: its own workload and its own fault stream.
+        let mut campaign_plan = plan.clone();
+        campaign_plan.seed = campaign_plan.seed.wrapping_add(seed);
+        let workload = scheduler::Workload::generate(&scheduler::WorkloadConfig {
+            seed,
+            requests,
+            ..Default::default()
+        });
+        let cfg = scheduler::SchedulerConfig {
+            seed,
+            max_attempts: retries,
+            ..Default::default()
+        };
+        let mut service = scheduler::SortService::new(
+            scheduler::parse_mix(mix, devices)?,
+            cfg.clone(),
+            Some(&campaign_plan),
+        )?;
+        let report = service.run(&workload)?;
+        let mut replay_service = scheduler::SortService::new(
+            scheduler::parse_mix(mix, devices)?,
+            cfg,
+            Some(&campaign_plan),
+        )?;
+        let replay = replay_service.run(&workload)?;
+        let reproducible = report.to_json() == replay.to_json();
+        if !reproducible {
+            failures.push(format!(
+                "seed {seed}: replay produced a different report — the run is not deterministic"
+            ));
+        }
+        let violations = report.invariant_violations();
+        for v in &violations {
+            failures.push(format!("seed {seed}: {v}"));
+        }
+        if let Some(dir) = &trace_dir {
+            write_pool_trace(&service, &dir.join(format!("soak-seed-{seed}.trace.json")))?;
+        }
+        rows.push(serde_json::json!({
+            "seed": seed,
+            "requests": requests,
+            "completed": report.completed,
+            "cpu_fallbacks": report.cpu_fallbacks,
+            "shed": report.shed,
+            "rejected": report.rejected,
+            "deadline_hits": report.deadline_hits,
+            "deadline_misses": report.deadline_misses,
+            "error_faults": report.devices.iter().map(|d| d.error_faults).sum::<usize>(),
+            "breaker_trips": report.devices.iter().map(|d| d.breaker_trips).sum::<u32>(),
+            "makespan_ms": report.makespan_ms,
+            "reproducible": reproducible,
+            "reconciled": violations.is_empty(),
+        }));
+    }
+
+    let body = if args.flag("json") {
+        serde_json::to_string_pretty(&serde_json::json!({
+            "devices": devices,
+            "device_mix": mix,
+            "requests_per_seed": requests,
+            "runs": rows,
+            "failures": failures,
+        }))?
+    } else {
+        let mut out = format!(
+            "soak campaign: {} seeds × {requests} requests over {devices} devices ({mix})\n\
+             {:<6} {:>9} {:>10} {:>5} {:>9} {:>7} {:>6} {:>12}  {}\n",
+            seeds.len(),
+            "seed",
+            "completed",
+            "fallbacks",
+            "shed",
+            "rejected",
+            "faults",
+            "trips",
+            "makespan ms",
+            "ok"
+        );
+        for r in &rows {
+            out.push_str(&format!(
+                "{:<6} {:>9} {:>10} {:>5} {:>9} {:>7} {:>6} {:>12.3}  {}\n",
+                r["seed"].as_u64().unwrap_or(0),
+                r["completed"].as_u64().unwrap_or(0),
+                r["cpu_fallbacks"].as_u64().unwrap_or(0),
+                r["shed"].as_u64().unwrap_or(0),
+                r["rejected"].as_u64().unwrap_or(0),
+                r["error_faults"].as_u64().unwrap_or(0),
+                r["breaker_trips"].as_u64().unwrap_or(0),
+                r["makespan_ms"].as_f64().unwrap_or(0.0),
+                if r["reproducible"] == true && r["reconciled"] == true {
+                    "✓"
+                } else {
+                    "✗"
+                }
+            ));
+        }
+        out
+    };
+
+    if failures.is_empty() {
+        Ok(body)
+    } else {
+        Err(format!("{body}\nsoak campaign FAILED:\n  {}", failures.join("\n  ")).into())
+    }
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "gas — GPU-ArraySort reproduction CLI (simulated device)
@@ -541,8 +809,23 @@ USAGE:
                [--device k40c|k20|k80|gtx980|test] [--adaptive] [--verify]
                [--faults SPEC] [--retries K]
                [--output FILE] [--trace FILE] [--stats] [--json]
-               (--faults, gas only, enables deterministic fault injection and
-                the recovering pipeline; the report gains a recovery section)
+               (--faults, gas or sta, enables deterministic fault injection
+                and the recovering pipeline; the report gains a recovery
+                section)
+  gas serve    [--devices N] [--device MIX] [--faults SPEC]
+               [--workload FILE | --requests K --seed S]
+               [--max-queue D] [--retries K] [--trace FILE] [--json]
+               (deadline-aware batch-sort service over a pool of simulated
+                devices: admission control, per-device circuit breakers,
+                cross-device retry, graceful degradation; exit 1 when any
+                report invariant is violated. MIX is comma-separated device
+                names cycled over N, e.g. --device k40c,k20 --devices 4)
+  gas soak     [--seeds K | --seed S] [--devices N] [--device MIX]
+               [--requests R] [--faults SPEC] [--retries K]
+               [--trace-dir DIR] [--json]
+               (seeded scheduler campaign; each seed runs twice and must be
+                byte-identical, reconcile every injected fault and leave a
+                record per request, else exit 1)
   gas chaos    [--seeds K | --seed S] [--num-arrays N] [--array-len n]
                [--faults SPEC] [--retries K] [--device ...] [--dist ...]
                [--trace-dir DIR] [--json]
@@ -578,6 +861,8 @@ mod tests {
         match args.command.as_str() {
             "generate" => cmd_generate(&args),
             "sort" => cmd_sort(&args),
+            "serve" => cmd_serve(&args),
+            "soak" => cmd_soak(&args),
             "chaos" => cmd_chaos(&args),
             "profile" => cmd_profile(&args),
             "devices" => cmd_devices(&args),
@@ -965,6 +1250,145 @@ mod tests {
     }
 
     #[test]
+    fn sta_with_faults_recovers_and_reports() {
+        let f = tmp("sta_faults.bin");
+        run(&[
+            "generate",
+            "--num-arrays",
+            "40",
+            "--array-len",
+            "100",
+            "--output",
+            &f,
+        ])
+        .unwrap();
+        let msg = run(&[
+            "sort",
+            "--input",
+            &f,
+            "--array-len",
+            "100",
+            "--algorithm",
+            "sta",
+            "--faults",
+            "seed=3,abort-at=0",
+            "--verify",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        assert_eq!(v["algorithm"], "STA (recovering)");
+        assert_eq!(v["verified"], true);
+        assert_eq!(v["recovery"]["chunks"][0]["device_faults"], 1);
+        assert_eq!(v["injected_faults"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn serve_runs_a_synthetic_workload() {
+        let msg = run(&[
+            "serve",
+            "--devices",
+            "2",
+            "--requests",
+            "20",
+            "--seed",
+            "1",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        assert_eq!(v["requests"], 20);
+        assert_eq!(v["records"].as_array().unwrap().len(), 20);
+        assert_eq!(v["devices"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn serve_loads_a_workload_file_and_writes_a_pool_trace() {
+        let wf = tmp("serve_workload.json");
+        let t = tmp("serve_pool.trace.json");
+        let w = scheduler::Workload::generate(&scheduler::WorkloadConfig {
+            seed: 3,
+            requests: 12,
+            ..Default::default()
+        });
+        std::fs::write(&wf, w.to_json()).unwrap();
+        let msg = run(&[
+            "serve",
+            "--devices",
+            "2",
+            "--workload",
+            &wf,
+            "--faults",
+            "seed=2,launch=0.05",
+            "--trace",
+            &t,
+        ])
+        .unwrap();
+        assert!(msg.contains("served 12 requests"), "{msg}");
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&t).unwrap()).unwrap();
+        // One Chrome process lane per pool device.
+        let pids: std::collections::BTreeSet<u64> = doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e["pid"].as_u64())
+            .collect();
+        assert_eq!(pids.len(), 2, "{pids:?}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_pool_and_workload_args() {
+        assert!(run(&["serve", "--devices", "0"]).is_err());
+        assert!(run(&["serve", "--device", "warp9"]).is_err());
+        assert!(run(&["serve", "--workload", "/nonexistent.json"]).is_err());
+    }
+
+    #[test]
+    fn soak_campaign_is_reproducible_and_reconciles() {
+        let msg = run(&[
+            "soak",
+            "--seeds",
+            "2",
+            "--devices",
+            "2",
+            "--requests",
+            "30",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        let runs = v["runs"].as_array().unwrap();
+        assert_eq!(runs.len(), 2);
+        for r in runs {
+            assert_eq!(r["reproducible"], true, "{r}");
+            assert_eq!(r["reconciled"], true, "{r}");
+        }
+        assert!(v["failures"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn soak_writes_per_seed_pool_traces() {
+        let dir = tmp("soak_traces");
+        run(&[
+            "soak",
+            "--seed",
+            "7",
+            "--devices",
+            "2",
+            "--requests",
+            "15",
+            "--trace-dir",
+            &dir,
+        ])
+        .unwrap();
+        let trace = std::path::Path::new(&dir).join("soak-seed-7.trace.json");
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(doc["traceEvents"].as_array().unwrap().len() > 1);
+    }
+
+    #[test]
     fn faults_flag_requires_gas_and_a_valid_spec() {
         let f = tmp("faults_guard.bin");
         run(&[
@@ -984,13 +1408,16 @@ mod tests {
             "--array-len",
             "16",
             "--algorithm",
-            "sta",
+            "segsort",
             "--faults",
             "launch=0.5",
         ])
         .unwrap_err()
         .to_string();
-        assert!(err.contains("only supported with --algorithm gas"), "{err}");
+        assert!(
+            err.contains("only supported with --algorithm gas or sta"),
+            "{err}"
+        );
         let err = run(&[
             "sort",
             "--input",

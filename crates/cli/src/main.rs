@@ -10,7 +10,10 @@ mod commands;
 mod io;
 
 use args::Args;
-use commands::{cmd_capacity, cmd_chaos, cmd_devices, cmd_generate, cmd_profile, cmd_sort, usage};
+use commands::{
+    cmd_capacity, cmd_chaos, cmd_devices, cmd_generate, cmd_profile, cmd_serve, cmd_soak, cmd_sort,
+    usage,
+};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +27,8 @@ fn main() {
     let result = match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "sort" => cmd_sort(&args),
+        "serve" => cmd_serve(&args),
+        "soak" => cmd_soak(&args),
         "chaos" => cmd_chaos(&args),
         "profile" => cmd_profile(&args),
         "devices" => cmd_devices(&args),

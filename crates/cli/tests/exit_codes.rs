@@ -182,6 +182,70 @@ fn sort_with_scripted_fault_recovers_and_exits_zero() {
 }
 
 #[test]
+fn serve_exits_zero_when_invariants_hold() {
+    let out = gas(&[
+        "serve",
+        "--devices",
+        "2",
+        "--requests",
+        "15",
+        "--seed",
+        "1",
+        "--faults",
+        "seed=4,launch=0.05",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let msg = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(msg.contains("served 15 requests"), "{msg}");
+}
+
+#[test]
+fn serve_bad_pool_args_exit_one() {
+    let out = gas(&["serve", "--devices", "0"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("must be positive"),
+        "{}",
+        stderr(&out)
+    );
+    let out = gas(&["serve", "--device", "warp9"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("unknown device"), "{}", stderr(&out));
+    let out = gas(&["serve", "--workload", "/nonexistent/workload.json"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let out = gas(&["serve", "--faults", "launch=2.0"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("invalid fault spec"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn soak_exits_zero_on_a_clean_campaign() {
+    let out = gas(&["soak", "--seed", "2", "--devices", "2", "--requests", "12"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let msg = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(msg.contains("soak campaign"), "{msg}");
+}
+
+#[test]
+fn soak_bad_args_exit_one_or_two() {
+    // Command error: zero seeds.
+    let out = gas(&["soak", "--seeds", "0"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("must be positive"),
+        "{}",
+        stderr(&out)
+    );
+    // Parse error: stray positional.
+    let out = gas(&["soak", "oops"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
 fn trace_write_failure_is_an_error_not_a_panic() {
     let f = fixture("trace_err.bin", "4", "16");
     let out = gas(&[

@@ -87,4 +87,4 @@ pub use stats::{
     TransferStats,
 };
 pub use stream::{AsyncEvent, Engine, EventId, StreamId};
-pub use trace::{chrome_trace_json, phase_summaries, PhaseSummary};
+pub use trace::{chrome_trace_json, chrome_trace_json_pool, phase_summaries, PhaseSummary};

@@ -64,10 +64,17 @@ fn tid_name(tid: u64) -> String {
 }
 
 /// Complete (`ph:"X"`) event; `ts`/`dur` in microseconds per the format.
-fn complete_event(name: &str, tid: u64, start_ms: f64, dur_ms: f64, args: Value) -> Value {
+fn complete_event(
+    name: &str,
+    pid: u64,
+    tid: u64,
+    start_ms: f64,
+    dur_ms: f64,
+    args: Value,
+) -> Value {
     json!({
         "ph": "X",
-        "pid": 1,
+        "pid": pid,
         "tid": tid,
         "name": name,
         "ts": start_ms * 1000.0,
@@ -76,13 +83,9 @@ fn complete_event(name: &str, tid: u64, start_ms: f64, dur_ms: f64, args: Value)
     })
 }
 
-/// Exports `timeline` as a Chrome trace-event JSON document.
-///
-/// The returned value serializes to a file Perfetto and `chrome://tracing`
-/// open directly: spans on a "phases" track, kernels and transfers on
-/// per-stream, per-engine tracks (see the `tid` layout above), kernel
-/// counters/efficiency and transfer sizes attached as `args`.
-pub fn chrome_trace_json(timeline: &Timeline, spec: &DeviceSpec) -> Value {
+/// Emits one device's metadata + complete events into `out`, under the
+/// Chrome process id `pid` named `process_name`.
+fn device_events(timeline: &Timeline, process_name: &str, pid: u64, out: &mut Vec<Value>) {
     let mut events = Vec::new();
     let mut tids = std::collections::BTreeSet::new();
 
@@ -90,6 +93,7 @@ pub fn chrome_trace_json(timeline: &Timeline, spec: &DeviceSpec) -> Value {
         tids.insert(TID_SPANS);
         events.push(complete_event(
             &s.name,
+            pid,
             TID_SPANS,
             s.start_ms,
             s.duration_ms(),
@@ -108,7 +112,9 @@ pub fn chrome_trace_json(timeline: &Timeline, spec: &DeviceSpec) -> Value {
             "counters": k.counters,
             "efficiency": k.efficiency,
         });
-        events.push(complete_event(&k.name, tid, k.start_ms, k.time_ms, args));
+        events.push(complete_event(
+            &k.name, pid, tid, k.start_ms, k.time_ms, args,
+        ));
     }
     for t in &timeline.transfers {
         let tid = transfer_tid(t.direction, t.stream);
@@ -119,6 +125,7 @@ pub fn chrome_trace_json(timeline: &Timeline, spec: &DeviceSpec) -> Value {
         };
         events.push(complete_event(
             name,
+            pid,
             tid,
             t.start_ms,
             t.time_ms,
@@ -128,32 +135,58 @@ pub fn chrome_trace_json(timeline: &Timeline, spec: &DeviceSpec) -> Value {
 
     // Metadata events name the process (device) and each track; Perfetto
     // sorts tracks by the index passed via thread_sort_index.
-    let mut meta = vec![json!({
+    out.push(json!({
         "ph": "M",
-        "pid": 1,
+        "pid": pid,
         "name": "process_name",
-        "args": { "name": spec.name },
-    })];
+        "args": { "name": process_name },
+    }));
     for tid in &tids {
-        meta.push(json!({
+        out.push(json!({
             "ph": "M",
-            "pid": 1,
+            "pid": pid,
             "tid": tid,
             "name": "thread_name",
             "args": { "name": tid_name(*tid) },
         }));
-        meta.push(json!({
+        out.push(json!({
             "ph": "M",
-            "pid": 1,
+            "pid": pid,
             "tid": tid,
             "name": "thread_sort_index",
             "args": { "sort_index": tid },
         }));
     }
-    meta.extend(events);
+    out.extend(events);
+}
 
+/// Exports `timeline` as a Chrome trace-event JSON document.
+///
+/// The returned value serializes to a file Perfetto and `chrome://tracing`
+/// open directly: spans on a "phases" track, kernels and transfers on
+/// per-stream, per-engine tracks (see the `tid` layout above), kernel
+/// counters/efficiency and transfer sizes attached as `args`.
+pub fn chrome_trace_json(timeline: &Timeline, spec: &DeviceSpec) -> Value {
+    let mut events = Vec::new();
+    device_events(timeline, &spec.name, 1, &mut events);
     json!({
-        "traceEvents": meta,
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    })
+}
+
+/// Exports a *pool* of device timelines as one Chrome trace-event JSON
+/// document: device `i` becomes Chrome process `i + 1` named
+/// `"dev{i}: {spec.name}"`, so a scheduler run over N simulated GPUs
+/// shows up in Perfetto as N process lanes sharing one virtual clock.
+pub fn chrome_trace_json_pool(devices: &[(&Timeline, &DeviceSpec)]) -> Value {
+    let mut events = Vec::new();
+    for (i, (timeline, spec)) in devices.iter().enumerate() {
+        let label = format!("dev{i}: {}", spec.name);
+        device_events(timeline, &label, i as u64 + 1, &mut events);
+    }
+    json!({
+        "traceEvents": events,
         "displayTimeUnit": "ms",
     })
 }
@@ -312,6 +345,32 @@ mod tests {
             .map(|e| e["tid"].as_u64().unwrap())
             .collect();
         assert_eq!(tids.len(), 2, "one htod track per stream");
+    }
+
+    #[test]
+    fn pool_trace_gives_each_device_its_own_process() {
+        let a = traced_gpu();
+        let b = traced_gpu();
+        let doc = chrome_trace_json_pool(&[(a.timeline(), a.spec()), (b.timeline(), b.spec())]);
+        let events = doc["traceEvents"].as_array().unwrap();
+        let pids: std::collections::BTreeSet<u64> =
+            events.iter().map(|e| e["pid"].as_u64().unwrap()).collect();
+        assert_eq!(pids, [1, 2].into_iter().collect());
+        let names: Vec<_> = events
+            .iter()
+            .filter(|e| e["name"] == "process_name")
+            .map(|e| e["args"]["name"].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names.len(), 2);
+        assert!(names[0].starts_with("dev0: "), "{names:?}");
+        assert!(names[1].starts_with("dev1: "), "{names:?}");
+        // Single-device export is unchanged by the refactor: pid 1 only.
+        let single = chrome_trace_json(a.timeline(), a.spec());
+        assert!(single["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .all(|e| e["pid"] == 1));
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Per-device circuit breaker over the injected-fault signal.
+//!
+//! The classic three-state machine, driven entirely by the *virtual*
+//! clock so soak runs stay bit-reproducible:
+//!
+//! ```text
+//!            K consecutive transient faults
+//!   Closed ──────────────────────────────────▶ Open (until = now + cooldown)
+//!     ▲                                          │
+//!     │ probe succeeds                           │ cooldown elapses,
+//!     │                                          │ next dispatch = probe
+//!     └────────────── HalfOpen ◀─────────────────┘
+//!                        │
+//!                        │ probe fails
+//!                        ▼
+//!                      Open (re-trip)
+//!
+//!   any state ── fatal `SimError` ──▶ Blacklisted   (permanent)
+//! ```
+//!
+//! Transient faults are PR 3's injected device faults
+//! ([`gpu_sim::SimError::is_transient`]); fatal errors (real OOM,
+//! geometry violations) mean the device (or our use of it) is broken in
+//! a way retrying cannot fix, so the device is permanently removed from
+//! rotation.
+
+use serde::{Deserialize, Serialize};
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive transient faults that trip the breaker.
+    pub trip_after: u32,
+    /// Virtual milliseconds the breaker stays open before allowing a
+    /// half-open probe.
+    pub cooldown_ms: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            trip_after: 3,
+            cooldown_ms: 25.0,
+        }
+    }
+}
+
+/// Where the breaker currently is in its state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "state", rename_all = "kebab-case")]
+pub enum BreakerState {
+    /// Healthy: dispatches flow freely.
+    Closed,
+    /// Tripped: no dispatches until the cooldown elapses.
+    Open {
+        /// Virtual time at which a half-open probe becomes allowed.
+        until_ms: f64,
+    },
+    /// Cooldown elapsed; one probe dispatch is in flight.
+    HalfOpen,
+    /// A fatal error removed the device permanently.
+    Blacklisted,
+}
+
+/// The breaker itself. Purely host-side bookkeeping: it never touches
+/// the device, it just watches attempt outcomes.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive: u32,
+    trips: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            state: BreakerState::Closed,
+            consecutive: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped (including half-open re-trips).
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// True once a fatal error blacklisted the device.
+    pub fn is_blacklisted(&self) -> bool {
+        matches!(self.state, BreakerState::Blacklisted)
+    }
+
+    /// Would the breaker let a dispatch through at `now_ms`?
+    pub fn accepts(&self, now_ms: f64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until_ms } => now_ms >= until_ms,
+            BreakerState::Blacklisted => false,
+        }
+    }
+
+    /// If the breaker is open, the virtual time at which it will accept
+    /// a probe; `None` otherwise.
+    pub fn open_until(&self) -> Option<f64> {
+        match self.state {
+            BreakerState::Open { until_ms } => Some(until_ms),
+            _ => None,
+        }
+    }
+
+    /// Records that a dispatch was sent at `now_ms`. An open breaker
+    /// whose cooldown has elapsed transitions to half-open: this
+    /// dispatch is the probe.
+    pub fn on_dispatch(&mut self, now_ms: f64) {
+        if let BreakerState::Open { until_ms } = self.state {
+            debug_assert!(now_ms >= until_ms, "dispatched through an open breaker");
+            self.state = BreakerState::HalfOpen;
+        }
+    }
+
+    /// A dispatch completed cleanly: close the breaker.
+    pub fn on_success(&mut self) {
+        if !self.is_blacklisted() {
+            self.state = BreakerState::Closed;
+            self.consecutive = 0;
+        }
+    }
+
+    /// A dispatch failed with a transient (injected) fault at `now_ms`.
+    pub fn on_transient_failure(&mut self, now_ms: f64) {
+        match self.state {
+            BreakerState::Blacklisted => {}
+            // A failed probe re-trips immediately.
+            BreakerState::HalfOpen => self.trip(now_ms),
+            _ => {
+                self.consecutive += 1;
+                if self.consecutive >= self.config.trip_after.max(1) {
+                    self.trip(now_ms);
+                }
+            }
+        }
+    }
+
+    /// A dispatch failed with a fatal error: blacklist permanently.
+    pub fn on_fatal(&mut self) {
+        self.state = BreakerState::Blacklisted;
+    }
+
+    fn trip(&mut self, now_ms: f64) {
+        self.trips += 1;
+        self.state = BreakerState::Open {
+            until_ms: now_ms + self.config.cooldown_ms,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_after: 3,
+            cooldown_ms: 10.0,
+        })
+    }
+
+    #[test]
+    fn trips_after_k_consecutive_transients() {
+        let mut b = breaker();
+        b.on_transient_failure(0.0);
+        b.on_transient_failure(1.0);
+        assert!(b.accepts(1.0), "two of three strikes");
+        b.on_transient_failure(2.0);
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 12.0 });
+        assert_eq!(b.trips(), 1);
+        assert!(!b.accepts(11.9));
+        assert!(b.accepts(12.0), "cooldown elapsed");
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut b = breaker();
+        b.on_transient_failure(0.0);
+        b.on_transient_failure(1.0);
+        b.on_success();
+        b.on_transient_failure(2.0);
+        b.on_transient_failure(3.0);
+        assert!(b.accepts(3.0), "the streak restarted after the success");
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_retrips_on_failure() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.on_transient_failure(t as f64);
+        }
+        // Cooldown over: the next dispatch is the probe.
+        b.on_dispatch(12.0);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+
+        // Trip again; this time the probe fails and re-trips.
+        for t in 0..3 {
+            b.on_transient_failure(20.0 + t as f64);
+        }
+        b.on_dispatch(32.0);
+        b.on_transient_failure(33.0);
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 43.0 });
+        assert_eq!(b.trips(), 3, "initial trip + re-trip counted");
+    }
+
+    #[test]
+    fn fatal_blacklists_permanently() {
+        let mut b = breaker();
+        b.on_fatal();
+        assert!(b.is_blacklisted());
+        assert!(!b.accepts(1e12));
+        b.on_success();
+        assert!(b.is_blacklisted(), "nothing un-blacklists a device");
+        b.on_transient_failure(0.0);
+        assert!(b.is_blacklisted());
+    }
+
+    #[test]
+    fn open_until_reports_the_cooldown_edge() {
+        let mut b = breaker();
+        assert_eq!(b.open_until(), None);
+        for t in 0..3 {
+            b.on_transient_failure(t as f64);
+        }
+        assert_eq!(b.open_until(), Some(12.0));
+    }
+}

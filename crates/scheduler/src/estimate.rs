@@ -1,0 +1,110 @@
+//! Deterministic cost models for admission control.
+//!
+//! Admission control needs a *projection*, not a measurement: "if I
+//! accept this request, when will it plausibly finish?". The device
+//! model reuses the simulator's own cost parameters — PCIe transfer
+//! time from [`gpu_sim::DeviceSpec::transfer_ms`] and the paper's Eq. 2
+//! operation count ([`array_sort::complexity::eq2_unscaled`]) converted
+//! to cycles — so the projection tracks the simulated reality across
+//! heterogeneous pools without ever touching a device. The host model
+//! prices the `cpu_ref` fallback the same way (an `n log n` move count
+//! at a fixed per-move cost).
+//!
+//! Estimates are intentionally crude; what matters is that they are
+//! **deterministic** (same inputs, same projection, bit for bit) and
+//! **monotone** in the batch size, so admission decisions are stable
+//! and reproducible.
+
+use array_sort::complexity::eq2_unscaled;
+use array_sort::ArraySortConfig;
+use gpu_sim::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the admission estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Device cycles charged per Eq. 2 operation.
+    pub cycles_per_op: f64,
+    /// Host nanoseconds per `n log n` element move in the `cpu_ref`
+    /// fallback model.
+    pub host_ns_per_move: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            cycles_per_op: 6.0,
+            host_ns_per_move: 10.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Projected milliseconds for one batch on `spec`: both PCIe
+    /// directions plus the kernel work, with one block per array spread
+    /// across the device's SMs.
+    pub fn device_ms(
+        &self,
+        spec: &DeviceSpec,
+        config: &ArraySortConfig,
+        num_arrays: usize,
+        array_len: usize,
+    ) -> f64 {
+        let bytes = (num_arrays as u64) * (array_len as u64) * 4;
+        let transfers = 2.0 * spec.transfer_ms(bytes);
+        let per_array_ops = eq2_unscaled(array_len, config);
+        let rounds = (num_arrays as f64 / spec.sm_count.max(1) as f64).ceil();
+        let cycles = (per_array_ops * self.cycles_per_op * rounds).ceil() as u64;
+        transfers + spec.cycles_to_ms(cycles)
+    }
+
+    /// Projected milliseconds for sorting the batch on the host with
+    /// [`array_sort::cpu_ref`].
+    pub fn host_ms(&self, num_arrays: usize, array_len: usize) -> f64 {
+        let n = array_len as f64;
+        let moves = num_arrays as f64 * n * n.log2().max(1.0);
+        moves * self.host_ns_per_move / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_estimate_is_deterministic_and_monotone() {
+        let m = CostModel::default();
+        let spec = DeviceSpec::tesla_k40c();
+        let cfg = ArraySortConfig::default();
+        let a = m.device_ms(&spec, &cfg, 1000, 500);
+        let b = m.device_ms(&spec, &cfg, 1000, 500);
+        assert_eq!(a, b, "bit-identical projections");
+        assert!(a > 0.0);
+        assert!(
+            m.device_ms(&spec, &cfg, 2000, 500) > a,
+            "monotone in arrays"
+        );
+        assert!(m.device_ms(&spec, &cfg, 1000, 1000) > a, "monotone in n");
+    }
+
+    #[test]
+    fn faster_device_projects_faster() {
+        let m = CostModel::default();
+        let cfg = ArraySortConfig::default();
+        let big = m.device_ms(&DeviceSpec::test_device(), &cfg, 5000, 400);
+        let k40 = m.device_ms(&DeviceSpec::tesla_k40c(), &cfg, 5000, 400);
+        assert!(
+            k40 < big,
+            "a 15-SM K40c beats the 2-SM test device: {k40} vs {big}"
+        );
+    }
+
+    #[test]
+    fn host_estimate_scales_with_work() {
+        let m = CostModel::default();
+        let small = m.host_ms(10, 64);
+        let large = m.host_ms(1000, 64);
+        assert!(small > 0.0 && large > 99.0 * small);
+        assert_eq!(m.host_ms(10, 64), small);
+    }
+}

@@ -1,0 +1,50 @@
+//! # scheduler — a deadline-aware batch-sort service
+//!
+//! The GPU-ArraySort reproduction treats batched sorting the way the
+//! sample-sort service literature does: as *traffic*. This crate
+//! supervises a pool of N simulated devices ([`gpu_sim::Gpu`],
+//! heterogeneous [`gpu_sim::DeviceSpec`]s allowed) draining a queue of
+//! [`SortRequest`]s, each with a shape, an algorithm (GAS or the STA
+//! baseline), a [`Priority`] and an absolute deadline:
+//!
+//! * **Admission control** — a request is refused up front, with the
+//!   reason recorded, when no healthy device fits its batch or when the
+//!   cost-model projection ([`CostModel`]) of its completion time blows
+//!   its deadline ([`SortService`]).
+//! * **Circuit breakers** — each device carries a [`CircuitBreaker`]
+//!   fed by the injected-fault signal from [`gpu_sim::faults`]: K
+//!   consecutive transient faults open the breaker, a cooldown later a
+//!   half-open probe decides, and a fatal `SimError` blacklists the
+//!   device permanently ([`breaker`]).
+//! * **Retry re-dispatch** — a faulted attempt is rolled back via
+//!   [`array_sort::checkpointed_attempt`] and retried with exponential
+//!   backoff, preferring a *different* healthy device.
+//! * **Graceful degradation** — under overload the lowest-priority
+//!   request is shed first (explicitly, never silently), and work whose
+//!   deadline is still feasible on the host falls back to
+//!   [`array_sort::cpu_ref`].
+//!
+//! Everything runs on a **virtual clock** driven by the simulator's
+//! cycle bills, with seeded tie-breaking, so a soak over thousands of
+//! requests is bit-reproducible: the same seeds produce byte-identical
+//! [`ServiceReport`] JSON. The report's
+//! [`invariant_violations`](ServiceReport::invariant_violations) checks
+//! the run end to end: one record per request, every produced output
+//! equal to the `cpu_ref` oracle, and per-device transient attempt
+//! failures exactly reconciling with the fault injectors' logs.
+
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod estimate;
+pub mod pool;
+pub mod report;
+pub mod request;
+pub mod service;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use estimate::CostModel;
+pub use pool::{device_by_name, parse_mix, DevicePool, PooledDevice};
+pub use report::{AttemptRecord, DeviceReport, Outcome, RequestRecord, ServiceReport};
+pub use request::{Algorithm, Priority, SortRequest, Workload, WorkloadConfig};
+pub use service::{SchedulerConfig, SortService};

@@ -1,0 +1,177 @@
+//! A pool of simulated devices with health state.
+//!
+//! Each [`PooledDevice`] owns a [`Gpu`] (with its own timeline and, when
+//! chaos is on, its own [`FaultInjector`](gpu_sim::FaultInjector) seeded
+//! `base_seed + device_index` so every device faults independently but
+//! reproducibly), a [`CircuitBreaker`] and a `busy_until_ms` horizon on
+//! the shared virtual clock.
+
+use gpu_sim::{DeviceSpec, FaultPlan, Gpu};
+
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+
+/// One device in the pool.
+pub struct PooledDevice {
+    /// Position in the pool; stable across the run.
+    pub index: usize,
+    /// The simulated device (timeline, ledger, fault injector).
+    pub gpu: Gpu,
+    /// Health state machine fed by attempt outcomes.
+    pub breaker: CircuitBreaker,
+    /// Virtual time at which the device's current work finishes.
+    pub busy_until_ms: f64,
+    /// Requests this device completed.
+    pub completed: u32,
+    /// Attempts that failed on this device with a transient fault.
+    pub failed_attempts: u32,
+    /// Attempts that failed on this device with a fatal error.
+    pub fatal_failures: u32,
+}
+
+impl PooledDevice {
+    /// The device's spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        self.gpu.spec()
+    }
+
+    /// Error-producing faults this device's injector fired (stalls are
+    /// latency-only and excluded, matching the recovery invariant).
+    pub fn error_faults(&self) -> usize {
+        self.gpu
+            .injected_faults()
+            .iter()
+            .filter(|f| f.kind.is_error())
+            .count()
+    }
+}
+
+/// The pool itself.
+pub struct DevicePool {
+    /// Devices, indexed by [`PooledDevice::index`].
+    pub devices: Vec<PooledDevice>,
+}
+
+impl DevicePool {
+    /// Builds a pool over `specs`. When `faults` is given, device `i`
+    /// gets a copy of the plan reseeded with `seed + i`, so a 4-way pool
+    /// under `seed=7` is exactly reproducible but no two devices fault
+    /// in lockstep.
+    pub fn new(
+        specs: Vec<DeviceSpec>,
+        breaker: BreakerConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<Self, String> {
+        if specs.is_empty() {
+            return Err("device pool cannot be empty".into());
+        }
+        let devices = specs
+            .into_iter()
+            .enumerate()
+            .map(|(index, spec)| {
+                let mut gpu = Gpu::new(spec);
+                if let Some(plan) = faults {
+                    let mut p = plan.clone();
+                    p.seed = p.seed.wrapping_add(index as u64);
+                    gpu.set_fault_plan(Some(p));
+                }
+                PooledDevice {
+                    index,
+                    gpu,
+                    breaker: CircuitBreaker::new(breaker),
+                    busy_until_ms: 0.0,
+                    completed: 0,
+                    failed_attempts: 0,
+                    fatal_failures: 0,
+                }
+            })
+            .collect();
+        Ok(Self { devices })
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Always false (construction rejects empty pools); here for clippy.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Devices not permanently blacklisted.
+    pub fn healthy_count(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| !d.breaker.is_blacklisted())
+            .count()
+    }
+
+    /// Error-producing injected faults across the whole pool.
+    pub fn error_faults(&self) -> usize {
+        self.devices.iter().map(|d| d.error_faults()).sum()
+    }
+}
+
+/// Resolves a device preset by its CLI name.
+pub fn device_by_name(name: &str) -> Result<DeviceSpec, String> {
+    match name {
+        "k40c" => Ok(DeviceSpec::tesla_k40c()),
+        "k20" => Ok(DeviceSpec::tesla_k20()),
+        "k80" => Ok(DeviceSpec::tesla_k80_die()),
+        "gtx980" => Ok(DeviceSpec::gtx_980()),
+        "test" => Ok(DeviceSpec::test_device()),
+        other => Err(format!(
+            "unknown device '{other}' (expected k40c|k20|k80|gtx980|test)"
+        )),
+    }
+}
+
+/// Expands a comma-separated device mix to `devices` specs, cycling
+/// through the list: `parse_mix("k40c,k20", 4)` is K40c, K20, K40c, K20.
+pub fn parse_mix(mix: &str, devices: usize) -> Result<Vec<DeviceSpec>, String> {
+    if devices == 0 {
+        return Err("--devices must be positive".into());
+    }
+    let names: Vec<&str> = mix
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if names.is_empty() {
+        return Err("device mix cannot be empty".into());
+    }
+    (0..devices)
+        .map(|i| device_by_name(names[i % names.len()]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_cycles_through_names() {
+        let specs = parse_mix("k40c, k20", 5).unwrap();
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), 5);
+        assert_eq!(names[0], names[2]);
+        assert_eq!(names[1], names[3]);
+        assert_ne!(names[0], names[1]);
+        assert!(parse_mix("warp9", 2).is_err());
+        assert!(parse_mix("", 2).is_err());
+        assert!(parse_mix("k40c", 0).is_err());
+    }
+
+    #[test]
+    fn pool_reseeds_each_device_injector() {
+        let plan = FaultPlan::seeded(7).with_launch_failure(0.5);
+        let specs = parse_mix("test", 3).unwrap();
+        let pool = DevicePool::new(specs, BreakerConfig::default(), Some(&plan)).unwrap();
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.healthy_count(), 3);
+        for d in &pool.devices {
+            assert!(d.gpu.fault_injection_active());
+        }
+        assert!(DevicePool::new(vec![], BreakerConfig::default(), None).is_err());
+    }
+}

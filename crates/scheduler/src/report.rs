@@ -1,0 +1,233 @@
+//! Service reports and their invariants.
+//!
+//! Everything here serializes through ordered containers only
+//! (`Vec`s, no hash maps), so `serde_json` output for the same run is
+//! byte-identical — the property the soak command's reproducibility
+//! check rests on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::request::{Algorithm, Priority};
+
+/// One device attempt at serving a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttemptRecord {
+    /// Pool index of the device that ran the attempt.
+    pub device: usize,
+    /// Virtual dispatch time, ms.
+    pub start_ms: f64,
+    /// Virtual time the attempt finished or failed, ms.
+    pub end_ms: f64,
+    /// The error for a failed attempt; `None` for the success.
+    pub error: Option<String>,
+    /// True when the failure was a transient injected fault (these are
+    /// the attempts the fault-accounting invariant reconciles).
+    pub transient: bool,
+}
+
+/// How a request left the system. Every admitted or rejected request
+/// gets exactly one outcome — nothing is ever silently dropped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "kebab-case")]
+pub enum Outcome {
+    /// A device attempt succeeded.
+    Completed {
+        /// Pool index of the device that finished the request.
+        device: usize,
+    },
+    /// Sorted by `cpu_ref` on the host (exhausted retries, no fitting
+    /// device, or shed-with-feasible-deadline).
+    CpuFallback {
+        /// Why the request degraded to the host.
+        reason: String,
+    },
+    /// Dropped under overload; the data was never sorted.
+    Shed {
+        /// Why the request was shed.
+        reason: String,
+    },
+    /// Refused at admission.
+    Rejected {
+        /// Why admission control refused the request.
+        reason: String,
+    },
+}
+
+/// The full story of one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Request id.
+    pub id: u64,
+    /// Shedding priority.
+    pub priority: Priority,
+    /// Device sorter requested.
+    pub algorithm: Algorithm,
+    /// Arrays in the batch.
+    pub num_arrays: usize,
+    /// Elements per array.
+    pub array_len: usize,
+    /// Virtual arrival, ms.
+    pub arrival_ms: f64,
+    /// Absolute virtual deadline, ms.
+    pub deadline_ms: f64,
+    /// Device attempts, in order.
+    pub attempts: Vec<AttemptRecord>,
+    /// Final disposition.
+    pub outcome: Outcome,
+    /// Virtual completion time for outcomes that produced output.
+    pub completion_ms: Option<f64>,
+    /// Whether the completion beat the deadline (`None` when nothing
+    /// completed).
+    pub deadline_met: Option<bool>,
+    /// Whether the output matched the `cpu_ref` oracle (`None` when
+    /// nothing was sorted).
+    pub verified: Option<bool>,
+}
+
+impl RequestRecord {
+    /// Attempts that failed with a transient injected fault.
+    pub fn transient_failures(&self) -> usize {
+        self.attempts.iter().filter(|a| a.transient).count()
+    }
+}
+
+/// Per-device roll-up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Pool index.
+    pub index: usize,
+    /// Device name from its spec.
+    pub name: String,
+    /// Requests completed on this device.
+    pub completed: u32,
+    /// Attempts that failed here with a transient fault.
+    pub failed_attempts: u32,
+    /// Attempts that failed here with a fatal error.
+    pub fatal_failures: u32,
+    /// All faults the device's injector fired (including stalls).
+    pub injected_faults: usize,
+    /// Error-producing faults only (the reconciliation target).
+    pub error_faults: usize,
+    /// Times the device's breaker tripped.
+    pub breaker_trips: u32,
+    /// True when a fatal error blacklisted the device.
+    pub blacklisted: bool,
+    /// Simulated milliseconds of device activity.
+    pub device_ms: f64,
+}
+
+/// The whole run: per-request records, per-device roll-ups, counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Scheduler seed (tie-breaking RNG).
+    pub seed: u64,
+    /// Requests in the workload.
+    pub requests: usize,
+    /// Requests completed on a device.
+    pub completed: usize,
+    /// Requests sorted by the host fallback.
+    pub cpu_fallbacks: usize,
+    /// Requests shed under overload.
+    pub shed: usize,
+    /// Requests refused at admission.
+    pub rejected: usize,
+    /// Completions (device or host) that beat their deadline.
+    pub deadline_hits: usize,
+    /// Completions that missed their deadline.
+    pub deadline_misses: usize,
+    /// Virtual time the last work finished, ms.
+    pub makespan_ms: f64,
+    /// Per-device roll-ups, by pool index.
+    pub devices: Vec<DeviceReport>,
+    /// Per-request records, sorted by id.
+    pub records: Vec<RequestRecord>,
+}
+
+impl ServiceReport {
+    /// Pretty JSON; byte-identical for identical runs.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Transient attempt failures across all requests, per device.
+    pub fn transient_failures_by_device(&self) -> Vec<usize> {
+        let mut per = vec![0usize; self.devices.len()];
+        for r in &self.records {
+            for a in &r.attempts {
+                if a.transient {
+                    per[a.device] += 1;
+                }
+            }
+        }
+        per
+    }
+
+    /// Checks the run's hard invariants. Returns one message per
+    /// violation; an empty vector means the run reconciles:
+    ///
+    /// 1. exactly one record per workload request (no silent drops);
+    /// 2. every outcome that produced output verified against `cpu_ref`;
+    /// 3. per device, transient attempt failures == the injector's
+    ///    error-fault log (each failed attempt fails fast on its first
+    ///    fault) and the device roll-up agrees with the records;
+    /// 4. shed/rejected requests carry a non-empty reason and no output.
+    pub fn invariant_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.records.len() != self.requests {
+            v.push(format!(
+                "{} records for {} requests — something was dropped silently",
+                self.records.len(),
+                self.requests
+            ));
+        }
+        let resolved = self.completed + self.cpu_fallbacks + self.shed + self.rejected;
+        if resolved != self.requests {
+            v.push(format!(
+                "outcome counters sum to {resolved}, expected {}",
+                self.requests
+            ));
+        }
+        for r in &self.records {
+            match &r.outcome {
+                Outcome::Completed { .. } | Outcome::CpuFallback { .. } => {
+                    if r.verified != Some(true) {
+                        v.push(format!(
+                            "request {}: output not verified against oracle",
+                            r.id
+                        ));
+                    }
+                    if r.completion_ms.is_none() {
+                        v.push(format!(
+                            "request {}: completed without a completion time",
+                            r.id
+                        ));
+                    }
+                }
+                Outcome::Shed { reason } | Outcome::Rejected { reason } => {
+                    if reason.is_empty() {
+                        v.push(format!("request {}: dropped without a reason", r.id));
+                    }
+                    if r.completion_ms.is_some() || r.verified.is_some() {
+                        v.push(format!("request {}: dropped yet carries output", r.id));
+                    }
+                }
+            }
+        }
+        let per_device = self.transient_failures_by_device();
+        for d in &self.devices {
+            if per_device[d.index] != d.error_faults {
+                v.push(format!(
+                    "device {}: {} transient attempt failures but injector logged {} error faults",
+                    d.index, per_device[d.index], d.error_faults
+                ));
+            }
+            if d.failed_attempts as usize != per_device[d.index] {
+                v.push(format!(
+                    "device {}: roll-up says {} failed attempts, records say {}",
+                    d.index, d.failed_attempts, per_device[d.index]
+                ));
+            }
+        }
+        v
+    }
+}

@@ -1,0 +1,319 @@
+//! Sort requests and deterministic workloads.
+//!
+//! A [`SortRequest`] is everything the service needs to serve one batch:
+//! the shape, the seed that regenerates its data (requests carry seeds,
+//! not payloads, so workload files stay small and runs stay
+//! reproducible), the algorithm, a [`Priority`] for the shedding order
+//! and an absolute virtual-time deadline. A [`Workload`] is an
+//! arrival-ordered stream of requests, either loaded from JSON or
+//! generated from a seed.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Request priority. Under overload the service sheds the *lowest*
+/// priority first; the derived `Ord` ascends from [`Priority::Low`] to
+/// [`Priority::Critical`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(rename_all = "lowercase")]
+pub enum Priority {
+    /// First to be shed.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Shed only after all normal/low requests.
+    High,
+    /// Never shed before anything else is.
+    Critical,
+}
+
+impl Priority {
+    /// Parses the lowercase name used by the CLI and workload files.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "low" => Ok(Priority::Low),
+            "normal" => Ok(Priority::Normal),
+            "high" => Ok(Priority::High),
+            "critical" => Ok(Priority::Critical),
+            other => Err(format!(
+                "unknown priority '{other}' (expected low|normal|high|critical)"
+            )),
+        }
+    }
+
+    /// Lowercase display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+            Priority::Critical => "critical",
+        }
+    }
+}
+
+/// Which device sorter serves a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[serde(rename_all = "lowercase")]
+pub enum Algorithm {
+    /// GPU-ArraySort, the paper's in-place three-phase pipeline.
+    #[default]
+    Gas,
+    /// The sort-then-sort Thrust baseline (STA).
+    Sta,
+}
+
+impl Algorithm {
+    /// Parses the lowercase name used by the CLI and workload files.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "gas" => Ok(Algorithm::Gas),
+            "sta" => Ok(Algorithm::Sta),
+            other => Err(format!("unknown algorithm '{other}' (expected gas|sta)")),
+        }
+    }
+
+    /// Lowercase display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Gas => "gas",
+            Algorithm::Sta => "sta",
+        }
+    }
+}
+
+/// One batch-sort request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SortRequest {
+    /// Unique request id; the report carries exactly one record per id.
+    pub id: u64,
+    /// Arrays in the batch.
+    pub num_arrays: usize,
+    /// Elements per array.
+    pub array_len: usize,
+    /// Seed regenerating the batch's data (paper-uniform distribution).
+    pub data_seed: u64,
+    /// Device sorter to use.
+    pub algorithm: Algorithm,
+    /// Shedding priority.
+    pub priority: Priority,
+    /// Virtual-time arrival, ms.
+    pub arrival_ms: f64,
+    /// Absolute virtual-time deadline, ms.
+    pub deadline_ms: f64,
+}
+
+impl SortRequest {
+    /// Raw payload size in bytes (f32 elements).
+    pub fn data_bytes(&self) -> u64 {
+        (self.num_arrays as u64) * (self.array_len as u64) * 4
+    }
+}
+
+/// Knobs for [`Workload::generate`]. All ranges are inclusive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Seed for every random draw the generator makes.
+    pub seed: u64,
+    /// Number of requests.
+    pub requests: usize,
+    /// `num_arrays` range.
+    pub arrays: (usize, usize),
+    /// `array_len` range.
+    pub array_len: (usize, usize),
+    /// Mean virtual-time gap between arrivals, ms (gaps are uniform in
+    /// `[0.5, 1.5) ×` this).
+    pub mean_gap_ms: f64,
+    /// Deadline slack range: the deadline is the arrival plus a uniform
+    /// multiple of a crude per-request service estimate.
+    pub deadline_slack: (f64, f64),
+    /// Fraction of requests routed to [`Algorithm::Sta`].
+    pub sta_fraction: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            requests: 100,
+            arrays: (8, 64),
+            array_len: (16, 96),
+            mean_gap_ms: 0.4,
+            deadline_slack: (4.0, 40.0),
+            sta_fraction: 0.25,
+        }
+    }
+}
+
+/// An arrival-ordered stream of sort requests.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The requests, sorted by `(arrival_ms, id)`.
+    pub requests: Vec<SortRequest>,
+}
+
+impl Workload {
+    /// Generates a deterministic workload: the same config always yields
+    /// the same requests, bit for bit.
+    pub fn generate(cfg: &WorkloadConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut arrival = 0.0f64;
+        let mut requests = Vec::with_capacity(cfg.requests);
+        for id in 0..cfg.requests as u64 {
+            arrival += cfg.mean_gap_ms * rng.gen_range(0.5..1.5);
+            let num_arrays = rng.gen_range(cfg.arrays.0..=cfg.arrays.1);
+            let array_len = rng.gen_range(cfg.array_len.0..=cfg.array_len.1);
+            let algorithm = if rng.gen::<f64>() < cfg.sta_fraction {
+                Algorithm::Sta
+            } else {
+                Algorithm::Gas
+            };
+            let priority = match rng.gen_range(0..10) {
+                0 => Priority::Critical,
+                1 | 2 => Priority::High,
+                3..=7 => Priority::Normal,
+                _ => Priority::Low,
+            };
+            // Crude service estimate: n log n element moves at host speed
+            // plus a transfer allowance. Only the *slack multiple* of this
+            // matters; the service's own admission estimator is sharper.
+            let n = array_len as f64;
+            let crude_ms = num_arrays as f64 * n * n.log2().max(1.0) * 10e-6;
+            let slack = rng.gen_range(cfg.deadline_slack.0..=cfg.deadline_slack.1);
+            requests.push(SortRequest {
+                id,
+                num_arrays,
+                array_len,
+                data_seed: cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(id),
+                algorithm,
+                priority,
+                arrival_ms: arrival,
+                deadline_ms: arrival + (crude_ms * slack).max(1.0),
+            });
+        }
+        Workload { requests }
+    }
+
+    /// Parses a workload from JSON: either `{"requests": [...]}` or a
+    /// bare request array.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let as_workload: Result<Workload, _> = serde_json::from_str(body);
+        if let Ok(w) = as_workload {
+            return Ok(w);
+        }
+        let as_list: Result<Vec<SortRequest>, _> = serde_json::from_str(body);
+        match as_list {
+            Ok(requests) => Ok(Workload { requests }),
+            Err(e) => Err(format!("cannot parse workload: {e}")),
+        }
+    }
+
+    /// Serializes the workload as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("workload serializes")
+    }
+
+    /// Checks the stream is well formed: unique ids, positive shapes,
+    /// non-decreasing arrivals, deadlines after arrivals.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut last_arrival = f64::NEG_INFINITY;
+        for r in &self.requests {
+            if !seen.insert(r.id) {
+                return Err(format!("duplicate request id {}", r.id));
+            }
+            if r.num_arrays == 0 || r.array_len == 0 {
+                return Err(format!(
+                    "request {}: num_arrays and array_len must be positive",
+                    r.id
+                ));
+            }
+            if r.arrival_ms < last_arrival {
+                return Err(format!("request {}: arrivals must be non-decreasing", r.id));
+            }
+            if r.deadline_ms <= r.arrival_ms {
+                return Err(format!(
+                    "request {}: deadline {} must be after arrival {}",
+                    r.id, r.deadline_ms, r.arrival_ms
+                ));
+            }
+            last_arrival = r.arrival_ms;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let cfg = WorkloadConfig {
+            requests: 50,
+            ..WorkloadConfig::default()
+        };
+        let a = Workload::generate(&cfg);
+        let b = Workload::generate(&cfg);
+        assert_eq!(a, b, "same seed, same workload");
+        assert_eq!(a.requests.len(), 50);
+        a.validate().unwrap();
+        let other = Workload::generate(&WorkloadConfig {
+            seed: 1,
+            requests: 50,
+            ..WorkloadConfig::default()
+        });
+        assert_ne!(a, other, "different seed, different workload");
+    }
+
+    #[test]
+    fn json_round_trip_and_bare_array() {
+        let w = Workload::generate(&WorkloadConfig {
+            requests: 3,
+            ..WorkloadConfig::default()
+        });
+        let parsed = Workload::from_json(&w.to_json()).unwrap();
+        assert_eq!(w, parsed);
+        let bare = serde_json::to_string(&w.requests).unwrap();
+        assert_eq!(Workload::from_json(&bare).unwrap(), w);
+        assert!(Workload::from_json("nonsense").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_streams() {
+        let mut w = Workload::generate(&WorkloadConfig {
+            requests: 2,
+            ..WorkloadConfig::default()
+        });
+        w.requests[1].id = w.requests[0].id;
+        assert!(w.validate().unwrap_err().contains("duplicate"));
+
+        let mut w = Workload::generate(&WorkloadConfig {
+            requests: 2,
+            ..WorkloadConfig::default()
+        });
+        w.requests[1].arrival_ms = w.requests[0].arrival_ms - 1.0;
+        assert!(w.validate().unwrap_err().contains("non-decreasing"));
+
+        let mut w = Workload::generate(&WorkloadConfig {
+            requests: 1,
+            ..WorkloadConfig::default()
+        });
+        w.requests[0].deadline_ms = w.requests[0].arrival_ms;
+        assert!(w.validate().unwrap_err().contains("deadline"));
+    }
+
+    #[test]
+    fn priority_and_algorithm_parse() {
+        assert_eq!(Priority::parse("critical").unwrap(), Priority::Critical);
+        assert!(Priority::parse("urgent").is_err());
+        assert_eq!(Algorithm::parse("sta").unwrap(), Algorithm::Sta);
+        assert!(Algorithm::parse("quick").is_err());
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::High < Priority::Critical);
+    }
+}

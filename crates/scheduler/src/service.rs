@@ -1,0 +1,868 @@
+//! The deadline-aware scheduling loop.
+//!
+//! [`SortService::run`] drains a [`Workload`] through a [`DevicePool`]
+//! on a single **virtual clock**: time only moves when the next event
+//! (an arrival, a device finishing, a retry backoff expiring, a breaker
+//! cooldown ending) says so, and every duration comes from the
+//! simulator's own cycle bills. Combined with seeded tie-breaking this
+//! makes a soak run over thousands of requests bit-reproducible.
+//!
+//! Per request the service:
+//!
+//! 1. **admits or refuses** on arrival — a batch that fits no healthy
+//!    device, or whose projected completion (queue backlog spread over
+//!    healthy devices plus the cost-model estimate) blows its deadline,
+//!    is rejected with the reason in the report;
+//! 2. **dispatches** the highest-priority runnable request (EDF within
+//!    a priority class) to the healthy idle device with the lowest
+//!    estimated service time, breaking exact ties with the seeded RNG;
+//! 3. **retries with backoff** after a transient injected fault — the
+//!    attempt is rolled back via [`array_sort::checkpointed_attempt`]
+//!    and re-dispatched, *preferring a different device* than the one
+//!    that just failed;
+//! 4. **degrades gracefully** — exhausted retries (or an overload shed
+//!    whose deadline is still feasible on host) fall back to
+//!    [`array_sort::cpu_ref`]; overload sheds the lowest-priority
+//!    queued request first, always with an explicit record.
+//!
+//! Device attempts run inside `sched/req-N/attempt-1` spans, retries
+//! inside `recovery/req-N/attempt-K`, host fallbacks leave a
+//! `recovery/req-N/cpu-fallback` marker — all through the existing
+//! [`gpu_sim::trace`] pipeline, so a pool trace shows the whole story.
+
+use std::collections::VecDeque;
+
+use array_sort::{checkpointed_attempt, cpu_ref, GpuArraySort};
+use gpu_sim::FaultPlan;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::breaker::BreakerConfig;
+use crate::estimate::CostModel;
+use crate::pool::DevicePool;
+use crate::report::{AttemptRecord, DeviceReport, Outcome, RequestRecord, ServiceReport};
+use crate::request::{Algorithm, SortRequest, Workload};
+
+/// Slop for virtual-time comparisons.
+const EPS: f64 = 1e-9;
+
+/// Scheduler tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Seed for the tie-breaking RNG.
+    pub seed: u64,
+    /// Queue depth beyond which the lowest-priority request is shed.
+    pub max_queue_depth: usize,
+    /// Device attempts per request (across all devices) before the
+    /// host fallback. Clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// Base retry backoff, doubled per failed attempt.
+    pub backoff_base_ms: f64,
+    /// Per-device circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Admission cost model.
+    pub cost: CostModel,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            max_queue_depth: 16,
+            max_attempts: 3,
+            backoff_base_ms: 2.0,
+            breaker: BreakerConfig::default(),
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// An admitted request waiting for (re)dispatch.
+struct Pending {
+    req: SortRequest,
+    data: Vec<f32>,
+    oracle: Vec<f32>,
+    est_ms: f64,
+    attempts_made: u32,
+    attempts: Vec<AttemptRecord>,
+    not_before_ms: f64,
+    last_device: Option<usize>,
+}
+
+/// The service: a device pool plus the scheduling state.
+pub struct SortService {
+    cfg: SchedulerConfig,
+    pool: DevicePool,
+    sorter: GpuArraySort,
+    rng: ChaCha8Rng,
+}
+
+impl SortService {
+    /// Builds a service over `specs`. With `faults`, device `i` runs
+    /// under the plan reseeded `seed + i` (see [`DevicePool::new`]).
+    pub fn new(
+        specs: Vec<gpu_sim::DeviceSpec>,
+        cfg: SchedulerConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<Self, String> {
+        let pool = DevicePool::new(specs, cfg.breaker, faults)?;
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        Ok(Self {
+            cfg,
+            pool,
+            sorter: GpuArraySort::new(),
+            rng,
+        })
+    }
+
+    /// The device pool — for trace export after a run.
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
+    /// Drains `workload` to completion and reports every request's fate.
+    pub fn run(&mut self, workload: &Workload) -> Result<ServiceReport, String> {
+        workload.validate()?;
+        let mut arrivals: VecDeque<SortRequest> = workload.requests.iter().cloned().collect();
+        let mut queue: Vec<Pending> = Vec::new();
+        let mut records: Vec<RequestRecord> = Vec::new();
+        let mut now = 0.0f64;
+
+        loop {
+            while arrivals.front().is_some_and(|r| r.arrival_ms <= now + EPS) {
+                let req = arrivals.pop_front().expect("front checked");
+                self.admit(req, now, &mut queue, &mut records);
+            }
+
+            if let Some((qi, di)) = self.pick(&queue, now) {
+                let p = queue.remove(qi);
+                self.execute(p, di, now, &mut queue, &mut records);
+                continue;
+            }
+
+            // Nothing dispatchable at `now`: advance to the next event.
+            let mut next = f64::INFINITY;
+            if let Some(r) = arrivals.front() {
+                next = next.min(r.arrival_ms);
+            }
+            for p in &queue {
+                if p.not_before_ms > now + EPS {
+                    next = next.min(p.not_before_ms);
+                }
+            }
+            for d in &self.pool.devices {
+                if d.breaker.is_blacklisted() {
+                    continue;
+                }
+                if d.busy_until_ms > now + EPS {
+                    next = next.min(d.busy_until_ms);
+                }
+                if let Some(u) = d.breaker.open_until() {
+                    if u > now + EPS {
+                        next = next.min(u);
+                    }
+                }
+            }
+            if next.is_finite() {
+                now = next;
+                continue;
+            }
+
+            if queue.is_empty() && arrivals.is_empty() {
+                break;
+            }
+            // No event will ever fire again: every queued request fits
+            // only blacklisted devices. Degrade or shed each, explicitly.
+            for p in std::mem::take(&mut queue) {
+                let host_ms = self.cfg.cost.host_ms(p.req.num_arrays, p.req.array_len);
+                if now + host_ms <= p.req.deadline_ms + EPS {
+                    self.resolve_host(
+                        p,
+                        now,
+                        "no healthy device available; degraded to host".into(),
+                        &mut records,
+                    );
+                } else {
+                    records.push(Self::dropped(
+                        p.req,
+                        p.attempts,
+                        Outcome::Shed {
+                            reason: "no healthy device available and host cannot meet deadline"
+                                .into(),
+                        },
+                    ));
+                }
+            }
+        }
+
+        records.sort_by_key(|r| r.id);
+        Ok(self.build_report(workload, records))
+    }
+
+    /// Admission control: generate the batch, refuse what cannot be
+    /// served, shed the lowest priority under overload.
+    fn admit(
+        &mut self,
+        req: SortRequest,
+        now: f64,
+        queue: &mut Vec<Pending>,
+        records: &mut Vec<RequestRecord>,
+    ) {
+        let batch = datagen::ArrayBatch::generate(
+            req.data_seed,
+            req.num_arrays,
+            req.array_len,
+            datagen::Distribution::PaperUniform,
+            datagen::Arrangement::Shuffled,
+        );
+        let data = batch.as_flat().to_vec();
+        let mut oracle = data.clone();
+        cpu_ref::sort_arrays_seq(&mut oracle, req.array_len);
+
+        let fits_somewhere = self
+            .pool
+            .devices
+            .iter()
+            .any(|d| !d.breaker.is_blacklisted() && self.fits(d.spec(), &req));
+        let host_ms = self.cfg.cost.host_ms(req.num_arrays, req.array_len);
+        if !fits_somewhere {
+            let pending = Pending {
+                req,
+                data,
+                oracle,
+                est_ms: host_ms,
+                attempts_made: 0,
+                attempts: Vec::new(),
+                not_before_ms: now,
+                last_device: None,
+            };
+            if now + host_ms <= pending.req.deadline_ms + EPS {
+                self.resolve_host(
+                    pending,
+                    now,
+                    "batch fits no healthy pool device; served on host".into(),
+                    records,
+                );
+            } else {
+                records.push(Self::dropped(
+                    pending.req,
+                    Vec::new(),
+                    Outcome::Rejected {
+                        reason: "batch fits no healthy pool device and host cannot meet deadline"
+                            .into(),
+                    },
+                ));
+            }
+            return;
+        }
+
+        // Projected completion: current backlog spread over healthy
+        // devices, then this request's own best-device estimate.
+        let est = self
+            .pool
+            .devices
+            .iter()
+            .filter(|d| !d.breaker.is_blacklisted() && self.fits(d.spec(), &req))
+            .map(|d| {
+                self.cfg.cost.device_ms(
+                    d.spec(),
+                    self.sorter.config(),
+                    req.num_arrays,
+                    req.array_len,
+                )
+            })
+            .fold(f64::INFINITY, f64::min);
+        let healthy = self.pool.healthy_count().max(1) as f64;
+        let backlog: f64 = queue.iter().map(|p| p.est_ms).sum::<f64>()
+            + self
+                .pool
+                .devices
+                .iter()
+                .filter(|d| !d.breaker.is_blacklisted())
+                .map(|d| (d.busy_until_ms - now).max(0.0))
+                .sum::<f64>();
+        let projected = now + backlog / healthy + est;
+        if projected > req.deadline_ms + EPS {
+            records.push(Self::dropped(
+                req,
+                Vec::new(),
+                Outcome::Rejected {
+                    reason: format!(
+                        "projected completion {projected:.3} ms exceeds deadline {:.3} ms \
+                         (queue backlog {backlog:.3} ms over {healthy} healthy devices)",
+                        req.deadline_ms
+                    ),
+                },
+            ));
+            return;
+        }
+
+        queue.push(Pending {
+            req,
+            data,
+            oracle,
+            est_ms: est,
+            attempts_made: 0,
+            attempts: Vec::new(),
+            not_before_ms: now,
+            last_device: None,
+        });
+
+        // Overload: shed lowest priority first (ties: latest deadline,
+        // then newest). A victim whose deadline the host can still meet
+        // degrades to cpu_ref instead of being dropped.
+        while queue.len() > self.cfg.max_queue_depth.max(1) {
+            let vi = (0..queue.len())
+                .min_by(|&a, &b| {
+                    let (pa, pb) = (&queue[a], &queue[b]);
+                    pa.req
+                        .priority
+                        .cmp(&pb.req.priority)
+                        .then(pb.req.deadline_ms.total_cmp(&pa.req.deadline_ms))
+                        .then(pb.req.id.cmp(&pa.req.id))
+                })
+                .expect("queue is non-empty");
+            let victim = queue.remove(vi);
+            let depth = self.cfg.max_queue_depth;
+            let victim_host_ms = self
+                .cfg
+                .cost
+                .host_ms(victim.req.num_arrays, victim.req.array_len);
+            if now + victim_host_ms <= victim.req.deadline_ms + EPS {
+                self.resolve_host(
+                    victim,
+                    now,
+                    format!("shed at queue depth {depth}; host can still meet deadline"),
+                    records,
+                );
+            } else {
+                records.push(Self::dropped(
+                    victim.req,
+                    victim.attempts,
+                    Outcome::Shed {
+                        reason: format!(
+                            "queue overflow at depth {depth}: lowest-priority request shed"
+                        ),
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Picks the next (request, device) pair dispatchable at `now`:
+    /// requests in priority-then-EDF order, each offered the healthy
+    /// idle device with the lowest estimate (exact ties broken by the
+    /// seeded RNG, preferring a device other than the last one tried).
+    fn pick(&mut self, queue: &[Pending], now: f64) -> Option<(usize, usize)> {
+        let mut order: Vec<usize> = (0..queue.len())
+            .filter(|&i| queue[i].not_before_ms <= now + EPS)
+            .collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (&queue[a], &queue[b]);
+            pb.req
+                .priority
+                .cmp(&pa.req.priority)
+                .then(pa.req.deadline_ms.total_cmp(&pb.req.deadline_ms))
+                .then(pa.req.id.cmp(&pb.req.id))
+        });
+        for qi in order {
+            if let Some(di) = self.pick_device(&queue[qi], now) {
+                return Some((qi, di));
+            }
+        }
+        None
+    }
+
+    fn pick_device(&mut self, p: &Pending, now: f64) -> Option<usize> {
+        let mut best: Vec<usize> = Vec::new();
+        let mut best_est = f64::INFINITY;
+        for d in &self.pool.devices {
+            if d.busy_until_ms > now + EPS
+                || !d.breaker.accepts(now)
+                || !self.fits(d.spec(), &p.req)
+            {
+                continue;
+            }
+            let est = self.cfg.cost.device_ms(
+                d.spec(),
+                self.sorter.config(),
+                p.req.num_arrays,
+                p.req.array_len,
+            );
+            if est < best_est {
+                best_est = est;
+                best = vec![d.index];
+            } else if est == best_est {
+                best.push(d.index);
+            }
+        }
+        // Re-dispatch preference: not the device that just failed us.
+        if best.len() > 1 {
+            if let Some(last) = p.last_device {
+                best.retain(|&i| i != last);
+            }
+        }
+        match best.len() {
+            0 => None,
+            1 => Some(best[0]),
+            n => Some(best[self.rng.gen_range(0..n)]),
+        }
+    }
+
+    /// Does the batch fit the device under the request's algorithm?
+    fn fits(&self, spec: &gpu_sim::DeviceSpec, req: &SortRequest) -> bool {
+        match req.algorithm {
+            Algorithm::Gas => self.sorter.max_arrays(spec, req.array_len) >= req.num_arrays as u64,
+            Algorithm::Sta => {
+                thrust_sim::sta::max_arrays(spec, req.array_len as u64) >= req.num_arrays as u64
+            }
+        }
+    }
+
+    /// Runs one device attempt and routes the outcome.
+    fn execute(
+        &mut self,
+        mut p: Pending,
+        di: usize,
+        now: f64,
+        queue: &mut Vec<Pending>,
+        records: &mut Vec<RequestRecord>,
+    ) {
+        let attempt_no = p.attempts_made + 1;
+        let span_name = if attempt_no == 1 {
+            format!("sched/req-{}/attempt-1", p.req.id)
+        } else {
+            format!("recovery/req-{}/attempt-{attempt_no}", p.req.id)
+        };
+        let array_len = p.req.array_len;
+        let checkpoint = p.data.clone();
+        let sorter = &self.sorter;
+        let dev = &mut self.pool.devices[di];
+        dev.breaker.on_dispatch(now);
+        let t0 = dev.gpu.elapsed_ms();
+        let result = match p.req.algorithm {
+            Algorithm::Gas => checkpointed_attempt(
+                &mut dev.gpu,
+                &mut p.data,
+                &checkpoint,
+                &span_name,
+                |g, d| sorter.sort(g, d, array_len).map(|_| ()),
+            ),
+            Algorithm::Sta => checkpointed_attempt(
+                &mut dev.gpu,
+                &mut p.data,
+                &checkpoint,
+                &span_name,
+                |g, d| thrust_sim::sta::sort_arrays(g, d, array_len).map(|_| ()),
+            ),
+        };
+        p.attempts_made = attempt_no;
+        match result {
+            Ok(()) => {
+                let end = now + (dev.gpu.elapsed_ms() - t0);
+                dev.busy_until_ms = end;
+                dev.completed += 1;
+                dev.breaker.on_success();
+                p.attempts.push(AttemptRecord {
+                    device: di,
+                    start_ms: now,
+                    end_ms: end,
+                    error: None,
+                    transient: false,
+                });
+                let verified = bits_equal(&p.data, &p.oracle);
+                records.push(RequestRecord {
+                    id: p.req.id,
+                    priority: p.req.priority,
+                    algorithm: p.req.algorithm,
+                    num_arrays: p.req.num_arrays,
+                    array_len: p.req.array_len,
+                    arrival_ms: p.req.arrival_ms,
+                    deadline_ms: p.req.deadline_ms,
+                    attempts: p.attempts,
+                    outcome: Outcome::Completed { device: di },
+                    completion_ms: Some(end),
+                    deadline_met: Some(end <= p.req.deadline_ms + EPS),
+                    verified: Some(verified),
+                });
+            }
+            Err(failed) => {
+                let end = now + failed.wasted_ms;
+                dev.busy_until_ms = end;
+                let transient = failed.error.is_transient();
+                if transient {
+                    dev.failed_attempts += 1;
+                    dev.breaker.on_transient_failure(end);
+                } else {
+                    dev.fatal_failures += 1;
+                    dev.breaker.on_fatal();
+                }
+                p.attempts.push(AttemptRecord {
+                    device: di,
+                    start_ms: now,
+                    end_ms: end,
+                    error: Some(failed.error.to_string()),
+                    transient,
+                });
+                p.last_device = Some(di);
+                if p.attempts_made >= self.cfg.max_attempts.max(1) {
+                    let reason = format!(
+                        "{} device attempts failed; degraded to host",
+                        p.attempts_made
+                    );
+                    self.resolve_host(p, end, reason, records);
+                } else {
+                    let backoff =
+                        self.cfg.backoff_base_ms * f64::powi(2.0, p.attempts_made as i32 - 1);
+                    p.not_before_ms = end + backoff.max(EPS);
+                    queue.push(p);
+                }
+            }
+        }
+    }
+
+    /// Sorts the request on the host (`cpu_ref`), modelling its cost on
+    /// the virtual clock, and records the fallback.
+    fn resolve_host(
+        &mut self,
+        p: Pending,
+        at_ms: f64,
+        reason: String,
+        records: &mut Vec<RequestRecord>,
+    ) {
+        let mut data = p.data;
+        cpu_ref::sort_arrays_seq(&mut data, p.req.array_len);
+        let verified = bits_equal(&data, &p.oracle);
+        let completion = at_ms + self.cfg.cost.host_ms(p.req.num_arrays, p.req.array_len);
+        if let Some(di) = p.last_device {
+            // Leave the degradation visible in the failing device's trace.
+            let g = &mut self.pool.devices[di].gpu;
+            let span = g.begin_span(&format!("recovery/req-{}/cpu-fallback", p.req.id));
+            g.end_span(span);
+        }
+        records.push(RequestRecord {
+            id: p.req.id,
+            priority: p.req.priority,
+            algorithm: p.req.algorithm,
+            num_arrays: p.req.num_arrays,
+            array_len: p.req.array_len,
+            arrival_ms: p.req.arrival_ms,
+            deadline_ms: p.req.deadline_ms,
+            attempts: p.attempts,
+            outcome: Outcome::CpuFallback { reason },
+            completion_ms: Some(completion),
+            deadline_met: Some(completion <= p.req.deadline_ms + EPS),
+            verified: Some(verified),
+        });
+    }
+
+    fn dropped(req: SortRequest, attempts: Vec<AttemptRecord>, outcome: Outcome) -> RequestRecord {
+        RequestRecord {
+            id: req.id,
+            priority: req.priority,
+            algorithm: req.algorithm,
+            num_arrays: req.num_arrays,
+            array_len: req.array_len,
+            arrival_ms: req.arrival_ms,
+            deadline_ms: req.deadline_ms,
+            attempts,
+            outcome,
+            completion_ms: None,
+            deadline_met: None,
+            verified: None,
+        }
+    }
+
+    fn build_report(&self, workload: &Workload, records: Vec<RequestRecord>) -> ServiceReport {
+        let mut completed = 0;
+        let mut cpu_fallbacks = 0;
+        let mut shed = 0;
+        let mut rejected = 0;
+        let mut deadline_hits = 0;
+        let mut deadline_misses = 0;
+        let mut makespan: f64 = 0.0;
+        for r in &records {
+            match &r.outcome {
+                Outcome::Completed { .. } => completed += 1,
+                Outcome::CpuFallback { .. } => cpu_fallbacks += 1,
+                Outcome::Shed { .. } => shed += 1,
+                Outcome::Rejected { .. } => rejected += 1,
+            }
+            match r.deadline_met {
+                Some(true) => deadline_hits += 1,
+                Some(false) => deadline_misses += 1,
+                None => {}
+            }
+            if let Some(c) = r.completion_ms {
+                makespan = makespan.max(c);
+            }
+        }
+        let devices = self
+            .pool
+            .devices
+            .iter()
+            .map(|d| DeviceReport {
+                index: d.index,
+                name: d.spec().name.clone(),
+                completed: d.completed,
+                failed_attempts: d.failed_attempts,
+                fatal_failures: d.fatal_failures,
+                injected_faults: d.gpu.injected_faults().len(),
+                error_faults: d.error_faults(),
+                breaker_trips: d.breaker.trips(),
+                blacklisted: d.breaker.is_blacklisted(),
+                device_ms: d.gpu.elapsed_ms(),
+            })
+            .collect();
+        ServiceReport {
+            seed: self.cfg.seed,
+            requests: workload.requests.len(),
+            completed,
+            cpu_fallbacks,
+            shed,
+            rejected,
+            deadline_hits,
+            deadline_misses,
+            makespan_ms: makespan,
+            devices,
+            records,
+        }
+    }
+}
+
+fn bits_equal(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::parse_mix;
+    use crate::request::{Priority, WorkloadConfig};
+
+    fn small_workload(seed: u64, requests: usize) -> Workload {
+        Workload::generate(&WorkloadConfig {
+            seed,
+            requests,
+            arrays: (4, 16),
+            array_len: (16, 48),
+            ..WorkloadConfig::default()
+        })
+    }
+
+    fn service(devices: usize, cfg: SchedulerConfig, faults: Option<&FaultPlan>) -> SortService {
+        SortService::new(parse_mix("test", devices).unwrap(), cfg, faults).unwrap()
+    }
+
+    #[test]
+    fn clean_run_completes_everything_verified() {
+        let w = small_workload(1, 40);
+        let mut s = service(2, SchedulerConfig::default(), None);
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.requests, 40);
+        assert_eq!(
+            report.completed + report.cpu_fallbacks + report.rejected,
+            40
+        );
+        assert_eq!(report.shed, 0);
+        assert!(report.completed > 0);
+        assert_eq!(report.invariant_violations(), Vec::<String>::new());
+        for d in &report.devices {
+            assert_eq!(d.failed_attempts, 0);
+            assert_eq!(d.error_faults, 0);
+            assert!(!d.blacklisted);
+        }
+    }
+
+    #[test]
+    fn runs_are_bit_reproducible() {
+        let w = small_workload(2, 60);
+        let plan = FaultPlan::seeded(5)
+            .with_launch_failure(0.02)
+            .with_transfer_abort(0.02);
+        let cfg = SchedulerConfig {
+            seed: 9,
+            ..SchedulerConfig::default()
+        };
+        let a = service(3, cfg.clone(), Some(&plan)).run(&w).unwrap();
+        let b = service(3, cfg, Some(&plan)).run(&w).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json(), "byte-identical reports");
+    }
+
+    #[test]
+    fn faulty_run_reconciles_with_injector_logs() {
+        let w = small_workload(3, 80);
+        let plan = FaultPlan::seeded(11)
+            .with_launch_failure(0.05)
+            .with_transfer_abort(0.05)
+            .with_transfer_corruption(0.05)
+            .with_stream_stall(0.05, 0.2);
+        let mut s = service(3, SchedulerConfig::default(), Some(&plan));
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.invariant_violations(), Vec::<String>::new());
+        let failures: u32 = report.devices.iter().map(|d| d.failed_attempts).sum();
+        assert!(failures > 0, "the plan should have hurt something");
+        // Retries actually moved between devices when possible.
+        let redispatched = report
+            .records
+            .iter()
+            .any(|r| r.attempts.len() > 1 && r.attempts[0].device != r.attempts[1].device);
+        assert!(
+            redispatched,
+            "at least one retry went to a different device"
+        );
+    }
+
+    #[test]
+    fn breaker_trips_under_a_hot_fault_rate_and_work_degrades() {
+        let w = small_workload(4, 50);
+        let plan = FaultPlan::seeded(3).with_launch_failure(1.0);
+        let cfg = SchedulerConfig {
+            breaker: BreakerConfig {
+                trip_after: 2,
+                cooldown_ms: 5.0,
+            },
+            ..SchedulerConfig::default()
+        };
+        let mut s = service(2, cfg, Some(&plan));
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.invariant_violations(), Vec::<String>::new());
+        assert_eq!(report.completed, 0, "no device attempt can succeed");
+        assert!(report.devices.iter().any(|d| d.breaker_trips > 0));
+        assert!(report.cpu_fallbacks > 0, "work degraded to host");
+    }
+
+    #[test]
+    fn overload_sheds_lowest_priority_first_and_never_silently() {
+        // A burst of identical requests at t=0 against a queue of 1:
+        // almost everything must be shed, host-served or rejected — and
+        // every single request must leave an explicit record.
+        let mut w = Workload::generate(&WorkloadConfig {
+            seed: 5,
+            requests: 30,
+            arrays: (64, 64),
+            array_len: (96, 96),
+            mean_gap_ms: 0.0,
+            ..WorkloadConfig::default()
+        });
+        for r in &mut w.requests {
+            r.deadline_ms = 0.25;
+        }
+        let cfg = SchedulerConfig {
+            max_queue_depth: 1,
+            ..SchedulerConfig::default()
+        };
+        let mut s = service(1, cfg, None);
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.invariant_violations(), Vec::<String>::new());
+        assert_eq!(report.records.len(), 30, "no silent drops");
+        assert!(
+            report.completed < 30,
+            "one device and one queue slot cannot absorb the burst"
+        );
+        assert!(report.shed + report.rejected + report.cpu_fallbacks > 0);
+        // Shedding order: a critical request is only ever shed once no
+        // lower-priority request survives to be served instead.
+        let crit_shed = report
+            .records
+            .iter()
+            .filter(|r| {
+                r.priority == Priority::Critical && matches!(r.outcome, Outcome::Shed { .. })
+            })
+            .count();
+        let lows_not_shed = report
+            .records
+            .iter()
+            .filter(|r| r.priority == Priority::Low && !matches!(r.outcome, Outcome::Shed { .. }))
+            .filter(|r| matches!(r.outcome, Outcome::Completed { .. }))
+            .count();
+        if crit_shed > 0 {
+            assert_eq!(
+                lows_not_shed, 0,
+                "no low-priority request completes on-device while criticals are shed"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected_or_host_served_with_reason() {
+        let w = Workload {
+            requests: vec![SortRequest {
+                id: 0,
+                num_arrays: 10_000_000,
+                array_len: 4096,
+                data_seed: 1,
+                algorithm: Algorithm::Gas,
+                priority: Priority::Normal,
+                arrival_ms: 0.0,
+                deadline_ms: 0.5,
+            }],
+        };
+        let mut s = service(1, SchedulerConfig::default(), None);
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.rejected, 1);
+        match &report.records[0].outcome {
+            Outcome::Rejected { reason } => {
+                assert!(reason.contains("fits no healthy pool device"), "{reason}")
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sta_requests_are_served_too() {
+        let mut w = small_workload(6, 20);
+        for r in &mut w.requests {
+            r.algorithm = Algorithm::Sta;
+        }
+        let plan = FaultPlan::seeded(2).with_transfer_abort(0.05);
+        let mut s = service(2, SchedulerConfig::default(), Some(&plan));
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.invariant_violations(), Vec::<String>::new());
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn heterogeneous_pool_prefers_the_faster_device() {
+        let w = small_workload(7, 30);
+        let specs = parse_mix("k40c,test", 2).unwrap();
+        let mut s = SortService::new(specs, SchedulerConfig::default(), None).unwrap();
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.invariant_violations(), Vec::<String>::new());
+        let k40 = &report.devices[0];
+        let test = &report.devices[1];
+        assert!(
+            k40.completed >= test.completed,
+            "the 15-SM K40c should serve at least as many requests ({} vs {})",
+            k40.completed,
+            test.completed
+        );
+    }
+
+    #[test]
+    fn sched_and_recovery_spans_reach_the_trace() {
+        let w = small_workload(8, 10);
+        let plan = FaultPlan::seeded(1).with_launch_failure(0.3);
+        let mut s = service(2, SchedulerConfig::default(), Some(&plan));
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.invariant_violations(), Vec::<String>::new());
+        let span_names: Vec<String> = s
+            .pool()
+            .devices
+            .iter()
+            .flat_map(|d| d.gpu.timeline().spans.iter().map(|sp| sp.name.clone()))
+            .collect();
+        assert!(
+            span_names.iter().any(|n| n.starts_with("sched/req-")),
+            "{span_names:?}"
+        );
+        if report.devices.iter().any(|d| d.failed_attempts > 0) {
+            assert!(
+                span_names.iter().any(|n| n.starts_with("recovery/req-")),
+                "{span_names:?}"
+            );
+        }
+    }
+}
