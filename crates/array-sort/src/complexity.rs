@@ -25,6 +25,31 @@ pub fn eq2_unscaled(array_len: usize, config: &ArraySortConfig) -> f64 {
     (n + q) + ((p * r + 1.0) / p) * n * log_n
 }
 
+/// The analogous *unscaled* per-array cost of the fused single-kernel
+/// pipeline (`gas-fused`), used by the scheduler's cost model to project
+/// both variants and pick the cheaper one.
+///
+/// Derivation mirrors Eq. 2's parallel-time accounting with `p` threads
+/// per array:
+///
+/// * `4·n/p` — one cooperative coalesced stage-in and one write-back,
+///   plus the in-shared histogram/scatter traffic (all O(n/p) per
+///   thread, constant ≈ 4 shared/global touches per element);
+/// * `r·n·log₂(n)` — the one-thread sample sort, unchanged from Eq. 2
+///   (`s = r·n` samples, insertion-sorted);
+/// * `(n/p)·log₂(p+1)` — per-element binary search over the `p+1` bucket
+///   bounds, replacing Eq. 2's `n + q` full rescan term;
+/// * `(n/p)·log₂(n)` — the per-bucket sort, the `1/p` share of Eq. 2's
+///   sort term.
+pub fn fused_unscaled(array_len: usize, config: &ArraySortConfig) -> f64 {
+    let n = array_len as f64;
+    let p = config.buckets_for(array_len) as f64;
+    let r = config.sampling_rate;
+    let log_n = if n > 1.0 { n.log2() } else { 0.0 };
+    let log_p1 = (p + 1.0).log2();
+    4.0 * n / p + r * n * log_n + (n / p) * log_p1 + (n / p) * log_n
+}
+
 /// A fitted theoretical curve: `predict(n) = scale · eq2(n)`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FittedModel {
@@ -150,6 +175,24 @@ mod tests {
         let fit = fit_scale(&[], &c);
         assert_eq!(fit.scale, 0.0);
         assert_eq!(nrmse(&[], &fit, &c), 0.0);
+    }
+
+    #[test]
+    fn fused_model_is_cheaper_than_eq2_on_paper_sizes() {
+        let c = cfg();
+        for n in [200, 1000, 2000, 3000, 4000] {
+            assert!(
+                fused_unscaled(n, &c) < eq2_unscaled(n, &c),
+                "fused model must undercut Eq. 2 at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_model_handles_degenerate_sizes() {
+        let c = cfg();
+        assert!(fused_unscaled(1, &c).is_finite());
+        assert!(fused_unscaled(20, &c) > 0.0);
     }
 
     #[test]

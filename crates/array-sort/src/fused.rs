@@ -1,0 +1,689 @@
+//! `gas-fused` — the single-kernel fusion of the paper's three-launch
+//! pipeline (an optimisation *beyond* the paper; the three-kernel path in
+//! [`crate::pipeline`] stays the faithful default).
+//!
+//! Motivation (see `gas profile` on the paper path): Phase 2 makes every
+//! one of the `p` bucket-threads rescan the whole array — O(n·p) work per
+//! array — and each array round-trips global memory three times across
+//! three kernel launches. The fused kernel applies two standard
+//! techniques from the literature:
+//!
+//! * **GPU Sample Sort** (Leischner, Osipov & Sanders): the bucket index
+//!   of an element is a *binary search* over the sorted splitters —
+//!   O(log p) per element instead of the p-way rescan;
+//! * **GPU Multisplit** (Ashkiani et al.): bucketing is a shared-memory
+//!   histogram + exclusive scan + in-shared scatter.
+//!
+//! One block still owns one array, but now the array is staged into
+//! shared memory **once** (cooperative coalesced copy), everything —
+//! sampling, splitter selection, bucket-index search, histogram, scan,
+//! scatter, per-bucket sort — happens in shared memory, and one coalesced
+//! write-back ends the kernel. Launches drop 3 → 1 and global traffic
+//! drops from ≈6n warp-scattered/sequential touches per array to 2n
+//! fully-coalesced ones, which the simulator's `global_txns` counter
+//! makes quantitative (see `tests/fused.rs` and Ablation E).
+//!
+//! The price is shared-memory footprint: the scatter needs a second copy
+//! of the array, so the fused layout is roughly double the staging
+//! layout's. Arrays beyond [`BatchGeometry::fits_fused_in_shared`]
+//! (n ≳ 5500 f32 elements on the K40c) transparently fall back to the
+//! three-kernel pipeline — correctness never depends on the fast path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gpu_sim::{AccessPattern, DeviceBuffer, Gpu, LaunchConfig, SimError, SimResult};
+use serde::{Deserialize, Serialize};
+
+use crate::bucketing::{bucket_balance, bucket_index, BalanceStats};
+use crate::config::{ArraySortConfig, ConfigError};
+use crate::geometry::BatchGeometry;
+use crate::insertion::{charge_insertion_work, insertion_sort, simulated_insertion_sort};
+use crate::key::SortKey;
+use crate::pipeline::GpuArraySort;
+use crate::sorting::bitonic_charge;
+
+/// Which path actually sorted the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum FusedPath {
+    /// The single fused kernel ran (arrays fit the double-buffered
+    /// shared-memory layout).
+    Fused,
+    /// Arrays were too large for the fused layout; the batch was sorted
+    /// by the paper's three-kernel pipeline instead.
+    ThreeKernelFallback,
+}
+
+/// Model-derived attribution of the one fused launch's time to its six
+/// internal stages.
+///
+/// A single kernel cannot emit host-side spans from inside itself, so
+/// `gas profile` would otherwise lose the phase breakdown the three-kernel
+/// path gives for free. The kernel therefore tallies per-stage cycle
+/// *estimates* (default cost-model weights) alongside the real charges,
+/// and the host scales the measured kernel time by each stage's share.
+/// The six fields sum to the fused kernel's time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FusedBreakdown {
+    /// Cooperative coalesced copy of the array into shared memory.
+    pub stage_in_ms: f64,
+    /// Regular sampling + one-thread sample sort + splitter emission.
+    pub sample_sort_ms: f64,
+    /// Per-element binary search over the splitters + shared histogram.
+    pub bucket_index_ms: f64,
+    /// Exclusive scan of the histogram + in-shared scatter.
+    pub scatter_ms: f64,
+    /// Per-bucket insertion sort (adaptive bitonic for oversized buckets).
+    pub bucket_sort_ms: f64,
+    /// Coalesced write-back of the sorted array + the `Z` table row.
+    pub write_back_ms: f64,
+}
+
+impl FusedBreakdown {
+    /// The stages as `(label, ms)` rows, in execution order.
+    pub fn rows(&self) -> [(&'static str, f64); 6] {
+        [
+            ("stage-in", self.stage_in_ms),
+            ("sample-sort", self.sample_sort_ms),
+            ("bucket-index", self.bucket_index_ms),
+            ("scatter", self.scatter_ms),
+            ("bucket-sort", self.bucket_sort_ms),
+            ("write-back", self.write_back_ms),
+        ]
+    }
+
+    /// Sum of all stages (equals the fused kernel time).
+    pub fn total_ms(&self) -> f64 {
+        self.rows().iter().map(|(_, ms)| ms).sum()
+    }
+}
+
+/// Report of one fused-pipeline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusedStats {
+    /// H2D upload time.
+    pub upload_ms: f64,
+    /// Kernel time: the single fused launch, or the three fallback
+    /// launches when the batch didn't fit the fused layout.
+    pub kernel_ms: f64,
+    /// D2H download time.
+    pub download_ms: f64,
+    /// Peak device bytes.
+    pub peak_bytes: u64,
+    /// Which path ran.
+    pub path: FusedPath,
+    /// Estimated per-stage attribution of `kernel_ms` (all zero on the
+    /// fallback path — the three-kernel launches have real spans instead).
+    pub breakdown: FusedBreakdown,
+    /// Bucket-size distribution, from the `Z` table the kernel emits.
+    pub balance: BalanceStats,
+    /// The geometry the run used.
+    pub geometry: BatchGeometry,
+}
+
+impl FusedStats {
+    /// Total simulated time (upload + kernel + download).
+    pub fn total_ms(&self) -> f64 {
+        self.upload_ms + self.kernel_ms + self.download_ms
+    }
+}
+
+/// The fused single-kernel batch sorter. Same contract as
+/// [`GpuArraySort::sort`]: every `array_len` segment of `data` is sorted
+/// ascending (by `total_order` for floats), in place.
+#[derive(Debug, Clone, Default)]
+pub struct FusedSort {
+    inner: GpuArraySort,
+}
+
+impl FusedSort {
+    /// A fused sorter with the paper's default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fused sorter with explicit parameters (validated).
+    pub fn with_config(config: ArraySortConfig) -> Result<Self, ConfigError> {
+        Ok(Self {
+            inner: GpuArraySort::with_config(config)?,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ArraySortConfig {
+        self.inner.config()
+    }
+
+    /// The three-kernel pipeline this sorter falls back to (same config).
+    pub fn three_kernel(&self) -> &GpuArraySort {
+        &self.inner
+    }
+
+    /// Geometry for a batch under this configuration.
+    pub fn geometry(&self, num_arrays: usize, array_len: usize) -> BatchGeometry {
+        self.inner.geometry(num_arrays, array_len)
+    }
+
+    /// Largest batch this sorter can take on `spec`. Conservative: uses
+    /// the three-kernel plan (the fused path needs strictly less device
+    /// memory — no splitter table, no global staging — but the fallback
+    /// path must also fit).
+    pub fn max_arrays(&self, spec: &gpu_sim::DeviceSpec, array_len: usize) -> u64 {
+        self.inner.max_arrays(spec, array_len)
+    }
+
+    /// Sorts every `array_len`-element segment of `data` on `gpu`,
+    /// uploading, running the fused kernel (or the three-kernel fallback)
+    /// and downloading. Emits the spans `gas-fused/upload`,
+    /// `gas-fused/fused-kernel` and `gas-fused/download`, which tile the
+    /// elapsed time exactly like the three-kernel path's five spans.
+    pub fn sort<K: SortKey>(
+        &self,
+        gpu: &mut Gpu,
+        data: &mut [K],
+        array_len: usize,
+    ) -> SimResult<FusedStats> {
+        if array_len == 0 {
+            return Err(SimError::InvalidLaunch {
+                reason: "array_len must be positive".into(),
+            });
+        }
+        if !data.len().is_multiple_of(array_len) {
+            return Err(SimError::InvalidLaunch {
+                reason: format!(
+                    "data length {} is not a multiple of array_len {array_len}",
+                    data.len()
+                ),
+            });
+        }
+        if data.is_empty() {
+            return Err(SimError::InvalidLaunch {
+                reason: "empty batch".into(),
+            });
+        }
+        let geom = self.geometry(data.len() / array_len, array_len);
+
+        let t0 = gpu.elapsed_ms();
+        let span = gpu.begin_span("gas-fused/upload");
+        let dbuf = gpu.htod_copy(data)?;
+        gpu.end_span(span);
+        let t1 = gpu.elapsed_ms();
+
+        let (path, breakdown, balance) = self.run_device(gpu, &dbuf, &geom)?;
+        let t2 = gpu.elapsed_ms();
+        let peak_bytes = gpu.ledger().peak();
+
+        let span = gpu.begin_span("gas-fused/download");
+        let mut dbuf = dbuf;
+        gpu.dtoh_into(&mut dbuf, data)?;
+        gpu.end_span(span);
+        let t3 = gpu.elapsed_ms();
+
+        Ok(FusedStats {
+            upload_ms: t1 - t0,
+            kernel_ms: t2 - t1,
+            download_ms: t3 - t2,
+            peak_bytes,
+            path,
+            breakdown,
+            balance,
+            geometry: geom,
+        })
+    }
+
+    /// Device-side portion for data already resident (the out-of-core
+    /// chunk loop): runs the fused kernel, or the three-kernel phases
+    /// when the arrays exceed the fused shared-memory layout.
+    fn run_device<K: SortKey>(
+        &self,
+        gpu: &mut Gpu,
+        data: &DeviceBuffer<K>,
+        geom: &BatchGeometry,
+    ) -> SimResult<(FusedPath, FusedBreakdown, BalanceStats)> {
+        if !geom.fits_fused_in_shared(K::ELEM_BYTES, gpu.spec()) {
+            let span = gpu.begin_span("gas-fused/fused-kernel");
+            let run = self.inner.sort_device(gpu, data, geom);
+            gpu.end_span(span);
+            let run = run?;
+            return Ok((
+                FusedPath::ThreeKernelFallback,
+                FusedBreakdown::default(),
+                run.balance,
+            ));
+        }
+
+        let mut zbuf = gpu.alloc::<u32>(geom.bucket_table_len())?;
+        let span = gpu.begin_span("gas-fused/fused-kernel");
+        let kernel = fused_kernel(gpu, data, &zbuf, geom, self.config());
+        gpu.end_span(span);
+        let (kernel_ms, stage_cycles) = kernel?;
+        let balance = bucket_balance(&mut zbuf, geom);
+
+        let total: u64 = stage_cycles.iter().sum();
+        let share = |c: u64| {
+            if total > 0 {
+                kernel_ms * c as f64 / total as f64
+            } else {
+                0.0
+            }
+        };
+        let breakdown = FusedBreakdown {
+            stage_in_ms: share(stage_cycles[0]),
+            sample_sort_ms: share(stage_cycles[1]),
+            bucket_index_ms: share(stage_cycles[2]),
+            scatter_ms: share(stage_cycles[3]),
+            bucket_sort_ms: share(stage_cycles[4]),
+            write_back_ms: share(stage_cycles[5]),
+        };
+        Ok((FusedPath::Fused, breakdown, balance))
+    }
+}
+
+/// Launches the fused kernel proper. Returns its wall time and the six
+/// per-stage cycle-estimate tallies for [`FusedBreakdown`].
+fn fused_kernel<K: SortKey>(
+    gpu: &mut Gpu,
+    data: &DeviceBuffer<K>,
+    bucket_sizes: &DeviceBuffer<u32>,
+    geom: &BatchGeometry,
+    config: &ArraySortConfig,
+) -> SimResult<(f64, [u64; 6])> {
+    assert_eq!(data.len(), geom.total_elems(), "data/geometry mismatch");
+    assert_eq!(
+        bucket_sizes.len(),
+        geom.bucket_table_len(),
+        "Z table mismatch"
+    );
+
+    let n = geom.array_len;
+    let p = geom.buckets_per_array;
+    let s = geom.samples_per_array;
+    let threads = geom.block_threads(config, gpu.spec());
+    let t_count = threads as usize;
+    let dv = data.view();
+    let zv = bucket_sizes.view();
+    let geom = *geom;
+    let elem_bytes = K::ELEM_BYTES;
+    let stride = (n / s).max(1);
+    // ⌈log₂⌉ of the boundary count: probes per binary search.
+    let log_bounds = (usize::BITS - (p + 1).leading_zeros()) as u64;
+    let log_p = (usize::BITS - p.leading_zeros()) as u64;
+    let adaptive = config.adaptive_bucket_sort;
+    let adaptive_cap = config.adaptive_threshold.max(1) * config.target_bucket_size.max(1);
+
+    let shared_want = geom.fused_shared_bytes_needed(elem_bytes);
+    let cfg = LaunchConfig::grid(geom.num_arrays as u32, threads).with_shared(shared_want);
+
+    // Per-stage cycle estimates (default cost-model weights: shared = 2,
+    // alu = 1, shared atomic = 8, coalesced global ≈ 1/elem), accumulated
+    // across blocks for the host-side breakdown. Estimates only — the
+    // authoritative bill is what the ThreadCtx charges below.
+    let stages: [AtomicU64; 6] = Default::default();
+    let tally = |i: usize, c: u64| stages[i].fetch_add(c, Ordering::Relaxed);
+
+    let stats = gpu.launch("gas_fused", cfg, |block| {
+        let i = block.block_idx() as usize;
+        let base = i * n;
+        let zrow = geom.bucket_offset(i);
+        let per = (n as u64).div_ceil(t_count as u64);
+
+        // ---- Real work, once per block (the simulated lanes below bill
+        // the cycles). SAFETY: array i is block-exclusive.
+        let arr = unsafe { dv.slice_mut(base, n) };
+
+        // Stage 2: regular sample of the *staged* array, one-thread
+        // sample sort, splitter bounds with the §5.2 sentinels.
+        let mut sample: Vec<K> = (0..s).map(|k| arr[k * stride]).collect();
+        let sample_work = simulated_insertion_sort(&mut sample);
+        let mut bounds = Vec::with_capacity(p + 1);
+        bounds.push(K::min_sentinel());
+        for j in 1..p {
+            bounds.push(sample[j * s / p]);
+        }
+        bounds.push(K::max_sentinel());
+
+        // Stage 3: binary-search bucket index per element + histogram.
+        let mut counts = vec![0u32; p];
+        let ids: Vec<u32> = arr
+            .iter()
+            .map(|&x| {
+                let j = bucket_index(&bounds, x);
+                counts[j] += 1;
+                j as u32
+            })
+            .collect();
+
+        // Stage 4: exclusive scan + stable in-shared scatter into the
+        // second buffer, then adopt it as the working copy.
+        let mut offsets = vec![0usize; p + 1];
+        for j in 0..p {
+            offsets[j + 1] = offsets[j] + counts[j] as usize;
+        }
+        let mut cursors = offsets.clone();
+        let mut staged = vec![K::default(); n];
+        for (k, &x) in arr.iter().enumerate() {
+            let j = ids[k] as usize;
+            staged[cursors[j]] = x;
+            cursors[j] += 1;
+        }
+        arr.copy_from_slice(&staged);
+        for j in 0..p {
+            zv.set(zrow + j, counts[j]);
+        }
+
+        // ---- Cycle charges, stage by stage (each `threads`/`one_thread`
+        // call is one barrier, mirroring the __syncthreads() the real
+        // kernel would need between stages).
+
+        // Stage 1: cooperative coalesced stage-in.
+        block.threads(|t| {
+            t.charge_global(per, elem_bytes, AccessPattern::Coalesced);
+            t.charge_shared(per);
+        });
+        tally(0, (n as u64) * 3);
+
+        // Stage 2: sampling + sample sort, entirely in shared memory —
+        // the fused win over Phase 1's single-lane global walk.
+        block.one_thread(|t| {
+            t.charge_shared(2 * s as u64);
+            t.charge_alu(2 * s as u64);
+            charge_insertion_work(t, sample_work);
+            t.charge_shared((p + 1) as u64);
+            t.charge_alu(2 * p as u64);
+        });
+        tally(
+            1,
+            6 * s as u64
+                + 2 * (2 * sample_work.comparisons + sample_work.moves)
+                + sample_work.comparisons
+                + 2 * (p as u64 + 1)
+                + 2 * p as u64,
+        );
+
+        // Stage 3: per-element binary search over the p+1 bounds plus a
+        // shared-memory histogram (atomic increments) and the bucket-id
+        // record.
+        block.threads(|t| {
+            t.charge_shared(per * (1 + log_bounds));
+            t.charge_alu(per * (log_bounds + 1));
+            t.charge_atomic_shared(per);
+            t.charge_shared(per);
+        });
+        tally(2, (n as u64) * (2 * (2 + log_bounds) + log_bounds + 1 + 8));
+
+        // Stage 4: exclusive scan (log₂ p cooperative steps) + scatter
+        // (read id, read element, atomic cursor bump, shared write).
+        block.threads(|t| {
+            t.charge_shared(2 * log_p);
+            t.charge_alu(log_p);
+            t.charge_shared(3 * per);
+            t.charge_atomic_shared(per);
+        });
+        tally(3, (t_count as u64) * (5 * log_p) + (n as u64) * (6 + 8));
+
+        // Stage 5: per-bucket sort, shared-memory only — no scattered
+        // global round-trip, the other fused win over Phase 3.
+        let buckets_per_thread = p.div_ceil(t_count);
+        let sort_cycles = AtomicU64::new(0);
+        block.threads(|t| {
+            for sidx in 0..buckets_per_thread {
+                let j = t.tid as usize + sidx * t_count;
+                if j >= p {
+                    break;
+                }
+                let start = offsets[j];
+                let len = offsets[j + 1] - start;
+                t.charge_shared(2);
+                t.charge_alu(4);
+                if adaptive && len > adaptive_cap {
+                    continue; // deferred to the cooperative pass below
+                }
+                if len < 2 {
+                    continue;
+                }
+                // SAFETY: disjoint bucket range of a block-exclusive array.
+                let bucket = unsafe { dv.slice_mut(base + start, len) };
+                let work = insertion_sort(bucket);
+                charge_insertion_work(t, work);
+                sort_cycles.fetch_add(
+                    2 * (2 * work.comparisons + work.moves) + work.comparisons,
+                    Ordering::Relaxed,
+                );
+            }
+        });
+        if adaptive {
+            let oversized: Vec<(usize, usize)> = (0..p)
+                .map(|j| (offsets[j], offsets[j + 1] - offsets[j]))
+                .filter(|&(_, len)| len > adaptive_cap)
+                .collect();
+            for &(start, len) in &oversized {
+                // SAFETY: disjoint bucket range of a block-exclusive array.
+                let bucket = unsafe { dv.slice_mut(base + start, len) };
+                bucket.sort_unstable_by(|a, b| a.total_order(*b));
+                block.threads(|t| {
+                    bitonic_charge(t, len as u64, t_count as u64);
+                });
+                sort_cycles.fetch_add(len as u64 * 8, Ordering::Relaxed);
+            }
+        }
+        tally(4, sort_cycles.into_inner() + 6 * p as u64);
+
+        // Stage 6: coalesced write-back of the sorted array and the Z row.
+        block.threads(|t| {
+            t.charge_shared(per);
+            t.charge_global(per, elem_bytes, AccessPattern::Coalesced);
+            let perz = (p as u64).div_ceil(t_count as u64);
+            t.charge_shared(perz);
+            t.charge_global(perz, 4, AccessPattern::Coalesced);
+        });
+        tally(5, (n as u64) * 3 + (p as u64) * 3);
+    })?;
+
+    Ok((
+        stats.time_ms,
+        [
+            stages[0].load(Ordering::Relaxed),
+            stages[1].load(Ordering::Relaxed),
+            stages[2].load(Ordering::Relaxed),
+            stages[3].load(Ordering::Relaxed),
+            stages[4].load(Ordering::Relaxed),
+            stages[5].load(Ordering::Relaxed),
+        ],
+    ))
+}
+
+/// Memory plan of a fused run (for capacity reasoning in docs/tests):
+/// identical to [`GasMemoryPlan`] minus the splitter table and global
+/// staging — the fused path keeps everything else in shared memory.
+pub fn fused_memory_bytes(geom: &BatchGeometry, elem_bytes: u32) -> u64 {
+    geom.total_elems() as u64 * elem_bytes as u64 + geom.bucket_table_len() as u64 * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu_ref;
+    use crate::geometry::GasMemoryPlan;
+    use gpu_sim::DeviceSpec;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_batch(num: usize, n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..num * n).map(|_| rng.gen_range(0.0f32..1e9)).collect()
+    }
+
+    #[test]
+    fn fused_sorts_every_array() {
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let (num, n) = (40, 500);
+        let mut data = random_batch(num, n, 21);
+        let mut expect = data.clone();
+        let stats = FusedSort::new().sort(&mut gpu, &mut data, n).unwrap();
+        for seg in expect.chunks_mut(n) {
+            seg.sort_by(f32::total_cmp);
+        }
+        assert_eq!(data, expect);
+        assert_eq!(stats.path, FusedPath::Fused);
+    }
+
+    #[test]
+    fn fused_matches_three_kernel_output_bit_for_bit() {
+        let (num, n) = (25, 1000);
+        let data = random_batch(num, n, 22);
+        let mut fused = data.clone();
+        let mut paper = data;
+        let mut g1 = Gpu::new(DeviceSpec::tesla_k40c());
+        FusedSort::new().sort(&mut g1, &mut fused, n).unwrap();
+        let mut g2 = Gpu::new(DeviceSpec::tesla_k40c());
+        GpuArraySort::new().sort(&mut g2, &mut paper, n).unwrap();
+        assert_eq!(
+            fused.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            paper.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fused_is_faster_and_moves_less_global_data() {
+        for n in [1000usize, 2000, 3000, 4000] {
+            let num = 30;
+            let data = random_batch(num, n, 23);
+
+            let mut d1 = data.clone();
+            let mut g1 = Gpu::new(DeviceSpec::tesla_k40c());
+            let fused = FusedSort::new().sort(&mut g1, &mut d1, n).unwrap();
+            let fused_txns: u64 = g1
+                .timeline()
+                .kernels
+                .iter()
+                .map(|k| k.counters.global_txns())
+                .sum();
+
+            let mut d2 = data;
+            let mut g2 = Gpu::new(DeviceSpec::tesla_k40c());
+            let paper = GpuArraySort::new().sort(&mut g2, &mut d2, n).unwrap();
+            let paper_txns: u64 = g2
+                .timeline()
+                .kernels
+                .iter()
+                .map(|k| k.counters.global_txns())
+                .sum();
+
+            assert!(
+                fused.kernel_ms < paper.kernel_ms(),
+                "n={n}: fused {} ms vs paper {} ms",
+                fused.kernel_ms,
+                paper.kernel_ms()
+            );
+            assert!(
+                fused_txns < paper_txns,
+                "n={n}: fused {fused_txns} txns vs paper {paper_txns}"
+            );
+        }
+    }
+
+    #[test]
+    fn spans_tile_the_elapsed_time() {
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let mut data = random_batch(20, 800, 24);
+        FusedSort::new().sort(&mut gpu, &mut data, 800).unwrap();
+        let spans = &gpu.timeline().spans;
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "gas-fused/upload",
+                "gas-fused/fused-kernel",
+                "gas-fused/download"
+            ]
+        );
+        let total: f64 = spans.iter().map(|s| s.end_ms - s.start_ms).sum();
+        assert!((total - gpu.elapsed_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_kernel_time() {
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let mut data = random_batch(10, 1500, 25);
+        let stats = FusedSort::new().sort(&mut gpu, &mut data, 1500).unwrap();
+        assert!((stats.breakdown.total_ms() - stats.kernel_ms).abs() < 1e-9);
+        assert!(stats.breakdown.rows().iter().all(|&(_, ms)| ms > 0.0));
+    }
+
+    #[test]
+    fn oversized_arrays_fall_back_to_three_kernels() {
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let n = 8000; // fits staging (≤ ~12k) but not the fused double buffer
+        let mut data = random_batch(4, n, 26);
+        let stats = FusedSort::new().sort(&mut gpu, &mut data, n).unwrap();
+        assert_eq!(stats.path, FusedPath::ThreeKernelFallback);
+        assert!(cpu_ref::is_each_sorted(&data, n));
+        assert_eq!(stats.breakdown, FusedBreakdown::default());
+    }
+
+    #[test]
+    fn shape_validation_matches_the_three_kernel_path() {
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let sorter = FusedSort::new();
+        let mut empty: Vec<f32> = vec![];
+        assert!(sorter.sort(&mut gpu, &mut empty, 10).is_err());
+        let mut data = vec![1.0f32; 7];
+        assert!(sorter.sort(&mut gpu, &mut data, 3).is_err());
+        assert!(sorter.sort(&mut gpu, &mut data, 0).is_err());
+    }
+
+    #[test]
+    fn adaptive_policy_carries_over() {
+        let n = 1000;
+        // Adversarial collapse input (every sampled slot holds the min).
+        let mut rng = ChaCha8Rng::seed_from_u64(27);
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                if i % 10 == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(1.0f32..1e9)
+                }
+            })
+            .collect();
+        let run = |cfg: ArraySortConfig| {
+            let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+            let mut d = data.clone();
+            let stats = FusedSort::with_config(cfg)
+                .unwrap()
+                .sort(&mut gpu, &mut d, n)
+                .unwrap();
+            assert!(cpu_ref::is_each_sorted(&d, n));
+            stats.kernel_ms
+        };
+        let paper = run(ArraySortConfig::default());
+        let adaptive = run(ArraySortConfig {
+            adaptive_bucket_sort: true,
+            ..Default::default()
+        });
+        assert!(
+            adaptive * 5.0 < paper,
+            "cooperative rescue must fix the quadratic blow-up: {adaptive} vs {paper}"
+        );
+    }
+
+    #[test]
+    fn u32_and_i32_keys_sort() {
+        let mut rng = ChaCha8Rng::seed_from_u64(28);
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let mut du: Vec<u32> = (0..8 * 128).map(|_| rng.gen()).collect();
+        FusedSort::new().sort(&mut gpu, &mut du, 128).unwrap();
+        assert!(cpu_ref::is_each_sorted(&du, 128));
+        let mut di: Vec<i32> = (0..8 * 128).map(|_| rng.gen()).collect();
+        FusedSort::new().sort(&mut gpu, &mut di, 128).unwrap();
+        assert!(cpu_ref::is_each_sorted(&di, 128));
+    }
+
+    #[test]
+    fn fused_memory_is_leaner_than_the_three_kernel_plan() {
+        let cfg = ArraySortConfig::default();
+        let geom = BatchGeometry::new(1000, 1000, &cfg);
+        let plan = GasMemoryPlan::new(&geom, 4, &DeviceSpec::tesla_k40c());
+        assert!(fused_memory_bytes(&geom, 4) < plan.total_bytes());
+    }
+}

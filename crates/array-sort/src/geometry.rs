@@ -91,6 +91,25 @@ impl BatchGeometry {
         let counts = self.buckets_per_array as u64 * 4;
         (arr + bounds + counts).min(u32::MAX as u64) as u32
     }
+
+    /// Shared bytes the fused single-kernel pipeline wants: **two** copies
+    /// of the array (the staged input and the scatter destination — the
+    /// in-shared scatter ping-pongs between them), the sample scratch, the
+    /// bucket bounds, and the histogram counters.
+    pub fn fused_shared_bytes_needed(&self, elem_bytes: u32) -> u32 {
+        let arr2 = 2 * self.array_len as u64 * elem_bytes as u64;
+        let sample = self.samples_per_array as u64 * elem_bytes as u64;
+        let bounds = self.boundaries_per_array as u64 * elem_bytes as u64;
+        let counts = self.buckets_per_array as u64 * 4;
+        (arr2 + sample + bounds + counts).min(u32::MAX as u64) as u32
+    }
+
+    /// Whether one array can run the fused single-kernel path (everything
+    /// resident in shared memory at once). Arrays that fail this fall back
+    /// to the paper's three-kernel pipeline.
+    pub fn fits_fused_in_shared(&self, elem_bytes: u32, spec: &DeviceSpec) -> bool {
+        self.fused_shared_bytes_needed(elem_bytes) <= spec.shared_mem_per_block
+    }
 }
 
 /// Byte-level memory plan for a GPU-ArraySort run.
@@ -193,6 +212,26 @@ mod tests {
         // Well beyond the paper's sizes it stops fitting.
         let g = BatchGeometry::new(1, 13_000, &cfg());
         assert!(!g.fits_in_shared(4, &spec));
+    }
+
+    #[test]
+    fn paper_array_sizes_fit_the_fused_kernel_too() {
+        let spec = DeviceSpec::tesla_k40c();
+        for n in [1000, 2000, 3000, 4000] {
+            let g = BatchGeometry::new(1, n, &cfg());
+            assert!(
+                g.fits_fused_in_shared(4, &spec),
+                "n={n} must fit the double-buffered fused layout"
+            );
+            assert!(
+                g.fused_shared_bytes_needed(4) > g.shared_bytes_needed(4),
+                "fused needs strictly more shared memory than staging"
+            );
+        }
+        // The double buffer halves the fused ceiling relative to staging.
+        let g = BatchGeometry::new(1, 6000, &cfg());
+        assert!(g.fits_in_shared(4, &spec));
+        assert!(!g.fits_fused_in_shared(4, &spec));
     }
 
     #[test]

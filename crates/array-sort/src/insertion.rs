@@ -9,6 +9,8 @@
 //! quadratic bill) shows up in the simulated timings, as it would on
 //! hardware.
 
+use gpu_sim::AccessPattern;
+
 use crate::key::SortKey;
 
 /// Work performed by one insertion sort, for cycle charging.
@@ -116,6 +118,40 @@ pub fn simulated_insertion_sort<K: SortKey>(a: &mut [K]) -> InsertionWork {
         add(&mut fenwick, r);
     }
     a.sort_by(|x, y| x.total_order(*y));
+    work
+}
+
+/// Charges the in-shared compare/shift traffic of an insertion sort whose
+/// measured [`InsertionWork`] is `work`: two shared accesses per
+/// comparison (read the probe, read the neighbour), one per element move,
+/// and one ALU op per comparison. Every kernel that runs an insertion
+/// sort on staged data bills it through this single function so the cost
+/// model cannot drift between call sites.
+pub fn charge_insertion_work(t: &mut gpu_sim::ThreadCtx<'_>, work: InsertionWork) {
+    t.charge_shared(2 * work.comparisons + work.moves);
+    t.charge_alu(work.comparisons);
+}
+
+/// The per-thread "stage, sort, write back" primitive shared by the
+/// Phase-3 bucket sort and the merge variant's chunk sort: loads a
+/// per-thread contiguous (warp-scattered) segment into shared memory,
+/// insertion-sorts it there, and stores it back, charging the exact
+/// traffic of each step. Returns the sort's measured work.
+///
+/// The segment really is sorted in place (through the global view the
+/// caller sliced), so the data effect and the cycle bill stay welded
+/// together at one call site.
+pub fn charged_staged_insertion_sort<K: SortKey>(
+    t: &mut gpu_sim::ThreadCtx<'_>,
+    segment: &mut [K],
+) -> InsertionWork {
+    let len = segment.len() as u64;
+    t.charge_global(len, K::ELEM_BYTES, AccessPattern::Scattered);
+    t.charge_shared(len);
+    let work = insertion_sort(segment);
+    charge_insertion_work(t, work);
+    t.charge_shared(len);
+    t.charge_global(len, K::ELEM_BYTES, AccessPattern::Scattered);
     work
 }
 

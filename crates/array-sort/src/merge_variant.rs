@@ -21,7 +21,7 @@ use gpu_sim::{AccessPattern, DeviceBuffer, Gpu, LaunchConfig, SimError, SimResul
 use serde::{Deserialize, Serialize};
 
 use crate::config::ArraySortConfig;
-use crate::insertion::insertion_sort;
+use crate::insertion::charged_staged_insertion_sort;
 use crate::key::SortKey;
 
 /// Report of one merge-variant run.
@@ -139,15 +139,9 @@ fn chunk_sort_kernel<K: SortKey>(
                 if len < 2 {
                     continue;
                 }
-                t.charge_global(len as u64, elem_bytes, AccessPattern::Scattered);
-                t.charge_shared(len as u64);
                 // SAFETY: disjoint chunk of a block-exclusive array.
                 let chunk = unsafe { dv.slice_mut(base + start, len) };
-                let work = insertion_sort(chunk);
-                t.charge_shared(2 * work.comparisons + work.moves);
-                t.charge_alu(work.comparisons);
-                t.charge_shared(len as u64);
-                t.charge_global(len as u64, elem_bytes, AccessPattern::Scattered);
+                charged_staged_insertion_sort(t, chunk);
             }
         });
     })?;

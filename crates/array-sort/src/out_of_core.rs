@@ -17,6 +17,7 @@
 use gpu_sim::{Gpu, SimError, SimResult};
 use serde::{Deserialize, Serialize};
 
+use crate::fused::FusedSort;
 use crate::geometry::GasMemoryPlan;
 use crate::key::SortKey;
 use crate::pipeline::GpuArraySort;
@@ -88,6 +89,53 @@ pub fn sort_out_of_core<K: SortKey>(
             num_arrays: chunk.len() / array_len,
             upload_ms: stats.upload_ms,
             kernel_ms: stats.kernel_ms(),
+            download_ms: stats.download_ms,
+        });
+    }
+
+    let serial_ms = chunks
+        .iter()
+        .map(|c| c.upload_ms + c.kernel_ms + c.download_ms)
+        .sum();
+    let pipelined_ms = pipelined_schedule(&chunks);
+    Ok(OocStats {
+        chunks,
+        chunk_arrays,
+        serial_ms,
+        pipelined_ms,
+    })
+}
+
+/// [`sort_out_of_core`], but each chunk is sorted by the fused
+/// single-kernel pipeline (`gas-fused`) instead of the three-launch one.
+/// Chunk sizing is identical — the fused path's device footprint is a
+/// strict subset of the three-kernel plan (and oversized arrays fall back
+/// to it), so the same double-buffered capacity bound is safe for both.
+pub fn sort_out_of_core_fused<K: SortKey>(
+    sorter: &FusedSort,
+    gpu: &mut Gpu,
+    data: &mut [K],
+    array_len: usize,
+) -> SimResult<OocStats> {
+    if array_len == 0 || !data.len().is_multiple_of(array_len) || data.is_empty() {
+        return Err(SimError::InvalidLaunch {
+            reason: format!(
+                "bad batch shape: len {} with array_len {array_len}",
+                data.len()
+            ),
+        });
+    }
+    let chunk_arrays = max_chunk_arrays(sorter.three_kernel(), gpu, array_len)?;
+
+    let mut chunks = Vec::new();
+    for (i, chunk) in data.chunks_mut(chunk_arrays * array_len).enumerate() {
+        let span = gpu.begin_span(&format!("ooc/chunk-{i}"));
+        let stats = sorter.sort(gpu, chunk, array_len)?;
+        gpu.end_span(span);
+        chunks.push(ChunkStats {
+            num_arrays: chunk.len() / array_len,
+            upload_ms: stats.upload_ms,
+            kernel_ms: stats.kernel_ms,
             download_ms: stats.download_ms,
         });
     }
@@ -272,6 +320,31 @@ mod tests {
         let stats = sort_out_of_core(&GpuArraySort::new(), &mut g, &mut data, n).unwrap();
         assert!(stats.pipelined_ms < stats.serial_ms);
         assert!(stats.overlap_saving() > 0.0 && stats.overlap_saving() < 1.0);
+    }
+
+    #[test]
+    fn fused_out_of_core_sorts_and_is_faster() {
+        let n = 1000;
+        let num = 30_000; // 120 MB on a 60 MiB device
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let data: Vec<f32> = (0..n * num).map(|_| rng.gen_range(0.0f32..1e9)).collect();
+
+        let mut paper_data = data.clone();
+        let mut g = small_gpu();
+        let paper = sort_out_of_core(&GpuArraySort::new(), &mut g, &mut paper_data, n).unwrap();
+
+        let mut fused_data = data;
+        let mut g = small_gpu();
+        let fused = sort_out_of_core_fused(&FusedSort::new(), &mut g, &mut fused_data, n).unwrap();
+
+        assert_eq!(paper_data, fused_data, "same sorted output");
+        assert_eq!(fused.chunks.len(), paper.chunks.len(), "same chunking");
+        assert!(
+            fused.serial_ms < paper.serial_ms,
+            "fused chunks must be cheaper: {} vs {}",
+            fused.serial_ms,
+            paper.serial_ms
+        );
     }
 
     #[test]

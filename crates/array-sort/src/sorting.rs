@@ -17,13 +17,13 @@ use gpu_sim::{AccessPattern, DeviceBuffer, Gpu, KernelStats, LaunchConfig, SimRe
 
 use crate::config::ArraySortConfig;
 use crate::geometry::BatchGeometry;
-use crate::insertion::insertion_sort;
+use crate::insertion::charged_staged_insertion_sort;
 use crate::key::SortKey;
 
 /// Cost charge (per thread) of a block-cooperative bitonic sort of `m`
 /// elements over `t_count` threads: O(m·log²m) compare-exchange steps,
 /// each a couple of shared accesses, divided across the block.
-fn bitonic_charge(t: &mut gpu_sim::ThreadCtx<'_>, m: u64, t_count: u64) {
+pub(crate) fn bitonic_charge(t: &mut gpu_sim::ThreadCtx<'_>, m: u64, t_count: u64) {
     if m < 2 {
         return;
     }
@@ -102,20 +102,12 @@ pub fn sort_buckets<K: SortKey>(
                 if len < 2 {
                     continue;
                 }
-                // Load bucket into shared memory: per-thread contiguous,
-                // warp-scattered.
-                t.charge_global(len as u64, elem_bytes, AccessPattern::Scattered);
-                t.charge_shared(len as u64);
-                // Real in-place insertion sort of this thread's bucket.
+                // Real in-place insertion sort of this thread's bucket,
+                // staged through shared memory.
                 // SAFETY: buckets are disjoint [start, start+len) ranges of
                 // array i, and each is owned by exactly one (block, thread).
                 let bucket = unsafe { dv.slice_mut(base + start, len) };
-                let work = insertion_sort(bucket);
-                t.charge_shared(2 * work.comparisons + work.moves);
-                t.charge_alu(work.comparisons);
-                // Store back.
-                t.charge_shared(len as u64);
-                t.charge_global(len as u64, elem_bytes, AccessPattern::Scattered);
+                charged_staged_insertion_sort(t, bucket);
             }
         });
 

@@ -24,6 +24,10 @@ pub struct BaselineRow {
     pub n: usize,
     /// Measured (simulated) kernel time in ms.
     pub measured_ms: f64,
+    /// Fused single-kernel pipeline's kernel time on the same point, ms
+    /// (0 in baselines recorded before the fused pipeline existed).
+    #[serde(default)]
+    pub fused_ms: f64,
 }
 
 /// A recorded Fig. 2 run: the knobs that shaped it plus the series.
@@ -58,6 +62,7 @@ impl Fig2Baseline {
                 .map(|r| BaselineRow {
                     n: r.n,
                     measured_ms: r.measured_ms,
+                    fused_ms: r.fused_ms,
                 })
                 .collect(),
             fitted_scale: report.fitted_scale,
@@ -127,6 +132,21 @@ impl Fig2Baseline {
                     (c.measured_ms - b.measured_ms) / b.measured_ms * 100.0,
                     tolerance * 100.0
                 ));
+            }
+            // Baselines recorded before the fused pipeline existed carry
+            // fused_ms = 0 — nothing to compare there.
+            if b.fused_ms > 0.0 {
+                let fused_drift = relative_drift(b.fused_ms, c.fused_ms);
+                if fused_drift > tolerance {
+                    drifts.push(format!(
+                        "n={}: fused {:.4} ms vs. baseline {:.4} ms ({:+.2}% > ±{:.0}%)",
+                        b.n,
+                        c.fused_ms,
+                        b.fused_ms,
+                        (c.fused_ms - b.fused_ms) / b.fused_ms * 100.0,
+                        tolerance * 100.0
+                    ));
+                }
             }
         }
         let fit_drift = relative_drift(self.fitted_scale, current.fitted_scale);
@@ -211,6 +231,38 @@ pub fn record_or_compare(
     }
 }
 
+/// The fused-pipeline speed gate: on every Fig. 2 point of `current`,
+/// the fused single-kernel time must undercut the three-kernel time by
+/// more than `tolerance` (relative). Returns one message per violation;
+/// empty is a pass. Unlike [`Fig2Baseline::compare`] this needs no
+/// stored numbers — both series come from the same run, so the gate
+/// genuinely gates even while the checked-in baseline is still the
+/// bootstrap sentinel.
+pub fn fused_speed_gate(current: &Fig2Baseline, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    if current.rows.is_empty() {
+        violations.push("no Fig. 2 points to gate the fused pipeline on".into());
+        return violations;
+    }
+    for r in &current.rows {
+        if r.fused_ms <= 0.0 {
+            violations.push(format!("n={}: no fused measurement recorded", r.n));
+            continue;
+        }
+        if r.fused_ms >= r.measured_ms * (1.0 - tolerance) {
+            violations.push(format!(
+                "n={}: fused {:.4} ms is not faster than the three-kernel {:.4} ms \
+                 (needs a > {:.0}% margin)",
+                r.n,
+                r.fused_ms,
+                r.measured_ms,
+                tolerance * 100.0
+            ));
+        }
+    }
+    violations
+}
+
 /// |a − b| relative to the baseline magnitude (0 when both are 0).
 fn relative_drift(baseline: f64, current: f64) -> f64 {
     if baseline == 0.0 {
@@ -237,10 +289,12 @@ mod tests {
                 BaselineRow {
                     n: 200,
                     measured_ms: 10.0,
+                    fused_ms: 6.0,
                 },
                 BaselineRow {
                     n: 400,
                     measured_ms: 21.0,
+                    fused_ms: 12.0,
                 },
             ],
             fitted_scale: 1.5e-6,
@@ -352,6 +406,48 @@ mod tests {
             other => panic!("expected Recorded, got {other:?}"),
         }
         assert_eq!(Fig2Baseline::load(&path).unwrap(), drifted);
+    }
+
+    #[test]
+    fn fused_drift_is_caught_and_legacy_baselines_skip_it() {
+        let b = sample();
+        let mut c = sample();
+        c.rows[1].fused_ms *= 1.10;
+        let drifts = b.compare(&c, 0.02);
+        assert_eq!(drifts.len(), 1, "{drifts:?}");
+        assert!(drifts[0].contains("fused"), "{drifts:?}");
+        // A pre-fused baseline (fused_ms = 0 from serde default) never
+        // flags fused drift — there is nothing recorded to compare.
+        let mut legacy = sample();
+        for r in &mut legacy.rows {
+            r.fused_ms = 0.0;
+        }
+        assert!(legacy.compare(&c, 0.02).is_empty());
+    }
+
+    #[test]
+    fn fused_speed_gate_requires_a_real_win() {
+        let good = sample();
+        assert!(fused_speed_gate(&good, 0.02).is_empty());
+        // Fused slower than the three kernels: violation named per point.
+        let mut slow = sample();
+        slow.rows[0].fused_ms = 10.5;
+        let v = fused_speed_gate(&slow, 0.02);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].contains("n=200") && v[0].contains("not faster"),
+            "{v:?}"
+        );
+        // A borderline "win" inside the tolerance margin does not count.
+        let mut marginal = sample();
+        marginal.rows[0].fused_ms = marginal.rows[0].measured_ms * 0.99;
+        assert_eq!(fused_speed_gate(&marginal, 0.02).len(), 1);
+        // Missing fused measurements are a failure, not a silent pass.
+        let mut missing = sample();
+        missing.rows[0].fused_ms = 0.0;
+        assert!(fused_speed_gate(&missing, 0.02)[0].contains("no fused measurement"));
+        let empty = Fig2Baseline::default();
+        assert!(!fused_speed_gate(&empty, 0.02).is_empty());
     }
 
     #[test]

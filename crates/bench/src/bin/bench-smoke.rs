@@ -4,6 +4,12 @@
 //! any drift beyond the tolerance is a real cost-model change and the
 //! process exits 1.
 //!
+//! The run also enforces the **fused speed gate**: on every sweep point
+//! the fused single-kernel pipeline must beat the three-kernel pipeline
+//! by more than the tolerance margin. Both series come from the same
+//! run, so this gate needs no stored baseline and fails loudly even
+//! while the checked-in file is still the bootstrap sentinel.
+//!
 //! ```text
 //! cargo run --release -p bench --bin bench-smoke
 //!     [--scale 0.02] [--tolerance 0.02] [--baseline PATH]
@@ -17,7 +23,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::baseline::{record_or_compare, Fig2Baseline, GateOutcome};
+use bench::baseline::{fused_speed_gate, record_or_compare, Fig2Baseline, GateOutcome};
 use bench::experiments::run_fig2_traced;
 use bench::report::default_out_dir;
 
@@ -58,8 +64,12 @@ fn main() -> ExitCode {
     let current = Fig2Baseline::from_report(scale, &report);
     for r in &report.rows {
         println!(
-            "n={:<5} measured {:>9.4} ms   theoretical {:>9.4} ms",
-            r.n, r.measured_ms, r.theoretical_ms
+            "n={:<5} measured {:>9.4} ms   theoretical {:>9.4} ms   fused {:>9.4} ms ({:.2}×)",
+            r.n,
+            r.measured_ms,
+            r.theoretical_ms,
+            r.fused_ms,
+            r.measured_ms / r.fused_ms.max(f64::MIN_POSITIVE)
         );
     }
     println!(
@@ -67,6 +77,20 @@ fn main() -> ExitCode {
         report.fitted_scale,
         report.nrmse * 100.0
     );
+
+    let fused_violations = fused_speed_gate(&current, tolerance);
+    if fused_violations.is_empty() {
+        println!(
+            "fused speed gate: PASS — gas-fused beats the three-kernel pipeline on all {} points\n",
+            current.rows.len()
+        );
+    } else {
+        eprintln!("FAIL — fused speed gate:");
+        for v in &fused_violations {
+            eprintln!("  {v}");
+        }
+        return ExitCode::FAILURE;
+    }
 
     match record_or_compare(&baseline_path, &current, tolerance, update) {
         Err(e) => {

@@ -7,17 +7,21 @@
 //!   slows down the process considerably", §5.2)
 //! * **D — sample sort vs. m-way merge** (§4.1's "no merge stage" claim,
 //!   quantified against an implemented merge variant)
+//! * **E — fused vs. three-kernel** (beyond the paper: the single-launch
+//!   `gas-fused` pipeline against the paper's three launches — kernel
+//!   time and global-memory transactions)
 //!
 //! ```text
 //! cargo run --release -p bench --bin repro-ablations \
 //!     [--bucket-sweep] [--sampling-sweep] [--threads-per-bucket] [--merge-variant] \
-//!     [--scale f | --full]
+//!     [--fused-variant] [--scale f | --full]
 //! ```
 //!
-//! With no selector flags, all four run.
+//! With no selector flags, all five run.
 
 use bench::experiments::{
-    run_bucket_ablation, run_merge_ablation, run_sampling_ablation, run_threads_ablation,
+    run_bucket_ablation, run_fused_ablation, run_merge_ablation, run_sampling_ablation,
+    run_threads_ablation,
 };
 use bench::report::{default_out_dir, fmt_ms, markdown_table, write_csv, write_json};
 
@@ -27,7 +31,11 @@ fn main() {
     let any_selector = args.iter().any(|a| {
         matches!(
             a.as_str(),
-            "--bucket-sweep" | "--sampling-sweep" | "--threads-per-bucket" | "--merge-variant"
+            "--bucket-sweep"
+                | "--sampling-sweep"
+                | "--threads-per-bucket"
+                | "--merge-variant"
+                | "--fused-variant"
         )
     });
     let want = |flag: &str| !any_selector || args.iter().any(|a| a == flag);
@@ -236,6 +244,70 @@ fn main() {
                 "merge_kernel_ms",
                 "merge_stage_ms",
                 "gas_p1p2_ms",
+            ],
+            &csv,
+        )
+        .unwrap();
+    }
+
+    if want("--fused-variant") {
+        println!("\n# Ablation E — fused single kernel vs. three launches\n");
+        let rows = run_fused_ablation(scale);
+        let md: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.array_len.to_string(),
+                    fmt_ms(r.gas_kernel_ms),
+                    fmt_ms(r.fused_kernel_ms),
+                    format!("{:.2}×", r.kernel_speedup),
+                    r.gas_global_txns.to_string(),
+                    r.fused_global_txns.to_string(),
+                    format!("{:.1}×", r.txn_reduction),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "n",
+                    "3-kernel time",
+                    "fused time",
+                    "speedup",
+                    "3-kernel gtxns",
+                    "fused gtxns",
+                    "traffic cut"
+                ],
+                &md
+            )
+        );
+        let csv: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.array_len.to_string(),
+                    format!("{:.4}", r.gas_kernel_ms),
+                    format!("{:.4}", r.fused_kernel_ms),
+                    format!("{:.4}", r.kernel_speedup),
+                    r.gas_global_txns.to_string(),
+                    r.fused_global_txns.to_string(),
+                    format!("{:.4}", r.txn_reduction),
+                ]
+            })
+            .collect();
+        write_json(&out, "ablation_fused_variant", &rows).unwrap();
+        write_csv(
+            &out,
+            "ablation_fused_variant",
+            &[
+                "array_len",
+                "gas_kernel_ms",
+                "fused_kernel_ms",
+                "kernel_speedup",
+                "gas_global_txns",
+                "fused_global_txns",
+                "txn_reduction",
             ],
             &csv,
         )

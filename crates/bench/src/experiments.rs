@@ -10,7 +10,7 @@
 
 use std::path::Path;
 
-use array_sort::{complexity, cpu_ref, sort_out_of_core, ArraySortConfig, GpuArraySort};
+use array_sort::{complexity, cpu_ref, sort_out_of_core, ArraySortConfig, FusedSort, GpuArraySort};
 use datagen::{ArrayBatch, DatasetDescriptor};
 use gpu_sim::{DeviceSpec, Gpu};
 use serde::{Deserialize, Serialize};
@@ -58,6 +58,9 @@ pub struct Fig2Row {
     pub measured_ms: f64,
     /// Fitted theoretical prediction in ms.
     pub theoretical_ms: f64,
+    /// Fused single-kernel pipeline's kernel time on the same data, ms.
+    #[serde(default)]
+    pub fused_ms: f64,
 }
 
 /// Fig. 2 report: the sweep plus the fit quality.
@@ -85,8 +88,10 @@ pub fn run_fig2(scale: f64) -> Fig2Report {
 pub fn run_fig2_traced(scale: f64, trace_dir: Option<&Path>) -> Fig2Report {
     let num_arrays = scaled(50_000, scale);
     let sorter = GpuArraySort::new();
+    let fused = FusedSort::new();
     let config = sorter.config().clone();
     let mut points = Vec::new();
+    let mut fused_points = Vec::new();
     let mut datasets = Vec::new();
 
     for step in 1..=10 {
@@ -102,7 +107,21 @@ pub fn run_fig2_traced(scale: f64, trace_dir: Option<&Path>) -> Fig2Report {
             "fig2 output must be sorted (n={n})"
         );
         persist_trace(trace_dir, &format!("fig2_n{n}"), &gpu);
+
+        // The fused single-kernel pipeline on identical data.
+        let mut fused_batch = desc.generate();
+        let mut fgpu = k40c();
+        let fstats = fused
+            .sort(&mut fgpu, fused_batch.as_flat_mut(), n)
+            .expect("fig2 batch fits the K40c");
+        assert_eq!(
+            batch, fused_batch,
+            "fused agrees with the three-kernel pipeline (n={n})"
+        );
+        persist_trace(trace_dir, &format!("fig2_n{n}_fused"), &fgpu);
+
         points.push((n, stats.kernel_ms()));
+        fused_points.push(fstats.kernel_ms);
         datasets.push(desc);
     }
 
@@ -110,10 +129,12 @@ pub fn run_fig2_traced(scale: f64, trace_dir: Option<&Path>) -> Fig2Report {
     let nrmse = complexity::nrmse(&points, &fit, &config);
     let rows = points
         .iter()
-        .map(|&(n, measured_ms)| Fig2Row {
+        .zip(&fused_points)
+        .map(|(&(n, measured_ms), &fused_ms)| Fig2Row {
             n,
             measured_ms,
             theoretical_ms: fit.predict(n, &config),
+            fused_ms,
         })
         .collect();
     Fig2Report {
@@ -136,6 +157,12 @@ pub struct RuntimeRow {
     pub gas_ms: f64,
     /// GPU-ArraySort kernel-only time, ms.
     pub gas_kernel_ms: f64,
+    /// Fused single-kernel pipeline total simulated time, ms.
+    #[serde(default)]
+    pub fused_ms: f64,
+    /// Fused single-kernel pipeline kernel-only time, ms.
+    #[serde(default)]
+    pub fused_kernel_ms: f64,
     /// STA total simulated time, ms.
     pub sta_ms: f64,
     /// STA kernel-only time, ms.
@@ -171,6 +198,7 @@ pub fn run_runtime_figure_traced(
 ) -> RuntimeReport {
     let fig_no = 3 + array_len.div_ceil(1000);
     let sorter = GpuArraySort::new();
+    let fused = FusedSort::new();
     let mut rows = Vec::new();
     let mut datasets = Vec::new();
     let n_cap = if array_len >= 4000 {
@@ -197,6 +225,19 @@ pub fn run_runtime_figure_traced(
             &gpu,
         );
 
+        // The fused single-kernel pipeline on the same input.
+        let mut fused_data = batch.clone();
+        let mut gpu = k40c();
+        let fused_stats = fused
+            .sort(&mut gpu, fused_data.as_flat_mut(), array_len)
+            .expect("fused fits at paper scales");
+        assert_eq!(gas_data, fused_data, "fused agrees with the three kernels");
+        persist_trace(
+            trace_dir,
+            &format!("fig{fig_no}_n{array_len}_N{num}_fused"),
+            &gpu,
+        );
+
         // STA baseline on the same input.
         let mut sta_data = batch;
         let mut gpu = k40c();
@@ -214,6 +255,8 @@ pub fn run_runtime_figure_traced(
             num_arrays: num,
             gas_ms: gas.total_ms(),
             gas_kernel_ms: gas.kernel_ms(),
+            fused_ms: fused_stats.total_ms(),
+            fused_kernel_ms: fused_stats.kernel_ms,
             sta_ms: sta.total_ms(),
             sta_kernel_ms: sta.kernel_ms(),
             speedup: sta.total_ms() / gas.total_ms(),
@@ -486,6 +529,73 @@ pub fn run_merge_ablation(scale: f64) -> Vec<MergeAblationRow> {
                 merge_kernel_ms: mv.kernel_ms(),
                 merge_stage_ms: mv.merge_ms,
                 gas_p1p2_ms: gas.phase1_ms + gas.phase2_ms,
+            }
+        })
+        .collect()
+}
+
+/// Ablation E: kernel fusion — the fused single-kernel pipeline against
+/// the paper's three launches, on identical data. Measures both kernel
+/// time and global memory transactions (the fused pipeline's ~6n → 2n
+/// per-array traffic claim).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusedAblationRow {
+    /// Array size n.
+    pub array_len: usize,
+    /// Three-kernel pipeline kernel time, ms.
+    pub gas_kernel_ms: f64,
+    /// Fused single-kernel time, ms.
+    pub fused_kernel_ms: f64,
+    /// Global memory transactions billed to the three-kernel run.
+    pub gas_global_txns: u64,
+    /// Global memory transactions billed to the fused run.
+    pub fused_global_txns: u64,
+    /// Three-kernel / fused kernel-time ratio.
+    pub kernel_speedup: f64,
+    /// Three-kernel / fused global-transaction ratio.
+    pub txn_reduction: f64,
+}
+
+/// Runs the fused-vs-three-kernel comparison across the paper's array
+/// sizes.
+pub fn run_fused_ablation(scale: f64) -> Vec<FusedAblationRow> {
+    let num = scaled(20_000, scale);
+    let sorter = GpuArraySort::new();
+    let fused = FusedSort::new();
+    FIG4TO7_SIZES
+        .iter()
+        .map(|&n| {
+            let desc = DatasetDescriptor::paper(0xF5ED + n as u64, num, n);
+            let mut a = desc.generate();
+            let mut gpu_a = k40c();
+            let gas = sorter.sort(&mut gpu_a, a.as_flat_mut(), n).expect("fits");
+            assert!(a.is_each_array_sorted());
+            let gas_txns: u64 = gpu_a
+                .timeline()
+                .kernels
+                .iter()
+                .map(|k| k.counters.global_txns())
+                .sum();
+
+            let mut b = desc.generate();
+            let mut gpu_b = k40c();
+            let fstats = fused.sort(&mut gpu_b, b.as_flat_mut(), n).expect("fits");
+            assert_eq!(a, b, "both pipelines agree at n={n}");
+            let fused_txns: u64 = gpu_b
+                .timeline()
+                .kernels
+                .iter()
+                .map(|k| k.counters.global_txns())
+                .sum();
+
+            FusedAblationRow {
+                array_len: n,
+                gas_kernel_ms: gas.kernel_ms(),
+                fused_kernel_ms: fstats.kernel_ms,
+                gas_global_txns: gas_txns,
+                fused_global_txns: fused_txns,
+                kernel_speedup: gas.kernel_ms() / fstats.kernel_ms,
+                txn_reduction: gas_txns as f64 / fused_txns.max(1) as f64,
             }
         })
         .collect()
@@ -871,6 +981,38 @@ mod tests {
             "Eq. 2 should track the measurement, NRMSE {}",
             r.nrmse
         );
+        for row in &r.rows {
+            assert!(
+                row.fused_ms < row.measured_ms,
+                "fused must beat three kernels at n={}: {} vs {}",
+                row.n,
+                row.fused_ms,
+                row.measured_ms
+            );
+        }
+    }
+
+    #[test]
+    fn fused_ablation_shows_speedup_and_traffic_cut() {
+        let rows = run_fused_ablation(0.01);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.fused_kernel_ms < r.gas_kernel_ms,
+                "fused slower at n={}: {} vs {}",
+                r.array_len,
+                r.fused_kernel_ms,
+                r.gas_kernel_ms
+            );
+            assert!(
+                r.fused_global_txns < r.gas_global_txns,
+                "fused must move less global data at n={}: {} vs {}",
+                r.array_len,
+                r.fused_global_txns,
+                r.gas_global_txns
+            );
+            assert!(r.kernel_speedup > 1.0 && r.txn_reduction > 1.0);
+        }
     }
 
     #[test]
@@ -884,9 +1026,10 @@ mod tests {
                 row.num_arrays
             );
         }
-        // Both series grow with N.
+        // Both series grow with N, and the fused series undercuts GAS.
         assert!(r.rows.windows(2).all(|w| w[0].gas_ms < w[1].gas_ms));
         assert!(r.rows.windows(2).all(|w| w[0].sta_ms < w[1].sta_ms));
+        assert!(r.rows.iter().all(|row| row.fused_ms < row.gas_ms));
     }
 
     #[test]

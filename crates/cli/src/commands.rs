@@ -5,8 +5,8 @@ use std::error::Error;
 use std::path::PathBuf;
 
 use array_sort::{
-    cpu_ref, recover_batch_with, sort_out_of_core_recovering, ArraySortConfig, GpuArraySort,
-    RecoveryReport, RetryPolicy,
+    cpu_ref, recover_batch_with, sort_out_of_core_recovering, ArraySortConfig, FusedSort,
+    GpuArraySort, RecoveryReport, RetryPolicy,
 };
 use datagen::{Arrangement, ArrayBatch, Distribution};
 use gpu_sim::{DeviceSpec, FaultPlan, Gpu};
@@ -103,8 +103,10 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
     let algorithm = args.get("algorithm").unwrap_or("gas");
     let faults = match args.get("faults") {
         Some(spec) => {
-            if algorithm != "gas" && algorithm != "sta" {
-                return Err("--faults is only supported with --algorithm gas or sta".into());
+            if algorithm != "gas" && algorithm != "sta" && algorithm != "gas-fused" {
+                return Err(
+                    "--faults is only supported with --algorithm gas or sta or gas-fused".into(),
+                );
             }
             Some(FaultPlan::parse(spec)?)
         }
@@ -147,6 +149,44 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
                     "GPU-ArraySort",
                     s.total_ms(),
                     s.kernel_ms(),
+                    s.peak_bytes,
+                    j,
+                )
+            }
+        }
+        "gas-fused" => {
+            let sorter = FusedSort::new();
+            if let Some(plan) = faults {
+                let policy = RetryPolicy::default().with_max_attempts(args.get_or("retries", 3)?);
+                gpu.set_fault_plan(Some(plan));
+                let (s, report) = recover_batch_with(
+                    &mut gpu,
+                    &mut data,
+                    array_len,
+                    &policy,
+                    "gas-fused/batch",
+                    |g, d| sorter.sort(g, d, array_len),
+                )?;
+                let (kernel_ms, peak) = match &s {
+                    Some(s) => (s.kernel_ms, s.peak_bytes),
+                    None => (0.0, gpu.ledger().peak()),
+                };
+                let j = serde_json::to_value(&s)?;
+                recovery = Some(report);
+                (
+                    "GPU-ArraySort fused (recovering)",
+                    gpu.elapsed_ms(),
+                    kernel_ms,
+                    peak,
+                    j,
+                )
+            } else {
+                let s = sorter.sort(&mut gpu, &mut data, array_len)?;
+                let j = serde_json::to_value(&s)?;
+                (
+                    "GPU-ArraySort fused",
+                    s.total_ms(),
+                    s.kernel_ms,
                     s.peak_bytes,
                     j,
                 )
@@ -210,7 +250,11 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
                 j,
             )
         }
-        other => return Err(format!("unknown algorithm {other:?} (gas|sta|segsort|merge)").into()),
+        other => {
+            return Err(
+                format!("unknown algorithm {other:?} (gas|gas-fused|sta|segsort|merge)").into(),
+            )
+        }
     };
 
     if args.flag("verify") {
@@ -329,23 +373,28 @@ pub fn cmd_profile(args: &Args) -> Result<String, AnyError> {
     let mut gpu = Gpu::new(spec);
     let batch = ArrayBatch::generate(seed, num, n, dist, Arrangement::Shuffled);
     let mut data = batch.as_flat().to_vec();
+    let mut fused_stats: Option<array_sort::FusedStats> = None;
     let label = match algorithm {
         "gas" => {
             GpuArraySort::new().sort(&mut gpu, &mut data, n)?;
             "GPU-ArraySort"
         }
+        "gas-fused" => {
+            fused_stats = Some(FusedSort::new().sort(&mut gpu, &mut data, n)?);
+            "GPU-ArraySort fused"
+        }
         "sta" => {
             thrust_sim::sta::sort_arrays(&mut gpu, &mut data, n)?;
             "STA (Thrust tagged)"
         }
-        other => return Err(format!("unknown algorithm {other:?} (gas|sta)").into()),
+        other => return Err(format!("unknown algorithm {other:?} (gas|gas-fused|sta)").into()),
     };
 
     let phases = gpu_sim::phase_summaries(gpu.timeline(), gpu.spec());
     write_trace_file(&gpu, &trace_path)?;
 
     if args.flag("json") {
-        Ok(serde_json::to_string_pretty(&serde_json::json!({
+        let mut doc = serde_json::json!({
             "algorithm": label,
             "device": gpu.spec().name,
             "num_arrays": num,
@@ -353,14 +402,31 @@ pub fn cmd_profile(args: &Args) -> Result<String, AnyError> {
             "elapsed_ms": gpu.elapsed_ms(),
             "trace": trace_path.display().to_string(),
             "phases": phases,
-        }))?)
+        });
+        if let Some(s) = &fused_stats {
+            doc["fused"] = serde_json::to_value(s)?;
+        }
+        Ok(serde_json::to_string_pretty(&doc)?)
     } else {
-        Ok(format!(
-            "{label} on {}: {num} arrays × {n}\n\n{}\ntrace written to {} — open it at https://ui.perfetto.dev",
+        let mut out = format!(
+            "{label} on {}: {num} arrays × {n}\n\n{}",
             gpu.spec().name,
             phase_table(&phases, gpu.elapsed_ms()),
+        );
+        if let Some(s) = &fused_stats {
+            out.push_str(&format!(
+                "\nfused kernel sub-phases (model-attributed, path: {:?}):\n",
+                s.path
+            ));
+            for (name, ms) in s.breakdown.rows() {
+                out.push_str(&format!("  {name:<14} {ms:>10.3} ms\n"));
+            }
+        }
+        out.push_str(&format!(
+            "\ntrace written to {} — open it at https://ui.perfetto.dev",
             trace_path.display()
-        ))
+        ));
+        Ok(out)
     }
 }
 
@@ -805,13 +871,15 @@ USAGE:
   gas generate --num-arrays N --array-len n --output FILE
                [--seed S] [--dist uniform|normal|exponential|pareto|constant|few-distinct]
                [--format f32le|csv]
-  gas sort     --input FILE [--array-len n] [--algorithm gas|sta|segsort|merge]
+  gas sort     --input FILE [--array-len n]
+               [--algorithm gas|gas-fused|sta|segsort|merge]
                [--device k40c|k20|k80|gtx980|test] [--adaptive] [--verify]
                [--faults SPEC] [--retries K]
                [--output FILE] [--trace FILE] [--stats] [--json]
-               (--faults, gas or sta, enables deterministic fault injection
-                and the recovering pipeline; the report gains a recovery
-                section)
+               (--faults, gas, gas-fused or sta, enables deterministic fault
+                injection and the recovering pipeline; the report gains a
+                recovery section. gas-fused is the single-kernel pipeline:
+                one launch stages, buckets, sorts and writes back each array)
   gas serve    [--devices N] [--device MIX] [--faults SPEC]
                [--workload FILE | --requests K --seed S]
                [--max-queue D] [--retries K] [--trace FILE] [--json]
@@ -832,9 +900,11 @@ USAGE:
                (seeded fault-injection campaign: every run must match the
                 CPU oracle and account for each injected fault, else exit 1)
   gas profile  --num-arrays N --array-len n [--seed S] [--dist ...]
-               [--algorithm gas|sta] [--device ...] [--trace FILE] [--json]
+               [--algorithm gas|gas-fused|sta] [--device ...] [--trace FILE]
+               [--json]
                (writes a Chrome trace — load at https://ui.perfetto.dev —
-                and prints the per-phase breakdown)
+                and prints the per-phase breakdown; gas-fused adds the
+                model-attributed sub-phase split of the single launch)
   gas capacity --array-len n [--device ...]
   gas devices  [--json]
 
@@ -908,7 +978,7 @@ mod tests {
             &f,
         ])
         .unwrap();
-        for algo in ["gas", "sta", "segsort", "merge"] {
+        for algo in ["gas", "gas-fused", "sta", "segsort", "merge"] {
             let msg = run(&[
                 "sort",
                 "--input",
@@ -1281,6 +1351,101 @@ mod tests {
         assert_eq!(v["verified"], true);
         assert_eq!(v["recovery"]["chunks"][0]["device_faults"], 1);
         assert_eq!(v["injected_faults"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn gas_fused_with_faults_recovers_and_reports() {
+        let f = tmp("fused_faults.bin");
+        run(&[
+            "generate",
+            "--num-arrays",
+            "40",
+            "--array-len",
+            "100",
+            "--output",
+            &f,
+        ])
+        .unwrap();
+        let msg = run(&[
+            "sort",
+            "--input",
+            &f,
+            "--array-len",
+            "100",
+            "--algorithm",
+            "gas-fused",
+            "--faults",
+            "seed=3,launch-at=0",
+            "--verify",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        assert_eq!(v["algorithm"], "GPU-ArraySort fused (recovering)");
+        assert_eq!(v["verified"], true);
+        assert_eq!(v["recovery"]["chunks"][0]["device_faults"], 1);
+        assert_eq!(v["injected_faults"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn profile_supports_gas_fused_with_subphase_breakdown() {
+        let t = tmp("profile_fused.trace.json");
+        let msg = run(&[
+            "profile",
+            "--num-arrays",
+            "30",
+            "--array-len",
+            "500",
+            "--algorithm",
+            "gas-fused",
+            "--trace",
+            &t,
+        ])
+        .unwrap();
+        for phase in [
+            "gas-fused/upload",
+            "gas-fused/fused-kernel",
+            "gas-fused/download",
+        ] {
+            assert!(msg.contains(phase), "table must list {phase}: {msg}");
+        }
+        for stage in [
+            "stage-in",
+            "sample-sort",
+            "bucket-index",
+            "bucket-sort",
+            "write-back",
+        ] {
+            assert!(msg.contains(stage), "breakdown must list {stage}: {msg}");
+        }
+        let msg = run(&[
+            "profile",
+            "--num-arrays",
+            "10",
+            "--array-len",
+            "300",
+            "--algorithm",
+            "gas-fused",
+            "--json",
+            "--trace",
+            &t,
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        assert_eq!(v["fused"]["path"], "fused");
+        assert!(v["fused"]["breakdown"]["sample_sort_ms"].as_f64().unwrap() > 0.0);
+        // The three spans telescope: they sum to the elapsed run time.
+        let elapsed = v["elapsed_ms"].as_f64().unwrap();
+        let sum: f64 = v["phases"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|p| p["span_ms"].as_f64().unwrap())
+            .sum();
+        assert!(
+            (sum - elapsed).abs() < 1e-6,
+            "phases {sum} vs elapsed {elapsed}"
+        );
     }
 
     #[test]

@@ -15,10 +15,21 @@
 //! **monotone** in the batch size, so admission decisions are stable
 //! and reproducible.
 
-use array_sort::complexity::eq2_unscaled;
-use array_sort::ArraySortConfig;
+use array_sort::complexity::{eq2_unscaled, fused_unscaled};
+use array_sort::{ArraySortConfig, BatchGeometry};
 use gpu_sim::DeviceSpec;
 use serde::{Deserialize, Serialize};
+
+/// Which GAS pipeline a projection (and the dispatch that trusts it)
+/// refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum GasVariant {
+    /// The paper's three-kernel pipeline.
+    ThreeKernel,
+    /// The fused single-kernel pipeline (`gas-fused`).
+    Fused,
+}
 
 /// Tunable constants of the admission estimator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,6 +67,51 @@ impl CostModel {
         let rounds = (num_arrays as f64 / spec.sm_count.max(1) as f64).ceil();
         let cycles = (per_array_ops * self.cycles_per_op * rounds).ceil() as u64;
         transfers + spec.cycles_to_ms(cycles)
+    }
+
+    /// Projected milliseconds for the **fused** single-kernel pipeline on
+    /// `spec`: same transfer model, but the kernel work follows the fused
+    /// operation count ([`fused_unscaled`] — binary-search bucketing
+    /// instead of the p-way rescan). Arrays too large for the fused
+    /// shared-memory layout fall back to the three-kernel pipeline at run
+    /// time, so the projection prices those at [`CostModel::device_ms`].
+    pub fn device_ms_fused(
+        &self,
+        spec: &DeviceSpec,
+        config: &ArraySortConfig,
+        num_arrays: usize,
+        array_len: usize,
+    ) -> f64 {
+        let geom = BatchGeometry::new(num_arrays.max(1), array_len, config);
+        if !geom.fits_fused_in_shared(4, spec) {
+            return self.device_ms(spec, config, num_arrays, array_len);
+        }
+        let bytes = (num_arrays as u64) * (array_len as u64) * 4;
+        let transfers = 2.0 * spec.transfer_ms(bytes);
+        let per_array_ops = fused_unscaled(array_len, config);
+        let rounds = (num_arrays as f64 / spec.sm_count.max(1) as f64).ceil();
+        let cycles = (per_array_ops * self.cycles_per_op * rounds).ceil() as u64;
+        transfers + spec.cycles_to_ms(cycles)
+    }
+
+    /// Projects **both** GAS variants for a request and returns the
+    /// cheaper one with its time — the admission/dispatch decision for
+    /// [`crate::Algorithm::Gas`] requests. Deterministic; ties go to the
+    /// paper-faithful three-kernel pipeline.
+    pub fn best_gas_variant(
+        &self,
+        spec: &DeviceSpec,
+        config: &ArraySortConfig,
+        num_arrays: usize,
+        array_len: usize,
+    ) -> (GasVariant, f64) {
+        let three = self.device_ms(spec, config, num_arrays, array_len);
+        let fused = self.device_ms_fused(spec, config, num_arrays, array_len);
+        if fused < three {
+            (GasVariant::Fused, fused)
+        } else {
+            (GasVariant::ThreeKernel, three)
+        }
     }
 
     /// Projected milliseconds for sorting the batch on the host with
@@ -97,6 +153,48 @@ mod tests {
             k40 < big,
             "a 15-SM K40c beats the 2-SM test device: {k40} vs {big}"
         );
+    }
+
+    #[test]
+    fn fused_projection_undercuts_three_kernel_on_paper_shapes() {
+        let m = CostModel::default();
+        let spec = DeviceSpec::tesla_k40c();
+        let cfg = ArraySortConfig::default();
+        for n in [1000usize, 2000, 3000, 4000] {
+            let three = m.device_ms(&spec, &cfg, 500, n);
+            let fused = m.device_ms_fused(&spec, &cfg, 500, n);
+            assert!(fused < three, "n={n}: fused {fused} vs three {three}");
+            let (variant, ms) = m.best_gas_variant(&spec, &cfg, 500, n);
+            assert_eq!(variant, GasVariant::Fused, "n={n}");
+            assert_eq!(ms, fused);
+        }
+    }
+
+    #[test]
+    fn variant_selection_is_not_a_constant() {
+        // Tiny arrays (p = 1 bucket) make the fused kernel's cooperative
+        // machinery pure overhead: the model must keep the three-kernel
+        // pipeline there and switch to fused where it wins.
+        let m = CostModel::default();
+        let spec = DeviceSpec::tesla_k40c();
+        let cfg = ArraySortConfig::default();
+        let (small, _) = m.best_gas_variant(&spec, &cfg, 64, 20);
+        assert_eq!(small, GasVariant::ThreeKernel);
+        let (large, _) = m.best_gas_variant(&spec, &cfg, 64, 2000);
+        assert_eq!(large, GasVariant::Fused);
+    }
+
+    #[test]
+    fn oversized_arrays_project_at_the_fallback_price() {
+        let m = CostModel::default();
+        let spec = DeviceSpec::tesla_k40c();
+        let cfg = ArraySortConfig::default();
+        // n = 8000 exceeds the fused shared-memory layout on the K40c.
+        let fused = m.device_ms_fused(&spec, &cfg, 100, 8000);
+        let three = m.device_ms(&spec, &cfg, 100, 8000);
+        assert_eq!(fused, three, "fallback priced as the three-kernel run");
+        let (variant, _) = m.best_gas_variant(&spec, &cfg, 100, 8000);
+        assert_eq!(variant, GasVariant::ThreeKernel, "ties keep the default");
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod request;
 pub mod service;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-pub use estimate::CostModel;
+pub use estimate::{CostModel, GasVariant};
 pub use pool::{device_by_name, parse_mix, DevicePool, PooledDevice};
 pub use report::{AttemptRecord, DeviceReport, Outcome, RequestRecord, ServiceReport};
 pub use request::{Algorithm, Priority, SortRequest, Workload, WorkloadConfig};

@@ -60,9 +60,14 @@ impl Priority {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 #[serde(rename_all = "lowercase")]
 pub enum Algorithm {
-    /// GPU-ArraySort, the paper's in-place three-phase pipeline.
+    /// GPU-ArraySort, the paper's in-place three-phase pipeline. The
+    /// service still projects both GAS variants for these requests and
+    /// dispatches whichever the cost model says is cheaper.
     #[default]
     Gas,
+    /// The fused single-kernel GAS pipeline, forced (no variant choice).
+    #[serde(rename = "gas-fused")]
+    GasFused,
     /// The sort-then-sort Thrust baseline (STA).
     Sta,
 }
@@ -72,8 +77,11 @@ impl Algorithm {
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "gas" => Ok(Algorithm::Gas),
+            "gas-fused" => Ok(Algorithm::GasFused),
             "sta" => Ok(Algorithm::Sta),
-            other => Err(format!("unknown algorithm '{other}' (expected gas|sta)")),
+            other => Err(format!(
+                "unknown algorithm '{other}' (expected gas|gas-fused|sta)"
+            )),
         }
     }
 
@@ -81,6 +89,7 @@ impl Algorithm {
     pub fn label(self) -> &'static str {
         match self {
             Algorithm::Gas => "gas",
+            Algorithm::GasFused => "gas-fused",
             Algorithm::Sta => "sta",
         }
     }
@@ -312,6 +321,7 @@ mod tests {
         assert_eq!(Priority::parse("critical").unwrap(), Priority::Critical);
         assert!(Priority::parse("urgent").is_err());
         assert_eq!(Algorithm::parse("sta").unwrap(), Algorithm::Sta);
+        assert_eq!(Algorithm::parse("gas-fused").unwrap(), Algorithm::GasFused);
         assert!(Algorithm::parse("quick").is_err());
         assert!(Priority::Low < Priority::Normal);
         assert!(Priority::High < Priority::Critical);

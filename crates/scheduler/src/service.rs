@@ -32,14 +32,14 @@
 
 use std::collections::VecDeque;
 
-use array_sort::{checkpointed_attempt, cpu_ref, GpuArraySort};
+use array_sort::{checkpointed_attempt, cpu_ref, FusedSort, GpuArraySort};
 use gpu_sim::FaultPlan;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::breaker::BreakerConfig;
-use crate::estimate::CostModel;
+use crate::estimate::{CostModel, GasVariant};
 use crate::pool::DevicePool;
 use crate::report::{AttemptRecord, DeviceReport, Outcome, RequestRecord, ServiceReport};
 use crate::request::{Algorithm, SortRequest, Workload};
@@ -95,6 +95,7 @@ pub struct SortService {
     cfg: SchedulerConfig,
     pool: DevicePool,
     sorter: GpuArraySort,
+    fused: FusedSort,
     rng: ChaCha8Rng,
 }
 
@@ -112,6 +113,7 @@ impl SortService {
             cfg,
             pool,
             sorter: GpuArraySort::new(),
+            fused: FusedSort::new(),
             rng,
         })
     }
@@ -264,14 +266,7 @@ impl SortService {
             .devices
             .iter()
             .filter(|d| !d.breaker.is_blacklisted() && self.fits(d.spec(), &req))
-            .map(|d| {
-                self.cfg.cost.device_ms(
-                    d.spec(),
-                    self.sorter.config(),
-                    req.num_arrays,
-                    req.array_len,
-                )
-            })
+            .map(|d| self.projected_ms(d.spec(), &req))
             .fold(f64::INFINITY, f64::min);
         let healthy = self.pool.healthy_count().max(1) as f64;
         let backlog: f64 = queue.iter().map(|p| p.est_ms).sum::<f64>()
@@ -384,12 +379,7 @@ impl SortService {
             {
                 continue;
             }
-            let est = self.cfg.cost.device_ms(
-                d.spec(),
-                self.sorter.config(),
-                p.req.num_arrays,
-                p.req.array_len,
-            );
+            let est = self.projected_ms(d.spec(), &p.req);
             if est < best_est {
                 best_est = est;
                 best = vec![d.index];
@@ -413,10 +403,38 @@ impl SortService {
     /// Does the batch fit the device under the request's algorithm?
     fn fits(&self, spec: &gpu_sim::DeviceSpec, req: &SortRequest) -> bool {
         match req.algorithm {
-            Algorithm::Gas => self.sorter.max_arrays(spec, req.array_len) >= req.num_arrays as u64,
+            // Fused capacity is bounded by the three-kernel plan (its
+            // fallback), so one check covers both GAS variants.
+            Algorithm::Gas | Algorithm::GasFused => {
+                self.sorter.max_arrays(spec, req.array_len) >= req.num_arrays as u64
+            }
             Algorithm::Sta => {
                 thrust_sim::sta::max_arrays(spec, req.array_len as u64) >= req.num_arrays as u64
             }
+        }
+    }
+
+    /// Cost-model service projection for one request on one device. GAS
+    /// requests are priced at the cheaper of the two pipeline variants —
+    /// the same choice [`SortService::execute`] dispatches.
+    fn projected_ms(&self, spec: &gpu_sim::DeviceSpec, req: &SortRequest) -> f64 {
+        let cfg = self.sorter.config();
+        match req.algorithm {
+            Algorithm::Gas => {
+                self.cfg
+                    .cost
+                    .best_gas_variant(spec, cfg, req.num_arrays, req.array_len)
+                    .1
+            }
+            Algorithm::GasFused => {
+                self.cfg
+                    .cost
+                    .device_ms_fused(spec, cfg, req.num_arrays, req.array_len)
+            }
+            Algorithm::Sta => self
+                .cfg
+                .cost
+                .device_ms(spec, cfg, req.num_arrays, req.array_len),
         }
     }
 
@@ -437,19 +455,42 @@ impl SortService {
         };
         let array_len = p.req.array_len;
         let checkpoint = p.data.clone();
+        let cost = &self.cfg.cost;
         let sorter = &self.sorter;
+        let fused = &self.fused;
         let dev = &mut self.pool.devices[di];
+        // `Gas` requests run whichever pipeline variant the cost model
+        // projected cheaper on this device; `GasFused` forces the fused
+        // pipeline (which still falls back internally when the arrays
+        // exceed the fused shared-memory layout).
+        let variant = match p.req.algorithm {
+            Algorithm::Gas => {
+                cost.best_gas_variant(dev.spec(), sorter.config(), p.req.num_arrays, array_len)
+                    .0
+            }
+            Algorithm::GasFused => GasVariant::Fused,
+            Algorithm::Sta => GasVariant::ThreeKernel,
+        };
         dev.breaker.on_dispatch(now);
         let t0 = dev.gpu.elapsed_ms();
-        let result = match p.req.algorithm {
-            Algorithm::Gas => checkpointed_attempt(
+        let result = match (p.req.algorithm, variant) {
+            (Algorithm::Gas | Algorithm::GasFused, GasVariant::Fused) => checkpointed_attempt(
                 &mut dev.gpu,
                 &mut p.data,
                 &checkpoint,
                 &span_name,
-                |g, d| sorter.sort(g, d, array_len).map(|_| ()),
+                |g, d| fused.sort(g, d, array_len).map(|_| ()),
             ),
-            Algorithm::Sta => checkpointed_attempt(
+            (Algorithm::Gas | Algorithm::GasFused, GasVariant::ThreeKernel) => {
+                checkpointed_attempt(
+                    &mut dev.gpu,
+                    &mut p.data,
+                    &checkpoint,
+                    &span_name,
+                    |g, d| sorter.sort(g, d, array_len).map(|_| ()),
+                )
+            }
+            (Algorithm::Sta, _) => checkpointed_attempt(
                 &mut dev.gpu,
                 &mut p.data,
                 &checkpoint,
@@ -822,6 +863,73 @@ mod tests {
         let report = s.run(&w).unwrap();
         assert_eq!(report.invariant_violations(), Vec::<String>::new());
         assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn gas_fused_requests_are_served_too() {
+        let mut w = small_workload(10, 20);
+        for r in &mut w.requests {
+            r.algorithm = Algorithm::GasFused;
+        }
+        let plan = FaultPlan::seeded(4).with_launch_failure(0.05);
+        let mut s = service(2, SchedulerConfig::default(), Some(&plan));
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.invariant_violations(), Vec::<String>::new());
+        assert!(report.completed > 0);
+        // The forced-fused requests actually ran the fused kernel.
+        let fused_launches = s
+            .pool()
+            .devices
+            .iter()
+            .flat_map(|d| d.gpu.timeline().kernels.iter())
+            .filter(|k| k.name == "gas_fused")
+            .count();
+        assert!(fused_launches > 0, "forced gas-fused requests ran fused");
+    }
+
+    #[test]
+    fn cost_model_dispatches_the_fused_variant_where_it_is_cheaper() {
+        // Paper-shaped arrays (n = 2000): the cost model projects the
+        // fused pipeline cheaper, so plain `gas` requests must be served
+        // by the fused kernel — no `gas-fused` algorithm requested.
+        let w = Workload {
+            requests: (0..4)
+                .map(|id| SortRequest {
+                    id,
+                    num_arrays: 4,
+                    array_len: 2000,
+                    data_seed: 100 + id,
+                    algorithm: Algorithm::Gas,
+                    priority: Priority::Normal,
+                    arrival_ms: id as f64 * 0.1,
+                    deadline_ms: 1e9,
+                })
+                .collect(),
+        };
+        let mut s = SortService::new(
+            parse_mix("k40c", 1).unwrap(),
+            SchedulerConfig::default(),
+            None,
+        )
+        .unwrap();
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.invariant_violations(), Vec::<String>::new());
+        assert_eq!(report.completed, 4);
+        let kernels: Vec<String> = s.pool().devices[0]
+            .gpu
+            .timeline()
+            .kernels
+            .iter()
+            .map(|k| k.name.clone())
+            .collect();
+        assert!(
+            kernels.iter().any(|n| n == "gas_fused"),
+            "cost model should route n=2000 gas requests to the fused kernel: {kernels:?}"
+        );
+        assert!(
+            !kernels.iter().any(|n| n.starts_with("gas_phase")),
+            "no three-kernel launches expected for these shapes: {kernels:?}"
+        );
     }
 
     #[test]

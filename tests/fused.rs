@@ -1,0 +1,222 @@
+//! Cross-crate properties for the fused single-kernel pipeline
+//! (`gas-fused`): for any batch shape, seed or special float values it
+//! must return exactly what the CPU oracle returns; under any seeded
+//! [`FaultPlan`] the recovering wrapper must still produce the oracle
+//! answer; and on the paper's Fig. 2 shapes it must move strictly fewer
+//! global-memory transactions than the three-kernel pipeline.
+
+use array_sort::{cpu_ref, recover_batch_with, FusedSort, GpuArraySort, RetryPolicy};
+use gpu_sim::{DeviceSpec, FaultPlan, Gpu};
+use proptest::prelude::*;
+
+fn xorshift_floats(seed: u64, count: usize) -> Vec<f32> {
+    let mut x = seed | 1;
+    (0..count)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x >> 16) as f32) / 1e4
+        })
+        .collect()
+}
+
+fn device() -> Gpu {
+    Gpu::new(DeviceSpec::tesla_k40c())
+}
+
+/// f32 values including negatives, zeros, infinities and NaN.
+fn any_f32_element() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        8 => -1e9f32..1e9f32,
+        1 => Just(0.0f32),
+        1 => Just(-0.0f32),
+        1 => Just(f32::INFINITY),
+        1 => Just(f32::NEG_INFINITY),
+        1 => Just(f32::NAN),
+        1 => Just(f32::MIN_POSITIVE),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fused_matches_the_cpu_oracle_for_any_shape(
+        array_len in 1usize..300,
+        num_arrays in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut data = xorshift_floats(seed, array_len * num_arrays);
+        let original = data.clone();
+        let mut gpu = device();
+        FusedSort::new().sort(&mut gpu, &mut data, array_len).unwrap();
+        prop_assert!(cpu_ref::is_each_sorted(&data, array_len));
+        prop_assert_eq!(cpu_ref::verify_against(&original, &data, array_len), None);
+    }
+
+    #[test]
+    fn fused_handles_special_float_values(
+        values in proptest::collection::vec(any_f32_element(), 1..400),
+        array_len in 1usize..64,
+    ) {
+        // Trim to a whole number of arrays (≥1).
+        let n = array_len.min(values.len());
+        let usable = (values.len() / n) * n;
+        let mut data = values[..usable].to_vec();
+        let mut expect = data.clone();
+        let mut gpu = device();
+        FusedSort::new().sort(&mut gpu, &mut data, n).unwrap();
+        for seg in expect.chunks_mut(n) {
+            seg.sort_by(f32::total_cmp);
+        }
+        let a: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = expect.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fused_always_agrees_with_the_three_kernel_pipeline(
+        array_len in 1usize..250,
+        num_arrays in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let total = array_len * num_arrays;
+        let mut a = xorshift_floats(seed, total);
+        let mut b = a.clone();
+        let mut gpu = device();
+        FusedSort::new().sort(&mut gpu, &mut a, array_len).unwrap();
+        let mut gpu = device();
+        GpuArraySort::new().sort(&mut gpu, &mut b, array_len).unwrap();
+        prop_assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Chaos invariant: wrapped in [`recover_batch_with`], the fused
+    /// pipeline must return the oracle answer under *any* seeded fault
+    /// plan, and the report must account for every error-producing fault.
+    #[test]
+    fn fused_under_any_fault_plan_yields_the_oracle(
+        fault_seed in any::<u64>(),
+        data_seed in any::<u64>(),
+        launch in 0.0f64..0.30,
+        abort in 0.0f64..0.20,
+        corrupt in 0.0f64..0.20,
+        oom in 0.0f64..0.15,
+        stall in 0.0f64..0.30,
+        num_arrays in 4usize..60,
+        array_len in 4usize..64,
+    ) {
+        let plan = FaultPlan::seeded(fault_seed)
+            .with_launch_failure(launch)
+            .with_transfer_abort(abort)
+            .with_transfer_corruption(corrupt)
+            .with_alloc_oom(oom)
+            .with_stream_stall(stall, 0.5);
+        let mut data = xorshift_floats(data_seed, num_arrays * array_len);
+        let original = data.clone();
+        let mut gpu = Gpu::new(DeviceSpec::test_device());
+        gpu.set_fault_plan(Some(plan));
+        let sorter = FusedSort::new();
+        let (_, report) = recover_batch_with(
+            &mut gpu,
+            &mut data,
+            array_len,
+            &RetryPolicy::default(),
+            "gas-fused/batch",
+            |g, d| sorter.sort(g, d, array_len),
+        )
+        .expect("cpu fallback makes the recovering fused sorter infallible");
+
+        prop_assert!(cpu_ref::is_each_sorted(&data, array_len));
+        prop_assert_eq!(
+            cpu_ref::verify_against(&original, &data, array_len),
+            None,
+            "output must match the CPU oracle"
+        );
+        let error_faults = gpu
+            .injected_faults()
+            .iter()
+            .filter(|f| f.kind.is_error())
+            .count();
+        prop_assert_eq!(
+            report.device_faults() as usize,
+            error_faults,
+            "every injected error fault must be accounted for"
+        );
+    }
+
+    /// With no faults installed the recovering fused path must be a
+    /// clean single attempt that keeps its device stats.
+    #[test]
+    fn fused_recovery_is_transparent_without_faults(
+        data_seed in any::<u64>(),
+        num_arrays in 1usize..30,
+        array_len in 1usize..128,
+    ) {
+        let mut data = xorshift_floats(data_seed, num_arrays * array_len);
+        let original = data.clone();
+        let mut gpu = Gpu::new(DeviceSpec::test_device());
+        let sorter = FusedSort::new();
+        let (stats, report) = recover_batch_with(
+            &mut gpu,
+            &mut data,
+            array_len,
+            &RetryPolicy::default(),
+            "gas-fused/batch",
+            |g, d| sorter.sort(g, d, array_len),
+        )
+        .unwrap();
+        prop_assert!(stats.is_some(), "clean run keeps its device stats");
+        prop_assert!(report.is_clean());
+        prop_assert_eq!(report.wasted_ms(), 0.0);
+        prop_assert_eq!(cpu_ref::verify_against(&original, &data, array_len), None);
+    }
+}
+
+/// On the paper's Fig. 2 shapes the fused kernel must move strictly
+/// fewer global-memory transactions than the three launches it replaces
+/// — the whole point of staging into shared memory once.
+#[test]
+fn fused_moves_less_global_traffic_on_fig2_shapes() {
+    for n in [200usize, 600, 1000, 1400, 2000] {
+        let num = 40;
+        let data = xorshift_floats(0xF16_2 + n as u64, num * n);
+
+        let mut fused_data = data.clone();
+        let mut g1 = device();
+        FusedSort::new().sort(&mut g1, &mut fused_data, n).unwrap();
+        let fused_txns: u64 = g1
+            .timeline()
+            .kernels
+            .iter()
+            .map(|k| k.counters.global_txns())
+            .sum();
+
+        let mut gas_data = data;
+        let mut g2 = device();
+        GpuArraySort::new().sort(&mut g2, &mut gas_data, n).unwrap();
+        let gas_txns: u64 = g2
+            .timeline()
+            .kernels
+            .iter()
+            .map(|k| k.counters.global_txns())
+            .sum();
+
+        assert_eq!(
+            fused_data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            gas_data.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "pipelines must agree before their bills are compared (n={n})"
+        );
+        assert!(
+            fused_txns < gas_txns,
+            "n={n}: fused {fused_txns} global txns vs three-kernel {gas_txns}"
+        );
+    }
+}
