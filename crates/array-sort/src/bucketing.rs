@@ -53,17 +53,10 @@ pub struct BucketingOutcome {
     pub staging: StagingStrategy,
 }
 
-/// Returns the bucket index of `x` within ascending `bounds`
-/// (`bounds[0] = -∞ sentinel … bounds[p] = +∞ sentinel`): the largest `j`
-/// with `bounds[j] ≤ x`, capped at `p − 1`. Matches the per-thread pair
-/// predicate `bounds[j] ≤ x < bounds[j+1]` (last bucket upper-inclusive).
-#[inline]
-pub fn bucket_index<K: SortKey>(bounds: &[K], x: K) -> usize {
-    let p = bounds.len() - 1;
-    // partition_point: first index where bounds[idx] > x.
-    let hi = bounds.partition_point(|&b| b.le(x));
-    hi.saturating_sub(1).min(p - 1)
-}
+// The splitter binary search lives in `splitters` (one definition shared
+// by every variant); re-exported here because Phase 2 is its historical
+// home and downstream callers import it from both paths.
+pub use crate::splitters::bucket_index;
 
 /// Runs the bucketing kernel: reorders `data` so each array's buckets are
 /// contiguous and in splitter order, and fills `bucket_sizes` (table `Z`).

@@ -50,6 +50,23 @@ pub fn fused_unscaled(array_len: usize, config: &ArraySortConfig) -> f64 {
     4.0 * n / p + r * n * log_n + (n / p) * log_p1 + (n / p) * log_n
 }
 
+/// The *unscaled* per-array cost of the warp-multisplit fused pipeline
+/// (`gas-warp`): [`fused_unscaled`] with the histogram/scatter constant
+/// tightened from ≈ 4 to ≈ 3 touches per element — ballots and shuffles
+/// replace the per-element histogram atomic and the bucket-id record,
+/// and the padded scatter removes the serialized bank passes the
+/// unpadded layout pays. Strictly below [`fused_unscaled`] for every
+/// n ≥ 2, which is what lets the scheduler prefer it whenever the padded
+/// layout fits.
+pub fn warp_unscaled(array_len: usize, config: &ArraySortConfig) -> f64 {
+    let n = array_len as f64;
+    let p = config.buckets_for(array_len) as f64;
+    let r = config.sampling_rate;
+    let log_n = if n > 1.0 { n.log2() } else { 0.0 };
+    let log_p1 = (p + 1.0).log2();
+    3.0 * n / p + r * n * log_n + (n / p) * log_p1 + (n / p) * log_n
+}
+
 /// A fitted theoretical curve: `predict(n) = scale · eq2(n)`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FittedModel {
@@ -193,6 +210,18 @@ mod tests {
         let c = cfg();
         assert!(fused_unscaled(1, &c).is_finite());
         assert!(fused_unscaled(20, &c) > 0.0);
+    }
+
+    #[test]
+    fn warp_model_undercuts_the_fused_model_everywhere() {
+        let c = cfg();
+        for n in [2, 20, 200, 1000, 2000, 3000, 4000, 5000] {
+            assert!(
+                warp_unscaled(n, &c) < fused_unscaled(n, &c),
+                "warp model must undercut fused at n={n}"
+            );
+        }
+        assert!(warp_unscaled(1, &c).is_finite());
     }
 
     #[test]

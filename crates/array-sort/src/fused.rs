@@ -31,16 +31,61 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use gpu_sim::{AccessPattern, DeviceBuffer, Gpu, LaunchConfig, SimError, SimResult};
+use gpu_sim::{banks, warp, AccessPattern, DeviceBuffer, Gpu, LaunchConfig, SimError, SimResult};
 use serde::{Deserialize, Serialize};
 
-use crate::bucketing::{bucket_balance, bucket_index, BalanceStats};
+use crate::bucketing::{bucket_balance, BalanceStats};
 use crate::config::{ArraySortConfig, ConfigError};
 use crate::geometry::BatchGeometry;
 use crate::insertion::{charge_insertion_work, insertion_sort, simulated_insertion_sort};
 use crate::key::SortKey;
 use crate::pipeline::GpuArraySort;
 use crate::sorting::bitonic_charge;
+use crate::splitters::bucket_index;
+
+/// Which bucketing + scatter machinery the fused kernel runs. The three
+/// strategies produce bit-identical output (all call the shared
+/// [`bucket_index`] search); they differ only in *how* the histogram,
+/// scan and scatter are executed — and therefore in what they cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[serde(rename_all = "kebab-case")]
+pub enum FusedStrategy {
+    /// PR 5's machinery: shared-memory histogram built with per-element
+    /// shared atomics (billed with their honest same-counter contention),
+    /// a shared-memory block scan, and an unpadded scatter that pays its
+    /// measured bank-conflict degree.
+    #[default]
+    Histogram,
+    /// Warp-level multisplit (Ashkiani et al.): per-warp ballot
+    /// histograms, shuffle-based exclusive scans and warp-aggregated
+    /// (leader-only) atomics — but still the unpadded scatter. The
+    /// ablation midpoint isolating the bucketing win from the layout win.
+    WarpMultisplit,
+    /// Warp multisplit **plus** the Sitchinava–Weichert padded
+    /// conflict-free scatter layout — the `gas-warp` algorithm.
+    WarpConflictFree,
+}
+
+impl FusedStrategy {
+    /// Display label (matches the CLI algorithm names where applicable).
+    pub fn label(self) -> &'static str {
+        match self {
+            FusedStrategy::Histogram => "histogram",
+            FusedStrategy::WarpMultisplit => "warp-multisplit",
+            FusedStrategy::WarpConflictFree => "conflict-free",
+        }
+    }
+
+    /// Whether this strategy buckets with warp ballots/shuffles.
+    pub fn uses_warp_multisplit(self) -> bool {
+        !matches!(self, FusedStrategy::Histogram)
+    }
+
+    /// Whether the scatter destination uses the padded layout.
+    pub fn pads_scatter(self) -> bool {
+        matches!(self, FusedStrategy::WarpConflictFree)
+    }
+}
 
 /// Which path actually sorted the batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -134,19 +179,48 @@ impl FusedStats {
 #[derive(Debug, Clone, Default)]
 pub struct FusedSort {
     inner: GpuArraySort,
+    strategy: FusedStrategy,
 }
 
 impl FusedSort {
-    /// A fused sorter with the paper's default parameters.
+    /// A fused sorter with the paper's default parameters and PR 5's
+    /// histogram bucketing (`gas-fused`).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// The warp-multisplit, conflict-free-scatter sorter (`gas-warp`).
+    pub fn warp() -> Self {
+        Self::with_strategy(FusedStrategy::WarpConflictFree)
+    }
+
+    /// A fused sorter with an explicit bucketing strategy.
+    pub fn with_strategy(strategy: FusedStrategy) -> Self {
+        Self {
+            inner: GpuArraySort::default(),
+            strategy,
+        }
+    }
+
     /// A fused sorter with explicit parameters (validated).
     pub fn with_config(config: ArraySortConfig) -> Result<Self, ConfigError> {
+        Self::with_config_and_strategy(config, FusedStrategy::default())
+    }
+
+    /// Explicit parameters *and* strategy (validated).
+    pub fn with_config_and_strategy(
+        config: ArraySortConfig,
+        strategy: FusedStrategy,
+    ) -> Result<Self, ConfigError> {
         Ok(Self {
             inner: GpuArraySort::with_config(config)?,
+            strategy,
         })
+    }
+
+    /// The active bucketing strategy.
+    pub fn strategy(&self) -> FusedStrategy {
+        self.strategy
     }
 
     /// The active configuration.
@@ -240,7 +314,12 @@ impl FusedSort {
         data: &DeviceBuffer<K>,
         geom: &BatchGeometry,
     ) -> SimResult<(FusedPath, FusedBreakdown, BalanceStats)> {
-        if !geom.fits_fused_in_shared(K::ELEM_BYTES, gpu.spec()) {
+        let fits = if self.strategy.pads_scatter() {
+            geom.fits_warp_in_shared(K::ELEM_BYTES, gpu.spec())
+        } else {
+            geom.fits_fused_in_shared(K::ELEM_BYTES, gpu.spec())
+        };
+        if !fits {
             let span = gpu.begin_span("gas-fused/fused-kernel");
             let run = self.inner.sort_device(gpu, data, geom);
             gpu.end_span(span);
@@ -254,7 +333,7 @@ impl FusedSort {
 
         let mut zbuf = gpu.alloc::<u32>(geom.bucket_table_len())?;
         let span = gpu.begin_span("gas-fused/fused-kernel");
-        let kernel = fused_kernel(gpu, data, &zbuf, geom, self.config());
+        let kernel = fused_kernel(gpu, data, &zbuf, geom, self.config(), self.strategy);
         gpu.end_span(span);
         let (kernel_ms, stage_cycles) = kernel?;
         let balance = bucket_balance(&mut zbuf, geom);
@@ -279,6 +358,27 @@ impl FusedSort {
     }
 }
 
+/// Splits one array's element indices into the warp-sized groups the
+/// lockstep execution actually forms: threads process elements in rounds
+/// of `t_count` (element `k` belongs to lane `k % t_count` of round
+/// `k / t_count`), and each round's lanes fold into warps of `ws`.
+/// Returns `(start, len)` per group, in element order.
+fn warp_groups(n: usize, t_count: usize, ws: usize) -> Vec<(usize, usize)> {
+    let mut groups = Vec::with_capacity(n.div_ceil(ws.max(1)) + n.div_ceil(t_count.max(1)));
+    let mut k0 = 0;
+    while k0 < n {
+        let round_end = (k0 + t_count).min(n);
+        let mut g = k0;
+        while g < round_end {
+            let end = (g + ws).min(round_end);
+            groups.push((g, end - g));
+            g = end;
+        }
+        k0 = round_end;
+    }
+    groups
+}
+
 /// Launches the fused kernel proper. Returns its wall time and the six
 /// per-stage cycle-estimate tallies for [`FusedBreakdown`].
 fn fused_kernel<K: SortKey>(
@@ -287,6 +387,7 @@ fn fused_kernel<K: SortKey>(
     bucket_sizes: &DeviceBuffer<u32>,
     geom: &BatchGeometry,
     config: &ArraySortConfig,
+    strategy: FusedStrategy,
 ) -> SimResult<(f64, [u64; 6])> {
     assert_eq!(data.len(), geom.total_elems(), "data/geometry mismatch");
     assert_eq!(
@@ -300,6 +401,7 @@ fn fused_kernel<K: SortKey>(
     let s = geom.samples_per_array;
     let threads = geom.block_threads(config, gpu.spec());
     let t_count = threads as usize;
+    let ws = gpu.spec().warp_size as usize;
     let dv = data.view();
     let zv = bucket_sizes.view();
     let geom = *geom;
@@ -311,7 +413,16 @@ fn fused_kernel<K: SortKey>(
     let adaptive = config.adaptive_bucket_sort;
     let adaptive_cap = config.adaptive_threshold.max(1) * config.target_bucket_size.max(1);
 
-    let shared_want = geom.fused_shared_bytes_needed(elem_bytes);
+    let shared_want = if strategy.pads_scatter() {
+        geom.warp_shared_bytes_needed(elem_bytes)
+    } else {
+        geom.fused_shared_bytes_needed(elem_bytes)
+    };
+    let kernel_name = match strategy {
+        FusedStrategy::Histogram => "gas_fused",
+        FusedStrategy::WarpMultisplit => "gas_warp_multisplit",
+        FusedStrategy::WarpConflictFree => "gas_warp",
+    };
     let cfg = LaunchConfig::grid(geom.num_arrays as u32, threads).with_shared(shared_want);
 
     // Per-stage cycle estimates (default cost-model weights: shared = 2,
@@ -321,7 +432,7 @@ fn fused_kernel<K: SortKey>(
     let stages: [AtomicU64; 6] = Default::default();
     let tally = |i: usize, c: u64| stages[i].fetch_add(c, Ordering::Relaxed);
 
-    let stats = gpu.launch("gas_fused", cfg, |block| {
+    let stats = gpu.launch(kernel_name, cfg, |block| {
         let i = block.block_idx() as usize;
         let base = i * n;
         let zrow = geom.bucket_offset(i);
@@ -354,21 +465,59 @@ fn fused_kernel<K: SortKey>(
             .collect();
 
         // Stage 4: exclusive scan + stable in-shared scatter into the
-        // second buffer, then adopt it as the working copy.
+        // second buffer, then adopt it as the working copy. `pos[k]` is
+        // element k's scatter destination — the bank-conflict analysis
+        // below runs on these real addresses, not a model of them.
         let mut offsets = vec![0usize; p + 1];
         for j in 0..p {
             offsets[j + 1] = offsets[j] + counts[j] as usize;
         }
         let mut cursors = offsets.clone();
         let mut staged = vec![K::default(); n];
+        let mut pos = vec![0usize; n];
         for (k, &x) in arr.iter().enumerate() {
             let j = ids[k] as usize;
+            pos[k] = cursors[j];
             staged[cursors[j]] = x;
             cursors[j] += 1;
         }
         arr.copy_from_slice(&staged);
         for j in 0..p {
             zv.set(zrow + j, counts[j]);
+        }
+
+        // ---- Warp-group measurement. Lockstep assigns element k to lane
+        // `k % t_count` of round `k / t_count`; [`warp_groups`] recovers
+        // the warp-sized lane groups that execution order forms. Per
+        // group we measure, from the real ids and destinations:
+        //  * `contention[k]` — lanes in k's warp hitting k's bucket
+        //    (same-counter serialization of the histogram's atomics);
+        //  * `is_leader[k]` — whether k's lane is the lowest peer of its
+        //    bucket (the one lane a warp-aggregated update lets through);
+        //  * `scatter_degree[k]` — the measured bank-conflict degree of
+        //    the group's scatter writes, on raw or padded addresses.
+        let mut contention = vec![1u32; n];
+        let mut is_leader = vec![true; n];
+        let mut scatter_degree = vec![1u32; n];
+        for &(g0, glen) in &warp_groups(n, t_count, ws) {
+            let masks = warp::match_any(&ids[g0..g0 + glen]);
+            for (l, &m) in masks.iter().enumerate() {
+                contention[g0 + l] = m.count_ones();
+                is_leader[g0 + l] = m & ((1u64 << l) - 1) == 0;
+            }
+            let addrs: Vec<u64> = (g0..g0 + glen)
+                .map(|k| {
+                    let w = pos[k] as u64;
+                    let w = if strategy.pads_scatter() {
+                        banks::padded_index(w)
+                    } else {
+                        w
+                    };
+                    w * elem_bytes as u64
+                })
+                .collect();
+            let d = banks::conflict_degree(&addrs);
+            scatter_degree[g0..g0 + glen].fill(d);
         }
 
         // ---- Cycle charges, stage by stage (each `threads`/`one_thread`
@@ -400,26 +549,100 @@ fn fused_kernel<K: SortKey>(
                 + 2 * p as u64,
         );
 
-        // Stage 3: per-element binary search over the p+1 bounds plus a
-        // shared-memory histogram (atomic increments) and the bucket-id
-        // record.
+        // Stage 3: per-element binary search over the p+1 bounds, then
+        // the strategy's histogram machinery.
         block.threads(|t| {
-            t.charge_shared(per * (1 + log_bounds));
-            t.charge_alu(per * (log_bounds + 1));
-            t.charge_atomic_shared(per);
-            t.charge_shared(per);
+            let mut k = t.tid as usize;
+            while k < n {
+                t.charge_shared(1 + log_bounds);
+                t.charge_alu(log_bounds + 1);
+                if strategy.uses_warp_multisplit() {
+                    // Multisplit ballot ladder: ⌈log₂ p⌉ ballots classify
+                    // the lane's bucket bits; the peer masks that fall out
+                    // give rank and count in registers, so only the lowest
+                    // peer of each bucket touches the shared histogram.
+                    t.charge_warp_vote(log_p.max(1));
+                    t.charge_alu(2);
+                    if is_leader[k] {
+                        t.charge_atomic_shared(1);
+                    }
+                } else {
+                    // One RMW per element, serialized by the measured
+                    // number of same-bucket lanes in its warp, plus the
+                    // bucket-id record the scatter pass re-reads.
+                    t.charge_atomic_shared_contended(1, contention[k]);
+                    t.charge_shared(1);
+                }
+                k += t_count;
+            }
         });
-        tally(2, (n as u64) * (2 * (2 + log_bounds) + log_bounds + 1 + 8));
+        let search = 2 * (1 + log_bounds) + log_bounds + 1;
+        tally(
+            2,
+            (0..n)
+                .map(|k| {
+                    search
+                        + if strategy.uses_warp_multisplit() {
+                            log_p.max(1) + 2 + if is_leader[k] { 8 } else { 0 }
+                        } else {
+                            8 * contention[k] as u64 + 2
+                        }
+                })
+                .sum(),
+        );
 
-        // Stage 4: exclusive scan (log₂ p cooperative steps) + scatter
-        // (read id, read element, atomic cursor bump, shared write).
+        // Stage 4: exclusive scan + in-shared scatter, per strategy.
         block.threads(|t| {
-            t.charge_shared(2 * log_p);
-            t.charge_alu(log_p);
-            t.charge_shared(3 * per);
-            t.charge_atomic_shared(per);
+            if strategy.uses_warp_multisplit() {
+                // Per-warp exclusive scan of the ballot histogram rides
+                // the shuffle ladder; folding warp totals into block
+                // offsets is one more add per bucket stripe.
+                t.charge_warp_scan();
+                t.charge_alu(log_p);
+            } else {
+                // Cooperative block scan in shared memory.
+                t.charge_shared(2 * log_p);
+                t.charge_alu(log_p);
+            }
+            let mut k = t.tid as usize;
+            while k < n {
+                if strategy.uses_warp_multisplit() {
+                    // Element read; destination = scanned base + the
+                    // shuffle-held rank (one shuffle + one add — the
+                    // padded index is the same add on the padded layout).
+                    t.charge_shared(1);
+                    t.charge_warp_shuffle(1);
+                    t.charge_alu(1);
+                    t.charge_shared_conflicted(1, scatter_degree[k]);
+                } else {
+                    // Re-read id + element, bump the bucket cursor
+                    // (contended), write at whatever bank the unpadded
+                    // cursor lands on.
+                    t.charge_shared(2);
+                    t.charge_atomic_shared_contended(1, contention[k]);
+                    t.charge_shared_conflicted(1, scatter_degree[k]);
+                }
+                k += t_count;
+            }
         });
-        tally(3, (t_count as u64) * (5 * log_p) + (n as u64) * (6 + 8));
+        let scan_est = if strategy.uses_warp_multisplit() {
+            2 * warp::scan_steps(ws as u32) as u64 + log_p
+        } else {
+            5 * log_p
+        };
+        tally(
+            3,
+            (t_count as u64) * scan_est
+                + (0..n)
+                    .map(|k| {
+                        if strategy.uses_warp_multisplit() {
+                            4 + 2 * scatter_degree[k] as u64
+                        } else {
+                            4 + 8 * contention[k] as u64 + 2 * scatter_degree[k] as u64
+                        }
+                    })
+                    .sum::<u64>(),
+        );
 
         // Stage 5: per-bucket sort, shared-memory only — no scattered
         // global round-trip, the other fused win over Phase 3.
@@ -677,6 +900,111 @@ mod tests {
         let mut di: Vec<i32> = (0..8 * 128).map(|_| rng.gen()).collect();
         FusedSort::new().sort(&mut gpu, &mut di, 128).unwrap();
         assert!(cpu_ref::is_each_sorted(&di, 128));
+    }
+
+    /// Runs one strategy on a fresh device; returns (sorted bits,
+    /// kernel_ms, bank passes, shared atomics, warp votes).
+    fn strategy_run(
+        strategy: FusedStrategy,
+        data: &[f32],
+        n: usize,
+    ) -> (Vec<u32>, f64, u64, u64, u64) {
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let mut d = data.to_vec();
+        let stats = FusedSort::with_strategy(strategy)
+            .sort(&mut gpu, &mut d, n)
+            .unwrap();
+        assert_eq!(stats.path, FusedPath::Fused, "{strategy:?} must fit");
+        let (mut passes, mut atomics, mut votes) = (0u64, 0u64, 0u64);
+        for k in &gpu.timeline().kernels {
+            passes += k.counters.shared_bank_passes;
+            atomics += k.counters.atomics_shared;
+            votes += k.counters.warp_votes;
+        }
+        (
+            d.iter().map(|x| x.to_bits()).collect(),
+            stats.kernel_ms,
+            passes,
+            atomics,
+            votes,
+        )
+    }
+
+    #[test]
+    fn all_three_strategies_agree_bit_for_bit() {
+        let (num, n) = (20, 1000);
+        let data = random_batch(num, n, 30);
+        let (hist, ..) = strategy_run(FusedStrategy::Histogram, &data, n);
+        let (ms, ..) = strategy_run(FusedStrategy::WarpMultisplit, &data, n);
+        let (cf, ..) = strategy_run(FusedStrategy::WarpConflictFree, &data, n);
+        assert_eq!(hist, ms);
+        assert_eq!(ms, cf);
+    }
+
+    #[test]
+    fn warp_variant_beats_the_histogram_on_fig2_shapes() {
+        for n in [1000usize, 2000, 3000, 4000] {
+            let data = random_batch(30, n, 31);
+            let (_, hist_ms, hist_passes, hist_atomics, hist_votes) =
+                strategy_run(FusedStrategy::Histogram, &data, n);
+            let (_, warp_ms, warp_passes, warp_atomics, warp_votes) =
+                strategy_run(FusedStrategy::WarpConflictFree, &data, n);
+            assert!(
+                warp_ms < hist_ms,
+                "n={n}: gas-warp {warp_ms} ms vs histogram {hist_ms} ms"
+            );
+            assert!(
+                warp_passes < hist_passes,
+                "n={n}: bank passes {warp_passes} vs {hist_passes}"
+            );
+            assert!(
+                warp_atomics < hist_atomics,
+                "n={n}: warp aggregation must issue fewer RMWs"
+            );
+            assert_eq!(hist_votes, 0, "histogram path never votes");
+            assert!(warp_votes > 0, "multisplit ballots must be billed");
+        }
+    }
+
+    #[test]
+    fn padded_scatter_cuts_bank_passes_below_the_unpadded_layout() {
+        let n = 2000;
+        let data = random_batch(30, n, 32);
+        let (_, ms_time, ms_passes, ..) = strategy_run(FusedStrategy::WarpMultisplit, &data, n);
+        let (_, cf_time, cf_passes, ..) = strategy_run(FusedStrategy::WarpConflictFree, &data, n);
+        assert!(
+            cf_passes < ms_passes,
+            "padding must drop measured conflicts: {cf_passes} vs {ms_passes}"
+        );
+        assert!(cf_time <= ms_time, "fewer passes cannot cost time");
+    }
+
+    #[test]
+    fn warp_variant_falls_back_like_the_histogram_one() {
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let n = 8000; // beyond both fused layouts
+        let mut data = random_batch(3, n, 33);
+        let stats = FusedSort::warp().sort(&mut gpu, &mut data, n).unwrap();
+        assert_eq!(stats.path, FusedPath::ThreeKernelFallback);
+        assert!(cpu_ref::is_each_sorted(&data, n));
+    }
+
+    #[test]
+    fn kernel_launch_is_named_for_its_strategy() {
+        let n = 600;
+        let data = random_batch(5, n, 34);
+        for (s, name) in [
+            (FusedStrategy::Histogram, "gas_fused"),
+            (FusedStrategy::WarpMultisplit, "gas_warp_multisplit"),
+            (FusedStrategy::WarpConflictFree, "gas_warp"),
+        ] {
+            let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+            let mut d = data.clone();
+            FusedSort::with_strategy(s)
+                .sort(&mut gpu, &mut d, n)
+                .unwrap();
+            assert_eq!(gpu.timeline().kernels[0].name, name);
+        }
     }
 
     #[test]

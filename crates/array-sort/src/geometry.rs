@@ -110,6 +110,32 @@ impl BatchGeometry {
     pub fn fits_fused_in_shared(&self, elem_bytes: u32, spec: &DeviceSpec) -> bool {
         self.fused_shared_bytes_needed(elem_bytes) <= spec.shared_mem_per_block
     }
+
+    /// Shared bytes the **warp-multisplit** fused variant (`gas-warp`)
+    /// wants: the fused layout plus one pad word per 32 in the scatter
+    /// destination ([`gpu_sim::banks::padded_len`] — the
+    /// Sitchinava–Weichert conflict-free layout), minus the histogram
+    /// counters the warp variant keeps in registers (ballot counts and
+    /// shuffle scans replace the shared histogram).
+    pub fn warp_shared_bytes_needed(&self, elem_bytes: u32) -> u32 {
+        let n = self.array_len as u64;
+        let arr = n * elem_bytes as u64;
+        let padded = gpu_sim::banks::padded_len(n) * elem_bytes as u64;
+        let sample = self.samples_per_array as u64 * elem_bytes as u64;
+        let bounds = self.boundaries_per_array as u64 * elem_bytes as u64;
+        // Block-level bucket offsets still live in shared (p words); the
+        // per-element histogram counters do not.
+        let offsets = (self.buckets_per_array as u64 + 1) * 4;
+        (arr + padded + sample + bounds + offsets).min(u32::MAX as u64) as u32
+    }
+
+    /// Whether one array can run the warp-multisplit fused variant. The
+    /// pad words shave the ceiling slightly below
+    /// [`BatchGeometry::fits_fused_in_shared`]; arrays that fail fall back
+    /// exactly like the fused path does.
+    pub fn fits_warp_in_shared(&self, elem_bytes: u32, spec: &DeviceSpec) -> bool {
+        self.warp_shared_bytes_needed(elem_bytes) <= spec.shared_mem_per_block
+    }
 }
 
 /// Byte-level memory plan for a GPU-ArraySort run.
@@ -232,6 +258,25 @@ mod tests {
         let g = BatchGeometry::new(1, 6000, &cfg());
         assert!(g.fits_in_shared(4, &spec));
         assert!(!g.fits_fused_in_shared(4, &spec));
+    }
+
+    #[test]
+    fn warp_layout_pays_for_its_padding() {
+        let spec = DeviceSpec::tesla_k40c();
+        for n in [1000, 2000, 3000, 4000] {
+            let g = BatchGeometry::new(1, n, &cfg());
+            assert!(
+                g.fits_warp_in_shared(4, &spec),
+                "paper sizes must fit the padded warp layout (n={n})"
+            );
+            assert!(
+                g.warp_shared_bytes_needed(4) > g.fused_shared_bytes_needed(4),
+                "padding adds bytes over the unpadded fused layout (n={n})"
+            );
+        }
+        // The pad words push the warp ceiling at or below the fused one.
+        let g = BatchGeometry::new(1, 6000, &cfg());
+        assert!(!g.fits_warp_in_shared(4, &spec));
     }
 
     #[test]

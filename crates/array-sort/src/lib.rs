@@ -28,8 +28,12 @@
 //! bucket indices over the splitters, a histogram + scan + in-shared
 //! scatter, the per-bucket sort, and one coalesced write-back — ~3×
 //! fewer launches and ~1/30 the global transactions on the paper's
-//! shapes. The three-kernel path remains the reproduction-faithful
-//! default.
+//! shapes. Its `gas-warp` variant ([`FusedStrategy`], `FusedSort::warp`)
+//! swaps the histogram for a warp-level multisplit (ballot +
+//! peer-grouping + shuffle scan, leader-only atomics) and a padded
+//! bank-conflict-free scatter, cutting the kernel's measured
+//! `shared_bank_passes` and time further. The three-kernel path remains
+//! the reproduction-faithful default.
 //!
 //! ## Quick start
 //!
@@ -68,7 +72,7 @@ pub mod splitters;
 
 pub use bucketing::{BalanceStats, StagingStrategy};
 pub use config::{ArraySortConfig, ConfigError};
-pub use fused::{FusedBreakdown, FusedPath, FusedSort, FusedStats};
+pub use fused::{FusedBreakdown, FusedPath, FusedSort, FusedStats, FusedStrategy};
 pub use geometry::{BatchGeometry, GasMemoryPlan};
 pub use key::SortKey;
 pub use merge_variant::{merge_sort_arrays, MergeVariantStats};
@@ -82,4 +86,4 @@ pub use recovery::{
     checkpointed_attempt, recover_batch_with, sort_out_of_core_recovering,
     sort_ragged_with_recovery, ChunkRecovery, FailedAttempt, RecoveryReport, RetryPolicy,
 };
-pub use splitters::Phase1Strategy;
+pub use splitters::{bucket_index, Phase1Strategy};

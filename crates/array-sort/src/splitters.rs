@@ -35,6 +35,25 @@ pub enum Phase1Strategy {
     GlobalSample,
 }
 
+/// Returns the bucket index of `x` within ascending `bounds`
+/// (`bounds[0] = -∞ sentinel … bounds[p] = +∞ sentinel`): the largest `j`
+/// with `bounds[j] ≤ x`, capped at `p − 1`. Matches the per-thread pair
+/// predicate `bounds[j] ≤ x < bounds[j+1]` (last bucket upper-inclusive;
+/// NaN keys compare above the `+∞` sentinel under `le` and land in the
+/// last bucket).
+///
+/// This is the **one** splitter binary search every variant shares —
+/// the three-kernel Phase 2, the fused kernel, the warp-multisplit
+/// kernel, pairs and ragged batches all call it, so boundary and NaN
+/// tie-breaking can never drift between pipelines.
+#[inline]
+pub fn bucket_index<K: SortKey>(bounds: &[K], x: K) -> usize {
+    let p = bounds.len() - 1;
+    // partition_point: first index where bounds[idx] > x.
+    let hi = bounds.partition_point(|&b| b.le(x));
+    hi.saturating_sub(1).min(p - 1)
+}
+
 /// Picks the strategy for `geom` on the current device.
 pub fn phase1_strategy<K: SortKey>(geom: &BatchGeometry, gpu: &Gpu) -> Phase1Strategy {
     let sample_bytes = geom.samples_per_array as u64 * K::ELEM_BYTES as u64;
@@ -150,6 +169,18 @@ mod tests {
         let mut sbuf = gpu.alloc::<f32>(geom.splitter_table_len()).unwrap();
         let (_, strat) = select_splitters(gpu, &dbuf, &sbuf, geom).unwrap();
         (sbuf.to_host_vec(), strat)
+    }
+
+    #[test]
+    fn bucket_index_pins_boundary_and_nan_tie_breaking() {
+        // The shared helper is the single source of truth for every
+        // variant's tie-breaking; these pins must never drift.
+        let bounds = [f32::min_sentinel(), 10.0, 20.0, f32::max_sentinel()];
+        assert_eq!(bucket_index(&bounds, 10.0), 1, "left-closed intervals");
+        assert_eq!(bucket_index(&bounds, 20.0), 2);
+        assert_eq!(bucket_index(&bounds, 1e30), 2, "last bucket inclusive");
+        assert_eq!(bucket_index(&bounds, f32::NAN), 2, "NaN → last bucket");
+        assert_eq!(bucket_index(&bounds, f32::NEG_INFINITY), 0);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct BaselineRow {
     /// (0 in baselines recorded before the fused pipeline existed).
     #[serde(default)]
     pub fused_ms: f64,
+    /// Warp-multisplit (`gas-warp`) kernel time on the same point, ms
+    /// (0 in baselines recorded before the warp pipeline existed).
+    #[serde(default)]
+    pub warp_ms: f64,
 }
 
 /// A recorded Fig. 2 run: the knobs that shaped it plus the series.
@@ -63,6 +67,7 @@ impl Fig2Baseline {
                     n: r.n,
                     measured_ms: r.measured_ms,
                     fused_ms: r.fused_ms,
+                    warp_ms: r.warp_ms,
                 })
                 .collect(),
             fitted_scale: report.fitted_scale,
@@ -144,6 +149,20 @@ impl Fig2Baseline {
                         c.fused_ms,
                         b.fused_ms,
                         (c.fused_ms - b.fused_ms) / b.fused_ms * 100.0,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+            // Same grandfathering for the warp series.
+            if b.warp_ms > 0.0 {
+                let warp_drift = relative_drift(b.warp_ms, c.warp_ms);
+                if warp_drift > tolerance {
+                    drifts.push(format!(
+                        "n={}: warp {:.4} ms vs. baseline {:.4} ms ({:+.2}% > ±{:.0}%)",
+                        b.n,
+                        c.warp_ms,
+                        b.warp_ms,
+                        (c.warp_ms - b.warp_ms) / b.warp_ms * 100.0,
                         tolerance * 100.0
                     ));
                 }
@@ -233,11 +252,13 @@ pub fn record_or_compare(
 
 /// The fused-pipeline speed gate: on every Fig. 2 point of `current`,
 /// the fused single-kernel time must undercut the three-kernel time by
-/// more than `tolerance` (relative). Returns one message per violation;
+/// more than `tolerance` (relative), and the warp-multisplit time must
+/// in turn undercut the fused time — `gas-warp` has to earn its keep on
+/// every point, not on average. Returns one message per violation;
 /// empty is a pass. Unlike [`Fig2Baseline::compare`] this needs no
-/// stored numbers — both series come from the same run, so the gate
-/// genuinely gates even while the checked-in baseline is still the
-/// bootstrap sentinel.
+/// stored numbers — all three series come from the same run, so the
+/// gate genuinely gates even while the checked-in baseline is still
+/// the bootstrap sentinel.
 pub fn fused_speed_gate(current: &Fig2Baseline, tolerance: f64) -> Vec<String> {
     let mut violations = Vec::new();
     if current.rows.is_empty() {
@@ -256,6 +277,20 @@ pub fn fused_speed_gate(current: &Fig2Baseline, tolerance: f64) -> Vec<String> {
                 r.n,
                 r.fused_ms,
                 r.measured_ms,
+                tolerance * 100.0
+            ));
+        }
+        if r.warp_ms <= 0.0 {
+            violations.push(format!("n={}: no warp measurement recorded", r.n));
+            continue;
+        }
+        if r.warp_ms >= r.fused_ms * (1.0 - tolerance) {
+            violations.push(format!(
+                "n={}: warp {:.4} ms is not faster than the fused {:.4} ms \
+                 (needs a > {:.0}% margin)",
+                r.n,
+                r.warp_ms,
+                r.fused_ms,
                 tolerance * 100.0
             ));
         }
@@ -290,11 +325,13 @@ mod tests {
                     n: 200,
                     measured_ms: 10.0,
                     fused_ms: 6.0,
+                    warp_ms: 4.0,
                 },
                 BaselineRow {
                     n: 400,
                     measured_ms: 21.0,
                     fused_ms: 12.0,
+                    warp_ms: 8.0,
                 },
             ],
             fitted_scale: 1.5e-6,
@@ -421,8 +458,19 @@ mod tests {
         let mut legacy = sample();
         for r in &mut legacy.rows {
             r.fused_ms = 0.0;
+            r.warp_ms = 0.0;
         }
         assert!(legacy.compare(&c, 0.02).is_empty());
+    }
+
+    #[test]
+    fn warp_drift_is_caught_like_fused_drift() {
+        let b = sample();
+        let mut c = sample();
+        c.rows[0].warp_ms *= 1.10;
+        let drifts = b.compare(&c, 0.02);
+        assert_eq!(drifts.len(), 1, "{drifts:?}");
+        assert!(drifts[0].contains("warp"), "{drifts:?}");
     }
 
     #[test]
@@ -448,6 +496,27 @@ mod tests {
         assert!(fused_speed_gate(&missing, 0.02)[0].contains("no fused measurement"));
         let empty = Fig2Baseline::default();
         assert!(!fused_speed_gate(&empty, 0.02).is_empty());
+    }
+
+    #[test]
+    fn fused_speed_gate_also_demands_a_warp_win() {
+        // Warp slower than fused on one point: that point is named.
+        let mut slow = sample();
+        slow.rows[1].warp_ms = slow.rows[1].fused_ms * 1.05;
+        let v = fused_speed_gate(&slow, 0.02);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].contains("n=400") && v[0].contains("warp") && v[0].contains("not faster"),
+            "{v:?}"
+        );
+        // A marginal warp "win" inside the tolerance also fails.
+        let mut marginal = sample();
+        marginal.rows[0].warp_ms = marginal.rows[0].fused_ms * 0.99;
+        assert_eq!(fused_speed_gate(&marginal, 0.02).len(), 1);
+        // A missing warp series fails per point, not silently.
+        let mut missing = sample();
+        missing.rows[0].warp_ms = 0.0;
+        assert!(fused_speed_gate(&missing, 0.02)[0].contains("no warp measurement"));
     }
 
     #[test]

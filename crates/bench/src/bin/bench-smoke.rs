@@ -6,9 +6,12 @@
 //!
 //! The run also enforces the **fused speed gate**: on every sweep point
 //! the fused single-kernel pipeline must beat the three-kernel pipeline
-//! by more than the tolerance margin. Both series come from the same
-//! run, so this gate needs no stored baseline and fails loudly even
-//! while the checked-in file is still the bootstrap sentinel.
+//! and the warp-multisplit pipeline (`gas-warp`) must in turn beat the
+//! fused one, each by more than the tolerance margin. All three series
+//! come from the same run, so this gate needs no stored baseline and
+//! fails loudly even while the checked-in file is still the bootstrap
+//! sentinel. It then runs Ablation F (histogram vs. warp-multisplit vs.
+//! conflict-free scatter), whose bank-conflict claims assert in-run.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench-smoke
@@ -24,7 +27,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bench::baseline::{fused_speed_gate, record_or_compare, Fig2Baseline, GateOutcome};
-use bench::experiments::run_fig2_traced;
+use bench::experiments::{run_fig2_traced, run_warp_ablation};
 use bench::report::default_out_dir;
 
 fn main() -> ExitCode {
@@ -64,12 +67,15 @@ fn main() -> ExitCode {
     let current = Fig2Baseline::from_report(scale, &report);
     for r in &report.rows {
         println!(
-            "n={:<5} measured {:>9.4} ms   theoretical {:>9.4} ms   fused {:>9.4} ms ({:.2}×)",
+            "n={:<5} measured {:>9.4} ms   theoretical {:>9.4} ms   fused {:>9.4} ms ({:.2}×)   \
+             warp {:>9.4} ms ({:.2}×)",
             r.n,
             r.measured_ms,
             r.theoretical_ms,
             r.fused_ms,
-            r.measured_ms / r.fused_ms.max(f64::MIN_POSITIVE)
+            r.measured_ms / r.fused_ms.max(f64::MIN_POSITIVE),
+            r.warp_ms,
+            r.measured_ms / r.warp_ms.max(f64::MIN_POSITIVE)
         );
     }
     println!(
@@ -81,7 +87,8 @@ fn main() -> ExitCode {
     let fused_violations = fused_speed_gate(&current, tolerance);
     if fused_violations.is_empty() {
         println!(
-            "fused speed gate: PASS — gas-fused beats the three-kernel pipeline on all {} points\n",
+            "fused speed gate: PASS — gas-fused beats the three-kernel pipeline and gas-warp \
+             beats gas-fused on all {} points\n",
             current.rows.len()
         );
     } else {
@@ -91,6 +98,36 @@ fn main() -> ExitCode {
         }
         return ExitCode::FAILURE;
     }
+
+    // Ablation F: the three bucketing strategies of the fused kernel.
+    // run_warp_ablation asserts the warp claims in-run (kernel time and
+    // bank passes), so a regression panics the gate before the table.
+    println!("# Ablation F — histogram vs. warp-multisplit vs. conflict-free scatter");
+    println!(
+        "{:<6} {:>10} {:>12} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "n",
+        "hist ms",
+        "msplit ms",
+        "warp ms",
+        "hist passes",
+        "warp passes",
+        "hist txns",
+        "warp txns"
+    );
+    for r in run_warp_ablation(scale) {
+        println!(
+            "{:<6} {:>10.4} {:>12.4} {:>10.4} {:>12} {:>12} {:>12} {:>12}",
+            r.array_len,
+            r.hist_kernel_ms,
+            r.multisplit_kernel_ms,
+            r.warp_kernel_ms,
+            r.hist_bank_passes,
+            r.warp_bank_passes,
+            r.hist_global_txns,
+            r.warp_global_txns
+        );
+    }
+    println!("warp ablation: PASS — conflict-free scatter bills strictly fewer bank passes\n");
 
     match record_or_compare(&baseline_path, &current, tolerance, update) {
         Err(e) => {

@@ -10,18 +10,22 @@
 //! * **E — fused vs. three-kernel** (beyond the paper: the single-launch
 //!   `gas-fused` pipeline against the paper's three launches — kernel
 //!   time and global-memory transactions)
+//! * **F — warp multisplit & conflict-free scatter** (beyond the paper:
+//!   the fused kernel's three bucketing strategies — histogram,
+//!   warp-multisplit with an unpadded scatter, and the full `gas-warp`
+//!   with the padded bank-conflict-free layout)
 //!
 //! ```text
 //! cargo run --release -p bench --bin repro-ablations \
 //!     [--bucket-sweep] [--sampling-sweep] [--threads-per-bucket] [--merge-variant] \
-//!     [--fused-variant] [--scale f | --full]
+//!     [--fused-variant] [--warp-variant] [--scale f | --full]
 //! ```
 //!
-//! With no selector flags, all five run.
+//! With no selector flags, all six run.
 
 use bench::experiments::{
     run_bucket_ablation, run_fused_ablation, run_merge_ablation, run_sampling_ablation,
-    run_threads_ablation,
+    run_threads_ablation, run_warp_ablation,
 };
 use bench::report::{default_out_dir, fmt_ms, markdown_table, write_csv, write_json};
 
@@ -36,6 +40,7 @@ fn main() {
                 | "--threads-per-bucket"
                 | "--merge-variant"
                 | "--fused-variant"
+                | "--warp-variant"
         )
     });
     let want = |flag: &str| !any_selector || args.iter().any(|a| a == flag);
@@ -308,6 +313,86 @@ fn main() {
                 "gas_global_txns",
                 "fused_global_txns",
                 "txn_reduction",
+            ],
+            &csv,
+        )
+        .unwrap();
+    }
+
+    if want("--warp-variant") {
+        println!("\n# Ablation F — histogram vs. warp-multisplit vs. conflict-free scatter\n");
+        let rows = run_warp_ablation(scale);
+        let md: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.array_len.to_string(),
+                    fmt_ms(r.hist_kernel_ms),
+                    fmt_ms(r.multisplit_kernel_ms),
+                    fmt_ms(r.warp_kernel_ms),
+                    format!("{:.2}×", r.kernel_speedup),
+                    r.hist_bank_passes.to_string(),
+                    r.multisplit_bank_passes.to_string(),
+                    r.warp_bank_passes.to_string(),
+                    format!("{:.2}×", r.bank_pass_cut),
+                    r.hist_global_txns.to_string(),
+                    r.warp_global_txns.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "n",
+                    "histogram time",
+                    "multisplit time",
+                    "warp time",
+                    "speedup",
+                    "hist passes",
+                    "msplit passes",
+                    "warp passes",
+                    "pass cut",
+                    "hist gtxns",
+                    "warp gtxns"
+                ],
+                &md
+            )
+        );
+        let csv: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.array_len.to_string(),
+                    format!("{:.4}", r.hist_kernel_ms),
+                    format!("{:.4}", r.multisplit_kernel_ms),
+                    format!("{:.4}", r.warp_kernel_ms),
+                    format!("{:.4}", r.kernel_speedup),
+                    r.hist_bank_passes.to_string(),
+                    r.multisplit_bank_passes.to_string(),
+                    r.warp_bank_passes.to_string(),
+                    format!("{:.4}", r.bank_pass_cut),
+                    r.hist_global_txns.to_string(),
+                    r.warp_global_txns.to_string(),
+                ]
+            })
+            .collect();
+        write_json(&out, "ablation_warp_variant", &rows).unwrap();
+        write_csv(
+            &out,
+            "ablation_warp_variant",
+            &[
+                "array_len",
+                "hist_kernel_ms",
+                "multisplit_kernel_ms",
+                "warp_kernel_ms",
+                "kernel_speedup",
+                "hist_bank_passes",
+                "multisplit_bank_passes",
+                "warp_bank_passes",
+                "bank_pass_cut",
+                "hist_global_txns",
+                "warp_global_txns",
             ],
             &csv,
         )

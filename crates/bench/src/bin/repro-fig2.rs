@@ -16,7 +16,7 @@ fn main() {
     let out = default_out_dir();
     let report = run_fig2_traced(scale, Some(&out));
 
-    let header = ["n", "measured", "theoretical (Eq. 2 fit)"];
+    let header = ["n", "measured", "theoretical (Eq. 2 fit)", "fused", "warp"];
     let rows: Vec<Vec<String>> = report
         .rows
         .iter()
@@ -25,6 +25,8 @@ fn main() {
                 r.n.to_string(),
                 fmt_ms(r.measured_ms),
                 fmt_ms(r.theoretical_ms),
+                fmt_ms(r.fused_ms),
+                fmt_ms(r.warp_ms),
             ]
         })
         .collect();
@@ -43,6 +45,8 @@ fn main() {
                 r.n.to_string(),
                 format!("{:.4}", r.measured_ms),
                 format!("{:.4}", r.theoretical_ms),
+                format!("{:.4}", r.fused_ms),
+                format!("{:.4}", r.warp_ms),
             ]
         })
         .collect();
@@ -50,7 +54,7 @@ fn main() {
     let c = write_csv(
         &out,
         "fig2",
-        &["n", "measured_ms", "theoretical_ms"],
+        &["n", "measured_ms", "theoretical_ms", "fused_ms", "warp_ms"],
         &csv_rows,
     )
     .expect("write fig2.csv");

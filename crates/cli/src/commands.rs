@@ -103,9 +103,10 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
     let algorithm = args.get("algorithm").unwrap_or("gas");
     let faults = match args.get("faults") {
         Some(spec) => {
-            if algorithm != "gas" && algorithm != "sta" && algorithm != "gas-fused" {
+            if !matches!(algorithm, "gas" | "sta" | "gas-fused" | "gas-warp") {
                 return Err(
-                    "--faults is only supported with --algorithm gas or sta or gas-fused".into(),
+                    "--faults is only supported with --algorithm gas or sta or gas-fused or gas-warp"
+                        .into(),
                 );
             }
             Some(FaultPlan::parse(spec)?)
@@ -192,6 +193,44 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
                 )
             }
         }
+        "gas-warp" => {
+            let sorter = FusedSort::warp();
+            if let Some(plan) = faults {
+                let policy = RetryPolicy::default().with_max_attempts(args.get_or("retries", 3)?);
+                gpu.set_fault_plan(Some(plan));
+                let (s, report) = recover_batch_with(
+                    &mut gpu,
+                    &mut data,
+                    array_len,
+                    &policy,
+                    "gas-warp/batch",
+                    |g, d| sorter.sort(g, d, array_len),
+                )?;
+                let (kernel_ms, peak) = match &s {
+                    Some(s) => (s.kernel_ms, s.peak_bytes),
+                    None => (0.0, gpu.ledger().peak()),
+                };
+                let j = serde_json::to_value(&s)?;
+                recovery = Some(report);
+                (
+                    "GPU-ArraySort warp (recovering)",
+                    gpu.elapsed_ms(),
+                    kernel_ms,
+                    peak,
+                    j,
+                )
+            } else {
+                let s = sorter.sort(&mut gpu, &mut data, array_len)?;
+                let j = serde_json::to_value(&s)?;
+                (
+                    "GPU-ArraySort warp",
+                    s.total_ms(),
+                    s.kernel_ms,
+                    s.peak_bytes,
+                    j,
+                )
+            }
+        }
         "sta" => {
             if let Some(plan) = faults {
                 let policy = RetryPolicy::default().with_max_attempts(args.get_or("retries", 3)?);
@@ -251,9 +290,10 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
             )
         }
         other => {
-            return Err(
-                format!("unknown algorithm {other:?} (gas|gas-fused|sta|segsort|merge)").into(),
+            return Err(format!(
+                "unknown algorithm {other:?} (gas|gas-fused|gas-warp|sta|segsort|merge)"
             )
+            .into())
         }
     };
 
@@ -383,11 +423,17 @@ pub fn cmd_profile(args: &Args) -> Result<String, AnyError> {
             fused_stats = Some(FusedSort::new().sort(&mut gpu, &mut data, n)?);
             "GPU-ArraySort fused"
         }
+        "gas-warp" => {
+            fused_stats = Some(FusedSort::warp().sort(&mut gpu, &mut data, n)?);
+            "GPU-ArraySort warp"
+        }
         "sta" => {
             thrust_sim::sta::sort_arrays(&mut gpu, &mut data, n)?;
             "STA (Thrust tagged)"
         }
-        other => return Err(format!("unknown algorithm {other:?} (gas|gas-fused|sta)").into()),
+        other => {
+            return Err(format!("unknown algorithm {other:?} (gas|gas-fused|gas-warp|sta)").into())
+        }
     };
 
     let phases = gpu_sim::phase_summaries(gpu.timeline(), gpu.spec());
@@ -486,14 +532,28 @@ const DEFAULT_CHAOS_FAULTS: &str =
     "launch=0.05,abort=0.04,corrupt=0.04,oom=0.03,stall=0.05,stall-ms=0.5";
 
 /// `gas chaos`: a seeded fault-injection campaign. For each seed it
-/// generates a batch, runs the recovering out-of-core sorter under an
+/// generates a batch, runs the chosen recovering pipeline under an
 /// injected [`FaultPlan`], and checks two invariants: the output must
 /// match the CPU oracle, and the [`RecoveryReport`] must account for
 /// every error-producing fault the device logged. Any violation makes
 /// the command fail (nonzero exit), so CI can fan it out across seeds.
+/// `--algorithm gas` (default) drives the recovering out-of-core
+/// sorter; `gas-fused` and `gas-warp` drive the single-kernel pipelines
+/// through [`recover_batch_with`] on an in-core batch.
 pub fn cmd_chaos(args: &Args) -> Result<String, AnyError> {
-    let num: usize = args.get_or("num-arrays", 6_000)?;
-    let n: usize = args.get_or("array-len", 1_000)?;
+    let algorithm = args.get("algorithm").unwrap_or("gas");
+    if !matches!(algorithm, "gas" | "gas-fused" | "gas-warp") {
+        return Err(format!("unknown algorithm {algorithm:?} (gas|gas-fused|gas-warp)").into());
+    }
+    // The out-of-core default shape spans several chunks; the in-core
+    // fused pipelines default to one shared-memory-sized batch instead.
+    let (default_num, default_n) = if algorithm == "gas" {
+        (6_000, 1_000)
+    } else {
+        (256, 1_000)
+    };
+    let num: usize = args.get_or("num-arrays", default_num)?;
+    let n: usize = args.get_or("array-len", default_n)?;
     require_positive_shape(num, n)?;
     let seeds: Vec<u64> = match args.get("seed") {
         Some(v) => vec![v.parse().map_err(|_| format!("bad --seed {v:?}"))?],
@@ -526,9 +586,29 @@ pub fn cmd_chaos(args: &Args) -> Result<String, AnyError> {
         let mut gpu = Gpu::new(spec.clone());
         gpu.set_fault_plan(Some(plan));
 
-        match sort_out_of_core_recovering(&sorter, &mut gpu, &mut data, n, &policy) {
+        let outcome = match algorithm {
+            "gas" => sort_out_of_core_recovering(&sorter, &mut gpu, &mut data, n, &policy)
+                .map(|(ooc, report)| (ooc.chunks.len(), report)),
+            _ => {
+                let fused = if algorithm == "gas-warp" {
+                    FusedSort::warp()
+                } else {
+                    FusedSort::new()
+                };
+                let span = if algorithm == "gas-warp" {
+                    "gas-warp/batch"
+                } else {
+                    "gas-fused/batch"
+                };
+                recover_batch_with(&mut gpu, &mut data, n, &policy, span, |g, d| {
+                    fused.sort(g, d, n)
+                })
+                .map(|(_, report)| (1usize, report))
+            }
+        };
+        match outcome {
             Err(e) => failures.push(format!("seed {seed}: run failed: {e}")),
-            Ok((ooc, report)) => {
+            Ok((chunks, report)) => {
                 let injected = gpu.injected_faults();
                 let error_faults = injected.iter().filter(|f| f.kind.is_error()).count();
                 let sorted_ok = cpu_ref::verify_against(&original, &data, n).is_none();
@@ -548,7 +628,7 @@ pub fn cmd_chaos(args: &Args) -> Result<String, AnyError> {
                 }
                 rows.push(serde_json::json!({
                     "seed": seed,
-                    "chunks": ooc.chunks.len(),
+                    "chunks": chunks,
                     "faults_injected": injected.len(),
                     "error_faults": error_faults,
                     "retries": report.retries(),
@@ -565,6 +645,7 @@ pub fn cmd_chaos(args: &Args) -> Result<String, AnyError> {
     let body = if args.flag("json") {
         serde_json::to_string_pretty(&serde_json::json!({
             "device": spec.name,
+            "algorithm": algorithm,
             "num_arrays": num,
             "array_len": n,
             "runs": rows,
@@ -572,7 +653,7 @@ pub fn cmd_chaos(args: &Args) -> Result<String, AnyError> {
         }))?
     } else {
         let mut out = format!(
-            "chaos campaign on {}: {} seeds × {num} arrays × {n}\n{:<6} {:>7} {:>7} {:>8} {:>10} {:>11} {:>12}  {}\n",
+            "chaos campaign ({algorithm}) on {}: {} seeds × {num} arrays × {n}\n{:<6} {:>7} {:>7} {:>8} {:>10} {:>11} {:>12}  {}\n",
             spec.name,
             seeds.len(),
             "seed",
@@ -693,6 +774,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, AnyError> {
         None => scheduler::Workload::generate(&scheduler::WorkloadConfig {
             seed,
             requests: args.get_or("requests", 100)?,
+            warp_fraction: args.get_or("warp-fraction", 0.0)?,
             ..Default::default()
         }),
     };
@@ -746,6 +828,9 @@ pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
     let devices: usize = args.get_or("devices", 4)?;
     let mix = args.get("device").unwrap_or("test");
     let requests: usize = args.get_or("requests", 250)?;
+    // The soak mix pins a slice of requests to `gas-warp` by default so
+    // every campaign exercises the warp-multisplit pipeline end to end.
+    let warp_fraction: f64 = args.get_or("warp-fraction", 0.2)?;
     let retries: u32 = args.get_or("retries", 3)?;
     let plan = FaultPlan::parse(args.get("faults").unwrap_or(DEFAULT_SOAK_FAULTS))?;
     let trace_dir = args.get("trace-dir").map(PathBuf::from);
@@ -763,6 +848,7 @@ pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
         let workload = scheduler::Workload::generate(&scheduler::WorkloadConfig {
             seed,
             requests,
+            warp_fraction,
             ..Default::default()
         });
         let cfg = scheduler::SchedulerConfig {
@@ -872,16 +958,19 @@ USAGE:
                [--seed S] [--dist uniform|normal|exponential|pareto|constant|few-distinct]
                [--format f32le|csv]
   gas sort     --input FILE [--array-len n]
-               [--algorithm gas|gas-fused|sta|segsort|merge]
+               [--algorithm gas|gas-fused|gas-warp|sta|segsort|merge]
                [--device k40c|k20|k80|gtx980|test] [--adaptive] [--verify]
                [--faults SPEC] [--retries K]
                [--output FILE] [--trace FILE] [--stats] [--json]
-               (--faults, gas, gas-fused or sta, enables deterministic fault
-                injection and the recovering pipeline; the report gains a
-                recovery section. gas-fused is the single-kernel pipeline:
-                one launch stages, buckets, sorts and writes back each array)
+               (--faults, with gas, gas-fused, gas-warp or sta, enables
+                deterministic fault injection and the recovering pipeline;
+                the report gains a recovery section. gas-fused is the
+                single-kernel pipeline: one launch stages, buckets, sorts
+                and writes back each array; gas-warp swaps its bucketing
+                for warp-level multisplit and a bank-conflict-free scatter)
   gas serve    [--devices N] [--device MIX] [--faults SPEC]
                [--workload FILE | --requests K --seed S]
+               [--warp-fraction F]
                [--max-queue D] [--retries K] [--trace FILE] [--json]
                (deadline-aware batch-sort service over a pool of simulated
                 devices: admission control, per-device circuit breakers,
@@ -889,22 +978,24 @@ USAGE:
                 report invariant is violated. MIX is comma-separated device
                 names cycled over N, e.g. --device k40c,k20 --devices 4)
   gas soak     [--seeds K | --seed S] [--devices N] [--device MIX]
-               [--requests R] [--faults SPEC] [--retries K]
-               [--trace-dir DIR] [--json]
+               [--requests R] [--warp-fraction F] [--faults SPEC]
+               [--retries K] [--trace-dir DIR] [--json]
                (seeded scheduler campaign; each seed runs twice and must be
                 byte-identical, reconcile every injected fault and leave a
-                record per request, else exit 1)
-  gas chaos    [--seeds K | --seed S] [--num-arrays N] [--array-len n]
+                record per request, else exit 1. --warp-fraction routes
+                that share of requests to gas-warp, default 0.2)
+  gas chaos    [--seeds K | --seed S] [--algorithm gas|gas-fused|gas-warp]
+               [--num-arrays N] [--array-len n]
                [--faults SPEC] [--retries K] [--device ...] [--dist ...]
                [--trace-dir DIR] [--json]
                (seeded fault-injection campaign: every run must match the
                 CPU oracle and account for each injected fault, else exit 1)
   gas profile  --num-arrays N --array-len n [--seed S] [--dist ...]
-               [--algorithm gas|gas-fused|sta] [--device ...] [--trace FILE]
-               [--json]
+               [--algorithm gas|gas-fused|gas-warp|sta] [--device ...]
+               [--trace FILE] [--json]
                (writes a Chrome trace — load at https://ui.perfetto.dev —
-                and prints the per-phase breakdown; gas-fused adds the
-                model-attributed sub-phase split of the single launch)
+                and prints the per-phase breakdown; gas-fused and gas-warp
+                add the model-attributed sub-phase split of the launch)
   gas capacity --array-len n [--device ...]
   gas devices  [--json]
 
@@ -978,7 +1069,7 @@ mod tests {
             &f,
         ])
         .unwrap();
-        for algo in ["gas", "gas-fused", "sta", "segsort", "merge"] {
+        for algo in ["gas", "gas-fused", "gas-warp", "sta", "segsort", "merge"] {
             let msg = run(&[
                 "sort",
                 "--input",
@@ -1388,6 +1479,40 @@ mod tests {
     }
 
     #[test]
+    fn gas_warp_with_faults_recovers_and_reports() {
+        let f = tmp("warp_faults.bin");
+        run(&[
+            "generate",
+            "--num-arrays",
+            "40",
+            "--array-len",
+            "100",
+            "--output",
+            &f,
+        ])
+        .unwrap();
+        let msg = run(&[
+            "sort",
+            "--input",
+            &f,
+            "--array-len",
+            "100",
+            "--algorithm",
+            "gas-warp",
+            "--faults",
+            "seed=3,launch-at=0",
+            "--verify",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        assert_eq!(v["algorithm"], "GPU-ArraySort warp (recovering)");
+        assert_eq!(v["verified"], true);
+        assert_eq!(v["recovery"]["chunks"][0]["device_faults"], 1);
+        assert_eq!(v["injected_faults"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
     fn profile_supports_gas_fused_with_subphase_breakdown() {
         let t = tmp("profile_fused.trace.json");
         let msg = run(&[
@@ -1617,6 +1742,61 @@ mod tests {
             assert_eq!(r["accounted"], true, "{r}");
         }
         assert!(v["failures"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn chaos_drives_the_warp_pipeline_too() {
+        let msg = run(&[
+            "chaos",
+            "--seeds",
+            "2",
+            "--algorithm",
+            "gas-warp",
+            "--num-arrays",
+            "64",
+            "--array-len",
+            "200",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        assert_eq!(v["algorithm"], "gas-warp");
+        assert_eq!(v["runs"].as_array().unwrap().len(), 2);
+        for r in v["runs"].as_array().unwrap() {
+            assert_eq!(r["sorted_ok"], true, "{r}");
+            assert_eq!(r["accounted"], true, "{r}");
+        }
+        assert!(v["failures"].as_array().unwrap().is_empty());
+        assert!(run(&["chaos", "--algorithm", "quantum"])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn serve_routes_a_warp_fraction_through_the_pool() {
+        let msg = run(&[
+            "serve",
+            "--devices",
+            "2",
+            "--requests",
+            "20",
+            "--seed",
+            "1",
+            "--warp-fraction",
+            "0.5",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        assert_eq!(v["requests"], 20);
+        let warp_records = v["records"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|r| r["algorithm"] == "gas-warp")
+            .count();
+        assert!(warp_records > 0, "half the mix should route to gas-warp");
     }
 
     #[test]

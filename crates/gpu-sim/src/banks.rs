@@ -39,11 +39,40 @@ pub fn conflict_degree(byte_addrs: &[u64]) -> u32 {
 
 /// Conflict degree of a strided warp access (`lane i` touches byte
 /// `base + i · stride_bytes`) — the common pattern to check.
+///
+/// Edge cases (pinned by tests):
+///
+/// * **`stride_bytes == 0`** — every lane reads the same word, which the
+///   hardware serves as a broadcast: degree 1, never a conflict.
+/// * **Non-power-of-two `warp_size`** — the degree is computed over
+///   exactly `warp_size` lanes, so a partial warp can only improve (never
+///   worsen) the degree of the same stride at 32 lanes; `warp_size == 0`
+///   degenerates to the empty access, degree 1.
 pub fn strided_conflict_degree(base: u64, stride_bytes: u64, warp_size: u32) -> u32 {
     let addrs: Vec<u64> = (0..warp_size as u64)
         .map(|i| base + i * stride_bytes)
         .collect();
     conflict_degree(&addrs)
+}
+
+/// The Sitchinava–Weichert padded index: logical word `i` of a shared
+/// array is stored at physical word `i + ⌊i / NUM_BANKS⌋`, i.e. one pad
+/// word is inserted after every 32 — so walking a *column* of a 32-wide
+/// tile (stride 32 words, the fully-serialized worst case) lands on
+/// stride 33, which is conflict-free. Costs `len / 32` extra words of
+/// shared memory; [`padded_len`] gives the padded allocation size.
+pub fn padded_index(index: u64) -> u64 {
+    index + index / NUM_BANKS as u64
+}
+
+/// Physical words needed to store `len` logical words under
+/// [`padded_index`].
+pub fn padded_len(len: u64) -> u64 {
+    if len == 0 {
+        0
+    } else {
+        padded_index(len - 1) + 1
+    }
 }
 
 #[cfg(test)]
@@ -87,5 +116,60 @@ mod tests {
     #[test]
     fn empty_access_is_degree_one() {
         assert_eq!(conflict_degree(&[]), 1);
+    }
+
+    #[test]
+    fn zero_stride_is_a_broadcast() {
+        // All lanes on one word: served in a single pass at any base.
+        assert_eq!(strided_conflict_degree(0, 0, 32), 1);
+        assert_eq!(strided_conflict_degree(123, 0, 32), 1);
+        assert_eq!(strided_conflict_degree(0, 0, 64), 1);
+    }
+
+    #[test]
+    fn partial_warps_never_worsen_the_degree() {
+        for stride in [0u64, 4, 8, 64, 128, 132] {
+            for ws in [1u32, 3, 7, 17, 24, 31, 32] {
+                assert!(
+                    strided_conflict_degree(0, stride, ws)
+                        <= strided_conflict_degree(0, stride, 32),
+                    "stride {stride} at {ws} lanes"
+                );
+            }
+        }
+        // Degenerate zero-lane access is the empty access.
+        assert_eq!(strided_conflict_degree(0, 128, 0), 1);
+    }
+
+    #[test]
+    fn non_pow2_warp_sizes_are_exact() {
+        // 24 lanes at 2-word stride cover words 0,2,…,46: banks 0..=30
+        // even, each bank hit at most… words 0..46 mod 32: words 32..46
+        // re-hit banks 0,2,…,14 → degree 2.
+        assert_eq!(strided_conflict_degree(0, 8, 24), 2);
+        // 17 lanes at full-serialization stride: 17 distinct words, one bank.
+        assert_eq!(strided_conflict_degree(0, 128, 17), 17);
+    }
+
+    #[test]
+    fn padding_defeats_the_column_walk() {
+        // A column walk of a 32-wide tile is the worst case…
+        assert_eq!(strided_conflict_degree(0, 32 * 4, 32), 32);
+        // …but through the padded layout every lane lands on its own bank.
+        let addrs: Vec<u64> = (0..32u64)
+            .map(|lane| padded_index(lane * 32) * BANK_WIDTH as u64)
+            .collect();
+        assert_eq!(conflict_degree(&addrs), 1);
+    }
+
+    #[test]
+    fn padded_len_counts_pad_words() {
+        assert_eq!(padded_len(0), 0);
+        assert_eq!(padded_len(32), 32, "first pad word appears at index 32");
+        assert_eq!(padded_len(33), 34);
+        assert_eq!(padded_len(64), 65);
+        // Round trip: padded indices are strictly increasing and unique.
+        let idx: Vec<u64> = (0..200).map(padded_index).collect();
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -277,6 +277,18 @@ impl ThreadCtx<'_> {
         self.counters.atomics_shared += n;
     }
 
+    /// Charges `n` shared-memory atomic RMWs that each contend with
+    /// `degree − 1` other lanes of the warp on the **same address**: the
+    /// hardware serializes same-word RMWs, so the cycle bill scales by
+    /// `degree` (clamped to at least 1). The operation count does not —
+    /// contention makes atomics slower, not more numerous.
+    #[inline]
+    pub fn charge_atomic_shared_contended(&mut self, n: u64, degree: u32) {
+        let d = degree.max(1) as u64;
+        self.cycles += self.cost.atomic_shared * (n * d) as f64;
+        self.counters.atomics_shared += n;
+    }
+
     /// Charges the calibrated per-element overhead of the Thrust-era
     /// radix sort ([`CostModel::thrust_elem_cycles`]) for `elems` elements
     /// of one pass, split by `fraction` between the pass's kernels.
@@ -303,6 +315,37 @@ impl ThreadCtx<'_> {
     pub fn charge_divergence(&mut self, events: u64) {
         self.cycles += self.cost.divergence * events as f64;
         self.counters.divergence_events += events;
+    }
+
+    /// Threads per warp on this device (the lockstep fold width).
+    pub fn warp_size(&self) -> u32 {
+        self.warp_size
+    }
+
+    /// Charges `n` warp-vote instructions (`ballot`/`match_any` class).
+    /// Votes ride the register file: no shared accesses, no bank passes.
+    #[inline]
+    pub fn charge_warp_vote(&mut self, n: u64) {
+        self.cycles += self.cost.warp_vote * n as f64;
+        self.counters.warp_votes += n;
+    }
+
+    /// Charges `n` warp-shuffle instructions (`shfl` class).
+    #[inline]
+    pub fn charge_warp_shuffle(&mut self, n: u64) {
+        self.cycles += self.cost.warp_shuffle * n as f64;
+        self.counters.warp_shuffles += n;
+    }
+
+    /// Charges one warp-exclusive prefix scan done with shuffles: the
+    /// Kogge–Stone ladder is `⌈log₂ warp_size⌉` shuffle + add steps per
+    /// lane (see [`crate::block::warp::exclusive_sum`] for the value
+    /// semantics this bill belongs to).
+    #[inline]
+    pub fn charge_warp_scan(&mut self) {
+        let steps = warp::scan_steps(self.warp_size) as u64;
+        self.charge_warp_shuffle(steps);
+        self.charge_alu(steps);
     }
 
     /// Cycles this thread has accumulated so far in the current phase.
@@ -340,6 +383,71 @@ impl<T> SharedArray<T> {
     /// Mutable backing slice.
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
+    }
+}
+
+/// Warp-level intrinsics with **honest value semantics**.
+///
+/// The simulator executes a block's threads sequentially, so warp-wide
+/// collectives cannot be expressed inside a per-thread closure the way
+/// CUDA writes them. Instead, kernels compute the collective's result
+/// with these host-side reference functions (each takes the warp's lanes
+/// as a slice, lane `i` at index `i`) and bill the cycles through
+/// [`ThreadCtx::charge_warp_vote`] / [`ThreadCtx::charge_warp_shuffle`] /
+/// [`ThreadCtx::charge_warp_scan`]. The functions are deliberately
+/// scalar and obviously correct — `tests/warp.rs` property-checks the
+/// kernels' uses against them.
+pub mod warp {
+    /// `__ballot_sync`: bitmask of lanes whose predicate holds. Lane `i`
+    /// of `preds` maps to bit `i`. Panics past 64 lanes (no real part has
+    /// them).
+    pub fn ballot(preds: &[bool]) -> u64 {
+        assert!(preds.len() <= 64, "ballot supports at most 64 lanes");
+        preds
+            .iter()
+            .enumerate()
+            .fold(0u64, |m, (i, &p)| if p { m | (1u64 << i) } else { m })
+    }
+
+    /// `__match_any_sync`-style peer grouping: for each lane, the bitmask
+    /// of lanes holding an **equal** value (always includes the lane
+    /// itself).
+    pub fn match_any(vals: &[u32]) -> Vec<u64> {
+        assert!(vals.len() <= 64, "match_any supports at most 64 lanes");
+        vals.iter()
+            .map(|&v| ballot(&vals.iter().map(|&w| w == v).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    /// Warp-exclusive prefix sum (the shuffle-ladder scan): output lane
+    /// `i` holds the sum of lanes `0..i`; lane 0 holds 0.
+    pub fn exclusive_sum(vals: &[u32]) -> Vec<u32> {
+        let mut acc = 0u32;
+        vals.iter()
+            .map(|&v| {
+                let out = acc;
+                acc += v;
+                out
+            })
+            .collect()
+    }
+
+    /// Steps of the Kogge–Stone shuffle ladder for a warp of `warp_size`
+    /// lanes: `⌈log₂ warp_size⌉` (0 for a single-lane warp).
+    pub fn scan_steps(warp_size: u32) -> u32 {
+        let ws = warp_size.max(1);
+        u32::BITS - (ws - 1).leading_zeros()
+    }
+
+    /// Number of *leader lanes* in a warp: lanes that are the lowest
+    /// member of their [`match_any`] peer group. This is the atomic count
+    /// a warp-aggregated atomic update issues (one RMW per distinct
+    /// value) instead of one per lane.
+    pub fn leader_count(vals: &[u32]) -> usize {
+        vals.iter()
+            .enumerate()
+            .filter(|&(i, v)| !vals[..i].contains(v))
+            .count()
     }
 }
 
@@ -437,6 +545,68 @@ mod tests {
         // 32 threads * 4 coalesced f32 accesses => 4 warp transactions.
         assert_eq!(counters.global_txns(), 4);
         assert_eq!(counters.global_elems, 128);
+    }
+
+    #[test]
+    fn warp_charges_bill_register_ops_without_bank_passes() {
+        let cost = CostModel::default();
+        let mut b = block(32, &cost);
+        b.threads(|t| {
+            t.charge_warp_vote(3);
+            t.charge_warp_shuffle(2);
+            t.charge_warp_scan();
+        });
+        let (cycles, counters) = b.finish();
+        assert_eq!(counters.warp_votes, 32 * 3);
+        // scan = 5 shuffle steps at warp_size 32, plus the 2 explicit ones.
+        assert_eq!(counters.warp_shuffles, 32 * (2 + 5));
+        assert_eq!(counters.shared_accesses, 0, "no shared traffic");
+        assert_eq!(counters.shared_bank_passes, 0, "no bank passes");
+        let per_thread = 3.0 * cost.warp_vote + 7.0 * cost.warp_shuffle + 5.0 * cost.alu;
+        assert_eq!(cycles, (per_thread + cost.sync) as u64);
+    }
+
+    #[test]
+    fn contended_atomics_cost_more_but_count_the_same() {
+        let cost = CostModel::default();
+        let mut b = block(32, &cost);
+        b.threads(|t| t.charge_atomic_shared_contended(2, 3));
+        let (cycles, counters) = b.finish();
+        assert_eq!(counters.atomics_shared, 32 * 2, "ops, not passes");
+        assert_eq!(cycles, (2.0 * 3.0 * cost.atomic_shared + cost.sync) as u64);
+        // Degree 0 clamps to 1 (an uncontended RMW).
+        let mut b = block(1, &cost);
+        b.threads(|t| t.charge_atomic_shared_contended(1, 0));
+        let (cycles, _) = b.finish();
+        assert_eq!(cycles, (cost.atomic_shared + cost.sync) as u64);
+    }
+
+    #[test]
+    fn warp_ballot_matches_the_bit_definition() {
+        let mut preds = [false; 32];
+        preds[0] = true;
+        preds[5] = true;
+        preds[31] = true;
+        assert_eq!(warp::ballot(&preds), 1 | (1 << 5) | (1 << 31));
+        assert_eq!(warp::ballot(&[]), 0);
+    }
+
+    #[test]
+    fn warp_match_any_groups_peers() {
+        let masks = warp::match_any(&[7, 3, 7, 3, 9]);
+        assert_eq!(masks[0], 0b00101);
+        assert_eq!(masks[1], 0b01010);
+        assert_eq!(masks[2], 0b00101);
+        assert_eq!(masks[4], 0b10000);
+    }
+
+    #[test]
+    fn warp_exclusive_sum_and_leaders() {
+        assert_eq!(warp::exclusive_sum(&[3, 1, 4, 1]), vec![0, 3, 4, 8]);
+        assert_eq!(warp::leader_count(&[7, 3, 7, 3, 9]), 3);
+        assert_eq!(warp::scan_steps(32), 5);
+        assert_eq!(warp::scan_steps(1), 0);
+        assert_eq!(warp::scan_steps(24), 5, "non-pow2 warps round up");
     }
 
     #[test]

@@ -67,6 +67,21 @@ pub struct CostModel {
     pub atomic_shared: f64,
     /// Cost of a `__syncthreads()` barrier, per warp.
     pub sync: f64,
+    /// One warp-vote instruction (`__ballot_sync` / `__match_any_sync`
+    /// class). Votes move through the register file and the warp's vote
+    /// network — no shared-memory banks are touched, which is exactly why
+    /// warp-level multisplit beats a shared-histogram: the default (1.0)
+    /// undercuts [`CostModel::shared_access`] and
+    /// [`CostModel::atomic_shared`] the way Kepler's single-cycle-issue
+    /// vote unit undercuts its 2-cycle shared pipe.
+    #[serde(default = "default_warp_vote")]
+    pub warp_vote: f64,
+    /// One warp-shuffle instruction (`__shfl_*_sync` class): a register
+    /// exchange across lanes, same issue cost as a vote. A warp-exclusive
+    /// prefix sum costs `⌈log₂ warp_size⌉` of these per lane
+    /// ([`crate::block::ThreadCtx::charge_warp_scan`]).
+    #[serde(default = "default_warp_shuffle")]
+    pub warp_shuffle: f64,
     /// Extra cycles charged per divergent-branch event (both sides of the
     /// branch execute for the warp).
     pub divergence: f64,
@@ -98,6 +113,8 @@ impl Default for CostModel {
             atomic_global: 48.0,
             atomic_shared: 8.0,
             sync: 8.0,
+            warp_vote: default_warp_vote(),
+            warp_shuffle: default_warp_shuffle(),
             divergence: 4.0,
             seg_bytes: 128,
             thrust_elem_cycles: 5_200.0,
@@ -154,6 +171,14 @@ impl CostModel {
 
 fn div_ceil_u32(a: u32, b: u32) -> u32 {
     a.div_ceil(b)
+}
+
+fn default_warp_vote() -> f64 {
+    1.0
+}
+
+fn default_warp_shuffle() -> f64 {
+    1.0
 }
 
 #[cfg(test)]
@@ -229,6 +254,17 @@ mod tests {
         );
         // Wide elements saturate at warp_size like everything else.
         assert!(m.warp_transactions(AccessPattern::SingleLaneSequential, 256, W) <= W);
+    }
+
+    #[test]
+    fn warp_ops_undercut_the_shared_pipe() {
+        // The premise of warp-level multisplit: votes and shuffles stay in
+        // the register file, so they must be strictly cheaper than a
+        // shared access and far cheaper than a shared atomic.
+        let m = CostModel::default();
+        assert!(m.warp_vote < m.shared_access);
+        assert!(m.warp_shuffle < m.shared_access);
+        assert!(m.warp_vote < m.atomic_shared);
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub mod stats;
 pub mod stream;
 pub mod trace;
 
-pub use block::{BlockCtx, SharedArray, ThreadCtx};
+pub use block::{warp, BlockCtx, SharedArray, ThreadCtx};
 pub use cost::{AccessPattern, CostModel};
 pub use error::{SimError, SimResult};
 pub use faults::{

@@ -45,6 +45,16 @@ pub struct Counters {
     /// bank-conflict degree.
     #[serde(default)]
     pub shared_bank_passes: u64,
+    /// Warp-vote instructions (`ballot` / `match_any` class) charged via
+    /// [`crate::block::ThreadCtx::charge_warp_vote`]. Register-file
+    /// traffic: contributes **no** shared accesses or bank passes.
+    #[serde(default)]
+    pub warp_votes: u64,
+    /// Warp-shuffle instructions (`shfl` class, including the shuffles of
+    /// a warp-exclusive prefix scan) charged via
+    /// [`crate::block::ThreadCtx::charge_warp_shuffle`].
+    #[serde(default)]
+    pub warp_shuffles: u64,
 }
 
 impl Counters {
@@ -60,6 +70,8 @@ impl Counters {
         self.divergence_events += other.divergence_events;
         self.baseline_cycles += other.baseline_cycles;
         self.shared_bank_passes += other.shared_bank_passes;
+        self.warp_votes += other.warp_votes;
+        self.warp_shuffles += other.warp_shuffles;
     }
 
     /// Whole global-memory transactions (rounded from the micro count).
@@ -330,6 +342,8 @@ mod tests {
             divergence_events: 8,
             baseline_cycles: 9,
             shared_bank_passes: 10,
+            warp_votes: 11,
+            warp_shuffles: 12,
         };
         let b = a.clone();
         a.merge(&b);
@@ -337,6 +351,8 @@ mod tests {
         assert_eq!(a.divergence_events, 16);
         assert_eq!(a.baseline_cycles, 18);
         assert_eq!(a.shared_bank_passes, 20);
+        assert_eq!(a.warp_votes, 22);
+        assert_eq!(a.warp_shuffles, 24);
     }
 
     #[test]

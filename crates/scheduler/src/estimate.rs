@@ -15,7 +15,7 @@
 //! **monotone** in the batch size, so admission decisions are stable
 //! and reproducible.
 
-use array_sort::complexity::{eq2_unscaled, fused_unscaled};
+use array_sort::complexity::{eq2_unscaled, fused_unscaled, warp_unscaled};
 use array_sort::{ArraySortConfig, BatchGeometry};
 use gpu_sim::DeviceSpec;
 use serde::{Deserialize, Serialize};
@@ -29,6 +29,9 @@ pub enum GasVariant {
     ThreeKernel,
     /// The fused single-kernel pipeline (`gas-fused`).
     Fused,
+    /// The warp-multisplit fused pipeline with the padded conflict-free
+    /// scatter (`gas-warp`).
+    Warp,
 }
 
 /// Tunable constants of the admission estimator.
@@ -94,10 +97,38 @@ impl CostModel {
         transfers + spec.cycles_to_ms(cycles)
     }
 
-    /// Projects **both** GAS variants for a request and returns the
-    /// cheaper one with its time — the admission/dispatch decision for
+    /// Projected milliseconds for the **warp-multisplit** fused pipeline
+    /// (`gas-warp`): the fused transfer model with the tighter
+    /// [`warp_unscaled`] operation count. The padded scatter layout is
+    /// slightly larger than the fused one, so the fallback chain has two
+    /// steps: arrays that fit the fused layout but not the padded one are
+    /// priced at [`CostModel::device_ms_fused`]; arrays that fit neither
+    /// at [`CostModel::device_ms`].
+    pub fn device_ms_warp(
+        &self,
+        spec: &DeviceSpec,
+        config: &ArraySortConfig,
+        num_arrays: usize,
+        array_len: usize,
+    ) -> f64 {
+        let geom = BatchGeometry::new(num_arrays.max(1), array_len, config);
+        if !geom.fits_warp_in_shared(4, spec) {
+            return self.device_ms_fused(spec, config, num_arrays, array_len);
+        }
+        let bytes = (num_arrays as u64) * (array_len as u64) * 4;
+        let transfers = 2.0 * spec.transfer_ms(bytes);
+        let per_array_ops = warp_unscaled(array_len, config);
+        let rounds = (num_arrays as f64 / spec.sm_count.max(1) as f64).ceil();
+        let cycles = (per_array_ops * self.cycles_per_op * rounds).ceil() as u64;
+        transfers + spec.cycles_to_ms(cycles)
+    }
+
+    /// Projects **all three** GAS variants for a request and returns the
+    /// cheapest one with its time — the admission/dispatch decision for
     /// [`crate::Algorithm::Gas`] requests. Deterministic; ties go to the
-    /// paper-faithful three-kernel pipeline.
+    /// earlier variant in the chain three-kernel → fused → warp, so the
+    /// paper-faithful pipeline wins exact ties and `gas-warp` must beat
+    /// `gas-fused` strictly to be picked.
     pub fn best_gas_variant(
         &self,
         spec: &DeviceSpec,
@@ -107,11 +138,15 @@ impl CostModel {
     ) -> (GasVariant, f64) {
         let three = self.device_ms(spec, config, num_arrays, array_len);
         let fused = self.device_ms_fused(spec, config, num_arrays, array_len);
-        if fused < three {
-            (GasVariant::Fused, fused)
-        } else {
-            (GasVariant::ThreeKernel, three)
+        let warp = self.device_ms_warp(spec, config, num_arrays, array_len);
+        let (mut best, mut ms) = (GasVariant::ThreeKernel, three);
+        if fused < ms {
+            (best, ms) = (GasVariant::Fused, fused);
         }
+        if warp < ms {
+            (best, ms) = (GasVariant::Warp, warp);
+        }
+        (best, ms)
     }
 
     /// Projected milliseconds for sorting the batch on the host with
@@ -163,10 +198,12 @@ mod tests {
         for n in [1000usize, 2000, 3000, 4000] {
             let three = m.device_ms(&spec, &cfg, 500, n);
             let fused = m.device_ms_fused(&spec, &cfg, 500, n);
+            let warp = m.device_ms_warp(&spec, &cfg, 500, n);
             assert!(fused < three, "n={n}: fused {fused} vs three {three}");
+            assert!(warp < fused, "n={n}: warp {warp} vs fused {fused}");
             let (variant, ms) = m.best_gas_variant(&spec, &cfg, 500, n);
-            assert_eq!(variant, GasVariant::Fused, "n={n}");
-            assert_eq!(ms, fused);
+            assert_eq!(variant, GasVariant::Warp, "n={n}");
+            assert_eq!(ms, warp);
         }
     }
 
@@ -174,14 +211,14 @@ mod tests {
     fn variant_selection_is_not_a_constant() {
         // Tiny arrays (p = 1 bucket) make the fused kernel's cooperative
         // machinery pure overhead: the model must keep the three-kernel
-        // pipeline there and switch to fused where it wins.
+        // pipeline there and switch to the warp variant where it wins.
         let m = CostModel::default();
         let spec = DeviceSpec::tesla_k40c();
         let cfg = ArraySortConfig::default();
         let (small, _) = m.best_gas_variant(&spec, &cfg, 64, 20);
         assert_eq!(small, GasVariant::ThreeKernel);
         let (large, _) = m.best_gas_variant(&spec, &cfg, 64, 2000);
-        assert_eq!(large, GasVariant::Fused);
+        assert_eq!(large, GasVariant::Warp);
     }
 
     #[test]
@@ -193,6 +230,8 @@ mod tests {
         let fused = m.device_ms_fused(&spec, &cfg, 100, 8000);
         let three = m.device_ms(&spec, &cfg, 100, 8000);
         assert_eq!(fused, three, "fallback priced as the three-kernel run");
+        let warp = m.device_ms_warp(&spec, &cfg, 100, 8000);
+        assert_eq!(warp, three, "warp falls through the whole chain");
         let (variant, _) = m.best_gas_variant(&spec, &cfg, 100, 8000);
         assert_eq!(variant, GasVariant::ThreeKernel, "ties keep the default");
     }

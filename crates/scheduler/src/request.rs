@@ -68,6 +68,10 @@ pub enum Algorithm {
     /// The fused single-kernel GAS pipeline, forced (no variant choice).
     #[serde(rename = "gas-fused")]
     GasFused,
+    /// The warp-multisplit fused pipeline with the padded conflict-free
+    /// scatter, forced.
+    #[serde(rename = "gas-warp")]
+    GasWarp,
     /// The sort-then-sort Thrust baseline (STA).
     Sta,
 }
@@ -78,9 +82,10 @@ impl Algorithm {
         match s {
             "gas" => Ok(Algorithm::Gas),
             "gas-fused" => Ok(Algorithm::GasFused),
+            "gas-warp" => Ok(Algorithm::GasWarp),
             "sta" => Ok(Algorithm::Sta),
             other => Err(format!(
-                "unknown algorithm '{other}' (expected gas|gas-fused|sta)"
+                "unknown algorithm '{other}' (expected gas|gas-fused|gas-warp|sta)"
             )),
         }
     }
@@ -90,6 +95,7 @@ impl Algorithm {
         match self {
             Algorithm::Gas => "gas",
             Algorithm::GasFused => "gas-fused",
+            Algorithm::GasWarp => "gas-warp",
             Algorithm::Sta => "sta",
         }
     }
@@ -142,6 +148,11 @@ pub struct WorkloadConfig {
     pub deadline_slack: (f64, f64),
     /// Fraction of requests routed to [`Algorithm::Sta`].
     pub sta_fraction: f64,
+    /// Fraction of requests forced to [`Algorithm::GasWarp`] (drawn from
+    /// the non-STA share). Defaults to 0 so workloads generated before
+    /// the variant existed replay bit-identically.
+    #[serde(default)]
+    pub warp_fraction: f64,
 }
 
 impl Default for WorkloadConfig {
@@ -154,6 +165,7 @@ impl Default for WorkloadConfig {
             mean_gap_ms: 0.4,
             deadline_slack: (4.0, 40.0),
             sta_fraction: 0.25,
+            warp_fraction: 0.0,
         }
     }
 }
@@ -176,8 +188,11 @@ impl Workload {
             arrival += cfg.mean_gap_ms * rng.gen_range(0.5..1.5);
             let num_arrays = rng.gen_range(cfg.arrays.0..=cfg.arrays.1);
             let array_len = rng.gen_range(cfg.array_len.0..=cfg.array_len.1);
-            let algorithm = if rng.gen::<f64>() < cfg.sta_fraction {
+            let draw = rng.gen::<f64>();
+            let algorithm = if draw < cfg.sta_fraction {
                 Algorithm::Sta
+            } else if draw < cfg.sta_fraction + cfg.warp_fraction {
+                Algorithm::GasWarp
             } else {
                 Algorithm::Gas
             };
@@ -280,6 +295,39 @@ mod tests {
     }
 
     #[test]
+    fn warp_fraction_routes_requests_without_disturbing_the_rest() {
+        let base = WorkloadConfig {
+            requests: 200,
+            ..WorkloadConfig::default()
+        };
+        let plain = Workload::generate(&base);
+        assert!(
+            plain
+                .requests
+                .iter()
+                .all(|r| r.algorithm != Algorithm::GasWarp),
+            "default mix stays warp-free (back-compat)"
+        );
+        let mixed = Workload::generate(&WorkloadConfig {
+            warp_fraction: 0.3,
+            ..base.clone()
+        });
+        let warps = mixed
+            .requests
+            .iter()
+            .filter(|r| r.algorithm == Algorithm::GasWarp)
+            .count();
+        assert!(warps > 20, "0.3 of 200 requests routes dozens, got {warps}");
+        // Shapes, arrivals and deadlines are untouched by the routing knob.
+        for (a, b) in plain.requests.iter().zip(&mixed.requests) {
+            assert_eq!(
+                (a.num_arrays, a.array_len, a.arrival_ms.to_bits()),
+                (b.num_arrays, b.array_len, b.arrival_ms.to_bits())
+            );
+        }
+    }
+
+    #[test]
     fn json_round_trip_and_bare_array() {
         let w = Workload::generate(&WorkloadConfig {
             requests: 3,
@@ -322,6 +370,11 @@ mod tests {
         assert!(Priority::parse("urgent").is_err());
         assert_eq!(Algorithm::parse("sta").unwrap(), Algorithm::Sta);
         assert_eq!(Algorithm::parse("gas-fused").unwrap(), Algorithm::GasFused);
+        assert_eq!(Algorithm::parse("gas-warp").unwrap(), Algorithm::GasWarp);
+        assert_eq!(
+            serde_json::to_string(&Algorithm::GasWarp).unwrap(),
+            "\"gas-warp\""
+        );
         assert!(Algorithm::parse("quick").is_err());
         assert!(Priority::Low < Priority::Normal);
         assert!(Priority::High < Priority::Critical);

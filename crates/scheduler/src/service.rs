@@ -96,6 +96,7 @@ pub struct SortService {
     pool: DevicePool,
     sorter: GpuArraySort,
     fused: FusedSort,
+    warp: FusedSort,
     rng: ChaCha8Rng,
 }
 
@@ -114,6 +115,7 @@ impl SortService {
             pool,
             sorter: GpuArraySort::new(),
             fused: FusedSort::new(),
+            warp: FusedSort::warp(),
             rng,
         })
     }
@@ -403,9 +405,9 @@ impl SortService {
     /// Does the batch fit the device under the request's algorithm?
     fn fits(&self, spec: &gpu_sim::DeviceSpec, req: &SortRequest) -> bool {
         match req.algorithm {
-            // Fused capacity is bounded by the three-kernel plan (its
-            // fallback), so one check covers both GAS variants.
-            Algorithm::Gas | Algorithm::GasFused => {
+            // Fused/warp capacity is bounded by the three-kernel plan
+            // (their fallback), so one check covers every GAS variant.
+            Algorithm::Gas | Algorithm::GasFused | Algorithm::GasWarp => {
                 self.sorter.max_arrays(spec, req.array_len) >= req.num_arrays as u64
             }
             Algorithm::Sta => {
@@ -430,6 +432,11 @@ impl SortService {
                 self.cfg
                     .cost
                     .device_ms_fused(spec, cfg, req.num_arrays, req.array_len)
+            }
+            Algorithm::GasWarp => {
+                self.cfg
+                    .cost
+                    .device_ms_warp(spec, cfg, req.num_arrays, req.array_len)
             }
             Algorithm::Sta => self
                 .cfg
@@ -458,44 +465,51 @@ impl SortService {
         let cost = &self.cfg.cost;
         let sorter = &self.sorter;
         let fused = &self.fused;
+        let warp = &self.warp;
         let dev = &mut self.pool.devices[di];
         // `Gas` requests run whichever pipeline variant the cost model
-        // projected cheaper on this device; `GasFused` forces the fused
-        // pipeline (which still falls back internally when the arrays
-        // exceed the fused shared-memory layout).
+        // projected cheaper on this device; `GasFused`/`GasWarp` force
+        // their pipeline (which still falls back internally when the
+        // arrays exceed its shared-memory layout).
         let variant = match p.req.algorithm {
             Algorithm::Gas => {
                 cost.best_gas_variant(dev.spec(), sorter.config(), p.req.num_arrays, array_len)
                     .0
             }
             Algorithm::GasFused => GasVariant::Fused,
+            Algorithm::GasWarp => GasVariant::Warp,
             Algorithm::Sta => GasVariant::ThreeKernel,
         };
         dev.breaker.on_dispatch(now);
         let t0 = dev.gpu.elapsed_ms();
         let result = match (p.req.algorithm, variant) {
-            (Algorithm::Gas | Algorithm::GasFused, GasVariant::Fused) => checkpointed_attempt(
-                &mut dev.gpu,
-                &mut p.data,
-                &checkpoint,
-                &span_name,
-                |g, d| fused.sort(g, d, array_len).map(|_| ()),
-            ),
-            (Algorithm::Gas | Algorithm::GasFused, GasVariant::ThreeKernel) => {
-                checkpointed_attempt(
-                    &mut dev.gpu,
-                    &mut p.data,
-                    &checkpoint,
-                    &span_name,
-                    |g, d| sorter.sort(g, d, array_len).map(|_| ()),
-                )
-            }
             (Algorithm::Sta, _) => checkpointed_attempt(
                 &mut dev.gpu,
                 &mut p.data,
                 &checkpoint,
                 &span_name,
                 |g, d| thrust_sim::sta::sort_arrays(g, d, array_len).map(|_| ()),
+            ),
+            (_, GasVariant::Warp) => checkpointed_attempt(
+                &mut dev.gpu,
+                &mut p.data,
+                &checkpoint,
+                &span_name,
+                |g, d| warp.sort(g, d, array_len).map(|_| ()),
+            ),
+            (_, GasVariant::Fused) => checkpointed_attempt(
+                &mut dev.gpu,
+                &mut p.data,
+                &checkpoint,
+                &span_name,
+                |g, d| fused.sort(g, d, array_len).map(|_| ()),
+            ),
+            (_, GasVariant::ThreeKernel) => checkpointed_attempt(
+                &mut dev.gpu,
+                &mut p.data,
+                &checkpoint,
+                &span_name,
+                |g, d| sorter.sort(g, d, array_len).map(|_| ()),
             ),
         };
         p.attempts_made = attempt_no;
@@ -888,10 +902,32 @@ mod tests {
     }
 
     #[test]
+    fn gas_warp_requests_are_served_too() {
+        let mut w = small_workload(11, 20);
+        for r in &mut w.requests {
+            r.algorithm = Algorithm::GasWarp;
+        }
+        let plan = FaultPlan::seeded(6).with_launch_failure(0.05);
+        let mut s = service(2, SchedulerConfig::default(), Some(&plan));
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.invariant_violations(), Vec::<String>::new());
+        assert!(report.completed > 0);
+        // The forced-warp requests actually ran the warp kernel.
+        let warp_launches = s
+            .pool()
+            .devices
+            .iter()
+            .flat_map(|d| d.gpu.timeline().kernels.iter())
+            .filter(|k| k.name == "gas_warp")
+            .count();
+        assert!(warp_launches > 0, "forced gas-warp requests ran gas_warp");
+    }
+
+    #[test]
     fn cost_model_dispatches_the_fused_variant_where_it_is_cheaper() {
         // Paper-shaped arrays (n = 2000): the cost model projects the
-        // fused pipeline cheaper, so plain `gas` requests must be served
-        // by the fused kernel — no `gas-fused` algorithm requested.
+        // warp-multisplit pipeline cheapest, so plain `gas` requests must
+        // be served by the `gas_warp` kernel — no variant requested.
         let w = Workload {
             requests: (0..4)
                 .map(|id| SortRequest {
@@ -923,8 +959,8 @@ mod tests {
             .map(|k| k.name.clone())
             .collect();
         assert!(
-            kernels.iter().any(|n| n == "gas_fused"),
-            "cost model should route n=2000 gas requests to the fused kernel: {kernels:?}"
+            kernels.iter().any(|n| n == "gas_warp"),
+            "cost model should route n=2000 gas requests to the warp kernel: {kernels:?}"
         );
         assert!(
             !kernels.iter().any(|n| n.starts_with("gas_phase")),

@@ -1,8 +1,9 @@
 //! Cross-crate properties for the fused single-kernel pipeline
-//! (`gas-fused`): for any batch shape, seed or special float values it
-//! must return exactly what the CPU oracle returns; under any seeded
-//! [`FaultPlan`] the recovering wrapper must still produce the oracle
-//! answer; and on the paper's Fig. 2 shapes it must move strictly fewer
+//! (`gas-fused`) and its warp-multisplit variant (`gas-warp`): for any
+//! batch shape, seed or special float values they must return exactly
+//! what the CPU oracle returns; under any seeded [`FaultPlan`] the
+//! recovering wrapper must still produce the oracle answer; and on the
+//! paper's Fig. 2 shapes the fused kernel must move strictly fewer
 //! global-memory transactions than the three-kernel pipeline.
 
 use array_sort::{cpu_ref, recover_batch_with, FusedSort, GpuArraySort, RetryPolicy};
@@ -139,6 +140,60 @@ proptest! {
             cpu_ref::verify_against(&original, &data, array_len),
             None,
             "output must match the CPU oracle"
+        );
+        let error_faults = gpu
+            .injected_faults()
+            .iter()
+            .filter(|f| f.kind.is_error())
+            .count();
+        prop_assert_eq!(
+            report.device_faults() as usize,
+            error_faults,
+            "every injected error fault must be accounted for"
+        );
+    }
+
+    /// The same chaos invariant for the warp-multisplit variant
+    /// (`gas-warp`): any seeded fault plan, same oracle answer, fully
+    /// reconciled fault accounting.
+    #[test]
+    fn gas_warp_under_any_fault_plan_yields_the_oracle(
+        fault_seed in any::<u64>(),
+        data_seed in any::<u64>(),
+        launch in 0.0f64..0.30,
+        abort in 0.0f64..0.20,
+        corrupt in 0.0f64..0.20,
+        oom in 0.0f64..0.15,
+        stall in 0.0f64..0.30,
+        num_arrays in 4usize..60,
+        array_len in 4usize..64,
+    ) {
+        let plan = FaultPlan::seeded(fault_seed)
+            .with_launch_failure(launch)
+            .with_transfer_abort(abort)
+            .with_transfer_corruption(corrupt)
+            .with_alloc_oom(oom)
+            .with_stream_stall(stall, 0.5);
+        let mut data = xorshift_floats(data_seed, num_arrays * array_len);
+        let original = data.clone();
+        let mut gpu = Gpu::new(DeviceSpec::test_device());
+        gpu.set_fault_plan(Some(plan));
+        let sorter = FusedSort::warp();
+        let (_, report) = recover_batch_with(
+            &mut gpu,
+            &mut data,
+            array_len,
+            &RetryPolicy::default(),
+            "gas-warp/batch",
+            |g, d| sorter.sort(g, d, array_len),
+        )
+        .expect("cpu fallback makes the recovering warp sorter infallible");
+
+        prop_assert!(cpu_ref::is_each_sorted(&data, array_len));
+        prop_assert_eq!(
+            cpu_ref::verify_against(&original, &data, array_len),
+            None,
+            "gas-warp output must match the CPU oracle under faults"
         );
         let error_faults = gpu
             .injected_faults()

@@ -172,7 +172,7 @@ fn streamed_out_of_core_lands_on_per_stream_tracks() {
 
 // ------------------------------------------------ counter algebra laws
 
-fn counters_from(v: [u64; 10]) -> Counters {
+fn counters_from(v: [u64; 12]) -> Counters {
     Counters {
         alu: v[0],
         shared_accesses: v[1],
@@ -184,6 +184,8 @@ fn counters_from(v: [u64; 10]) -> Counters {
         divergence_events: v[7],
         baseline_cycles: v[8],
         shared_bank_passes: v[9],
+        warp_votes: v[10],
+        warp_shuffles: v[11],
     }
 }
 
@@ -193,9 +195,9 @@ fn merged(a: &Counters, b: &Counters) -> Counters {
     m
 }
 
-fn small() -> impl Strategy<Value = [u64; 10]> {
+fn small() -> impl Strategy<Value = [u64; 12]> {
     // Bounded well below u64::MAX so three-way merges cannot overflow.
-    prop::array::uniform10(0u64..(1 << 32))
+    prop::array::uniform12(0u64..(1 << 32))
 }
 
 proptest! {
