@@ -125,6 +125,40 @@ impl RecoveryReport {
             .iter()
             .all(|c| c.attempts == 1 && !c.cpu_fallback && c.device_faults == 0)
     }
+
+    /// Records the recovery story into a metric registry, labeled by
+    /// the pipeline that ran (`gas`, `gas-fused`, `gas-warp`, …):
+    /// `gas_recovery_{attempts,retries,device_faults,cpu_fallbacks}_total`
+    /// counters, a `gas_recovery_wasted_ms_total` counter, and a
+    /// `gas_recovery_wasted_ms` histogram of per-chunk waste. The chaos
+    /// command reconciles the device-fault counter against the
+    /// injector's own log.
+    pub fn record_to(&self, reg: &mut telemetry::Registry, algorithm: &str) {
+        let labels = [("algorithm", algorithm)];
+        let attempts: u32 = self.chunks.iter().map(|c| c.attempts).sum();
+        reg.add("gas_recovery_attempts_total", &labels, f64::from(attempts));
+        reg.add(
+            "gas_recovery_retries_total",
+            &labels,
+            f64::from(self.retries()),
+        );
+        reg.add(
+            "gas_recovery_device_faults_total",
+            &labels,
+            f64::from(self.device_faults()),
+        );
+        reg.add(
+            "gas_recovery_cpu_fallbacks_total",
+            &labels,
+            f64::from(self.cpu_fallbacks()),
+        );
+        reg.add("gas_recovery_wasted_ms_total", &labels, self.wasted_ms());
+        for c in &self.chunks {
+            if c.wasted_ms > 0.0 {
+                reg.observe("gas_recovery_wasted_ms", &labels, c.wasted_ms);
+            }
+        }
+    }
 }
 
 /// A failed, rolled-back device attempt: the error plus the simulated
@@ -414,6 +448,40 @@ mod tests {
 
     fn reversed_batch(num: usize, n: usize) -> Vec<f32> {
         (0..num * n).rev().map(|x| x as f32).collect()
+    }
+
+    #[test]
+    fn record_to_mirrors_the_report_counters() {
+        let report = RecoveryReport {
+            chunks: vec![
+                ChunkRecovery {
+                    chunk: 0,
+                    attempts: 1,
+                    device_faults: 0,
+                    cpu_fallback: false,
+                    wasted_ms: 0.0,
+                    errors: vec![],
+                },
+                ChunkRecovery {
+                    chunk: 1,
+                    attempts: 3,
+                    device_faults: 2,
+                    cpu_fallback: true,
+                    wasted_ms: 1.5,
+                    errors: vec!["boom".into(), "boom".into()],
+                },
+            ],
+        };
+        let mut reg = telemetry::Registry::new();
+        report.record_to(&mut reg, "gas-warp");
+        let f = [("algorithm", "gas-warp")];
+        assert_eq!(reg.counter("gas_recovery_attempts_total", &f), 4.0);
+        assert_eq!(reg.counter("gas_recovery_retries_total", &f), 2.0);
+        assert_eq!(reg.counter("gas_recovery_device_faults_total", &f), 2.0);
+        assert_eq!(reg.counter("gas_recovery_cpu_fallbacks_total", &f), 1.0);
+        assert_eq!(reg.counter("gas_recovery_wasted_ms_total", &f), 1.5);
+        let wasted = reg.histogram("gas_recovery_wasted_ms", &f).unwrap();
+        assert_eq!((wasted.count, wasted.sum), (1, 1.5));
     }
 
     #[test]

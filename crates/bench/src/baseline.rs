@@ -226,7 +226,9 @@ pub fn record_or_compare(
         (_, true) => (true, "update requested".to_string(), false),
         (Ok(b), _) if b.bootstrap => (
             true,
-            "checked-in baseline is the bootstrap sentinel".to_string(),
+            "checked-in baseline is the bootstrap sentinel — recording all three series \
+             (three-kernel, fused, warp)"
+                .to_string(),
             true,
         ),
         (Err(e), _) => (true, format!("no usable baseline ({e})"), false),
@@ -413,6 +415,11 @@ mod tests {
             } => {
                 assert!(was_bootstrap);
                 assert!(reason.contains("bootstrap sentinel"), "{reason}");
+                // The baseline stores three series per point, and the
+                // notice must say so — not just the three-kernel one.
+                for series in ["three-kernel", "fused", "warp"] {
+                    assert!(reason.contains(series), "{reason}");
+                }
             }
             other => panic!("expected Recorded, got {other:?}"),
         }

@@ -142,7 +142,8 @@ fn main() -> ExitCode {
                 println!(
                     "NOTICE: recording bootstrap baseline — the checked-in file was the \
                      {{\"bootstrap\": true}} sentinel, so this first run records real \
-                     numbers instead of comparing."
+                     numbers for all three series (three-kernel, fused and warp \
+                     pipeline times per sweep point) instead of comparing."
                 );
             }
             println!(

@@ -533,10 +533,13 @@ const DEFAULT_CHAOS_FAULTS: &str =
 
 /// `gas chaos`: a seeded fault-injection campaign. For each seed it
 /// generates a batch, runs the chosen recovering pipeline under an
-/// injected [`FaultPlan`], and checks two invariants: the output must
-/// match the CPU oracle, and the [`RecoveryReport`] must account for
-/// every error-producing fault the device logged. Any violation makes
-/// the command fail (nonzero exit), so CI can fan it out across seeds.
+/// injected [`FaultPlan`], and checks three invariants: the output must
+/// match the CPU oracle, the [`RecoveryReport`] must account for every
+/// error-producing fault the device logged, and the run rendered as
+/// telemetry (recovery counters, per-kind injected-fault counters) must
+/// reconcile with both the report and the injector log. Any violation
+/// makes the command fail (nonzero exit), so CI can fan it out across
+/// seeds.
 /// `--algorithm gas` (default) drives the recovering out-of-core
 /// sorter; `gas-fused` and `gas-warp` drive the single-kernel pipelines
 /// through [`recover_batch_with`] on an in-core batch.
@@ -623,6 +626,51 @@ pub fn cmd_chaos(args: &Args) -> Result<String, AnyError> {
                         error_faults
                     ));
                 }
+                // Telemetry reconciliation: the same run rendered as
+                // metrics must tell the same story as the report and
+                // the injector log — the recovery device-fault counter
+                // equals the injector's error-fault count, and the
+                // per-kind injected-fault counters sum to the log.
+                let mut reg = scheduler::Registry::new();
+                report.record_to(&mut reg, algorithm);
+                for f in injected {
+                    let kind = f.kind.to_string();
+                    reg.inc(
+                        "gas_device_injected_faults_total",
+                        &[("device", "dev0"), ("kind", &kind)],
+                    );
+                }
+                let metric_device_faults = reg.counter(
+                    "gas_recovery_device_faults_total",
+                    &[("algorithm", algorithm)],
+                );
+                let metric_injected =
+                    reg.counter_sum("gas_device_injected_faults_total", &[("device", "dev0")]);
+                let metrics_reconciled = metric_device_faults == error_faults as f64
+                    && metric_injected == injected.len() as f64
+                    && reg.counter("gas_recovery_retries_total", &[("algorithm", algorithm)])
+                        == report.retries() as f64
+                    && reg.counter(
+                        "gas_recovery_cpu_fallbacks_total",
+                        &[("algorithm", algorithm)],
+                    ) == report.cpu_fallbacks() as f64;
+                if !metrics_reconciled {
+                    failures.push(format!(
+                        "seed {seed}: telemetry counts {metric_device_faults} recovery device \
+                         faults ({} retries, {} fallbacks, {metric_injected} injected) but the \
+                         report/injector logged {} device faults, {} retries, {} fallbacks, \
+                         {} injected",
+                        reg.counter("gas_recovery_retries_total", &[("algorithm", algorithm)]),
+                        reg.counter(
+                            "gas_recovery_cpu_fallbacks_total",
+                            &[("algorithm", algorithm)]
+                        ),
+                        report.device_faults(),
+                        report.retries(),
+                        report.cpu_fallbacks(),
+                        injected.len()
+                    ));
+                }
                 if let Some(dir) = &trace_dir {
                     write_trace_file(&gpu, &dir.join(format!("chaos-seed-{seed}.trace.json")))?;
                 }
@@ -637,6 +685,7 @@ pub fn cmd_chaos(args: &Args) -> Result<String, AnyError> {
                     "elapsed_ms": gpu.elapsed_ms(),
                     "sorted_ok": sorted_ok,
                     "accounted": accounted,
+                    "metrics_reconciled": metrics_reconciled,
                 }));
             }
         }
@@ -675,7 +724,10 @@ pub fn cmd_chaos(args: &Args) -> Result<String, AnyError> {
                 r["cpu_fallbacks"].as_u64().unwrap_or(0),
                 r["wasted_ms"].as_f64().unwrap_or(0.0),
                 r["elapsed_ms"].as_f64().unwrap_or(0.0),
-                if r["sorted_ok"] == true && r["accounted"] == true {
+                if r["sorted_ok"] == true
+                    && r["accounted"] == true
+                    && r["metrics_reconciled"] == true
+                {
                     "✓"
                 } else {
                     "✗"
@@ -711,6 +763,13 @@ fn write_pool_trace(
     let doc = gpu_sim::chrome_trace_json_pool(&pairs);
     std::fs::write(path, serde_json::to_string_pretty(&doc)?)
         .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+    Ok(())
+}
+
+/// Writes a telemetry snapshot as canonical (byte-reproducible) JSON.
+fn write_metrics_file(snap: &scheduler::Snapshot, path: &std::path::Path) -> Result<(), AnyError> {
+    std::fs::write(path, snap.to_json() + "\n")
+        .map_err(|e| format!("cannot write metrics snapshot {}: {e}", path.display()))?;
     Ok(())
 }
 
@@ -752,8 +811,9 @@ fn serve_summary(report: &scheduler::ServiceReport) -> String {
 /// `gas serve`: drains one workload (from `--workload FILE` or generated
 /// from `--seed`/`--requests`) through a pool of `--devices` simulated
 /// GPUs with admission control, circuit breakers, cross-device retry and
-/// graceful degradation. The run fails (nonzero exit) when any report
-/// invariant is violated.
+/// graceful degradation. `--metrics FILE` dumps the run's telemetry
+/// snapshot as canonical JSON (render it with `gas metrics`). The run
+/// fails (nonzero exit) when any report invariant is violated.
 pub fn cmd_serve(args: &Args) -> Result<String, AnyError> {
     let devices: usize = args.get_or("devices", 2)?;
     let mix = args.get("device").unwrap_or("test");
@@ -775,6 +835,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, AnyError> {
             seed,
             requests: args.get_or("requests", 100)?,
             warp_fraction: args.get_or("warp-fraction", 0.0)?,
+            fused_fraction: args.get_or("fused-fraction", 0.0)?,
             ..Default::default()
         }),
     };
@@ -788,6 +849,9 @@ pub fn cmd_serve(args: &Args) -> Result<String, AnyError> {
     let report = service.run(&workload)?;
     if let Some(path) = args.get("trace") {
         write_pool_trace(&service, std::path::Path::new(path))?;
+    }
+    if let Some(path) = args.get("metrics") {
+        write_metrics_file(&service.metrics_snapshot(), std::path::Path::new(path))?;
     }
     let violations = report.invariant_violations();
     let body = if args.flag("json") {
@@ -813,10 +877,13 @@ const DEFAULT_SOAK_FAULTS: &str =
 
 /// `gas soak`: a seeded scheduler campaign. Each seed generates a
 /// workload, drains it through a fresh device pool **twice**, and
-/// checks three things: the two reports are byte-identical (the run is
-/// deterministic), every report invariant reconciles (oracle equality,
-/// fault accounting, no silent drops), and every request has a fate.
-/// Any violation makes the command fail, so CI can fan it out.
+/// checks four things: the two reports are byte-identical (the run is
+/// deterministic), the two telemetry snapshots are byte-identical too,
+/// every report invariant reconciles (oracle equality, fault
+/// accounting, no silent drops), and every request has a fate. Any
+/// violation makes the command fail, so CI can fan it out.
+/// `--metrics FILE` writes the campaign-wide telemetry (per-seed
+/// registries merged: counters added, histograms merged) as JSON.
 pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
     let seeds: Vec<u64> = match args.get("seed") {
         Some(v) => vec![v.parse().map_err(|_| format!("bad --seed {v:?}"))?],
@@ -828,10 +895,14 @@ pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
     let devices: usize = args.get_or("devices", 4)?;
     let mix = args.get("device").unwrap_or("test");
     let requests: usize = args.get_or("requests", 250)?;
-    // The soak mix pins a slice of requests to `gas-warp` by default so
-    // every campaign exercises the warp-multisplit pipeline end to end.
+    // The soak mix pins a slice of requests to `gas-warp` and another
+    // to `gas-fused` by default so every campaign exercises all three
+    // GAS pipelines end to end (and populates the cost-model accuracy
+    // metric for each variant).
     let warp_fraction: f64 = args.get_or("warp-fraction", 0.2)?;
+    let fused_fraction: f64 = args.get_or("fused-fraction", 0.15)?;
     let retries: u32 = args.get_or("retries", 3)?;
+    let metrics_path = args.get("metrics").map(PathBuf::from);
     let plan = FaultPlan::parse(args.get("faults").unwrap_or(DEFAULT_SOAK_FAULTS))?;
     let trace_dir = args.get("trace-dir").map(PathBuf::from);
     if let Some(dir) = &trace_dir {
@@ -841,6 +912,7 @@ pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
 
     let mut rows = Vec::new();
     let mut failures: Vec<String> = Vec::new();
+    let mut campaign_metrics = scheduler::Registry::new();
     for &seed in &seeds {
         // Per campaign seed: its own workload and its own fault stream.
         let mut campaign_plan = plan.clone();
@@ -849,6 +921,7 @@ pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
             seed,
             requests,
             warp_fraction,
+            fused_fraction,
             ..Default::default()
         });
         let cfg = scheduler::SchedulerConfig {
@@ -868,12 +941,22 @@ pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
             Some(&campaign_plan),
         )?;
         let replay = replay_service.run(&workload)?;
-        let reproducible = report.to_json() == replay.to_json();
-        if !reproducible {
+        let report_reproducible = report.to_json() == replay.to_json();
+        if !report_reproducible {
             failures.push(format!(
                 "seed {seed}: replay produced a different report — the run is not deterministic"
             ));
         }
+        let metrics_reproducible =
+            service.metrics_snapshot().to_json() == replay_service.metrics_snapshot().to_json();
+        if !metrics_reproducible {
+            failures.push(format!(
+                "seed {seed}: replay produced a different telemetry snapshot — \
+                 the metrics are not deterministic"
+            ));
+        }
+        let reproducible = report_reproducible && metrics_reproducible;
+        campaign_metrics.merge(service.metrics());
         let violations = report.invariant_violations();
         for v in &violations {
             failures.push(format!("seed {seed}: {v}"));
@@ -896,6 +979,9 @@ pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
             "reproducible": reproducible,
             "reconciled": violations.is_empty(),
         }));
+    }
+    if let Some(path) = &metrics_path {
+        write_metrics_file(&campaign_metrics.snapshot(), path)?;
     }
 
     let body = if args.flag("json") {
@@ -949,6 +1035,53 @@ pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
     }
 }
 
+/// `gas metrics`: renders a telemetry snapshot file (written by
+/// `gas serve --metrics` or `gas soak --metrics`) as Prometheus text
+/// exposition, canonical JSON or an aligned table.
+/// `--assert-model-p99 BOUND` additionally gates on cost-model
+/// accuracy: the p99 of |relative error| across every
+/// `gas_model_accuracy_rel_err` series must stay within `BOUND`, and
+/// the family must actually hold samples — an empty snapshot fails the
+/// gate rather than vacuously passing it.
+pub fn cmd_metrics(args: &Args) -> Result<String, AnyError> {
+    let path = args.require("input")?;
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read metrics snapshot {path}: {e}"))?;
+    let snap = scheduler::Snapshot::from_json(&body)?;
+    let format = args.get("format").unwrap_or("table");
+    if !matches!(format, "prom" | "json" | "table") {
+        return Err(format!("unknown format {format:?} (prom|json|table)").into());
+    }
+    if let Some(bound) = args.get("assert-model-p99") {
+        let bound: f64 = bound
+            .parse()
+            .map_err(|_| format!("bad --assert-model-p99 {bound:?}"))?;
+        let mut merged = scheduler::Histogram::new();
+        for h in &snap.histograms {
+            if h.name == "gas_model_accuracy_rel_err" {
+                merged.merge(&h.hist);
+            }
+        }
+        if merged.count == 0 {
+            return Err("snapshot holds no gas_model_accuracy_rel_err samples to gate on".into());
+        }
+        let p99 = merged.quantile_abs(0.99);
+        if p99 > bound {
+            return Err(format!(
+                "cost-model accuracy gate FAILED: |relative error| p99 is {p99} \
+                 ({} samples), above the bound {bound}",
+                merged.count
+            )
+            .into());
+        }
+    }
+    Ok(match format {
+        "prom" => snap.to_prometheus(),
+        "json" => snap.to_json(),
+        _ => snap.to_table(),
+    })
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "gas — GPU-ArraySort reproduction CLI (simulated device)
@@ -970,26 +1103,42 @@ USAGE:
                 for warp-level multisplit and a bank-conflict-free scatter)
   gas serve    [--devices N] [--device MIX] [--faults SPEC]
                [--workload FILE | --requests K --seed S]
-               [--warp-fraction F]
-               [--max-queue D] [--retries K] [--trace FILE] [--json]
+               [--warp-fraction F] [--fused-fraction F]
+               [--max-queue D] [--retries K] [--trace FILE]
+               [--metrics FILE] [--json]
                (deadline-aware batch-sort service over a pool of simulated
                 devices: admission control, per-device circuit breakers,
                 cross-device retry, graceful degradation; exit 1 when any
                 report invariant is violated. MIX is comma-separated device
-                names cycled over N, e.g. --device k40c,k20 --devices 4)
+                names cycled over N, e.g. --device k40c,k20 --devices 4.
+                --metrics dumps the run's telemetry snapshot as JSON)
   gas soak     [--seeds K | --seed S] [--devices N] [--device MIX]
-               [--requests R] [--warp-fraction F] [--faults SPEC]
-               [--retries K] [--trace-dir DIR] [--json]
-               (seeded scheduler campaign; each seed runs twice and must be
+               [--requests R] [--warp-fraction F] [--fused-fraction F]
+               [--faults SPEC] [--retries K] [--trace-dir DIR]
+               [--metrics FILE] [--json]
+               (seeded scheduler campaign; each seed runs twice and both
+                the report and the telemetry snapshot must be
                 byte-identical, reconcile every injected fault and leave a
                 record per request, else exit 1. --warp-fraction routes
-                that share of requests to gas-warp, default 0.2)
+                that share of requests to gas-warp (default 0.2),
+                --fused-fraction to gas-fused (default 0.15); --metrics
+                writes the per-seed registries merged into one snapshot)
+  gas metrics  --input FILE [--format prom|json|table]
+               [--assert-model-p99 BOUND]
+               (renders a telemetry snapshot written by serve/soak
+                --metrics: Prometheus text exposition, canonical JSON or
+                an aligned table with p50/p90/p99/p999 per histogram.
+                --assert-model-p99 exits 1 unless the p99 of the
+                cost-model |relative error| stays within BOUND — and the
+                gas_model_accuracy_rel_err family is non-empty)
   gas chaos    [--seeds K | --seed S] [--algorithm gas|gas-fused|gas-warp]
                [--num-arrays N] [--array-len n]
                [--faults SPEC] [--retries K] [--device ...] [--dist ...]
                [--trace-dir DIR] [--json]
                (seeded fault-injection campaign: every run must match the
-                CPU oracle and account for each injected fault, else exit 1)
+                CPU oracle, account for each injected fault, and its
+                telemetry counters must reconcile with the report and the
+                injector log, else exit 1)
   gas profile  --num-arrays N --array-len n [--seed S] [--dist ...]
                [--algorithm gas|gas-fused|gas-warp|sta] [--device ...]
                [--trace FILE] [--json]
@@ -1025,6 +1174,7 @@ mod tests {
             "serve" => cmd_serve(&args),
             "soak" => cmd_soak(&args),
             "chaos" => cmd_chaos(&args),
+            "metrics" => cmd_metrics(&args),
             "profile" => cmd_profile(&args),
             "devices" => cmd_devices(&args),
             "capacity" => cmd_capacity(&args),
@@ -1740,6 +1890,7 @@ mod tests {
         for r in v["runs"].as_array().unwrap() {
             assert_eq!(r["sorted_ok"], true, "{r}");
             assert_eq!(r["accounted"], true, "{r}");
+            assert_eq!(r["metrics_reconciled"], true, "{r}");
         }
         assert!(v["failures"].as_array().unwrap().is_empty());
     }
@@ -1818,6 +1969,139 @@ mod tests {
         let doc: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
         assert!(doc["traceEvents"].as_array().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn serve_routes_a_fused_fraction_through_the_pool() {
+        let msg = run(&[
+            "serve",
+            "--devices",
+            "2",
+            "--requests",
+            "20",
+            "--seed",
+            "1",
+            "--fused-fraction",
+            "0.5",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        let fused_records = v["records"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|r| r["algorithm"] == "gas-fused")
+            .count();
+        assert!(fused_records > 0, "half the mix should route to gas-fused");
+    }
+
+    #[test]
+    fn serve_writes_a_metrics_snapshot_that_gas_metrics_renders() {
+        let m = tmp("serve_metrics.json");
+        run(&[
+            "serve",
+            "--devices",
+            "2",
+            "--requests",
+            "20",
+            "--seed",
+            "1",
+            "--metrics",
+            &m,
+        ])
+        .unwrap();
+        let body = std::fs::read_to_string(&m).unwrap();
+        let snap = scheduler::Snapshot::from_json(&body).unwrap();
+        assert!(
+            snap.histograms
+                .iter()
+                .any(|h| h.name == "gas_model_accuracy_rel_err"),
+            "the snapshot must carry cost-model accuracy samples"
+        );
+
+        // Every render format works on the same file…
+        let prom = run(&["metrics", "--input", &m, "--format", "prom"]).unwrap();
+        assert!(prom.contains("# TYPE gas_requests_total counter"), "{prom}");
+        assert!(prom.contains("gas_request_e2e_ms_bucket"), "{prom}");
+        let json = run(&["metrics", "--input", &m, "--format", "json"]).unwrap();
+        assert_eq!(json + "\n", body, "json render must be the file itself");
+        let table = run(&["metrics", "--input", &m]).unwrap();
+        assert!(table.contains("p99"), "{table}");
+
+        // …and a generous cost-model gate passes on real samples.
+        run(&[
+            "metrics",
+            "--input",
+            &m,
+            "--assert-model-p99",
+            "1000",
+            "--format",
+            "prom",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn soak_merges_per_seed_metrics_into_one_snapshot() {
+        let m = tmp("soak_metrics.json");
+        run(&[
+            "soak",
+            "--seeds",
+            "2",
+            "--devices",
+            "2",
+            "--requests",
+            "30",
+            "--metrics",
+            &m,
+        ])
+        .unwrap();
+        let snap = scheduler::Snapshot::from_json(&std::fs::read_to_string(&m).unwrap()).unwrap();
+        // Both campaign seeds land in the same registry: the request
+        // counter totals 2 × 30 across its label combinations.
+        let total: f64 = snap
+            .counters
+            .iter()
+            .filter(|c| c.name == "gas_requests_total")
+            .map(|c| c.value)
+            .sum();
+        assert_eq!(total, 60.0);
+        // The default soak mix routes every GAS variant, so the
+        // cost-model accuracy family covers all three.
+        for variant in ["three-kernel", "fused", "warp"] {
+            assert!(
+                snap.histograms.iter().any(|h| {
+                    h.name == "gas_model_accuracy_rel_err"
+                        && h.labels.iter().any(|(k, v)| k == "variant" && v == variant)
+                }),
+                "missing model-accuracy series for variant {variant}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_command_rejects_bad_input_format_and_empty_gate() {
+        let err = run(&["metrics", "--input", "/nonexistent.metrics.json"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("cannot read metrics snapshot"), "{err}");
+
+        let empty = tmp("empty_metrics.json");
+        std::fs::write(&empty, r#"{"counters":[],"gauges":[],"histograms":[]}"#).unwrap();
+        run(&["metrics", "--input", &empty]).unwrap();
+        let err = run(&["metrics", "--input", &empty, "--format", "yaml"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown format"), "{err}");
+        // The cost-model gate refuses to pass vacuously.
+        let err = run(&["metrics", "--input", &empty, "--assert-model-p99", "100"])
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("no gas_model_accuracy_rel_err samples"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@ mod io;
 
 use args::Args;
 use commands::{
-    cmd_capacity, cmd_chaos, cmd_devices, cmd_generate, cmd_profile, cmd_serve, cmd_soak, cmd_sort,
-    usage,
+    cmd_capacity, cmd_chaos, cmd_devices, cmd_generate, cmd_metrics, cmd_profile, cmd_serve,
+    cmd_soak, cmd_sort, usage,
 };
 
 fn main() {
@@ -30,6 +30,7 @@ fn main() {
         "serve" => cmd_serve(&args),
         "soak" => cmd_soak(&args),
         "chaos" => cmd_chaos(&args),
+        "metrics" => cmd_metrics(&args),
         "profile" => cmd_profile(&args),
         "devices" => cmd_devices(&args),
         "capacity" => cmd_capacity(&args),

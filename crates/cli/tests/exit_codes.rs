@@ -246,6 +246,68 @@ fn soak_bad_args_exit_one_or_two() {
 }
 
 #[test]
+fn metrics_exit_codes_are_pinned() {
+    // Success: render a real snapshot written by `serve --metrics`.
+    let m = tmp("metrics_ok.json");
+    let out = gas(&[
+        "serve",
+        "--devices",
+        "2",
+        "--requests",
+        "15",
+        "--seed",
+        "1",
+        "--metrics",
+        &m,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    for format in ["prom", "json", "table"] {
+        let out = gas(&["metrics", "--input", &m, "--format", format]);
+        assert_eq!(out.status.code(), Some(0), "{format}: {}", stderr(&out));
+    }
+    let out = gas(&["metrics", "--input", &m, "--assert-model-p99", "1000"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    // Command errors exit 1: missing file, unknown format, and a
+    // cost-model gate with no samples to gate on.
+    let out = gas(&["metrics", "--input", "/nonexistent/snapshot.json"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("cannot read metrics snapshot"),
+        "{}",
+        stderr(&out)
+    );
+    let out = gas(&["metrics", "--input", &m, "--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("unknown format"), "{}", stderr(&out));
+    let empty = tmp("metrics_empty.json");
+    std::fs::write(
+        &empty,
+        "{\"counters\":[],\"gauges\":[],\"histograms\":[]}\n",
+    )
+    .unwrap();
+    let out = gas(&["metrics", "--input", &empty, "--assert-model-p99", "100"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("no gas_model_accuracy_rel_err samples"),
+        "{}",
+        stderr(&out)
+    );
+    // Missing --input degrades to a flag and is a command error.
+    let out = gas(&["metrics"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("--input is required"),
+        "{}",
+        stderr(&out)
+    );
+
+    // Parse error: stray positional.
+    let out = gas(&["metrics", "oops"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
 fn trace_write_failure_is_an_error_not_a_panic() {
     let f = fixture("trace_err.bin", "4", "16");
     let out = gas(&[

@@ -49,6 +49,11 @@ impl LaunchConfig {
     }
 }
 
+/// An opaque position of the billed-time clock, taken with
+/// [`Gpu::bill_mark`] and consumed by [`Gpu::billed_since`].
+#[derive(Debug, Clone, Copy)]
+pub struct BillMark(f64);
+
 /// A simulated GPU: owns the memory ledger, the cost model and the clock.
 ///
 /// ```
@@ -148,6 +153,20 @@ impl Gpu {
     /// Simulated time elapsed since construction or [`Gpu::reset_clock`].
     pub fn elapsed_ms(&self) -> f64 {
         self.elapsed_ms
+    }
+
+    /// Marks the current position of the billed-time clock. Pair with
+    /// [`Gpu::billed_since`] to meter exactly what one piece of work was
+    /// billed — the measured side of the cost-model accuracy metrics.
+    pub fn bill_mark(&self) -> BillMark {
+        BillMark(self.elapsed_ms)
+    }
+
+    /// Milliseconds the simulator has billed since `mark` was taken.
+    /// Invalidated by [`Gpu::reset_clock`] (the clock rewinds past any
+    /// outstanding mark).
+    pub fn billed_since(&self, mark: BillMark) -> f64 {
+        self.elapsed_ms - mark.0
     }
 
     /// Everything launched/copied so far.
@@ -667,6 +686,28 @@ mod tests {
         let mut buf = buf;
         let host = buf.to_host_vec();
         assert!(host.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
+    fn bill_mark_meters_exactly_the_work_in_between() {
+        let mut g = gpu();
+        let data: Vec<u32> = (0..256).collect();
+        let _warmup = g.htod_copy(&data).unwrap();
+        let before = g.elapsed_ms();
+        let mark = g.bill_mark();
+        assert_eq!(g.billed_since(mark), 0.0, "nothing billed yet");
+        let buf = g.htod_copy(&data).unwrap();
+        let view = buf.view();
+        g.launch("work", LaunchConfig::grid(8, 32), |block| {
+            block.threads(|t| {
+                t.charge_alu(4);
+                view.set(t.global_idx(), t.tid);
+            });
+        })
+        .unwrap();
+        let billed = g.billed_since(mark);
+        assert!(billed > 0.0);
+        assert_eq!(billed, g.elapsed_ms() - before, "mark is a clock offset");
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub use faults::{
     corrupt_slice, FaultInjector, FaultKind, FaultOp, FaultPlan, FaultSpecError, InjectedFault,
     ScriptedFault,
 };
-pub use gpu::{Gpu, LaunchConfig};
+pub use gpu::{BillMark, Gpu, LaunchConfig};
 pub use memory::{DeviceBuffer, GlobalView, MemoryLedger};
 pub use occupancy::{occupancy, KernelResources, Limiter, Occupancy};
 pub use spec::{DeviceSpec, MIB};

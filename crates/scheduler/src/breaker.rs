@@ -70,6 +70,7 @@ pub struct CircuitBreaker {
     state: BreakerState,
     consecutive: u32,
     trips: u32,
+    transitions: u32,
 }
 
 impl CircuitBreaker {
@@ -80,6 +81,7 @@ impl CircuitBreaker {
             state: BreakerState::Closed,
             consecutive: 0,
             trips: 0,
+            transitions: 0,
         }
     }
 
@@ -91,6 +93,13 @@ impl CircuitBreaker {
     /// Times the breaker has tripped (including half-open re-trips).
     pub fn trips(&self) -> u32 {
         self.trips
+    }
+
+    /// Every state change the machine has made (trips, half-open probes,
+    /// closes, the blacklisting) — the telemetry layer's
+    /// `gas_breaker_transitions_total` source.
+    pub fn transitions(&self) -> u32 {
+        self.transitions
     }
 
     /// True once a fatal error blacklisted the device.
@@ -122,14 +131,14 @@ impl CircuitBreaker {
     pub fn on_dispatch(&mut self, now_ms: f64) {
         if let BreakerState::Open { until_ms } = self.state {
             debug_assert!(now_ms >= until_ms, "dispatched through an open breaker");
-            self.state = BreakerState::HalfOpen;
+            self.set_state(BreakerState::HalfOpen);
         }
     }
 
     /// A dispatch completed cleanly: close the breaker.
     pub fn on_success(&mut self) {
         if !self.is_blacklisted() {
-            self.state = BreakerState::Closed;
+            self.set_state(BreakerState::Closed);
             self.consecutive = 0;
         }
     }
@@ -151,14 +160,22 @@ impl CircuitBreaker {
 
     /// A dispatch failed with a fatal error: blacklist permanently.
     pub fn on_fatal(&mut self) {
-        self.state = BreakerState::Blacklisted;
+        self.set_state(BreakerState::Blacklisted);
     }
 
     fn trip(&mut self, now_ms: f64) {
         self.trips += 1;
-        self.state = BreakerState::Open {
+        self.set_state(BreakerState::Open {
             until_ms: now_ms + self.config.cooldown_ms,
-        };
+        });
+    }
+
+    /// Moves to `next`, counting it only when the state actually changes.
+    fn set_state(&mut self, next: BreakerState) {
+        if self.state != next {
+            self.transitions += 1;
+            self.state = next;
+        }
     }
 }
 
@@ -229,6 +246,24 @@ mod tests {
         assert!(b.is_blacklisted(), "nothing un-blacklists a device");
         b.on_transient_failure(0.0);
         assert!(b.is_blacklisted());
+    }
+
+    #[test]
+    fn transitions_count_every_state_change_once() {
+        let mut b = breaker();
+        assert_eq!(b.transitions(), 0);
+        for t in 0..3 {
+            b.on_transient_failure(t as f64); // Closed → Open
+        }
+        assert_eq!(b.transitions(), 1);
+        b.on_dispatch(12.0); // Open → HalfOpen
+        assert_eq!(b.transitions(), 2);
+        b.on_success(); // HalfOpen → Closed
+        assert_eq!(b.transitions(), 3);
+        b.on_success(); // already Closed: not a transition
+        assert_eq!(b.transitions(), 3);
+        b.on_fatal(); // Closed → Blacklisted
+        assert_eq!(b.transitions(), 4);
     }
 
     #[test]

@@ -34,6 +34,18 @@ pub enum GasVariant {
     Warp,
 }
 
+impl GasVariant {
+    /// Kebab-case display name, matching the serde encoding — the
+    /// `variant` label value in attempt records and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            GasVariant::ThreeKernel => "three-kernel",
+            GasVariant::Fused => "fused",
+            GasVariant::Warp => "warp",
+        }
+    }
+}
+
 /// Tunable constants of the admission estimator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CostModel {

@@ -32,6 +32,15 @@
 //! the run end to end: one record per request, every produced output
 //! equal to the `cpu_ref` oracle, and per-device transient attempt
 //! failures exactly reconciling with the fault injectors' logs.
+//!
+//! The whole request path is also instrumented through the
+//! [`telemetry`] crate: [`SortService::metrics`] exposes a
+//! [`Registry`] of queue-wait/service-time/latency histograms, shed and
+//! retry counters and the `gas_model_accuracy_rel_err` family (signed
+//! relative error of every [`CostModel`] projection against the
+//! simulator's billed time), and the report's [`SloReport`] section is
+//! derived from it — with `invariant_violations` recomputing the SLO
+//! rows from the raw records to prove the two agree.
 
 #![warn(missing_docs)]
 
@@ -45,6 +54,12 @@ pub mod service;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use estimate::{CostModel, GasVariant};
 pub use pool::{device_by_name, parse_mix, DevicePool, PooledDevice};
-pub use report::{AttemptRecord, DeviceReport, Outcome, RequestRecord, ServiceReport};
+pub use report::{
+    record_request_metrics, AttemptRecord, DeviceReport, Outcome, PriorityShed, PrioritySlo,
+    RequestRecord, ServiceReport, SloReport, ALL_PRIORITIES,
+};
 pub use request::{Algorithm, Priority, SortRequest, Workload, WorkloadConfig};
 pub use service::{SchedulerConfig, SortService};
+// Re-exported so downstream users (the CLI, integration tests) can name
+// the metric types without a direct `telemetry` dependency.
+pub use telemetry::{Histogram, Registry, Snapshot};

@@ -6,6 +6,7 @@
 //! check rests on.
 
 use serde::{Deserialize, Serialize};
+use telemetry::Registry;
 
 use crate::request::{Algorithm, Priority};
 
@@ -23,6 +24,15 @@ pub struct AttemptRecord {
     /// True when the failure was a transient injected fault (these are
     /// the attempts the fault-accounting invariant reconciles).
     pub transient: bool,
+    /// The cost model's projection for this attempt, ms — the predicted
+    /// side of the `gas_model_accuracy_rel_err` metric. Zero in records
+    /// written before the telemetry layer existed.
+    #[serde(default)]
+    pub predicted_ms: f64,
+    /// The pipeline that actually ran: `three-kernel`, `fused`, `warp`
+    /// or `sta`. Empty in pre-telemetry records.
+    #[serde(default)]
+    pub variant: String,
 }
 
 /// How a request left the system. Every admitted or rejected request
@@ -91,6 +101,236 @@ impl RequestRecord {
     }
 }
 
+/// All four priorities, shedding order first — the fixed row order of
+/// [`SloReport`] and `shed_by_priority`.
+pub const ALL_PRIORITIES: [Priority; 4] = [
+    Priority::Low,
+    Priority::Normal,
+    Priority::High,
+    Priority::Critical,
+];
+
+/// Shed count for one priority class (satellite of the telemetry PR:
+/// the JSON report used to collapse shedding into one total).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriorityShed {
+    /// The class.
+    pub priority: Priority,
+    /// Requests of this class shed under overload.
+    pub shed: usize,
+}
+
+/// SLO roll-up for one priority class, derived from the metric
+/// registry. Counts are exact; percentiles are [`telemetry::Histogram`]
+/// bucket floors (deterministic, understating by < 25%).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrioritySlo {
+    /// The class.
+    pub priority: Priority,
+    /// Requests of this class, regardless of fate.
+    pub requests: usize,
+    /// Completed on a device.
+    pub completed: usize,
+    /// Sorted by the host fallback.
+    pub cpu_fallbacks: usize,
+    /// Shed under overload.
+    pub shed: usize,
+    /// Refused at admission.
+    pub rejected: usize,
+    /// Completions that beat their deadline.
+    pub deadline_hits: usize,
+    /// Completions that missed.
+    pub deadline_misses: usize,
+    /// `100 · hits / (hits + misses)`; vacuously 100 when nothing of
+    /// this class completed.
+    pub attainment_pct: f64,
+    /// Median queue wait (arrival → first dispatch), ms.
+    pub queue_wait_p50_ms: f64,
+    /// p99 queue wait, ms.
+    pub queue_wait_p99_ms: f64,
+    /// Median end-to-end latency (arrival → completion), ms.
+    pub e2e_p50_ms: f64,
+    /// p90 end-to-end latency, ms.
+    pub e2e_p90_ms: f64,
+    /// p99 end-to-end latency, ms.
+    pub e2e_p99_ms: f64,
+    /// p999 end-to-end latency, ms.
+    pub e2e_p999_ms: f64,
+}
+
+/// The SLO section of a [`ServiceReport`]: one row per priority class,
+/// in [`ALL_PRIORITIES`] order, derived from the metric registry and
+/// reconciled against the raw records by
+/// [`ServiceReport::invariant_violations`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SloReport {
+    /// One row per priority class, all four always present.
+    pub by_priority: Vec<PrioritySlo>,
+}
+
+impl SloReport {
+    /// Derives the SLO rows from a registry populated by
+    /// [`record_request_metrics`].
+    pub fn from_registry(reg: &Registry) -> Self {
+        let by_priority = ALL_PRIORITIES
+            .iter()
+            .map(|&priority| {
+                let p = priority.label();
+                let f = [("priority", p)];
+                let count = |outcome: &str| {
+                    reg.counter_sum(
+                        "gas_requests_total",
+                        &[("priority", p), ("outcome", outcome)],
+                    ) as usize
+                };
+                let hits = reg
+                    .counter_sum("gas_deadline_total", &[("priority", p), ("result", "hit")])
+                    as usize;
+                let misses = reg
+                    .counter_sum("gas_deadline_total", &[("priority", p), ("result", "miss")])
+                    as usize;
+                let attainment_pct = if hits + misses == 0 {
+                    100.0
+                } else {
+                    100.0 * hits as f64 / (hits + misses) as f64
+                };
+                let queue_wait = reg.histogram_sum("gas_request_queue_wait_ms", &f);
+                let e2e = reg.histogram_sum("gas_request_e2e_ms", &f);
+                PrioritySlo {
+                    priority,
+                    requests: reg.counter_sum("gas_requests_total", &f) as usize,
+                    completed: count("completed"),
+                    cpu_fallbacks: count("cpu-fallback"),
+                    shed: count("shed"),
+                    rejected: count("rejected"),
+                    deadline_hits: hits,
+                    deadline_misses: misses,
+                    attainment_pct,
+                    queue_wait_p50_ms: queue_wait.quantile(0.5),
+                    queue_wait_p99_ms: queue_wait.quantile(0.99),
+                    e2e_p50_ms: e2e.quantile(0.5),
+                    e2e_p90_ms: e2e.quantile(0.9),
+                    e2e_p99_ms: e2e.quantile(0.99),
+                    e2e_p999_ms: e2e.quantile(0.999),
+                }
+            })
+            .collect();
+        SloReport { by_priority }
+    }
+}
+
+/// Records one request's metrics into `reg` — the **single** definition
+/// of the request-path metric families. [`SortService`] calls this while
+/// building the report and `invariant_violations` replays it over the
+/// records into a scratch registry, so the two can only agree if the
+/// published numbers really derive from the published records.
+///
+/// Families (all labeled with the request's `priority`; some also carry
+/// `algorithm`, `device` = `dev<pool index>`, `variant`, `outcome` or
+/// `result`):
+///
+/// * `gas_requests_total{priority, algorithm, outcome}` — one per record;
+/// * `gas_shed_total` / `gas_rejected_total{priority}` and
+///   `gas_fallback_total{priority, algorithm}`;
+/// * `gas_request_retries_total{priority, algorithm}` — re-dispatches
+///   after the first device attempt;
+/// * `gas_attempts_total{algorithm, device, result}` with `result` ∈
+///   `ok|transient|fatal`;
+/// * `gas_request_queue_wait_ms`, `gas_request_e2e_ms`,
+///   `gas_deadline_slack_ms{priority}` (signed — negative = missed) and
+///   `gas_request_service_ms{priority, algorithm}` histograms;
+/// * `gas_deadline_total{priority, result}` with `result` ∈ `hit|miss`;
+/// * `gas_model_accuracy_rel_err{algorithm, variant, device}` — signed
+///   `(billed − predicted) / predicted` per successful device attempt.
+///
+/// [`SortService`]: crate::SortService
+pub fn record_request_metrics(reg: &mut Registry, r: &RequestRecord) {
+    let p = r.priority.label();
+    let alg = r.algorithm.label();
+    let outcome = match &r.outcome {
+        Outcome::Completed { .. } => "completed",
+        Outcome::CpuFallback { .. } => "cpu-fallback",
+        Outcome::Shed { .. } => "shed",
+        Outcome::Rejected { .. } => "rejected",
+    };
+    reg.inc(
+        "gas_requests_total",
+        &[("priority", p), ("algorithm", alg), ("outcome", outcome)],
+    );
+    match &r.outcome {
+        Outcome::Shed { .. } => reg.inc("gas_shed_total", &[("priority", p)]),
+        Outcome::Rejected { .. } => reg.inc("gas_rejected_total", &[("priority", p)]),
+        Outcome::CpuFallback { .. } => {
+            reg.inc("gas_fallback_total", &[("priority", p), ("algorithm", alg)])
+        }
+        Outcome::Completed { .. } => {}
+    }
+    let retries = r.attempts.len().saturating_sub(1);
+    if retries > 0 {
+        reg.add(
+            "gas_request_retries_total",
+            &[("priority", p), ("algorithm", alg)],
+            retries as f64,
+        );
+    }
+    for a in &r.attempts {
+        let device = format!("dev{}", a.device);
+        let result = if a.error.is_none() {
+            "ok"
+        } else if a.transient {
+            "transient"
+        } else {
+            "fatal"
+        };
+        reg.inc(
+            "gas_attempts_total",
+            &[("algorithm", alg), ("device", &device), ("result", result)],
+        );
+        if a.error.is_none() && a.predicted_ms > 0.0 {
+            let billed = a.end_ms - a.start_ms;
+            let variant = if a.variant.is_empty() {
+                "unknown"
+            } else {
+                a.variant.as_str()
+            };
+            reg.observe(
+                "gas_model_accuracy_rel_err",
+                &[
+                    ("algorithm", alg),
+                    ("device", &device),
+                    ("variant", variant),
+                ],
+                (billed - a.predicted_ms) / a.predicted_ms,
+            );
+        }
+    }
+    if let Some(c) = r.completion_ms {
+        reg.observe("gas_request_e2e_ms", &[("priority", p)], c - r.arrival_ms);
+        reg.observe(
+            "gas_deadline_slack_ms",
+            &[("priority", p)],
+            r.deadline_ms - c,
+        );
+        if let Some(first) = r.attempts.first() {
+            reg.observe(
+                "gas_request_queue_wait_ms",
+                &[("priority", p)],
+                first.start_ms - r.arrival_ms,
+            );
+            reg.observe(
+                "gas_request_service_ms",
+                &[("priority", p), ("algorithm", alg)],
+                c - first.start_ms,
+            );
+        }
+    }
+    match r.deadline_met {
+        Some(true) => reg.inc("gas_deadline_total", &[("priority", p), ("result", "hit")]),
+        Some(false) => reg.inc("gas_deadline_total", &[("priority", p), ("result", "miss")]),
+        None => {}
+    }
+}
+
 /// Per-device roll-up.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceReport {
@@ -129,6 +369,10 @@ pub struct ServiceReport {
     pub cpu_fallbacks: usize,
     /// Requests shed under overload.
     pub shed: usize,
+    /// Shed counts per priority class (all four classes, shedding order
+    /// first); sums to `shed`.
+    #[serde(default)]
+    pub shed_by_priority: Vec<PriorityShed>,
     /// Requests refused at admission.
     pub rejected: usize,
     /// Completions (device or host) that beat their deadline.
@@ -137,6 +381,9 @@ pub struct ServiceReport {
     pub deadline_misses: usize,
     /// Virtual time the last work finished, ms.
     pub makespan_ms: f64,
+    /// SLO roll-up per priority class, derived from the metric registry.
+    #[serde(default)]
+    pub slo: SloReport,
     /// Per-device roll-ups, by pool index.
     pub devices: Vec<DeviceReport>,
     /// Per-request records, sorted by id.
@@ -170,7 +417,12 @@ impl ServiceReport {
     /// 3. per device, transient attempt failures == the injector's
     ///    error-fault log (each failed attempt fails fast on its first
     ///    fault) and the device roll-up agrees with the records;
-    /// 4. shed/rejected requests carry a non-empty reason and no output.
+    /// 4. shed/rejected requests carry a non-empty reason and no output;
+    /// 5. `shed_by_priority` sums to the shed total and matches a
+    ///    per-class recount of the records;
+    /// 6. the `slo` section equals one recomputed from the records via
+    ///    [`record_request_metrics`] — the published SLO numbers derive
+    ///    from the published evidence, field for field.
     pub fn invariant_violations(&self) -> Vec<String> {
         let mut v = Vec::new();
         if self.records.len() != self.requests {
@@ -228,6 +480,59 @@ impl ServiceReport {
                 ));
             }
         }
+        let by_priority_sum: usize = self.shed_by_priority.iter().map(|s| s.shed).sum();
+        if by_priority_sum != self.shed {
+            v.push(format!(
+                "shed_by_priority sums to {by_priority_sum}, but {} requests were shed",
+                self.shed
+            ));
+        }
+        for entry in &self.shed_by_priority {
+            let counted = self
+                .records
+                .iter()
+                .filter(|r| {
+                    r.priority == entry.priority && matches!(r.outcome, Outcome::Shed { .. })
+                })
+                .count();
+            if counted != entry.shed {
+                v.push(format!(
+                    "shed_by_priority says {} {} requests shed, records say {counted}",
+                    entry.shed,
+                    entry.priority.label()
+                ));
+            }
+        }
+        let expected_slo = self.slo_from_records();
+        if self.slo != expected_slo {
+            v.push("slo section does not match one recomputed from the records".to_string());
+        }
         v
+    }
+
+    /// The SLO section the records imply: every record replayed through
+    /// [`record_request_metrics`] into a scratch registry. Equals the
+    /// published `slo` on any untampered report.
+    pub fn slo_from_records(&self) -> SloReport {
+        let mut reg = Registry::new();
+        for r in &self.records {
+            record_request_metrics(&mut reg, r);
+        }
+        SloReport::from_registry(&reg)
+    }
+
+    /// The `shed_by_priority` rows the records imply, in
+    /// [`ALL_PRIORITIES`] order.
+    pub fn shed_by_priority_from_records(records: &[RequestRecord]) -> Vec<PriorityShed> {
+        ALL_PRIORITIES
+            .iter()
+            .map(|&priority| PriorityShed {
+                priority,
+                shed: records
+                    .iter()
+                    .filter(|r| r.priority == priority && matches!(r.outcome, Outcome::Shed { .. }))
+                    .count(),
+            })
+            .collect()
     }
 }

@@ -153,6 +153,12 @@ pub struct WorkloadConfig {
     /// the variant existed replay bit-identically.
     #[serde(default)]
     pub warp_fraction: f64,
+    /// Fraction of requests forced to [`Algorithm::GasFused`] (drawn
+    /// from the share left after STA and warp). Defaults to 0 for the
+    /// same replay-compatibility reason; the CI soak sets it so the
+    /// cost-model accuracy metrics cover all three GAS variants.
+    #[serde(default)]
+    pub fused_fraction: f64,
 }
 
 impl Default for WorkloadConfig {
@@ -166,6 +172,7 @@ impl Default for WorkloadConfig {
             deadline_slack: (4.0, 40.0),
             sta_fraction: 0.25,
             warp_fraction: 0.0,
+            fused_fraction: 0.0,
         }
     }
 }
@@ -193,6 +200,8 @@ impl Workload {
                 Algorithm::Sta
             } else if draw < cfg.sta_fraction + cfg.warp_fraction {
                 Algorithm::GasWarp
+            } else if draw < cfg.sta_fraction + cfg.warp_fraction + cfg.fused_fraction {
+                Algorithm::GasFused
             } else {
                 Algorithm::Gas
             };
@@ -318,6 +327,46 @@ mod tests {
             .filter(|r| r.algorithm == Algorithm::GasWarp)
             .count();
         assert!(warps > 20, "0.3 of 200 requests routes dozens, got {warps}");
+        // Shapes, arrivals and deadlines are untouched by the routing knob.
+        for (a, b) in plain.requests.iter().zip(&mixed.requests) {
+            assert_eq!(
+                (a.num_arrays, a.array_len, a.arrival_ms.to_bits()),
+                (b.num_arrays, b.array_len, b.arrival_ms.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn fused_fraction_routes_requests_without_disturbing_the_rest() {
+        let base = WorkloadConfig {
+            requests: 200,
+            ..WorkloadConfig::default()
+        };
+        let plain = Workload::generate(&base);
+        assert!(
+            plain
+                .requests
+                .iter()
+                .all(|r| r.algorithm != Algorithm::GasFused),
+            "default mix stays fused-free (back-compat)"
+        );
+        let mixed = Workload::generate(&WorkloadConfig {
+            warp_fraction: 0.2,
+            fused_fraction: 0.2,
+            ..base.clone()
+        });
+        let fused = mixed
+            .requests
+            .iter()
+            .filter(|r| r.algorithm == Algorithm::GasFused)
+            .count();
+        let warps = mixed
+            .requests
+            .iter()
+            .filter(|r| r.algorithm == Algorithm::GasWarp)
+            .count();
+        assert!(fused > 10, "0.2 of 200 requests routes dozens, got {fused}");
+        assert!(warps > 10, "warp share survives alongside, got {warps}");
         // Shapes, arrivals and deadlines are untouched by the routing knob.
         for (a, b) in plain.requests.iter().zip(&mixed.requests) {
             assert_eq!(

@@ -38,10 +38,15 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use telemetry::{Registry, Snapshot};
+
 use crate::breaker::BreakerConfig;
 use crate::estimate::{CostModel, GasVariant};
 use crate::pool::DevicePool;
-use crate::report::{AttemptRecord, DeviceReport, Outcome, RequestRecord, ServiceReport};
+use crate::report::{
+    record_request_metrics, AttemptRecord, DeviceReport, Outcome, RequestRecord, ServiceReport,
+    SloReport,
+};
 use crate::request::{Algorithm, SortRequest, Workload};
 
 /// Slop for virtual-time comparisons.
@@ -98,6 +103,7 @@ pub struct SortService {
     fused: FusedSort,
     warp: FusedSort,
     rng: ChaCha8Rng,
+    registry: Registry,
 }
 
 impl SortService {
@@ -117,6 +123,7 @@ impl SortService {
             fused: FusedSort::new(),
             warp: FusedSort::warp(),
             rng,
+            registry: Registry::new(),
         })
     }
 
@@ -125,9 +132,23 @@ impl SortService {
         &self.pool
     }
 
+    /// The metric registry populated by the last [`SortService::run`]
+    /// (empty before the first run). The soak command merges these
+    /// across seeds.
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The last run's metrics frozen into a [`Snapshot`] — the payload
+    /// of `gas serve|soak --metrics`.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
     /// Drains `workload` to completion and reports every request's fate.
     pub fn run(&mut self, workload: &Workload) -> Result<ServiceReport, String> {
         workload.validate()?;
+        self.registry = Registry::new();
         let mut arrivals: VecDeque<SortRequest> = workload.requests.iter().cloned().collect();
         let mut queue: Vec<Pending> = Vec::new();
         let mut records: Vec<RequestRecord> = Vec::new();
@@ -480,8 +501,26 @@ impl SortService {
             Algorithm::GasWarp => GasVariant::Warp,
             Algorithm::Sta => GasVariant::ThreeKernel,
         };
+        // What the cost model said this exact (device, pipeline) pairing
+        // would bill — compared post-hoc against the simulator's actual
+        // bill in the `gas_model_accuracy_rel_err` metric family.
+        let predicted_ms = match (p.req.algorithm, variant) {
+            (Algorithm::Sta, _) | (_, GasVariant::ThreeKernel) => {
+                cost.device_ms(dev.spec(), sorter.config(), p.req.num_arrays, array_len)
+            }
+            (_, GasVariant::Fused) => {
+                cost.device_ms_fused(dev.spec(), sorter.config(), p.req.num_arrays, array_len)
+            }
+            (_, GasVariant::Warp) => {
+                cost.device_ms_warp(dev.spec(), sorter.config(), p.req.num_arrays, array_len)
+            }
+        };
+        let variant_label = match p.req.algorithm {
+            Algorithm::Sta => "sta",
+            _ => variant.label(),
+        };
         dev.breaker.on_dispatch(now);
-        let t0 = dev.gpu.elapsed_ms();
+        let mark = dev.gpu.bill_mark();
         let result = match (p.req.algorithm, variant) {
             (Algorithm::Sta, _) => checkpointed_attempt(
                 &mut dev.gpu,
@@ -515,7 +554,7 @@ impl SortService {
         p.attempts_made = attempt_no;
         match result {
             Ok(()) => {
-                let end = now + (dev.gpu.elapsed_ms() - t0);
+                let end = now + dev.gpu.billed_since(mark);
                 dev.busy_until_ms = end;
                 dev.completed += 1;
                 dev.breaker.on_success();
@@ -525,6 +564,8 @@ impl SortService {
                     end_ms: end,
                     error: None,
                     transient: false,
+                    predicted_ms,
+                    variant: variant_label.to_string(),
                 });
                 let verified = bits_equal(&p.data, &p.oracle);
                 records.push(RequestRecord {
@@ -559,6 +600,8 @@ impl SortService {
                     end_ms: end,
                     error: Some(failed.error.to_string()),
                     transient,
+                    predicted_ms,
+                    variant: variant_label.to_string(),
                 });
                 p.last_device = Some(di);
                 if p.attempts_made >= self.cfg.max_attempts.max(1) {
@@ -629,7 +672,7 @@ impl SortService {
         }
     }
 
-    fn build_report(&self, workload: &Workload, records: Vec<RequestRecord>) -> ServiceReport {
+    fn build_report(&mut self, workload: &Workload, records: Vec<RequestRecord>) -> ServiceReport {
         let mut completed = 0;
         let mut cpu_fallbacks = 0;
         let mut shed = 0;
@@ -651,6 +694,41 @@ impl SortService {
             }
             if let Some(c) = r.completion_ms {
                 makespan = makespan.max(c);
+            }
+            record_request_metrics(&mut self.registry, r);
+        }
+        for d in &self.pool.devices {
+            let device = format!("dev{}", d.index);
+            let labels = [("device", device.as_str())];
+            self.registry
+                .set_gauge("gas_device_busy_ms", &labels, d.gpu.elapsed_ms());
+            let utilization = if makespan > 0.0 {
+                100.0 * d.gpu.elapsed_ms() / makespan
+            } else {
+                0.0
+            };
+            self.registry
+                .set_gauge("gas_device_utilization_pct", &labels, utilization);
+            self.registry.set_gauge(
+                "gas_breaker_blacklisted",
+                &labels,
+                if d.breaker.is_blacklisted() { 1.0 } else { 0.0 },
+            );
+            self.registry.add(
+                "gas_breaker_trips_total",
+                &labels,
+                f64::from(d.breaker.trips()),
+            );
+            self.registry.add(
+                "gas_breaker_transitions_total",
+                &labels,
+                f64::from(d.breaker.transitions()),
+            );
+            for fault in d.gpu.injected_faults() {
+                self.registry.inc(
+                    "gas_device_injected_faults_total",
+                    &[("device", &device), ("kind", &fault.kind.to_string())],
+                );
             }
         }
         let devices = self
@@ -676,10 +754,12 @@ impl SortService {
             completed,
             cpu_fallbacks,
             shed,
+            shed_by_priority: ServiceReport::shed_by_priority_from_records(&records),
             rejected,
             deadline_hits,
             deadline_misses,
             makespan_ms: makespan,
+            slo: SloReport::from_registry(&self.registry),
             devices,
             records,
         }
@@ -965,6 +1045,103 @@ mod tests {
         assert!(
             !kernels.iter().any(|n| n.starts_with("gas_phase")),
             "no three-kernel launches expected for these shapes: {kernels:?}"
+        );
+    }
+
+    #[test]
+    fn metrics_reconcile_with_the_report() {
+        let w = small_workload(3, 80);
+        let plan = FaultPlan::seeded(11)
+            .with_launch_failure(0.05)
+            .with_transfer_abort(0.05)
+            .with_stream_stall(0.05, 0.2);
+        let mut s = service(3, SchedulerConfig::default(), Some(&plan));
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.invariant_violations(), Vec::<String>::new());
+        let reg = s.metrics();
+        assert_eq!(
+            reg.counter_sum("gas_requests_total", &[]) as usize,
+            report.requests
+        );
+        assert_eq!(
+            reg.counter_sum("gas_requests_total", &[("outcome", "completed")]) as usize,
+            report.completed
+        );
+        assert_eq!(
+            reg.counter_sum("gas_fallback_total", &[]) as usize,
+            report.cpu_fallbacks
+        );
+        assert_eq!(reg.counter_sum("gas_shed_total", &[]) as usize, report.shed);
+        assert_eq!(
+            reg.counter_sum("gas_deadline_total", &[("result", "hit")]) as usize,
+            report.deadline_hits
+        );
+        // Transient attempt metrics equal the injectors' error faults.
+        let injected: usize = report.devices.iter().map(|d| d.error_faults).sum();
+        assert_eq!(
+            reg.counter_sum("gas_attempts_total", &[("result", "transient")]) as usize,
+            injected
+        );
+        // Every successful device attempt contributed a model-accuracy
+        // observation.
+        let successes = report
+            .records
+            .iter()
+            .flat_map(|r| &r.attempts)
+            .filter(|a| a.error.is_none())
+            .count();
+        let acc = reg.histogram_sum("gas_model_accuracy_rel_err", &[]);
+        assert_eq!(acc.count as usize, successes);
+        assert!(acc.count > 0, "something completed on-device");
+        // The SLO section is exactly what the records imply.
+        assert_eq!(report.slo, report.slo_from_records());
+        assert_eq!(report.slo.by_priority.len(), 4);
+    }
+
+    #[test]
+    fn metrics_snapshots_are_byte_identical_across_runs() {
+        let w = small_workload(2, 60);
+        let plan = FaultPlan::seeded(5)
+            .with_launch_failure(0.02)
+            .with_transfer_abort(0.02);
+        let cfg = SchedulerConfig {
+            seed: 9,
+            ..SchedulerConfig::default()
+        };
+        let mut a = service(3, cfg.clone(), Some(&plan));
+        a.run(&w).unwrap();
+        let mut b = service(3, cfg, Some(&plan));
+        b.run(&w).unwrap();
+        let (ja, jb) = (
+            a.metrics_snapshot().to_json(),
+            b.metrics_snapshot().to_json(),
+        );
+        assert_eq!(ja, jb, "metrics inherit the bit-reproducibility contract");
+        assert!(!a.metrics().is_empty());
+    }
+
+    #[test]
+    fn tampered_slo_or_shed_sections_are_caught() {
+        let w = small_workload(1, 40);
+        let mut s = service(2, SchedulerConfig::default(), None);
+        let clean = s.run(&w).unwrap();
+        assert_eq!(clean.invariant_violations(), Vec::<String>::new());
+
+        let mut tampered = clean.clone();
+        tampered.slo.by_priority[1].attainment_pct += 1.0;
+        assert!(
+            tampered
+                .invariant_violations()
+                .iter()
+                .any(|v| v.contains("slo section")),
+            "an edited SLO row must fail reconciliation"
+        );
+
+        let mut tampered = clean.clone();
+        tampered.shed_by_priority[0].shed += 1;
+        assert!(
+            !tampered.invariant_violations().is_empty(),
+            "an edited shed count must fail reconciliation"
         );
     }
 

@@ -1,0 +1,370 @@
+//! Exact-count log-bucketed histograms.
+//!
+//! Buckets cover each power-of-two octave `[2^e, 2^(e+1))` with four
+//! linear sub-buckets, giving ≤ 25% relative bucket width everywhere.
+//! The bucket index of a finite value is read straight out of its IEEE
+//! bit pattern (exponent field plus the top two mantissa bits), and
+//! bucket boundaries are constructed exactly from bit patterns too —
+//! no `log2`/`powf` anywhere, so indices and boundaries are identical
+//! on every platform and toolchain.
+//!
+//! Quantiles are rank-based over the exact counts and report the
+//! **lower bound** of the covering bucket (sign-mirrored for negative
+//! values). Observations that sit exactly on a bucket boundary — zero,
+//! powers of two and their ¼-multiples such as `1.25`, `3.0`, `40.0` —
+//! therefore come back exactly; anything else is understated by less
+//! than the 25% bucket width.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-buckets per octave (4 ⇒ index = 4·exponent + top-2 mantissa bits).
+const SUBS: i32 = 4;
+/// Smallest bucketed magnitude octave: anything below `2^-30` ms
+/// (≈ 1 ps) clamps into the lowest bucket.
+const MIN_EXP: i32 = -30;
+/// Largest bucketed magnitude octave: anything at or above `2^41`
+/// clamps into the highest bucket. Wide enough for any virtual-time
+/// quantity this repo produces.
+const MAX_EXP: i32 = 40;
+const MIN_IDX: i32 = MIN_EXP * SUBS;
+const MAX_IDX: i32 = MAX_EXP * SUBS + (SUBS - 1);
+
+/// Exact `2^e` for `e` well inside the normal range.
+fn pow2(e: i32) -> f64 {
+    debug_assert!((-1022..=1023).contains(&e));
+    f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+/// A signed-value histogram with exact per-bucket counts.
+///
+/// Negative observations land in a mirrored magnitude map, so signed
+/// quantities like deadline slack keep their full distribution. `NaN`s
+/// are counted apart and excluded from `count`, quantiles and `sum`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Histogram {
+    /// Non-NaN observations.
+    pub count: u64,
+    /// Sum of non-NaN observations (deterministic: observation order is).
+    pub sum: f64,
+    /// Smallest observation; meaningful only when `count > 0`.
+    pub min: f64,
+    /// Largest observation; meaningful only when `count > 0`.
+    pub max: f64,
+    /// Observations exactly equal to zero.
+    pub zero: u64,
+    /// NaN observations, counted apart from everything else.
+    pub nan: u64,
+    /// Bucket index → count for negative observations, keyed by the
+    /// bucket index of the magnitude.
+    pub neg: BTreeMap<i32, u64>,
+    /// Bucket index → count for positive observations.
+    pub pos: BTreeMap<i32, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index covering a positive finite magnitude: the IEEE
+    /// exponent times four plus the top two mantissa bits, clamped to
+    /// the supported octave range (infinities clamp to the top bucket,
+    /// subnormals to the bottom one).
+    pub fn bucket_index(magnitude: f64) -> i32 {
+        debug_assert!(magnitude > 0.0);
+        let bits = magnitude.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        let sub = ((bits >> 50) & 0b11) as i32;
+        (exp * SUBS + sub).clamp(MIN_IDX, MAX_IDX)
+    }
+
+    /// The exact lower bound of bucket `idx`: `2^e · (1 + sub/4)`.
+    pub fn bucket_lower(idx: i32) -> f64 {
+        let idx = idx.clamp(MIN_IDX, MAX_IDX);
+        let (e, sub) = (idx.div_euclid(SUBS), idx.rem_euclid(SUBS));
+        pow2(e) * (1.0 + sub as f64 * 0.25)
+    }
+
+    /// The exact upper bound of bucket `idx` (the next bucket's lower
+    /// bound; `2^(e+1)` at the top of an octave).
+    pub fn bucket_upper(idx: i32) -> f64 {
+        let idx = idx.clamp(MIN_IDX, MAX_IDX);
+        let (e, sub) = (idx.div_euclid(SUBS), idx.rem_euclid(SUBS));
+        pow2(e) * (1.0 + (sub + 1) as f64 * 0.25)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        if v.is_nan() {
+            self.nan += 1;
+            return;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        if v == 0.0 {
+            self.zero += 1;
+        } else if v > 0.0 {
+            *self.pos.entry(Self::bucket_index(v)).or_insert(0) += 1;
+        } else {
+            *self.neg.entry(Self::bucket_index(-v)).or_insert(0) += 1;
+        }
+    }
+
+    /// Adds `other`'s counts into `self`. Associative with `new()` as
+    /// the identity — the monoid the soak campaign's per-seed fold
+    /// relies on.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.zero += other.zero;
+        self.nan += other.nan;
+        for (&idx, &c) in &other.neg {
+            *self.neg.entry(idx).or_insert(0) += c;
+        }
+        for (&idx, &c) in &other.pos {
+            *self.pos.entry(idx).or_insert(0) += c;
+        }
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as the signed lower bound of the
+    /// bucket holding the rank-`⌈q·count⌉` observation in ascending
+    /// order. Returns `0.0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        // Ascending value order: most-negative magnitudes first.
+        for (&idx, &c) in self.neg.iter().rev() {
+            cum += c;
+            if cum >= rank {
+                return -Self::bucket_lower(idx);
+            }
+        }
+        cum += self.zero;
+        if cum >= rank {
+            return 0.0;
+        }
+        for (&idx, &c) in &self.pos {
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_lower(idx);
+            }
+        }
+        unreachable!("rank is clamped to the total count");
+    }
+
+    /// The `q`-quantile of the **magnitudes** `|v|` — what the
+    /// cost-model accuracy gate bounds, since a projection can miss in
+    /// either direction. Returns `0.0` for an empty histogram.
+    pub fn quantile_abs(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = self.zero;
+        if cum >= rank {
+            return 0.0;
+        }
+        let mut neg = self.neg.iter().peekable();
+        let mut pos = self.pos.iter().peekable();
+        // Merge the two magnitude maps in ascending bucket order.
+        loop {
+            let (&idx, &c) = match (neg.peek(), pos.peek()) {
+                (Some(&(&a, _)), Some(&(&b, _))) if a <= b => neg.next().unwrap(),
+                (Some(_), Some(_)) | (None, Some(_)) => pos.next().unwrap(),
+                (Some(_), None) => neg.next().unwrap(),
+                (None, None) => unreachable!("rank is clamped to the total count"),
+            };
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_lower(idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_bit_patterns() {
+        // Octave starts.
+        assert_eq!(Histogram::bucket_lower(0), 1.0);
+        assert_eq!(Histogram::bucket_lower(4), 2.0);
+        assert_eq!(Histogram::bucket_lower(-4), 0.5);
+        // Quarter sub-buckets within the [1, 2) octave.
+        assert_eq!(Histogram::bucket_lower(1), 1.25);
+        assert_eq!(Histogram::bucket_lower(2), 1.5);
+        assert_eq!(Histogram::bucket_lower(3), 1.75);
+        assert_eq!(Histogram::bucket_upper(3), 2.0);
+        // Upper bound of one bucket is the lower bound of the next.
+        for idx in [-121, -5, -1, 0, 7, 99] {
+            assert_eq!(
+                Histogram::bucket_upper(idx),
+                Histogram::bucket_lower(idx + 1),
+                "bucket {idx} upper != bucket {} lower",
+                idx + 1
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_matches_the_boundaries() {
+        for idx in MIN_IDX..=MAX_IDX {
+            let lo = Histogram::bucket_lower(idx);
+            assert_eq!(Histogram::bucket_index(lo), idx, "lower bound of {idx}");
+            // Just below the upper bound still lands in this bucket.
+            let hi = Histogram::bucket_upper(idx);
+            let inside = f64::from_bits(hi.to_bits() - 1);
+            if inside > lo {
+                assert_eq!(Histogram::bucket_index(inside), idx, "inside {idx}");
+            }
+        }
+        // Out-of-range magnitudes clamp instead of panicking.
+        assert_eq!(Histogram::bucket_index(f64::MIN_POSITIVE), MIN_IDX);
+        assert_eq!(Histogram::bucket_index(1e300), MAX_IDX);
+        assert_eq!(Histogram::bucket_index(f64::INFINITY), MAX_IDX);
+    }
+
+    #[test]
+    fn exact_percentiles_on_boundary_valued_data() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.25), 1.0);
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(0.75), 4.0);
+        assert_eq!(h.quantile(0.99), 8.0);
+        assert_eq!(h.quantile(1.0), 8.0);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 15.0);
+        assert_eq!((h.min, h.max), (1.0, 8.0));
+    }
+
+    #[test]
+    fn signed_data_walks_negatives_zero_then_positives() {
+        let mut h = Histogram::new();
+        for v in [-4.0, -1.0, 0.0, 2.0, 8.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.2), -4.0);
+        assert_eq!(h.quantile(0.4), -1.0);
+        assert_eq!(h.quantile(0.6), 0.0);
+        assert_eq!(h.quantile(0.8), 2.0);
+        assert_eq!(h.quantile(1.0), 8.0);
+        // Magnitude quantiles interleave the two sides.
+        assert_eq!(h.quantile_abs(0.2), 0.0);
+        assert_eq!(h.quantile_abs(0.4), 1.0);
+        assert_eq!(h.quantile_abs(0.6), 2.0);
+        assert_eq!(h.quantile_abs(0.8), 4.0);
+        assert_eq!(h.quantile_abs(1.0), 8.0);
+    }
+
+    #[test]
+    fn nan_is_counted_apart() {
+        let mut h = Histogram::new();
+        h.observe(f64::NAN);
+        h.observe(3.0);
+        assert_eq!((h.count, h.nan), (1, 1));
+        assert_eq!(h.quantile(0.5), 3.0);
+        assert_eq!(h.sum, 3.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile_abs(0.99), 0.0);
+    }
+
+    proptest! {
+        /// Merge is a monoid: merging two halves equals observing the
+        /// concatenation, and the empty histogram is the identity.
+        #[test]
+        fn merge_monoid_law(
+            a in proptest::collection::vec(-1e6f64..1e6, 0..200),
+            b in proptest::collection::vec(-1e6f64..1e6, 0..200),
+        ) {
+            let mut whole = Histogram::new();
+            for &v in a.iter().chain(&b) {
+                whole.observe(v);
+            }
+            let mut left = Histogram::new();
+            for &v in &a {
+                left.observe(v);
+            }
+            let mut right = Histogram::new();
+            for &v in &b {
+                right.observe(v);
+            }
+            let mut merged = left.clone();
+            merged.merge(&right);
+            // Bucket contents, counts and extremes agree exactly; the sum
+            // may differ in the last ulp (f64 addition is not associative)
+            // but both folds are themselves deterministic.
+            prop_assert_eq!(&merged.pos, &whole.pos);
+            prop_assert_eq!(&merged.neg, &whole.neg);
+            prop_assert_eq!(merged.count, whole.count);
+            prop_assert_eq!(merged.zero, whole.zero);
+            if whole.count > 0 {
+                prop_assert_eq!(merged.min, whole.min);
+                prop_assert_eq!(merged.max, whole.max);
+            }
+            for q in [0.5, 0.9, 0.99, 0.999] {
+                prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+            }
+            let mut with_identity = Histogram::new();
+            with_identity.merge(&left);
+            prop_assert_eq!(with_identity, left);
+        }
+
+        /// Quantiles are monotone in q and bounded by the bucket floors
+        /// of min/max.
+        #[test]
+        fn quantiles_are_monotone(vs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let mut h = Histogram::new();
+            for &v in &vs {
+                h.observe(v);
+            }
+            let mut last = f64::NEG_INFINITY;
+            for q in [0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let x = h.quantile(q);
+                prop_assert!(x >= last, "quantile({q}) = {x} < {last}");
+                last = x;
+            }
+            // The representative is the bucket bound nearer zero, so the
+            // top quantile never overstates the true maximum's magnitude.
+            let top = h.quantile(1.0);
+            if h.max > 0.0 {
+                prop_assert!(top <= h.max, "{top} overstates max {}", h.max);
+            } else if h.max < 0.0 {
+                prop_assert!(top >= h.max && top < 0.0, "{top} vs max {}", h.max);
+            }
+            prop_assert!(h.quantile_abs(1.0) <= h.min.abs().max(h.max.abs()));
+        }
+    }
+}

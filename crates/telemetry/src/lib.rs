@@ -1,0 +1,32 @@
+//! Deterministic metrics for the service tier.
+//!
+//! Everything in this repo is bit-reproducible — the simulator clock,
+//! the scheduler, the workload generator — and the metrics layer keeps
+//! that contract. There is no sampling, no wall clock and no hash-map
+//! iteration anywhere:
+//!
+//! * a [`Registry`] holds labeled **counters**, **gauges** and
+//!   [`Histogram`]s in ordered maps, keyed by `(name, sorted labels)`;
+//! * a [`Histogram`] stores **exact counts** in sparse log-spaced
+//!   buckets (four linear sub-buckets per power-of-two octave), so any
+//!   quantile of the same observations is the same `f64` on every
+//!   platform — bucket indices come from [`f64::to_bits`], never from
+//!   `log2`, whose last-ulp behaviour is libm-specific;
+//! * a [`Snapshot`] is the registry frozen into sorted `Vec`s that
+//!   serialize to byte-identical JSON and render to Prometheus text
+//!   exposition or a human table.
+//!
+//! Merging is a monoid on every metric kind (counters add, histograms
+//! add bucket-wise, gauges keep the right operand), so per-seed
+//! registries from a soak campaign fold into one campaign snapshot
+//! without losing exactness.
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+mod snapshot;
+
+pub use histogram::Histogram;
+pub use registry::Registry;
+pub use snapshot::{CounterPoint, GaugePoint, HistogramPoint, Snapshot};

@@ -1,0 +1,212 @@
+//! The ordered metric registry.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::Histogram;
+use crate::snapshot::{CounterPoint, GaugePoint, HistogramPoint, Snapshot};
+
+/// `(family name, labels sorted by key)` — the identity of one series.
+type Key = (String, Vec<(String, String)>);
+
+fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+    let mut l: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    l.sort();
+    (name.to_string(), l)
+}
+
+/// True when `labels` carries every `(key, value)` pair in `filter`.
+fn matches(labels: &[(String, String)], filter: &[(&str, &str)]) -> bool {
+    filter
+        .iter()
+        .all(|(fk, fv)| labels.iter().any(|(k, v)| k == fk && v == fv))
+}
+
+/// Labeled counters, gauges and histograms in ordered maps.
+///
+/// Counters are `f64` so they can accumulate both event counts and
+/// quantities like wasted milliseconds; gauges are last-write-wins;
+/// histograms are [`Histogram`]s. Series order is the `BTreeMap` order
+/// of `(name, sorted labels)`, which is what makes [`Registry::snapshot`]
+/// byte-reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<Key, f64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no series exists yet.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Increments a counter by 1.
+    pub fn inc(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.add(name, labels, 1.0);
+    }
+
+    /// Adds `v` to a counter (creating it at zero first).
+    pub fn add(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        *self.counters.entry(key(name, labels)).or_insert(0.0) += v;
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.gauges.insert(key(name, labels), v);
+    }
+
+    /// Records one observation into a histogram series.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.histograms
+            .entry(key(name, labels))
+            .or_default()
+            .observe(v);
+    }
+
+    /// Exact-series counter lookup (0 when absent). `labels` must match
+    /// the full label set; use [`Registry::counter_sum`] for subsets.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.counters
+            .get(&key(name, labels))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Sums every counter series of `name` whose labels contain all the
+    /// `filter` pairs (an empty filter sums the whole family).
+    pub fn counter_sum(&self, name: &str, filter: &[(&str, &str)]) -> f64 {
+        self.counters
+            .iter()
+            .filter(|((n, l), _)| n == name && matches(l, filter))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Exact-series histogram lookup.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms.get(&key(name, labels))
+    }
+
+    /// Merges every histogram series of `name` whose labels contain all
+    /// the `filter` pairs into one (empty when none match).
+    pub fn histogram_sum(&self, name: &str, filter: &[(&str, &str)]) -> Histogram {
+        let mut out = Histogram::new();
+        for ((n, l), h) in &self.histograms {
+            if n == name && matches(l, filter) {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// Folds `other` into `self`: counters add, histograms merge
+    /// bucket-wise, gauges keep `other`'s value. Associative, with the
+    /// empty registry as identity on counters and histograms.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0.0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Freezes the registry into sorted vectors.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|((name, labels), &value)| CounterPoint {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|((name, labels), &value)| GaugePoint {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value,
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|((name, labels), hist)| HistogramPoint {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    hist: hist.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let mut r = Registry::new();
+        r.inc("requests", &[("a", "1"), ("b", "2")]);
+        r.inc("requests", &[("b", "2"), ("a", "1")]);
+        assert_eq!(r.counter("requests", &[("a", "1"), ("b", "2")]), 2.0);
+        assert_eq!(r.snapshot().counters.len(), 1);
+    }
+
+    #[test]
+    fn counter_sum_filters_by_label_subset() {
+        let mut r = Registry::new();
+        r.add("req", &[("p", "high"), ("o", "ok")], 3.0);
+        r.add("req", &[("p", "high"), ("o", "err")], 1.0);
+        r.add("req", &[("p", "low"), ("o", "ok")], 5.0);
+        r.add("other", &[("p", "high")], 100.0);
+        assert_eq!(r.counter_sum("req", &[]), 9.0);
+        assert_eq!(r.counter_sum("req", &[("p", "high")]), 4.0);
+        assert_eq!(r.counter_sum("req", &[("o", "ok")]), 8.0);
+        assert_eq!(r.counter_sum("req", &[("p", "high"), ("o", "ok")]), 3.0);
+        assert_eq!(r.counter_sum("missing", &[]), 0.0);
+    }
+
+    #[test]
+    fn histogram_sum_merges_matching_series() {
+        let mut r = Registry::new();
+        r.observe("lat", &[("p", "high")], 1.0);
+        r.observe("lat", &[("p", "low")], 4.0);
+        assert_eq!(r.histogram_sum("lat", &[]).count, 2);
+        assert_eq!(r.histogram_sum("lat", &[("p", "high")]).count, 1);
+        assert_eq!(r.histogram("lat", &[("p", "low")]).unwrap().sum, 4.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_merges_histograms_overwrites_gauges() {
+        let mut a = Registry::new();
+        a.add("c", &[], 1.0);
+        a.set_gauge("g", &[], 10.0);
+        a.observe("h", &[], 2.0);
+        let mut b = Registry::new();
+        b.add("c", &[], 2.0);
+        b.set_gauge("g", &[], 20.0);
+        b.observe("h", &[], 8.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c", &[]), 3.0);
+        assert_eq!(a.snapshot().gauges[0].value, 20.0);
+        assert_eq!(a.histogram("h", &[]).unwrap().count, 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! Frozen registries: JSON round-tripping, Prometheus text exposition
+//! and a human-readable table.
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::Histogram;
+
+/// One counter series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterPoint {
+    /// Family name.
+    pub name: String,
+    /// Labels, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// Accumulated value.
+    pub value: f64,
+}
+
+/// One gauge series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugePoint {
+    /// Family name.
+    pub name: String,
+    /// Labels, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// Last written value.
+    pub value: f64,
+}
+
+/// One histogram series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramPoint {
+    /// Family name.
+    pub name: String,
+    /// Labels, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// The exact-count histogram.
+    pub hist: Histogram,
+}
+
+/// A registry frozen into sorted vectors. Serializing the same run's
+/// snapshot twice yields byte-identical JSON — the property the soak
+/// reproducibility check extends to metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Snapshot {
+    /// Counter series, sorted by `(name, labels)`.
+    pub counters: Vec<CounterPoint>,
+    /// Gauge series, sorted by `(name, labels)`.
+    pub gauges: Vec<GaugePoint>,
+    /// Histogram series, sorted by `(name, labels)`.
+    pub histograms: Vec<HistogramPoint>,
+}
+
+/// `k="v",…` with Prometheus-style escaping of `\`, `"` and newlines
+/// in label values.
+fn label_pairs(labels: &[(String, String)]) -> Vec<String> {
+    labels
+        .iter()
+        .map(|(k, v)| {
+            let escaped = v
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
+            format!("{k}=\"{escaped}\"")
+        })
+        .collect()
+}
+
+/// `{k="v",…}`, or the empty string for an unlabeled series.
+fn labelset(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", label_pairs(labels).join(","))
+    }
+}
+
+/// `name{k="v",…}`.
+fn series(name: &str, labels: &[(String, String)]) -> String {
+    format!("{name}{}", labelset(labels))
+}
+
+/// `name_bucket{k="v",…,le="…"}` — the cumulative-bucket line name.
+fn series_le(name: &str, labels: &[(String, String)], le: &str) -> String {
+    let mut inner = label_pairs(labels);
+    inner.push(format!("le=\"{le}\""));
+    format!("{name}_bucket{{{}}}", inner.join(","))
+}
+
+impl Snapshot {
+    /// Pretty JSON; byte-identical for identical registries.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Parses a snapshot previously written by [`Snapshot::to_json`].
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        serde_json::from_str(body).map_err(|e| format!("cannot parse metrics snapshot: {e}"))
+    }
+
+    /// Prometheus text exposition. Bucket lines are cumulative in
+    /// ascending value order (negative buckets, zero, positive buckets,
+    /// `+Inf`); each histogram also emits `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_line = String::new();
+        let mut typed = |out: &mut String, name: &str, kind: &str| {
+            let line = format!("# TYPE {name} {kind}\n");
+            if line != last_type_line {
+                out.push_str(&line);
+                last_type_line = line;
+            }
+        };
+        for c in &self.counters {
+            typed(&mut out, &c.name, "counter");
+            out.push_str(&format!("{} {}\n", series(&c.name, &c.labels), c.value));
+        }
+        for g in &self.gauges {
+            typed(&mut out, &g.name, "gauge");
+            out.push_str(&format!("{} {}\n", series(&g.name, &g.labels), g.value));
+        }
+        for h in &self.histograms {
+            typed(&mut out, &h.name, "histogram");
+            let mut cum = 0u64;
+            for (&idx, &c) in h.hist.neg.iter().rev() {
+                cum += c;
+                let le = format!("{}", -Histogram::bucket_lower(idx));
+                out.push_str(&format!("{} {cum}\n", series_le(&h.name, &h.labels, &le)));
+            }
+            if h.hist.zero > 0 {
+                cum += h.hist.zero;
+                out.push_str(&format!("{} {cum}\n", series_le(&h.name, &h.labels, "0")));
+            }
+            for (&idx, &c) in &h.hist.pos {
+                cum += c;
+                let le = format!("{}", Histogram::bucket_upper(idx));
+                out.push_str(&format!("{} {cum}\n", series_le(&h.name, &h.labels, &le)));
+            }
+            out.push_str(&format!(
+                "{} {}\n",
+                series_le(&h.name, &h.labels, "+Inf"),
+                h.hist.count
+            ));
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                h.name,
+                labelset(&h.labels),
+                h.hist.sum
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                h.name,
+                labelset(&h.labels),
+                h.hist.count
+            ));
+        }
+        out
+    }
+
+    /// A sorted, aligned human table: one line per series, histograms
+    /// summarized by count/percentiles/extremes.
+    pub fn to_table(&self) -> String {
+        let mut lines: Vec<(String, String)> = Vec::new();
+        for c in &self.counters {
+            lines.push((series(&c.name, &c.labels), format!("{}", c.value)));
+        }
+        for g in &self.gauges {
+            lines.push((series(&g.name, &g.labels), format!("gauge {}", g.value)));
+        }
+        for h in &self.histograms {
+            let s = &h.hist;
+            lines.push((
+                series(&h.name, &h.labels),
+                format!(
+                    "count {} p50 {} p90 {} p99 {} p999 {} min {} max {} sum {}",
+                    s.count,
+                    s.quantile(0.5),
+                    s.quantile(0.9),
+                    s.quantile(0.99),
+                    s.quantile(0.999),
+                    s.min,
+                    s.max,
+                    s.sum
+                ),
+            ));
+        }
+        lines.sort();
+        let width = lines.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in lines {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        r.add("req_total", &[("p", "high"), ("outcome", "ok")], 4.0);
+        r.set_gauge("util_pct", &[("device", "dev0")], 62.5);
+        for v in [0.0, 1.0, 2.0, -4.0] {
+            r.observe("slack_ms", &[("p", "high")], v);
+        }
+        r
+    }
+
+    #[test]
+    fn json_round_trips_and_is_byte_stable() {
+        let snap = sample().snapshot();
+        let json = snap.to_json();
+        assert_eq!(json, sample().snapshot().to_json(), "byte-identical");
+        let parsed = Snapshot::from_json(&json).unwrap();
+        assert_eq!(parsed, snap);
+        assert!(Snapshot::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn prometheus_exposition_has_types_and_cumulative_buckets() {
+        let prom = sample().snapshot().to_prometheus();
+        assert!(prom.contains("# TYPE req_total counter"), "{prom}");
+        assert!(prom.contains("# TYPE util_pct gauge"), "{prom}");
+        assert!(prom.contains("# TYPE slack_ms histogram"), "{prom}");
+        assert!(
+            prom.contains("req_total{outcome=\"ok\",p=\"high\"} 4"),
+            "{prom}"
+        );
+        // -4 then 0 then the positive buckets then +Inf, cumulatively.
+        assert!(
+            prom.contains("slack_ms_bucket{p=\"high\",le=\"-4\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("slack_ms_bucket{p=\"high\",le=\"0\"} 2"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("slack_ms_bucket{p=\"high\",le=\"+Inf\"} 4"),
+            "{prom}"
+        );
+        assert!(prom.contains("slack_ms_sum{p=\"high\"} -1"), "{prom}");
+        assert!(prom.contains("slack_ms_count{p=\"high\"} 4"), "{prom}");
+    }
+
+    #[test]
+    fn table_is_sorted_and_aligned() {
+        let table = sample().snapshot().to_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted, "table rows are sorted");
+        assert!(table.contains("count 4"), "{table}");
+        assert!(table.contains("p50 0"), "{table}");
+    }
+}

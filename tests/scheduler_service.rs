@@ -17,9 +17,23 @@ fn soak_plan(seed: u64) -> FaultPlan {
 }
 
 fn run_campaign(seed: u64, requests: usize) -> scheduler::ServiceReport {
+    run_campaign_with_metrics(seed, requests, 0.0, 0.0).0
+}
+
+/// Runs one campaign and returns both the report and the serialized
+/// telemetry snapshot, optionally routing request shares to the
+/// `gas-warp` and `gas-fused` pipelines.
+fn run_campaign_with_metrics(
+    seed: u64,
+    requests: usize,
+    warp_fraction: f64,
+    fused_fraction: f64,
+) -> (scheduler::ServiceReport, String) {
     let workload = Workload::generate(&WorkloadConfig {
         seed,
         requests,
+        warp_fraction,
+        fused_fraction,
         ..WorkloadConfig::default()
     });
     let plan = soak_plan(seed.wrapping_add(1));
@@ -29,7 +43,9 @@ fn run_campaign(seed: u64, requests: usize) -> scheduler::ServiceReport {
     };
     let mut service =
         SortService::new(parse_mix("test,k40c", 4).unwrap(), cfg, Some(&plan)).unwrap();
-    service.run(&workload).unwrap()
+    let report = service.run(&workload).unwrap();
+    let snapshot = service.metrics_snapshot().to_json();
+    (report, snapshot)
 }
 
 #[test]
@@ -45,6 +61,27 @@ fn soak_campaigns_are_byte_identical_and_reconciled() {
     assert_eq!(a.invariant_violations(), Vec::<String>::new());
     assert_eq!(a.records.len(), 150, "one record per request");
     assert_eq!(a.completed + a.cpu_fallbacks + a.shed + a.rejected, 150);
+}
+
+#[test]
+fn telemetry_covers_every_gas_variant_and_matches_the_slo_section() {
+    let (report, snapshot) = run_campaign_with_metrics(42, 150, 0.25, 0.25);
+    let snap = scheduler::Snapshot::from_json(&snapshot).unwrap();
+    // With all three pipelines in the mix, the cost-model accuracy
+    // family must carry a labeled series per variant.
+    for variant in ["three-kernel", "fused", "warp"] {
+        assert!(
+            snap.histograms.iter().any(|h| {
+                h.name == "gas_model_accuracy_rel_err"
+                    && h.labels.iter().any(|(k, v)| k == "variant" && v == variant)
+            }),
+            "missing gas_model_accuracy_rel_err series for variant {variant}"
+        );
+    }
+    // The report's SLO section is derived from that same registry, and
+    // recomputing it from the raw records must agree exactly.
+    assert_eq!(report.slo, report.slo_from_records());
+    assert_eq!(report.invariant_violations(), Vec::<String>::new());
 }
 
 #[test]
@@ -78,5 +115,24 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Two campaigns from the same seed must emit *byte-identical*
+    /// telemetry snapshots — determinism extends beyond the report to
+    /// every counter, gauge and histogram bucket, for any seed and any
+    /// variant mix.
+    #[test]
+    fn same_seed_telemetry_snapshots_are_byte_identical(
+        seed in any::<u64>(),
+        warp in 0.0f64..0.5,
+        fused in 0.0f64..0.5,
+    ) {
+        let (report_a, snap_a) = run_campaign_with_metrics(seed, 40, warp, fused);
+        let (report_b, snap_b) = run_campaign_with_metrics(seed, 40, warp, fused);
+        prop_assert_eq!(report_a.to_json(), report_b.to_json());
+        prop_assert_eq!(snap_a.clone(), snap_b);
+        // The snapshot round-trips through its own parser untouched.
+        let parsed = scheduler::Snapshot::from_json(&snap_a).unwrap();
+        prop_assert_eq!(parsed.to_json(), snap_a);
     }
 }
