@@ -58,6 +58,8 @@ pub struct BucketingOutcome {
 // home and downstream callers import it from both paths.
 pub use crate::splitters::bucket_index;
 
+use crate::splitters::overflow_limit;
+
 /// Runs the bucketing kernel: reorders `data` so each array's buckets are
 /// contiguous and in splitter order, and fills `bucket_sizes` (table `Z`).
 pub fn bucket_arrays<K: SortKey>(
@@ -140,6 +142,12 @@ pub fn bucket_arrays<K: SortKey>(
         for &x in arr.iter() {
             counts[bucket_index(bounds, x)] += 1;
         }
+        // Overflow detection (always on, every policy): a bucket beyond
+        // the Dehne–Zaboli limit 2·⌈n/p⌉ is an observable event, never a
+        // silent slow path. The compare rides the existing count loop, so
+        // it costs nothing extra; the recording itself is zero-cycle.
+        let limit = overflow_limit(n, p) as u32;
+        let overflowed = counts.iter().filter(|&&c| c > limit).count() as u64;
         let mut offsets = vec![0usize; p + 1];
         for j in 0..p {
             offsets[j + 1] = offsets[j] + counts[j] as usize;
@@ -169,6 +177,9 @@ pub fn bucket_arrays<K: SortKey>(
         // the array in lockstep, so reads broadcast.
         let seg = n as u64;
         block.threads(|t| {
+            if t.tid == 0 && overflowed > 0 {
+                t.record_bucket_overflow(overflowed);
+            }
             for s in 0..slots_per_thread {
                 let slot = t.tid as u64 + s * t_count as u64;
                 if slot >= slots as u64 {
@@ -466,6 +477,44 @@ mod tests {
             o4.kernel.cycles,
             o1.kernel.cycles
         );
+    }
+
+    #[test]
+    fn overflow_detection_counts_blown_buckets() {
+        // Adversarial input for regular sampling: every sampled position
+        // (stride 10) holds the minimum, so the splitters collapse and
+        // one bucket swallows ~90 % of the array — which the kernel must
+        // record as observable overflow events.
+        let cfg = ArraySortConfig::default();
+        let n = 1000;
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                if i % 10 == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(1.0f32..1e9)
+                }
+            })
+            .collect();
+        let (_, z, outcome, geom) = full_phase2(1, n, &cfg, data);
+        let limit = overflow_limit(n, geom.buckets_per_array) as u32;
+        let blown = z.iter().filter(|&&c| c > limit).count() as u64;
+        assert!(blown >= 1, "collapse input must blow at least one bucket");
+        assert_eq!(
+            outcome.kernel.counters.bucket_overflows, blown,
+            "every blown bucket is counted, none silently"
+        );
+    }
+
+    #[test]
+    fn clean_buckets_record_no_overflow() {
+        let cfg = ArraySortConfig::default();
+        // Perfectly striped data: every bucket gets exactly n/p elements.
+        let n = 400;
+        let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let (_, _, outcome, _) = full_phase2(1, n, &cfg, data);
+        assert_eq!(outcome.kernel.counters.bucket_overflows, 0);
     }
 
     #[test]

@@ -13,16 +13,39 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::config::ArraySortConfig;
+use crate::config::{ArraySortConfig, SplitterPolicy};
 
-/// Evaluates the *unscaled* Eq. 2 for one array size.
+/// Additive phase-1 overhead of the configured splitter policy, in
+/// Eq. 2 units. Zero for the paper's regular sampling (Eq. 2 already
+/// bills the sample sort); for [`SplitterPolicy::Deterministic`] it adds
+/// the Dehne–Zaboli selection the kernel really runs: `p` tile sorts of
+/// `⌈n/p⌉` elements (insertion, so `n·⌈n/p⌉/2` comparisons total) plus
+/// the `p`-way candidate merge (≤ `n·log₂p`). With the paper's fixed
+/// 20-element buckets this is Θ(n) — the bound costs a constant factor,
+/// not a complexity class.
+pub fn policy_phase1_overhead(array_len: usize, config: &ArraySortConfig) -> f64 {
+    match config.splitter_policy {
+        SplitterPolicy::RegularSample => 0.0,
+        SplitterPolicy::Deterministic => {
+            let n = array_len as f64;
+            let p = (config.buckets_for(array_len) as f64).max(1.0);
+            let tile = (n / p).ceil().max(1.0);
+            let log_p = if p > 1.0 { p.log2() } else { 1.0 };
+            n * tile / 2.0 + n * log_p
+        }
+    }
+}
+
+/// Evaluates the *unscaled* Eq. 2 for one array size, including the
+/// configured policy's phase-1 overhead ([`policy_phase1_overhead`];
+/// zero under the paper's defaults, so Fig. 2 is untouched).
 pub fn eq2_unscaled(array_len: usize, config: &ArraySortConfig) -> f64 {
     let n = array_len as f64;
     let p = config.buckets_for(array_len) as f64;
     let q = (p - 1.0).max(0.0);
     let r = config.sampling_rate;
     let log_n = if n > 1.0 { n.log2() } else { 0.0 };
-    (n + q) + ((p * r + 1.0) / p) * n * log_n
+    (n + q) + ((p * r + 1.0) / p) * n * log_n + policy_phase1_overhead(array_len, config)
 }
 
 /// The analogous *unscaled* per-array cost of the fused single-kernel
@@ -47,7 +70,11 @@ pub fn fused_unscaled(array_len: usize, config: &ArraySortConfig) -> f64 {
     let r = config.sampling_rate;
     let log_n = if n > 1.0 { n.log2() } else { 0.0 };
     let log_p1 = (p + 1.0).log2();
-    4.0 * n / p + r * n * log_n + (n / p) * log_p1 + (n / p) * log_n
+    4.0 * n / p
+        + r * n * log_n
+        + (n / p) * log_p1
+        + (n / p) * log_n
+        + policy_phase1_overhead(array_len, config)
 }
 
 /// The *unscaled* per-array cost of the warp-multisplit fused pipeline
@@ -64,7 +91,39 @@ pub fn warp_unscaled(array_len: usize, config: &ArraySortConfig) -> f64 {
     let r = config.sampling_rate;
     let log_n = if n > 1.0 { n.log2() } else { 0.0 };
     let log_p1 = (p + 1.0).log2();
-    3.0 * n / p + r * n * log_n + (n / p) * log_p1 + (n / p) * log_n
+    3.0 * n / p
+        + r * n * log_n
+        + (n / p) * log_p1
+        + (n / p) * log_n
+        + policy_phase1_overhead(array_len, config)
+}
+
+/// The *unscaled* **worst-case** per-array cost under the configured
+/// splitter policy — the honest adversarial projection Eq. 2's
+/// expectation hides:
+///
+/// * **Regular sampling**: a collapsed sample can put nearly all `n`
+///   elements in one bucket, degrading Phase 3 to a single quadratic
+///   thread — `n²/2` comparisons on top of the Phase-2 rescan.
+/// * **Deterministic**: every non-tie segment handed to Phase 3 holds at
+///   most `2·⌈n/p⌉` elements (overflowing buckets are re-split), so the
+///   bucket sorts cost at most `p · (2·⌈n/p⌉)²/2 = 2·n·⌈n/p⌉`, plus the
+///   selection overhead and one re-split sweep (≤ `n·log₂n`). With the
+///   paper's fixed-size buckets the worst case is Θ(n) vs regular
+///   sampling's Θ(n²).
+pub fn worst_case_unscaled(array_len: usize, config: &ArraySortConfig) -> f64 {
+    let n = array_len as f64;
+    let p = (config.buckets_for(array_len) as f64).max(1.0);
+    let q = (p - 1.0).max(0.0);
+    let scan = n + q;
+    let log_n = if n > 1.0 { n.log2() } else { 0.0 };
+    match config.splitter_policy {
+        SplitterPolicy::RegularSample => scan + n * n / 2.0,
+        SplitterPolicy::Deterministic => {
+            let tile = (n / p).ceil().max(1.0);
+            scan + policy_phase1_overhead(array_len, config) + n * log_n + 2.0 * n * tile
+        }
+    }
 }
 
 /// A fitted theoretical curve: `predict(n) = scale · eq2(n)`.
@@ -222,6 +281,64 @@ mod tests {
             );
         }
         assert!(warp_unscaled(1, &c).is_finite());
+    }
+
+    fn det_cfg() -> ArraySortConfig {
+        ArraySortConfig {
+            splitter_policy: crate::config::SplitterPolicy::Deterministic,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn default_policy_overhead_is_zero() {
+        let c = cfg();
+        for n in [20, 1000, 4000] {
+            assert_eq!(policy_phase1_overhead(n, &c), 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_overhead_is_linear_in_n() {
+        let c = det_cfg();
+        let o1 = policy_phase1_overhead(1000, &c);
+        let o2 = policy_phase1_overhead(2000, &c);
+        assert!(o1 > 0.0);
+        // Fixed 20-element tiles: doubling n roughly doubles the overhead.
+        assert!(o2 / o1 > 1.8 && o2 / o1 < 2.3, "ratio {}", o2 / o1);
+    }
+
+    #[test]
+    fn worst_case_regular_is_quadratic_deterministic_is_not() {
+        let reg = cfg();
+        let det = det_cfg();
+        for n in [1000usize, 2000, 4000] {
+            let wr = worst_case_unscaled(n, &reg);
+            let wd = worst_case_unscaled(n, &det);
+            assert!(
+                wd * 5.0 < wr,
+                "n={n}: deterministic worst case {wd} must sit far below regular {wr}"
+            );
+        }
+        // Growth class: regular quadruples per doubling, deterministic
+        // roughly doubles.
+        let r_ratio = worst_case_unscaled(4000, &reg) / worst_case_unscaled(2000, &reg);
+        let d_ratio = worst_case_unscaled(4000, &det) / worst_case_unscaled(2000, &det);
+        assert!(r_ratio > 3.5, "regular ratio {r_ratio}");
+        assert!(d_ratio < 2.5, "deterministic ratio {d_ratio}");
+    }
+
+    #[test]
+    fn worst_case_dominates_the_expected_model() {
+        for c in [cfg(), det_cfg()] {
+            for n in [100usize, 1000, 4000] {
+                assert!(
+                    worst_case_unscaled(n, &c) >= eq2_unscaled(n, &c),
+                    "worst case must dominate the expectation at n={n} ({:?})",
+                    c.splitter_policy
+                );
+            }
+        }
     }
 
     #[test]

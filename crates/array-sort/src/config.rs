@@ -10,6 +10,52 @@
 
 use serde::{Deserialize, Serialize};
 
+/// How Phase 1 chooses the `p − 1` interior splitters of each array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum SplitterPolicy {
+    /// The paper's 10 % regular sample + insertion sort (§5.1). Fast and
+    /// well balanced on benign data, but with **no worst-case bound**: an
+    /// adversarial value distribution can collapse the sample and blow a
+    /// single bucket up to the whole array. Overflow is *detected* (and
+    /// counted) but not repaired — status quo, reproduction-faithful.
+    #[default]
+    RegularSample,
+    /// Dehne & Zaboli's deterministic sample sort selection: split the
+    /// array into `p` tiles, sort each tile, take `s/p` equidistant
+    /// candidates per sorted tile, merge the candidate sets and pick every
+    /// `(s/p)`-th of the sorted candidates. Guarantees every bucket holds
+    /// ≤ `2·⌈n/p⌉` elements **up to duplicate runs of a single value**
+    /// (no value-based splitter can cut a run of equal keys); buckets
+    /// that still overflow — necessarily duplicate-heavy — are repaired
+    /// by the bounded recursive re-split, which quarantines equal runs
+    /// into all-equal *tie* segments (linear, not quadratic, to sort).
+    Deterministic,
+}
+
+impl SplitterPolicy {
+    /// Kebab-case display name, matching the serde encoding and the CLI
+    /// `--splitters` values.
+    pub fn label(self) -> &'static str {
+        match self {
+            SplitterPolicy::RegularSample => "regular",
+            SplitterPolicy::Deterministic => "deterministic",
+        }
+    }
+
+    /// Parses the CLI spelling. `regular`/`regular-sample` is the paper's
+    /// sampling; `deterministic`/`det` the Dehne–Zaboli selection.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "regular" | "regular-sample" => Ok(SplitterPolicy::RegularSample),
+            "deterministic" | "det" => Ok(SplitterPolicy::Deterministic),
+            other => Err(format!(
+                "unknown splitter policy {other:?} (regular|deterministic)"
+            )),
+        }
+    }
+}
+
 /// Configuration of a [`crate::pipeline::GpuArraySort`] run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ArraySortConfig {
@@ -36,6 +82,13 @@ pub struct ArraySortConfig {
     /// Multiplier of `target_bucket_size` above which a bucket counts as
     /// oversized for [`ArraySortConfig::adaptive_bucket_sort`].
     pub adaptive_threshold: usize,
+    /// Phase-1 splitter selection strategy. Defaults to the paper's
+    /// regular sampling so existing configs (and serialized ones, via
+    /// `serde(default)`) behave identically. Selecting
+    /// [`SplitterPolicy::Deterministic`] also arms the bounded recursive
+    /// re-split of overflowing buckets between Phases 2 and 3.
+    #[serde(default)]
+    pub splitter_policy: SplitterPolicy,
 }
 
 impl Default for ArraySortConfig {
@@ -47,6 +100,7 @@ impl Default for ArraySortConfig {
             shared_staging: true,
             adaptive_bucket_sort: false,
             adaptive_threshold: 8,
+            splitter_policy: SplitterPolicy::default(),
         }
     }
 }
@@ -171,6 +225,33 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(c.validate(), Err(ConfigError::ZeroThreadsPerBucket));
+    }
+
+    #[test]
+    fn splitter_policy_parses_and_round_trips() {
+        assert_eq!(
+            SplitterPolicy::parse("regular").unwrap(),
+            SplitterPolicy::RegularSample
+        );
+        assert_eq!(
+            SplitterPolicy::parse("deterministic").unwrap(),
+            SplitterPolicy::Deterministic
+        );
+        assert_eq!(
+            SplitterPolicy::parse("det").unwrap(),
+            SplitterPolicy::Deterministic
+        );
+        assert!(SplitterPolicy::parse("random").is_err());
+        assert_eq!(SplitterPolicy::default(), SplitterPolicy::RegularSample);
+        assert_eq!(SplitterPolicy::RegularSample.label(), "regular");
+        assert_eq!(SplitterPolicy::Deterministic.label(), "deterministic");
+        // The default config stays on the paper's policy so existing
+        // behaviour (and serialized legacy configs, via serde(default))
+        // is unchanged.
+        assert_eq!(
+            ArraySortConfig::default().splitter_policy,
+            SplitterPolicy::RegularSample
+        );
     }
 
     #[test]

@@ -30,18 +30,22 @@
 //! three-kernel pipeline — correctness never depends on the fast path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use gpu_sim::{banks, warp, AccessPattern, DeviceBuffer, Gpu, LaunchConfig, SimError, SimResult};
 use serde::{Deserialize, Serialize};
 
 use crate::bucketing::{bucket_balance, BalanceStats};
-use crate::config::{ArraySortConfig, ConfigError};
+use crate::config::{ArraySortConfig, ConfigError, SplitterPolicy};
 use crate::geometry::BatchGeometry;
-use crate::insertion::{charge_insertion_work, insertion_sort, simulated_insertion_sort};
+use crate::insertion::{
+    charge_insertion_work, insertion_sort, simulated_insertion_sort, InsertionWork,
+};
 use crate::key::SortKey;
 use crate::pipeline::GpuArraySort;
+use crate::resplit::{resplit_array, OverflowReport, ResplitWork};
 use crate::sorting::bitonic_charge;
-use crate::splitters::bucket_index;
+use crate::splitters::{bucket_index, deterministic_splitters, overflow_limit, DeterministicWork};
 
 /// Which bucketing + scatter machinery the fused kernel runs. The three
 /// strategies produce bit-identical output (all call the shared
@@ -160,8 +164,14 @@ pub struct FusedStats {
     /// Estimated per-stage attribution of `kernel_ms` (all zero on the
     /// fallback path — the three-kernel launches have real spans instead).
     pub breakdown: FusedBreakdown,
-    /// Bucket-size distribution, from the `Z` table the kernel emits.
+    /// Bucket-size distribution, from the `Z` table the kernel emits
+    /// (pre-recovery evidence: re-splitting never rewrites `Z`).
     pub balance: BalanceStats,
+    /// Bucket-overflow detection + recovery accounting. Detection is
+    /// always on; repair runs only under
+    /// [`SplitterPolicy::Deterministic`].
+    #[serde(default)]
+    pub overflow: OverflowReport,
     /// The geometry the run used.
     pub geometry: BatchGeometry,
 }
@@ -283,7 +293,7 @@ impl FusedSort {
         gpu.end_span(span);
         let t1 = gpu.elapsed_ms();
 
-        let (path, breakdown, balance) = self.run_device(gpu, &dbuf, &geom)?;
+        let (path, breakdown, balance, overflow) = self.run_device(gpu, &dbuf, &geom)?;
         let t2 = gpu.elapsed_ms();
         let peak_bytes = gpu.ledger().peak();
 
@@ -301,6 +311,7 @@ impl FusedSort {
             path,
             breakdown,
             balance,
+            overflow,
             geometry: geom,
         })
     }
@@ -313,7 +324,7 @@ impl FusedSort {
         gpu: &mut Gpu,
         data: &DeviceBuffer<K>,
         geom: &BatchGeometry,
-    ) -> SimResult<(FusedPath, FusedBreakdown, BalanceStats)> {
+    ) -> SimResult<(FusedPath, FusedBreakdown, BalanceStats, OverflowReport)> {
         let fits = if self.strategy.pads_scatter() {
             geom.fits_warp_in_shared(K::ELEM_BYTES, gpu.spec())
         } else {
@@ -328,6 +339,7 @@ impl FusedSort {
                 FusedPath::ThreeKernelFallback,
                 FusedBreakdown::default(),
                 run.balance,
+                run.overflow,
             ));
         }
 
@@ -335,7 +347,7 @@ impl FusedSort {
         let span = gpu.begin_span("gas-fused/fused-kernel");
         let kernel = fused_kernel(gpu, data, &zbuf, geom, self.config(), self.strategy);
         gpu.end_span(span);
-        let (kernel_ms, stage_cycles) = kernel?;
+        let (kernel_ms, stage_cycles, overflow) = kernel?;
         let balance = bucket_balance(&mut zbuf, geom);
 
         let total: u64 = stage_cycles.iter().sum();
@@ -354,7 +366,7 @@ impl FusedSort {
             bucket_sort_ms: share(stage_cycles[4]),
             write_back_ms: share(stage_cycles[5]),
         };
-        Ok((FusedPath::Fused, breakdown, balance))
+        Ok((FusedPath::Fused, breakdown, balance, overflow))
     }
 }
 
@@ -379,8 +391,11 @@ fn warp_groups(n: usize, t_count: usize, ws: usize) -> Vec<(usize, usize)> {
     groups
 }
 
-/// Launches the fused kernel proper. Returns its wall time and the six
-/// per-stage cycle-estimate tallies for [`FusedBreakdown`].
+/// Launches the fused kernel proper. Returns its wall time, the six
+/// per-stage cycle-estimate tallies for [`FusedBreakdown`], and the
+/// aggregated overflow report (detection under every policy; repair —
+/// an in-shared re-split between scatter and bucket sort — only under
+/// [`SplitterPolicy::Deterministic`]).
 fn fused_kernel<K: SortKey>(
     gpu: &mut Gpu,
     data: &DeviceBuffer<K>,
@@ -388,7 +403,7 @@ fn fused_kernel<K: SortKey>(
     geom: &BatchGeometry,
     config: &ArraySortConfig,
     strategy: FusedStrategy,
-) -> SimResult<(f64, [u64; 6])> {
+) -> SimResult<(f64, [u64; 6], OverflowReport)> {
     assert_eq!(data.len(), geom.total_elems(), "data/geometry mismatch");
     assert_eq!(
         bucket_sizes.len(),
@@ -412,6 +427,8 @@ fn fused_kernel<K: SortKey>(
     let log_p = (usize::BITS - p.leading_zeros()) as u64;
     let adaptive = config.adaptive_bucket_sort;
     let adaptive_cap = config.adaptive_threshold.max(1) * config.target_bucket_size.max(1);
+    let policy = config.splitter_policy;
+    let limit = overflow_limit(n, p) as u32;
 
     let shared_want = if strategy.pads_scatter() {
         geom.warp_shared_bytes_needed(elem_bytes)
@@ -431,6 +448,10 @@ fn fused_kernel<K: SortKey>(
     // authoritative bill is what the ThreadCtx charges below.
     let stages: [AtomicU64; 6] = Default::default();
     let tally = |i: usize, c: u64| stages[i].fetch_add(c, Ordering::Relaxed);
+    let report = Mutex::new(OverflowReport {
+        limit,
+        ..Default::default()
+    });
 
     let stats = gpu.launch(kernel_name, cfg, |block| {
         let i = block.block_idx() as usize;
@@ -442,15 +463,26 @@ fn fused_kernel<K: SortKey>(
         // the cycles). SAFETY: array i is block-exclusive.
         let arr = unsafe { dv.slice_mut(base, n) };
 
-        // Stage 2: regular sample of the *staged* array, one-thread
-        // sample sort, splitter bounds with the §5.2 sentinels.
-        let mut sample: Vec<K> = (0..s).map(|k| arr[k * stride]).collect();
-        let sample_work = simulated_insertion_sort(&mut sample);
+        // Stage 2: splitter selection on the *staged* array, per policy —
+        // the paper's one-thread regular sample sort, or the Dehne–Zaboli
+        // deterministic tile-sort + candidate-merge selection (the shared
+        // [`deterministic_splitters`] the three-kernel Phase 1 also runs).
+        // Either way the bounds carry the §5.2 sentinels.
         let mut bounds = Vec::with_capacity(p + 1);
         bounds.push(K::min_sentinel());
-        for j in 1..p {
-            bounds.push(sample[j * s / p]);
-        }
+        let (sample_work, det_work): (InsertionWork, Option<DeterministicWork>) =
+            if policy == SplitterPolicy::Deterministic {
+                let (picks, det) = deterministic_splitters(arr, p, s);
+                bounds.extend(picks);
+                (InsertionWork::default(), Some(det))
+            } else {
+                let mut sample: Vec<K> = (0..s).map(|k| arr[k * stride]).collect();
+                let w = simulated_insertion_sort(&mut sample);
+                for j in 1..p {
+                    bounds.push(sample[j * s / p]);
+                }
+                (w, None)
+            };
         bounds.push(K::max_sentinel());
 
         // Stage 3: binary-search bucket index per element + histogram.
@@ -463,6 +495,9 @@ fn fused_kernel<K: SortKey>(
                 j as u32
             })
             .collect();
+        // Overflow detection (always on): buckets beyond the Dehne–Zaboli
+        // limit 2·⌈n/p⌉ are counted, never silent.
+        let over_in_block = counts.iter().filter(|&&c| c > limit).count() as u64;
 
         // Stage 4: exclusive scan + stable in-shared scatter into the
         // second buffer, then adopt it as the working copy. `pos[k]` is
@@ -531,27 +566,56 @@ fn fused_kernel<K: SortKey>(
         });
         tally(0, (n as u64) * 3);
 
-        // Stage 2: sampling + sample sort, entirely in shared memory —
-        // the fused win over Phase 1's single-lane global walk.
-        block.one_thread(|t| {
-            t.charge_shared(2 * s as u64);
-            t.charge_alu(2 * s as u64);
-            charge_insertion_work(t, sample_work);
-            t.charge_shared((p + 1) as u64);
-            t.charge_alu(2 * p as u64);
-        });
-        tally(
-            1,
-            6 * s as u64
-                + 2 * (2 * sample_work.comparisons + sample_work.moves)
-                + sample_work.comparisons
-                + 2 * (p as u64 + 1)
-                + 2 * p as u64,
-        );
+        // Stage 2: splitter selection, entirely in shared memory — the
+        // fused win over Phase 1's single-lane global walk. The charges
+        // follow the branch that actually ran.
+        let ins_est = |w: InsertionWork| 2 * (2 * w.comparisons + w.moves) + w.comparisons;
+        match det_work {
+            None => {
+                block.one_thread(|t| {
+                    t.charge_shared(2 * s as u64);
+                    t.charge_alu(2 * s as u64);
+                    charge_insertion_work(t, sample_work);
+                    t.charge_shared((p + 1) as u64);
+                    t.charge_alu(2 * p as u64);
+                });
+                tally(
+                    1,
+                    6 * s as u64 + ins_est(sample_work) + 2 * (p as u64 + 1) + 2 * p as u64,
+                );
+            }
+            Some(det) => {
+                let c = det.candidates as u64;
+                block.one_thread(|t| {
+                    // p tile sorts, candidate gather, the p-way candidate
+                    // merge (billed as InsertionWork), then the p−1 picks.
+                    charge_insertion_work(t, det.tile_sort);
+                    t.charge_shared(2 * c);
+                    t.charge_alu(2 * c);
+                    charge_insertion_work(t, det.candidate_sort);
+                    t.charge_shared((p + 1) as u64);
+                    t.charge_alu(2 * p as u64);
+                });
+                tally(
+                    1,
+                    ins_est(det.tile_sort)
+                        + 6 * c
+                        + ins_est(det.candidate_sort)
+                        + 2 * (p as u64 + 1)
+                        + 2 * p as u64,
+                );
+            }
+        }
 
         // Stage 3: per-element binary search over the p+1 bounds, then
         // the strategy's histogram machinery.
         block.threads(|t| {
+            if t.tid == 0 && over_in_block > 0 {
+                // The histogram is already in shared memory here; the
+                // limit comparison rides the existing pass (zero cycles),
+                // it only flips the observable counter.
+                t.record_bucket_overflow(over_in_block);
+            }
             let mut k = t.tid as usize;
             while k < n {
                 t.charge_shared(1 + log_bounds);
@@ -644,21 +708,81 @@ fn fused_kernel<K: SortKey>(
                     .sum::<u64>(),
         );
 
+        // Re-split pass (Deterministic policy only): any bucket beyond
+        // the limit is recursively cut in shared memory before the bucket
+        // sort, so Phase-3-equivalent work stays bounded. The Z row above
+        // was already written — it stays pre-recovery evidence. Its cost
+        // is folded into the scatter row of the breakdown (it is the same
+        // kind of in-shared partitioning work).
+        let mut rs_work = ResplitWork::default();
+        let refined = if policy == SplitterPolicy::Deterministic && over_in_block > 0 {
+            let segs = resplit_array(arr, &counts, limit as usize, &mut rs_work);
+            block.one_thread(|t| {
+                t.charge_shared(2 * rs_work.comparisons + rs_work.moves);
+                t.charge_alu(rs_work.comparisons);
+            });
+            tally(
+                3,
+                2 * (2 * rs_work.comparisons + rs_work.moves) + rs_work.comparisons,
+            );
+            Some(segs)
+        } else {
+            None
+        };
+        let mut local = OverflowReport {
+            limit,
+            overflowed_buckets: over_in_block,
+            overflowed_arrays: u64::from(over_in_block > 0),
+            pre_max: counts.iter().copied().max().unwrap_or(0),
+            ..Default::default()
+        };
+        match &refined {
+            Some(segs) => {
+                local.resplit_rounds = rs_work.rounds;
+                local.resplit_segments = segs.len() as u64;
+                local.tie_segments = segs.iter().filter(|sg| sg.all_equal).count() as u64;
+                local.post_max_sortable = segs
+                    .iter()
+                    .filter(|sg| !sg.all_equal)
+                    .map(|sg| sg.len as u32)
+                    .max()
+                    .unwrap_or(0);
+            }
+            None => local.post_max_sortable = local.pre_max,
+        }
+        report.lock().unwrap().merge(&local);
+
         // Stage 5: per-bucket sort, shared-memory only — no scattered
-        // global round-trip, the other fused win over Phase 3.
-        let buckets_per_thread = p.div_ceil(t_count);
+        // global round-trip, the other fused win over Phase 3. When a
+        // re-split ran, its refined segments replace the Z-row buckets:
+        // non-tie segments are ≤ limit by construction, and all-equal tie
+        // segments need no sort at all (equal keys are bit-identical).
+        let use_refined = refined.is_some();
+        let segments: Vec<(usize, usize, bool)> = match &refined {
+            Some(segs) => segs
+                .iter()
+                .map(|sg| (sg.start, sg.len, sg.all_equal))
+                .collect(),
+            None => (0..p)
+                .map(|j| (offsets[j], offsets[j + 1] - offsets[j], false))
+                .collect(),
+        };
+        let nseg = segments.len();
+        let segs_per_thread = nseg.div_ceil(t_count);
         let sort_cycles = AtomicU64::new(0);
         block.threads(|t| {
-            for sidx in 0..buckets_per_thread {
+            for sidx in 0..segs_per_thread {
                 let j = t.tid as usize + sidx * t_count;
-                if j >= p {
+                if j >= nseg {
                     break;
                 }
-                let start = offsets[j];
-                let len = offsets[j + 1] - start;
+                let (start, len, tie) = segments[j];
                 t.charge_shared(2);
                 t.charge_alu(4);
-                if adaptive && len > adaptive_cap {
+                if tie {
+                    continue; // all-equal segment: nothing to sort
+                }
+                if adaptive && !use_refined && len > adaptive_cap {
                     continue; // deferred to the cooperative pass below
                 }
                 if len < 2 {
@@ -674,7 +798,7 @@ fn fused_kernel<K: SortKey>(
                 );
             }
         });
-        if adaptive {
+        if adaptive && !use_refined {
             let oversized: Vec<(usize, usize)> = (0..p)
                 .map(|j| (offsets[j], offsets[j + 1] - offsets[j]))
                 .filter(|&(_, len)| len > adaptive_cap)
@@ -689,7 +813,7 @@ fn fused_kernel<K: SortKey>(
                 sort_cycles.fetch_add(len as u64 * 8, Ordering::Relaxed);
             }
         }
-        tally(4, sort_cycles.into_inner() + 6 * p as u64);
+        tally(4, sort_cycles.into_inner() + 6 * nseg as u64);
 
         // Stage 6: coalesced write-back of the sorted array and the Z row.
         block.threads(|t| {
@@ -712,6 +836,7 @@ fn fused_kernel<K: SortKey>(
             stages[4].load(Ordering::Relaxed),
             stages[5].load(Ordering::Relaxed),
         ],
+        report.into_inner().unwrap(),
     ))
 }
 
@@ -1005,6 +1130,100 @@ mod tests {
                 .unwrap();
             assert_eq!(gpu.timeline().kernels[0].name, name);
         }
+    }
+
+    /// Adversarial batch: every sampled slot holds the minimum, so the
+    /// paper's regular sample collapses while exact deterministic
+    /// selection does not.
+    fn collapse_batch(num: usize, n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..num * n)
+            .map(|i| {
+                if i % 10 == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(1.0f32..1e9)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn regular_policy_detects_fused_overflow_without_repair() {
+        let n = 1000;
+        let data = collapse_batch(8, n, 40);
+        let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+        let mut d = data.clone();
+        let stats = FusedSort::new().sort(&mut gpu, &mut d, n).unwrap();
+        assert!(cpu_ref::is_each_sorted(&d, n));
+        assert!(stats.overflow.overflowed_buckets >= 1);
+        assert!(stats.overflow.pre_max > stats.overflow.limit);
+        assert_eq!(stats.overflow.post_max_sortable, stats.overflow.pre_max);
+        assert_eq!(stats.overflow.resplit_rounds, 0);
+        let counted: u64 = gpu
+            .timeline()
+            .kernels
+            .iter()
+            .map(|k| k.counters.bucket_overflows)
+            .sum();
+        assert_eq!(counted, stats.overflow.overflowed_buckets);
+    }
+
+    #[test]
+    fn deterministic_policy_bounds_fused_buckets_on_every_strategy() {
+        let n = 1000;
+        let data = collapse_batch(8, n, 41);
+        let cfg = ArraySortConfig {
+            splitter_policy: SplitterPolicy::Deterministic,
+            ..Default::default()
+        };
+        for strategy in [
+            FusedStrategy::Histogram,
+            FusedStrategy::WarpMultisplit,
+            FusedStrategy::WarpConflictFree,
+        ] {
+            let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+            let mut d = data.clone();
+            let stats = FusedSort::with_config_and_strategy(cfg.clone(), strategy)
+                .unwrap()
+                .sort(&mut gpu, &mut d, n)
+                .unwrap();
+            assert!(cpu_ref::is_each_sorted(&d, n), "{strategy:?}");
+            assert!(
+                stats.overflow.post_max_sortable <= stats.overflow.limit,
+                "{strategy:?}: non-tie bound must hold after re-split: {:?}",
+                stats.overflow
+            );
+            if stats.overflow.overflowed_buckets > 0 {
+                assert!(stats.overflow.resplit_segments > 0, "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_fused_matches_three_kernel_bit_for_bit() {
+        let n = 1000;
+        let data = collapse_batch(6, n, 42);
+        let cfg = ArraySortConfig {
+            splitter_policy: SplitterPolicy::Deterministic,
+            ..Default::default()
+        };
+        let mut fused = data.clone();
+        let mut paper = data;
+        let mut g1 = Gpu::new(DeviceSpec::tesla_k40c());
+        FusedSort::with_config(cfg.clone())
+            .unwrap()
+            .sort(&mut g1, &mut fused, n)
+            .unwrap();
+        let mut g2 = Gpu::new(DeviceSpec::tesla_k40c());
+        GpuArraySort::with_config(cfg)
+            .unwrap()
+            .sort(&mut g2, &mut paper, n)
+            .unwrap();
+        assert_eq!(
+            fused.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            paper.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

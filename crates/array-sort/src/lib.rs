@@ -67,11 +67,12 @@ pub mod pairs;
 pub mod pipeline;
 pub mod ragged;
 pub mod recovery;
+pub mod resplit;
 pub mod sorting;
 pub mod splitters;
 
 pub use bucketing::{BalanceStats, StagingStrategy};
-pub use config::{ArraySortConfig, ConfigError};
+pub use config::{ArraySortConfig, ConfigError, SplitterPolicy};
 pub use fused::{FusedBreakdown, FusedPath, FusedSort, FusedStats, FusedStrategy};
 pub use geometry::{BatchGeometry, GasMemoryPlan};
 pub use key::SortKey;
@@ -86,4 +87,5 @@ pub use recovery::{
     checkpointed_attempt, recover_batch_with, sort_out_of_core_recovering,
     sort_ragged_with_recovery, ChunkRecovery, FailedAttempt, RecoveryReport, RetryPolicy,
 };
-pub use splitters::{bucket_index, Phase1Strategy};
+pub use resplit::{BucketSeg, OverflowReport, ResplitWork};
+pub use splitters::{bucket_index, deterministic_splitters, overflow_limit, Phase1Strategy};

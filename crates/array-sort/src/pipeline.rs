@@ -11,11 +11,12 @@ use gpu_sim::{DeviceBuffer, Gpu, SimError, SimResult};
 use serde::{Deserialize, Serialize};
 
 use crate::bucketing::{bucket_arrays, bucket_balance, BalanceStats, StagingStrategy};
-use crate::config::{ArraySortConfig, ConfigError};
+use crate::config::{ArraySortConfig, ConfigError, SplitterPolicy};
 use crate::geometry::{max_arrays, BatchGeometry, GasMemoryPlan};
 use crate::key::SortKey;
-use crate::sorting::sort_buckets;
-use crate::splitters::{select_splitters, Phase1Strategy};
+use crate::resplit::{detect_overflow, resplit_overflowing, BucketSeg, OverflowReport};
+use crate::sorting::sort_buckets_refined;
+use crate::splitters::{select_splitters_with, Phase1Strategy};
 
 /// The GPU-ArraySort algorithm, parameterized by an [`ArraySortConfig`].
 ///
@@ -56,10 +57,18 @@ pub struct GasStats {
     pub phase1_strategy: Phase1Strategy,
     /// Phase-2 staging path taken.
     pub staging: StagingStrategy,
-    /// Bucket-size distribution after Phase 2.
+    /// Bucket-size distribution after Phase 2 (pre-recovery: the `Z`
+    /// table's evidence, even when a re-split repaired it).
     pub balance: BalanceStats,
     /// Geometry the run used.
     pub geometry: BatchGeometry,
+    /// Re-split pass between Phases 2 and 3; 0 unless the deterministic
+    /// policy repaired an overflow.
+    #[serde(default)]
+    pub resplit_ms: f64,
+    /// Bucket-overflow detection (always on) and recovery accounting.
+    #[serde(default)]
+    pub overflow: OverflowReport,
 }
 
 impl GasStats {
@@ -68,9 +77,9 @@ impl GasStats {
         self.upload_ms + self.kernel_ms() + self.download_ms
     }
 
-    /// Device-side time only (the three kernel phases).
+    /// Device-side time only (the kernel phases, re-split included).
     pub fn kernel_ms(&self) -> f64 {
-        self.phase1_ms + self.phase2_ms + self.phase3_ms
+        self.phase1_ms + self.phase2_ms + self.resplit_ms + self.phase3_ms
     }
 }
 
@@ -88,14 +97,21 @@ pub struct DeviceRunStats {
     pub phase1_strategy: Phase1Strategy,
     /// Phase-2 staging path taken.
     pub staging: StagingStrategy,
-    /// Bucket-size distribution after Phase 2.
+    /// Bucket-size distribution after Phase 2 (pre-recovery).
     pub balance: BalanceStats,
+    /// Re-split pass between Phases 2 and 3; 0 unless the deterministic
+    /// policy repaired an overflow.
+    #[serde(default)]
+    pub resplit_ms: f64,
+    /// Bucket-overflow detection (always on) and recovery accounting.
+    #[serde(default)]
+    pub overflow: OverflowReport,
 }
 
 impl DeviceRunStats {
     /// Total kernel time.
     pub fn kernel_ms(&self) -> f64 {
-        self.phase1_ms + self.phase2_ms + self.phase3_ms
+        self.phase1_ms + self.phase2_ms + self.resplit_ms + self.phase3_ms
     }
 }
 
@@ -185,6 +201,8 @@ impl GpuArraySort {
             staging: dev.staging,
             balance: dev.balance,
             geometry: geom,
+            resplit_ms: dev.resplit_ms,
+            overflow: dev.overflow,
         })
     }
 
@@ -212,17 +230,34 @@ impl GpuArraySort {
         let sbuf: DeviceBuffer<K> = gpu.alloc(geom.splitter_table_len())?;
         let mut zbuf: DeviceBuffer<u32> = gpu.alloc(geom.bucket_table_len())?;
 
+        let policy = self.config.splitter_policy;
         let t0 = gpu.elapsed_ms();
         let s1 = gpu.begin_span("gas/phase1-splitters");
-        let (_, phase1_strategy) = select_splitters(gpu, data, &sbuf, geom)?;
+        let (_, phase1_strategy) = select_splitters_with(gpu, data, &sbuf, geom, policy)?;
         gpu.end_span(s1);
         let t1 = gpu.elapsed_ms();
         let s2 = gpu.begin_span("gas/phase2-bucket-scatter");
         let outcome = bucket_arrays(gpu, data, &sbuf, &zbuf, geom, &self.config)?;
         gpu.end_span(s2);
         let t2 = gpu.elapsed_ms();
+
+        // Overflow detection is always on; the deterministic policy also
+        // arms the bounded recursive re-split of overflowing buckets, so
+        // Phase 3 never receives an oversized non-tie segment.
+        let zhost: Vec<u32> = zbuf.as_slice().to_vec();
+        let mut overflow = detect_overflow(&zhost, geom);
+        let mut refined: Vec<Option<Vec<BucketSeg>>> = Vec::new();
+        if policy == SplitterPolicy::Deterministic && overflow.overflowed_buckets > 0 {
+            let sr = gpu.begin_span("gas/resplit");
+            let out = resplit_overflowing(gpu, data, &zhost, geom)?;
+            gpu.end_span(sr);
+            overflow = out.report;
+            refined = out.segments;
+        }
+        let t2r = gpu.elapsed_ms();
+
         let s3 = gpu.begin_span("gas/phase3-bucket-sort");
-        sort_buckets(gpu, data, &zbuf, geom, &self.config)?;
+        sort_buckets_refined(gpu, data, &zbuf, geom, &self.config, refined)?;
         gpu.end_span(s3);
         let t3 = gpu.elapsed_ms();
 
@@ -232,10 +267,12 @@ impl GpuArraySort {
             DeviceRunStats {
                 phase1_ms: t1 - t0,
                 phase2_ms: t2 - t1,
-                phase3_ms: t3 - t2,
+                phase3_ms: t3 - t2r,
                 phase1_strategy,
                 staging: outcome.staging,
                 balance,
+                resplit_ms: t2r - t2,
+                overflow,
             },
             peak,
         ))
@@ -409,6 +446,129 @@ mod tests {
             "span durations {total} must sum to elapsed {}",
             g.elapsed_ms()
         );
+    }
+
+    /// Adversarial input for regular sampling: every sampled position
+    /// (stride n/s = 10 with the defaults) holds the minimum value, so
+    /// the splitters collapse and one bucket swallows ~90 % of the array.
+    fn splitter_collapse(n: usize) -> Vec<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        (0..n)
+            .map(|i| {
+                if i % 10 == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(1.0f32..1e9)
+                }
+            })
+            .collect()
+    }
+
+    fn det_sorter() -> GpuArraySort {
+        GpuArraySort::with_config(ArraySortConfig {
+            splitter_policy: crate::config::SplitterPolicy::Deterministic,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn regular_sampling_detects_but_does_not_repair_overflow() {
+        let mut g = gpu();
+        let n = 1000;
+        let mut data = splitter_collapse(n);
+        let mut expect = data.clone();
+        let stats = GpuArraySort::new().sort(&mut g, &mut data, n).unwrap();
+        expect.sort_by(f32::total_cmp);
+        assert_eq!(data, expect, "correctness never depends on balance");
+        assert!(stats.overflow.overflowed_buckets >= 1);
+        assert!(stats.overflow.pre_max > stats.overflow.limit);
+        assert_eq!(
+            stats.overflow.post_max_sortable, stats.overflow.pre_max,
+            "detection only: the blown bucket reaches Phase 3 unrepaired"
+        );
+        assert_eq!(
+            stats.resplit_ms, 0.0,
+            "no re-split pass under the paper's policy"
+        );
+    }
+
+    #[test]
+    fn deterministic_policy_repairs_overflow_and_still_sorts() {
+        let mut g = gpu();
+        let n = 1000;
+        let mut data = splitter_collapse(n);
+        let mut expect = data.clone();
+        let stats = det_sorter().sort(&mut g, &mut data, n).unwrap();
+        expect.sort_by(f32::total_cmp);
+        assert_eq!(data, expect);
+        // The ~100 zeros form an all-equal run that no value-based
+        // splitter can cut: it overflows the 2·⌈n/p⌉ = 40 limit, the
+        // re-split quarantines it as a tie segment, and every non-tie
+        // segment Phase 3 receives respects the bound.
+        assert!(
+            stats.overflow.post_max_sortable <= stats.overflow.limit,
+            "non-tie segments must respect 2·⌈n/p⌉: {:?}",
+            stats.overflow
+        );
+        if stats.overflow.overflowed_buckets > 0 {
+            assert!(stats.resplit_ms > 0.0, "recovery work is on the bill");
+            assert!(stats.overflow.resplit_segments > 0);
+            assert!(stats.kernel_ms() >= stats.resplit_ms);
+        }
+    }
+
+    #[test]
+    fn deterministic_policy_has_no_overflow_on_uniform_data() {
+        let mut g = gpu();
+        let (num, n) = (30, 1000);
+        let mut data = random(num, n, 21);
+        let mut expect = data.clone();
+        let stats = det_sorter().sort(&mut g, &mut data, n).unwrap();
+        for seg in expect.chunks_mut(n) {
+            seg.sort_by(f32::total_cmp);
+        }
+        assert_eq!(data, expect);
+        assert_eq!(
+            stats.overflow.overflowed_buckets, 0,
+            "deterministic selection bounds every bucket on distinct keys"
+        );
+        assert_eq!(stats.resplit_ms, 0.0);
+        assert!(stats.overflow.post_max_sortable <= stats.overflow.limit);
+    }
+
+    #[test]
+    fn deterministic_policy_handles_all_equal_and_adversarial_batches() {
+        let mut g = gpu();
+        let n = 200;
+        let sorter = det_sorter();
+        let mut batches: Vec<Vec<f32>> = vec![
+            vec![5.0; n * 3],
+            (0..n * 3).map(|i| (i % 4) as f32).collect(),
+            (0..n * 3).map(|i| i as f32).collect(),
+            (0..n * 3).rev().map(|i| i as f32).collect(),
+        ];
+        let mut special: Vec<f32> = (0..n * 3).map(|i| i as f32).collect();
+        special[7] = f32::NAN;
+        special[100] = f32::INFINITY;
+        special[333] = f32::NEG_INFINITY;
+        batches.push(special);
+
+        for mut data in batches.drain(..) {
+            let mut expect = data.clone();
+            let stats = sorter.sort(&mut g, &mut data, n).unwrap();
+            for seg in expect.chunks_mut(n) {
+                seg.sort_by(f32::total_cmp);
+            }
+            let a: Vec<u32> = data.iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = expect.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b);
+            assert!(
+                stats.overflow.post_max_sortable <= stats.overflow.limit,
+                "bound must hold on every adversarial batch: {:?}",
+                stats.overflow
+            );
+        }
     }
 
     #[test]

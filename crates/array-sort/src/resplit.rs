@@ -1,0 +1,532 @@
+//! Bounded recursive re-split of overflowing buckets.
+//!
+//! The paper's Phase 2 assigns one thread group per bucket and assumes
+//! splitter selection kept every bucket near `n/p`. On adversarial data
+//! that assumption fails: a collapsed sample can put almost the whole
+//! array into one bucket, silently degrading Phase 3 to a single
+//! quadratic thread. This module is the recovery half of the
+//! [`crate::config::SplitterPolicy::Deterministic`] contract: any bucket
+//! whose count exceeds the Dehne–Zaboli limit
+//! ([`crate::splitters::overflow_limit`], `2·⌈n/p⌉`) is **detected** (an
+//! observable, counted event — see
+//! [`gpu_sim::Counters::bucket_overflows`]) and repaired by a bounded
+//! recursive re-split before the bucket sort runs.
+//!
+//! The re-split is *tie-aware*: no value-based splitter can cut a run of
+//! equal keys, so each round classifies elements into alternating *open*
+//! intervals (strictly between two chosen splitter values) and *equality*
+//! classes (exactly a chosen value). Equality classes become final
+//! **tie segments** — they may exceed the limit, but they are all-equal,
+//! which insertion sort handles in linear time (zero inversions), so the
+//! worst-case Phase-3 projection stays honest. Open intervals recurse;
+//! every element equal to a chosen splitter leaves the open mass, so the
+//! recursion strictly shrinks and terminates. If the depth bound is ever
+//! exhausted (unreachable in practice; kept as a hard guarantee), the
+//! remaining segment is fully sorted and emitted as consecutive
+//! `≤ limit` chunks, so the final invariant holds unconditionally:
+//! **every non-tie segment holds at most `limit` elements.**
+
+use std::sync::Mutex;
+
+use gpu_sim::{AccessPattern, DeviceBuffer, Gpu, KernelStats, LaunchConfig, SimResult};
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::BatchGeometry;
+use crate::insertion::simulated_insertion_sort;
+use crate::key::SortKey;
+use crate::splitters::{deterministic_splitters, overflow_limit};
+
+/// Recursion bound for [`resplit_bucket`]. Each round strictly shrinks
+/// the open mass, and the terminal sort guarantees the segment bound even
+/// if the depth runs out, so this only caps pathological round counts.
+pub const RESPLIT_MAX_DEPTH: usize = 4;
+
+/// One final sortable segment of an array after overflow recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketSeg {
+    /// Offset of the segment inside its array.
+    pub start: usize,
+    /// Elements in the segment.
+    pub len: usize,
+    /// Every element equal (a *tie* segment): unsplittable by any
+    /// value-based splitter, but linear to insertion-sort, so it is the
+    /// one kind of segment allowed to exceed the overflow limit.
+    pub all_equal: bool,
+}
+
+/// Exact work of one re-split, for cycle charging by the kernel that
+/// hosts it (the work is real — the same counts a device implementation
+/// would execute).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResplitWork {
+    /// Element moves (each one shared read + one shared write).
+    pub moves: u64,
+    /// Key comparisons (classification probes + sub-splitter selection).
+    pub comparisons: u64,
+    /// Re-split rounds executed across the recursion.
+    pub rounds: u64,
+    /// Depth-exhausted terminal sorts (expected to stay 0; counted so a
+    /// pathological input is visible, never silent).
+    pub forced_sorts: u64,
+}
+
+impl ResplitWork {
+    /// Accumulates another re-split's work.
+    pub fn add(&mut self, other: ResplitWork) {
+        self.moves += other.moves;
+        self.comparisons += other.comparisons;
+        self.rounds += other.rounds;
+        self.forced_sorts += other.forced_sorts;
+    }
+}
+
+/// Overflow detection + recovery accounting for one run. Attached to the
+/// run stats of every variant (`GasStats`, `FusedStats`), so overflow is
+/// always observable in reports, never a silent slow path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverflowReport {
+    /// The bucket-size bound `2·⌈n/p⌉` the run was checked against.
+    pub limit: u32,
+    /// Buckets whose Phase-2 count exceeded the limit (summed over
+    /// arrays; also recorded in [`gpu_sim::Counters::bucket_overflows`]).
+    pub overflowed_buckets: u64,
+    /// Arrays with at least one overflowing bucket.
+    pub overflowed_arrays: u64,
+    /// Re-split rounds executed (0 when nothing overflowed or the policy
+    /// leaves overflow unrepaired).
+    pub resplit_rounds: u64,
+    /// Final segments produced by re-splitting (0 when no re-split ran).
+    pub resplit_segments: u64,
+    /// All-equal tie segments among them (the only segments allowed to
+    /// exceed the limit).
+    pub tie_segments: u64,
+    /// Largest bucket count before recovery (= the balance max).
+    pub pre_max: u32,
+    /// Largest *non-tie* segment the bucket sort actually received. Under
+    /// the deterministic policy this is ≤ `limit` by construction; under
+    /// the paper's policy it equals `pre_max` (detection only).
+    pub post_max_sortable: u32,
+}
+
+impl OverflowReport {
+    /// Folds another array's/chunk's report into this one (limits are
+    /// per-shape; keep the largest seen).
+    pub fn merge(&mut self, other: &OverflowReport) {
+        self.limit = self.limit.max(other.limit);
+        self.overflowed_buckets += other.overflowed_buckets;
+        self.overflowed_arrays += other.overflowed_arrays;
+        self.resplit_rounds += other.resplit_rounds;
+        self.resplit_segments += other.resplit_segments;
+        self.tie_segments += other.tie_segments;
+        self.pre_max = self.pre_max.max(other.pre_max);
+        self.post_max_sortable = self.post_max_sortable.max(other.post_max_sortable);
+    }
+}
+
+fn is_all_equal<K: SortKey>(slice: &[K], work: &mut ResplitWork) -> bool {
+    work.comparisons += slice.len().saturating_sub(1) as u64;
+    slice.windows(2).all(|w| !w[0].lt(w[1]) && !w[1].lt(w[0]))
+}
+
+/// Recursively re-splits one overflowing bucket in place (stably),
+/// appending the final segments it decomposes into. `base` is the
+/// absolute offset of `slice[0]` within its array.
+pub fn resplit_bucket<K: SortKey>(
+    slice: &mut [K],
+    base: usize,
+    limit: usize,
+    depth: usize,
+    segs: &mut Vec<BucketSeg>,
+    work: &mut ResplitWork,
+) {
+    let m = slice.len();
+    if m <= limit.max(1) {
+        segs.push(BucketSeg {
+            start: base,
+            len: m,
+            all_equal: false,
+        });
+        return;
+    }
+    if is_all_equal(slice, work) {
+        segs.push(BucketSeg {
+            start: base,
+            len: m,
+            all_equal: true,
+        });
+        return;
+    }
+    if depth == 0 {
+        // Depth exhausted: sort the segment outright and emit it as
+        // consecutive ≤ limit chunks (a sorted run split at any points
+        // stays sorted), so the non-tie bound holds unconditionally.
+        work.forced_sorts += 1;
+        let w = simulated_insertion_sort(slice);
+        work.comparisons += w.comparisons;
+        work.moves += w.moves;
+        let mut start = 0;
+        while start < m {
+            let len = limit.min(m - start);
+            segs.push(BucketSeg {
+                start: base + start,
+                len,
+                all_equal: false,
+            });
+            start += len;
+        }
+        return;
+    }
+    work.rounds += 1;
+
+    // Deterministic sub-splitters sized so open intervals target half the
+    // limit: `2m/sub_p ≤ limit`.
+    let sub_p = (2 * m).div_ceil(limit).max(2);
+    let (mut vals, det) = deterministic_splitters(slice, sub_p, 2 * sub_p);
+    work.comparisons += det.tile_sort.comparisons + det.candidate_sort.comparisons;
+    work.moves += det.tile_sort.moves + det.candidate_sort.moves;
+    // Distinct splitter values only: duplicates would make empty classes.
+    vals.dedup_by(|a, b| !a.lt(*b) && !b.lt(*a));
+    let k = vals.len();
+    debug_assert!(k >= 1, "a non-all-equal slice yields at least one value");
+
+    // Three-way stable classification: class 2i = open interval below
+    // vals[i] (or above the last), class 2i+1 = exactly vals[i].
+    let classes = 2 * k + 1;
+    let probes = (classes.next_power_of_two().trailing_zeros().max(1)) as u64;
+    work.comparisons += m as u64 * probes;
+    let class_of = |x: K| -> usize {
+        let hi = vals.partition_point(|&v| v.le(x));
+        if hi > 0 && !vals[hi - 1].lt(x) {
+            2 * (hi - 1) + 1
+        } else {
+            2 * hi
+        }
+    };
+    let mut counts = vec![0usize; classes];
+    for &x in slice.iter() {
+        counts[class_of(x)] += 1;
+    }
+    let mut offsets = vec![0usize; classes + 1];
+    for c in 0..classes {
+        offsets[c + 1] = offsets[c] + counts[c];
+    }
+    let mut staged = slice.to_vec();
+    let mut cursor = offsets.clone();
+    for &x in slice.iter() {
+        let c = class_of(x);
+        staged[cursor[c]] = x;
+        cursor[c] += 1;
+    }
+    slice.copy_from_slice(&staged);
+    work.moves += 2 * m as u64;
+
+    for c in 0..classes {
+        let (lo, hi) = (offsets[c], offsets[c + 1]);
+        if lo == hi {
+            continue;
+        }
+        if c % 2 == 1 {
+            // Equality class: a final tie segment, however large.
+            segs.push(BucketSeg {
+                start: base + lo,
+                len: hi - lo,
+                all_equal: true,
+            });
+        } else {
+            resplit_bucket(&mut slice[lo..hi], base + lo, limit, depth - 1, segs, work);
+        }
+    }
+}
+
+/// Detection-only overflow report from a host copy of the `Z` table: no
+/// repair, so `post_max_sortable` equals `pre_max`. This is what the
+/// paper's regular-sampling policy reports (overflow observable, not
+/// fixed), and the pre-launch check the deterministic policy uses to
+/// decide whether a re-split pass is needed at all.
+pub fn detect_overflow(z: &[u32], geom: &BatchGeometry) -> OverflowReport {
+    let p = geom.buckets_per_array;
+    let limit = overflow_limit(geom.array_len, p);
+    let mut report = OverflowReport {
+        limit: limit as u32,
+        ..Default::default()
+    };
+    for i in 0..geom.num_arrays {
+        let row = &z[geom.bucket_offset(i)..geom.bucket_offset(i) + p];
+        let mx = row.iter().copied().max().unwrap_or(0);
+        report.pre_max = report.pre_max.max(mx);
+        let over = row.iter().filter(|&&c| c as usize > limit).count();
+        if over > 0 {
+            report.overflowed_buckets += over as u64;
+            report.overflowed_arrays += 1;
+        }
+    }
+    report.post_max_sortable = report.pre_max;
+    report
+}
+
+/// Result of [`resplit_overflowing`].
+#[derive(Debug)]
+pub struct ResplitOutcome {
+    /// Per-array refined segment lists: `Some` replaces the array's `Z`
+    /// row for Phase 3, `None` means the row stands (no overflow there).
+    pub segments: Vec<Option<Vec<BucketSeg>>>,
+    /// Aggregated detection + recovery accounting.
+    pub report: OverflowReport,
+    /// Stats of the `gas_resplit` launch (`None` when nothing overflowed
+    /// and no kernel ran).
+    pub kernel: Option<KernelStats>,
+}
+
+/// Launches the `gas_resplit` kernel over every array whose `Z` row holds
+/// a bucket beyond `2·⌈n/p⌉`: one block per overflowing array, the lone
+/// worker thread re-splitting in shared scratch. Arrays within the bound
+/// are untouched and pay nothing. `z` is the host copy of the `Z` table
+/// (the counts are *not* rewritten — `BalanceStats` and the `Z` table
+/// stay pre-recovery evidence; the refined segments feed Phase 3
+/// directly).
+pub fn resplit_overflowing<K: SortKey>(
+    gpu: &mut Gpu,
+    data: &DeviceBuffer<K>,
+    z: &[u32],
+    geom: &BatchGeometry,
+) -> SimResult<ResplitOutcome> {
+    let n = geom.array_len;
+    let p = geom.buckets_per_array;
+    let limit = overflow_limit(n, p);
+    let mut report = detect_overflow(z, geom);
+    let over_arrays: Vec<usize> = (0..geom.num_arrays)
+        .filter(|&i| {
+            z[geom.bucket_offset(i)..geom.bucket_offset(i) + p]
+                .iter()
+                .any(|&c| c as usize > limit)
+        })
+        .collect();
+    let mut segments: Vec<Option<Vec<BucketSeg>>> = vec![None; geom.num_arrays];
+    if over_arrays.is_empty() {
+        return Ok(ResplitOutcome {
+            segments,
+            report,
+            kernel: None,
+        });
+    }
+    // Repair pass: post_max is re-derived below from what Phase 3 will
+    // actually receive — clean arrays keep their Z maxima, re-split
+    // arrays contribute their largest non-tie segment.
+    report.post_max_sortable = 0;
+    for i in 0..geom.num_arrays {
+        if !over_arrays.contains(&i) {
+            let mx = z[geom.bucket_offset(i)..geom.bucket_offset(i) + p]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0);
+            report.post_max_sortable = report.post_max_sortable.max(mx);
+        }
+    }
+
+    let elem_bytes = K::ELEM_BYTES;
+    let shared_want = (n * elem_bytes as usize).min(gpu.spec().shared_mem_per_block as usize);
+    let cfg = LaunchConfig::grid(over_arrays.len() as u32, 1).with_shared(shared_want as u32);
+    let dv = data.view();
+    let zrows: Vec<Vec<u32>> = over_arrays
+        .iter()
+        .map(|&i| z[geom.bucket_offset(i)..geom.bucket_offset(i) + p].to_vec())
+        .collect();
+    let over = over_arrays.clone();
+    let results: Mutex<Vec<(usize, Vec<BucketSeg>, ResplitWork)>> =
+        Mutex::new(Vec::with_capacity(over_arrays.len()));
+
+    let stats = gpu.launch("gas_resplit", cfg, |block| {
+        let b = block.block_idx() as usize;
+        let i = over[b];
+        let counts = &zrows[b];
+        // SAFETY: each block exclusively owns array i's range of data.
+        let arr = unsafe { dv.slice_mut(i * n, n) };
+        let mut work = ResplitWork::default();
+        let segs = resplit_array(arr, counts, limit, &mut work);
+        let over_elems: u64 = counts
+            .iter()
+            .filter(|&&c| c as usize > limit)
+            .map(|&c| c as u64)
+            .sum();
+        block.one_thread(|t| {
+            // Overflowing buckets round-trip through the shared scratch:
+            // one sequential global read + write-back each.
+            t.charge_global(over_elems, elem_bytes, AccessPattern::SingleLaneSequential);
+            t.charge_global(over_elems, elem_bytes, AccessPattern::SingleLaneSequential);
+            // The recursive classification/selection work, at the same
+            // rates as the insertion-sort charges (2 shared + 1 ALU per
+            // compare, 1 shared per move).
+            t.charge_shared(2 * work.comparisons + work.moves);
+            t.charge_alu(work.comparisons);
+        });
+        results.lock().unwrap().push((i, segs, work));
+    })?;
+
+    for (i, segs, work) in results.into_inner().unwrap() {
+        report.resplit_rounds += work.rounds;
+        report.resplit_segments += segs.len() as u64;
+        for s in &segs {
+            if s.all_equal {
+                report.tie_segments += 1;
+            } else {
+                report.post_max_sortable = report.post_max_sortable.max(s.len as u32);
+            }
+        }
+        segments[i] = Some(segs);
+    }
+    Ok(ResplitOutcome {
+        segments,
+        report,
+        kernel: Some(stats),
+    })
+}
+
+/// Re-splits every overflowing bucket of one array given its Z-table
+/// counts, returning the refined segment list covering the whole array.
+/// Buckets within the limit pass through as single segments.
+pub fn resplit_array<K: SortKey>(
+    arr: &mut [K],
+    counts: &[u32],
+    limit: usize,
+    work: &mut ResplitWork,
+) -> Vec<BucketSeg> {
+    let mut segs = Vec::with_capacity(counts.len() + 4);
+    let mut start = 0usize;
+    for &c in counts {
+        let len = c as usize;
+        if len > limit {
+            resplit_bucket(
+                &mut arr[start..start + len],
+                start,
+                limit,
+                RESPLIT_MAX_DEPTH,
+                &mut segs,
+                work,
+            );
+        } else if len > 0 {
+            segs.push(BucketSeg {
+                start,
+                len,
+                all_equal: false,
+            });
+        }
+        start += len;
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_sorted(arr: &[f32], segs: &[BucketSeg]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(arr.len());
+        for s in segs {
+            let mut part = arr[s.start..s.start + s.len].to_vec();
+            part.sort_by(|a, b| a.total_cmp(b));
+            out.extend(part);
+        }
+        out
+    }
+
+    #[test]
+    fn within_limit_buckets_pass_through() {
+        let mut arr: Vec<f32> = (0..40).map(|x| x as f32).collect();
+        let counts = [20u32, 20];
+        let mut work = ResplitWork::default();
+        let segs = resplit_array(&mut arr, &counts, 40, &mut work);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(work.rounds, 0);
+        assert!(segs.iter().all(|s| !s.all_equal && s.len == 20));
+    }
+
+    #[test]
+    fn overflowing_bucket_is_cut_below_the_limit() {
+        // One bucket holding the whole (distinct-valued) array.
+        let n = 400;
+        let mut arr: Vec<f32> = (0..n).rev().map(|x| x as f32).collect();
+        let counts = [n as u32];
+        let limit = 40;
+        let mut work = ResplitWork::default();
+        let segs = resplit_array(&mut arr, &counts, limit, &mut work);
+        assert!(work.rounds >= 1);
+        assert!(
+            segs.iter().all(|s| s.all_equal || s.len <= limit),
+            "non-tie segments must respect the limit: {segs:?}"
+        );
+        // Segment-local sorting must equal the global sort: segments
+        // partition the value range in order.
+        let mut want = arr.clone();
+        want.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(collect_sorted(&arr, &segs), want);
+        // Coverage: segments tile the array exactly.
+        let total: usize = segs.iter().map(|s| s.len).sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn duplicate_runs_become_tie_segments() {
+        // 90% one heavy value, 10% distinct: the heavy run cannot be cut
+        // by any splitter and must surface as an all-equal tie segment.
+        let mut arr: Vec<f32> = Vec::new();
+        for i in 0..500 {
+            arr.push(if i % 10 == 0 { i as f32 } else { 7.0 });
+        }
+        let counts = [arr.len() as u32];
+        let limit = 50;
+        let mut work = ResplitWork::default();
+        let segs = resplit_array(&mut arr, &counts, limit, &mut work);
+        let ties: Vec<_> = segs.iter().filter(|s| s.all_equal).collect();
+        assert!(
+            ties.iter().any(|s| s.len > limit),
+            "the heavy run exceeds the limit only as a tie segment: {segs:?}"
+        );
+        assert!(segs.iter().all(|s| s.all_equal || s.len <= limit));
+        let mut want = arr.clone();
+        want.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(collect_sorted(&arr, &segs), want);
+    }
+
+    #[test]
+    fn all_equal_bucket_is_one_tie_segment() {
+        let mut arr = vec![5.0f32; 300];
+        let counts = [300u32];
+        let mut work = ResplitWork::default();
+        let segs = resplit_array(&mut arr, &counts, 40, &mut work);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].all_equal);
+        assert_eq!(segs[0].len, 300);
+        assert_eq!(work.rounds, 0, "a tie bucket needs no re-split round");
+    }
+
+    #[test]
+    fn depth_zero_terminal_sort_still_bounds_segments() {
+        let mut arr: Vec<f32> = (0..200).rev().map(|x| x as f32).collect();
+        let mut work = ResplitWork::default();
+        let mut segs = Vec::new();
+        resplit_bucket(&mut arr, 0, 30, 0, &mut segs, &mut work);
+        assert_eq!(work.forced_sorts, 1);
+        assert!(segs.iter().all(|s| s.len <= 30));
+        // The terminal path sorts the data outright.
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn nan_and_negative_zero_survive_resplit() {
+        let mut arr: Vec<f32> = (0..100)
+            .map(|i| match i % 7 {
+                0 => f32::NAN,
+                1 => -0.0,
+                _ => (i as f32) * 3.5 - 100.0,
+            })
+            .collect();
+        let counts = [100u32];
+        let mut work = ResplitWork::default();
+        let segs = resplit_array(&mut arr, &counts, 10, &mut work);
+        let total: usize = segs.iter().map(|s| s.len).sum();
+        assert_eq!(total, 100);
+        let nans = arr.iter().filter(|x| x.is_nan()).count();
+        assert_eq!(nans, 15, "every NaN payload survives the moves");
+    }
+}

@@ -19,6 +19,7 @@ use crate::config::ArraySortConfig;
 use crate::geometry::BatchGeometry;
 use crate::insertion::charged_staged_insertion_sort;
 use crate::key::SortKey;
+use crate::resplit::BucketSeg;
 
 /// Cost charge (per thread) of a block-cooperative bitonic sort of `m`
 /// elements over `t_count` threads: O(m·log²m) compare-exchange steps,
@@ -41,6 +42,22 @@ pub fn sort_buckets<K: SortKey>(
     bucket_sizes: &DeviceBuffer<u32>,
     geom: &BatchGeometry,
     config: &ArraySortConfig,
+) -> SimResult<KernelStats> {
+    sort_buckets_refined(gpu, data, bucket_sizes, geom, config, Vec::new())
+}
+
+/// [`sort_buckets`] with overflow-recovery segment lists: arrays whose
+/// entry in `refined` is `Some` sort the re-split segments instead of
+/// their `Z` row (tie segments — certified all-equal by the re-split —
+/// are skipped: already sorted by definition). An empty `refined` (or
+/// all-`None`) is exactly [`sort_buckets`].
+pub fn sort_buckets_refined<K: SortKey>(
+    gpu: &mut Gpu,
+    data: &DeviceBuffer<K>,
+    bucket_sizes: &DeviceBuffer<u32>,
+    geom: &BatchGeometry,
+    config: &ArraySortConfig,
+    refined: Vec<Option<Vec<BucketSeg>>>,
 ) -> SimResult<KernelStats> {
     assert_eq!(
         data.len(),
@@ -74,6 +91,34 @@ pub fn sort_buckets<K: SortKey>(
         let zrow = geom.bucket_offset(i);
         let t_count = threads as usize;
         let buckets_per_thread = p.div_ceil(t_count);
+
+        // Overflow-recovery path: this array was re-split, so its bucket
+        // list is the refined segment table, not the Z row. Tie segments
+        // are certified all-equal and skipped outright.
+        if let Some(Some(segs)) = refined.get(i) {
+            let seg_count = segs.len();
+            let per_thread = seg_count.div_ceil(t_count);
+            block.threads(|t| {
+                for s in 0..per_thread {
+                    let j = t.tid as usize + s * t_count;
+                    if j >= seg_count {
+                        break;
+                    }
+                    let seg = segs[j];
+                    // Segment-table read + pointer derivation.
+                    t.charge_global(1, 8, AccessPattern::Coalesced);
+                    t.charge_alu(4);
+                    if seg.all_equal || seg.len < 2 {
+                        continue;
+                    }
+                    // SAFETY: segments are disjoint ranges of array i,
+                    // each owned by exactly one (block, thread).
+                    let bucket = unsafe { dv.slice_mut(base + seg.start, seg.len) };
+                    charged_staged_insertion_sort(t, bucket);
+                }
+            });
+            return;
+        }
 
         // Bucket offsets from the Z table (prefix sum), computed once per
         // block; the device derives these the same way ("pointers to each

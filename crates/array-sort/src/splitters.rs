@@ -20,8 +20,9 @@
 use gpu_sim::{AccessPattern, DeviceBuffer, Gpu, KernelStats, LaunchConfig, SimResult};
 use serde::{Deserialize, Serialize};
 
+use crate::config::SplitterPolicy;
 use crate::geometry::BatchGeometry;
-use crate::insertion::simulated_insertion_sort;
+use crate::insertion::{charge_insertion_work, simulated_insertion_sort, InsertionWork};
 use crate::key::SortKey;
 
 /// How Phase 1 reads its array.
@@ -54,6 +55,100 @@ pub fn bucket_index<K: SortKey>(bounds: &[K], x: K) -> usize {
     hi.saturating_sub(1).min(p - 1)
 }
 
+/// The Dehne–Zaboli bucket-size bound: with deterministic splitter
+/// selection over `p` buckets, no bucket (up to duplicate runs of a
+/// single value) holds more than `2·⌈n/p⌉` elements. Any bucket above
+/// this limit is an **overflow** — always detected and counted,
+/// regardless of policy ([`gpu_sim::Counters::bucket_overflows`]).
+#[inline]
+pub fn overflow_limit(array_len: usize, buckets: usize) -> usize {
+    2 * array_len.div_ceil(buckets.max(1))
+}
+
+/// Exact device work of one deterministic splitter selection, for cycle
+/// charging by the kernel hosting it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeterministicWork {
+    /// Summed insertion work of the `p` per-tile sorts.
+    pub tile_sort: InsertionWork,
+    /// Work of merging the presorted per-tile candidate runs: `c·⌈log₂p⌉`
+    /// comparisons (a `p`-way tournament merge) plus one move per
+    /// candidate, expressed as [`InsertionWork`] so the standard charge
+    /// helper applies.
+    pub candidate_sort: InsertionWork,
+    /// Candidates gathered across all tiles.
+    pub candidates: usize,
+}
+
+/// Dehne–Zaboli deterministic splitter selection over one array: split
+/// into `p` tiles of `⌈n/p⌉`, sort each tile, take `s/p` equidistant
+/// candidates per sorted tile (the upper end of each equal-rank stripe),
+/// merge and sort the candidate sets, then pick every `(c/p)`-th
+/// candidate as a splitter, advancing past duplicates so no splitter
+/// repeats while a strictly greater candidate remains.
+///
+/// Returns the `p − 1` interior splitter values (ascending) plus the
+/// exact work done, so both the three-kernel Phase 1 and the fused
+/// kernel's Stage 2 share one implementation and one set of charges.
+pub fn deterministic_splitters<K: SortKey>(
+    arr: &[K],
+    p: usize,
+    s: usize,
+) -> (Vec<K>, DeterministicWork) {
+    let n = arr.len();
+    let mut work = DeterministicWork::default();
+    if p <= 1 || n == 0 {
+        return (Vec::new(), work);
+    }
+    let tile_len = n.div_ceil(p);
+    // Candidates per tile: every (s/p)-th element, raised to min(m, p) so
+    // the bound has full strength — the classical regular-sampling bound
+    // needs ~p candidates per tile, and with the paper's 20-element
+    // buckets (tile ≤ p) that means every tile element is a candidate and
+    // the merged picks are exact order statistics of the array.
+    let per_tile = (s / p).max(1).max(p.min(tile_len));
+    let mut candidates: Vec<K> = Vec::with_capacity(per_tile * p);
+    for tile in arr.chunks(tile_len) {
+        let mut sorted = tile.to_vec();
+        work.tile_sort.add(simulated_insertion_sort(&mut sorted));
+        let m = sorted.len();
+        let q = per_tile.min(m);
+        for k in 1..=q {
+            // Upper end of the k-th of q equal-width rank stripes; the
+            // last candidate is the tile maximum.
+            candidates.push(sorted[k * m / q - 1]);
+        }
+    }
+    let c = candidates.len();
+    work.candidates = c;
+    // The tiles emit their candidates already sorted, so the device runs
+    // a p-way merge, not a comparison sort: c·⌈log₂p⌉ compares, one move
+    // per candidate.
+    let log_p = (usize::BITS - (p - 1).leading_zeros()).max(1) as u64;
+    work.candidate_sort = InsertionWork {
+        comparisons: c as u64 * log_p,
+        moves: c as u64,
+    };
+    candidates.sort_by(|a, b| a.total_order(*b));
+    let mut picks: Vec<K> = Vec::with_capacity(p - 1);
+    for j in 1..p {
+        let mut idx = (j * c / p).min(c - 1);
+        if let Some(&prev) = picks.last() {
+            // A splitter equal to its predecessor would cut nothing (the
+            // shared bucket_index folds equal boundaries): advance to the
+            // next strictly greater candidate when one exists.
+            while idx < c && !prev.lt(candidates[idx]) {
+                idx += 1;
+            }
+            if idx >= c {
+                idx = c - 1; // no greater candidate: trailing buckets empty
+            }
+        }
+        picks.push(candidates[idx]);
+    }
+    (picks, work)
+}
+
 /// Picks the strategy for `geom` on the current device.
 pub fn phase1_strategy<K: SortKey>(geom: &BatchGeometry, gpu: &Gpu) -> Phase1Strategy {
     let sample_bytes = geom.samples_per_array as u64 * K::ELEM_BYTES as u64;
@@ -65,7 +160,8 @@ pub fn phase1_strategy<K: SortKey>(geom: &BatchGeometry, gpu: &Gpu) -> Phase1Str
     }
 }
 
-/// Runs the splitter-selection kernel: fills `splitters` (layout per
+/// Runs the splitter-selection kernel with the paper's regular-sampling
+/// policy: fills `splitters` (layout per
 /// [`BatchGeometry::splitter_offset`]) from `data`.
 pub fn select_splitters<K: SortKey>(
     gpu: &mut Gpu,
@@ -73,6 +169,24 @@ pub fn select_splitters<K: SortKey>(
     splitters: &DeviceBuffer<K>,
     geom: &BatchGeometry,
 ) -> SimResult<(KernelStats, Phase1Strategy)> {
+    select_splitters_with(gpu, data, splitters, geom, SplitterPolicy::RegularSample)
+}
+
+/// Runs the splitter-selection kernel for the requested policy. The
+/// regular-sampling path is byte-identical to [`select_splitters`]; the
+/// deterministic path launches `gas_phase1_splitters_det`, which stages
+/// and tile-sorts the *whole* array (the price of the guarantee) before
+/// merging candidates.
+pub fn select_splitters_with<K: SortKey>(
+    gpu: &mut Gpu,
+    data: &DeviceBuffer<K>,
+    splitters: &DeviceBuffer<K>,
+    geom: &BatchGeometry,
+    policy: SplitterPolicy,
+) -> SimResult<(KernelStats, Phase1Strategy)> {
+    if policy == SplitterPolicy::Deterministic {
+        return select_splitters_det(gpu, data, splitters, geom);
+    }
     assert_eq!(
         data.len(),
         geom.total_elems(),
@@ -142,6 +256,84 @@ pub fn select_splitters<K: SortKey>(
             sv.set(row + p, K::max_sentinel());
             t.charge_shared((p - 1) as u64);
             t.charge_alu(2 * (p - 1) as u64);
+            t.charge_global((p + 1) as u64, K::ELEM_BYTES, AccessPattern::Scattered);
+        });
+    })?;
+    Ok((stats, strategy))
+}
+
+/// The deterministic Phase-1 kernel. Same block geometry and S-table
+/// layout as the sampling kernel; the lone worker thread per block
+/// tile-sorts the staged array in shared scratch, gathers and sorts the
+/// candidate set, and writes the bracketed boundary row.
+fn select_splitters_det<K: SortKey>(
+    gpu: &mut Gpu,
+    data: &DeviceBuffer<K>,
+    splitters: &DeviceBuffer<K>,
+    geom: &BatchGeometry,
+) -> SimResult<(KernelStats, Phase1Strategy)> {
+    assert_eq!(
+        data.len(),
+        geom.total_elems(),
+        "data buffer does not match geometry"
+    );
+    assert_eq!(
+        splitters.len(),
+        geom.splitter_table_len(),
+        "splitter buffer does not match geometry"
+    );
+    let strategy = phase1_strategy::<K>(geom, gpu);
+    let n = geom.array_len;
+    let s = geom.samples_per_array;
+    let p = geom.buckets_per_array;
+    let tile_len = n.div_ceil(p);
+    let dv = data.view();
+    let sv = splitters.view();
+
+    // SharedCopy: staged array doubles as tile scratch (tiles are sorted
+    // in place in the copy) + candidate array. GlobalSample: one tile of
+    // scratch + the candidate array live in shared; tiles stream through.
+    let shared_bytes = match strategy {
+        Phase1Strategy::SharedCopy => ((n + s) * K::ELEM_BYTES as usize) as u32,
+        Phase1Strategy::GlobalSample => ((tile_len + s) * K::ELEM_BYTES as usize) as u32,
+    };
+    let cfg = LaunchConfig::grid(geom.num_arrays as u32, 1).with_shared(shared_bytes);
+    let geom = *geom;
+
+    let stats = gpu.launch("gas_phase1_splitters_det", cfg, move |block| {
+        let i = block.block_idx() as usize;
+        let base = i * n;
+        block.one_thread(|t| {
+            // 1) Every element participates in a tile sort, so the whole
+            //    array streams through the lone lane exactly once —
+            //    sequential either way; GlobalSample just keeps only one
+            //    tile resident at a time.
+            t.charge_global(n as u64, K::ELEM_BYTES, AccessPattern::SingleLaneSequential);
+            t.charge_shared(n as u64);
+
+            // Real work, shared with the fused kernel's Stage 2.
+            let arr: Vec<K> = (0..n).map(|k| dv.get(base + k)).collect();
+            let (picks, work) = deterministic_splitters(&arr, p, s);
+
+            // 2) Tile sorts in shared scratch.
+            charge_insertion_work(t, work.tile_sort);
+            // 3) Candidate gather (shared→shared) + merge sort.
+            t.charge_shared(2 * work.candidates as u64);
+            t.charge_alu(2 * work.candidates as u64);
+            charge_insertion_work(t, work.candidate_sort);
+
+            // 4) Pick every (c/p)-th candidate and write the bracketed
+            //    boundary row, same layout as the sampling kernel.
+            let row = geom.splitter_offset(i);
+            sv.set(row, K::min_sentinel());
+            for (j, &pick) in picks.iter().enumerate() {
+                sv.set(row + 1 + j, pick);
+            }
+            sv.set(row + p, K::max_sentinel());
+            if p > 1 {
+                t.charge_shared((p - 1) as u64);
+                t.charge_alu(2 * (p - 1) as u64);
+            }
             t.charge_global((p + 1) as u64, K::ELEM_BYTES, AccessPattern::Scattered);
         });
     })?;
@@ -250,6 +442,102 @@ mod tests {
         let (k2, _) = select_splitters(&mut g2, &b2, &s2, &geom2).unwrap();
 
         assert!(k2.cycles > k1.cycles);
+    }
+
+    fn run_det(gpu: &mut Gpu, geom: &BatchGeometry, data: &[f32]) -> Vec<f32> {
+        let dbuf = gpu.htod_copy(data).unwrap();
+        let sbuf = gpu.alloc::<f32>(geom.splitter_table_len()).unwrap();
+        let (_, _) =
+            select_splitters_with(gpu, &dbuf, &sbuf, geom, SplitterPolicy::Deterministic).unwrap();
+        sbuf.to_host_vec()
+    }
+
+    /// Max bucket count produced by `bounds` over `arr`.
+    fn max_bucket(arr: &[f32], bounds: &[f32]) -> usize {
+        let p = bounds.len() - 1;
+        let mut counts = vec![0usize; p];
+        for &x in arr {
+            counts[bucket_index(bounds, x)] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+
+    #[test]
+    fn overflow_limit_is_two_ceil_n_over_p() {
+        assert_eq!(overflow_limit(1000, 50), 40);
+        assert_eq!(overflow_limit(1001, 50), 42, "ceiling, not floor");
+        assert_eq!(overflow_limit(10, 1), 20);
+        assert_eq!(overflow_limit(10, 0), 20, "p floored at 1");
+    }
+
+    #[test]
+    fn deterministic_splitters_bound_buckets_on_uniform_data() {
+        let (mut gpu, geom, data) = setup(10, 1000);
+        let table = run_det(&mut gpu, &geom, &data);
+        let limit = overflow_limit(geom.array_len, geom.buckets_per_array);
+        for i in 0..geom.num_arrays {
+            let arr = &data[i * 1000..(i + 1) * 1000];
+            let row = &table
+                [geom.splitter_offset(i)..geom.splitter_offset(i) + geom.boundaries_per_array];
+            assert!(
+                row.windows(2).all(|w| w[0].le(w[1])),
+                "array {i} boundaries must ascend"
+            );
+            assert!(
+                max_bucket(arr, row) <= limit,
+                "array {i}: deterministic max bucket exceeds 2·⌈n/p⌉ = {limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_splitters_bound_buckets_on_presorted_and_reversed() {
+        let n = 1000;
+        let cfg = ArraySortConfig::default();
+        let geom = BatchGeometry::new(1, n, &cfg);
+        let limit = overflow_limit(n, geom.buckets_per_array);
+        for data in [
+            (0..n).map(|x| x as f32).collect::<Vec<_>>(),
+            (0..n).rev().map(|x| x as f32).collect::<Vec<_>>(),
+        ] {
+            let mut gpu = Gpu::new(DeviceSpec::tesla_k40c());
+            let table = run_det(&mut gpu, &geom, &data);
+            let row = &table[..geom.boundaries_per_array];
+            assert!(max_bucket(&data, row) <= limit);
+        }
+    }
+
+    #[test]
+    fn deterministic_selection_dedups_duplicate_candidates() {
+        // Heavily duplicated input: picks must still ascend, and equal
+        // picks only appear when no greater candidate remains.
+        let mut arr: Vec<f32> = vec![5.0; 900];
+        arr.extend((0..100).map(|x| 1000.0 + x as f32));
+        let (picks, _) = deterministic_splitters(&arr, 50, 100);
+        assert_eq!(picks.len(), 49);
+        assert!(picks.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn deterministic_work_is_charged() {
+        // The deterministic kernel sorts all n elements in tiles, so it
+        // must bill more cycles than the 10 % sampling kernel.
+        let (mut g1, geom, data) = setup(10, 1000);
+        let b = g1.htod_copy(&data).unwrap();
+        let s = g1.alloc::<f32>(geom.splitter_table_len()).unwrap();
+        let (kr, _) = select_splitters(&mut g1, &b, &s, &geom).unwrap();
+
+        let mut g2 = Gpu::new(DeviceSpec::tesla_k40c());
+        let b = g2.htod_copy(&data).unwrap();
+        let s = g2.alloc::<f32>(geom.splitter_table_len()).unwrap();
+        let (kd, _) =
+            select_splitters_with(&mut g2, &b, &s, &geom, SplitterPolicy::Deterministic).unwrap();
+        assert!(
+            kd.cycles > kr.cycles,
+            "deterministic {} !> regular {}",
+            kd.cycles,
+            kr.cycles
+        );
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Cross-variant properties of the splitter policies.
+//!
+//! Two guarantees are exercised here end-to-end, through the public API
+//! only:
+//!
+//! 1. **The deterministic bound.** Under
+//!    [`SplitterPolicy::Deterministic`] no sortable (non-tie) bucket
+//!    segment ever exceeds `2·⌈n/p⌉` — for *arbitrary* inputs, not just
+//!    the curated adversarial suite. Regular sampling offers no such
+//!    bound; that contrast is measured by the bench crate's Ablation G.
+//! 2. **Recovery transparency.** Overflow detection plus re-split,
+//!    combined with fault-injected retries and CPU fallback, yields
+//!    output bit-for-bit equal to the CPU oracle — chaos and skew
+//!    change cycle bills, never bytes.
+
+use array_sort::{
+    cpu_ref, overflow_limit, ArraySortConfig, FusedSort, FusedStrategy, GpuArraySort, RetryPolicy,
+    SplitterPolicy,
+};
+use datagen::{adversarial_suite, ArrayBatch};
+use gpu_sim::{DeviceSpec, FaultPlan, Gpu};
+use proptest::prelude::*;
+
+fn gpu() -> Gpu {
+    Gpu::new(DeviceSpec::tesla_k40c())
+}
+
+fn det_cfg() -> ArraySortConfig {
+    ArraySortConfig {
+        splitter_policy: SplitterPolicy::Deterministic,
+        ..Default::default()
+    }
+}
+
+/// A value pool that loves collisions: point masses, denormal-adjacent
+/// values and a continuous range, so proptest explores heavy ties,
+/// near-sorted runs and plain noise alike.
+fn skewed_value() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        3 => Just(42.0f32),
+        2 => Just(0.0f32),
+        1 => Just(1.0e6f32),
+        4 => 0.0f32..1.0e6,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant, for arbitrary shapes and values: after a
+    /// deterministic-policy sort every array is sorted, the multiset is
+    /// preserved, and the largest *sortable* segment respects 2·⌈n/p⌉.
+    #[test]
+    fn deterministic_policy_never_exceeds_the_bound(
+        num_arrays in 1usize..6,
+        array_len in 2usize..240,
+        seed_values in proptest::collection::vec(skewed_value(), 0..64),
+    ) {
+        // Tile the sampled pool across the whole batch so short pools
+        // still cover large batches (and maximise duplication).
+        let total = num_arrays * array_len;
+        let mut data: Vec<f32> = (0..total)
+            .map(|i| {
+                if seed_values.is_empty() {
+                    (i % 7) as f32
+                } else {
+                    seed_values[i % seed_values.len()]
+                }
+            })
+            .collect();
+        let original = data.clone();
+
+        let sorter = GpuArraySort::with_config(det_cfg()).unwrap();
+        let stats = sorter.sort(&mut gpu(), &mut data, array_len).unwrap();
+
+        prop_assert!(cpu_ref::is_each_sorted(&data, array_len));
+        prop_assert_eq!(cpu_ref::verify_against(&original, &data, array_len), None);
+
+        let p = det_cfg().buckets_for(array_len);
+        let limit = overflow_limit(array_len, p);
+        prop_assert_eq!(stats.overflow.limit as usize, limit);
+        prop_assert!(
+            (stats.overflow.post_max_sortable as usize) <= limit,
+            "sortable segment {} exceeds 2·⌈n/p⌉ = {} (n = {}, p = {})",
+            stats.overflow.post_max_sortable,
+            limit,
+            array_len,
+            p
+        );
+    }
+
+    /// Overflow + re-split is invisible in the bytes even under injected
+    /// device faults: whatever mix of retries, rollbacks and CPU
+    /// fallback the fault plan provokes, the output equals the CPU
+    /// oracle bit-for-bit.
+    #[test]
+    fn faulted_resplit_matches_cpu_oracle_bit_for_bit(
+        seed in 0u64..1024,
+        fault_seed in 0u64..1024,
+        launch_rate in 0.0f64..0.4,
+        abort_rate in 0.0f64..0.3,
+    ) {
+        let array_len = 200;
+        // single-heavy at 60 % mass guarantees a bucket past 2n/p, so
+        // every iteration exercises detection *and* re-split.
+        let (_, dist, arrangement) = adversarial_suite()
+            .into_iter()
+            .find(|(name, _, _)| *name == "single-heavy")
+            .unwrap();
+        let mut batch = ArrayBatch::generate(seed, 8, array_len, dist, arrangement);
+        let mut oracle = batch.as_flat().to_vec();
+        cpu_ref::sort_arrays_seq(&mut oracle, array_len);
+
+        let mut g = gpu();
+        g.set_fault_plan(Some(
+            FaultPlan::seeded(fault_seed)
+                .with_launch_failure(launch_rate)
+                .with_transfer_abort(abort_rate),
+        ));
+        let sorter = GpuArraySort::with_config(det_cfg()).unwrap();
+        let (stats, _report) = sorter
+            .sort_with_recovery(&mut g, batch.as_flat_mut(), array_len, &RetryPolicy::default())
+            .unwrap();
+
+        prop_assert_eq!(batch.as_flat(), oracle.as_slice());
+        if let Some(stats) = stats {
+            // The device path really did overflow and repair.
+            prop_assert!(stats.overflow.overflowed_buckets >= 1);
+            prop_assert!(stats.overflow.resplit_segments >= 1);
+            prop_assert!(
+                (stats.overflow.post_max_sortable as usize)
+                    <= overflow_limit(array_len, det_cfg().buckets_for(array_len))
+            );
+        }
+    }
+}
+
+/// Every adversarial distribution, every variant: the deterministic
+/// policy holds its bound and all three variants agree bit-for-bit with
+/// the CPU oracle.
+#[test]
+fn adversarial_suite_is_bounded_on_every_variant() {
+    let array_len = 400;
+    let num_arrays = 24;
+    let p = det_cfg().buckets_for(array_len);
+    let limit = overflow_limit(array_len, p);
+
+    for (i, (name, dist, arrangement)) in adversarial_suite().into_iter().enumerate() {
+        let batch =
+            ArrayBatch::generate(0x5117 + i as u64, num_arrays, array_len, dist, arrangement);
+        let mut oracle = batch.as_flat().to_vec();
+        cpu_ref::sort_arrays_seq(&mut oracle, array_len);
+
+        // Three-kernel pipeline.
+        let mut gas_data = batch.as_flat().to_vec();
+        let gas = GpuArraySort::with_config(det_cfg())
+            .unwrap()
+            .sort(&mut gpu(), &mut gas_data, array_len)
+            .unwrap();
+        assert_eq!(gas_data, oracle, "{name}: gas output != oracle");
+        assert!(
+            (gas.overflow.post_max_sortable as usize) <= limit,
+            "{name}: gas sortable max {} > {limit}",
+            gas.overflow.post_max_sortable
+        );
+
+        // Fused single-kernel, both strategies.
+        for (label, strategy) in [
+            ("gas-fused", FusedStrategy::default()),
+            ("gas-warp", FusedStrategy::WarpConflictFree),
+        ] {
+            let mut data = batch.as_flat().to_vec();
+            let stats = FusedSort::with_config_and_strategy(det_cfg(), strategy)
+                .unwrap()
+                .sort(&mut gpu(), &mut data, array_len)
+                .unwrap();
+            assert_eq!(data, oracle, "{name}: {label} output != oracle");
+            assert!(
+                (stats.overflow.post_max_sortable as usize) <= limit,
+                "{name}: {label} sortable max {} > {limit}",
+                stats.overflow.post_max_sortable
+            );
+        }
+    }
+}
+
+/// The all-equal distribution is pure ties: detection must fire (one
+/// bucket swallows the whole array), re-split must classify it as a tie
+/// segment rather than loop, and the bound applies to what remains.
+#[test]
+fn all_equal_arrays_resolve_as_tie_segments() {
+    let array_len = 300;
+    let data: Vec<f32> = vec![42.0; 6 * array_len];
+    let mut sorted = data.clone();
+    let stats = GpuArraySort::with_config(det_cfg())
+        .unwrap()
+        .sort(&mut gpu(), &mut sorted, array_len)
+        .unwrap();
+    assert_eq!(sorted, data, "all-equal input is a fixed point");
+    assert!(stats.overflow.overflowed_buckets >= 1);
+    assert!(stats.overflow.tie_segments >= 1);
+    assert_eq!(stats.overflow.pre_max as usize, array_len);
+    let limit = overflow_limit(array_len, det_cfg().buckets_for(array_len));
+    assert!((stats.overflow.post_max_sortable as usize) <= limit);
+}

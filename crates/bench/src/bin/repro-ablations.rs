@@ -14,18 +14,23 @@
 //!   the fused kernel's three bucketing strategies — histogram,
 //!   warp-multisplit with an unpadded scatter, and the full `gas-warp`
 //!   with the padded bank-conflict-free layout)
+//! * **G — splitter policies under adversarial skew** (beyond the paper:
+//!   regular sampling vs. deterministic sorted-tile order statistics on
+//!   the adversarial distribution suite; the driver *asserts* the
+//!   deterministic non-tie bucket maximum stays within 2·⌈n/p⌉ on every
+//!   case and that regular sampling blows the bound on at least one)
 //!
 //! ```text
 //! cargo run --release -p bench --bin repro-ablations \
 //!     [--bucket-sweep] [--sampling-sweep] [--threads-per-bucket] [--merge-variant] \
-//!     [--fused-variant] [--warp-variant] [--scale f | --full]
+//!     [--fused-variant] [--warp-variant] [--splitter-policy] [--scale f | --full]
 //! ```
 //!
-//! With no selector flags, all six run.
+//! With no selector flags, all seven run.
 
 use bench::experiments::{
     run_bucket_ablation, run_fused_ablation, run_merge_ablation, run_sampling_ablation,
-    run_threads_ablation, run_warp_ablation,
+    run_splitter_ablation, run_threads_ablation, run_warp_ablation,
 };
 use bench::report::{default_out_dir, fmt_ms, markdown_table, write_csv, write_json};
 
@@ -41,6 +46,7 @@ fn main() {
                 | "--merge-variant"
                 | "--fused-variant"
                 | "--warp-variant"
+                | "--splitter-policy"
         )
     });
     let want = |flag: &str| !any_selector || args.iter().any(|a| a == flag);
@@ -393,6 +399,86 @@ fn main() {
                 "bank_pass_cut",
                 "hist_global_txns",
                 "warp_global_txns",
+            ],
+            &csv,
+        )
+        .unwrap();
+    }
+
+    if want("--splitter-policy") {
+        println!("\n# Ablation G — splitter policies under adversarial skew\n");
+        let rows = run_splitter_ablation(scale);
+        let md: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.case.clone(),
+                    r.limit.to_string(),
+                    r.regular_pre_max.to_string(),
+                    r.regular_overflowed_buckets.to_string(),
+                    r.det_post_max_sortable.to_string(),
+                    r.det_resplit_segments.to_string(),
+                    r.det_tie_segments.to_string(),
+                    format!("{:.2}×", r.det_overhead),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "case",
+                    "2·⌈n/p⌉",
+                    "regular max",
+                    "reg overflows",
+                    "det non-tie max",
+                    "resplit segs",
+                    "tie segs",
+                    "det cost"
+                ],
+                &md
+            )
+        );
+        println!(
+            "every det non-tie max above is ≤ the bound, and regular sampling \
+             exceeded it on at least one case — both asserted in-run."
+        );
+        let csv: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.case.clone(),
+                    r.array_len.to_string(),
+                    r.limit.to_string(),
+                    r.regular_pre_max.to_string(),
+                    r.regular_overflowed_buckets.to_string(),
+                    format!("{:.4}", r.regular_kernel_ms),
+                    r.det_pre_max.to_string(),
+                    r.det_post_max_sortable.to_string(),
+                    r.det_resplit_segments.to_string(),
+                    r.det_tie_segments.to_string(),
+                    format!("{:.4}", r.det_kernel_ms),
+                    format!("{:.4}", r.det_overhead),
+                ]
+            })
+            .collect();
+        write_json(&out, "ablation_splitter_policy", &rows).unwrap();
+        write_csv(
+            &out,
+            "ablation_splitter_policy",
+            &[
+                "case",
+                "array_len",
+                "limit",
+                "regular_pre_max",
+                "regular_overflowed_buckets",
+                "regular_kernel_ms",
+                "det_pre_max",
+                "det_post_max_sortable",
+                "det_resplit_segments",
+                "det_tie_segments",
+                "det_kernel_ms",
+                "det_overhead",
             ],
             &csv,
         )

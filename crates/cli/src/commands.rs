@@ -6,7 +6,7 @@ use std::path::PathBuf;
 
 use array_sort::{
     cpu_ref, recover_batch_with, sort_out_of_core_recovering, ArraySortConfig, FusedSort,
-    GpuArraySort, RecoveryReport, RetryPolicy,
+    FusedStrategy, GpuArraySort, RecoveryReport, RetryPolicy, SplitterPolicy,
 };
 use datagen::{Arrangement, ArrayBatch, Distribution};
 use gpu_sim::{DeviceSpec, FaultPlan, Gpu};
@@ -44,18 +44,59 @@ pub fn device_for(name: Option<&str>) -> Result<DeviceSpec, AnyError> {
 pub fn dist_for(name: Option<&str>) -> Result<Distribution, AnyError> {
     Ok(match name.unwrap_or("uniform") {
         "uniform" | "paper" => Distribution::PaperUniform,
-        "normal" => Distribution::Normal { mean: 0.0, std_dev: 1e6 },
+        "normal" => Distribution::Normal {
+            mean: 0.0,
+            std_dev: 1e6,
+        },
         "exponential" => Distribution::Exponential { lambda: 1e-6 },
-        "pareto" => Distribution::Pareto { scale: 1.0, alpha: 1.2 },
+        "pareto" => Distribution::Pareto {
+            scale: 1.0,
+            alpha: 1.2,
+        },
         "constant" => Distribution::Constant(42.0),
         "few-distinct" => Distribution::FewDistinct { k: 8 },
+        "zipf" => Distribution::Zipf {
+            exponent: 1.2,
+            n: 1024,
+        },
+        "single-heavy" => Distribution::SingleHeavy {
+            heavy_fraction: 0.6,
+            center: 1.0e6,
+        },
         other => {
             return Err(format!(
-                "unknown distribution {other:?} (uniform|normal|exponential|pareto|constant|few-distinct)"
+                "unknown distribution {other:?} \
+                 (uniform|normal|exponential|pareto|constant|few-distinct|zipf|single-heavy)"
             )
             .into())
         }
     })
+}
+
+/// Resolves `--arrangement` to a post-sampling shape.
+pub fn arrangement_for(name: Option<&str>) -> Result<Arrangement, AnyError> {
+    Ok(match name.unwrap_or("shuffled") {
+        "shuffled" => Arrangement::Shuffled,
+        "sorted" => Arrangement::Sorted,
+        "reversed" => Arrangement::Reversed,
+        "nearly-sorted" => Arrangement::NearlySorted { swaps: 8 },
+        other => {
+            return Err(format!(
+                "unknown arrangement {other:?} (shuffled|sorted|reversed|nearly-sorted)"
+            )
+            .into())
+        }
+    })
+}
+
+/// Resolves `--splitters` to a policy. `main` pre-validates this option
+/// before dispatch (an unparsable value is an argument error, exit 2);
+/// the commands re-resolve it here so they stay independently testable.
+pub fn splitters_for(name: Option<&str>) -> Result<SplitterPolicy, AnyError> {
+    match name {
+        None => Ok(SplitterPolicy::default()),
+        Some(v) => SplitterPolicy::parse(v).map_err(Into::into),
+    }
 }
 
 /// `gas generate`: writes a seeded batch file.
@@ -67,7 +108,8 @@ pub fn cmd_generate(args: &Args) -> Result<String, AnyError> {
     let out = PathBuf::from(args.require("output")?);
     let format = Format::from_arg(args.get("format"), &out)?;
     let dist = dist_for(args.get("dist"))?;
-    let batch = ArrayBatch::generate(seed, num, n, dist, Arrangement::Shuffled);
+    let arrangement = arrangement_for(args.get("arrangement"))?;
+    let batch = ArrayBatch::generate(seed, num, n, dist, arrangement);
     write_batch(&out, batch.as_flat(), n, format)?;
     Ok(format!(
         "wrote {num} arrays × {n} ({} MB) to {}",
@@ -101,6 +143,14 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
         .into());
     }
     let algorithm = args.get("algorithm").unwrap_or("gas");
+    let splitters = splitters_for(args.get("splitters"))?;
+    if splitters != SplitterPolicy::default()
+        && !matches!(algorithm, "gas" | "gas-fused" | "gas-warp")
+    {
+        return Err(
+            "--splitters is only supported with --algorithm gas, gas-fused or gas-warp".into(),
+        );
+    }
     let faults = match args.get("faults") {
         Some(spec) => {
             if !matches!(algorithm, "gas" | "sta" | "gas-fused" | "gas-warp") {
@@ -122,6 +172,7 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
         "gas" => {
             let cfg = ArraySortConfig {
                 adaptive_bucket_sort: args.flag("adaptive"),
+                splitter_policy: splitters,
                 ..Default::default()
             };
             let sorter = GpuArraySort::with_config(cfg)?;
@@ -156,7 +207,10 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
             }
         }
         "gas-fused" => {
-            let sorter = FusedSort::new();
+            let sorter = FusedSort::with_config(ArraySortConfig {
+                splitter_policy: splitters,
+                ..Default::default()
+            })?;
             if let Some(plan) = faults {
                 let policy = RetryPolicy::default().with_max_attempts(args.get_or("retries", 3)?);
                 gpu.set_fault_plan(Some(plan));
@@ -194,7 +248,13 @@ pub fn cmd_sort(args: &Args) -> Result<String, AnyError> {
             }
         }
         "gas-warp" => {
-            let sorter = FusedSort::warp();
+            let sorter = FusedSort::with_config_and_strategy(
+                ArraySortConfig {
+                    splitter_policy: splitters,
+                    ..Default::default()
+                },
+                FusedStrategy::WarpConflictFree,
+            )?;
             if let Some(plan) = faults {
                 let policy = RetryPolicy::default().with_max_attempts(args.get_or("retries", 3)?);
                 gpu.set_fault_plan(Some(plan));
@@ -406,25 +466,41 @@ pub fn cmd_profile(args: &Args) -> Result<String, AnyError> {
     require_positive_shape(num, n)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let dist = dist_for(args.get("dist"))?;
+    let arrangement = arrangement_for(args.get("arrangement"))?;
     let spec = device_for(args.get("device"))?;
     let algorithm = args.get("algorithm").unwrap_or("gas");
+    let splitters = splitters_for(args.get("splitters"))?;
+    if splitters != SplitterPolicy::default()
+        && !matches!(algorithm, "gas" | "gas-fused" | "gas-warp")
+    {
+        return Err(
+            "--splitters is only supported with --algorithm gas, gas-fused or gas-warp".into(),
+        );
+    }
+    let cfg = ArraySortConfig {
+        splitter_policy: splitters,
+        ..Default::default()
+    };
     let trace_path = PathBuf::from(args.get("trace").unwrap_or("profile.trace.json"));
 
     let mut gpu = Gpu::new(spec);
-    let batch = ArrayBatch::generate(seed, num, n, dist, Arrangement::Shuffled);
+    let batch = ArrayBatch::generate(seed, num, n, dist, arrangement);
     let mut data = batch.as_flat().to_vec();
     let mut fused_stats: Option<array_sort::FusedStats> = None;
     let label = match algorithm {
         "gas" => {
-            GpuArraySort::new().sort(&mut gpu, &mut data, n)?;
+            GpuArraySort::with_config(cfg)?.sort(&mut gpu, &mut data, n)?;
             "GPU-ArraySort"
         }
         "gas-fused" => {
-            fused_stats = Some(FusedSort::new().sort(&mut gpu, &mut data, n)?);
+            fused_stats = Some(FusedSort::with_config(cfg)?.sort(&mut gpu, &mut data, n)?);
             "GPU-ArraySort fused"
         }
         "gas-warp" => {
-            fused_stats = Some(FusedSort::warp().sort(&mut gpu, &mut data, n)?);
+            fused_stats = Some(
+                FusedSort::with_config_and_strategy(cfg, FusedStrategy::WarpConflictFree)?
+                    .sort(&mut gpu, &mut data, n)?,
+            );
             "GPU-ArraySort warp"
         }
         "sta" => {
@@ -569,13 +645,19 @@ pub fn cmd_chaos(args: &Args) -> Result<String, AnyError> {
     let base_plan = FaultPlan::parse(args.get("faults").unwrap_or(DEFAULT_CHAOS_FAULTS))?;
     let policy = RetryPolicy::default().with_max_attempts(args.get_or("retries", 3)?);
     let dist = dist_for(args.get("dist"))?;
+    let arrangement = arrangement_for(args.get("arrangement"))?;
+    let splitters = splitters_for(args.get("splitters"))?;
+    let sort_cfg = ArraySortConfig {
+        splitter_policy: splitters,
+        ..Default::default()
+    };
     let trace_dir = args.get("trace-dir").map(PathBuf::from);
     if let Some(dir) = &trace_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create trace dir {}: {e}", dir.display()))?;
     }
 
-    let sorter = GpuArraySort::new();
+    let sorter = GpuArraySort::with_config(sort_cfg.clone())?;
     let mut rows = Vec::new();
     let mut failures: Vec<String> = Vec::new();
     for &seed in &seeds {
@@ -583,7 +665,7 @@ pub fn cmd_chaos(args: &Args) -> Result<String, AnyError> {
         // stream, offset from whatever base seed the spec carries.
         let mut plan = base_plan.clone();
         plan.seed = plan.seed.wrapping_add(seed);
-        let batch = ArrayBatch::generate(seed, num, n, dist, Arrangement::Shuffled);
+        let batch = ArrayBatch::generate(seed, num, n, dist, arrangement);
         let mut data = batch.as_flat().to_vec();
         let original = data.clone();
         let mut gpu = Gpu::new(spec.clone());
@@ -594,9 +676,12 @@ pub fn cmd_chaos(args: &Args) -> Result<String, AnyError> {
                 .map(|(ooc, report)| (ooc.chunks.len(), report)),
             _ => {
                 let fused = if algorithm == "gas-warp" {
-                    FusedSort::warp()
+                    FusedSort::with_config_and_strategy(
+                        sort_cfg.clone(),
+                        FusedStrategy::WarpConflictFree,
+                    )?
                 } else {
-                    FusedSort::new()
+                    FusedSort::with_config(sort_cfg.clone())?
                 };
                 let span = if algorithm == "gas-warp" {
                     "gas-warp/batch"
@@ -836,6 +921,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, AnyError> {
             requests: args.get_or("requests", 100)?,
             warp_fraction: args.get_or("warp-fraction", 0.0)?,
             fused_fraction: args.get_or("fused-fraction", 0.0)?,
+            deterministic_fraction: deterministic_fraction_arg(args, 0.0)?,
             ..Default::default()
         }),
     };
@@ -870,6 +956,20 @@ pub fn cmd_serve(args: &Args) -> Result<String, AnyError> {
     }
 }
 
+/// Resolves the share of generated requests that carry the
+/// deterministic splitter policy: `--splitters deterministic` pins the
+/// whole workload, `--splitters regular` pins none of it, and
+/// `--det-fraction F` picks a mix (defaulting per command).
+fn deterministic_fraction_arg(args: &Args, default: f64) -> Result<f64, AnyError> {
+    match args.get("splitters") {
+        Some(v) => match SplitterPolicy::parse(v)? {
+            SplitterPolicy::Deterministic => Ok(1.0),
+            SplitterPolicy::RegularSample => Ok(0.0),
+        },
+        None => Ok(args.get_or("det-fraction", default)?),
+    }
+}
+
 /// Default fault mix for `gas soak`: every fault class at a rate that
 /// exercises retries, breakers and fallbacks without drowning the pool.
 const DEFAULT_SOAK_FAULTS: &str =
@@ -901,6 +1001,10 @@ pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
     // metric for each variant).
     let warp_fraction: f64 = args.get_or("warp-fraction", 0.2)?;
     let fused_fraction: f64 = args.get_or("fused-fraction", 0.15)?;
+    // A quarter of every soak campaign runs the deterministic splitter
+    // pipelines by default, so the byte-identical replay check covers
+    // overflow detection and re-split end to end.
+    let deterministic_fraction: f64 = deterministic_fraction_arg(args, 0.25)?;
     let retries: u32 = args.get_or("retries", 3)?;
     let metrics_path = args.get("metrics").map(PathBuf::from);
     let plan = FaultPlan::parse(args.get("faults").unwrap_or(DEFAULT_SOAK_FAULTS))?;
@@ -922,6 +1026,7 @@ pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
             requests,
             warp_fraction,
             fused_fraction,
+            deterministic_fraction,
             ..Default::default()
         });
         let cfg = scheduler::SchedulerConfig {
@@ -1088,11 +1193,14 @@ pub fn usage() -> &'static str {
 
 USAGE:
   gas generate --num-arrays N --array-len n --output FILE
-               [--seed S] [--dist uniform|normal|exponential|pareto|constant|few-distinct]
+               [--seed S] [--dist uniform|normal|exponential|pareto|constant|
+                           few-distinct|zipf|single-heavy]
+               [--arrangement shuffled|sorted|reversed|nearly-sorted]
                [--format f32le|csv]
   gas sort     --input FILE [--array-len n]
                [--algorithm gas|gas-fused|gas-warp|sta|segsort|merge]
                [--device k40c|k20|k80|gtx980|test] [--adaptive] [--verify]
+               [--splitters regular|deterministic]
                [--faults SPEC] [--retries K]
                [--output FILE] [--trace FILE] [--stats] [--json]
                (--faults, with gas, gas-fused, gas-warp or sta, enables
@@ -1100,10 +1208,15 @@ USAGE:
                 the report gains a recovery section. gas-fused is the
                 single-kernel pipeline: one launch stages, buckets, sorts
                 and writes back each array; gas-warp swaps its bucketing
-                for warp-level multisplit and a bank-conflict-free scatter)
+                for warp-level multisplit and a bank-conflict-free scatter.
+                --splitters deterministic replaces the paper's regular
+                sampling with sorted-tile order statistics and arms the
+                bounded bucket re-split: every sortable bucket stays within
+                2n/p. Both policies detect and count overflows)
   gas serve    [--devices N] [--device MIX] [--faults SPEC]
                [--workload FILE | --requests K --seed S]
                [--warp-fraction F] [--fused-fraction F]
+               [--splitters P | --det-fraction F]
                [--max-queue D] [--retries K] [--trace FILE]
                [--metrics FILE] [--json]
                (deadline-aware batch-sort service over a pool of simulated
@@ -1114,6 +1227,7 @@ USAGE:
                 --metrics dumps the run's telemetry snapshot as JSON)
   gas soak     [--seeds K | --seed S] [--devices N] [--device MIX]
                [--requests R] [--warp-fraction F] [--fused-fraction F]
+               [--splitters P | --det-fraction F]
                [--faults SPEC] [--retries K] [--trace-dir DIR]
                [--metrics FILE] [--json]
                (seeded scheduler campaign; each seed runs twice and both
@@ -1121,7 +1235,9 @@ USAGE:
                 byte-identical, reconcile every injected fault and leave a
                 record per request, else exit 1. --warp-fraction routes
                 that share of requests to gas-warp (default 0.2),
-                --fused-fraction to gas-fused (default 0.15); --metrics
+                --fused-fraction to gas-fused (default 0.15),
+                --det-fraction to the deterministic splitter pipelines
+                (default 0.25; --splitters pins it to 1 or 0); --metrics
                 writes the per-seed registries merged into one snapshot)
   gas metrics  --input FILE [--format prom|json|table]
                [--assert-model-p99 BOUND]
@@ -1133,6 +1249,7 @@ USAGE:
                 gas_model_accuracy_rel_err family is non-empty)
   gas chaos    [--seeds K | --seed S] [--algorithm gas|gas-fused|gas-warp]
                [--num-arrays N] [--array-len n]
+               [--splitters regular|deterministic] [--arrangement ...]
                [--faults SPEC] [--retries K] [--device ...] [--dist ...]
                [--trace-dir DIR] [--json]
                (seeded fault-injection campaign: every run must match the
@@ -1140,6 +1257,7 @@ USAGE:
                 telemetry counters must reconcile with the report and the
                 injector log, else exit 1)
   gas profile  --num-arrays N --array-len n [--seed S] [--dist ...]
+               [--arrangement ...] [--splitters regular|deterministic]
                [--algorithm gas|gas-fused|gas-warp|sta] [--device ...]
                [--trace FILE] [--json]
                (writes a Chrome trace — load at https://ui.perfetto.dev —
@@ -2113,9 +2231,138 @@ mod tests {
             "pareto",
             "constant",
             "few-distinct",
+            "zipf",
+            "single-heavy",
         ] {
             assert!(dist_for(Some(d)).is_ok(), "{d}");
         }
         assert!(dist_for(Some("banana")).is_err());
+    }
+
+    #[test]
+    fn arrangements_and_splitters_parse() {
+        for a in ["shuffled", "sorted", "reversed", "nearly-sorted"] {
+            assert!(arrangement_for(Some(a)).is_ok(), "{a}");
+        }
+        assert!(arrangement_for(Some("spiral")).is_err());
+        assert_eq!(splitters_for(None).unwrap(), SplitterPolicy::RegularSample);
+        assert_eq!(
+            splitters_for(Some("deterministic")).unwrap(),
+            SplitterPolicy::Deterministic
+        );
+        assert_eq!(
+            splitters_for(Some("regular")).unwrap(),
+            SplitterPolicy::RegularSample
+        );
+        assert!(splitters_for(Some("psychic")).is_err());
+    }
+
+    #[test]
+    fn deterministic_splitters_sort_adversarial_batches_across_variants() {
+        let f = tmp("det_adversarial.bin");
+        run(&[
+            "generate",
+            "--num-arrays",
+            "12",
+            "--array-len",
+            "200",
+            "--dist",
+            "single-heavy",
+            "--output",
+            &f,
+        ])
+        .unwrap();
+        for algo in ["gas", "gas-fused", "gas-warp"] {
+            let msg = run(&[
+                "sort",
+                "--input",
+                &f,
+                "--array-len",
+                "200",
+                "--algorithm",
+                algo,
+                "--splitters",
+                "deterministic",
+                "--verify",
+                "--stats",
+                "--json",
+            ])
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+            assert_eq!(v["verified"], true, "{algo}");
+            // The point-mass batch must trip detection, and the report
+            // must surface it rather than swallow it.
+            let overflow = &v["stats"]["overflow"];
+            assert!(
+                overflow["overflowed_buckets"].as_u64().unwrap() >= 1,
+                "{algo}: single-heavy must overflow at least one bucket: {overflow}"
+            );
+            assert!(
+                overflow["post_max_sortable"].as_u64().unwrap()
+                    <= overflow["limit"].as_u64().unwrap(),
+                "{algo}: deterministic re-split must restore the 2n/p bound: {overflow}"
+            );
+        }
+    }
+
+    #[test]
+    fn splitters_flag_requires_a_gas_variant() {
+        let f = tmp("splitters_guard.bin");
+        run(&[
+            "generate",
+            "--num-arrays",
+            "4",
+            "--array-len",
+            "16",
+            "--output",
+            &f,
+        ])
+        .unwrap();
+        let err = run(&[
+            "sort",
+            "--input",
+            &f,
+            "--array-len",
+            "16",
+            "--algorithm",
+            "sta",
+            "--splitters",
+            "deterministic",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("only supported with --algorithm gas"), "{err}");
+        let err = run(&[
+            "sort",
+            "--input",
+            &f,
+            "--array-len",
+            "16",
+            "--splitters",
+            "psychic",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown splitter policy"), "{err}");
+    }
+
+    #[test]
+    fn serve_routes_a_deterministic_workload() {
+        let msg = run(&[
+            "serve",
+            "--devices",
+            "2",
+            "--requests",
+            "15",
+            "--seed",
+            "1",
+            "--splitters",
+            "deterministic",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        assert_eq!(v["requests"], 15);
+        assert_eq!(v["records"].as_array().unwrap().len(), 15);
     }
 }

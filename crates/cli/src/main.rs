@@ -24,6 +24,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // `--splitters` is shared by every sorting subcommand; an unknown
+    // value is an argument error (exit 2), same as any unparsable argv.
+    if let Some(v) = args.get("splitters") {
+        if let Err(e) = array_sort::SplitterPolicy::parse(v) {
+            eprintln!("error: --splitters: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    }
     let result = match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "sort" => cmd_sort(&args),

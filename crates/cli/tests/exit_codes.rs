@@ -61,6 +61,69 @@ fn parse_errors_exit_two() {
 }
 
 #[test]
+fn splitters_exit_codes_are_pinned() {
+    // An unknown policy value is an argument error — exit 2, usage on
+    // stderr — no matter which subcommand carries it.
+    for cmdline in [
+        vec!["sort", "--input", "x.bin", "--splitters", "psychic"],
+        vec![
+            "profile",
+            "--num-arrays",
+            "4",
+            "--array-len",
+            "16",
+            "--splitters",
+            "psychic",
+        ],
+        vec!["serve", "--requests", "5", "--splitters", "psychic"],
+        vec!["soak", "--seeds", "1", "--splitters", "psychic"],
+        vec!["chaos", "--seeds", "1", "--splitters", "psychic"],
+    ] {
+        let out = gas(&cmdline);
+        assert_eq!(out.status.code(), Some(2), "{cmdline:?}: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains("unknown splitter policy"),
+            "{cmdline:?}: {}",
+            stderr(&out)
+        );
+    }
+    // Valid policies run end to end and exit 0.
+    let f = fixture("splitters_ok.bin", "4", "32");
+    for policy in ["regular", "deterministic"] {
+        let out = gas(&[
+            "sort",
+            "--input",
+            &f,
+            "--array-len",
+            "32",
+            "--splitters",
+            policy,
+            "--verify",
+        ]);
+        assert_eq!(out.status.code(), Some(0), "{policy}: {}", stderr(&out));
+    }
+    // A valid policy on an algorithm that has no splitters is a command
+    // error, exit 1.
+    let out = gas(&[
+        "sort",
+        "--input",
+        &f,
+        "--array-len",
+        "32",
+        "--algorithm",
+        "sta",
+        "--splitters",
+        "deterministic",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("only supported with --algorithm gas"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn missing_required_option_exits_one() {
     // `--input` with no value degrades to a flag; `sort` then reports
     // the missing required option as a command error.

@@ -52,6 +52,27 @@ pub enum Distribution {
         /// Number of distinct values.
         k: u32,
     },
+    /// Zipf-distributed integer ranks in `[1, n]` via the continuous
+    /// power-law inverse CDF (density ∝ x^−exponent, then floored). Rank 1
+    /// carries a constant fraction of all mass, so the bucket containing it
+    /// blows past `2n/p` under any sampling scheme — the tie-aware re-split
+    /// is the only way to keep the bound honest.
+    Zipf {
+        /// Tail exponent; > 1 concentrates mass on the smallest ranks.
+        exponent: f32,
+        /// Number of distinct ranks.
+        n: u32,
+    },
+    /// Single-heavy-bucket adversary: probability `heavy_fraction` of an
+    /// exact point mass at `center`, remainder paper-uniform. For
+    /// `heavy_fraction > 2/p` the bucket holding `center` must exceed the
+    /// `2n/p` balance bound no matter where the splitters land.
+    SingleHeavy {
+        /// Fraction of elements pinned to `center`.
+        heavy_fraction: f32,
+        /// The heavy value.
+        center: f32,
+    },
 }
 
 impl Distribution {
@@ -77,6 +98,28 @@ impl Distribution {
             }
             Distribution::Constant(v) => v,
             Distribution::FewDistinct { k } => rng.gen_range(0..k.max(1)) as f32,
+            Distribution::Zipf { exponent, n } => {
+                let nn = n.max(1) as f64;
+                let s = exponent as f64;
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let x = if (s - 1.0).abs() < 1e-6 {
+                    (nn + 1.0).powf(u)
+                } else {
+                    let a = 1.0 - s;
+                    (u * ((nn + 1.0).powf(a) - 1.0) + 1.0).powf(1.0 / a)
+                };
+                x.floor().clamp(1.0, nn) as f32
+            }
+            Distribution::SingleHeavy {
+                heavy_fraction,
+                center,
+            } => {
+                if rng.gen_range(0.0..1.0f32) < heavy_fraction {
+                    center
+                } else {
+                    Distribution::PaperUniform.sample(rng)
+                }
+            }
         }
     }
 
@@ -127,6 +170,47 @@ impl Arrangement {
             }
         }
     }
+}
+
+/// The named adversarial cases that Ablation G and the CI `adversarial`
+/// job sweep: each is engineered to break a different assumption of
+/// regular sampling (ties, presortedness, heavy head, point mass). Names
+/// are stable — they appear in CLI flags, CI matrix entries, and result
+/// files.
+pub fn adversarial_suite() -> Vec<(&'static str, Distribution, Arrangement)> {
+    vec![
+        (
+            "all-equal",
+            Distribution::Constant(42.0),
+            Arrangement::Shuffled,
+        ),
+        (
+            "pre-sorted",
+            Distribution::PaperUniform,
+            Arrangement::Sorted,
+        ),
+        (
+            "zipf",
+            Distribution::Zipf {
+                exponent: 1.2,
+                n: 1024,
+            },
+            Arrangement::Shuffled,
+        ),
+        (
+            "single-heavy",
+            Distribution::SingleHeavy {
+                heavy_fraction: 0.6,
+                center: 1.0e6,
+            },
+            Arrangement::Shuffled,
+        ),
+        (
+            "few-distinct",
+            Distribution::FewDistinct { k: 3 },
+            Arrangement::Shuffled,
+        ),
+    ]
 }
 
 /// Deterministic RNG for a `(seed, stream)` pair; every generator in this
@@ -231,6 +315,66 @@ mod tests {
         distinct.sort_unstable();
         distinct.dedup();
         assert!(distinct.len() <= 4);
+    }
+
+    #[test]
+    fn zipf_ranks_are_bounded_and_head_heavy() {
+        let mut rng = rng_for(9, 0);
+        let d = Distribution::Zipf {
+            exponent: 1.2,
+            n: 1024,
+        };
+        let samples: Vec<f32> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| (1.0..=1024.0).contains(&x)));
+        assert!(samples.iter().all(|&x| x == x.floor()), "integer ranks");
+        let head = samples.iter().filter(|&&x| x == 1.0).count();
+        assert!(
+            head > samples.len() / 10,
+            "rank 1 must carry a constant mass fraction, got {head}/{}",
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn single_heavy_concentrates_a_point_mass() {
+        let mut rng = rng_for(11, 0);
+        let d = Distribution::SingleHeavy {
+            heavy_fraction: 0.6,
+            center: 1.0e6,
+        };
+        let samples: Vec<f32> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        let heavy = samples
+            .iter()
+            .filter(|&&x| x.to_bits() == 1.0e6f32.to_bits())
+            .count();
+        let frac = heavy as f64 / samples.len() as f64;
+        assert!(
+            (0.55..0.65).contains(&frac),
+            "point mass fraction ≈ 0.6, got {frac}"
+        );
+    }
+
+    #[test]
+    fn adversarial_suite_names_are_stable_and_unique() {
+        let suite = adversarial_suite();
+        let names: Vec<&str> = suite.iter().map(|(name, _, _)| *name).collect();
+        assert_eq!(
+            names,
+            [
+                "all-equal",
+                "pre-sorted",
+                "zipf",
+                "single-heavy",
+                "few-distinct"
+            ]
+        );
+        let mut rng = rng_for(1, 0);
+        for (name, dist, arr) in suite {
+            let mut v = vec![0.0f32; 64];
+            dist.fill(&mut rng, &mut v);
+            arr.apply(&mut rng, &mut v);
+            assert!(v.iter().all(|x| x.is_finite()), "{name} must stay finite");
+        }
     }
 
     #[test]

@@ -337,6 +337,16 @@ impl ThreadCtx<'_> {
         self.counters.warp_shuffles += n;
     }
 
+    /// Records `n` bucket-overflow events
+    /// ([`crate::stats::Counters::bucket_overflows`]). Bookkeeping only —
+    /// zero cycles — so detecting an overflow never changes a clean run's
+    /// bill; the *recovery* work (re-split kernels) is charged by the
+    /// kernels that perform it.
+    #[inline]
+    pub fn record_bucket_overflow(&mut self, n: u64) {
+        self.counters.bucket_overflows += n;
+    }
+
     /// Charges one warp-exclusive prefix scan done with shuffles: the
     /// Kogge–Stone ladder is `⌈log₂ warp_size⌉` shuffle + add steps per
     /// lane (see [`crate::block::warp::exclusive_sum`] for the value

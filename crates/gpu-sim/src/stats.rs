@@ -55,6 +55,13 @@ pub struct Counters {
     /// [`crate::block::ThreadCtx::charge_warp_shuffle`].
     #[serde(default)]
     pub warp_shuffles: u64,
+    /// Bucket-overflow events observed by a bucketing kernel: buckets
+    /// whose element count exceeded their thread group's capacity bound,
+    /// recorded via [`crate::block::ThreadCtx::record_bucket_overflow`].
+    /// Pure bookkeeping (zero cycles): overflow must be *observable*, not
+    /// a silent slow path.
+    #[serde(default)]
+    pub bucket_overflows: u64,
 }
 
 impl Counters {
@@ -72,6 +79,7 @@ impl Counters {
         self.shared_bank_passes += other.shared_bank_passes;
         self.warp_votes += other.warp_votes;
         self.warp_shuffles += other.warp_shuffles;
+        self.bucket_overflows += other.bucket_overflows;
     }
 
     /// Whole global-memory transactions (rounded from the micro count).
@@ -344,6 +352,7 @@ mod tests {
             shared_bank_passes: 10,
             warp_votes: 11,
             warp_shuffles: 12,
+            bucket_overflows: 13,
         };
         let b = a.clone();
         a.merge(&b);
@@ -353,6 +362,7 @@ mod tests {
         assert_eq!(a.shared_bank_passes, 20);
         assert_eq!(a.warp_votes, 22);
         assert_eq!(a.warp_shuffles, 24);
+        assert_eq!(a.bucket_overflows, 26);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! **monotone** in the batch size, so admission decisions are stable
 //! and reproducible.
 
-use array_sort::complexity::{eq2_unscaled, fused_unscaled, warp_unscaled};
+use array_sort::complexity::{eq2_unscaled, fused_unscaled, warp_unscaled, worst_case_unscaled};
 use array_sort::{ArraySortConfig, BatchGeometry};
 use gpu_sim::DeviceSpec;
 use serde::{Deserialize, Serialize};
@@ -161,6 +161,30 @@ impl CostModel {
         (best, ms)
     }
 
+    /// Projected **worst-case** milliseconds for one batch on `spec`,
+    /// under the configured splitter policy
+    /// ([`worst_case_unscaled`]): regular sampling degrades to a
+    /// quadratic single-bucket sort on adversarial data, while the
+    /// deterministic policy's `2·⌈n/p⌉` bound keeps the tail linear.
+    /// Admission itself stays expectation-based ([`CostModel::device_ms`])
+    /// — this is the honest tail projection surfaced next to it, so an
+    /// operator can see what a skew-hostile client could inflict under
+    /// each policy.
+    pub fn device_ms_worst(
+        &self,
+        spec: &DeviceSpec,
+        config: &ArraySortConfig,
+        num_arrays: usize,
+        array_len: usize,
+    ) -> f64 {
+        let bytes = (num_arrays as u64) * (array_len as u64) * 4;
+        let transfers = 2.0 * spec.transfer_ms(bytes);
+        let per_array_ops = worst_case_unscaled(array_len, config);
+        let rounds = (num_arrays as f64 / spec.sm_count.max(1) as f64).ceil();
+        let cycles = (per_array_ops * self.cycles_per_op * rounds).ceil() as u64;
+        transfers + spec.cycles_to_ms(cycles)
+    }
+
     /// Projected milliseconds for sorting the batch on the host with
     /// [`array_sort::cpu_ref`].
     pub fn host_ms(&self, num_arrays: usize, array_len: usize) -> f64 {
@@ -246,6 +270,24 @@ mod tests {
         assert_eq!(warp, three, "warp falls through the whole chain");
         let (variant, _) = m.best_gas_variant(&spec, &cfg, 100, 8000);
         assert_eq!(variant, GasVariant::ThreeKernel, "ties keep the default");
+    }
+
+    #[test]
+    fn worst_case_projection_tracks_the_splitter_policy() {
+        let m = CostModel::default();
+        let spec = DeviceSpec::tesla_k40c();
+        let reg = ArraySortConfig::default();
+        let det = ArraySortConfig {
+            splitter_policy: array_sort::SplitterPolicy::Deterministic,
+            ..Default::default()
+        };
+        for n in [1000usize, 2000, 4000] {
+            let wr = m.device_ms_worst(&spec, &reg, 200, n);
+            let wd = m.device_ms_worst(&spec, &det, 200, n);
+            let expected = m.device_ms(&spec, &reg, 200, n);
+            assert!(wd < wr, "n={n}: bounded tail {wd} vs quadratic tail {wr}");
+            assert!(wr >= expected, "n={n}: worst case dominates expectation");
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! arrival-ordered stream of requests, either loaded from JSON or
 //! generated from a seed.
 
+use array_sort::SplitterPolicy;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -114,6 +115,11 @@ pub struct SortRequest {
     pub data_seed: u64,
     /// Device sorter to use.
     pub algorithm: Algorithm,
+    /// Splitter-selection policy for GAS requests (ignored by
+    /// [`Algorithm::Sta`]). Defaults to the paper's regular sampling, so
+    /// workload files written before the field existed parse unchanged.
+    #[serde(default)]
+    pub splitters: SplitterPolicy,
     /// Shedding priority.
     pub priority: Priority,
     /// Virtual-time arrival, ms.
@@ -159,6 +165,13 @@ pub struct WorkloadConfig {
     /// cost-model accuracy metrics cover all three GAS variants.
     #[serde(default)]
     pub fused_fraction: f64,
+    /// Fraction of requests served with the deterministic splitter
+    /// policy ([`SplitterPolicy::Deterministic`]). Decided from a hash
+    /// of the request id rather than an RNG draw, so setting it does not
+    /// perturb the shapes/arrivals of workloads generated before the
+    /// knob existed (they replay bit-identically). Defaults to 0.
+    #[serde(default)]
+    pub deterministic_fraction: f64,
 }
 
 impl Default for WorkloadConfig {
@@ -173,6 +186,7 @@ impl Default for WorkloadConfig {
             sta_fraction: 0.25,
             warp_fraction: 0.0,
             fused_fraction: 0.0,
+            deterministic_fraction: 0.0,
         }
     }
 }
@@ -217,12 +231,22 @@ impl Workload {
             let n = array_len as f64;
             let crude_ms = num_arrays as f64 * n * n.log2().max(1.0) * 10e-6;
             let slack = rng.gen_range(cfg.deadline_slack.0..=cfg.deadline_slack.1);
+            // Splitter policy from a hash of the id, not an RNG draw:
+            // the knob must not shift any draw the shapes above consume.
+            let det_unit =
+                (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64 / (1u64 << 24) as f64;
+            let splitters = if det_unit < cfg.deterministic_fraction {
+                SplitterPolicy::Deterministic
+            } else {
+                SplitterPolicy::RegularSample
+            };
             requests.push(SortRequest {
                 id,
                 num_arrays,
                 array_len,
                 data_seed: cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(id),
                 algorithm,
+                splitters,
                 priority,
                 arrival_ms: arrival,
                 deadline_ms: arrival + (crude_ms * slack).max(1.0),
@@ -373,6 +397,42 @@ mod tests {
                 (a.num_arrays, a.array_len, a.arrival_ms.to_bits()),
                 (b.num_arrays, b.array_len, b.arrival_ms.to_bits())
             );
+        }
+    }
+
+    #[test]
+    fn deterministic_fraction_routes_policies_without_disturbing_the_rest() {
+        let base = WorkloadConfig {
+            requests: 200,
+            ..WorkloadConfig::default()
+        };
+        let plain = Workload::generate(&base);
+        assert!(
+            plain
+                .requests
+                .iter()
+                .all(|r| r.splitters == SplitterPolicy::RegularSample),
+            "default mix stays on the paper's policy (back-compat)"
+        );
+        let mixed = Workload::generate(&WorkloadConfig {
+            deterministic_fraction: 0.4,
+            ..base.clone()
+        });
+        let det = mixed
+            .requests
+            .iter()
+            .filter(|r| r.splitters == SplitterPolicy::Deterministic)
+            .count();
+        assert!(
+            det > 40 && det < 160,
+            "0.4 of 200 requests routes a deterministic share, got {det}"
+        );
+        // Everything except the policy field is bit-identical: the knob
+        // consumes no RNG draw.
+        for (a, b) in plain.requests.iter().zip(&mixed.requests) {
+            let mut b2 = b.clone();
+            b2.splitters = a.splitters;
+            assert_eq!(a, &b2);
         }
     }
 

@@ -30,9 +30,13 @@
 //! `recovery/req-N/cpu-fallback` marker — all through the existing
 //! [`gpu_sim::trace`] pipeline, so a pool trace shows the whole story.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 
-use array_sort::{checkpointed_attempt, cpu_ref, FusedSort, GpuArraySort};
+use array_sort::{
+    checkpointed_attempt, cpu_ref, ArraySortConfig, FusedSort, FusedStrategy, GpuArraySort,
+    SplitterPolicy,
+};
 use gpu_sim::FaultPlan;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -102,6 +106,9 @@ pub struct SortService {
     sorter: GpuArraySort,
     fused: FusedSort,
     warp: FusedSort,
+    det_sorter: GpuArraySort,
+    det_fused: FusedSort,
+    det_warp: FusedSort,
     rng: ChaCha8Rng,
     registry: Registry,
 }
@@ -116,12 +123,21 @@ impl SortService {
     ) -> Result<Self, String> {
         let pool = DevicePool::new(specs, cfg.breaker, faults)?;
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let det_cfg = ArraySortConfig {
+            splitter_policy: SplitterPolicy::Deterministic,
+            ..Default::default()
+        };
+        let build = |e: array_sort::ConfigError| format!("deterministic sorter config: {e:?}");
         Ok(Self {
             cfg,
             pool,
             sorter: GpuArraySort::new(),
             fused: FusedSort::new(),
             warp: FusedSort::warp(),
+            det_sorter: GpuArraySort::with_config(det_cfg.clone()).map_err(build)?,
+            det_fused: FusedSort::with_config(det_cfg.clone()).map_err(build)?,
+            det_warp: FusedSort::with_config_and_strategy(det_cfg, FusedStrategy::WarpConflictFree)
+                .map_err(build)?,
             rng,
             registry: Registry::new(),
         })
@@ -439,9 +455,15 @@ impl SortService {
 
     /// Cost-model service projection for one request on one device. GAS
     /// requests are priced at the cheaper of the two pipeline variants —
-    /// the same choice [`SortService::execute`] dispatches.
+    /// the same choice [`SortService::execute`] dispatches — under the
+    /// request's splitter policy (deterministic selection costs more up
+    /// front, and the model says so).
     fn projected_ms(&self, spec: &gpu_sim::DeviceSpec, req: &SortRequest) -> f64 {
-        let cfg = self.sorter.config();
+        let cfg = if req.splitters == SplitterPolicy::Deterministic {
+            self.det_sorter.config()
+        } else {
+            self.sorter.config()
+        };
         match req.algorithm {
             Algorithm::Gas => {
                 self.cfg
@@ -484,9 +506,27 @@ impl SortService {
         let array_len = p.req.array_len;
         let checkpoint = p.data.clone();
         let cost = &self.cfg.cost;
-        let sorter = &self.sorter;
-        let fused = &self.fused;
-        let warp = &self.warp;
+        // The request's splitter policy selects the sorter family; the
+        // deterministic instances differ only in `splitter_policy`.
+        let deterministic = p.req.splitters == SplitterPolicy::Deterministic;
+        let sorter = if deterministic {
+            &self.det_sorter
+        } else {
+            &self.sorter
+        };
+        let fused = if deterministic {
+            &self.det_fused
+        } else {
+            &self.fused
+        };
+        let warp = if deterministic {
+            &self.det_warp
+        } else {
+            &self.warp
+        };
+        // Bucket overflows observed by the attempt (GAS variants only):
+        // stashed out of the checkpointed closure for the metric below.
+        let overflows = Cell::new(0u64);
         let dev = &mut self.pool.devices[di];
         // `Gas` requests run whichever pipeline variant the cost model
         // projected cheaper on this device; `GasFused`/`GasWarp` force
@@ -534,21 +574,32 @@ impl SortService {
                 &mut p.data,
                 &checkpoint,
                 &span_name,
-                |g, d| warp.sort(g, d, array_len).map(|_| ()),
+                |g, d| {
+                    warp.sort(g, d, array_len)
+                        .map(|s| overflows.set(s.overflow.overflowed_buckets))
+                },
             ),
             (_, GasVariant::Fused) => checkpointed_attempt(
                 &mut dev.gpu,
                 &mut p.data,
                 &checkpoint,
                 &span_name,
-                |g, d| fused.sort(g, d, array_len).map(|_| ()),
+                |g, d| {
+                    fused
+                        .sort(g, d, array_len)
+                        .map(|s| overflows.set(s.overflow.overflowed_buckets))
+                },
             ),
             (_, GasVariant::ThreeKernel) => checkpointed_attempt(
                 &mut dev.gpu,
                 &mut p.data,
                 &checkpoint,
                 &span_name,
-                |g, d| sorter.sort(g, d, array_len).map(|_| ()),
+                |g, d| {
+                    sorter
+                        .sort(g, d, array_len)
+                        .map(|s| overflows.set(s.overflow.overflowed_buckets))
+                },
             ),
         };
         p.attempts_made = attempt_no;
@@ -558,6 +609,15 @@ impl SortService {
                 dev.busy_until_ms = end;
                 dev.completed += 1;
                 dev.breaker.on_success();
+                if overflows.get() > 0 {
+                    // Overflow is an observable event, never a silent slow
+                    // path: surface the per-policy count in telemetry.
+                    self.registry.add(
+                        "gas_bucket_overflows_total",
+                        &[("policy", p.req.splitters.label())],
+                        overflows.get() as f64,
+                    );
+                }
                 p.attempts.push(AttemptRecord {
                     device: di,
                     start_ms: now,
@@ -930,6 +990,7 @@ mod tests {
                 array_len: 4096,
                 data_seed: 1,
                 algorithm: Algorithm::Gas,
+                splitters: SplitterPolicy::default(),
                 priority: Priority::Normal,
                 arrival_ms: 0.0,
                 deadline_ms: 0.5,
@@ -1004,6 +1065,62 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_policy_requests_are_served_by_the_det_kernels() {
+        // Small arrays (p = 1–2 buckets) keep the cost model on the
+        // three-kernel pipeline, so the deterministic Phase-1 kernel name
+        // is visible in the timeline.
+        let mut w = Workload::generate(&WorkloadConfig {
+            seed: 12,
+            requests: 20,
+            arrays: (4, 8),
+            array_len: (16, 24),
+            sta_fraction: 0.0,
+            ..WorkloadConfig::default()
+        });
+        for r in &mut w.requests {
+            r.algorithm = Algorithm::Gas;
+            r.splitters = array_sort::SplitterPolicy::Deterministic;
+        }
+        let mut s = service(2, SchedulerConfig::default(), None);
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.invariant_violations(), Vec::<String>::new());
+        assert!(report.completed > 0);
+        let det_launches = s
+            .pool()
+            .devices
+            .iter()
+            .flat_map(|d| d.gpu.timeline().kernels.iter())
+            .filter(|k| k.name == "gas_phase1_splitters_det")
+            .count();
+        assert!(
+            det_launches > 0,
+            "deterministic requests must run the deterministic Phase-1 kernel"
+        );
+    }
+
+    #[test]
+    fn deterministic_requests_replay_bit_identically() {
+        let w = Workload::generate(&WorkloadConfig {
+            seed: 13,
+            requests: 40,
+            arrays: (4, 16),
+            array_len: (16, 48),
+            deterministic_fraction: 0.5,
+            ..WorkloadConfig::default()
+        });
+        let plan = FaultPlan::seeded(7).with_launch_failure(0.03);
+        let cfg = SchedulerConfig {
+            seed: 21,
+            ..SchedulerConfig::default()
+        };
+        let a = service(2, cfg.clone(), Some(&plan)).run(&w).unwrap();
+        let b = service(2, cfg, Some(&plan)).run(&w).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json(), "byte-identical reports");
+        assert_eq!(a.invariant_violations(), Vec::<String>::new());
+    }
+
+    #[test]
     fn cost_model_dispatches_the_fused_variant_where_it_is_cheaper() {
         // Paper-shaped arrays (n = 2000): the cost model projects the
         // warp-multisplit pipeline cheapest, so plain `gas` requests must
@@ -1016,6 +1133,7 @@ mod tests {
                     array_len: 2000,
                     data_seed: 100 + id,
                     algorithm: Algorithm::Gas,
+                    splitters: SplitterPolicy::default(),
                     priority: Priority::Normal,
                     arrival_ms: id as f64 * 0.1,
                     deadline_ms: 1e9,
