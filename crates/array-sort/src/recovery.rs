@@ -13,6 +13,11 @@
 //!    ([`gpu_sim::SimError::is_transient`]) is reissued up to
 //!    [`RetryPolicy::max_attempts`] times. Fatal errors (real OOM,
 //!    geometry violations) propagate immediately: retrying cannot help.
+//!    A *permanent* injected fault ([`gpu_sim::FaultKind::DeviceDeath`])
+//!    is counted like any other device fault but ends the retry loop at
+//!    once — the device is gone, so the chunk (and every later chunk on
+//!    the same dead device) goes straight to the fallback without
+//!    charging phantom attempts.
 //! 3. **Graceful degradation** — when a chunk exhausts its retries and
 //!    [`RetryPolicy::cpu_fallback`] is on, the chunk is restored from its
 //!    checkpoint and sorted by [`crate::cpu_ref`] on the host. Slower,
@@ -29,7 +34,7 @@
 //! same simulated time as their non-recovering counterparts and produce
 //! identical results and traces.
 
-use gpu_sim::{Gpu, SimError, SimResult};
+use gpu_sim::{FaultKind, Gpu, SimError, SimResult};
 use serde::{Deserialize, Serialize};
 
 use crate::cpu_ref;
@@ -79,7 +84,8 @@ pub struct ChunkRecovery {
     pub chunk: usize,
     /// Device attempts made (1 = clean first try).
     pub attempts: u32,
-    /// Attempts that failed with a transient device fault.
+    /// Attempts that failed with an injected device fault (transient
+    /// kinds, plus at most one permanent device death).
     pub device_faults: u32,
     /// True when the chunk was ultimately sorted on the host.
     pub cpu_fallback: bool,
@@ -105,8 +111,13 @@ impl RecoveryReport {
     }
 
     /// Reissued device attempts (attempts beyond each chunk's first).
+    /// A chunk that never touched the device — it arrived after the
+    /// device died — records zero attempts and zero retries.
     pub fn retries(&self) -> u32 {
-        self.chunks.iter().map(|c| c.attempts - 1).sum()
+        self.chunks
+            .iter()
+            .map(|c| c.attempts.saturating_sub(1))
+            .sum()
     }
 
     /// Chunks that degraded to the host sorter.
@@ -217,6 +228,9 @@ pub fn checkpointed_attempt<K: SortKey, S>(
 /// clean traces look exactly like the non-recovering path); retries and
 /// the fallback get `recovery/…` spans. Fatal errors propagate
 /// immediately — retrying cannot help — with `slice` already rolled back.
+/// A permanent injected fault (device death) is counted once and ends the
+/// retry loop; a device that is already dead is skipped without counting
+/// anything, so `device_faults` stays 1:1 with the injector's own log.
 fn recover_core<K: SortKey, S>(
     gpu: &mut Gpu,
     slice: &mut [K],
@@ -238,6 +252,13 @@ fn recover_core<K: SortKey, S>(
     };
     let mut last_err = None;
     while rec.attempts < max_attempts {
+        // A dead device rejects every operation without consulting the
+        // injector, so attempting it would count fail-fast rejections
+        // that have no matching injector-log entry. Skip straight to
+        // the fallback instead.
+        if gpu.is_dead() {
+            break;
+        }
         rec.attempts += 1;
         let span_name = if rec.attempts == 1 {
             label.to_string()
@@ -247,7 +268,11 @@ fn recover_core<K: SortKey, S>(
         match checkpointed_attempt(gpu, slice, &checkpoint, &span_name, &mut attempt) {
             Ok(stats) => return Ok((Some(stats), rec)),
             Err(failed) => {
-                if !failed.error.is_transient() {
+                let permanent = matches!(
+                    &failed.error,
+                    SimError::InjectedFault { kind, .. } if kind.is_permanent()
+                );
+                if !permanent && !failed.error.is_transient() {
                     return Err(failed.error);
                 }
                 rec.device_faults += 1;
@@ -258,7 +283,10 @@ fn recover_core<K: SortKey, S>(
         }
     }
     if !policy.cpu_fallback {
-        return Err(last_err.expect("retry loop made at least one attempt"));
+        return Err(last_err.unwrap_or_else(|| SimError::InjectedFault {
+            kind: FaultKind::DeviceDeath,
+            op: label.to_string(),
+        }));
     }
     // Degradation ladder's last rung: the host sorter cannot fault.
     let span = gpu.begin_span(&format!("recovery/{label}/cpu-fallback"));
@@ -643,6 +671,76 @@ mod tests {
             .filter(|c| c.attempts == 1 && c.device_faults == 0)
             .count();
         assert_eq!(clean_chunks, report.chunks.len() - 1);
+    }
+
+    #[test]
+    fn device_death_degrades_to_cpu_without_phantom_faults() {
+        let n = 500;
+        // Big enough to need several chunks on the 60 MiB test device.
+        let num = 40_000;
+        let mut data = reversed_batch(num, n);
+        let original = data.clone();
+        let mut g = gpu();
+        // Kill the device on chunk 1's first launch: chunk 0 completes
+        // cleanly, chunk 1 rolls back and degrades, every later chunk
+        // skips the dead device entirely.
+        g.set_fault_plan(Some(FaultPlan::seeded(11).with_scripted(
+            FaultOp::Launch,
+            3,
+            FaultKind::DeviceDeath,
+        )));
+        let (_, report) = sort_out_of_core_recovering(
+            &GpuArraySort::new(),
+            &mut g,
+            &mut data,
+            n,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(g.is_dead());
+        assert!(cpu_ref::is_each_sorted(&data, n));
+        assert_eq!(cpu_ref::verify_against(&original, &data, n), None);
+        // Exactly one injector entry, exactly one counted fault: the
+        // fail-fast rejections on later chunks count nothing.
+        assert_eq!(g.injected_faults().len(), 1);
+        assert_eq!(report.device_faults(), 1);
+        assert_eq!(report.retries(), 0, "no retry on a dead device");
+        assert!(report.chunks.len() > 2, "must have chunked");
+        assert!(
+            report.chunks[0].attempts == 1 && !report.chunks[0].cpu_fallback,
+            "chunk 0 finished before the death"
+        );
+        assert!(report.chunks[1].cpu_fallback && report.chunks[1].device_faults == 1);
+        for c in &report.chunks[2..] {
+            assert_eq!(
+                (c.attempts, c.device_faults, c.cpu_fallback),
+                (0, 0, true),
+                "post-death chunks never touch the device"
+            );
+        }
+    }
+
+    #[test]
+    fn device_death_without_fallback_propagates_permanent_error() {
+        let n = 50;
+        let num = 10;
+        let mut data = reversed_batch(num, n);
+        let mut g = gpu();
+        g.set_fault_plan(Some(FaultPlan::seeded(6).with_scripted(
+            FaultOp::Launch,
+            0,
+            FaultKind::DeviceDeath,
+        )));
+        let err = GpuArraySort::new()
+            .sort_with_recovery(
+                &mut g,
+                &mut data,
+                n,
+                &RetryPolicy::default().without_cpu_fallback(),
+            )
+            .unwrap_err();
+        assert!(!err.is_transient(), "death is permanent");
+        assert!(err.to_string().contains("device-death"));
     }
 
     #[test]

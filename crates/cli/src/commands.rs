@@ -929,6 +929,9 @@ pub fn cmd_serve(args: &Args) -> Result<String, AnyError> {
         seed,
         max_queue_depth: args.get_or("max-queue", 16)?,
         max_attempts: args.get_or("retries", 3)?,
+        timeout_slack: args.get_or("timeout-slack", 0.0)?,
+        hedge_slack_ms: args.get_or("hedge-slack-ms", 0.0)?,
+        degrade: args.flag("degrade"),
         ..Default::default()
     };
     let mut service = scheduler::SortService::new(specs, cfg, faults.as_ref())?;
@@ -1006,6 +1009,13 @@ pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
     // overflow detection and re-split end to end.
     let deterministic_fraction: f64 = deterministic_fraction_arg(args, 0.25)?;
     let retries: u32 = args.get_or("retries", 3)?;
+    // Tail-tolerance tuning rides into every campaign seed unchanged:
+    // the watchdog slack factor, the hedging threshold and the
+    // degradation ladder (all off by default, preserving the legacy
+    // byte-identical replay baseline).
+    let timeout_slack: f64 = args.get_or("timeout-slack", 0.0)?;
+    let hedge_slack_ms: f64 = args.get_or("hedge-slack-ms", 0.0)?;
+    let degrade = args.flag("degrade");
     let metrics_path = args.get("metrics").map(PathBuf::from);
     let plan = FaultPlan::parse(args.get("faults").unwrap_or(DEFAULT_SOAK_FAULTS))?;
     let trace_dir = args.get("trace-dir").map(PathBuf::from);
@@ -1032,6 +1042,9 @@ pub fn cmd_soak(args: &Args) -> Result<String, AnyError> {
         let cfg = scheduler::SchedulerConfig {
             seed,
             max_attempts: retries,
+            timeout_slack,
+            hedge_slack_ms,
+            degrade,
             ..Default::default()
         };
         let mut service = scheduler::SortService::new(
@@ -1157,6 +1170,21 @@ pub fn cmd_metrics(args: &Args) -> Result<String, AnyError> {
     if !matches!(format, "prom" | "json" | "table") {
         return Err(format!("unknown format {format:?} (prom|json|table)").into());
     }
+    if let Some(family) = args.get("assert-nonempty") {
+        // The presence gate: the named family must hold at least one
+        // series (counter, gauge or histogram) or the command fails.
+        // CI uses this so a "the degradation ladder engaged" check
+        // cannot pass vacuously against a snapshot that never recorded
+        // the family at all.
+        let present = snap.counters.iter().any(|c| c.name == family)
+            || snap.gauges.iter().any(|g| g.name == family)
+            || snap.histograms.iter().any(|h| h.name == family);
+        if !present {
+            return Err(
+                format!("metric family gate FAILED: snapshot holds no {family:?} series").into(),
+            );
+        }
+    }
     if let Some(bound) = args.get("assert-model-p99") {
         let bound: f64 = bound
             .parse()
@@ -1217,19 +1245,31 @@ USAGE:
                [--workload FILE | --requests K --seed S]
                [--warp-fraction F] [--fused-fraction F]
                [--splitters P | --det-fraction F]
-               [--max-queue D] [--retries K] [--trace FILE]
-               [--metrics FILE] [--json]
+               [--max-queue D] [--retries K]
+               [--timeout-slack F] [--hedge-slack-ms MS] [--degrade]
+               [--trace FILE] [--metrics FILE] [--json]
                (deadline-aware batch-sort service over a pool of simulated
                 devices: admission control, per-device circuit breakers,
                 cross-device retry, graceful degradation; exit 1 when any
                 report invariant is violated. MIX is comma-separated device
                 names cycled over N, e.g. --device k40c,k20 --devices 4.
-                --metrics dumps the run's telemetry snapshot as JSON)
+                --metrics dumps the run's telemetry snapshot as JSON.
+                --timeout-slack F arms the attempt watchdog: an attempt
+                billed over F × its worst-case cost-model projection is
+                cancelled at the checkpoint and re-dispatched elsewhere.
+                --hedge-slack-ms MS arms request hedging: a High/Critical
+                request whose deadline slack at dispatch is below MS gets
+                a speculative duplicate on a second idle device; first
+                completion wins, the loser is cancelled and its waste
+                metered. --degrade arms the brownout ladder L0..L4
+                (L1 no hedging, L2 cheapest GAS variant, L3 shed
+                low-priority, L4 host-only) with hysteretic recovery)
   gas soak     [--seeds K | --seed S] [--devices N] [--device MIX]
                [--requests R] [--warp-fraction F] [--fused-fraction F]
                [--splitters P | --det-fraction F]
-               [--faults SPEC] [--retries K] [--trace-dir DIR]
-               [--metrics FILE] [--json]
+               [--faults SPEC] [--retries K]
+               [--timeout-slack F] [--hedge-slack-ms MS] [--degrade]
+               [--trace-dir DIR] [--metrics FILE] [--json]
                (seeded scheduler campaign; each seed runs twice and both
                 the report and the telemetry snapshot must be
                 byte-identical, reconcile every injected fault and leave a
@@ -1238,15 +1278,21 @@ USAGE:
                 --fused-fraction to gas-fused (default 0.15),
                 --det-fraction to the deterministic splitter pipelines
                 (default 0.25; --splitters pins it to 1 or 0); --metrics
-                writes the per-seed registries merged into one snapshot)
+                writes the per-seed registries merged into one snapshot.
+                --timeout-slack, --hedge-slack-ms and --degrade carry the
+                serve-tier tail-tolerance tuning into every campaign seed,
+                and the replay/reconciliation gates still apply)
   gas metrics  --input FILE [--format prom|json|table]
-               [--assert-model-p99 BOUND]
+               [--assert-model-p99 BOUND] [--assert-nonempty FAMILY]
                (renders a telemetry snapshot written by serve/soak
                 --metrics: Prometheus text exposition, canonical JSON or
                 an aligned table with p50/p90/p99/p999 per histogram.
                 --assert-model-p99 exits 1 unless the p99 of the
                 cost-model |relative error| stays within BOUND — and the
-                gas_model_accuracy_rel_err family is non-empty)
+                gas_model_accuracy_rel_err family is non-empty.
+                --assert-nonempty exits 1 unless the named metric family
+                holds at least one series, so CI gates on e.g.
+                gas_degradation_transitions_total cannot pass vacuously)
   gas chaos    [--seeds K | --seed S] [--algorithm gas|gas-fused|gas-warp]
                [--num-arrays N] [--array-len n]
                [--splitters regular|deterministic] [--arrangement ...]
@@ -1269,13 +1315,16 @@ USAGE:
 FAULT SPECS (comma-separated key=value):
   seed=S                    RNG seed for the fault stream (chaos adds its
                             campaign seed on top)
-  launch=P abort=P corrupt=P oom=P stall=P
+  launch=P abort=P corrupt=P oom=P stall=P device-death=P
                             per-operation probabilities in [0,1]
+                            (device-death is permanent: the first hit takes
+                            that device out of rotation for the whole run)
   stall-ms=MS               extra latency per injected stall (default 1.0)
   max=K                     cap total injected faults
-  launch-at=I abort-at=I corrupt-at=I oom-at=I stall-at=I
+  launch-at=I abort-at=I corrupt-at=I oom-at=I stall-at=I device-death-at=I
                             script a fault at the I-th operation of that class
   example: --faults seed=7,launch=0.1,corrupt=0.05,stall=0.2,stall-ms=0.5
+  example: --faults seed=7,device-death=0.02,stall=0.05
 "
 }
 
@@ -2364,5 +2413,115 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
         assert_eq!(v["requests"], 15);
         assert_eq!(v["records"].as_array().unwrap().len(), 15);
+    }
+
+    #[test]
+    fn serve_accepts_the_tail_tolerance_flags_and_reports_degradation() {
+        let msg = run(&[
+            "serve",
+            "--devices",
+            "2",
+            "--requests",
+            "20",
+            "--seed",
+            "1",
+            "--timeout-slack",
+            "4.0",
+            "--hedge-slack-ms",
+            "5.0",
+            "--degrade",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        assert_eq!(v["requests"], 20);
+        assert_eq!(v["degradation"]["enabled"], true, "{}", v["degradation"]);
+        assert_eq!(
+            v["degradation"]["time_at_level_ms"]
+                .as_array()
+                .unwrap()
+                .len(),
+            5,
+            "an enabled ladder reports all five level buckets"
+        );
+    }
+
+    #[test]
+    fn soak_under_device_death_with_the_ladder_passes_the_nonempty_gate() {
+        let m = tmp("soak_degrade_metrics.json");
+        run(&[
+            "soak",
+            "--seed",
+            "2",
+            "--devices",
+            "2",
+            "--requests",
+            "25",
+            "--faults",
+            "seed=1,device-death=0.01,stall=0.03,stall-ms=0.2",
+            "--hedge-slack-ms",
+            "2.0",
+            "--degrade",
+            "--metrics",
+            &m,
+        ])
+        .unwrap();
+        // The degradation-level gauge is published whenever the ladder
+        // is armed, so the presence gate holds…
+        run(&[
+            "metrics",
+            "--input",
+            &m,
+            "--assert-nonempty",
+            "gas_degradation_level",
+        ])
+        .unwrap();
+        // …and the same gate refuses a family the run never recorded.
+        let err = run(&[
+            "metrics",
+            "--input",
+            &m,
+            "--assert-nonempty",
+            "gas_no_such_family_total",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(
+            err.contains("no \"gas_no_such_family_total\" series"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn chaos_reconciles_a_device_death_campaign() {
+        let msg = run(&[
+            "chaos",
+            "--seed",
+            "3",
+            "--num-arrays",
+            "400",
+            "--array-len",
+            "100",
+            "--faults",
+            "seed=0,device-death-at=3",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&msg).unwrap();
+        let runs = v["runs"].as_array().unwrap();
+        assert_eq!(runs.len(), 1);
+        let r = &runs[0];
+        assert_eq!(r["sorted_ok"], true, "{r}");
+        assert_eq!(r["accounted"], true, "{r}");
+        assert_eq!(r["metrics_reconciled"], true, "{r}");
+        assert_eq!(
+            r["faults_injected"], 1,
+            "one death, no phantom entries: {r}"
+        );
+        assert!(
+            r["cpu_fallbacks"].as_u64().unwrap() > 0,
+            "post-death chunks must fall back to the host: {r}"
+        );
+        assert!(v["failures"].as_array().unwrap().is_empty());
     }
 }

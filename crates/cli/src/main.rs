@@ -32,6 +32,17 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // The tail-tolerance tuning flags are numeric wherever they appear
+    // (serve/soak); a value that does not parse is an argument error
+    // (exit 2), same as any unparsable argv.
+    for key in ["timeout-slack", "hedge-slack-ms"] {
+        if let Some(v) = args.get(key) {
+            if v.parse::<f64>().is_err() {
+                eprintln!("error: --{key}: cannot parse {v:?}\n\n{}", usage());
+                std::process::exit(2);
+            }
+        }
+    }
     let result = match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "sort" => cmd_sort(&args),

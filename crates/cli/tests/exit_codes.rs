@@ -371,6 +371,120 @@ fn metrics_exit_codes_are_pinned() {
 }
 
 #[test]
+fn tail_tolerance_flag_exit_codes_are_pinned() {
+    // A non-numeric value for either tuning flag is an argument error —
+    // exit 2, usage on stderr — no matter which subcommand carries it.
+    for cmdline in [
+        vec!["serve", "--requests", "5", "--timeout-slack", "banana"],
+        vec!["serve", "--requests", "5", "--hedge-slack-ms", "soon"],
+        vec!["soak", "--seeds", "1", "--timeout-slack", "banana"],
+        vec!["soak", "--seeds", "1", "--hedge-slack-ms", "soon"],
+        vec!["chaos", "--seeds", "1", "--timeout-slack", "banana"],
+    ] {
+        let out = gas(&cmdline);
+        assert_eq!(out.status.code(), Some(2), "{cmdline:?}: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains("cannot parse"),
+            "{cmdline:?}: {}",
+            stderr(&out)
+        );
+    }
+    // Valid tuning runs end to end and exits 0, invariants included.
+    let out = gas(&[
+        "serve",
+        "--devices",
+        "2",
+        "--requests",
+        "12",
+        "--seed",
+        "1",
+        "--timeout-slack",
+        "4.0",
+        "--hedge-slack-ms",
+        "2.0",
+        "--degrade",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+}
+
+#[test]
+fn device_death_fault_spec_exit_codes_are_pinned() {
+    // A death rate outside [0,1] is a command error (invalid fault
+    // spec), exit 1 — and so is an unknown scripted kind.
+    let out = gas(&["serve", "--requests", "5", "--faults", "device-death=2.0"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("invalid fault spec"),
+        "{}",
+        stderr(&out)
+    );
+    let out = gas(&["serve", "--requests", "5", "--faults", "gremlins-at=3"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("invalid fault spec"),
+        "{}",
+        stderr(&out)
+    );
+    // A valid death spec serves the workload and exits 0: the pool
+    // survives the loss and the report still reconciles.
+    let out = gas(&[
+        "serve",
+        "--devices",
+        "2",
+        "--requests",
+        "12",
+        "--seed",
+        "1",
+        "--faults",
+        "seed=4,device-death=0.01",
+        "--degrade",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+}
+
+#[test]
+fn metrics_nonempty_gate_exit_codes_are_pinned() {
+    let m = tmp("metrics_nonempty.json");
+    let out = gas(&[
+        "serve",
+        "--devices",
+        "2",
+        "--requests",
+        "12",
+        "--seed",
+        "1",
+        "--degrade",
+        "--metrics",
+        &m,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    // Present family: exit 0. The degradation-level gauge is always
+    // published when the ladder is armed.
+    let out = gas(&[
+        "metrics",
+        "--input",
+        &m,
+        "--assert-nonempty",
+        "gas_degradation_level",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    // Absent family: exit 1 with a diagnostic naming the family.
+    let out = gas(&[
+        "metrics",
+        "--input",
+        &m,
+        "--assert-nonempty",
+        "gas_no_such_family_total",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("gas_no_such_family_total"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn trace_write_failure_is_an_error_not_a_panic() {
     let f = fixture("trace_err.bin", "4", "16");
     let out = gas(&[

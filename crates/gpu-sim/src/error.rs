@@ -34,9 +34,11 @@ pub enum SimError {
         dst_len: usize,
     },
     /// A fault injected by an active [`crate::faults::FaultPlan`] (chaos
-    /// testing). The only *transient* error in the taxonomy: the
-    /// operation hit simulated bad luck, not a deterministic limit, so
-    /// reissuing it can succeed.
+    /// testing). The only error in the taxonomy that can be *transient*:
+    /// the operation hit simulated bad luck, not a deterministic limit,
+    /// so reissuing it can succeed — except
+    /// [`crate::faults::FaultKind::DeviceDeath`], which is permanent
+    /// (the device is gone; retrying there can never work).
     InjectedFault {
         /// What kind of fault fired.
         kind: crate::faults::FaultKind,
@@ -50,13 +52,15 @@ impl SimError {
     /// Transient/fatal taxonomy: `true` when retrying the failed
     /// operation can succeed.
     ///
-    /// Only [`SimError::InjectedFault`] is transient. Everything else —
-    /// real capacity exhaustion, launch-geometry violations, size
+    /// Only [`SimError::InjectedFault`] can be transient, and only for
+    /// recoverable kinds — an injected
+    /// [`crate::faults::FaultKind::DeviceDeath`] is permanent. Everything
+    /// else — real capacity exhaustion, launch-geometry violations, size
     /// mismatches — is a deterministic property of the request and will
     /// fail identically on every retry, so recovery layers must treat it
     /// as fatal and propagate it.
     pub fn is_transient(&self) -> bool {
-        matches!(self, SimError::InjectedFault { .. })
+        matches!(self, SimError::InjectedFault { kind, .. } if !kind.is_permanent())
     }
 }
 
@@ -83,7 +87,12 @@ impl fmt::Display for SimError {
                 "transfer size mismatch: src has {src_len} elements, dst has {dst_len}"
             ),
             SimError::InjectedFault { kind, op } => {
-                write!(f, "injected {kind} fault during `{op}` (transient)")
+                let nature = if kind.is_permanent() {
+                    "permanent"
+                } else {
+                    "transient"
+                };
+                write!(f, "injected {kind} fault during `{op}` ({nature})")
             }
         }
     }
@@ -130,6 +139,13 @@ mod tests {
         assert!(injected.is_transient());
         assert!(injected.to_string().contains("transfer-abort"));
         assert!(injected.to_string().contains("transient"));
+        let death = SimError::InjectedFault {
+            kind: crate::faults::FaultKind::DeviceDeath,
+            op: "kernel".into(),
+        };
+        assert!(!death.is_transient(), "device death is permanent");
+        assert!(death.to_string().contains("device-death"));
+        assert!(death.to_string().contains("permanent"));
         for fatal in [
             SimError::OutOfMemory {
                 requested: 1,

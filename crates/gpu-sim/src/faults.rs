@@ -36,6 +36,13 @@
 //!   succeeds but takes [`FaultPlan::stall_ms`] longer. Never an error.
 //! * **Device OOM** ([`FaultKind::DeviceOom`]) — an allocation fails as
 //!   if the device were out of memory, without touching the ledger.
+//! * **Device death** ([`FaultKind::DeviceDeath`]) — the device falls off
+//!   the bus at a kernel launch and never comes back: the launch fails,
+//!   the [`crate::Gpu`] is marked dead, and every later operation fails
+//!   immediately with the same *permanent* error (the one injected fault
+//!   whose [`crate::SimError::is_transient`] is `false`). Only the
+//!   original death lands in the injector log; the fail-fast rejections
+//!   afterwards are consequences, not new faults.
 //!
 //! [`crate::Gpu::dtoh_copy`] is *not* an injection point: its infallible
 //! signature predates this module and is kept compatible. Fault-tolerant
@@ -60,6 +67,10 @@ pub enum FaultKind {
     StreamStall,
     /// An allocation fails as if device memory were exhausted.
     DeviceOom,
+    /// The device dies permanently at a kernel launch: the launch fails
+    /// and every subsequent operation on the device fails immediately
+    /// with the same error. The only *permanent* injected fault.
+    DeviceDeath,
 }
 
 impl FaultKind {
@@ -67,6 +78,12 @@ impl FaultKind {
     /// except [`FaultKind::StreamStall`], which only costs time).
     pub fn is_error(self) -> bool {
         !matches!(self, FaultKind::StreamStall)
+    }
+
+    /// True when the fault is unrecoverable on this device: retrying the
+    /// operation there can never succeed. Only [`FaultKind::DeviceDeath`].
+    pub fn is_permanent(self) -> bool {
+        matches!(self, FaultKind::DeviceDeath)
     }
 }
 
@@ -78,6 +95,7 @@ impl fmt::Display for FaultKind {
             FaultKind::TransferCorruption => "transfer-corruption",
             FaultKind::StreamStall => "stream-stall",
             FaultKind::DeviceOom => "device-oom",
+            FaultKind::DeviceDeath => "device-death",
         };
         f.write_str(s)
     }
@@ -127,6 +145,11 @@ pub struct FaultPlan {
     pub alloc_oom: f64,
     /// Probability that a launch or transfer stalls for [`Self::stall_ms`].
     pub stream_stall: f64,
+    /// Probability that a kernel launch kills the device permanently
+    /// ([`FaultKind::DeviceDeath`]). Defaults to 0 so plans serialized
+    /// before the kind existed parse unchanged.
+    #[serde(default)]
+    pub device_death: f64,
     /// Extra simulated milliseconds a stalled operation takes.
     pub stall_ms: f64,
     /// Stop injecting after this many faults (scripted + probabilistic).
@@ -146,6 +169,7 @@ impl Default for FaultPlan {
             transfer_corruption: 0.0,
             alloc_oom: 0.0,
             stream_stall: 0.0,
+            device_death: 0.0,
             stall_ms: 1.0,
             max_faults: None,
             scripted: Vec::new(),
@@ -194,6 +218,12 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the permanent device-death rate (per kernel launch).
+    pub fn with_device_death(mut self, rate: f64) -> Self {
+        self.device_death = rate;
+        self
+    }
+
     /// Caps the total number of injected faults.
     pub fn with_max_faults(mut self, max: u32) -> Self {
         self.max_faults = Some(max);
@@ -214,15 +244,18 @@ impl FaultPlan {
             && self.transfer_corruption == 0.0
             && self.alloc_oom == 0.0
             && self.stream_stall == 0.0
+            && self.device_death == 0.0
     }
 
     /// Parses a compact `key=value,key=value` spec, the format accepted by
     /// `gas sort --faults` and `gas chaos --faults`.
     ///
-    /// Keys: `seed=N`, rates `launch`/`abort`/`corrupt`/`oom`/`stall`
-    /// (floats in `[0,1]`), `stall-ms=F`, `max=N`, and scripted pins
-    /// `launch-at=I`, `abort-at=I`, `corrupt-at=I`, `oom-at=I`,
-    /// `stall-at=I` (0-based operation index within the class; repeatable).
+    /// Keys: `seed=N`, rates `launch`/`abort`/`corrupt`/`oom`/`stall`/
+    /// `device-death` (floats in `[0,1]`), `stall-ms=F`, `max=N`, and
+    /// scripted pins `launch-at=I`, `abort-at=I`, `corrupt-at=I`,
+    /// `oom-at=I`, `stall-at=I`, `device-death-at=I` (0-based operation
+    /// index within the class; repeatable). Unknown keys are parse
+    /// errors, never silently ignored.
     ///
     /// ```
     /// use gpu_sim::FaultPlan;
@@ -247,6 +280,7 @@ impl FaultPlan {
                 "corrupt" => plan.transfer_corruption = parse_rate(key, value)?,
                 "oom" => plan.alloc_oom = parse_rate(key, value)?,
                 "stall" => plan.stream_stall = parse_rate(key, value)?,
+                "device-death" => plan.device_death = parse_rate(key, value)?,
                 "stall-ms" => plan.stall_ms = parse_f64(key, value)?,
                 "max" => plan.max_faults = Some(parse_u64(key, value)? as u32),
                 "launch-at" => {
@@ -284,11 +318,19 @@ impl FaultPlan {
                         FaultKind::StreamStall,
                     )
                 }
+                "device-death-at" => {
+                    plan = plan.with_scripted(
+                        FaultOp::Launch,
+                        parse_u64(key, value)?,
+                        FaultKind::DeviceDeath,
+                    )
+                }
                 other => {
                     return Err(FaultSpecError::new(format!(
                         "unknown fault-spec key `{other}` \
-                         (known: seed, launch, abort, corrupt, oom, stall, stall-ms, max, \
-                         launch-at, abort-at, corrupt-at, oom-at, stall-at)"
+                         (known: seed, launch, abort, corrupt, oom, stall, device-death, \
+                         stall-ms, max, launch-at, abort-at, corrupt-at, oom-at, stall-at, \
+                         device-death-at)"
                     )))
                 }
             }
@@ -300,9 +342,9 @@ impl FaultPlan {
     /// Checks that every rate is a probability and the per-operation-class
     /// sums do not exceed 1.
     pub fn validate(&self) -> Result<(), FaultSpecError> {
-        if self.launch_failure + self.stream_stall > 1.0 {
+        if self.launch_failure + self.device_death + self.stream_stall > 1.0 {
             return Err(FaultSpecError::new(
-                "launch + stall rates exceed 1.0".to_string(),
+                "launch + device-death + stall rates exceed 1.0".to_string(),
             ));
         }
         if self.transfer_abort + self.transfer_corruption + self.stream_stall > 1.0 {
@@ -452,8 +494,11 @@ impl FaultInjector {
     }
 
     /// Consults the plan for the next kernel launch named `name`; `now_ms`
-    /// stamps the log entry. Returns [`FaultKind::LaunchFailure`] or
-    /// [`FaultKind::StreamStall`] when a fault fires.
+    /// stamps the log entry. Returns [`FaultKind::LaunchFailure`],
+    /// [`FaultKind::DeviceDeath`] or [`FaultKind::StreamStall`] when a
+    /// fault fires. The threshold order puts `launch_failure` first, so a
+    /// zero death rate leaves launch-failure fire indices untouched (the
+    /// stream-alignment contract).
     pub fn on_launch(&mut self, name: &str, now_ms: f64) -> Option<FaultKind> {
         let index = self.launches;
         self.launches += 1;
@@ -461,10 +506,14 @@ impl FaultInjector {
         if !self.budget_left() {
             return None;
         }
+        let launch = self.plan.launch_failure;
+        let death = self.plan.device_death;
         let kind = self.scripted(FaultOp::Launch, index).or_else(|| {
-            if draw < self.plan.launch_failure {
+            if draw < launch {
                 Some(FaultKind::LaunchFailure)
-            } else if draw < self.plan.launch_failure + self.plan.stream_stall {
+            } else if draw < launch + death {
+                Some(FaultKind::DeviceDeath)
+            } else if draw < launch + death + self.plan.stream_stall {
                 Some(FaultKind::StreamStall)
             } else {
                 None
@@ -685,6 +734,75 @@ mod tests {
         );
         assert!(FaultPlan::parse("stall-ms=-1").is_err(), "negative stall");
         assert!(FaultPlan::parse("").is_ok(), "empty spec is an empty plan");
+    }
+
+    #[test]
+    fn parse_accepts_device_death_keys() {
+        let plan = FaultPlan::parse("seed=3,device-death=0.02,device-death-at=4").unwrap();
+        assert_eq!(plan.device_death, 0.02);
+        assert_eq!(
+            plan.scripted,
+            vec![ScriptedFault {
+                op: FaultOp::Launch,
+                index: 4,
+                kind: FaultKind::DeviceDeath
+            }]
+        );
+        assert!(!plan.is_empty());
+        // The launch class sum includes the death rate.
+        assert!(
+            FaultPlan::parse("launch=0.6,device-death=0.3,stall=0.2").is_err(),
+            "launch-class sum > 1"
+        );
+        // An unknown kind's scripted key is rejected, not silently dropped.
+        let err = FaultPlan::parse("gpu-melt-at=0").unwrap_err();
+        assert!(err.to_string().contains("unknown fault-spec key"));
+        assert!(err.to_string().contains("device-death-at"), "{err}");
+    }
+
+    #[test]
+    fn device_death_is_a_permanent_error_kind() {
+        assert!(FaultKind::DeviceDeath.is_error());
+        assert!(FaultKind::DeviceDeath.is_permanent());
+        for kind in [
+            FaultKind::LaunchFailure,
+            FaultKind::TransferAbort,
+            FaultKind::TransferCorruption,
+            FaultKind::StreamStall,
+            FaultKind::DeviceOom,
+        ] {
+            assert!(!kind.is_permanent(), "{kind} must stay recoverable");
+        }
+        assert_eq!(FaultKind::DeviceDeath.to_string(), "device-death");
+    }
+
+    #[test]
+    fn death_rate_zero_keeps_launch_stream_aligned() {
+        // Adding (or removing) a death rate of zero must not move which
+        // launches fail — same one-draw-per-op contract as the stall knob.
+        let fire_indices = |plan: FaultPlan| {
+            let mut inj = FaultInjector::new(plan);
+            (0..256u64)
+                .filter(|_| inj.on_launch("k", 0.0) == Some(FaultKind::LaunchFailure))
+                .collect::<Vec<_>>()
+        };
+        let with_death = fire_indices(
+            FaultPlan::seeded(11)
+                .with_launch_failure(0.2)
+                .with_device_death(0.0),
+        );
+        let without = fire_indices(FaultPlan::seeded(11).with_launch_failure(0.2));
+        assert_eq!(with_death, without);
+    }
+
+    #[test]
+    fn scripted_device_death_fires_and_counts_as_error() {
+        let plan = FaultPlan::seeded(0).with_scripted(FaultOp::Launch, 1, FaultKind::DeviceDeath);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.on_launch("a", 0.0), None);
+        assert_eq!(inj.on_launch("b", 2.0), Some(FaultKind::DeviceDeath));
+        assert_eq!(inj.log().len(), 1);
+        assert_eq!(inj.error_faults(), 1);
     }
 
     #[test]

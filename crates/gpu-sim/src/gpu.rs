@@ -84,6 +84,11 @@ pub struct Gpu {
     current_stream: Option<StreamId>,
     open_spans: Vec<usize>,
     faults: Option<Mutex<FaultInjector>>,
+    /// Set when a [`FaultKind::DeviceDeath`] fired: the device fell off
+    /// the bus. Every later operation fails immediately with the same
+    /// permanent error, without consulting the injector (one log entry
+    /// per death, so fault accounting stays 1:1 with attempts).
+    dead: bool,
 }
 
 /// Fraction of a transfer's full time an aborted transfer still costs
@@ -109,6 +114,21 @@ impl Gpu {
             current_stream: None,
             open_spans: Vec::new(),
             faults: None,
+            dead: false,
+        }
+    }
+
+    /// True once an injected [`FaultKind::DeviceDeath`] has fired. A dead
+    /// device rejects every operation with the original death error.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// The permanent error a dead device returns for every operation.
+    fn death_error(op: &str) -> SimError {
+        SimError::InjectedFault {
+            kind: FaultKind::DeviceDeath,
+            op: op.to_string(),
         }
     }
 
@@ -312,6 +332,9 @@ impl Gpu {
     /// Allocates an uninitialized-by-convention (actually zeroed) device
     /// buffer of `len` elements.
     pub fn alloc<T: Copy + Default>(&self, len: usize) -> SimResult<DeviceBuffer<T>> {
+        if self.dead {
+            return Err(Self::death_error("alloc"));
+        }
         if self.next_alloc_fault("alloc").is_some() {
             return Err(SimError::InjectedFault {
                 kind: FaultKind::DeviceOom,
@@ -324,6 +347,9 @@ impl Gpu {
     /// Allocates a device buffer and copies `host` into it, charging PCIe
     /// transfer time (`cudaMemcpy` H→D).
     pub fn htod_copy<T: Copy + Default>(&mut self, host: &[T]) -> SimResult<DeviceBuffer<T>> {
+        if self.dead {
+            return Err(Self::death_error("htod_copy"));
+        }
         if self.next_alloc_fault("htod_copy").is_some() {
             return Err(SimError::InjectedFault {
                 kind: FaultKind::DeviceOom,
@@ -357,6 +383,9 @@ impl Gpu {
     /// Overwrites an existing device buffer from `host` (sizes must match),
     /// charging transfer time.
     pub fn htod_into<T: Copy>(&mut self, host: &[T], dst: &mut DeviceBuffer<T>) -> SimResult<()> {
+        if self.dead {
+            return Err(Self::death_error("htod"));
+        }
         if host.len() != dst.len() {
             return Err(SimError::TransferSizeMismatch {
                 src_len: host.len(),
@@ -403,6 +432,9 @@ impl Gpu {
         buf: &mut DeviceBuffer<T>,
         host: &mut [T],
     ) -> SimResult<()> {
+        if self.dead {
+            return Err(Self::death_error("dtoh"));
+        }
         if host.len() != buf.len() {
             return Err(SimError::TransferSizeMismatch {
                 src_len: buf.len(),
@@ -517,6 +549,9 @@ impl Gpu {
     where
         F: Fn(&mut BlockCtx) + Sync,
     {
+        if self.dead {
+            return Err(Self::death_error(name));
+        }
         self.validate(&cfg)?;
         let fault = self.next_launch_fault(name);
         if matches!(fault, Some(FaultKind::LaunchFailure)) {
@@ -528,6 +563,15 @@ impl Gpu {
                 kind: FaultKind::LaunchFailure,
                 op: name.to_string(),
             });
+        }
+        if matches!(fault, Some(FaultKind::DeviceDeath)) {
+            // The device falls off the bus: the kernel never runs, the
+            // driver round-trip is paid once, and the device is dead for
+            // good — every later operation fails fast with this error.
+            let overhead_ms = self.spec.kernel_launch_us / 1_000.0;
+            self.charge_lost_time("launch[device-death]", Engine::Compute, overhead_ms);
+            self.dead = true;
+            return Err(Self::death_error(name));
         }
         let stall_ms = self.stall_for(fault);
         let sm_count = self.spec.sm_count as usize;
@@ -1180,6 +1224,61 @@ mod tests {
         g.end_span(fresh);
         g.end_span(outer);
         assert_eq!(g.open_span_count(), 0);
+    }
+
+    #[test]
+    fn device_death_is_permanent_and_logged_once() {
+        use crate::faults::{FaultKind, FaultOp, FaultPlan};
+        let mut g = gpu();
+        g.set_fault_plan(Some(FaultPlan::seeded(0).with_scripted(
+            FaultOp::Launch,
+            0,
+            FaultKind::DeviceDeath,
+        )));
+        assert!(!g.is_dead());
+        let buf = g.alloc::<u32>(64).unwrap();
+        let view = buf.view();
+        let err = g
+            .launch("doomed", LaunchConfig::grid(2, 32), |b| {
+                b.threads(|t| view.set(t.global_idx(), 1));
+            })
+            .unwrap_err();
+        assert!(!err.is_transient(), "death is permanent");
+        assert!(matches!(
+            err,
+            SimError::InjectedFault {
+                kind: FaultKind::DeviceDeath,
+                ..
+            }
+        ));
+        assert!(g.is_dead());
+        let overhead = g.spec().kernel_launch_us / 1_000.0;
+        assert!((g.elapsed_ms() - overhead).abs() < 1e-12, "overhead billed");
+        // Every later operation fails fast with the same error and does
+        // NOT add injector log entries: one death, one fault.
+        let view = buf.view();
+        let retry = g
+            .launch("retry", LaunchConfig::grid(2, 32), |b| {
+                b.threads(|t| view.set(t.global_idx(), 1));
+            })
+            .unwrap_err();
+        assert!(matches!(
+            retry,
+            SimError::InjectedFault {
+                kind: FaultKind::DeviceDeath,
+                ..
+            }
+        ));
+        assert!(g.alloc::<u32>(4).is_err());
+        assert!(g.htod_copy(&[1u32]).is_err());
+        let mut buf = buf;
+        let mut host = [0u32; 64];
+        assert!(g.dtoh_into(&mut buf, &mut host).is_err());
+        assert_eq!(g.injected_faults().len(), 1, "only the death is logged");
+        assert!(
+            (g.elapsed_ms() - overhead).abs() < 1e-12,
+            "fail-fast ops bill no time"
+        );
     }
 
     #[test]

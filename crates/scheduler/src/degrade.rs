@@ -1,0 +1,256 @@
+//! The graceful-degradation ladder.
+//!
+//! Under sustained overload or a shrinking device pool the service does
+//! not fail all at once: it steps through explicit brownout levels, each
+//! trading a little quality for a lot of headroom, and climbs back down
+//! only after the pressure has demonstrably eased:
+//!
+//! | level | behaviour |
+//! |-------|-----------|
+//! | L0    | normal serving |
+//! | L1    | request hedging disabled (no speculative duplicates) |
+//! | L2    | GAS requests forced to the cheapest pipeline variant |
+//! | L3    | low-priority requests shed at admission |
+//! | L4    | host-only serving (`cpu_ref`; the pool is gone) |
+//!
+//! Two pressure signals drive the target level, and the ladder sits at
+//! their maximum:
+//!
+//! * **pool pressure** — the fraction of devices permanently lost
+//!   (blacklisted breakers, device deaths): ≥ 25% → L1, ≥ 50% → L2,
+//!   ≥ 75% → L3, no healthy device at all → L4;
+//! * **queue pressure** — occupancy of the bounded queue: ≥ 50% → L1,
+//!   ≥ 75% → L2, at/over capacity → L3.
+//!
+//! **Escalation is immediate** (a dying fleet cannot wait);
+//! **de-escalation is hysteretic**: one level at a time, and only after
+//! [`DEFAULT_HOLD_MS`] virtual milliseconds have passed since the last
+//! transition, so a pool flapping around a threshold does not thrash the
+//! service between modes. Everything runs on the virtual clock, so the
+//! ladder's trajectory is bit-reproducible like the rest of the run.
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual milliseconds the ladder holds a level before it may step
+/// *down* one rung. Escalation ignores this entirely.
+pub const DEFAULT_HOLD_MS: f64 = 25.0;
+
+/// The highest rung: host-only serving.
+pub const MAX_LEVEL: u8 = 4;
+
+/// One ladder transition, timestamped on the virtual clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationTransition {
+    /// Virtual time of the transition, ms.
+    pub at_ms: f64,
+    /// Level before.
+    pub from: u8,
+    /// Level after.
+    pub to: u8,
+    /// The pressure reading that drove the change.
+    pub reason: String,
+}
+
+/// The ladder state machine. Purely host-side bookkeeping on the
+/// virtual clock; the service consults [`DegradationLadder::level`]
+/// before hedging, variant selection and admission.
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    enabled: bool,
+    level: u8,
+    max_level: u8,
+    hold_ms: f64,
+    last_change_ms: f64,
+    last_seen_ms: f64,
+    time_at_level_ms: [f64; 5],
+    transitions: Vec<DegradationTransition>,
+}
+
+impl DegradationLadder {
+    /// A ladder at L0. A disabled ladder never moves and reports
+    /// nothing.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            level: 0,
+            max_level: 0,
+            hold_ms: DEFAULT_HOLD_MS,
+            last_change_ms: 0.0,
+            last_seen_ms: 0.0,
+            time_at_level_ms: [0.0; 5],
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Same ladder with a custom de-escalation hold (tests).
+    pub fn with_hold_ms(mut self, hold_ms: f64) -> Self {
+        self.hold_ms = hold_ms;
+        self
+    }
+
+    /// Whether the ladder is active at all.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The active level, 0–4. Always 0 when disabled.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// The highest level the run has reached.
+    pub fn max_level(&self) -> u8 {
+        self.max_level
+    }
+
+    /// Every transition so far, in order.
+    pub fn transitions(&self) -> &[DegradationTransition] {
+        &self.transitions
+    }
+
+    /// Virtual milliseconds spent at each level, indexed by level.
+    pub fn time_at_level_ms(&self) -> [f64; 5] {
+        self.time_at_level_ms
+    }
+
+    /// Accumulates wall (virtual) time into the current level's bucket
+    /// up to `now_ms`. Idempotent for non-advancing clocks.
+    pub fn touch(&mut self, now_ms: f64) {
+        if now_ms > self.last_seen_ms {
+            self.time_at_level_ms[self.level as usize] += now_ms - self.last_seen_ms;
+            self.last_seen_ms = now_ms;
+        }
+    }
+
+    /// Level the pool pressure alone demands.
+    fn pool_level(healthy: usize, total: usize) -> u8 {
+        if healthy == 0 {
+            return MAX_LEVEL;
+        }
+        let dead_frac = 1.0 - healthy as f64 / total.max(1) as f64;
+        if dead_frac >= 0.75 {
+            3
+        } else if dead_frac >= 0.5 {
+            2
+        } else if dead_frac >= 0.25 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Level the queue pressure alone demands.
+    fn queue_level(queue_len: usize, depth: usize) -> u8 {
+        let occ = queue_len as f64 / depth.max(1) as f64;
+        if occ >= 1.0 {
+            3
+        } else if occ >= 0.75 {
+            2
+        } else if occ >= 0.5 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Feeds the ladder one pressure reading at `now_ms`. Escalates
+    /// immediately to the target (possibly several rungs at once);
+    /// de-escalates one rung only after the hold has elapsed since the
+    /// last transition. Returns the transition if one happened.
+    pub fn observe(
+        &mut self,
+        now_ms: f64,
+        healthy: usize,
+        total: usize,
+        queue_len: usize,
+        depth: usize,
+    ) -> Option<DegradationTransition> {
+        if !self.enabled {
+            return None;
+        }
+        self.touch(now_ms);
+        let target = Self::pool_level(healthy, total).max(Self::queue_level(queue_len, depth));
+        let next = if target > self.level {
+            target
+        } else if target < self.level && now_ms - self.last_change_ms >= self.hold_ms {
+            self.level - 1
+        } else {
+            return None;
+        };
+        let t = DegradationTransition {
+            at_ms: now_ms,
+            from: self.level,
+            to: next,
+            reason: format!("pool {healthy}/{total} healthy, queue {queue_len}/{depth}"),
+        };
+        self.level = next;
+        self.max_level = self.max_level.max(next);
+        self.last_change_ms = now_ms;
+        self.transitions.push(t.clone());
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalation_is_immediate_and_can_jump_rungs() {
+        let mut l = DegradationLadder::new(true);
+        // 1 of 4 devices left: pool pressure alone demands L3.
+        let t = l.observe(10.0, 1, 4, 0, 16).expect("must escalate");
+        assert_eq!((t.from, t.to), (0, 3));
+        assert_eq!(l.level(), 3);
+        assert_eq!(l.max_level(), 3);
+        // Pool gone entirely: straight to L4 regardless of hold.
+        let t = l.observe(11.0, 0, 4, 0, 16).expect("must escalate again");
+        assert_eq!((t.from, t.to), (3, 4));
+        assert!(t.reason.contains("0/4"));
+    }
+
+    #[test]
+    fn queue_pressure_alone_drives_the_ladder() {
+        let mut l = DegradationLadder::new(true);
+        assert!(l.observe(0.0, 4, 4, 7, 16).is_none(), "43% occupancy: L0");
+        let t = l.observe(1.0, 4, 4, 8, 16).expect("50% occupancy");
+        assert_eq!(t.to, 1);
+        let t = l.observe(2.0, 4, 4, 16, 16).expect("at capacity");
+        assert_eq!(t.to, 3);
+    }
+
+    #[test]
+    fn de_escalation_is_hysteretic_one_rung_at_a_time() {
+        let mut l = DegradationLadder::new(true).with_hold_ms(10.0);
+        l.observe(0.0, 1, 4, 0, 16).expect("to L3");
+        // Pressure gone, but the hold has not elapsed.
+        assert!(l.observe(5.0, 4, 4, 0, 16).is_none(), "held");
+        let t = l.observe(10.0, 4, 4, 0, 16).expect("one rung down");
+        assert_eq!((t.from, t.to), (3, 2));
+        // The next rung needs its own hold period.
+        assert!(l.observe(15.0, 4, 4, 0, 16).is_none(), "held again");
+        let t = l.observe(20.0, 4, 4, 0, 16).expect("another rung");
+        assert_eq!((t.from, t.to), (2, 1));
+        assert_eq!(l.max_level(), 3, "max level remembers the peak");
+    }
+
+    #[test]
+    fn disabled_ladder_never_moves() {
+        let mut l = DegradationLadder::new(false);
+        assert!(l.observe(0.0, 0, 4, 100, 1).is_none());
+        assert_eq!(l.level(), 0);
+        assert!(l.transitions().is_empty());
+    }
+
+    #[test]
+    fn time_accounting_attributes_spans_to_the_level_they_ran_at() {
+        let mut l = DegradationLadder::new(true).with_hold_ms(1e9);
+        l.observe(0.0, 4, 4, 0, 16);
+        l.observe(10.0, 1, 4, 0, 16).expect("to L3 at t=10");
+        l.touch(25.0);
+        let t = l.time_at_level_ms();
+        assert_eq!(t[0], 10.0);
+        assert_eq!(t[3], 15.0);
+        assert_eq!(t[1] + t[2] + t[4], 0.0);
+    }
+}

@@ -23,6 +23,13 @@
 //!   request is shed first (explicitly, never silently), and work whose
 //!   deadline is still feasible on the host falls back to
 //!   [`array_sort::cpu_ref`].
+//! * **Tail tolerance** — an attempt watchdog cancels over-budget
+//!   attempts at their checkpoint, deadline-tight High/Critical requests
+//!   can hedge onto a second device, a permanent
+//!   [`gpu_sim::FaultKind::DeviceDeath`] removes its device from the
+//!   pool forever, and the [`DegradationLadder`] steps the service
+//!   through explicit brownout levels (L0 normal … L4 host-only) with
+//!   hysteretic recovery ([`degrade`], [`SchedulerConfig`]).
 //!
 //! Everything runs on a **virtual clock** driven by the simulator's
 //! cycle bills, with seeded tie-breaking, so a soak over thousands of
@@ -45,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod breaker;
+pub mod degrade;
 pub mod estimate;
 pub mod pool;
 pub mod report;
@@ -52,11 +60,12 @@ pub mod request;
 pub mod service;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use degrade::{DegradationLadder, DegradationTransition, DEFAULT_HOLD_MS, MAX_LEVEL};
 pub use estimate::{CostModel, GasVariant};
 pub use pool::{device_by_name, parse_mix, DevicePool, PooledDevice};
 pub use report::{
-    record_request_metrics, AttemptRecord, DeviceReport, Outcome, PriorityShed, PrioritySlo,
-    RequestRecord, ServiceReport, SloReport, ALL_PRIORITIES,
+    record_request_metrics, AttemptRecord, DegradationReport, DeviceReport, Outcome, PriorityShed,
+    PrioritySlo, RequestRecord, ServiceReport, SloReport, ALL_PRIORITIES,
 };
 pub use request::{Algorithm, Priority, SortRequest, Workload, WorkloadConfig};
 pub use service::{SchedulerConfig, SortService};

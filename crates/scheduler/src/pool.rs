@@ -26,6 +26,8 @@ pub struct PooledDevice {
     pub failed_attempts: u32,
     /// Attempts that failed on this device with a fatal error.
     pub fatal_failures: u32,
+    /// Successful attempts the watchdog cancelled over budget here.
+    pub watchdog_cancels: u32,
 }
 
 impl PooledDevice {
@@ -41,6 +43,16 @@ impl PooledDevice {
             .injected_faults()
             .iter()
             .filter(|f| f.kind.is_error())
+            .count()
+    }
+
+    /// Permanent device-death faults the injector fired here (0 or 1:
+    /// the first death takes the device out of rotation forever).
+    pub fn deaths(&self) -> usize {
+        self.gpu
+            .injected_faults()
+            .iter()
+            .filter(|f| f.kind.is_permanent())
             .count()
     }
 }
@@ -82,6 +94,7 @@ impl DevicePool {
                     completed: 0,
                     failed_attempts: 0,
                     fatal_failures: 0,
+                    watchdog_cancels: 0,
                 }
             })
             .collect();

@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 use telemetry::Registry;
 
+use crate::degrade::DegradationTransition;
 use crate::request::{Algorithm, Priority};
 
 /// One device attempt at serving a request.
@@ -33,6 +34,25 @@ pub struct AttemptRecord {
     /// or `sta`. Empty in pre-telemetry records.
     #[serde(default)]
     pub variant: String,
+    /// True for a speculative hedge attempt (the duplicate issued on a
+    /// second device for a deadline-tight request). False in records
+    /// written before hedging existed.
+    #[serde(default)]
+    pub hedge: bool,
+    /// Why a *successful* attempt's result was discarded: the watchdog
+    /// cancelled it over budget (`watchdog: …`) or it lost the hedge
+    /// race (`hedge: lost to devN`). `None` for the attempt whose result
+    /// was kept and for attempts that failed outright.
+    #[serde(default)]
+    pub cancelled: Option<String>,
+}
+
+impl AttemptRecord {
+    /// True when the attempt succeeded and its result was kept — the
+    /// attempt that actually served the request.
+    pub fn is_winner(&self) -> bool {
+        self.error.is_none() && self.cancelled.is_none()
+    }
 }
 
 /// How a request left the system. Every admitted or rejected request
@@ -235,13 +255,21 @@ impl SloReport {
 /// * `gas_request_retries_total{priority, algorithm}` — re-dispatches
 ///   after the first device attempt;
 /// * `gas_attempts_total{algorithm, device, result}` with `result` ∈
-///   `ok|transient|fatal`;
+///   `ok|cancelled|transient|fatal` (`cancelled` = a successful attempt
+///   whose result was discarded by the watchdog or a lost hedge race);
+/// * `gas_hedges_total{outcome}` with `outcome` ∈ `won|lost|cancelled`
+///   per hedge attempt, and `gas_hedge_wasted_ms_total` — device time
+///   burned by hedge losers and hedge-race cancellations;
+/// * `gas_watchdog_cancels_total{device}` — attempts the watchdog
+///   cancelled over budget;
 /// * `gas_request_queue_wait_ms`, `gas_request_e2e_ms`,
 ///   `gas_deadline_slack_ms{priority}` (signed — negative = missed) and
 ///   `gas_request_service_ms{priority, algorithm}` histograms;
 /// * `gas_deadline_total{priority, result}` with `result` ∈ `hit|miss`;
 /// * `gas_model_accuracy_rel_err{algorithm, variant, device}` — signed
-///   `(billed − predicted) / predicted` per successful device attempt.
+///   `(billed − predicted) / predicted` per *winning* device attempt
+///   (cancelled attempts are excluded: their bill measures the fault
+///   plan or the race, not the model).
 ///
 /// [`SortService`]: crate::SortService
 pub fn record_request_metrics(reg: &mut Registry, r: &RequestRecord) {
@@ -275,7 +303,9 @@ pub fn record_request_metrics(reg: &mut Registry, r: &RequestRecord) {
     }
     for a in &r.attempts {
         let device = format!("dev{}", a.device);
-        let result = if a.error.is_none() {
+        let result = if a.cancelled.is_some() {
+            "cancelled"
+        } else if a.error.is_none() {
             "ok"
         } else if a.transient {
             "transient"
@@ -286,7 +316,30 @@ pub fn record_request_metrics(reg: &mut Registry, r: &RequestRecord) {
             "gas_attempts_total",
             &[("algorithm", alg), ("device", &device), ("result", result)],
         );
-        if a.error.is_none() && a.predicted_ms > 0.0 {
+        if a.hedge {
+            let outcome = if a.error.is_some() {
+                "cancelled"
+            } else if a.cancelled.is_some() {
+                "lost"
+            } else {
+                "won"
+            };
+            reg.inc("gas_hedges_total", &[("outcome", outcome)]);
+            if outcome != "won" {
+                reg.add("gas_hedge_wasted_ms_total", &[], a.end_ms - a.start_ms);
+            }
+        }
+        if let Some(c) = &a.cancelled {
+            if !a.hedge && c.starts_with("hedge:") {
+                // The primary that lost to its own hedge wasted its bill
+                // just like a losing hedge attempt.
+                reg.add("gas_hedge_wasted_ms_total", &[], a.end_ms - a.start_ms);
+            }
+            if c.starts_with("watchdog") {
+                reg.inc("gas_watchdog_cancels_total", &[("device", &device)]);
+            }
+        }
+        if a.is_winner() && a.predicted_ms > 0.0 {
             let billed = a.end_ms - a.start_ms;
             let variant = if a.variant.is_empty() {
                 "unknown"
@@ -354,6 +407,46 @@ pub struct DeviceReport {
     pub blacklisted: bool,
     /// Simulated milliseconds of device activity.
     pub device_ms: f64,
+    /// Permanent device-death faults this device's injector fired (0 or
+    /// 1 per run: the first death removes the device from rotation).
+    #[serde(default)]
+    pub deaths: usize,
+    /// Successful attempts the watchdog cancelled over budget on this
+    /// device.
+    #[serde(default)]
+    pub watchdog_cancels: u32,
+}
+
+/// The tail-tolerance section of a [`ServiceReport`]: the degradation
+/// ladder's trajectory plus the hedge/watchdog/death accounting, every
+/// count recomputable from the raw records (and recomputed by
+/// [`ServiceReport::invariant_violations`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DegradationReport {
+    /// Whether the ladder was active for the run.
+    pub enabled: bool,
+    /// Level at the end of the run.
+    pub final_level: u8,
+    /// Highest level reached.
+    pub max_level: u8,
+    /// Every ladder transition, in order.
+    pub transitions: Vec<DegradationTransition>,
+    /// Virtual milliseconds spent at each level, indexed by level
+    /// (5 entries, L0–L4).
+    pub time_at_level_ms: Vec<f64>,
+    /// Hedge attempts that beat their primary.
+    pub hedges_won: usize,
+    /// Hedge attempts that completed but lost the race.
+    pub hedges_lost: usize,
+    /// Hedge attempts that failed with a fault.
+    pub hedges_cancelled: usize,
+    /// Attempts cancelled by the watchdog, across all devices.
+    pub watchdog_cancels: usize,
+    /// Devices permanently lost to an injected death.
+    pub device_deaths: usize,
+    /// Requests shed by the ladder itself (L3 low-priority shedding,
+    /// L4 host-only refusals).
+    pub degradation_sheds: usize,
 }
 
 /// The whole run: per-request records, per-device roll-ups, counters.
@@ -384,6 +477,10 @@ pub struct ServiceReport {
     /// SLO roll-up per priority class, derived from the metric registry.
     #[serde(default)]
     pub slo: SloReport,
+    /// Tail-tolerance section: ladder trajectory, hedge/watchdog/death
+    /// accounting. Default (ladder disabled, all zero) in pre-PR JSON.
+    #[serde(default)]
+    pub degradation: DegradationReport,
     /// Per-device roll-ups, by pool index.
     pub devices: Vec<DeviceReport>,
     /// Per-request records, sorted by id.
@@ -409,20 +506,91 @@ impl ServiceReport {
         per
     }
 
+    /// Attempts that died with the permanent device-death fault, per
+    /// device — the record-side view of [`DeviceReport::deaths`].
+    pub fn death_attempts_by_device(&self) -> Vec<usize> {
+        let mut per = vec![0usize; self.devices.len()];
+        for r in &self.records {
+            for a in &r.attempts {
+                if !a.transient
+                    && a.error
+                        .as_deref()
+                        .is_some_and(|e| e.contains("device-death"))
+                {
+                    per[a.device] += 1;
+                }
+            }
+        }
+        per
+    }
+
+    /// Watchdog cancellations, per device, recounted from the records.
+    pub fn watchdog_cancels_by_device(&self) -> Vec<usize> {
+        let mut per = vec![0usize; self.devices.len()];
+        for r in &self.records {
+            for a in &r.attempts {
+                if a.cancelled
+                    .as_deref()
+                    .is_some_and(|c| c.starts_with("watchdog"))
+                {
+                    per[a.device] += 1;
+                }
+            }
+        }
+        per
+    }
+
+    /// Hedge attempt outcomes `(won, lost, cancelled)` recounted from
+    /// the records, classified exactly as [`record_request_metrics`]
+    /// labels `gas_hedges_total`.
+    pub fn hedge_outcomes_from_records(&self) -> (usize, usize, usize) {
+        let (mut won, mut lost, mut cancelled) = (0, 0, 0);
+        for a in self.records.iter().flat_map(|r| &r.attempts) {
+            if !a.hedge {
+                continue;
+            }
+            if a.error.is_some() {
+                cancelled += 1;
+            } else if a.cancelled.is_some() {
+                lost += 1;
+            } else {
+                won += 1;
+            }
+        }
+        (won, lost, cancelled)
+    }
+
+    /// Requests the degradation ladder shed itself (reasons prefixed
+    /// `degradation L…`), recounted from the records.
+    pub fn degradation_sheds_from_records(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| {
+                matches!(&r.outcome, Outcome::Shed { reason } if reason.starts_with("degradation"))
+            })
+            .count()
+    }
+
     /// Checks the run's hard invariants. Returns one message per
     /// violation; an empty vector means the run reconciles:
     ///
     /// 1. exactly one record per workload request (no silent drops);
     /// 2. every outcome that produced output verified against `cpu_ref`;
-    /// 3. per device, transient attempt failures == the injector's
-    ///    error-fault log (each failed attempt fails fast on its first
-    ///    fault) and the device roll-up agrees with the records;
+    /// 3. per device, transient attempt failures plus death attempts ==
+    ///    the injector's error-fault log (each failed attempt fails fast
+    ///    on its first fault; a death is an error fault that records a
+    ///    non-transient attempt), and the device roll-up — failed
+    ///    attempts, deaths, watchdog cancels — agrees with the records;
     /// 4. shed/rejected requests carry a non-empty reason and no output;
     /// 5. `shed_by_priority` sums to the shed total and matches a
     ///    per-class recount of the records;
     /// 6. the `slo` section equals one recomputed from the records via
     ///    [`record_request_metrics`] — the published SLO numbers derive
-    ///    from the published evidence, field for field.
+    ///    from the published evidence, field for field;
+    /// 7. the `degradation` section reconciles: hedge outcomes, watchdog
+    ///    cancels, device deaths and ladder sheds match a recount of the
+    ///    records/devices, and the ladder trajectory is self-consistent
+    ///    (transitions end at `final_level`, peak at `max_level`).
     pub fn invariant_violations(&self) -> Vec<String> {
         let mut v = Vec::new();
         if self.records.len() != self.requests {
@@ -466,17 +634,32 @@ impl ServiceReport {
             }
         }
         let per_device = self.transient_failures_by_device();
+        let deaths_per_device = self.death_attempts_by_device();
+        let watchdog_per_device = self.watchdog_cancels_by_device();
         for d in &self.devices {
-            if per_device[d.index] != d.error_faults {
+            if per_device[d.index] + d.deaths != d.error_faults {
                 v.push(format!(
-                    "device {}: {} transient attempt failures but injector logged {} error faults",
-                    d.index, per_device[d.index], d.error_faults
+                    "device {}: {} transient attempt failures + {} deaths but injector \
+                     logged {} error faults",
+                    d.index, per_device[d.index], d.deaths, d.error_faults
                 ));
             }
             if d.failed_attempts as usize != per_device[d.index] {
                 v.push(format!(
                     "device {}: roll-up says {} failed attempts, records say {}",
                     d.index, d.failed_attempts, per_device[d.index]
+                ));
+            }
+            if deaths_per_device[d.index] != d.deaths {
+                v.push(format!(
+                    "device {}: roll-up says {} deaths, records show {} death attempts",
+                    d.index, d.deaths, deaths_per_device[d.index]
+                ));
+            }
+            if d.watchdog_cancels as usize != watchdog_per_device[d.index] {
+                v.push(format!(
+                    "device {}: roll-up says {} watchdog cancels, records say {}",
+                    d.index, d.watchdog_cancels, watchdog_per_device[d.index]
                 ));
             }
         }
@@ -506,6 +689,60 @@ impl ServiceReport {
         let expected_slo = self.slo_from_records();
         if self.slo != expected_slo {
             v.push("slo section does not match one recomputed from the records".to_string());
+        }
+        let deg = &self.degradation;
+        let (won, lost, cancelled) = self.hedge_outcomes_from_records();
+        if (deg.hedges_won, deg.hedges_lost, deg.hedges_cancelled) != (won, lost, cancelled) {
+            v.push(format!(
+                "degradation section says hedges won/lost/cancelled = {}/{}/{}, \
+                 records say {won}/{lost}/{cancelled}",
+                deg.hedges_won, deg.hedges_lost, deg.hedges_cancelled
+            ));
+        }
+        let watchdog_total: usize = watchdog_per_device.iter().sum();
+        if deg.watchdog_cancels != watchdog_total {
+            v.push(format!(
+                "degradation section says {} watchdog cancels, records say {watchdog_total}",
+                deg.watchdog_cancels
+            ));
+        }
+        let deaths_total: usize = self.devices.iter().map(|d| d.deaths).sum();
+        if deg.device_deaths != deaths_total {
+            v.push(format!(
+                "degradation section says {} device deaths, device roll-ups say {deaths_total}",
+                deg.device_deaths
+            ));
+        }
+        let sheds = self.degradation_sheds_from_records();
+        if deg.degradation_sheds != sheds {
+            v.push(format!(
+                "degradation section says {} ladder sheds, records say {sheds}",
+                deg.degradation_sheds
+            ));
+        }
+        if deg.enabled {
+            if deg.time_at_level_ms.len() != 5 {
+                v.push(format!(
+                    "degradation time_at_level_ms has {} entries, expected 5",
+                    deg.time_at_level_ms.len()
+                ));
+            }
+            let peak = deg.transitions.iter().map(|t| t.to).max().unwrap_or(0);
+            if peak != deg.max_level {
+                v.push(format!(
+                    "degradation max_level {} does not match transition peak {peak}",
+                    deg.max_level
+                ));
+            }
+            let last = deg.transitions.last().map_or(0, |t| t.to);
+            if last != deg.final_level {
+                v.push(format!(
+                    "degradation final_level {} does not match last transition (level {last})",
+                    deg.final_level
+                ));
+            }
+        } else if deg.final_level != 0 || deg.max_level != 0 || !deg.transitions.is_empty() {
+            v.push("degradation ladder disabled yet reports a trajectory".to_string());
         }
         v
     }

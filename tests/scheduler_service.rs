@@ -16,6 +16,80 @@ fn soak_plan(seed: u64) -> FaultPlan {
         .with_stream_stall(0.04, 0.2)
 }
 
+/// The tail-tolerance adversary: permanent device deaths mixed with a
+/// stall storm (the two failure modes the watchdog/hedging/ladder layer
+/// exists for), plus a trickle of transient launch failures.
+fn tail_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with_launch_failure(0.02)
+        .with_device_death(0.015)
+        .with_stream_stall(0.25, 1.5)
+}
+
+/// Runs one campaign with the whole tail-tolerance layer armed:
+/// attempt watchdog, request hedging and the degradation ladder.
+fn run_tail_campaign(seed: u64, requests: usize) -> (scheduler::ServiceReport, String) {
+    let workload = Workload::generate(&WorkloadConfig {
+        seed,
+        requests,
+        warp_fraction: 0.2,
+        fused_fraction: 0.2,
+        ..WorkloadConfig::default()
+    });
+    let plan = tail_plan(seed.wrapping_add(1));
+    let cfg = SchedulerConfig {
+        seed,
+        timeout_slack: 2.5,
+        hedge_slack_ms: 4.0,
+        degrade: true,
+        ..SchedulerConfig::default()
+    };
+    let mut service =
+        SortService::new(parse_mix("test,k40c", 4).unwrap(), cfg, Some(&plan)).unwrap();
+    let report = service.run(&workload).unwrap();
+    let snapshot = service.metrics_snapshot().to_json();
+    (report, snapshot)
+}
+
+#[test]
+fn death_storm_collapses_the_pool_onto_the_host_but_loses_nothing() {
+    // An aggressive per-launch death rate kills every device early; the
+    // ladder must reach host-only serving and every request still gets
+    // an explicit, reconciled fate.
+    let plan = FaultPlan::seeded(9).with_device_death(0.2);
+    let cfg = SchedulerConfig {
+        seed: 9,
+        degrade: true,
+        ..SchedulerConfig::default()
+    };
+    let workload = Workload::generate(&WorkloadConfig {
+        seed: 9,
+        requests: 40,
+        ..WorkloadConfig::default()
+    });
+    let mut service = SortService::new(parse_mix("test", 2).unwrap(), cfg, Some(&plan)).unwrap();
+    let report = service.run(&workload).unwrap();
+    assert_eq!(report.invariant_violations(), Vec::<String>::new());
+    assert_eq!(
+        report.completed + report.cpu_fallbacks + report.shed + report.rejected,
+        40
+    );
+    let deaths: usize = report.devices.iter().map(|d| d.deaths).sum();
+    assert_eq!(deaths, 2, "both devices must die under a 20% death rate");
+    assert!(
+        report.devices.iter().all(|d| d.blacklisted),
+        "a dead device is blacklisted forever"
+    );
+    assert_eq!(
+        report.degradation.max_level, 4,
+        "losing the whole pool must drive the ladder to host-only"
+    );
+    assert!(
+        report.cpu_fallbacks + report.shed > 0,
+        "post-death work is host-served or explicitly shed, never dropped"
+    );
+}
+
 fn run_campaign(seed: u64, requests: usize) -> scheduler::ServiceReport {
     run_campaign_with_metrics(seed, requests, 0.0, 0.0).0
 }
@@ -134,5 +208,42 @@ proptest! {
         // The snapshot round-trips through its own parser untouched.
         let parsed = scheduler::Snapshot::from_json(&snap_a).unwrap();
         prop_assert_eq!(parsed.to_json(), snap_a);
+    }
+
+    /// The tail-tolerance layer keeps every soak guarantee under its
+    /// adversary: for any seeded plan mixing permanent device deaths
+    /// with a stall storm — watchdog, hedging and ladder all armed —
+    /// every produced output equals the CPU oracle bit-for-bit, the
+    /// hedge/timeout/death accounting reconciles against the injector
+    /// logs (via `invariant_violations`), and same-seed replay yields
+    /// byte-identical reports *and* telemetry snapshots.
+    #[test]
+    fn tail_tolerance_campaigns_reconcile_and_replay(seed in any::<u64>()) {
+        let (a, snap_a) = run_tail_campaign(seed, 30);
+        let (b, snap_b) = run_tail_campaign(seed, 30);
+        prop_assert_eq!(a.to_json(), b.to_json(), "report replay must be byte-identical");
+        prop_assert_eq!(snap_a, snap_b, "telemetry replay must be byte-identical");
+        prop_assert_eq!(a.invariant_violations(), Vec::<String>::new());
+        prop_assert_eq!(a.records.len(), 30);
+        for r in &a.records {
+            match &r.outcome {
+                Outcome::Completed { .. } | Outcome::CpuFallback { .. } => {
+                    prop_assert_eq!(r.verified, Some(true), "request {} unverified", r.id);
+                }
+                Outcome::Shed { reason } | Outcome::Rejected { reason } => {
+                    prop_assert!(!reason.is_empty(), "request {} dropped silently", r.id);
+                }
+            }
+        }
+        // The degradation section's death roll-up is the per-device
+        // injector-log count, not an independent counter that can skew.
+        let deaths: usize = a.devices.iter().map(|d| d.deaths).sum();
+        prop_assert_eq!(a.degradation.device_deaths, deaths);
+        // Hedge accounting: at most one winner per request, and every
+        // loser is explicitly cancelled.
+        for r in &a.records {
+            let winners = r.attempts.iter().filter(|at| at.is_winner()).count();
+            prop_assert!(winners <= 1, "request {} has {winners} winning attempts", r.id);
+        }
     }
 }

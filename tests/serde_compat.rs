@@ -1,0 +1,189 @@
+//! Serde-default audit: every `Counters` and `ServiceReport` field
+//! added after PR 5 must carry `#[serde(default)]` so that JSON written
+//! by older builds — recorded soak reports, metrics snapshots, the
+//! checked-in `results/baseline-fig2.json` — still deserializes. The
+//! test strips the post-PR-5 keys from freshly serialized documents and
+//! parses what remains, which is exactly the shape an old file has.
+
+use gpu_sim::{Counters, Timeline};
+use scheduler::{
+    parse_mix, DegradationReport, SchedulerConfig, ServiceReport, SortService, Workload,
+    WorkloadConfig,
+};
+
+/// Runs a small real campaign so the report carries populated records,
+/// attempts and device sections rather than empty vectors.
+fn sample_report() -> ServiceReport {
+    let workload = Workload::generate(&WorkloadConfig {
+        seed: 5,
+        requests: 12,
+        warp_fraction: 0.25,
+        fused_fraction: 0.25,
+        ..WorkloadConfig::default()
+    });
+    let cfg = SchedulerConfig {
+        seed: 5,
+        ..SchedulerConfig::default()
+    };
+    let mut service = SortService::new(parse_mix("test", 2).unwrap(), cfg, None).unwrap();
+    service.run(&workload).unwrap()
+}
+
+/// Removes `key` everywhere it appears in the document, any depth.
+fn strip_key(v: &mut serde_json::Value, key: &str) {
+    match v {
+        serde_json::Value::Object(map) => {
+            map.remove(key);
+            for child in map.values_mut() {
+                strip_key(child, key);
+            }
+        }
+        serde_json::Value::Array(items) => {
+            for child in items {
+                strip_key(child, key);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The report fields that did not exist in PR-5-era JSON. Everything
+/// here must deserialize to its default when absent.
+const POST_PR5_REPORT_KEYS: &[&str] = &[
+    // PR 7: telemetry-derived sections and per-attempt cost-model data.
+    "slo",
+    "predicted_ms",
+    "variant",
+    // PR 9: tail tolerance.
+    "degradation",
+    "hedge",
+    "cancelled",
+    "deaths",
+    "watchdog_cancels",
+];
+
+#[test]
+fn service_report_parses_without_any_post_pr5_field() {
+    let report = sample_report();
+    let mut doc: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+    for key in POST_PR5_REPORT_KEYS {
+        strip_key(&mut doc, key);
+    }
+    let old: ServiceReport = serde_json::from_value(doc).expect("pre-PR JSON must still parse");
+    // The stripped fields come back as their defaults…
+    assert_eq!(old.degradation, DegradationReport::default());
+    assert!(!old.degradation.enabled);
+    assert!(old.devices.iter().all(|d| d.deaths == 0));
+    assert!(old.devices.iter().all(|d| d.watchdog_cancels == 0));
+    for r in &old.records {
+        for a in &r.attempts {
+            assert!(!a.hedge);
+            assert_eq!(a.cancelled, None);
+        }
+    }
+    // …while everything that existed in PR 5 survives untouched.
+    assert_eq!(old.requests, report.requests);
+    assert_eq!(old.completed, report.completed);
+    assert_eq!(old.records.len(), report.records.len());
+    assert_eq!(old.devices.len(), report.devices.len());
+}
+
+#[test]
+fn stripping_only_the_pr9_fields_keeps_the_report_reconciled() {
+    // A PR-7/8-era file (has slo + variant, lacks the tail-tolerance
+    // section) must not only parse: with no hedges, cancels or deaths
+    // recorded, the recomputed degradation invariants must hold too.
+    let report = sample_report();
+    let mut doc: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+    for key in [
+        "degradation",
+        "hedge",
+        "cancelled",
+        "deaths",
+        "watchdog_cancels",
+    ] {
+        strip_key(&mut doc, key);
+    }
+    let old: ServiceReport = serde_json::from_value(doc).unwrap();
+    assert_eq!(old.invariant_violations(), Vec::<String>::new());
+}
+
+#[test]
+fn counters_parse_without_any_post_pr5_field() {
+    let full = Counters {
+        alu: 10,
+        shared_accesses: 20,
+        global_elems: 30,
+        global_txn_micro: 40,
+        atomics_global: 1,
+        atomics_shared: 2,
+        syncs: 3,
+        divergence_events: 4,
+        baseline_cycles: 5,
+        shared_bank_passes: 6, // PR 6
+        warp_votes: 7,         // PR 6
+        warp_shuffles: 8,      // PR 6
+        bucket_overflows: 9,   // PR 8
+    };
+    let mut doc: serde_json::Value = serde_json::to_value(&full).unwrap();
+    for key in [
+        "shared_bank_passes",
+        "warp_votes",
+        "warp_shuffles",
+        "bucket_overflows",
+    ] {
+        strip_key(&mut doc, key);
+    }
+    let old: Counters = serde_json::from_value(doc).expect("pre-PR-6 counters must parse");
+    assert_eq!(old.alu, 10);
+    assert_eq!(old.baseline_cycles, 5);
+    assert_eq!(old.shared_bank_passes, 0);
+    assert_eq!(old.warp_votes, 0);
+    assert_eq!(old.warp_shuffles, 0);
+    assert_eq!(old.bucket_overflows, 0);
+}
+
+#[test]
+fn timeline_parses_without_efficiency_spans_or_stream_fields() {
+    // A PR-5-era timeline predates per-launch efficiency, host spans
+    // and stream scheduling metadata.
+    let doc = serde_json::json!({
+        "kernels": [{
+            "name": "legacy",
+            "grid_dim": 4,
+            "block_dim": 128,
+            "cycles": 1000,
+            "time_ms": 0.5,
+            "counters": {
+                "alu": 1, "shared_accesses": 2, "global_elems": 3,
+                "global_txn_micro": 4, "atomics_global": 0,
+                "atomics_shared": 0, "syncs": 1, "divergence_events": 0,
+                "baseline_cycles": 0
+            },
+            "sm_imbalance": 1.0,
+            "max_block_cycles": 250,
+            "occupancy": 1.0
+        }],
+        "transfers": []
+    });
+    let tl: Timeline = serde_json::from_value(doc).expect("pre-PR-5 timeline must parse");
+    assert_eq!(tl.kernels.len(), 1);
+    assert_eq!(tl.kernels[0].counters.warp_votes, 0);
+    assert!(tl.spans.is_empty());
+}
+
+#[test]
+fn bootstrap_baseline_sentinel_still_parses() {
+    // The checked-in results/baseline-fig2.json may still be the
+    // bootstrap sentinel; it must stay readable as JSON so the
+    // bench-smoke gate can detect it and record instead of compare.
+    let body = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results/baseline-fig2.json"),
+    )
+    .expect("results/baseline-fig2.json is checked in");
+    let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(
+        doc.get("bootstrap").is_some() || doc.get("rows").is_some(),
+        "baseline file must be the sentinel or a recorded Fig. 2 table: {doc}"
+    );
+}
