@@ -316,6 +316,21 @@ impl FusedSort {
         })
     }
 
+    /// Sorts a batch already resident on the device — the entry point
+    /// for callers that manage their own uploads/downloads, like the
+    /// scheduler's streamed overlap pipeline. Runs the fused kernel (or
+    /// the three-kernel fallback when the geometry exceeds the shared
+    /// layout) and reports which path ran plus the overflow accounting.
+    pub fn sort_device<K: SortKey>(
+        &self,
+        gpu: &mut Gpu,
+        data: &DeviceBuffer<K>,
+        geom: &BatchGeometry,
+    ) -> SimResult<(FusedPath, OverflowReport)> {
+        let (path, _, _, overflow) = self.run_device(gpu, data, geom)?;
+        Ok((path, overflow))
+    }
+
     /// Device-side portion for data already resident (the out-of-core
     /// chunk loop): runs the fused kernel, or the three-kernel phases
     /// when the arrays exceed the fused shared-memory layout.

@@ -22,6 +22,13 @@
 //! `--update` (or a checked-in `{"bootstrap": true}` sentinel) records
 //! the current numbers instead of comparing; commit the rewritten
 //! baseline together with the change that moved it.
+//!
+//! The run also enforces the **streaming serving gate** — on a canned
+//! high-QPS burst of small requests, the coalescing + overlap dispatch
+//! path must strictly beat sequential dispatch — and drops a
+//! machine-readable summary (`results/BENCH_PR10.json`) carrying every
+//! Fig. 2 point across all variant series plus the serving-throughput
+//! comparison.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,6 +36,46 @@ use std::process::ExitCode;
 use bench::baseline::{fused_speed_gate, record_or_compare, Fig2Baseline, GateOutcome};
 use bench::experiments::{run_fig2_traced, run_warp_ablation};
 use bench::report::default_out_dir;
+use scheduler::{
+    parse_mix, Algorithm, Priority, SchedulerConfig, ServiceReport, SortRequest, SortService,
+    Workload,
+};
+
+/// The canned high-QPS serving workload for the streaming gate: a burst
+/// of small, identically-shaped GAS requests all arriving at once. Solo
+/// dispatch pays per-request launch and PCIe latency 16 times over;
+/// coalescing amortizes them into one mega-batch, so the streamed
+/// makespan must come in strictly lower.
+fn serving_workload() -> Workload {
+    let requests = (0..16u64)
+        .map(|id| SortRequest {
+            id,
+            num_arrays: 4,
+            array_len: 32,
+            data_seed: 900 + id,
+            algorithm: Algorithm::Gas,
+            splitters: Default::default(),
+            priority: Priority::Normal,
+            arrival_ms: 0.0,
+            deadline_ms: 1e9,
+        })
+        .collect();
+    Workload { requests }
+}
+
+/// Drains the canned workload on one simulated device, either with the
+/// legacy sequential dispatch or with the streaming tier (admission
+/// window + transfer/compute overlap) armed.
+fn run_serving(workload: &Workload, streamed: bool) -> Result<ServiceReport, String> {
+    let cfg = SchedulerConfig {
+        seed: 0,
+        batch_window_ms: if streamed { 0.1 } else { 0.0 },
+        overlap: streamed,
+        ..SchedulerConfig::default()
+    };
+    let mut service = SortService::new(parse_mix("test", 1)?, cfg, None)?;
+    service.run(workload)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -128,6 +175,85 @@ fn main() -> ExitCode {
         );
     }
     println!("warp ablation: PASS — conflict-free scatter bills strictly fewer bank passes\n");
+
+    // Streaming serving gate: on the canned high-QPS small-request
+    // burst, the coalescing + overlap dispatch path must beat the
+    // sequential drain outright. Both runs come from this build, so the
+    // gate needs no stored baseline.
+    println!("# Streaming serving gate — coalesced/overlapped vs. sequential dispatch");
+    let workload = serving_workload();
+    let (sequential, streamed) = match (run_serving(&workload, false), run_serving(&workload, true))
+    {
+        (Ok(s), Ok(t)) => (s, t),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: serving gate run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (label, r) in [("sequential", &sequential), ("streamed", &streamed)] {
+        let violations = r.invariant_violations();
+        if !violations.is_empty() {
+            eprintln!("FAIL — {label} serving run violated invariants:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    let requests = workload.requests.len();
+    let seq_rps = requests as f64 / sequential.makespan_ms * 1000.0;
+    let str_rps = requests as f64 / streamed.makespan_ms * 1000.0;
+    println!(
+        "{requests} × 4×32 requests: sequential {:.4} ms ({:.0} req/s) vs \
+         streamed {:.4} ms ({:.0} req/s)",
+        sequential.makespan_ms, seq_rps, streamed.makespan_ms, str_rps
+    );
+    if streamed.makespan_ms >= sequential.makespan_ms {
+        eprintln!(
+            "FAIL — streaming serving gate: coalesced/overlapped makespan {:.4} ms does not \
+             beat sequential {:.4} ms",
+            streamed.makespan_ms, sequential.makespan_ms
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "streaming serving gate: PASS — {:.2}× makespan win\n",
+        sequential.makespan_ms / streamed.makespan_ms
+    );
+
+    // Machine-readable drop for downstream tooling: every Fig. 2 point
+    // across all variant series, plus the serving-throughput section.
+    let pr10_path = default_out_dir().join("BENCH_PR10.json");
+    let pr10 = serde_json::json!({
+        "scale": scale,
+        "figure2": report.rows.iter().map(|r| serde_json::json!({
+            "n": r.n,
+            "three_kernel_ms": r.measured_ms,
+            "theoretical_ms": r.theoretical_ms,
+            "fused_ms": r.fused_ms,
+            "warp_ms": r.warp_ms,
+        })).collect::<Vec<_>>(),
+        "serving": {
+            "requests": requests,
+            "num_arrays": 4,
+            "array_len": 32,
+            "sequential_makespan_ms": sequential.makespan_ms,
+            "streamed_makespan_ms": streamed.makespan_ms,
+            "sequential_requests_per_s": seq_rps,
+            "streamed_requests_per_s": str_rps,
+            "speedup": sequential.makespan_ms / streamed.makespan_ms,
+        },
+    });
+    match serde_json::to_string_pretty(&pr10)
+        .map_err(|e| e.to_string())
+        .and_then(|body| std::fs::write(&pr10_path, body + "\n").map_err(|e| e.to_string()))
+    {
+        Ok(()) => println!("wrote {}", pr10_path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", pr10_path.display());
+            return ExitCode::FAILURE;
+        }
+    }
 
     match record_or_compare(&baseline_path, &current, tolerance, update) {
         Err(e) => {

@@ -35,12 +35,33 @@ fn main() {
     // The tail-tolerance tuning flags are numeric wherever they appear
     // (serve/soak); a value that does not parse is an argument error
     // (exit 2), same as any unparsable argv.
-    for key in ["timeout-slack", "hedge-slack-ms"] {
+    for key in ["timeout-slack", "hedge-slack-ms", "repeat-fraction"] {
         if let Some(v) = args.get(key) {
             if v.parse::<f64>().is_err() {
                 eprintln!("error: --{key}: cannot parse {v:?}\n\n{}", usage());
                 std::process::exit(2);
             }
+        }
+    }
+    // The streaming-tier knobs: the admission window is a duration in
+    // ms or the literal "auto" (cost-model-chosen), the cache size is a
+    // whole number of entries. Anything else is an argument error.
+    if let Some(v) = args.get("batch-window-ms") {
+        if v != "auto" && v.parse::<f64>().is_err() {
+            eprintln!(
+                "error: --batch-window-ms: expected a duration in ms or \"auto\", got {v:?}\n\n{}",
+                usage()
+            );
+            std::process::exit(2);
+        }
+    }
+    if let Some(v) = args.get("cache-entries") {
+        if v.parse::<usize>().is_err() {
+            eprintln!(
+                "error: --cache-entries: expected a whole number of entries, got {v:?}\n\n{}",
+                usage()
+            );
+            std::process::exit(2);
         }
     }
     let result = match args.command.as_str() {

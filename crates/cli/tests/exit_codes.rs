@@ -408,6 +408,48 @@ fn tail_tolerance_flag_exit_codes_are_pinned() {
 }
 
 #[test]
+fn streaming_flag_exit_codes_are_pinned() {
+    // Garbage in either streaming knob is an argument error — exit 2,
+    // usage on stderr — no matter which subcommand carries it. The
+    // window accepts a duration or the literal "auto"; the cache size
+    // must be a whole number of entries.
+    for cmdline in [
+        vec!["serve", "--requests", "5", "--batch-window-ms", "soon"],
+        vec!["serve", "--requests", "5", "--cache-entries", "many"],
+        vec!["serve", "--requests", "5", "--cache-entries", "-4"],
+        vec!["soak", "--seeds", "1", "--batch-window-ms", "soon"],
+        vec!["soak", "--seeds", "1", "--cache-entries", "2.5"],
+    ] {
+        let out = gas(&cmdline);
+        assert_eq!(out.status.code(), Some(2), "{cmdline:?}: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains("--batch-window-ms") || stderr(&out).contains("--cache-entries"),
+            "{cmdline:?}: {}",
+            stderr(&out)
+        );
+    }
+    // The full streaming stack runs end to end and exits 0, invariants
+    // (cache reconciliation included) holding.
+    let out = gas(&[
+        "serve",
+        "--devices",
+        "2",
+        "--requests",
+        "12",
+        "--seed",
+        "1",
+        "--batch-window-ms",
+        "auto",
+        "--cache-entries",
+        "8",
+        "--overlap",
+        "--repeat-fraction",
+        "0.5",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+}
+
+#[test]
 fn device_death_fault_spec_exit_codes_are_pinned() {
     // A death rate outside [0,1] is a command error (invalid fault
     // spec), exit 1 — and so is an unknown scripted kind.

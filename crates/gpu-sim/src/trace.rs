@@ -216,6 +216,27 @@ pub struct PhaseSummary {
     pub launch_overhead_ms: f64,
     /// Bytes moved over PCIe inside the span (both directions).
     pub bytes_moved: u64,
+    /// Host→device transfer time inside the span (part of
+    /// `transfer_ms`). Zero in summaries written before the per-engine
+    /// split existed.
+    #[serde(default)]
+    pub h2d_ms: f64,
+    /// Device→host transfer time inside the span (part of
+    /// `transfer_ms`).
+    #[serde(default)]
+    pub d2h_ms: f64,
+    /// Compute-engine occupancy: kernel busy time as a percentage of
+    /// the span (`100 × kernel_ms / span_ms`, 0 for empty spans). Can
+    /// exceed 100 when streamed kernels overlap the span boundary —
+    /// that is the transfer/compute overlap being visible.
+    #[serde(default)]
+    pub compute_busy_pct: f64,
+    /// H2D-engine occupancy (`100 × h2d_ms / span_ms`).
+    #[serde(default)]
+    pub h2d_busy_pct: f64,
+    /// D2H-engine occupancy (`100 × d2h_ms / span_ms`).
+    #[serde(default)]
+    pub d2h_busy_pct: f64,
 }
 
 /// Rolls `timeline` up into its top-level (depth-0) spans: each kernel or
@@ -236,6 +257,11 @@ pub fn phase_summaries(timeline: &Timeline, spec: &DeviceSpec) -> Vec<PhaseSumma
             transfer_ms: 0.0,
             launch_overhead_ms: 0.0,
             bytes_moved: 0,
+            h2d_ms: 0.0,
+            d2h_ms: 0.0,
+            compute_busy_pct: 0.0,
+            h2d_busy_pct: 0.0,
+            d2h_busy_pct: 0.0,
         })
         .collect();
 
@@ -255,6 +281,20 @@ pub fn phase_summaries(timeline: &Timeline, spec: &DeviceSpec) -> Vec<PhaseSumma
             out[i].transfers += 1;
             out[i].transfer_ms += t.time_ms;
             out[i].bytes_moved += t.bytes;
+            match t.direction {
+                TransferDir::HtoD => out[i].h2d_ms += t.time_ms,
+                TransferDir::DtoH => out[i].d2h_ms += t.time_ms,
+            }
+        }
+    }
+    // Per-engine occupancy: busy time ÷ span. With streamed dispatch the
+    // three engines run concurrently, so healthy overlap shows up as
+    // several engines busy at once inside the same span.
+    for p in &mut out {
+        if p.span_ms > 0.0 {
+            p.compute_busy_pct = 100.0 * p.kernel_ms / p.span_ms;
+            p.h2d_busy_pct = 100.0 * p.h2d_ms / p.span_ms;
+            p.d2h_busy_pct = 100.0 * p.d2h_ms / p.span_ms;
         }
     }
     out
@@ -389,6 +429,34 @@ mod tests {
             (phases[1].launch_overhead_ms - 2.0 * g.spec().kernel_launch_us / 1_000.0).abs()
                 < 1e-12
         );
+    }
+
+    #[test]
+    fn phase_summaries_report_per_engine_occupancy() {
+        let g = traced_gpu();
+        let phases = phase_summaries(g.timeline(), g.spec());
+        // The upload span is pure H2D: its transfer time is all H2D and
+        // the engine was busy the whole span.
+        let up = &phases[0];
+        assert!((up.h2d_ms - up.transfer_ms).abs() < 1e-12);
+        assert_eq!(up.d2h_ms, 0.0);
+        assert!(
+            (up.h2d_busy_pct - 100.0).abs() < 1e-9,
+            "{}",
+            up.h2d_busy_pct
+        );
+        assert_eq!(up.compute_busy_pct, 0.0);
+        // The compute span is pure kernels: compute fully busy, PCIe
+        // engines idle.
+        let comp = &phases[1];
+        assert!((comp.compute_busy_pct - 100.0 * comp.kernel_ms / comp.span_ms).abs() < 1e-12);
+        assert!(comp.compute_busy_pct > 99.0, "{}", comp.compute_busy_pct);
+        assert_eq!(comp.h2d_busy_pct, 0.0);
+        assert_eq!(comp.d2h_busy_pct, 0.0);
+        // H2D + D2H always tile the total transfer time.
+        for p in &phases {
+            assert!((p.h2d_ms + p.d2h_ms - p.transfer_ms).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Content-hash result cache for the serving tier.
+//!
+//! Serving traffic repeats itself: the same batch (same bytes, same
+//! algorithm, same splitter policy) arrives again and again — search
+//! suggestions, hot spectra, replayed queries. Sorting is a pure
+//! function of those inputs, so the service can answer a repeat from a
+//! cache in **zero simulated device milliseconds** instead of paying
+//! PCIe and kernel time twice.
+//!
+//! The cache is a deterministic seeded-hash LRU:
+//!
+//! * the key is [`CacheKey`]: the batch shape, the [`Algorithm`], the
+//!   [`SplitterPolicy`] and a 64-bit FNV-1a hash (seeded, so runs with
+//!   different scheduler seeds don't share hash sequences) over the
+//!   exact bit patterns of the unsorted payload;
+//! * entries store the full sorted output and are verified against the
+//!   key's payload hash *and* the per-request `cpu_ref` oracle before a
+//!   hit is served, so a hit can never launder a wrong answer;
+//! * eviction is strict LRU over a `Vec` (most recently used last) —
+//!   no hash maps anywhere, so iteration order, eviction order and the
+//!   [`CacheStats`] counters are bit-reproducible across replays.
+//!
+//! The service meters the cache in `gas_cache_{hits,misses,evictions}_total`
+//! and publishes a [`crate::report::CacheReport`] section that
+//! [`crate::ServiceReport::invariant_violations`] reconciles against the
+//! per-request records.
+
+use array_sort::SplitterPolicy;
+
+use crate::request::Algorithm;
+
+/// Identity of a sort result: shape + algorithm + splitter policy +
+/// seeded content hash of the unsorted payload bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey {
+    /// Arrays in the batch.
+    pub num_arrays: usize,
+    /// Elements per array.
+    pub array_len: usize,
+    /// Device sorter requested (different algorithms are cached
+    /// separately: their billing and failure modes differ even though
+    /// the sorted bytes agree).
+    pub algorithm: Algorithm,
+    /// Splitter policy of the request.
+    pub splitters: SplitterPolicy,
+    /// Seeded FNV-1a hash over the payload's `f32` bit patterns.
+    pub content_hash: u64,
+}
+
+/// Running counters of cache activity for one service run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups performed (`hits + misses`).
+    pub lookups: usize,
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that found nothing.
+    pub misses: usize,
+    /// Sorted results inserted.
+    pub insertions: usize,
+    /// Entries evicted by the LRU policy.
+    pub evictions: usize,
+}
+
+struct Entry {
+    key: CacheKey,
+    sorted: Vec<f32>,
+}
+
+/// A deterministic LRU cache of sorted batches, keyed by content hash.
+///
+/// Capacity 0 is legal and caches nothing (every lookup misses, every
+/// insert is dropped) — [`crate::SortService`] only constructs one when
+/// `cache_entries > 0`, but the degenerate case is still well defined.
+pub struct ResultCache {
+    capacity: usize,
+    seed: u64,
+    /// LRU order: least recently used first, most recently used last.
+    entries: Vec<Entry>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` sorted batches, hashing
+    /// with `seed`.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Self {
+            capacity,
+            seed,
+            entries: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum entries the cache will hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The activity counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Builds the [`CacheKey`] for one request payload: seeded FNV-1a
+    /// over every element's bit pattern, little-endian, prefixed by the
+    /// shape so equal byte streams of different shapes never collide on
+    /// the full key.
+    pub fn key_for(
+        &self,
+        num_arrays: usize,
+        array_len: usize,
+        algorithm: Algorithm,
+        splitters: SplitterPolicy,
+        data: &[f32],
+    ) -> CacheKey {
+        CacheKey {
+            num_arrays,
+            array_len,
+            algorithm,
+            splitters,
+            content_hash: seeded_fnv1a(self.seed, data),
+        }
+    }
+
+    /// Looks `key` up. A hit moves the entry to the most-recently-used
+    /// position and returns the cached sorted output; a miss returns
+    /// `None`. Both update [`CacheStats`].
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<&[f32]> {
+        self.stats.lookups += 1;
+        match self.entries.iter().position(|e| e.key == *key) {
+            Some(i) => {
+                self.stats.hits += 1;
+                let entry = self.entries.remove(i);
+                self.entries.push(entry);
+                Some(&self.entries.last().expect("just pushed").sorted)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a sorted result for `key`, evicting the least recently
+    /// used entry when full. Re-inserting an existing key refreshes its
+    /// payload and recency. A capacity-0 cache drops the insert (and
+    /// counts neither an insertion nor an eviction).
+    pub fn insert(&mut self, key: CacheKey, sorted: Vec<f32>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(i) = self.entries.iter().position(|e| e.key == key) {
+            self.entries.remove(i);
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+        }
+        self.entries.push(Entry { key, sorted });
+        self.stats.insertions += 1;
+    }
+}
+
+/// Seeded FNV-1a over `f32` bit patterns, little-endian byte order.
+/// Deterministic across platforms; the seed is folded in first so two
+/// services with different seeds walk different hash sequences.
+fn seeded_fnv1a(seed: u64, data: &[f32]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for byte in seed.to_le_bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+    }
+    for v in data {
+        for byte in v.to_bits().to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(cache: &ResultCache, data: &[f32]) -> CacheKey {
+        cache.key_for(
+            1,
+            data.len(),
+            Algorithm::Gas,
+            SplitterPolicy::RegularSample,
+            data,
+        )
+    }
+
+    #[test]
+    fn hit_returns_the_stored_result_and_counts() {
+        let mut c = ResultCache::new(4, 7);
+        let data = [3.0f32, 1.0, 2.0];
+        let k = key(&c, &data);
+        assert!(c.lookup(&k).is_none());
+        c.insert(k, vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.lookup(&k), Some(&[1.0f32, 2.0, 3.0][..]));
+        let s = c.stats();
+        assert_eq!((s.lookups, s.hits, s.misses), (2, 1, 1));
+        assert_eq!(s.insertions, 1);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn distinct_content_or_shape_or_algorithm_never_collides() {
+        let c = ResultCache::new(4, 7);
+        let a = c.key_for(
+            2,
+            2,
+            Algorithm::Gas,
+            SplitterPolicy::RegularSample,
+            &[1.0; 4],
+        );
+        let b = c.key_for(
+            4,
+            1,
+            Algorithm::Gas,
+            SplitterPolicy::RegularSample,
+            &[1.0; 4],
+        );
+        assert_ne!(a, b, "same bytes, different shape");
+        let d = c.key_for(
+            2,
+            2,
+            Algorithm::Sta,
+            SplitterPolicy::RegularSample,
+            &[1.0; 4],
+        );
+        assert_ne!(a, d, "same bytes, different algorithm");
+        let e = c.key_for(
+            2,
+            2,
+            Algorithm::Gas,
+            SplitterPolicy::Deterministic,
+            &[1.0; 4],
+        );
+        assert_ne!(a, e, "same bytes, different splitter policy");
+        let f = c.key_for(
+            2,
+            2,
+            Algorithm::Gas,
+            SplitterPolicy::RegularSample,
+            &[2.0; 4],
+        );
+        assert_ne!(a.content_hash, f.content_hash, "different bytes");
+    }
+
+    #[test]
+    fn seed_changes_the_hash_sequence_but_not_determinism() {
+        let a = ResultCache::new(4, 1);
+        let b = ResultCache::new(4, 2);
+        let data = [5.0f32, 4.0];
+        assert_ne!(
+            key(&a, &data).content_hash,
+            key(&b, &data).content_hash,
+            "seeded hashes differ across seeds"
+        );
+        assert_eq!(
+            key(&a, &data).content_hash,
+            key(&a, &data).content_hash,
+            "and are stable within a seed"
+        );
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut c = ResultCache::new(2, 0);
+        let d1 = [1.0f32];
+        let d2 = [2.0f32];
+        let d3 = [3.0f32];
+        let (k1, k2, k3) = (key(&c, &d1), key(&c, &d2), key(&c, &d3));
+        c.insert(k1, d1.to_vec());
+        c.insert(k2, d2.to_vec());
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(c.lookup(&k1).is_some());
+        c.insert(k3, d3.to_vec());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.lookup(&k2).is_none(), "k2 was evicted");
+        assert!(c.lookup(&k1).is_some());
+        assert!(c.lookup(&k3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_zero_caches_nothing() {
+        let mut c = ResultCache::new(0, 3);
+        let data = [1.0f32, 0.0];
+        let k = key(&c, &data);
+        c.insert(k, vec![0.0, 1.0]);
+        assert!(c.lookup(&k).is_none());
+        assert_eq!(c.len(), 0);
+        let s = c.stats();
+        assert_eq!(s.insertions, 0);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = ResultCache::new(2, 0);
+        let data = [2.0f32, 1.0];
+        let k = key(&c, &data);
+        c.insert(k, vec![1.0, 2.0]);
+        c.insert(k, vec![1.0, 2.0]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().insertions, 2);
+        assert_eq!(c.stats().evictions, 0);
+    }
+}

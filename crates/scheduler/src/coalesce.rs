@@ -1,0 +1,117 @@
+//! Request coalescing: packing many small compatible requests into one
+//! fused mega-batch per launch.
+//!
+//! GPU Sample Sort (Leischner et al.) and the sorting survey both show
+//! per-launch fixed costs (kernel launch overhead, PCIe round-trips)
+//! amortize only at large batch sizes — exactly what serving-shaped
+//! traffic of many small requests lacks. The scheduler therefore holds
+//! freshly admitted requests for a short **admission window**
+//! (`--batch-window-ms`, cost-model-chosen when negative) and, when a
+//! request finally dispatches, sweeps the queue for *compatible* peers
+//! to ride along in a single merged launch.
+//!
+//! Two requests are compatible when merging them changes nothing about
+//! how each array is sorted: same `array_len` (one [`array_sort::BatchGeometry`]
+//! covers every row), same [`Algorithm`] family and same
+//! [`array_sort::SplitterPolicy`] (one kernel variant and splitter
+//! strategy covers every row). Each array in a GAS batch is sorted
+//! independently, so the merged result splits back per-request
+//! bit-identically to solo launches.
+//!
+//! Priorities, deadlines, shedding, hedging and degradation all compose
+//! unchanged: the window never holds a request past the latest instant
+//! it could still start and meet its deadline, the group leader is
+//! always the request the priority+EDF policy picked on its own merits,
+//! and a group failure burns only the leader's retry budget (members
+//! requeue untouched — one physical fault stays one fault in the
+//! ledger).
+
+use crate::request::SortRequest;
+
+/// True when `candidate` can ride in the same merged launch as
+/// `leader`: identical per-array length, algorithm family and splitter
+/// policy. Shape is per-array, not per-batch, so differing
+/// `num_arrays` is fine — that is the whole point of merging.
+pub fn compatible(leader: &SortRequest, candidate: &SortRequest) -> bool {
+    leader.array_len == candidate.array_len
+        && leader.algorithm == candidate.algorithm
+        && leader.splitters == candidate.splitters
+}
+
+/// The synthetic request describing a merged launch: the leader's
+/// identity and policy knobs with `num_arrays` widened to the group
+/// total. Cost projection, device fit and watchdog budgets are all
+/// computed against this shape.
+pub fn merged_request(leader: &SortRequest, total_arrays: usize) -> SortRequest {
+    SortRequest {
+        num_arrays: total_arrays,
+        ..leader.clone()
+    }
+}
+
+/// The latest virtual time a freshly admitted request may be held for
+/// coalescing: `now + window`, clamped so the hold never pushes the
+/// request past `deadline − est_ms`, the last instant a dispatch could
+/// still meet its deadline. Requests already at or past that point are
+/// not held at all.
+pub fn hold_until(now_ms: f64, window_ms: f64, deadline_ms: f64, est_ms: f64) -> f64 {
+    let latest_viable_start = (deadline_ms - est_ms).max(now_ms);
+    (now_ms + window_ms).min(latest_viable_start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Algorithm, Priority};
+    use array_sort::SplitterPolicy;
+
+    fn req(id: u64, num: usize, len: usize, algorithm: Algorithm) -> SortRequest {
+        SortRequest {
+            id,
+            num_arrays: num,
+            array_len: len,
+            data_seed: id,
+            algorithm,
+            splitters: SplitterPolicy::RegularSample,
+            priority: Priority::Normal,
+            arrival_ms: 0.0,
+            deadline_ms: 100.0,
+        }
+    }
+
+    #[test]
+    fn compatibility_requires_len_algorithm_and_splitters() {
+        let leader = req(1, 8, 32, Algorithm::Gas);
+        assert!(compatible(&leader, &req(2, 4, 32, Algorithm::Gas)));
+        assert!(
+            compatible(&leader, &req(3, 64, 32, Algorithm::Gas)),
+            "num_arrays may differ"
+        );
+        assert!(!compatible(&leader, &req(4, 8, 48, Algorithm::Gas)));
+        assert!(!compatible(&leader, &req(5, 8, 32, Algorithm::Sta)));
+        let mut other_policy = req(6, 8, 32, Algorithm::Gas);
+        other_policy.splitters = SplitterPolicy::Deterministic;
+        assert!(!compatible(&leader, &other_policy));
+    }
+
+    #[test]
+    fn merged_request_widens_only_num_arrays() {
+        let leader = req(7, 8, 32, Algorithm::GasFused);
+        let merged = merged_request(&leader, 20);
+        assert_eq!(merged.num_arrays, 20);
+        assert_eq!(merged.id, leader.id);
+        assert_eq!(merged.array_len, leader.array_len);
+        assert_eq!(merged.algorithm, leader.algorithm);
+        assert_eq!(merged.deadline_ms, leader.deadline_ms);
+    }
+
+    #[test]
+    fn hold_never_pushes_past_the_latest_viable_start() {
+        // Plenty of slack: the full window applies.
+        assert_eq!(hold_until(10.0, 2.0, 100.0, 5.0), 12.0);
+        // Tight deadline: clamp to deadline − est.
+        assert_eq!(hold_until(10.0, 2.0, 13.0, 2.0), 11.0);
+        // Already past the viable start: no hold at all.
+        assert_eq!(hold_until(10.0, 2.0, 9.0, 2.0), 10.0);
+    }
+}

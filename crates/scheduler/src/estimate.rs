@@ -192,6 +192,24 @@ impl CostModel {
         let moves = num_arrays as f64 * n * n.log2().max(1.0);
         moves * self.host_ns_per_move / 1e6
     }
+
+    /// The admission window the cost model recommends for request
+    /// coalescing (`--batch-window-ms auto`): a few launch-times of a
+    /// canonical small serving request (16 × 64) on the *fastest* device
+    /// in the pool. Holding longer than that buys no extra packing — the
+    /// queue drains faster than it fills — while holding less forfeits
+    /// the merge. Deterministic in the specs; clamped to [0.05, 5.0] ms
+    /// so a degenerate pool can't pick a zero or unbounded window.
+    pub fn auto_batch_window_ms(&self, specs: &[DeviceSpec], config: &ArraySortConfig) -> f64 {
+        let fastest = specs
+            .iter()
+            .map(|spec| self.best_gas_variant(spec, config, 16, 64).1)
+            .fold(f64::INFINITY, f64::min);
+        if !fastest.is_finite() {
+            return 0.05;
+        }
+        (fastest * 4.0).clamp(0.05, 5.0)
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +306,24 @@ mod tests {
             assert!(wd < wr, "n={n}: bounded tail {wd} vs quadratic tail {wr}");
             assert!(wr >= expected, "n={n}: worst case dominates expectation");
         }
+    }
+
+    #[test]
+    fn auto_window_is_deterministic_positive_and_clamped() {
+        let m = CostModel::default();
+        let cfg = ArraySortConfig::default();
+        let pool = [DeviceSpec::tesla_k40c(), DeviceSpec::test_device()];
+        let w = m.auto_batch_window_ms(&pool, &cfg);
+        assert_eq!(w, m.auto_batch_window_ms(&pool, &cfg), "bit-identical");
+        assert!((0.05..=5.0).contains(&w), "clamped: {w}");
+        // The fastest device sets the window for the whole pool.
+        let separately = [
+            m.auto_batch_window_ms(&[DeviceSpec::tesla_k40c()], &cfg),
+            m.auto_batch_window_ms(&[DeviceSpec::test_device()], &cfg),
+        ];
+        assert_eq!(w, separately.iter().copied().fold(f64::INFINITY, f64::min));
+        // An empty pool falls back to the floor instead of infinity.
+        assert_eq!(m.auto_batch_window_ms(&[], &cfg), 0.05);
     }
 
     #[test]

@@ -30,6 +30,13 @@
 //!   pool forever, and the [`DegradationLadder`] steps the service
 //!   through explicit brownout levels (L0 normal … L4 host-only) with
 //!   hysteretic recovery ([`degrade`], [`SchedulerConfig`]).
+//! * **Streaming throughput** — an admission window coalesces small
+//!   compatible requests into one mega-batch per launch ([`coalesce`]),
+//!   the overlapped dispatch path pipelines H2D/compute/D2H on three
+//!   streams per device with the billed time taken at quiesce, and a
+//!   content-hash LRU ([`ResultCache`]) serves repeated payloads with
+//!   zero device time, all reconciled in the report's `cache` section.
+//!   Every knob defaults off, keeping legacy runs byte-identical.
 //!
 //! Everything runs on a **virtual clock** driven by the simulator's
 //! cycle bills, with seeded tie-breaking, so a soak over thousands of
@@ -52,6 +59,8 @@
 #![warn(missing_docs)]
 
 pub mod breaker;
+pub mod cache;
+pub mod coalesce;
 pub mod degrade;
 pub mod estimate;
 pub mod pool;
@@ -60,12 +69,13 @@ pub mod request;
 pub mod service;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use degrade::{DegradationLadder, DegradationTransition, DEFAULT_HOLD_MS, MAX_LEVEL};
 pub use estimate::{CostModel, GasVariant};
 pub use pool::{device_by_name, parse_mix, DevicePool, PooledDevice};
 pub use report::{
-    record_request_metrics, AttemptRecord, DegradationReport, DeviceReport, Outcome, PriorityShed,
-    PrioritySlo, RequestRecord, ServiceReport, SloReport, ALL_PRIORITIES,
+    record_request_metrics, AttemptRecord, CacheReport, DegradationReport, DeviceReport, Outcome,
+    PriorityShed, PrioritySlo, RequestRecord, ServiceReport, SloReport, ALL_PRIORITIES,
 };
 pub use request::{Algorithm, Priority, SortRequest, Workload, WorkloadConfig};
 pub use service::{SchedulerConfig, SortService};

@@ -6,7 +6,7 @@
 //! reproducibly), a [`CircuitBreaker`] and a `busy_until_ms` horizon on
 //! the shared virtual clock.
 
-use gpu_sim::{DeviceSpec, FaultPlan, Gpu};
+use gpu_sim::{DeviceSpec, FaultPlan, Gpu, StreamId};
 
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 
@@ -28,12 +28,33 @@ pub struct PooledDevice {
     pub fatal_failures: u32,
     /// Successful attempts the watchdog cancelled over budget here.
     pub watchdog_cancels: u32,
+    /// The H2D/compute/D2H stream triple the streaming dispatch path
+    /// uses for transfer/compute overlap, created lazily on the first
+    /// overlapped launch so sequential runs keep a stream-free timeline.
+    pub streams: Option<[StreamId; 3]>,
 }
 
 impl PooledDevice {
     /// The device's spec.
     pub fn spec(&self) -> &DeviceSpec {
         self.gpu.spec()
+    }
+
+    /// The device's upload/compute/download streams, creating them on
+    /// first use. One triple per device for the whole run: streams are
+    /// cheap in the simulator but creating three per attempt would bloat
+    /// the exported trace.
+    pub fn overlap_streams(&mut self) -> [StreamId; 3] {
+        if let Some(s) = self.streams {
+            return s;
+        }
+        let s = [
+            self.gpu.create_stream(),
+            self.gpu.create_stream(),
+            self.gpu.create_stream(),
+        ];
+        self.streams = Some(s);
+        s
     }
 
     /// Error-producing faults this device's injector fired (stalls are
@@ -95,6 +116,7 @@ impl DevicePool {
                     failed_attempts: 0,
                     fatal_failures: 0,
                     watchdog_cancels: 0,
+                    streams: None,
                 }
             })
             .collect();

@@ -45,6 +45,14 @@ pub struct AttemptRecord {
     /// was kept and for attempts that failed outright.
     #[serde(default)]
     pub cancelled: Option<String>,
+    /// Size of the coalesced mega-batch this attempt rode in: 0 for a
+    /// solo launch (and in records written before coalescing existed),
+    /// otherwise the number of requests merged into the launch. Only
+    /// the group leader's record carries the real `predicted_ms`;
+    /// members carry copies with `predicted_ms = 0` so the cost model
+    /// is scored once per physical launch.
+    #[serde(default)]
+    pub coalesced: usize,
 }
 
 impl AttemptRecord {
@@ -81,6 +89,10 @@ pub enum Outcome {
         /// Why admission control refused the request.
         reason: String,
     },
+    /// Served from the content-hash result cache: identical bytes,
+    /// algorithm and splitter policy were sorted earlier in the run, so
+    /// no device attempt ran and zero device milliseconds were billed.
+    CacheHit,
 }
 
 /// The full story of one request.
@@ -157,6 +169,10 @@ pub struct PrioritySlo {
     pub shed: usize,
     /// Refused at admission.
     pub rejected: usize,
+    /// Served from the result cache with zero device time billed. Zero
+    /// in rows written before the cache existed.
+    #[serde(default)]
+    pub cache_hits: usize,
     /// Completions that beat their deadline.
     pub deadline_hits: usize,
     /// Completions that missed.
@@ -223,6 +239,7 @@ impl SloReport {
                     cpu_fallbacks: count("cpu-fallback"),
                     shed: count("shed"),
                     rejected: count("rejected"),
+                    cache_hits: count("cache-hit"),
                     deadline_hits: hits,
                     deadline_misses: misses,
                     attainment_pct,
@@ -252,6 +269,10 @@ impl SloReport {
 /// * `gas_requests_total{priority, algorithm, outcome}` — one per record;
 /// * `gas_shed_total` / `gas_rejected_total{priority}` and
 ///   `gas_fallback_total{priority, algorithm}`;
+/// * `gas_cache_hits_total{priority}` — requests served from the result
+///   cache (the miss/eviction side lives in
+///   `gas_cache_{misses,evictions}_total`, recorded from the cache's own
+///   counters because misses are not per-record events);
 /// * `gas_request_retries_total{priority, algorithm}` — re-dispatches
 ///   after the first device attempt;
 /// * `gas_attempts_total{algorithm, device, result}` with `result` ∈
@@ -280,6 +301,7 @@ pub fn record_request_metrics(reg: &mut Registry, r: &RequestRecord) {
         Outcome::CpuFallback { .. } => "cpu-fallback",
         Outcome::Shed { .. } => "shed",
         Outcome::Rejected { .. } => "rejected",
+        Outcome::CacheHit => "cache-hit",
     };
     reg.inc(
         "gas_requests_total",
@@ -291,6 +313,7 @@ pub fn record_request_metrics(reg: &mut Registry, r: &RequestRecord) {
         Outcome::CpuFallback { .. } => {
             reg.inc("gas_fallback_total", &[("priority", p), ("algorithm", alg)])
         }
+        Outcome::CacheHit => reg.inc("gas_cache_hits_total", &[("priority", p)]),
         Outcome::Completed { .. } => {}
     }
     let retries = r.attempts.len().saturating_sub(1);
@@ -449,6 +472,32 @@ pub struct DegradationReport {
     pub degradation_sheds: usize,
 }
 
+/// The result-cache section of a [`ServiceReport`]: the LRU's own
+/// counters, reconciled against the per-request records by
+/// [`ServiceReport::invariant_violations`] (hits must equal the
+/// `cache-hit` records; `lookups = hits + misses`;
+/// `insertions = entries + evictions`). Default (disabled, all zero) in
+/// pre-cache JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CacheReport {
+    /// Whether the cache was active for the run (`--cache-entries > 0`).
+    pub enabled: bool,
+    /// Maximum entries the LRU holds.
+    pub capacity: usize,
+    /// Lookups performed (one per cacheable admission).
+    pub lookups: usize,
+    /// Lookups served from the cache — zero device ms billed.
+    pub hits: usize,
+    /// Lookups that found nothing.
+    pub misses: usize,
+    /// Verified sorted results inserted.
+    pub insertions: usize,
+    /// Entries evicted by the LRU policy.
+    pub evictions: usize,
+    /// Entries resident at the end of the run.
+    pub entries: usize,
+}
+
 /// The whole run: per-request records, per-device roll-ups, counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceReport {
@@ -468,6 +517,10 @@ pub struct ServiceReport {
     pub shed_by_priority: Vec<PriorityShed>,
     /// Requests refused at admission.
     pub rejected: usize,
+    /// Requests served from the result cache with zero device time
+    /// billed. Zero in pre-cache JSON.
+    #[serde(default)]
+    pub cache_hits: usize,
     /// Completions (device or host) that beat their deadline.
     pub deadline_hits: usize,
     /// Completions that missed their deadline.
@@ -481,6 +534,10 @@ pub struct ServiceReport {
     /// accounting. Default (ladder disabled, all zero) in pre-PR JSON.
     #[serde(default)]
     pub degradation: DegradationReport,
+    /// Result-cache section: LRU counters reconciled against the
+    /// records. Default (disabled, all zero) in pre-cache JSON.
+    #[serde(default)]
+    pub cache: CacheReport,
     /// Per-device roll-ups, by pool index.
     pub devices: Vec<DeviceReport>,
     /// Per-request records, sorted by id.
@@ -590,7 +647,11 @@ impl ServiceReport {
     /// 7. the `degradation` section reconciles: hedge outcomes, watchdog
     ///    cancels, device deaths and ladder sheds match a recount of the
     ///    records/devices, and the ladder trajectory is self-consistent
-    ///    (transitions end at `final_level`, peak at `max_level`).
+    ///    (transitions end at `final_level`, peak at `max_level`);
+    /// 8. the `cache` section reconciles: its hit count equals the
+    ///    `cache-hit` records (which must carry verified output and no
+    ///    attempts), `lookups = hits + misses`, `insertions = entries +
+    ///    evictions`, and a disabled cache reports no activity at all.
     pub fn invariant_violations(&self) -> Vec<String> {
         let mut v = Vec::new();
         if self.records.len() != self.requests {
@@ -600,7 +661,8 @@ impl ServiceReport {
                 self.requests
             ));
         }
-        let resolved = self.completed + self.cpu_fallbacks + self.shed + self.rejected;
+        let resolved =
+            self.completed + self.cpu_fallbacks + self.shed + self.rejected + self.cache_hits;
         if resolved != self.requests {
             v.push(format!(
                 "outcome counters sum to {resolved}, expected {}",
@@ -609,7 +671,7 @@ impl ServiceReport {
         }
         for r in &self.records {
             match &r.outcome {
-                Outcome::Completed { .. } | Outcome::CpuFallback { .. } => {
+                Outcome::Completed { .. } | Outcome::CpuFallback { .. } | Outcome::CacheHit => {
                     if r.verified != Some(true) {
                         v.push(format!(
                             "request {}: output not verified against oracle",
@@ -620,6 +682,13 @@ impl ServiceReport {
                         v.push(format!(
                             "request {}: completed without a completion time",
                             r.id
+                        ));
+                    }
+                    if matches!(r.outcome, Outcome::CacheHit) && !r.attempts.is_empty() {
+                        v.push(format!(
+                            "request {}: cache hit yet billed {} device attempts",
+                            r.id,
+                            r.attempts.len()
                         ));
                     }
                 }
@@ -744,7 +813,59 @@ impl ServiceReport {
         } else if deg.final_level != 0 || deg.max_level != 0 || !deg.transitions.is_empty() {
             v.push("degradation ladder disabled yet reports a trajectory".to_string());
         }
+        let cache_hit_records = self.cache_hits_from_records();
+        if self.cache_hits != cache_hit_records {
+            v.push(format!(
+                "report says {} cache hits, records show {cache_hit_records}",
+                self.cache_hits
+            ));
+        }
+        let c = &self.cache;
+        if c.enabled {
+            if c.hits != cache_hit_records {
+                v.push(format!(
+                    "cache section says {} hits, records show {cache_hit_records}",
+                    c.hits
+                ));
+            }
+            if c.lookups != c.hits + c.misses {
+                v.push(format!(
+                    "cache section: {} lookups but {} hits + {} misses",
+                    c.lookups, c.hits, c.misses
+                ));
+            }
+            if c.insertions != c.entries + c.evictions {
+                v.push(format!(
+                    "cache section: {} insertions but {} resident + {} evicted",
+                    c.insertions, c.entries, c.evictions
+                ));
+            }
+            if c.entries > c.capacity {
+                v.push(format!(
+                    "cache section: {} entries resident over capacity {}",
+                    c.entries, c.capacity
+                ));
+            }
+        } else {
+            if *c != CacheReport::default() {
+                v.push("cache disabled yet the cache section carries activity".to_string());
+            }
+            if cache_hit_records != 0 {
+                v.push(format!(
+                    "cache disabled yet records show {cache_hit_records} cache hits"
+                ));
+            }
+        }
         v
+    }
+
+    /// Requests served from the cache, recounted from the records — the
+    /// evidence side of [`CacheReport::hits`].
+    pub fn cache_hits_from_records(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::CacheHit))
+            .count()
     }
 
     /// The SLO section the records imply: every record replayed through

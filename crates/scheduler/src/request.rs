@@ -172,6 +172,16 @@ pub struct WorkloadConfig {
     /// knob existed (they replay bit-identically). Defaults to 0.
     #[serde(default)]
     pub deterministic_fraction: f64,
+    /// Fraction of requests rewritten into **repeated content**: each
+    /// flagged request takes one of four canned (shape, data-seed)
+    /// palette entries, so identical payload bytes recur throughout the
+    /// stream and the result cache has something to hit. Decided from a
+    /// hash of the request id (a different hash than
+    /// `deterministic_fraction`) after every RNG draw, so setting it
+    /// does not perturb the non-repeated requests — they stay
+    /// bit-identical to the knob-free workload. Defaults to 0.
+    #[serde(default)]
+    pub repeat_fraction: f64,
 }
 
 impl Default for WorkloadConfig {
@@ -187,9 +197,16 @@ impl Default for WorkloadConfig {
             warp_fraction: 0.0,
             fused_fraction: 0.0,
             deterministic_fraction: 0.0,
+            repeat_fraction: 0.0,
         }
     }
 }
+
+/// The canned (num_arrays, array_len, data-seed salt) palette
+/// `repeat_fraction` rewrites flagged requests onto. Four entries keep
+/// the cache honest (it must hold several keys, not one) while each
+/// entry recurs often enough to hit.
+const REPEAT_PALETTE: [(usize, usize, u64); 4] = [(6, 32, 1), (8, 24, 2), (4, 48, 3), (8, 40, 4)];
 
 /// An arrival-ordered stream of sort requests.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -240,7 +257,7 @@ impl Workload {
             } else {
                 SplitterPolicy::RegularSample
             };
-            requests.push(SortRequest {
+            let mut req = SortRequest {
                 id,
                 num_arrays,
                 array_len,
@@ -250,7 +267,25 @@ impl Workload {
                 priority,
                 arrival_ms: arrival,
                 deadline_ms: arrival + (crude_ms * slack).max(1.0),
-            });
+            };
+            // Repeated-content rewrite, also from an id hash (a different
+            // one) applied after every RNG draw: flagged requests snap to
+            // a canned palette entry whose data seed depends only on the
+            // workload seed, so identical bytes recur across the stream.
+            // Arrival, priority and deadline keep their drawn values.
+            let repeat_unit = (id.rotate_left(17).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64
+                / (1u64 << 24) as f64;
+            if repeat_unit < cfg.repeat_fraction {
+                let pick =
+                    (id.wrapping_mul(0xD1B5_4A32_D192_ED03) >> 8) as usize % REPEAT_PALETTE.len();
+                let (num, len, salt) = REPEAT_PALETTE[pick];
+                req.num_arrays = num;
+                req.array_len = len;
+                req.data_seed = cfg.seed.wrapping_mul(0x51_7C_C1B7).wrapping_add(salt);
+                req.algorithm = Algorithm::Gas;
+                req.splitters = SplitterPolicy::RegularSample;
+            }
+            requests.push(req);
         }
         Workload { requests }
     }
@@ -434,6 +469,51 @@ mod tests {
             b2.splitters = a.splitters;
             assert_eq!(a, &b2);
         }
+    }
+
+    #[test]
+    fn repeat_fraction_repeats_content_without_disturbing_the_rest() {
+        let base = WorkloadConfig {
+            requests: 200,
+            ..WorkloadConfig::default()
+        };
+        let plain = Workload::generate(&base);
+        let mixed = Workload::generate(&WorkloadConfig {
+            repeat_fraction: 0.5,
+            ..base.clone()
+        });
+        let repeated: Vec<&SortRequest> = plain
+            .requests
+            .iter()
+            .zip(&mixed.requests)
+            .filter(|(a, b)| a != b)
+            .map(|(_, b)| b)
+            .collect();
+        assert!(
+            repeated.len() > 50 && repeated.len() < 150,
+            "0.5 of 200 requests rewritten, got {}",
+            repeated.len()
+        );
+        // Every rewritten request sits on a palette entry, and each
+        // distinct (shape, seed) recurs — that is what a cache can hit.
+        let mut seeds: Vec<u64> = repeated.iter().map(|r| r.data_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert!(
+            seeds.len() <= 4 && seeds.len() >= 2,
+            "palette holds 4 canned seeds, saw {}",
+            seeds.len()
+        );
+        assert!(repeated.len() > 2 * seeds.len(), "each entry recurs");
+        // Non-repeated requests are bit-identical: the knob consumes no
+        // RNG draw, and arrival/priority/deadline survive even on the
+        // rewritten ones.
+        for (a, b) in plain.requests.iter().zip(&mixed.requests) {
+            assert_eq!(a.arrival_ms.to_bits(), b.arrival_ms.to_bits());
+            assert_eq!(a.deadline_ms.to_bits(), b.deadline_ms.to_bits());
+            assert_eq!(a.priority, b.priority);
+        }
+        mixed.validate().unwrap();
     }
 
     #[test]

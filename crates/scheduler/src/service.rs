@@ -69,12 +69,14 @@ use serde::{Deserialize, Serialize};
 use telemetry::{Registry, Snapshot};
 
 use crate::breaker::BreakerConfig;
+use crate::cache::{CacheKey, ResultCache};
+use crate::coalesce;
 use crate::degrade::DegradationLadder;
 use crate::estimate::{CostModel, GasVariant};
 use crate::pool::DevicePool;
 use crate::report::{
-    record_request_metrics, AttemptRecord, DegradationReport, DeviceReport, Outcome, RequestRecord,
-    ServiceReport, SloReport,
+    record_request_metrics, AttemptRecord, CacheReport, DegradationReport, DeviceReport, Outcome,
+    RequestRecord, ServiceReport, SloReport,
 };
 use crate::request::{Algorithm, Priority, SortRequest, Workload};
 
@@ -112,6 +114,25 @@ pub struct SchedulerConfig {
     /// Enables the graceful-degradation ladder ([`crate::degrade`]).
     #[serde(default)]
     pub degrade: bool,
+    /// Coalescing admission window, virtual ms: freshly admitted
+    /// requests are held up to this long (never past the last instant
+    /// their deadline stays feasible) so compatible peers can merge into
+    /// one mega-batch launch. `0.0` (the default) disables coalescing —
+    /// the legacy one-request-per-launch path, byte-identical to
+    /// pre-coalescing runs. Negative means *auto*: the cost model picks
+    /// the window from the pool ([`CostModel::auto_batch_window_ms`]).
+    #[serde(default)]
+    pub batch_window_ms: f64,
+    /// Capacity of the content-hash result cache, in entries. `0` (the
+    /// default) disables the cache.
+    #[serde(default)]
+    pub cache_entries: usize,
+    /// Runs coalesced GAS launches through the per-device streamed
+    /// pipeline: member k+1's upload overlaps member k's kernel while
+    /// member k−1 downloads, on three streams per device, with the
+    /// attempt billed at quiesce. Off by default (sequential dispatch).
+    #[serde(default)]
+    pub overlap: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -126,6 +147,9 @@ impl Default for SchedulerConfig {
             timeout_slack: 0.0,
             hedge_slack_ms: 0.0,
             degrade: false,
+            batch_window_ms: 0.0,
+            cache_entries: 0,
+            overlap: false,
         }
     }
 }
@@ -140,6 +164,7 @@ struct Pending {
     attempts: Vec<AttemptRecord>,
     not_before_ms: f64,
     last_device: Option<usize>,
+    cache_key: Option<CacheKey>,
 }
 
 /// The service: a device pool plus the scheduling state.
@@ -155,6 +180,11 @@ pub struct SortService {
     rng: ChaCha8Rng,
     registry: Registry,
     ladder: DegradationLadder,
+    cache: Option<ResultCache>,
+    /// The coalescing window in force for the current run:
+    /// `cfg.batch_window_ms`, or the cost-model choice when that is
+    /// negative. Zero disables coalescing.
+    window_ms: f64,
 }
 
 /// One device attempt's raw outcome, before watchdog and hedge-race
@@ -211,6 +241,8 @@ impl SortService {
             rng,
             registry: Registry::new(),
             ladder: DegradationLadder::new(degrade),
+            cache: None,
+            window_ms: 0.0,
         })
     }
 
@@ -242,6 +274,24 @@ impl SortService {
             // for a run that never leaves L0 — the CI non-vacuity gate.
             self.registry.set_gauge("gas_degradation_level", &[], 0.0);
         }
+        // Resolve the coalescing window: explicit, off, or the cost
+        // model's pick for this exact pool (negative = auto).
+        self.window_ms = if self.cfg.batch_window_ms < 0.0 {
+            let specs: Vec<gpu_sim::DeviceSpec> =
+                self.pool.devices.iter().map(|d| d.spec().clone()).collect();
+            self.cfg
+                .cost
+                .auto_batch_window_ms(&specs, self.sorter.config())
+        } else {
+            self.cfg.batch_window_ms
+        };
+        // A fresh cache per run keeps repeated `run` calls independent —
+        // the same replay contract every other piece of state follows.
+        self.cache = if self.cfg.cache_entries > 0 {
+            Some(ResultCache::new(self.cfg.cache_entries, self.cfg.seed))
+        } else {
+            None
+        };
         let mut arrivals: VecDeque<SortRequest> = workload.requests.iter().cloned().collect();
         let mut queue: Vec<Pending> = Vec::new();
         let mut records: Vec<RequestRecord> = Vec::new();
@@ -257,6 +307,13 @@ impl SortService {
 
             if let Some((qi, di)) = self.pick(&queue, now) {
                 let p = queue.remove(qi);
+                if self.window_ms > 0.0 {
+                    let members = self.assemble_group(&p, di, now, &mut queue);
+                    if !members.is_empty() {
+                        self.execute_group(p, members, di, now, &mut queue, &mut records);
+                        continue;
+                    }
+                }
                 self.execute(p, di, now, &mut queue, &mut records);
                 continue;
             }
@@ -353,6 +410,40 @@ impl SortService {
         let mut oracle = data.clone();
         cpu_ref::sort_arrays_seq(&mut oracle, req.array_len);
 
+        // Content-hash cache: a payload already served (same bytes,
+        // algorithm and splitter policy) completes immediately, billing
+        // zero device time. Checked before any pool consultation — a
+        // cache hit is valid at every degradation level.
+        let mut cache_key = None;
+        if let Some(cache) = self.cache.as_mut() {
+            let key = cache.key_for(
+                req.num_arrays,
+                req.array_len,
+                req.algorithm,
+                req.splitters,
+                &data,
+            );
+            if let Some(sorted) = cache.lookup(&key) {
+                let verified = bits_equal(sorted, &oracle);
+                records.push(RequestRecord {
+                    id: req.id,
+                    priority: req.priority,
+                    algorithm: req.algorithm,
+                    num_arrays: req.num_arrays,
+                    array_len: req.array_len,
+                    arrival_ms: req.arrival_ms,
+                    deadline_ms: req.deadline_ms,
+                    attempts: Vec::new(),
+                    outcome: Outcome::CacheHit,
+                    completion_ms: Some(now),
+                    deadline_met: Some(now <= req.deadline_ms + EPS),
+                    verified: Some(verified),
+                });
+                return;
+            }
+            cache_key = Some(key);
+        }
+
         // L4: host-only serving — the pool is gone; don't even consult
         // it.
         if self.ladder.enabled() && self.ladder.level() >= 4 {
@@ -367,6 +458,7 @@ impl SortService {
                     attempts: Vec::new(),
                     not_before_ms: now,
                     last_device: None,
+                    cache_key,
                 };
                 self.resolve_host(
                     pending,
@@ -402,6 +494,7 @@ impl SortService {
                 attempts: Vec::new(),
                 not_before_ms: now,
                 last_device: None,
+                cache_key,
             };
             if now + host_ms <= pending.req.deadline_ms + EPS {
                 self.resolve_host(
@@ -457,6 +550,15 @@ impl SortService {
             return;
         }
 
+        // With coalescing on, a fresh admission is held in the window —
+        // but never past the last instant its deadline stays feasible —
+        // so compatible peers arriving shortly after can merge into one
+        // launch.
+        let not_before_ms = if self.window_ms > 0.0 {
+            coalesce::hold_until(now, self.window_ms, req.deadline_ms, est)
+        } else {
+            now
+        };
         queue.push(Pending {
             req,
             data,
@@ -464,8 +566,9 @@ impl SortService {
             est_ms: est,
             attempts_made: 0,
             attempts: Vec::new(),
-            not_before_ms: now,
+            not_before_ms,
             last_device: None,
+            cache_key,
         });
 
         // Overload: shed lowest priority first (ties: latest deadline,
@@ -984,6 +1087,7 @@ impl SortService {
                 variant: a.variant.to_string(),
                 hedge: a.hedge,
                 cancelled: a.cancelled.clone(),
+                coalesced: 0,
             });
         }
         p.attempts_made += evals.len() as u32;
@@ -1002,6 +1106,11 @@ impl SortService {
                 );
             }
             let verified = bits_equal(&p.data, &p.oracle);
+            if verified {
+                if let (Some(cache), Some(key)) = (self.cache.as_mut(), p.cache_key) {
+                    cache.insert(key, p.data.clone());
+                }
+            }
             records.push(RequestRecord {
                 id: p.req.id,
                 priority: p.req.priority,
@@ -1033,6 +1142,389 @@ impl SortService {
         }
     }
 
+    /// Collects queued requests that can ride along with `leader` in one
+    /// mega-batch launch on device `di`: same array length, algorithm
+    /// and splitter policy ([`coalesce::compatible`]), not serving a
+    /// retry backoff, and the merged batch must still fit the device.
+    /// Taken members are removed from the queue and returned in
+    /// scheduling order (priority, then EDF, then id) — the same order
+    /// decides who boards first when capacity runs out.
+    fn assemble_group(
+        &mut self,
+        leader: &Pending,
+        di: usize,
+        now: f64,
+        queue: &mut Vec<Pending>,
+    ) -> Vec<Pending> {
+        let mut order: Vec<usize> = (0..queue.len())
+            .filter(|&i| {
+                let m = &queue[i];
+                coalesce::compatible(&leader.req, &m.req)
+                    && (m.attempts_made == 0 || m.not_before_ms <= now + EPS)
+            })
+            .collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (&queue[a], &queue[b]);
+            pb.req
+                .priority
+                .cmp(&pa.req.priority)
+                .then(pa.req.deadline_ms.total_cmp(&pb.req.deadline_ms))
+                .then(pa.req.id.cmp(&pb.req.id))
+        });
+        let spec = self.pool.devices[di].spec().clone();
+        let mut total = leader.req.num_arrays;
+        let mut picked = vec![false; queue.len()];
+        for i in order {
+            let widened = coalesce::merged_request(&leader.req, total + queue[i].req.num_arrays);
+            if self.fits(&spec, &widened) {
+                total += queue[i].req.num_arrays;
+                picked[i] = true;
+            }
+        }
+        let mut members = Vec::new();
+        let mut rest = Vec::new();
+        for (i, p) in queue.drain(..).enumerate() {
+            if picked[i] {
+                members.push(p);
+            } else {
+                rest.push(p);
+            }
+        }
+        *queue = rest;
+        members.sort_by(|a, b| {
+            b.req
+                .priority
+                .cmp(&a.req.priority)
+                .then(a.req.deadline_ms.total_cmp(&b.req.deadline_ms))
+                .then(a.req.id.cmp(&b.req.id))
+        });
+        members
+    }
+
+    /// Runs one coalesced mega-batch launch: the leader's and members'
+    /// payloads concatenated into a single batch, sorted by one device
+    /// attempt (streamed when [`SchedulerConfig::overlap`] is on), then
+    /// split back per request. Mega-batches never hedge — the launch is
+    /// already the throughput play. On failure only the leader burns an
+    /// attempt (one physical fault must stay one fault in the ledger);
+    /// members go back in the queue untouched.
+    fn execute_group(
+        &mut self,
+        mut leader: Pending,
+        members: Vec<Pending>,
+        di: usize,
+        now: f64,
+        queue: &mut Vec<Pending>,
+        records: &mut Vec<RequestRecord>,
+    ) {
+        let group_size = 1 + members.len();
+        let total_arrays =
+            leader.req.num_arrays + members.iter().map(|m| m.req.num_arrays).sum::<usize>();
+        let synth = coalesce::merged_request(&leader.req, total_arrays);
+        let attempt_no = leader.attempts_made + 1;
+        let span_name = if attempt_no == 1 {
+            format!("sched/mega-{}/attempt-1", leader.req.id)
+        } else {
+            format!("recovery/mega-{}/attempt-{attempt_no}", leader.req.id)
+        };
+        // Segment sizes in arrays — leader first, then members in
+        // scheduling order; the results are split back along the same
+        // seams. Per-array independence makes the merged sort bitwise
+        // equal to sorting each payload alone.
+        let mut segments: Vec<usize> = Vec::with_capacity(group_size);
+        segments.push(leader.req.num_arrays);
+        let mut merged = leader.data.clone();
+        for m in &members {
+            segments.push(m.req.num_arrays);
+            merged.extend_from_slice(&m.data);
+        }
+        let checkpoint = merged.clone();
+        let run = if self.cfg.overlap && synth.algorithm != Algorithm::Sta {
+            self.overlapped_attempt(
+                &synth,
+                &segments,
+                &mut merged,
+                &checkpoint,
+                di,
+                now,
+                &span_name,
+            )
+        } else {
+            self.device_attempt(&synth, &mut merged, &checkpoint, di, now, &span_name)
+        };
+        let end = run.end_ms;
+        let budget = self.watchdog_budget_ms(di, &synth);
+        let dev = &mut self.pool.devices[di];
+        dev.busy_until_ms = end;
+        match run.result {
+            Ok(()) => {
+                let billed = end - now;
+                let cancelled = budget
+                    .filter(|b| billed > b + EPS)
+                    .map(|b| format!("watchdog: billed {billed:.3} ms over budget {b:.3} ms"));
+                if let Some(reason) = cancelled {
+                    dev.watchdog_cancels += 1;
+                    dev.breaker.on_transient_failure(end);
+                    let g = &mut dev.gpu;
+                    let span =
+                        g.begin_span(&format!("recovery/req-{}/watchdog-cancel", leader.req.id));
+                    g.end_span(span);
+                    leader.attempts.push(AttemptRecord {
+                        device: di,
+                        start_ms: now,
+                        end_ms: end,
+                        error: None,
+                        transient: false,
+                        predicted_ms: run.predicted_ms,
+                        variant: run.variant_label.to_string(),
+                        hedge: false,
+                        cancelled: Some(reason),
+                        coalesced: group_size,
+                    });
+                    self.group_requeue(leader, members, di, end, queue, records);
+                    return;
+                }
+                dev.breaker.on_success();
+                dev.completed += group_size as u32;
+                if run.overflows > 0 {
+                    self.registry.add(
+                        "gas_bucket_overflows_total",
+                        &[("policy", leader.req.splitters.label())],
+                        run.overflows as f64,
+                    );
+                }
+                // Split the merged result back along the segment seams
+                // and resolve every rider. Only the leader's record
+                // carries the launch's real prediction; members carry
+                // `predicted_ms = 0` copies so the cost model is scored
+                // once per physical launch.
+                let mut offset = 0usize;
+                for (gi, mut p) in std::iter::once(leader).chain(members).enumerate() {
+                    let len = p.req.num_arrays * p.req.array_len;
+                    p.data.copy_from_slice(&merged[offset..offset + len]);
+                    offset += len;
+                    let verified = bits_equal(&p.data, &p.oracle);
+                    if verified {
+                        if let (Some(cache), Some(key)) = (self.cache.as_mut(), p.cache_key) {
+                            cache.insert(key, p.data.clone());
+                        }
+                    }
+                    p.attempts.push(AttemptRecord {
+                        device: di,
+                        start_ms: now,
+                        end_ms: end,
+                        error: None,
+                        transient: false,
+                        predicted_ms: if gi == 0 { run.predicted_ms } else { 0.0 },
+                        variant: run.variant_label.to_string(),
+                        hedge: false,
+                        cancelled: None,
+                        coalesced: group_size,
+                    });
+                    records.push(RequestRecord {
+                        id: p.req.id,
+                        priority: p.req.priority,
+                        algorithm: p.req.algorithm,
+                        num_arrays: p.req.num_arrays,
+                        array_len: p.req.array_len,
+                        arrival_ms: p.req.arrival_ms,
+                        deadline_ms: p.req.deadline_ms,
+                        attempts: p.attempts,
+                        outcome: Outcome::Completed { device: di },
+                        completion_ms: Some(end),
+                        deadline_met: Some(end <= p.req.deadline_ms + EPS),
+                        verified: Some(verified),
+                    });
+                }
+            }
+            Err(failed) => {
+                let transient = failed.error.is_transient();
+                if transient {
+                    dev.failed_attempts += 1;
+                    dev.breaker.on_transient_failure(end);
+                } else {
+                    dev.fatal_failures += 1;
+                    dev.breaker.on_fatal();
+                }
+                // One physical fault, one record: the leader alone
+                // carries the failed attempt, reconciling 1:1 with the
+                // injector log the invariants check.
+                leader.attempts.push(AttemptRecord {
+                    device: di,
+                    start_ms: now,
+                    end_ms: end,
+                    error: Some(failed.error.to_string()),
+                    transient,
+                    predicted_ms: run.predicted_ms,
+                    variant: run.variant_label.to_string(),
+                    hedge: false,
+                    cancelled: None,
+                    coalesced: group_size,
+                });
+                self.group_requeue(leader, members, di, end, queue, records);
+            }
+        }
+    }
+
+    /// Routes a failed (or watchdog-cancelled) mega-batch: members go
+    /// straight back to the queue with their payloads untouched, the
+    /// leader burns the attempt and retries with backoff — or resolves
+    /// on the host once its budget is gone.
+    fn group_requeue(
+        &mut self,
+        mut leader: Pending,
+        members: Vec<Pending>,
+        di: usize,
+        end: f64,
+        queue: &mut Vec<Pending>,
+        records: &mut Vec<RequestRecord>,
+    ) {
+        for m in members {
+            queue.push(m);
+        }
+        leader.attempts_made += 1;
+        leader.last_device = Some(di);
+        if leader.attempts_made >= self.cfg.max_attempts.max(1) {
+            let reason = format!(
+                "{} device attempts failed; degraded to host",
+                leader.attempts_made
+            );
+            self.resolve_host(leader, end, reason, records);
+        } else {
+            let backoff =
+                self.cfg.backoff_base_ms * f64::powi(2.0, leader.attempts_made as i32 - 1);
+            leader.not_before_ms = end + backoff.max(EPS);
+            queue.push(leader);
+        }
+    }
+
+    /// Runs one checkpointed mega-batch attempt through the per-device
+    /// three-stream pipeline: member k+1's upload (H2D stream) proceeds
+    /// under member k's kernel (compute stream) while member k−1's
+    /// download drains (D2H stream), chained with events. The closure
+    /// ends on the default stream, so the bill is taken at quiesce —
+    /// the overlap win is real in the cost ledger, not an accounting
+    /// artifact. Mirrors [`SortService::device_attempt`] for breaker,
+    /// variant and prediction bookkeeping; never used for STA.
+    #[allow(clippy::too_many_arguments)]
+    fn overlapped_attempt(
+        &mut self,
+        req: &SortRequest,
+        segments: &[usize],
+        data: &mut Vec<f32>,
+        checkpoint: &[f32],
+        di: usize,
+        now: f64,
+        span_name: &str,
+    ) -> AttemptRun {
+        let array_len = req.array_len;
+        let cost = &self.cfg.cost;
+        let deterministic = req.splitters == SplitterPolicy::Deterministic;
+        let sorter = if deterministic {
+            &self.det_sorter
+        } else {
+            &self.sorter
+        };
+        let fused = if deterministic {
+            &self.det_fused
+        } else {
+            &self.fused
+        };
+        let warp = if deterministic {
+            &self.det_warp
+        } else {
+            &self.warp
+        };
+        let overflows = Cell::new(0u64);
+        let force_cheapest = self.ladder.enabled() && self.ladder.level() >= 2;
+        let [up, comp, down] = self.pool.devices[di].overlap_streams();
+        let dev = &mut self.pool.devices[di];
+        let variant = match req.algorithm {
+            Algorithm::Gas => {
+                cost.best_gas_variant(dev.spec(), sorter.config(), req.num_arrays, array_len)
+                    .0
+            }
+            Algorithm::GasFused | Algorithm::GasWarp if force_cheapest => {
+                cost.best_gas_variant(dev.spec(), sorter.config(), req.num_arrays, array_len)
+                    .0
+            }
+            Algorithm::GasFused => GasVariant::Fused,
+            Algorithm::GasWarp => GasVariant::Warp,
+            Algorithm::Sta => GasVariant::ThreeKernel,
+        };
+        // The prediction is the *serial* estimate for the merged shape:
+        // scoring the streamed bill against it makes the overlap win
+        // show up as a negative relative error, honestly.
+        let predicted_ms = match variant {
+            GasVariant::ThreeKernel => {
+                cost.device_ms(dev.spec(), sorter.config(), req.num_arrays, array_len)
+            }
+            GasVariant::Fused => {
+                cost.device_ms_fused(dev.spec(), sorter.config(), req.num_arrays, array_len)
+            }
+            GasVariant::Warp => {
+                cost.device_ms_warp(dev.spec(), sorter.config(), req.num_arrays, array_len)
+            }
+        };
+        let variant_label = variant.label();
+        dev.breaker.on_dispatch(now);
+        let mark = dev.gpu.bill_mark();
+        let result = checkpointed_attempt(&mut dev.gpu, data, checkpoint, span_name, |g, d| {
+            let inner = (|| {
+                let mut offset = 0usize;
+                for &num in segments {
+                    let len = num * array_len;
+                    let chunk = &mut d[offset..offset + len];
+                    offset += len;
+                    // Upload on the H2D stream; the kernel waits on the
+                    // upload's event, not on the whole device.
+                    g.set_stream(Some(up));
+                    let mut buf = g.alloc::<f32>(len)?;
+                    g.htod_into(chunk, &mut buf)?;
+                    let e_up = g.record_event(up);
+                    g.stream_wait_event(comp, e_up);
+                    g.set_stream(Some(comp));
+                    let geom = sorter.geometry(num, array_len);
+                    match variant {
+                        GasVariant::ThreeKernel => {
+                            let stats = sorter.sort_device(g, &buf, &geom)?;
+                            overflows.set(overflows.get() + stats.overflow.overflowed_buckets);
+                        }
+                        GasVariant::Fused => {
+                            let (_, ov) = fused.sort_device(g, &buf, &geom)?;
+                            overflows.set(overflows.get() + ov.overflowed_buckets);
+                        }
+                        GasVariant::Warp => {
+                            let (_, ov) = warp.sort_device(g, &buf, &geom)?;
+                            overflows.set(overflows.get() + ov.overflowed_buckets);
+                        }
+                    }
+                    let e_k = g.record_event(comp);
+                    g.stream_wait_event(down, e_k);
+                    g.set_stream(Some(down));
+                    g.dtoh_into(&mut buf, chunk)?;
+                }
+                Ok(())
+            })();
+            // Back to the default stream on every exit path: this
+            // quiesces the three pipeline streams, so the bill below is
+            // the true end-to-end wall time of the overlapped launch.
+            g.set_stream(None);
+            inner
+        });
+        let end_ms = match &result {
+            Ok(()) => now + dev.gpu.billed_since(mark),
+            Err(failed) => now + failed.wasted_ms,
+        };
+        AttemptRun {
+            result,
+            end_ms,
+            predicted_ms,
+            variant_label,
+            overflows: overflows.get(),
+        }
+    }
+
     /// Sorts the request on the host (`cpu_ref`), modelling its cost on
     /// the virtual clock, and records the fallback.
     fn resolve_host(
@@ -1045,6 +1537,11 @@ impl SortService {
         let mut data = p.data;
         cpu_ref::sort_arrays_seq(&mut data, p.req.array_len);
         let verified = bits_equal(&data, &p.oracle);
+        if verified {
+            if let (Some(cache), Some(key)) = (self.cache.as_mut(), p.cache_key) {
+                cache.insert(key, data.clone());
+            }
+        }
         let completion = at_ms + self.cfg.cost.host_ms(p.req.num_arrays, p.req.array_len);
         if let Some(di) = p.last_device {
             // Leave the degradation visible in the failing device's trace.
@@ -1090,6 +1587,7 @@ impl SortService {
         let mut cpu_fallbacks = 0;
         let mut shed = 0;
         let mut rejected = 0;
+        let mut cache_hits = 0;
         let mut deadline_hits = 0;
         let mut deadline_misses = 0;
         let mut makespan: f64 = 0.0;
@@ -1099,6 +1597,7 @@ impl SortService {
                 Outcome::CpuFallback { .. } => cpu_fallbacks += 1,
                 Outcome::Shed { .. } => shed += 1,
                 Outcome::Rejected { .. } => rejected += 1,
+                Outcome::CacheHit => cache_hits += 1,
             }
             match r.deadline_met {
                 Some(true) => deadline_hits += 1,
@@ -1160,6 +1659,30 @@ impl SortService {
                 f64::from(self.ladder.max_level()),
             );
         }
+        let cache = match &self.cache {
+            Some(c) => {
+                let stats = c.stats();
+                // The full family is present whenever the cache is on,
+                // even at zero — deterministic snapshot shape, and the
+                // CI non-vacuity gate has something to assert against.
+                // (Hits arrive per-record via `record_request_metrics`.)
+                self.registry
+                    .add("gas_cache_misses_total", &[], stats.misses as f64);
+                self.registry
+                    .add("gas_cache_evictions_total", &[], stats.evictions as f64);
+                CacheReport {
+                    enabled: true,
+                    capacity: c.capacity(),
+                    lookups: stats.lookups,
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    insertions: stats.insertions,
+                    evictions: stats.evictions,
+                    entries: c.len(),
+                }
+            }
+            None => CacheReport::default(),
+        };
         let devices = self
             .pool
             .devices
@@ -1187,11 +1710,13 @@ impl SortService {
             shed,
             shed_by_priority: ServiceReport::shed_by_priority_from_records(&records),
             rejected,
+            cache_hits,
             deadline_hits,
             deadline_misses,
             makespan_ms: makespan,
             slo: SloReport::from_registry(&self.registry),
             degradation: DegradationReport::default(),
+            cache,
             devices,
             records,
         };
@@ -1235,6 +1760,27 @@ mod tests {
 
     fn service(devices: usize, cfg: SchedulerConfig, faults: Option<&FaultPlan>) -> SortService {
         SortService::new(parse_mix("test", devices).unwrap(), cfg, faults).unwrap()
+    }
+
+    /// A burst of identical small GAS requests all arriving at t=0 with
+    /// far-off deadlines — the canned high-QPS shape the streaming tier
+    /// is built for.
+    fn uniform_burst(n: u64, num_arrays: usize, array_len: usize) -> Workload {
+        Workload {
+            requests: (0..n)
+                .map(|id| SortRequest {
+                    id,
+                    num_arrays,
+                    array_len,
+                    data_seed: 900 + id,
+                    algorithm: Algorithm::Gas,
+                    splitters: SplitterPolicy::default(),
+                    priority: Priority::Normal,
+                    arrival_ms: 0.0,
+                    deadline_ms: 1e9,
+                })
+                .collect(),
+        }
     }
 
     #[test]
@@ -1929,5 +2475,221 @@ mod tests {
                 "{span_names:?}"
             );
         }
+    }
+
+    #[test]
+    fn coalescing_forms_mega_batches_and_strictly_cuts_makespan() {
+        let w = uniform_burst(16, 4, 32);
+        let seq = service(1, SchedulerConfig::default(), None)
+            .run(&w)
+            .unwrap();
+        assert_eq!(seq.completed, 16);
+        let cfg = SchedulerConfig {
+            batch_window_ms: 0.1,
+            ..SchedulerConfig::default()
+        };
+        let mut s = service(1, cfg, None);
+        let coal = s.run(&w).unwrap();
+        assert_eq!(coal.invariant_violations(), Vec::<String>::new());
+        assert_eq!(coal.completed, 16);
+        let max_group = coal
+            .records
+            .iter()
+            .flat_map(|r| &r.attempts)
+            .map(|a| a.coalesced)
+            .max()
+            .unwrap_or(0);
+        assert!(max_group > 1, "the window must form a mega-batch");
+        assert!(
+            coal.makespan_ms < seq.makespan_ms,
+            "coalescing must strictly cut the makespan: {} vs {} ms",
+            coal.makespan_ms,
+            seq.makespan_ms
+        );
+        // Per-array independence: every split-back result still matches
+        // its own oracle bit for bit.
+        assert!(coal.records.iter().all(|r| r.verified == Some(true)));
+        // The mega-launch ran in its own span, and the cost model was
+        // scored once per physical launch (leader only).
+        let mega_spans = s
+            .pool()
+            .devices
+            .iter()
+            .flat_map(|d| d.gpu.timeline().spans.iter())
+            .filter(|sp| sp.name.starts_with("sched/mega-"))
+            .count();
+        assert!(mega_spans > 0, "mega-batches run in sched/mega-* spans");
+        let scored = coal
+            .records
+            .iter()
+            .flat_map(|r| &r.attempts)
+            .filter(|a| a.coalesced > 1 && a.predicted_ms > 0.0)
+            .count();
+        assert_eq!(scored, mega_spans, "one real prediction per launch");
+    }
+
+    #[test]
+    fn cache_hits_bill_zero_device_time_and_reconcile() {
+        // The same payload served three times: once on-device, then
+        // twice straight from the cache.
+        let w = Workload {
+            requests: (0..3u64)
+                .map(|id| SortRequest {
+                    id,
+                    num_arrays: 6,
+                    array_len: 32,
+                    data_seed: 42,
+                    algorithm: Algorithm::Gas,
+                    splitters: SplitterPolicy::default(),
+                    priority: Priority::Normal,
+                    arrival_ms: id as f64 * 5.0,
+                    deadline_ms: 1e9,
+                })
+                .collect(),
+        };
+        let cfg = SchedulerConfig {
+            cache_entries: 8,
+            ..SchedulerConfig::default()
+        };
+        let mut s = service(1, cfg, None);
+        let report = s.run(&w).unwrap();
+        assert_eq!(report.invariant_violations(), Vec::<String>::new());
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.cache_hits, 2);
+        assert!(report.cache.enabled);
+        assert_eq!(report.cache.lookups, 3);
+        assert_eq!(report.cache.hits, 2);
+        assert_eq!(report.cache.misses, 1);
+        assert_eq!(report.cache.entries, 1);
+        // A hit runs no device attempt and completes at admission: zero
+        // device milliseconds billed.
+        for r in &report.records {
+            if matches!(r.outcome, Outcome::CacheHit) {
+                assert!(r.attempts.is_empty());
+                assert_eq!(r.completion_ms, Some(r.arrival_ms));
+                assert_eq!(r.verified, Some(true));
+            }
+        }
+        assert_eq!(
+            s.metrics().counter_sum("gas_cache_hits_total", &[]) as usize,
+            2
+        );
+        assert_eq!(
+            s.metrics().counter_sum("gas_cache_misses_total", &[]) as usize,
+            1
+        );
+        // Legacy runs stay cache-silent: no section, no metric family.
+        let mut legacy = service(1, SchedulerConfig::default(), None);
+        let lr = legacy.run(&w).unwrap();
+        assert_eq!(lr.cache, CacheReport::default());
+        assert!(!legacy
+            .metrics_snapshot()
+            .to_json()
+            .contains("gas_cache_misses_total"));
+    }
+
+    #[test]
+    fn overlapped_streaming_beats_sequential_dispatch_on_a_small_burst() {
+        let w = uniform_burst(16, 4, 32);
+        let seq = service(1, SchedulerConfig::default(), None)
+            .run(&w)
+            .unwrap();
+        let cfg = SchedulerConfig {
+            batch_window_ms: 0.1,
+            overlap: true,
+            ..SchedulerConfig::default()
+        };
+        let mut s = service(1, cfg.clone(), None);
+        let streamed = s.run(&w).unwrap();
+        assert_eq!(streamed.invariant_violations(), Vec::<String>::new());
+        assert_eq!(streamed.completed, 16);
+        assert!(
+            streamed.makespan_ms < seq.makespan_ms,
+            "streamed serving must strictly beat sequential dispatch: {} vs {} ms",
+            streamed.makespan_ms,
+            seq.makespan_ms
+        );
+        assert!(streamed.records.iter().all(|r| r.verified == Some(true)));
+        // The pipeline really rode the per-device streams.
+        let streamed_transfers = s.pool().devices[0]
+            .gpu
+            .timeline()
+            .transfers
+            .iter()
+            .filter(|t| t.stream.is_some())
+            .count();
+        assert!(
+            streamed_transfers > 0,
+            "transfers must ride the H2D/D2H streams"
+        );
+        // Replay contract holds with overlap on.
+        let mut s2 = service(1, cfg, None);
+        let streamed2 = s2.run(&w).unwrap();
+        assert_eq!(streamed.to_json(), streamed2.to_json());
+        assert_eq!(
+            s.metrics_snapshot().to_json(),
+            s2.metrics_snapshot().to_json()
+        );
+    }
+
+    #[test]
+    fn streaming_stack_replays_byte_identically_under_chaos() {
+        let w = Workload::generate(&WorkloadConfig {
+            seed: 33,
+            requests: 80,
+            arrays: (4, 8),
+            array_len: (32, 32),
+            repeat_fraction: 0.5,
+            ..WorkloadConfig::default()
+        });
+        let plan = FaultPlan::seeded(9)
+            .with_launch_failure(0.03)
+            .with_transfer_abort(0.03)
+            .with_stream_stall(0.05, 0.2);
+        let cfg = SchedulerConfig {
+            seed: 17,
+            batch_window_ms: -1.0, // auto: the cost model picks
+            cache_entries: 16,
+            overlap: true,
+            ..SchedulerConfig::default()
+        };
+        let mut a = service(2, cfg.clone(), Some(&plan));
+        let ra = a.run(&w).unwrap();
+        assert_eq!(ra.invariant_violations(), Vec::<String>::new());
+        let mut b = service(2, cfg, Some(&plan));
+        let rb = b.run(&w).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(ra.to_json(), rb.to_json(), "byte-identical reports");
+        assert_eq!(
+            a.metrics_snapshot().to_json(),
+            b.metrics_snapshot().to_json(),
+            "byte-identical metrics"
+        );
+        assert!(ra.cache_hits > 0, "the repeat workload must hit the cache");
+    }
+
+    #[test]
+    fn coalescing_off_is_byte_identical_to_the_legacy_path() {
+        // The whole streaming tier defaults off: a default-config run of
+        // a chaos workload must not change by a byte.
+        let w = small_workload(3, 80);
+        let plan = FaultPlan::seeded(11)
+            .with_launch_failure(0.05)
+            .with_transfer_abort(0.05)
+            .with_stream_stall(0.05, 0.2);
+        let cfg = SchedulerConfig::default();
+        assert_eq!(cfg.batch_window_ms, 0.0);
+        assert_eq!(cfg.cache_entries, 0);
+        assert!(!cfg.overlap);
+        let ra = service(3, cfg.clone(), Some(&plan)).run(&w).unwrap();
+        let rb = service(3, cfg, Some(&plan)).run(&w).unwrap();
+        assert_eq!(ra.to_json(), rb.to_json());
+        assert_eq!(ra.cache_hits, 0);
+        assert_eq!(ra.cache, CacheReport::default());
+        assert!(ra
+            .records
+            .iter()
+            .flat_map(|r| &r.attempts)
+            .all(|a| a.coalesced == 0));
     }
 }

@@ -181,7 +181,7 @@ proptest! {
         prop_assert_eq!(report.records.len(), 40);
         for r in &report.records {
             match &r.outcome {
-                Outcome::Completed { .. } | Outcome::CpuFallback { .. } => {
+                Outcome::Completed { .. } | Outcome::CpuFallback { .. } | Outcome::CacheHit => {
                     prop_assert_eq!(r.verified, Some(true), "request {} unverified", r.id);
                 }
                 Outcome::Shed { reason } | Outcome::Rejected { reason } => {
@@ -227,7 +227,7 @@ proptest! {
         prop_assert_eq!(a.records.len(), 30);
         for r in &a.records {
             match &r.outcome {
-                Outcome::Completed { .. } | Outcome::CpuFallback { .. } => {
+                Outcome::Completed { .. } | Outcome::CpuFallback { .. } | Outcome::CacheHit => {
                     prop_assert_eq!(r.verified, Some(true), "request {} unverified", r.id);
                 }
                 Outcome::Shed { reason } | Outcome::Rejected { reason } => {

@@ -60,6 +60,10 @@ const POST_PR5_REPORT_KEYS: &[&str] = &[
     "cancelled",
     "deaths",
     "watchdog_cancels",
+    // PR 10: streaming tier (coalescing, result cache).
+    "cache",
+    "cache_hits",
+    "coalesced",
 ];
 
 #[test]
@@ -73,6 +77,12 @@ fn service_report_parses_without_any_post_pr5_field() {
     // The stripped fields come back as their defaults…
     assert_eq!(old.degradation, DegradationReport::default());
     assert!(!old.degradation.enabled);
+    assert_eq!(old.cache, scheduler::CacheReport::default());
+    assert_eq!(old.cache_hits, 0);
+    assert!(old
+        .records
+        .iter()
+        .all(|r| r.attempts.iter().all(|a| a.coalesced == 0)));
     assert!(old.devices.iter().all(|d| d.deaths == 0));
     assert!(old.devices.iter().all(|d| d.watchdog_cancels == 0));
     for r in &old.records {
@@ -105,6 +115,23 @@ fn stripping_only_the_pr9_fields_keeps_the_report_reconciled() {
         strip_key(&mut doc, key);
     }
     let old: ServiceReport = serde_json::from_value(doc).unwrap();
+    assert_eq!(old.invariant_violations(), Vec::<String>::new());
+}
+
+#[test]
+fn stripping_only_the_pr10_fields_keeps_the_report_reconciled() {
+    // A PR-9-era file (has the tail-tolerance section, lacks the
+    // streaming tier's cache section and coalescing counters) must parse
+    // to defaults that still satisfy the cache-reconciliation
+    // invariants: a disabled cache with zero hits and no cache-hit
+    // records is exactly what an old run looks like.
+    let report = sample_report();
+    let mut doc: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+    for key in ["cache", "cache_hits", "coalesced"] {
+        strip_key(&mut doc, key);
+    }
+    let old: ServiceReport = serde_json::from_value(doc).unwrap();
+    assert_eq!(old.cache, scheduler::CacheReport::default());
     assert_eq!(old.invariant_violations(), Vec::<String>::new());
 }
 

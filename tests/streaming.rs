@@ -1,0 +1,144 @@
+//! Streaming-tier properties: the overlapped, coalescing, caching
+//! serving path must be an *optimization*, never a semantic change. For
+//! any seed, the streamed run's outputs are bit-identical to what the
+//! sequential path produces — both are verified f32-bit-for-bit against
+//! the shared `cpu_ref` oracle — the cache section reconciles, and
+//! same-seed replay is byte-identical in both the report JSON and the
+//! telemetry snapshot.
+
+use gpu_sim::FaultPlan;
+use proptest::prelude::*;
+use scheduler::{
+    parse_mix, Outcome, SchedulerConfig, ServiceReport, SortService, Workload, WorkloadConfig,
+};
+
+/// A repeat-heavy workload: half the stream reuses canned payloads so
+/// the content-hash cache has something to hit.
+fn repeat_workload(seed: u64, requests: usize) -> Workload {
+    Workload::generate(&WorkloadConfig {
+        seed,
+        requests,
+        warp_fraction: 0.2,
+        fused_fraction: 0.2,
+        repeat_fraction: 0.5,
+        ..WorkloadConfig::default()
+    })
+}
+
+/// Drains `workload` with the full streaming stack armed: auto-sized
+/// admission window, 16-entry result cache, three-stream overlap.
+fn run_streamed(
+    seed: u64,
+    workload: &Workload,
+    faults: Option<&FaultPlan>,
+) -> (ServiceReport, String) {
+    let cfg = SchedulerConfig {
+        seed,
+        batch_window_ms: -1.0,
+        cache_entries: 16,
+        overlap: true,
+        ..SchedulerConfig::default()
+    };
+    let mut service = SortService::new(parse_mix("test", 2).unwrap(), cfg, faults).unwrap();
+    let report = service.run(workload).unwrap();
+    let snapshot = service.metrics_snapshot().to_json();
+    (report, snapshot)
+}
+
+/// Drains `workload` with the legacy sequential dispatch (everything
+/// off): the semantic reference the streamed run is held against.
+fn run_sequential(seed: u64, workload: &Workload) -> ServiceReport {
+    let cfg = SchedulerConfig {
+        seed,
+        ..SchedulerConfig::default()
+    };
+    let mut service = SortService::new(parse_mix("test", 2).unwrap(), cfg, None).unwrap();
+    service.run(workload).unwrap()
+}
+
+/// Every record that produced an output in `report` must be verified:
+/// `verified == Some(true)` means the bytes equal the `cpu_ref` oracle
+/// bit-for-bit, which is how "streamed output == sequential output" is
+/// established without exporting payloads — both runs are pinned to the
+/// same oracle.
+fn assert_all_outputs_verified(report: &ServiceReport) -> Result<(), TestCaseError> {
+    for r in &report.records {
+        match &r.outcome {
+            Outcome::Completed { .. } | Outcome::CpuFallback { .. } | Outcome::CacheHit => {
+                prop_assert_eq!(r.verified, Some(true), "request {} unverified", r.id);
+            }
+            Outcome::Shed { reason } | Outcome::Rejected { reason } => {
+                prop_assert!(!reason.is_empty(), "request {} dropped silently", r.id);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn repeated_content_hits_the_cache_with_zero_billed_device_time() {
+    let workload = repeat_workload(11, 60);
+    let (report, _) = run_streamed(11, &workload, None);
+    assert_eq!(report.invariant_violations(), Vec::<String>::new());
+    assert!(report.cache.enabled);
+    assert!(
+        report.cache_hits > 0,
+        "a 50% repeat workload must hit the cache: {:?}",
+        report.cache
+    );
+    // A cache hit bills no device time: its record has no attempts and
+    // completes at its own arrival instant.
+    for r in report
+        .records
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::CacheHit))
+    {
+        assert!(r.attempts.is_empty(), "request {} touched a device", r.id);
+        assert_eq!(r.verified, Some(true));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// For any seed: the streamed stack loses nothing, every output it
+    /// produces is oracle-verified bit-for-bit — as is every output of
+    /// the sequential reference run, making the two byte-identical
+    /// wherever both produce one — and the cache section reconciles.
+    #[test]
+    fn streamed_outputs_match_the_sequential_path(seed in any::<u64>()) {
+        let workload = repeat_workload(seed, 40);
+        let (streamed, _) = run_streamed(seed, &workload, None);
+        let sequential = run_sequential(seed, &workload);
+        prop_assert_eq!(streamed.invariant_violations(), Vec::<String>::new());
+        prop_assert_eq!(sequential.invariant_violations(), Vec::<String>::new());
+        prop_assert_eq!(streamed.records.len(), 40);
+        prop_assert_eq!(sequential.records.len(), 40);
+        assert_all_outputs_verified(&streamed)?;
+        assert_all_outputs_verified(&sequential)?;
+        // The sequential path must be untouched by the streaming code:
+        // no cache section, no coalesced attempts.
+        prop_assert_eq!(sequential.cache, scheduler::CacheReport::default());
+        prop_assert!(sequential
+            .records
+            .iter()
+            .all(|r| r.attempts.iter().all(|a| a.coalesced == 0)));
+    }
+
+    /// Same seed ⇒ byte-identical replay with the whole streaming stack
+    /// armed, chaos included: report JSON and telemetry snapshot.
+    #[test]
+    fn streamed_runs_replay_byte_identically_under_chaos(seed in any::<u64>()) {
+        let workload = repeat_workload(seed, 30);
+        let plan = FaultPlan::seeded(seed.wrapping_add(7))
+            .with_launch_failure(0.03)
+            .with_transfer_abort(0.03)
+            .with_stream_stall(0.05, 0.2);
+        let (a, snap_a) = run_streamed(seed, &workload, Some(&plan));
+        let (b, snap_b) = run_streamed(seed, &workload, Some(&plan));
+        prop_assert_eq!(a.to_json(), b.to_json(), "report replay must be byte-identical");
+        prop_assert_eq!(snap_a, snap_b, "telemetry replay must be byte-identical");
+        prop_assert_eq!(a.invariant_violations(), Vec::<String>::new());
+        assert_all_outputs_verified(&a)?;
+    }
+}
